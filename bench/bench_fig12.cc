@@ -1,0 +1,48 @@
+// Figure 12 reproduction: the 21 ported CacheIR code-generators with their
+// total Icarus LoC and verification times (mean and σ over repeated runs).
+//
+// Paper shape to check: every generator verifies; most in single-digit
+// seconds on the authors' laptop (our from-scratch solver and native
+// meta-execution are much faster in absolute terms — the comparison is the
+// relative ordering and the universal success, not wall-clock parity).
+
+#include <cstdio>
+
+#include "src/platform/platform.h"
+#include "src/verifier/verifier.h"
+
+int main() {
+  using icarus::platform::Platform;
+  auto loaded = Platform::Load();
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "platform load failed: %s\n", loaded.status().message().c_str());
+    return 1;
+  }
+  std::unique_ptr<Platform> platform = loaded.take();
+  icarus::verifier::Verifier verifier(platform.get());
+
+  std::printf("Figure 12: CacheIR code-generators ported into Icarus and verified\n");
+  std::printf("(10 runs per generator; times in seconds)\n\n");
+  std::printf("%-22s %-22s %9s %10s %10s %8s\n", "Operation", "Code Generator", "Total LOC",
+              "Mean (s)", "Sigma (s)", "Verdict");
+  std::printf("%s\n", std::string(86, '-').c_str());
+
+  bool all_verified = true;
+  for (const auto& info : icarus::platform::Fig12Generators()) {
+    icarus::verifier::VerifyOptions options;
+    options.runs = 10;
+    options.build_cfa = false;
+    auto report = verifier.Verify(info.function, options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s: %s\n", info.function, report.status().message().c_str());
+      return 1;
+    }
+    const auto& r = report.value();
+    all_verified = all_verified && r.verified;
+    std::printf("%-22s %-22s %9d %10.4f %10.4f %8s\n", info.operation, info.name, r.total_loc,
+                r.timing.mean, r.timing.stddev, r.verified ? "OK" : "FAIL");
+  }
+  std::printf("\nAll 21 generators verified: %s\n", all_verified ? "yes" : "NO");
+  std::printf("(paper: all 21 verify, in under a minute each, typically under 4s)\n");
+  return all_verified ? 0 : 1;
+}

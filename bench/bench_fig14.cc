@@ -1,0 +1,56 @@
+// Figure 14 reproduction: six previously-reported CacheIR security bugs.
+// The buggy variant of each generator must produce a counterexample; the
+// fixed variant must verify. Times are median/mean/σ over 10 runs, matching
+// the table's columns.
+
+#include <cstdio>
+
+#include "src/platform/platform.h"
+#include "src/verifier/verifier.h"
+
+int main() {
+  using icarus::platform::Platform;
+  auto loaded = Platform::Load();
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "platform load failed: %s\n", loaded.status().message().c_str());
+    return 1;
+  }
+  std::unique_ptr<Platform> platform = loaded.take();
+  icarus::verifier::Verifier verifier(platform.get());
+
+  std::printf("Figure 14: previously-reported CacheIR bugs, caught and fix-verified\n");
+  std::printf("(10 runs per variant; times in seconds)\n\n");
+  std::printf("%-8s %-24s %-20s %-21s  %-28s %-28s\n", "Bug #", "Bug Summary", "Buggy Layer",
+              "Kind", "Buggy med/mean/sigma", "Fixed med/mean/sigma");
+  std::printf("%s\n", std::string(134, '-').c_str());
+
+  bool ok = true;
+  for (const auto& bug : icarus::platform::Bugs()) {
+    icarus::verifier::VerifyOptions options;
+    options.runs = 10;
+    options.build_cfa = false;
+
+    auto buggy = verifier.Verify(std::string("bug") + bug.id + "_buggy", options);
+    auto fixed = verifier.Verify(std::string("bug") + bug.id + "_fixed", options);
+    if (!buggy.ok() || !fixed.ok()) {
+      std::fprintf(stderr, "bug %s: verification setup failed\n", bug.id);
+      return 1;
+    }
+    bool caught = !buggy.value().verified;
+    bool fix_ok = fixed.value().verified;
+    ok = ok && caught && fix_ok;
+    std::printf("%-8s %-24s %-20s %-21s  %8.4f/%8.4f/%8.5f %8.4f/%8.4f/%8.5f  %s%s\n", bug.id,
+                bug.summary, bug.layer, bug.kind, buggy.value().timing.median,
+                buggy.value().timing.mean, buggy.value().timing.stddev,
+                fixed.value().timing.median, fixed.value().timing.mean,
+                fixed.value().timing.stddev, caught ? "caught" : "MISSED!",
+                fix_ok ? "+verified" : "+FIX-REJECTED!");
+    if (caught && !buggy.value().meta.violations.empty()) {
+      std::printf("         first counterexample: %s\n",
+                  buggy.value().meta.violations[0].message.c_str());
+    }
+  }
+  std::printf("\nAll 6 bugs caught and all 6 fixes verified: %s\n", ok ? "yes" : "NO");
+  std::printf("(paper: caught in under 30s each, fixes verified in under a minute)\n");
+  return ok ? 0 : 1;
+}

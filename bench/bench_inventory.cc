@@ -1,0 +1,47 @@
+// §4.1 reproduction: implementation inventory of the CacheIR port — how many
+// CacheIR ops, MASM ops, and lines of Icarus each layer comprises. The paper
+// implements 81/334 CacheIR ops, 131 MASM ops (1,891 LoC), a 1,597-LoC
+// compiler and a 1,135-LoC runtime-contract layer; our subset is sized to
+// cover the 21 generators and 6 bug studies.
+
+#include <cstdio>
+
+#include "src/platform/platform.h"
+#include "src/support/str_util.h"
+
+int main() {
+  using icarus::platform::Platform;
+  auto loaded = Platform::Load();
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "platform load failed: %s\n", loaded.status().message().c_str());
+    return 1;
+  }
+  std::unique_ptr<Platform> platform = loaded.take();
+
+  int generators = static_cast<int>(platform->module().Generators().size());
+  std::printf("Implementation inventory (this reproduction vs paper)\n\n");
+  std::printf("%-44s %12s %12s\n", "Layer", "ours", "paper");
+  std::printf("%s\n", std::string(70, '-').c_str());
+  std::printf("%-44s %12d %12s\n", "CacheIR ops implemented", platform->NumCacheIROps(),
+              "81 (of 334)");
+  std::printf("%-44s %12d %12s\n", "MASM ops with executable semantics",
+              platform->NumMasmOps(), "131");
+  std::printf("%-44s %12d %12s\n", "CacheIR->MASM compiler (Icarus LoC)",
+              platform->CompilerLoc(), "1,597");
+  std::printf("%-44s %12d %12s\n", "MASM interpreter semantics (Icarus LoC)",
+              platform->InterpreterLoc(), "1,891");
+  std::printf("%-44s %12d %12s\n", "JS runtime contract layer (Icarus LoC)",
+              platform->PreludeLoc(), "1,135");
+  std::printf("%-44s %12d %12s\n", "Top-level IC generators ported", generators,
+              "21 (+bugs)");
+  std::printf("%-44s %12zu %12s\n", "Historical bugs reproduced",
+              icarus::platform::Bugs().size(), "6");
+
+  int total_loc = 0;
+  for (const auto& info : icarus::platform::Fig12Generators()) {
+    total_loc += platform->TotalLoc(info.function);
+  }
+  std::printf("%-44s %12d %12s\n", "Sum of per-generator call-graph LoC", total_loc,
+              "(median 732/gen)");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Micro-benchmarks over the core toolchain components (google-benchmark):
+// solver queries, DSL parsing+resolution, CFA construction, and a full
+// meta-execution, so regressions in any layer are visible independently of
+// the table reproductions.
+
+#include <benchmark/benchmark.h>
+
+#include "src/ast/parser.h"
+#include "src/ast/resolver.h"
+#include "src/cfa/cfa.h"
+#include "src/meta/meta_executor.h"
+#include "src/platform/platform.h"
+#include "src/sym/expr.h"
+#include "src/sym/solver.h"
+
+namespace {
+
+using icarus::platform::Platform;
+
+Platform* SharedPlatform() {
+  static Platform* platform = [] {
+    auto loaded = Platform::Load();
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "platform load failed: %s\n", loaded.status().message().c_str());
+      std::abort();
+    }
+    return loaded.take().release();
+  }();
+  return platform;
+}
+
+void BM_SolverUfChain(benchmark::State& state) {
+  for (auto _ : state) {
+    icarus::sym::ExprPool pool;
+    icarus::sym::ExprRef o = pool.Var("o", icarus::sym::Sort::kTerm);
+    icarus::sym::ExprRef s = pool.Var("s", icarus::sym::Sort::kTerm);
+    icarus::sym::ExprRef shape_o = pool.App("shapeOf", {o}, icarus::sym::Sort::kTerm);
+    icarus::sym::ExprRef n_s = pool.App("numFixedSlots", {s}, icarus::sym::Sort::kInt);
+    icarus::sym::ExprRef n_o = pool.App("numFixedSlots", {shape_o}, icarus::sym::Sort::kInt);
+    icarus::sym::Solver solver;
+    auto result = solver.Solve({pool.Eq(shape_o, s), pool.Eq(n_s, pool.IntConst(4)),
+                                pool.Not(pool.Lt(pool.IntConst(3), n_o))});
+    benchmark::DoNotOptimize(result.verdict);
+  }
+}
+BENCHMARK(BM_SolverUfChain);
+
+void BM_SolverDifferenceChain(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    icarus::sym::ExprPool pool;
+    std::vector<icarus::sym::ExprRef> vars;
+    for (int i = 0; i <= n; ++i) {
+      vars.push_back(pool.Var("x" + std::to_string(i), icarus::sym::Sort::kInt));
+    }
+    std::vector<icarus::sym::ExprRef> cs;
+    for (int i = 0; i < n; ++i) {
+      cs.push_back(pool.Lt(vars[static_cast<size_t>(i)], vars[static_cast<size_t>(i) + 1]));
+    }
+    cs.push_back(pool.Lt(vars.back(), pool.Add(vars[0], pool.IntConst(n))));
+    icarus::sym::Solver solver;
+    auto result = solver.Solve(cs);
+    benchmark::DoNotOptimize(result.verdict);
+  }
+}
+BENCHMARK(BM_SolverDifferenceChain)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ParseResolvePlatform(benchmark::State& state) {
+  for (auto _ : state) {
+    auto loaded = Platform::Load();
+    benchmark::DoNotOptimize(loaded.ok());
+  }
+}
+BENCHMARK(BM_ParseResolvePlatform);
+
+void BM_MetaExecuteGenerator(benchmark::State& state) {
+  Platform* platform = SharedPlatform();
+  auto stub = platform->MakeMetaStub("tryAttachCompareInt32");
+  for (auto _ : state) {
+    icarus::meta::MetaExecutor executor(&platform->module(), &platform->externs());
+    auto result = executor.Run(stub.value());
+    benchmark::DoNotOptimize(result.verified);
+  }
+}
+BENCHMARK(BM_MetaExecuteGenerator);
+
+void BM_BuildCfa(benchmark::State& state) {
+  Platform* platform = SharedPlatform();
+  auto stub = platform->MakeMetaStub("bug1685925_fixed");
+  for (auto _ : state) {
+    icarus::cfa::CfaBuilder builder(&platform->module(), &platform->externs());
+    auto automaton = builder.Build(stub.value());
+    benchmark::DoNotOptimize(automaton.ok());
+  }
+}
+BENCHMARK(BM_BuildCfa);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Quickstart: define a tiny JIT platform in the Icarus DSL, write a stub
+// generator with a missing guard, and watch symbolic meta-execution find the
+// counterexample — then verify the fixed version.
+//
+//   $ ./build/examples/quickstart
+//
+// The platform here is deliberately small (one guard, one unsafe load); the
+// full SpiderMonkey port lives in src/platform/ and is exercised by
+// examples/typedarray_bug.cpp.
+
+#include <cstdio>
+
+#include "src/meta/meta_executor.h"
+#include "src/platform/platform.h"
+
+// A miniature platform written against the shared prelude: a source language
+// with a guard and an unsafe load, compiled to MASM, plus two generators —
+// one that forgets the guard and one that does not.
+constexpr char kToyGenerators[] = R"(
+generator toyAttachLengthUnguarded(value: Value, valueId: ValueId) emits CacheIR {
+  if !Value::isObject(value) {
+    return AttachDecision::NoAction;
+  }
+  let object = Value::toObject(value);
+  if !Object::isTypedArray(object) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToObject(valueId);
+  let objId = OperandId::toObjectId(valueId);
+  // BUG: no shape/class guard before the layout-dependent load!
+  emit CacheIR::LoadTypedArrayLengthResult(objId);
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator toyAttachLengthGuarded(value: Value, valueId: ValueId) emits CacheIR {
+  if !Value::isObject(value) {
+    return AttachDecision::NoAction;
+  }
+  let object = Value::toObject(value);
+  if !Object::isTypedArray(object) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToObject(valueId);
+  let objId = OperandId::toObjectId(valueId);
+  emit CacheIR::GuardShape(objId, Object::shapeOf(object));
+  emit CacheIR::LoadTypedArrayLengthResult(objId);
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+)";
+
+int main() {
+  std::printf("== Icarus quickstart ==\n\n");
+  std::printf("Loading the JIT platform plus two toy generators...\n");
+  auto loaded = icarus::platform::Platform::LoadWithExtra({kToyGenerators});
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", loaded.status().message().c_str());
+    return 1;
+  }
+  auto platform = loaded.take();
+  icarus::meta::MetaExecutor executor(&platform->module(), &platform->externs());
+
+  for (const char* name : {"toyAttachLengthUnguarded", "toyAttachLengthGuarded"}) {
+    auto stub = platform->MakeMetaStub(name);
+    if (!stub.ok()) {
+      std::fprintf(stderr, "%s\n", stub.status().message().c_str());
+      return 1;
+    }
+    std::printf("\n--- symbolic meta-execution of %s ---\n", name);
+    icarus::meta::MetaResult result = executor.Run(stub.value());
+    std::printf("%s\n", result.Summary().c_str());
+  }
+
+  std::printf(
+      "\nThe unguarded generator admits a future input whose shape differs from the\n"
+      "generation-time sample, so the fixed-slot bound cannot be proven; the guarded\n"
+      "version pins the layout and verifies on every path.\n");
+  return 0;
+}

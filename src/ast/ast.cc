@@ -1,0 +1,60 @@
+#include "src/ast/ast.h"
+
+namespace icarus::ast {
+
+const LanguageDecl* Module::FindLanguage(const std::string& name) const {
+  for (const auto& l : languages) {
+    if (l->name == name) {
+      return l.get();
+    }
+  }
+  return nullptr;
+}
+
+const FunctionDecl* Module::FindFunction(const std::string& name) const {
+  for (const auto& f : functions) {
+    if (f->name == name) {
+      return f.get();
+    }
+  }
+  return nullptr;
+}
+
+const ExternFnDecl* Module::FindExtern(const std::string& name) const {
+  for (const auto& e : externs) {
+    if (e->name == name) {
+      return e.get();
+    }
+  }
+  return nullptr;
+}
+
+const CompilerDecl* Module::FindCompiler(const std::string& name) const {
+  for (const auto& c : compilers) {
+    if (c->name == name) {
+      return c.get();
+    }
+  }
+  return nullptr;
+}
+
+const InterpreterDecl* Module::FindInterpreter(const std::string& name) const {
+  for (const auto& i : interpreters) {
+    if (i->name == name) {
+      return i.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const FunctionDecl*> Module::Generators() const {
+  std::vector<const FunctionDecl*> out;
+  for (const auto& f : functions) {
+    if (f->fn_kind == FnKind::kGenerator) {
+      out.push_back(f.get());
+    }
+  }
+  return out;
+}
+
+}  // namespace icarus::ast

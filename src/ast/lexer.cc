@@ -1,0 +1,206 @@
+#include "src/ast/lexer.h"
+
+#include <cctype>
+#include <map>
+
+#include "src/support/str_util.h"
+
+namespace icarus::ast {
+
+namespace {
+
+const std::map<std::string_view, Tok>& Keywords() {
+  static const std::map<std::string_view, Tok> kKeywords = {
+      {"language", Tok::kKwLanguage},
+      {"op", Tok::kKwOp},
+      {"enum", Tok::kKwEnum},
+      {"extern", Tok::kKwExtern},
+      {"type", Tok::kKwType},
+      {"fn", Tok::kKwFn},
+      {"compiler", Tok::kKwCompiler},
+      {"interpreter", Tok::kKwInterpreter},
+      {"generator", Tok::kKwGenerator},
+      {"emits", Tok::kKwEmits},
+      {"emit", Tok::kKwEmit},
+      {"let", Tok::kKwLet},
+      {"if", Tok::kKwIf},
+      {"else", Tok::kKwElse},
+      {"assert", Tok::kKwAssert},
+      {"assume", Tok::kKwAssume},
+      {"label", Tok::kKwLabel},
+      {"bind", Tok::kKwBind},
+      {"goto", Tok::kKwGoto},
+      {"failure", Tok::kKwFailure},
+      {"return", Tok::kKwReturn},
+      {"true", Tok::kKwTrue},
+      {"false", Tok::kKwFalse},
+      {"requires", Tok::kKwRequires},
+      {"ensures", Tok::kKwEnsures},
+  };
+  return kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string_view source) : src_(source) {}
+
+char Lexer::Peek(int ahead) const {
+  size_t p = pos_ + static_cast<size_t>(ahead);
+  return p < src_.size() ? src_[p] : '\0';
+}
+
+char Lexer::Advance() {
+  char c = Peek();
+  ++pos_;
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+bool Lexer::Match(char c) {
+  if (Peek() == c) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+void Lexer::SkipTrivia() {
+  while (true) {
+    char c = Peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      Advance();
+    } else if (c == '/' && Peek(1) == '/') {
+      while (Peek() != '\n' && Peek() != '\0') {
+        Advance();
+      }
+    } else if (c == '/' && Peek(1) == '*') {
+      Advance();
+      Advance();
+      while (!(Peek() == '*' && Peek(1) == '/') && Peek() != '\0') {
+        Advance();
+      }
+      if (Peek() != '\0') {
+        Advance();
+        Advance();
+      }
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::Make(Tok kind) {
+  Token t;
+  t.kind = kind;
+  t.line = tok_line_;
+  t.col = tok_col_;
+  t.offset = tok_offset_;
+  return t;
+}
+
+Token Lexer::Next() {
+  SkipTrivia();
+  tok_line_ = line_;
+  tok_col_ = col_;
+  tok_offset_ = pos_;
+  char c = Peek();
+  if (c == '\0') {
+    return Make(Tok::kEof);
+  }
+  if (IsIdentStart(c)) {
+    std::string ident;
+    while (IsIdentCont(Peek())) {
+      ident.push_back(Advance());
+    }
+    auto it = Keywords().find(ident);
+    if (it != Keywords().end()) {
+      Token t = Make(it->second);
+      t.text = ident;
+      return t;
+    }
+    Token t = Make(Tok::kIdent);
+    t.text = std::move(ident);
+    return t;
+  }
+  if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+    int64_t value = 0;
+    if (c == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+      Advance();
+      Advance();
+      while (std::isxdigit(static_cast<unsigned char>(Peek())) != 0) {
+        char d = Advance();
+        int digit = std::isdigit(static_cast<unsigned char>(d)) != 0
+                        ? d - '0'
+                        : (std::tolower(d) - 'a' + 10);
+        value = value * 16 + digit;
+      }
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+        value = value * 10 + (Advance() - '0');
+      }
+    }
+    Token t = Make(Tok::kIntLit);
+    t.int_val = value;
+    return t;
+  }
+  Advance();
+  switch (c) {
+    case '(': return Make(Tok::kLParen);
+    case ')': return Make(Tok::kRParen);
+    case '{': return Make(Tok::kLBrace);
+    case '}': return Make(Tok::kRBrace);
+    case ',': return Make(Tok::kComma);
+    case ';': return Make(Tok::kSemi);
+    case ':': return Match(':') ? Make(Tok::kColonColon) : Make(Tok::kColon);
+    case '-': return Match('>') ? Make(Tok::kArrow) : Make(Tok::kMinus);
+    case '=': return Match('=') ? Make(Tok::kEqEq) : Make(Tok::kAssign);
+    case '!': return Match('=') ? Make(Tok::kNe) : Make(Tok::kBang);
+    case '<':
+      if (Match('=')) return Make(Tok::kLe);
+      if (Match('<')) return Make(Tok::kShl);
+      return Make(Tok::kLt);
+    case '>':
+      if (Match('=')) return Make(Tok::kGe);
+      if (Match('>')) return Make(Tok::kShr);
+      return Make(Tok::kGt);
+    case '&': return Match('&') ? Make(Tok::kAndAnd) : Make(Tok::kAmp);
+    case '|': return Match('|') ? Make(Tok::kOrOr) : Make(Tok::kPipe);
+    case '+': return Make(Tok::kPlus);
+    case '*': return Make(Tok::kStar);
+    case '/': return Make(Tok::kSlash);
+    case '%': return Make(Tok::kPercent);
+    case '^': return Make(Tok::kCaret);
+    default: {
+      Token t = Make(Tok::kError);
+      t.text = StrFormat("unexpected character '%c' at line %d", c, tok_line_);
+      return t;
+    }
+  }
+}
+
+std::vector<Token> Lexer::LexAll() {
+  std::vector<Token> out;
+  while (true) {
+    Token t = Next();
+    bool done = (t.kind == Tok::kEof || t.kind == Tok::kError);
+    out.push_back(std::move(t));
+    if (done) {
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace icarus::ast

@@ -1,0 +1,602 @@
+#include "src/ast/parser.h"
+
+#include <memory>
+
+#include "src/ast/lexer.h"
+#include "src/support/str_util.h"
+
+namespace icarus::ast {
+
+namespace {
+
+class ParserImpl {
+ public:
+  ParserImpl(Module* module, std::string_view source)
+      : module_(module), source_(source) {
+    Lexer lexer(source);
+    tokens_ = lexer.LexAll();
+  }
+
+  Status Run() {
+    if (tokens_.back().kind == Tok::kError) {
+      return Status::Error(tokens_.back().text);
+    }
+    while (!At(Tok::kEof)) {
+      ICARUS_RETURN_IF_ERROR(TopLevel());
+    }
+    return Status::Ok();
+  }
+
+ private:
+  // --- Token cursor -------------------------------------------------------
+
+  const Token& Cur() const { return tokens_[idx_]; }
+  const Token& Ahead(size_t n) const {
+    size_t i = idx_ + n;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool At(Tok k) const { return Cur().kind == k; }
+  Token Take() { return tokens_[idx_++]; }
+  bool Eat(Tok k) {
+    if (At(k)) {
+      ++idx_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(const std::string& msg) {
+    return Status::Error(
+        StrFormat("parse error at line %d, col %d: %s (found '%s')", Cur().line, Cur().col,
+                  msg.c_str(), Cur().kind == Tok::kIdent ? Cur().text.c_str()
+                                                         : TokName(Cur().kind)));
+  }
+
+  Status Expect(Tok k, Token* out = nullptr) {
+    if (!At(k)) {
+      return Err(StrCat("expected '", TokName(k), "'"));
+    }
+    Token t = Take();
+    if (out != nullptr) {
+      *out = std::move(t);
+    }
+    return Status::Ok();
+  }
+
+  SrcLoc Loc() const { return SrcLoc{Cur().line, Cur().col}; }
+
+  // --- Top-level declarations ---------------------------------------------
+
+  Status TopLevel() {
+    switch (Cur().kind) {
+      case Tok::kKwEnum:
+        return EnumDeclTop();
+      case Tok::kKwExtern:
+        return ExternDeclTop();
+      case Tok::kKwLanguage:
+        return LanguageDeclTop();
+      case Tok::kKwCompiler:
+        return CompilerDeclTop();
+      case Tok::kKwInterpreter:
+        return InterpreterDeclTop();
+      case Tok::kKwFn:
+      case Tok::kKwGenerator:
+        return FunctionDeclTop();
+      default:
+        return Err("expected a top-level declaration");
+    }
+  }
+
+  Status EnumDeclTop() {
+    Take();  // enum
+    Token name;
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &name));
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kLBrace));
+    EnumDecl decl;
+    decl.name = name.text;
+    while (!At(Tok::kRBrace)) {
+      Token member;
+      ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &member));
+      decl.members.push_back(member.text);
+      if (!Eat(Tok::kComma)) {
+        break;
+      }
+    }
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kRBrace));
+    if (module_->types().DeclareEnum(std::move(decl)) == nullptr) {
+      return Status::Error(StrCat("duplicate type name '", name.text, "'"));
+    }
+    return Status::Ok();
+  }
+
+  Status ExternDeclTop() {
+    Take();  // extern
+    if (Eat(Tok::kKwType)) {
+      Token name;
+      ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &name));
+      ICARUS_RETURN_IF_ERROR(Expect(Tok::kSemi));
+      if (module_->types().DeclareOpaque(name.text) == nullptr) {
+        return Status::Error(StrCat("duplicate type name '", name.text, "'"));
+      }
+      return Status::Ok();
+    }
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kKwFn));
+    auto decl = std::make_unique<ExternFnDecl>();
+    decl->loc = Loc();
+    ICARUS_RETURN_IF_ERROR(QualIdent(&decl->name));
+    ICARUS_RETURN_IF_ERROR(ParamList(&decl->params));
+    if (Eat(Tok::kArrow)) {
+      Token ret;
+      ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &ret));
+      decl->return_type_name = ret.text;
+    }
+    while (At(Tok::kKwRequires) || At(Tok::kKwEnsures)) {
+      ContractClause clause;
+      clause.is_requires = Take().kind == Tok::kKwRequires;
+      ICARUS_RETURN_IF_ERROR(ParseExpr(&clause.expr));
+      decl->contracts.push_back(std::move(clause));
+    }
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kSemi));
+    module_->externs.push_back(std::move(decl));
+    return Status::Ok();
+  }
+
+  Status LanguageDeclTop() {
+    Take();  // language
+    Token name;
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &name));
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kLBrace));
+    auto lang = std::make_unique<LanguageDecl>();
+    lang->name = name.text;
+    while (!At(Tok::kRBrace)) {
+      ICARUS_RETURN_IF_ERROR(Expect(Tok::kKwOp));
+      auto op = std::make_unique<OpDecl>();
+      Token op_name;
+      ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &op_name));
+      op->name = op_name.text;
+      ICARUS_RETURN_IF_ERROR(ParamList(&op->params));
+      ICARUS_RETURN_IF_ERROR(Expect(Tok::kSemi));
+      op->language = lang.get();
+      op->index = static_cast<int>(lang->ops.size());
+      if (lang->by_name.count(op->name) != 0) {
+        return Status::Error(StrCat("duplicate op '", op->name, "' in language ", lang->name));
+      }
+      lang->by_name[op->name] = op.get();
+      lang->ops.push_back(std::move(op));
+    }
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kRBrace));
+    module_->languages.push_back(std::move(lang));
+    return Status::Ok();
+  }
+
+  Status CompilerDeclTop() {
+    Take();  // compiler
+    auto decl = std::make_unique<CompilerDecl>();
+    Token name;
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &name));
+    decl->name = name.text;
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kColon));
+    Token src;
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &src));
+    decl->source_language_name = src.text;
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kArrow));
+    Token tgt;
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &tgt));
+    decl->target_language_name = tgt.text;
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kLBrace));
+    while (!At(Tok::kRBrace)) {
+      std::unique_ptr<FunctionDecl> cb;
+      ICARUS_RETURN_IF_ERROR(OpCallback(FnKind::kCompilerOp, &cb));
+      decl->op_callbacks.push_back(std::move(cb));
+    }
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kRBrace));
+    module_->compilers.push_back(std::move(decl));
+    return Status::Ok();
+  }
+
+  Status InterpreterDeclTop() {
+    Take();  // interpreter
+    auto decl = std::make_unique<InterpreterDecl>();
+    Token name;
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &name));
+    decl->name = name.text;
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kColon));
+    Token lang;
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &lang));
+    decl->language_name = lang.text;
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kLBrace));
+    while (!At(Tok::kRBrace)) {
+      std::unique_ptr<FunctionDecl> cb;
+      ICARUS_RETURN_IF_ERROR(OpCallback(FnKind::kInterpOp, &cb));
+      decl->op_callbacks.push_back(std::move(cb));
+    }
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kRBrace));
+    module_->interpreters.push_back(std::move(decl));
+    return Status::Ok();
+  }
+
+  // `op Name(params) { body }` inside a compiler/interpreter block.
+  Status OpCallback(FnKind kind, std::unique_ptr<FunctionDecl>* out) {
+    size_t start_offset = Cur().offset;
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kKwOp));
+    auto fn = std::make_unique<FunctionDecl>();
+    fn->fn_kind = kind;
+    fn->loc = Loc();
+    Token name;
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &name));
+    fn->name = name.text;
+    ICARUS_RETURN_IF_ERROR(ParamList(&fn->params));
+    size_t end_offset = 0;
+    ICARUS_RETURN_IF_ERROR(Block(&fn->body, &end_offset));
+    fn->source_text = std::string(source_.substr(start_offset, end_offset - start_offset));
+    *out = std::move(fn);
+    return Status::Ok();
+  }
+
+  Status FunctionDeclTop() {
+    size_t start_offset = Cur().offset;
+    bool is_generator = Cur().kind == Tok::kKwGenerator;
+    Take();  // fn / generator
+    auto fn = std::make_unique<FunctionDecl>();
+    fn->fn_kind = is_generator ? FnKind::kGenerator : FnKind::kHelper;
+    fn->loc = Loc();
+    ICARUS_RETURN_IF_ERROR(QualIdent(&fn->name));
+    ICARUS_RETURN_IF_ERROR(ParamList(&fn->params));
+    if (Eat(Tok::kArrow)) {
+      Token ret;
+      ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &ret));
+      fn->return_type_name = ret.text;
+    }
+    if (Eat(Tok::kKwEmits)) {
+      Token lang;
+      ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &lang));
+      fn->emits_language_name = lang.text;
+    }
+    if (is_generator && fn->return_type_name.empty()) {
+      fn->return_type_name = "AttachDecision";
+    }
+    size_t end_offset = 0;
+    ICARUS_RETURN_IF_ERROR(Block(&fn->body, &end_offset));
+    fn->source_text = std::string(source_.substr(start_offset, end_offset - start_offset));
+    module_->functions.push_back(std::move(fn));
+    return Status::Ok();
+  }
+
+  // --- Shared pieces -------------------------------------------------------
+
+  Status QualIdent(std::string* out) {
+    Token first;
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &first));
+    *out = first.text;
+    while (At(Tok::kColonColon)) {
+      Take();
+      Token next;
+      ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &next));
+      out->append("::");
+      out->append(next.text);
+    }
+    return Status::Ok();
+  }
+
+  Status ParamList(std::vector<Param>* out) {
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kLParen));
+    while (!At(Tok::kRParen)) {
+      Param p;
+      if (Eat(Tok::kKwLabel)) {
+        p.is_label = true;
+        Token name;
+        ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &name));
+        p.name = name.text;
+        // Optional `: Lang` annotation, accepted and ignored (the target
+        // language of a label is implied by its context).
+        if (Eat(Tok::kColon)) {
+          Token lang;
+          ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &lang));
+        }
+      } else {
+        Token name;
+        ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &name));
+        p.name = name.text;
+        ICARUS_RETURN_IF_ERROR(Expect(Tok::kColon));
+        Token type;
+        ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &type));
+        p.type_name = type.text;
+      }
+      out->push_back(std::move(p));
+      if (!Eat(Tok::kComma)) {
+        break;
+      }
+    }
+    return Expect(Tok::kRParen);
+  }
+
+  // Parses `{ stmt* }`. `end_offset` (optional) receives the offset just
+  // past the closing brace.
+  Status Block(std::vector<StmtPtr>* out, size_t* end_offset = nullptr) {
+    ICARUS_RETURN_IF_ERROR(Expect(Tok::kLBrace));
+    while (!At(Tok::kRBrace)) {
+      StmtPtr stmt;
+      ICARUS_RETURN_IF_ERROR(Statement(&stmt));
+      out->push_back(std::move(stmt));
+    }
+    if (end_offset != nullptr) {
+      *end_offset = Cur().offset + 1;  // '}' is one byte.
+    }
+    return Expect(Tok::kRBrace);
+  }
+
+  // --- Statements ----------------------------------------------------------
+
+  Status Statement(StmtPtr* out) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->loc = Loc();
+    switch (Cur().kind) {
+      case Tok::kKwLet: {
+        Take();
+        stmt->kind = StmtKind::kLet;
+        Token name;
+        ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &name));
+        stmt->name = name.text;
+        if (Eat(Tok::kColon)) {
+          Token type;
+          ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &type));
+          stmt->type_name = type.text;
+        }
+        ICARUS_RETURN_IF_ERROR(Expect(Tok::kAssign));
+        ICARUS_RETURN_IF_ERROR(ParseExpr(&stmt->expr));
+        ICARUS_RETURN_IF_ERROR(Expect(Tok::kSemi));
+        break;
+      }
+      case Tok::kKwIf: {
+        Take();
+        stmt->kind = StmtKind::kIf;
+        ICARUS_RETURN_IF_ERROR(ParseExpr(&stmt->expr));
+        ICARUS_RETURN_IF_ERROR(Block(&stmt->then_block));
+        if (Eat(Tok::kKwElse)) {
+          if (At(Tok::kKwIf)) {
+            StmtPtr nested;
+            ICARUS_RETURN_IF_ERROR(Statement(&nested));
+            stmt->else_block.push_back(std::move(nested));
+          } else {
+            ICARUS_RETURN_IF_ERROR(Block(&stmt->else_block));
+          }
+        }
+        break;
+      }
+      case Tok::kKwAssert:
+      case Tok::kKwAssume: {
+        stmt->kind = Take().kind == Tok::kKwAssert ? StmtKind::kAssert : StmtKind::kAssume;
+        ICARUS_RETURN_IF_ERROR(ParseExpr(&stmt->expr));
+        ICARUS_RETURN_IF_ERROR(Expect(Tok::kSemi));
+        break;
+      }
+      case Tok::kKwEmit: {
+        Take();
+        stmt->kind = StmtKind::kEmit;
+        ICARUS_RETURN_IF_ERROR(QualIdent(&stmt->emit_callee));
+        ICARUS_RETURN_IF_ERROR(Expect(Tok::kLParen));
+        while (!At(Tok::kRParen)) {
+          ExprPtr arg;
+          ICARUS_RETURN_IF_ERROR(ParseExpr(&arg));
+          stmt->args.push_back(std::move(arg));
+          if (!Eat(Tok::kComma)) {
+            break;
+          }
+        }
+        ICARUS_RETURN_IF_ERROR(Expect(Tok::kRParen));
+        ICARUS_RETURN_IF_ERROR(Expect(Tok::kSemi));
+        break;
+      }
+      case Tok::kKwLabel: {
+        Take();
+        stmt->kind = StmtKind::kLabelDecl;
+        Token name;
+        ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &name));
+        stmt->name = name.text;
+        if (Eat(Tok::kColon)) {
+          Token lang;
+          ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &lang));
+        }
+        ICARUS_RETURN_IF_ERROR(Expect(Tok::kSemi));
+        break;
+      }
+      case Tok::kKwBind:
+      case Tok::kKwGoto:
+      case Tok::kKwFailure: {
+        Tok k = Take().kind;
+        stmt->kind = k == Tok::kKwBind    ? StmtKind::kBind
+                     : k == Tok::kKwGoto  ? StmtKind::kGoto
+                                          : StmtKind::kFailureLabel;
+        Token name;
+        ICARUS_RETURN_IF_ERROR(Expect(Tok::kIdent, &name));
+        stmt->name = name.text;
+        ICARUS_RETURN_IF_ERROR(Expect(Tok::kSemi));
+        break;
+      }
+      case Tok::kKwReturn: {
+        Take();
+        stmt->kind = StmtKind::kReturn;
+        if (!At(Tok::kSemi)) {
+          ICARUS_RETURN_IF_ERROR(ParseExpr(&stmt->expr));
+        }
+        ICARUS_RETURN_IF_ERROR(Expect(Tok::kSemi));
+        break;
+      }
+      default: {
+        // Either `x = expr;` or an expression statement.
+        if (At(Tok::kIdent) && Ahead(1).kind == Tok::kAssign) {
+          stmt->kind = StmtKind::kAssign;
+          stmt->name = Take().text;
+          Take();  // '='
+          ICARUS_RETURN_IF_ERROR(ParseExpr(&stmt->expr));
+          ICARUS_RETURN_IF_ERROR(Expect(Tok::kSemi));
+        } else {
+          stmt->kind = StmtKind::kExprStmt;
+          ICARUS_RETURN_IF_ERROR(ParseExpr(&stmt->expr));
+          ICARUS_RETURN_IF_ERROR(Expect(Tok::kSemi));
+        }
+        break;
+      }
+    }
+    *out = std::move(stmt);
+    return Status::Ok();
+  }
+
+  // --- Expressions ---------------------------------------------------------
+
+  Status ParseExpr(ExprPtr* out) { return OrExpr(out); }
+
+  using SubParser = Status (ParserImpl::*)(ExprPtr*);
+
+  Status BinaryLevel(ExprPtr* out, SubParser next,
+                     std::initializer_list<std::pair<Tok, BinOp>> ops) {
+    ICARUS_RETURN_IF_ERROR((this->*next)(out));
+    while (true) {
+      bool matched = false;
+      for (const auto& [tok, op] : ops) {
+        if (At(tok)) {
+          SrcLoc loc = Loc();
+          Take();
+          ExprPtr rhs;
+          ICARUS_RETURN_IF_ERROR((this->*next)(&rhs));
+          auto bin = std::make_unique<Expr>();
+          bin->kind = ExprKind::kBinary;
+          bin->loc = loc;
+          bin->bin_op = op;
+          bin->args.push_back(std::move(*out));
+          bin->args.push_back(std::move(rhs));
+          *out = std::move(bin);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        return Status::Ok();
+      }
+    }
+  }
+
+  Status OrExpr(ExprPtr* out) {
+    return BinaryLevel(out, &ParserImpl::AndExpr, {{Tok::kOrOr, BinOp::kLOr}});
+  }
+  Status AndExpr(ExprPtr* out) {
+    return BinaryLevel(out, &ParserImpl::BitOrExpr, {{Tok::kAndAnd, BinOp::kLAnd}});
+  }
+  Status BitOrExpr(ExprPtr* out) {
+    return BinaryLevel(out, &ParserImpl::BitXorExpr, {{Tok::kPipe, BinOp::kBitOr}});
+  }
+  Status BitXorExpr(ExprPtr* out) {
+    return BinaryLevel(out, &ParserImpl::BitAndExpr, {{Tok::kCaret, BinOp::kBitXor}});
+  }
+  Status BitAndExpr(ExprPtr* out) {
+    return BinaryLevel(out, &ParserImpl::EqExpr, {{Tok::kAmp, BinOp::kBitAnd}});
+  }
+  Status EqExpr(ExprPtr* out) {
+    return BinaryLevel(out, &ParserImpl::RelExpr,
+                       {{Tok::kEqEq, BinOp::kEq}, {Tok::kNe, BinOp::kNe}});
+  }
+  Status RelExpr(ExprPtr* out) {
+    return BinaryLevel(out, &ParserImpl::ShiftExpr,
+                       {{Tok::kLt, BinOp::kLt},
+                        {Tok::kLe, BinOp::kLe},
+                        {Tok::kGt, BinOp::kGt},
+                        {Tok::kGe, BinOp::kGe}});
+  }
+  Status ShiftExpr(ExprPtr* out) {
+    return BinaryLevel(out, &ParserImpl::AddExpr,
+                       {{Tok::kShl, BinOp::kShl}, {Tok::kShr, BinOp::kShr}});
+  }
+  Status AddExpr(ExprPtr* out) {
+    return BinaryLevel(out, &ParserImpl::MulExpr,
+                       {{Tok::kPlus, BinOp::kAdd}, {Tok::kMinus, BinOp::kSub}});
+  }
+  Status MulExpr(ExprPtr* out) {
+    return BinaryLevel(out, &ParserImpl::UnaryExpr,
+                       {{Tok::kStar, BinOp::kMul},
+                        {Tok::kSlash, BinOp::kDiv},
+                        {Tok::kPercent, BinOp::kMod}});
+  }
+
+  Status UnaryExpr(ExprPtr* out) {
+    if (At(Tok::kBang) || At(Tok::kMinus)) {
+      auto expr = std::make_unique<Expr>();
+      expr->kind = ExprKind::kUnary;
+      expr->loc = Loc();
+      expr->un_op = Take().kind == Tok::kBang ? UnOp::kNot : UnOp::kNeg;
+      ExprPtr operand;
+      ICARUS_RETURN_IF_ERROR(UnaryExpr(&operand));
+      expr->args.push_back(std::move(operand));
+      *out = std::move(expr);
+      return Status::Ok();
+    }
+    return PrimaryExpr(out);
+  }
+
+  Status PrimaryExpr(ExprPtr* out) {
+    auto expr = std::make_unique<Expr>();
+    expr->loc = Loc();
+    switch (Cur().kind) {
+      case Tok::kIntLit:
+        expr->kind = ExprKind::kIntLit;
+        expr->int_val = Take().int_val;
+        break;
+      case Tok::kKwTrue:
+      case Tok::kKwFalse:
+        expr->kind = ExprKind::kBoolLit;
+        expr->bool_val = Take().kind == Tok::kKwTrue;
+        break;
+      case Tok::kLParen: {
+        Take();
+        ExprPtr inner;
+        ICARUS_RETURN_IF_ERROR(ParseExpr(&inner));
+        ICARUS_RETURN_IF_ERROR(Expect(Tok::kRParen));
+        *out = std::move(inner);
+        return Status::Ok();
+      }
+      case Tok::kIdent: {
+        std::string name;
+        ICARUS_RETURN_IF_ERROR(QualIdent(&name));
+        if (At(Tok::kLParen)) {
+          expr->kind = ExprKind::kCall;
+          expr->name = std::move(name);
+          Take();  // '('
+          while (!At(Tok::kRParen)) {
+            ExprPtr arg;
+            ICARUS_RETURN_IF_ERROR(ParseExpr(&arg));
+            expr->args.push_back(std::move(arg));
+            if (!Eat(Tok::kComma)) {
+              break;
+            }
+          }
+          ICARUS_RETURN_IF_ERROR(Expect(Tok::kRParen));
+        } else if (Contains(name, "::")) {
+          // Qualified non-call: an enum literal like Condition::Equal.
+          expr->kind = ExprKind::kEnumLit;
+          expr->name = std::move(name);
+        } else {
+          expr->kind = ExprKind::kVar;
+          expr->name = std::move(name);
+        }
+        break;
+      }
+      default:
+        return Err("expected an expression");
+    }
+    *out = std::move(expr);
+    return Status::Ok();
+  }
+
+  Module* module_;
+  std::string_view source_;
+  std::vector<Token> tokens_;
+  size_t idx_ = 0;
+};
+
+}  // namespace
+
+Status Parser::ParseInto(Module* module, std::string_view source) {
+  ParserImpl impl(module, source);
+  return impl.Run();
+}
+
+}  // namespace icarus::ast

@@ -1,0 +1,199 @@
+#include "src/ast/printer.h"
+
+#include "src/support/check.h"
+#include "src/support/str_util.h"
+
+namespace icarus::ast {
+
+namespace {
+
+const char* BinOpText(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kBitAnd: return "&";
+    case BinOp::kBitOr: return "|";
+    case BinOp::kBitXor: return "^";
+    case BinOp::kShl: return "<<";
+    case BinOp::kShr: return ">>";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kLAnd: return "&&";
+    case BinOp::kLOr: return "||";
+  }
+  return "?";
+}
+
+std::string PrintParams(const std::vector<Param>& params) {
+  std::vector<std::string> parts;
+  parts.reserve(params.size());
+  for (const Param& p : params) {
+    if (p.is_label) {
+      parts.push_back(StrCat("label ", p.name));
+    } else {
+      parts.push_back(StrCat(p.name, ": ", p.type_name));
+    }
+  }
+  return Join(parts, ", ");
+}
+
+std::string PrintBlock(const std::vector<StmtPtr>& block, int indent) {
+  std::string out = "{\n";
+  for (const StmtPtr& stmt : block) {
+    out += PrintStmt(*stmt, indent + 2);
+  }
+  out += std::string(static_cast<size_t>(indent), ' ');
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string PrintExpr(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kIntLit:
+      return StrCat(expr.int_val);
+    case ExprKind::kBoolLit:
+      return expr.bool_val ? "true" : "false";
+    case ExprKind::kEnumLit:
+    case ExprKind::kVar:
+      return expr.name;
+    case ExprKind::kCall: {
+      std::vector<std::string> args;
+      args.reserve(expr.args.size());
+      for (const ExprPtr& a : expr.args) {
+        args.push_back(PrintExpr(*a));
+      }
+      return StrCat(expr.name, "(", Join(args, ", "), ")");
+    }
+    case ExprKind::kUnary:
+      return StrCat(expr.un_op == UnOp::kNot ? "!" : "-", PrintExpr(*expr.args[0]));
+    case ExprKind::kBinary:
+      return StrCat("(", PrintExpr(*expr.args[0]), " ", BinOpText(expr.bin_op), " ",
+                    PrintExpr(*expr.args[1]), ")");
+  }
+  ICARUS_UNREACHABLE("expr kind");
+}
+
+std::string PrintStmt(const Stmt& stmt, int indent) {
+  std::string pad(static_cast<size_t>(indent), ' ');
+  switch (stmt.kind) {
+    case StmtKind::kLet:
+      return StrCat(pad, "let ", stmt.name,
+                    stmt.type_name.empty() ? "" : StrCat(": ", stmt.type_name), " = ",
+                    PrintExpr(*stmt.expr), ";\n");
+    case StmtKind::kAssign:
+      return StrCat(pad, stmt.name, " = ", PrintExpr(*stmt.expr), ";\n");
+    case StmtKind::kIf: {
+      std::string out = StrCat(pad, "if ", PrintExpr(*stmt.expr), " ",
+                               PrintBlock(stmt.then_block, indent));
+      if (!stmt.else_block.empty()) {
+        out += StrCat(" else ", PrintBlock(stmt.else_block, indent));
+      }
+      out += "\n";
+      return out;
+    }
+    case StmtKind::kAssert:
+      return StrCat(pad, "assert ", PrintExpr(*stmt.expr), ";\n");
+    case StmtKind::kAssume:
+      return StrCat(pad, "assume ", PrintExpr(*stmt.expr), ";\n");
+    case StmtKind::kEmit: {
+      std::vector<std::string> args;
+      args.reserve(stmt.args.size());
+      for (const ExprPtr& a : stmt.args) {
+        args.push_back(PrintExpr(*a));
+      }
+      return StrCat(pad, "emit ", stmt.emit_callee, "(", Join(args, ", "), ");\n");
+    }
+    case StmtKind::kLabelDecl:
+      return StrCat(pad, "label ", stmt.name, ";\n");
+    case StmtKind::kBind:
+      return StrCat(pad, "bind ", stmt.name, ";\n");
+    case StmtKind::kGoto:
+      return StrCat(pad, "goto ", stmt.name, ";\n");
+    case StmtKind::kFailureLabel:
+      return StrCat(pad, "failure ", stmt.name, ";\n");
+    case StmtKind::kReturn:
+      return stmt.expr == nullptr ? StrCat(pad, "return;\n")
+                                  : StrCat(pad, "return ", PrintExpr(*stmt.expr), ";\n");
+    case StmtKind::kExprStmt:
+      return StrCat(pad, PrintExpr(*stmt.expr), ";\n");
+  }
+  ICARUS_UNREACHABLE("stmt kind");
+}
+
+std::string PrintFunction(const FunctionDecl& fn) {
+  std::string head;
+  switch (fn.fn_kind) {
+    case FnKind::kGenerator:
+      head = StrCat("generator ", fn.name);
+      break;
+    case FnKind::kHelper:
+      head = StrCat("fn ", fn.name);
+      break;
+    case FnKind::kCompilerOp:
+    case FnKind::kInterpOp:
+      head = StrCat("op ", fn.name);
+      break;
+  }
+  head += StrCat("(", PrintParams(fn.params), ")");
+  if (!fn.return_type_name.empty() && fn.fn_kind != FnKind::kGenerator) {
+    head += StrCat(" -> ", fn.return_type_name);
+  }
+  if (!fn.emits_language_name.empty()) {
+    head += StrCat(" emits ", fn.emits_language_name);
+  }
+  return StrCat(head, " ", PrintBlock(fn.body, 0), "\n");
+}
+
+std::string PrintOpSignature(const OpDecl& op) {
+  return StrCat("op ", op.name, "(", PrintParams(op.params), ");");
+}
+
+std::string PrintLanguage(const LanguageDecl& lang) {
+  std::string out = StrCat("language ", lang.name, " {\n");
+  for (const auto& op : lang.ops) {
+    out += StrCat("  ", PrintOpSignature(*op), "\n");
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string PrintModule(const Module& module) {
+  std::string out;
+  for (const auto& lang : module.languages) {
+    out += PrintLanguage(*lang);
+    out += "\n";
+  }
+  for (const auto& comp : module.compilers) {
+    out += StrCat("compiler ", comp->name, " : ", comp->source_language_name, " -> ",
+                  comp->target_language_name, " {\n");
+    for (const auto& cb : comp->op_callbacks) {
+      out += Indent(PrintFunction(*cb), 2);
+      out += "\n";
+    }
+    out += "}\n\n";
+  }
+  for (const auto& interp : module.interpreters) {
+    out += StrCat("interpreter ", interp->name, " : ", interp->language_name, " {\n");
+    for (const auto& cb : interp->op_callbacks) {
+      out += Indent(PrintFunction(*cb), 2);
+      out += "\n";
+    }
+    out += "}\n\n";
+  }
+  for (const auto& fn : module.functions) {
+    out += PrintFunction(*fn);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace icarus::ast

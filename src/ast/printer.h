@@ -1,0 +1,23 @@
+// Pretty-printer: renders AST back to Icarus surface syntax.
+//
+// Used for parser round-trip tests, diagnostics in verifier reports, and the
+// per-generator LoC accounting in the Figure 12 reproduction.
+#ifndef ICARUS_AST_PRINTER_H_
+#define ICARUS_AST_PRINTER_H_
+
+#include <string>
+
+#include "src/ast/ast.h"
+
+namespace icarus::ast {
+
+std::string PrintExpr(const Expr& expr);
+std::string PrintStmt(const Stmt& stmt, int indent = 0);
+std::string PrintFunction(const FunctionDecl& fn);
+std::string PrintOpSignature(const OpDecl& op);
+std::string PrintLanguage(const LanguageDecl& lang);
+std::string PrintModule(const Module& module);
+
+}  // namespace icarus::ast
+
+#endif  // ICARUS_AST_PRINTER_H_

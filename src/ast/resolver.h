@@ -1,0 +1,29 @@
+// Name resolution and type checking for the Icarus DSL.
+//
+// Runs after all source chunks are parsed into a Module. Responsibilities:
+//   - bind type names, language references, op signatures, function and
+//     extern signatures;
+//   - bind compiler/interpreter op callbacks to their `language` ops
+//     (signatures must match);
+//   - resolve every expression (variable slots, callees, enum literals) and
+//     check types;
+//   - enforce the label discipline from §3.2 of the paper: labels are
+//     second-class (no storing/returning), `goto` only inside interpreter
+//     callbacks, locally-declared labels have exactly one textual `bind`,
+//     and label arguments may only flow into `label` parameters;
+//   - reject recursion (the CFA construction requires a non-recursive call
+//     graph, §5 of the paper).
+#ifndef ICARUS_AST_RESOLVER_H_
+#define ICARUS_AST_RESOLVER_H_
+
+#include "src/ast/ast.h"
+#include "src/support/status.h"
+
+namespace icarus::ast {
+
+// Resolves the whole module in place. Any error aborts resolution.
+Status Resolve(Module* module);
+
+}  // namespace icarus::ast
+
+#endif  // ICARUS_AST_RESOLVER_H_

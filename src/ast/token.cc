@@ -1,0 +1,69 @@
+#include "src/ast/token.h"
+
+namespace icarus::ast {
+
+const char* TokName(Tok t) {
+  switch (t) {
+    case Tok::kEof: return "<eof>";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kLParen: return "(";
+    case Tok::kRParen: return ")";
+    case Tok::kLBrace: return "{";
+    case Tok::kRBrace: return "}";
+    case Tok::kComma: return ",";
+    case Tok::kSemi: return ";";
+    case Tok::kColon: return ":";
+    case Tok::kColonColon: return "::";
+    case Tok::kArrow: return "->";
+    case Tok::kAssign: return "=";
+    case Tok::kEqEq: return "==";
+    case Tok::kNe: return "!=";
+    case Tok::kLt: return "<";
+    case Tok::kLe: return "<=";
+    case Tok::kGt: return ">";
+    case Tok::kGe: return ">=";
+    case Tok::kAndAnd: return "&&";
+    case Tok::kOrOr: return "||";
+    case Tok::kBang: return "!";
+    case Tok::kPlus: return "+";
+    case Tok::kMinus: return "-";
+    case Tok::kStar: return "*";
+    case Tok::kSlash: return "/";
+    case Tok::kPercent: return "%";
+    case Tok::kAmp: return "&";
+    case Tok::kPipe: return "|";
+    case Tok::kCaret: return "^";
+    case Tok::kShl: return "<<";
+    case Tok::kShr: return ">>";
+    case Tok::kKwLanguage: return "language";
+    case Tok::kKwOp: return "op";
+    case Tok::kKwEnum: return "enum";
+    case Tok::kKwExtern: return "extern";
+    case Tok::kKwType: return "type";
+    case Tok::kKwFn: return "fn";
+    case Tok::kKwCompiler: return "compiler";
+    case Tok::kKwInterpreter: return "interpreter";
+    case Tok::kKwGenerator: return "generator";
+    case Tok::kKwEmits: return "emits";
+    case Tok::kKwEmit: return "emit";
+    case Tok::kKwLet: return "let";
+    case Tok::kKwIf: return "if";
+    case Tok::kKwElse: return "else";
+    case Tok::kKwAssert: return "assert";
+    case Tok::kKwAssume: return "assume";
+    case Tok::kKwLabel: return "label";
+    case Tok::kKwBind: return "bind";
+    case Tok::kKwGoto: return "goto";
+    case Tok::kKwFailure: return "failure";
+    case Tok::kKwReturn: return "return";
+    case Tok::kKwTrue: return "true";
+    case Tok::kKwFalse: return "false";
+    case Tok::kKwRequires: return "requires";
+    case Tok::kKwEnsures: return "ensures";
+    case Tok::kError: return "<error>";
+  }
+  return "<?>";
+}
+
+}  // namespace icarus::ast

@@ -1,0 +1,44 @@
+// Token definitions for the Icarus DSL lexer.
+#ifndef ICARUS_AST_TOKEN_H_
+#define ICARUS_AST_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace icarus::ast {
+
+enum class Tok {
+  kEof,
+  kIdent,
+  kIntLit,
+  // Punctuation.
+  kLParen, kRParen, kLBrace, kRBrace,
+  kComma, kSemi, kColon, kColonColon, kArrow,
+  kAssign,
+  // Operators.
+  kEqEq, kNe, kLt, kLe, kGt, kGe,
+  kAndAnd, kOrOr, kBang,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kShl, kShr,
+  // Keywords.
+  kKwLanguage, kKwOp, kKwEnum, kKwExtern, kKwType, kKwFn, kKwCompiler,
+  kKwInterpreter, kKwGenerator, kKwEmits, kKwEmit, kKwLet, kKwIf, kKwElse,
+  kKwAssert, kKwAssume, kKwLabel, kKwBind, kKwGoto, kKwFailure, kKwReturn,
+  kKwTrue, kKwFalse, kKwRequires, kKwEnsures,
+  kError,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;    // Identifier spelling / error message.
+  int64_t int_val = 0;
+  int line = 1;
+  int col = 1;
+  size_t offset = 0;   // Byte offset of the token start in the source.
+};
+
+const char* TokName(Tok t);
+
+}  // namespace icarus::ast
+
+#endif  // ICARUS_AST_TOKEN_H_

@@ -1,0 +1,67 @@
+#include "src/ast/type.h"
+
+#include "src/support/check.h"
+
+namespace icarus::ast {
+
+std::string Type::ToString() const { return name_; }
+
+TypeTable::TypeTable() {
+  void_ = MakePrimitive(TypeKind::kVoid, "Void");
+  bool_ = MakePrimitive(TypeKind::kBool, "Bool");
+  int32_ = MakePrimitive(TypeKind::kInt32, "Int32");
+  int64_ = MakePrimitive(TypeKind::kInt64, "Int64");
+  double_ = MakePrimitive(TypeKind::kDouble, "Double");
+  label_ = MakePrimitive(TypeKind::kLabel, "label");
+}
+
+const Type* TypeTable::MakePrimitive(TypeKind kind, const std::string& name) {
+  auto t = std::make_unique<Type>();
+  t->kind_ = kind;
+  t->name_ = name;
+  const Type* ref = t.get();
+  types_.push_back(std::move(t));
+  by_name_[name] = ref;
+  return ref;
+}
+
+const Type* TypeTable::DeclareEnum(EnumDecl decl) {
+  if (by_name_.count(decl.name) != 0) {
+    return nullptr;
+  }
+  enums_.push_back(std::make_unique<EnumDecl>(std::move(decl)));
+  const EnumDecl* ed = enums_.back().get();
+  auto t = std::make_unique<Type>();
+  t->kind_ = TypeKind::kEnum;
+  t->enum_decl_ = ed;
+  t->name_ = ed->name;
+  const Type* ref = t.get();
+  types_.push_back(std::move(t));
+  by_name_[ed->name] = ref;
+  return ref;
+}
+
+const Type* TypeTable::DeclareOpaque(const std::string& name) {
+  if (by_name_.count(name) != 0) {
+    return nullptr;
+  }
+  auto t = std::make_unique<Type>();
+  t->kind_ = TypeKind::kOpaque;
+  t->name_ = name;
+  const Type* ref = t.get();
+  types_.push_back(std::move(t));
+  by_name_[name] = ref;
+  return ref;
+}
+
+const Type* TypeTable::Lookup(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+const EnumDecl* TypeTable::LookupEnum(const std::string& name) const {
+  const Type* t = Lookup(name);
+  return (t != nullptr && t->kind() == TypeKind::kEnum) ? t->enum_decl() : nullptr;
+}
+
+}  // namespace icarus::ast

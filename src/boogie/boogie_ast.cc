@@ -1,0 +1,82 @@
+#include "src/boogie/boogie_ast.h"
+
+namespace icarus::boogie {
+
+ExprPtr Expr::Int(int64_t v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kIntLit;
+  e->int_val = v;
+  return e;
+}
+
+ExprPtr Expr::Bool(bool v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBoolLit;
+  e->bool_val = v;
+  return e;
+}
+
+ExprPtr Expr::Var(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kVar;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::App(std::string fn, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kApp;
+  e->name = std::move(fn);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::Unary(std::string op, ExprPtr a) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kUnary;
+  e->op = std::move(op);
+  e->args.push_back(std::move(a));
+  return e;
+}
+
+ExprPtr Expr::Binary(std::string op, ExprPtr a, ExprPtr b) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->op = std::move(op);
+  e->args.push_back(std::move(a));
+  e->args.push_back(std::move(b));
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->int_val = int_val;
+  e->bool_val = bool_val;
+  e->name = name;
+  e->op = op;
+  for (const ExprPtr& a : args) {
+    e->args.push_back(a->Clone());
+  }
+  return e;
+}
+
+ProcedureDecl* Program::FindProcedure(const std::string& name) {
+  for (auto& p : procedures) {
+    if (p->name == name) {
+      return p.get();
+    }
+  }
+  return nullptr;
+}
+
+const ProcedureDecl* Program::FindProcedure(const std::string& name) const {
+  for (const auto& p : procedures) {
+    if (p->name == name) {
+      return p.get();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace icarus::boogie

@@ -1,0 +1,133 @@
+// A compact Boogie-2 AST: the subset the Icarus backend emits (type decls,
+// constants, globals, uninterpreted functions, procedures with contracts,
+// structured if plus label/goto blocks). The paper implements "a separate
+// library for parsing, printing, and optimizing Boogie code (e.g., dead-code
+// elimination)" and releases the DCE pass as a standalone component; this
+// module is that library.
+#ifndef ICARUS_BOOGIE_BOOGIE_AST_H_
+#define ICARUS_BOOGIE_BOOGIE_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace icarus::boogie {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { kIntLit, kBoolLit, kVar, kApp, kUnary, kBinary };
+  Kind kind = Kind::kIntLit;
+  int64_t int_val = 0;
+  bool bool_val = false;
+  std::string name;  // kVar / kApp symbol.
+  std::string op;    // kUnary ("!", "-") / kBinary ("+", "==", "&&", ...).
+  std::vector<ExprPtr> args;
+
+  static ExprPtr Int(int64_t v);
+  static ExprPtr Bool(bool v);
+  static ExprPtr Var(std::string name);
+  static ExprPtr App(std::string fn, std::vector<ExprPtr> args);
+  static ExprPtr Unary(std::string op, ExprPtr a);
+  static ExprPtr Binary(std::string op, ExprPtr a, ExprPtr b);
+  ExprPtr Clone() const;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind {
+    kAssert,
+    kAssume,
+    kAssign,   // target := expr;
+    kHavoc,    // havoc target;
+    kCall,     // call [lhs... :=] callee(args...);
+    kGoto,     // goto l1, l2, ...;
+    kLabel,    // name:
+    kReturn,
+    kIf,       // if (expr) { ... } else { ... }
+  };
+  Kind kind = Kind::kAssert;
+  ExprPtr expr;
+  std::string target;                 // kAssign / kHavoc / kLabel name.
+  std::string callee;                 // kCall.
+  std::vector<std::string> call_lhs;  // kCall result targets.
+  std::vector<ExprPtr> args;          // kCall arguments.
+  std::vector<std::string> goto_targets;
+  std::vector<StmtPtr> then_block;
+  std::vector<StmtPtr> else_block;
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+struct TypedName {
+  std::string name;
+  std::string type;  // "int", "bool", or a declared type name.
+};
+
+struct TypeDecl {
+  std::string name;
+};
+
+struct ConstDecl {
+  std::string name;
+  std::string type;
+  bool unique = false;
+};
+
+struct GlobalDecl {
+  std::string name;
+  std::string type;
+};
+
+struct FunctionDecl {  // Uninterpreted function.
+  std::string name;
+  std::vector<TypedName> params;
+  std::string return_type;
+};
+
+struct AxiomDecl {
+  ExprPtr expr;
+};
+
+struct ProcedureDecl {
+  std::string name;
+  bool entrypoint = false;  // Printed as {:entrypoint}.
+  std::vector<TypedName> params;
+  std::vector<TypedName> returns;
+  std::vector<std::string> modifies;
+  std::vector<ExprPtr> requires_clauses;
+  std::vector<ExprPtr> ensures_clauses;
+  bool has_body = false;
+  std::vector<TypedName> locals;
+  std::vector<StmtPtr> body;
+};
+
+struct Program {
+  std::vector<TypeDecl> types;
+  std::vector<ConstDecl> constants;
+  std::vector<GlobalDecl> globals;
+  std::vector<FunctionDecl> functions;
+  std::vector<AxiomDecl> axioms;
+  std::vector<std::unique_ptr<ProcedureDecl>> procedures;
+
+  ProcedureDecl* FindProcedure(const std::string& name);
+  const ProcedureDecl* FindProcedure(const std::string& name) const;
+};
+
+}  // namespace icarus::boogie
+
+#endif  // ICARUS_BOOGIE_BOOGIE_AST_H_

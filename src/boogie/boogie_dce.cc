@@ -1,0 +1,191 @@
+#include "src/boogie/boogie_dce.h"
+
+#include <algorithm>
+#include <set>
+
+namespace icarus::boogie {
+
+namespace {
+
+// Collects every identifier occurring in an expression (variables and
+// applied function symbols).
+void CollectExprSymbols(const Expr& expr, std::set<std::string>* out) {
+  if (expr.kind == Expr::Kind::kVar || expr.kind == Expr::Kind::kApp) {
+    out->insert(expr.name);
+  }
+  for (const ExprPtr& a : expr.args) {
+    CollectExprSymbols(*a, out);
+  }
+}
+
+void CollectStmtSymbols(const Stmt& stmt, std::set<std::string>* symbols,
+                        std::set<std::string>* callees) {
+  if (stmt.expr != nullptr) {
+    CollectExprSymbols(*stmt.expr, symbols);
+  }
+  for (const ExprPtr& a : stmt.args) {
+    CollectExprSymbols(*a, symbols);
+  }
+  if (!stmt.target.empty()) {
+    symbols->insert(stmt.target);
+  }
+  for (const std::string& lhs : stmt.call_lhs) {
+    symbols->insert(lhs);
+  }
+  if (stmt.kind == Stmt::Kind::kCall) {
+    callees->insert(stmt.callee);
+  }
+  for (const StmtPtr& s : stmt.then_block) {
+    CollectStmtSymbols(*s, symbols, callees);
+  }
+  for (const StmtPtr& s : stmt.else_block) {
+    CollectStmtSymbols(*s, symbols, callees);
+  }
+}
+
+void CollectProcedureRefs(const ProcedureDecl& proc, std::set<std::string>* symbols,
+                          std::set<std::string>* callees, std::set<std::string>* types) {
+  for (const TypedName& p : proc.params) {
+    types->insert(p.type);
+  }
+  for (const TypedName& r : proc.returns) {
+    types->insert(r.type);
+  }
+  for (const TypedName& l : proc.locals) {
+    types->insert(l.type);
+  }
+  for (const std::string& m : proc.modifies) {
+    symbols->insert(m);
+  }
+  for (const ExprPtr& e : proc.requires_clauses) {
+    CollectExprSymbols(*e, symbols);
+  }
+  for (const ExprPtr& e : proc.ensures_clauses) {
+    CollectExprSymbols(*e, symbols);
+  }
+  for (const StmtPtr& s : proc.body) {
+    CollectStmtSymbols(*s, symbols, callees);
+  }
+}
+
+}  // namespace
+
+DceStats DeadCodeElim(Program* program, const std::vector<std::string>& roots) {
+  // Seed the worklist with roots (explicit, or {:entrypoint} procedures).
+  std::set<std::string> live_procs;
+  std::vector<const ProcedureDecl*> worklist;
+  for (const auto& proc : program->procedures) {
+    bool is_root = roots.empty() ? proc->entrypoint
+                                 : std::find(roots.begin(), roots.end(), proc->name) !=
+                                       roots.end();
+    if (is_root) {
+      live_procs.insert(proc->name);
+      worklist.push_back(proc.get());
+    }
+  }
+
+  std::set<std::string> live_symbols;  // Functions, globals, constants, locals.
+  std::set<std::string> live_types;
+  while (!worklist.empty()) {
+    const ProcedureDecl* proc = worklist.back();
+    worklist.pop_back();
+    std::set<std::string> callees;
+    CollectProcedureRefs(*proc, &live_symbols, &callees, &live_types);
+    for (const std::string& callee : callees) {
+      if (live_procs.insert(callee).second) {
+        const ProcedureDecl* target = program->FindProcedure(callee);
+        if (target != nullptr) {
+          worklist.push_back(target);
+        }
+      }
+    }
+  }
+
+  // Functions referenced by live symbols; their signatures keep types live.
+  for (const FunctionDecl& f : program->functions) {
+    if (live_symbols.count(f.name) != 0) {
+      for (const TypedName& p : f.params) {
+        live_types.insert(p.type);
+      }
+      live_types.insert(f.return_type);
+    }
+  }
+  for (const ConstDecl& c : program->constants) {
+    if (live_symbols.count(c.name) != 0) {
+      live_types.insert(c.type);
+    }
+  }
+  for (const GlobalDecl& g : program->globals) {
+    if (live_symbols.count(g.name) != 0) {
+      live_types.insert(g.type);
+    }
+  }
+
+  DceStats stats;
+  // An axiom survives iff all symbols it constrains survive.
+  std::vector<AxiomDecl> kept_axioms;
+  for (AxiomDecl& a : program->axioms) {
+    std::set<std::string> mentioned;
+    CollectExprSymbols(*a.expr, &mentioned);
+    bool keep = true;
+    for (const std::string& sym : mentioned) {
+      bool is_decl =
+          std::any_of(program->functions.begin(), program->functions.end(),
+                      [&](const FunctionDecl& f) { return f.name == sym; }) ||
+          std::any_of(program->constants.begin(), program->constants.end(),
+                      [&](const ConstDecl& c) { return c.name == sym; }) ||
+          std::any_of(program->globals.begin(), program->globals.end(),
+                      [&](const GlobalDecl& g) { return g.name == sym; });
+      if (is_decl && live_symbols.count(sym) == 0) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) {
+      // The axiom's symbols stay live.
+      for (const std::string& sym : mentioned) {
+        live_symbols.insert(sym);
+      }
+      kept_axioms.push_back(std::move(a));
+    } else {
+      ++stats.axioms_removed;
+    }
+  }
+  program->axioms = std::move(kept_axioms);
+
+  auto prune = [&](auto& decls, auto name_of, int* removed) {
+    for (size_t i = 0; i < decls.size();) {
+      if (live_symbols.count(name_of(decls[i])) == 0) {
+        decls.erase(decls.begin() + static_cast<long>(i));
+        ++(*removed);
+      } else {
+        ++i;
+      }
+    }
+  };
+  prune(program->functions, [](const FunctionDecl& f) { return f.name; },
+        &stats.functions_removed);
+  prune(program->globals, [](const GlobalDecl& g) { return g.name; }, &stats.globals_removed);
+  prune(program->constants, [](const ConstDecl& c) { return c.name; },
+        &stats.constants_removed);
+
+  for (size_t i = 0; i < program->procedures.size();) {
+    if (live_procs.count(program->procedures[i]->name) == 0) {
+      program->procedures.erase(program->procedures.begin() + static_cast<long>(i));
+      ++stats.procedures_removed;
+    } else {
+      ++i;
+    }
+  }
+  for (size_t i = 0; i < program->types.size();) {
+    if (live_types.count(program->types[i].name) == 0) {
+      program->types.erase(program->types.begin() + static_cast<long>(i));
+      ++stats.types_removed;
+    } else {
+      ++i;
+    }
+  }
+  return stats;
+}
+
+}  // namespace icarus::boogie

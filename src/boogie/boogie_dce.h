@@ -1,0 +1,36 @@
+// Dead-code elimination for Boogie programs: removes every declaration not
+// reachable from the entrypoint procedures (or an explicit root set). This
+// is the "custom Boogie dead-code elimination pass (which we make available
+// as a standalone open-source component)" of §5 — it is what cuts the JIT
+// stack down to the minimal vertical slice needed to verify one generator.
+#ifndef ICARUS_BOOGIE_BOOGIE_DCE_H_
+#define ICARUS_BOOGIE_BOOGIE_DCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/boogie/boogie_ast.h"
+
+namespace icarus::boogie {
+
+struct DceStats {
+  int procedures_removed = 0;
+  int functions_removed = 0;
+  int globals_removed = 0;
+  int constants_removed = 0;
+  int axioms_removed = 0;
+  int types_removed = 0;
+  int TotalRemoved() const {
+    return procedures_removed + functions_removed + globals_removed + constants_removed +
+           axioms_removed + types_removed;
+  }
+};
+
+// Removes declarations unreachable from `roots` (procedure names); when
+// `roots` is empty, the {:entrypoint}-attributed procedures are the roots.
+// Axioms survive only if every symbol they mention survives.
+DceStats DeadCodeElim(Program* program, const std::vector<std::string>& roots = {});
+
+}  // namespace icarus::boogie
+
+#endif  // ICARUS_BOOGIE_BOOGIE_DCE_H_

@@ -1,0 +1,42 @@
+// Lowers an Icarus platform + meta-stub to a Boogie program with the
+// structure of the paper's Figures 3–6: the generator and compiler become
+// procedures that append to an instruction buffer, extern contracts become
+// procedure requires/ensures, and the interpreter phase is emitted as the
+// CFA-optimized goto structure (one labeled block per automaton node, with
+// `goto` edges following the automaton).
+//
+// In the paper this output is fed to Corral; here the meta-executor verifies
+// natively and the Boogie program is the interoperable artifact — it prints,
+// re-parses, and slices (DCE) with the library in this directory.
+#ifndef ICARUS_BOOGIE_BOOGIE_LOWER_H_
+#define ICARUS_BOOGIE_BOOGIE_LOWER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/boogie/boogie_ast.h"
+#include "src/cfa/cfa.h"
+#include "src/meta/meta_executor.h"
+#include "src/support/status.h"
+
+namespace icarus::boogie {
+
+struct LowerOptions {
+  // Names of externs implemented by the host (machine builtins); they lower
+  // to body-less procedures over the abstract $machine state rather than to
+  // uninterpreted functions.
+  std::vector<std::string> host_externs;
+};
+
+// Lowers the whole module. One {:entrypoint} verification procedure is
+// produced per generator; `automaton` drives the interpret procedure's
+// block structure for `stub`'s generator.
+StatusOr<std::unique_ptr<Program>> LowerToBoogie(const ast::Module& module,
+                                                 const meta::MetaStub& stub,
+                                                 const cfa::Cfa& automaton,
+                                                 const LowerOptions& options);
+
+}  // namespace icarus::boogie
+
+#endif  // ICARUS_BOOGIE_BOOGIE_LOWER_H_

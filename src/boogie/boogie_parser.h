@@ -1,0 +1,20 @@
+// Parser for the Boogie-2 subset the backend emits. Primarily used to
+// validate the generated programs (print → parse → print fixpoint) and to
+// make the dead-code-elimination pass usable on standalone .bpl text, the
+// way the paper ships it.
+#ifndef ICARUS_BOOGIE_BOOGIE_PARSER_H_
+#define ICARUS_BOOGIE_BOOGIE_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/boogie/boogie_ast.h"
+#include "src/support/status.h"
+
+namespace icarus::boogie {
+
+StatusOr<std::unique_ptr<Program>> ParseProgram(std::string_view source);
+
+}  // namespace icarus::boogie
+
+#endif  // ICARUS_BOOGIE_BOOGIE_PARSER_H_

@@ -1,0 +1,167 @@
+#include "src/boogie/boogie_printer.h"
+
+#include "src/support/check.h"
+#include "src/support/str_util.h"
+
+namespace icarus::boogie {
+
+namespace {
+
+std::string PrintTypedNames(const std::vector<TypedName>& names) {
+  std::vector<std::string> parts;
+  parts.reserve(names.size());
+  for (const TypedName& n : names) {
+    parts.push_back(StrCat(n.name, ": ", n.type));
+  }
+  return Join(parts, ", ");
+}
+
+std::string PrintBlock(const std::vector<StmtPtr>& block, int indent) {
+  std::string out;
+  for (const StmtPtr& stmt : block) {
+    out += PrintStmt(*stmt, indent);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PrintExpr(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kIntLit:
+      return StrCat(expr.int_val);
+    case Expr::Kind::kBoolLit:
+      return expr.bool_val ? "true" : "false";
+    case Expr::Kind::kVar:
+      return expr.name;
+    case Expr::Kind::kApp: {
+      std::vector<std::string> args;
+      args.reserve(expr.args.size());
+      for (const ExprPtr& a : expr.args) {
+        args.push_back(PrintExpr(*a));
+      }
+      return StrCat(expr.name, "(", Join(args, ", "), ")");
+    }
+    case Expr::Kind::kUnary:
+      return StrCat(expr.op, PrintExpr(*expr.args[0]));
+    case Expr::Kind::kBinary:
+      return StrCat("(", PrintExpr(*expr.args[0]), " ", expr.op, " ",
+                    PrintExpr(*expr.args[1]), ")");
+  }
+  ICARUS_UNREACHABLE("boogie expr kind");
+}
+
+std::string PrintStmt(const Stmt& stmt, int indent) {
+  std::string pad(static_cast<size_t>(indent), ' ');
+  switch (stmt.kind) {
+    case Stmt::Kind::kAssert:
+      return StrCat(pad, "assert ", PrintExpr(*stmt.expr), ";\n");
+    case Stmt::Kind::kAssume:
+      return StrCat(pad, "assume ", PrintExpr(*stmt.expr), ";\n");
+    case Stmt::Kind::kAssign:
+      return StrCat(pad, stmt.target, " := ", PrintExpr(*stmt.expr), ";\n");
+    case Stmt::Kind::kHavoc:
+      return StrCat(pad, "havoc ", stmt.target, ";\n");
+    case Stmt::Kind::kCall: {
+      std::vector<std::string> args;
+      args.reserve(stmt.args.size());
+      for (const ExprPtr& a : stmt.args) {
+        args.push_back(PrintExpr(*a));
+      }
+      std::string lhs =
+          stmt.call_lhs.empty() ? "" : StrCat(Join(stmt.call_lhs, ", "), " := ");
+      return StrCat(pad, "call ", lhs, stmt.callee, "(", Join(args, ", "), ");\n");
+    }
+    case Stmt::Kind::kGoto:
+      return StrCat(pad, "goto ", Join(stmt.goto_targets, ", "), ";\n");
+    case Stmt::Kind::kLabel:
+      return StrCat(std::string(static_cast<size_t>(indent > 2 ? indent - 2 : 0), ' '),
+                    stmt.target, ":\n");
+    case Stmt::Kind::kReturn:
+      return StrCat(pad, "return;\n");
+    case Stmt::Kind::kIf: {
+      std::string out = StrCat(pad, "if (", PrintExpr(*stmt.expr), ") {\n",
+                               PrintBlock(stmt.then_block, indent + 2), pad, "}");
+      if (!stmt.else_block.empty()) {
+        out += StrCat(" else {\n", PrintBlock(stmt.else_block, indent + 2), pad, "}");
+      }
+      out += "\n";
+      return out;
+    }
+  }
+  ICARUS_UNREACHABLE("boogie stmt kind");
+}
+
+std::string PrintProcedure(const ProcedureDecl& proc) {
+  std::string out = "procedure ";
+  if (proc.entrypoint) {
+    out += "{:entrypoint} ";
+  }
+  out += StrCat(proc.name, "(", PrintTypedNames(proc.params), ")");
+  if (!proc.returns.empty()) {
+    out += StrCat(" returns (", PrintTypedNames(proc.returns), ")");
+  }
+  out += "\n";
+  for (const std::string& m : proc.modifies) {
+    out += StrCat("  modifies ", m, ";\n");
+  }
+  for (const ExprPtr& r : proc.requires_clauses) {
+    out += StrCat("  requires ", PrintExpr(*r), ";\n");
+  }
+  for (const ExprPtr& e : proc.ensures_clauses) {
+    out += StrCat("  ensures ", PrintExpr(*e), ";\n");
+  }
+  if (!proc.has_body) {
+    out += ";\n";
+    return out;
+  }
+  out += "{\n";
+  for (const TypedName& local : proc.locals) {
+    out += StrCat("  var ", local.name, ": ", local.type, ";\n");
+  }
+  out += PrintBlock(proc.body, 2);
+  out += "}\n";
+  return out;
+}
+
+std::string PrintProgram(const Program& program) {
+  std::string out;
+  for (const TypeDecl& t : program.types) {
+    out += StrCat("type ", t.name, ";\n");
+  }
+  if (!program.types.empty()) {
+    out += "\n";
+  }
+  for (const ConstDecl& c : program.constants) {
+    out += StrCat("const ", c.unique ? "unique " : "", c.name, ": ", c.type, ";\n");
+  }
+  if (!program.constants.empty()) {
+    out += "\n";
+  }
+  for (const GlobalDecl& g : program.globals) {
+    out += StrCat("var ", g.name, ": ", g.type, ";\n");
+  }
+  if (!program.globals.empty()) {
+    out += "\n";
+  }
+  for (const FunctionDecl& f : program.functions) {
+    out += StrCat("function ", f.name, "(", PrintTypedNames(f.params), "): ", f.return_type,
+                  ";\n");
+  }
+  if (!program.functions.empty()) {
+    out += "\n";
+  }
+  for (const AxiomDecl& a : program.axioms) {
+    out += StrCat("axiom ", PrintExpr(*a.expr), ";\n");
+  }
+  if (!program.axioms.empty()) {
+    out += "\n";
+  }
+  for (const auto& p : program.procedures) {
+    out += PrintProcedure(*p);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace icarus::boogie

@@ -1,0 +1,18 @@
+// Renders the Boogie AST to Boogie-2 concrete syntax.
+#ifndef ICARUS_BOOGIE_BOOGIE_PRINTER_H_
+#define ICARUS_BOOGIE_BOOGIE_PRINTER_H_
+
+#include <string>
+
+#include "src/boogie/boogie_ast.h"
+
+namespace icarus::boogie {
+
+std::string PrintExpr(const Expr& expr);
+std::string PrintStmt(const Stmt& stmt, int indent);
+std::string PrintProcedure(const ProcedureDecl& proc);
+std::string PrintProgram(const Program& program);
+
+}  // namespace icarus::boogie
+
+#endif  // ICARUS_BOOGIE_BOOGIE_PRINTER_H_

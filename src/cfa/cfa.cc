@@ -1,0 +1,243 @@
+#include "src/cfa/cfa.h"
+
+#include <algorithm>
+
+#include "src/support/str_util.h"
+
+namespace icarus::cfa {
+
+int Cfa::NodeFor(const ast::OpDecl* op, const ast::Stmt* emit_site, int source_index,
+                 const ast::OpDecl* source_op) {
+  auto key = std::make_pair(emit_site, source_index);
+  auto it = by_site_.find(key);
+  if (it != by_site_.end()) {
+    return it->second;
+  }
+  Node node;
+  node.id = static_cast<int>(nodes_.size());
+  node.op = op;
+  node.emit_site = emit_site;
+  node.source_op = source_op;
+  nodes_.push_back(node);
+  by_site_[key] = node.id;
+  return node.id;
+}
+
+std::vector<int> Cfa::Successors(int node) const {
+  std::vector<int> out;
+  for (const auto& [from, to] : edges_) {
+    if (from == node) {
+      out.push_back(to);
+    }
+  }
+  return out;
+}
+
+int64_t Cfa::CountPaths(int max_len, int64_t cap) const {
+  // DP over (node, remaining length): number of op sequences from `node`
+  // that reach an exit within the budget. Saturating arithmetic.
+  auto sat_add = [cap](int64_t a, int64_t b) { return std::min(cap, a + b); };
+  size_t n = nodes_.size();
+  // reach[l][v] = sequences of length <= l starting at node v ending in exit.
+  std::vector<int64_t> prev(n, 0);
+  std::vector<int64_t> cur(n, 0);
+  for (int l = 1; l <= max_len; ++l) {
+    for (size_t v = 0; v < n; ++v) {
+      int64_t total = 0;
+      for (int succ : Successors(static_cast<int>(v))) {
+        if (succ == kExit || succ == kFailure) {
+          total = sat_add(total, 1);
+        } else if (succ >= 0) {
+          total = sat_add(total, prev[static_cast<size_t>(succ)]);
+        }
+      }
+      cur[static_cast<size_t>(v)] = total;
+    }
+    prev = cur;
+  }
+  int64_t total = 0;
+  for (int succ : Successors(kEntry)) {
+    if (succ == kExit || succ == kFailure) {
+      total = sat_add(total, 1);
+    } else if (succ >= 0) {
+      total = sat_add(total, prev[static_cast<size_t>(succ)]);
+    }
+  }
+  return total;
+}
+
+std::string Cfa::ToDot() const {
+  std::string out = "digraph cfa {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  out += "  entry [shape=circle, label=\"\"];\n";
+  out += "  exit [shape=doublecircle, label=\"exit\"];\n";
+  out += "  failure [shape=doublecircle, label=\"fail\"];\n";
+  // Group nodes by their source (CacheIR) op, like Figure 6's purple boxes.
+  std::map<const ast::OpDecl*, std::vector<const Node*>> groups;
+  for (const Node& node : nodes_) {
+    groups[node.source_op].push_back(&node);
+  }
+  int cluster = 0;
+  for (const auto& [source_op, members] : groups) {
+    if (source_op != nullptr) {
+      out += StrCat("  subgraph cluster_", cluster++, " {\n    label=\"", source_op->name,
+                    "\";\n    style=rounded;\n");
+    }
+    for (const Node* node : members) {
+      out += StrCat(source_op != nullptr ? "    " : "  ", "n", node->id, " [label=\"",
+                    node->op->name, "\"];\n");
+    }
+    if (source_op != nullptr) {
+      out += "  }\n";
+    }
+  }
+  auto name_of = [](int id) -> std::string {
+    if (id == kEntry) {
+      return "entry";
+    }
+    if (id == kExit) {
+      return "exit";
+    }
+    if (id == kFailure) {
+      return "failure";
+    }
+    return StrCat("n", id);
+  };
+  for (const auto& [from, to] : edges_) {
+    out += StrCat("  ", name_of(from), " -> ", name_of(to), ";\n");
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string Cfa::Summary() const {
+  return StrFormat("CFA: %d nodes, %d edges, %lld paths (len<=32)", num_nodes(), num_edges(),
+                   static_cast<long long>(CountPaths(32, 1000000)));
+}
+
+StatusOr<Cfa> CfaBuilder::Build(const meta::MetaStub& stub) {
+  Cfa cfa;
+  // Which target ops can end the stub (their interpreter callback reaches
+  // MASM::returnFromStub)?
+  auto op_can_return = [&](const ast::OpDecl* op) {
+    const ast::FunctionDecl* cb = stub.interpreter->FindCallback(op);
+    if (cb == nullptr) {
+      return false;
+    }
+    bool found = false;
+    auto walk_expr = [&](auto&& self, const ast::Expr* e) -> void {
+      if (e == nullptr || found) {
+        return;
+      }
+      if (e->kind == ast::ExprKind::kCall && e->callee_ext != nullptr &&
+          e->callee_ext->name == "MASM::returnFromStub") {
+        found = true;
+        return;
+      }
+      for (const ast::ExprPtr& a : e->args) {
+        self(self, a.get());
+      }
+    };
+    auto walk_block = [&](auto&& self, const std::vector<ast::StmtPtr>& block) -> void {
+      for (const ast::StmtPtr& stmt : block) {
+        walk_expr(walk_expr, stmt->expr.get());
+        for (const ast::ExprPtr& a : stmt->args) {
+          walk_expr(walk_expr, a.get());
+        }
+        self(self, stmt->then_block);
+        self(self, stmt->else_block);
+      }
+    };
+    walk_block(walk_block, cb->body);
+    return found;
+  };
+
+  sym::ExprPool pool;
+  std::vector<std::vector<bool>> worklist;
+  worklist.push_back({});
+  int paths = 0;
+  constexpr int kMaxAbstractPaths = 100000;
+
+  while (!worklist.empty()) {
+    if (++paths > kMaxAbstractPaths) {
+      return Status::Error("abstract path budget exhausted while building the CFA");
+    }
+    std::vector<bool> trace = std::move(worklist.back());
+    worklist.pop_back();
+
+    exec::EvalContext ctx(module_, &pool, externs_, exec::Mode::kSymbolic);
+    ctx.StartPath(std::move(trace));
+    ctx.set_abstract_mode(true);
+    ctx.set_source_emit_hook(
+        [&stub](exec::EvalContext& hook_ctx, const exec::Instr& instr) -> Status {
+          const ast::FunctionDecl* cb = stub.compiler->FindCallback(instr.op);
+          if (cb == nullptr) {
+            return Status::Error(
+                StrCat("no compiler callback for source op ", instr.op->name));
+          }
+          exec::Evaluator::RunFunction(hook_ctx, cb, instr.args);
+          return Status::Ok();
+        });
+
+    std::vector<exec::Value> args;
+    Status input_status = stub.inputs(ctx, &args);
+    if (!input_status.ok()) {
+      return input_status;
+    }
+    exec::Value decision;
+    if (ctx.status() == exec::PathStatus::kCompleted) {
+      decision = exec::Evaluator::RunFunction(ctx, stub.generator, std::move(args));
+    }
+    for (const std::vector<bool>& alt : ctx.pending_alternatives()) {
+      worklist.push_back(alt);
+    }
+    if (ctx.status() != exec::PathStatus::kCompleted || decision.term == nullptr ||
+        decision.term->kind != sym::Kind::kConstInt ||
+        decision.term->value != stub.attach_index) {
+      continue;  // No stub attached on this abstract path.
+    }
+
+    // Fold this path's buffer and label structure into the automaton.
+    const exec::EmitState& emits = ctx.emits();
+    int buffer_size = static_cast<int>(emits.target.size());
+    std::vector<int> node_at(static_cast<size_t>(buffer_size));
+    for (int i = 0; i < buffer_size; ++i) {
+      const exec::Instr& instr = emits.target[static_cast<size_t>(i)];
+      node_at[static_cast<size_t>(i)] =
+          cfa.NodeFor(instr.op, instr.emit_site, instr.source_index, instr.source_op);
+    }
+    for (int i = 0; i < buffer_size; ++i) {
+      const exec::Instr& instr = emits.target[static_cast<size_t>(i)];
+      int node = node_at[static_cast<size_t>(i)];
+      if (i == 0) {
+        cfa.AddEdge(kEntry, node);
+      }
+      if (op_can_return(instr.op)) {
+        cfa.AddEdge(node, kExit);
+      } else if (i + 1 < buffer_size) {
+        cfa.AddEdge(node, node_at[static_cast<size_t>(i) + 1]);
+      } else {
+        cfa.AddEdge(node, kExit);
+      }
+      // Jump edges via label operands.
+      for (const exec::Value& arg : instr.args) {
+        if (!arg.IsLabel()) {
+          continue;
+        }
+        const exec::LabelInfo& label = emits.labels[static_cast<size_t>(arg.label_id)];
+        if (label.is_failure) {
+          cfa.AddEdge(node, kFailure);
+        } else if (label.target >= buffer_size) {
+          cfa.AddEdge(node, kExit);
+        } else if (label.target >= 0) {
+          cfa.AddEdge(node, node_at[static_cast<size_t>(label.target)]);
+        }
+      }
+    }
+    if (buffer_size == 0) {
+      cfa.AddEdge(kEntry, kExit);
+    }
+  }
+  return cfa;
+}
+
+}  // namespace icarus::cfa

@@ -1,0 +1,314 @@
+// The Icarus evaluator: executes DSL functions either symbolically (for
+// verification) or concretely (for differential testing and the mini-JS VM).
+//
+// Path exploration uses deterministic re-execution with a decision trace:
+// each run of a function follows a recorded list of branch decisions; when
+// execution reaches a branch beyond the end of the trace, it takes the
+// `true` arm, appends that decision, and registers the `false` alternative
+// with the owner's worklist. The meta-executor re-runs from scratch per
+// pending trace. Programs are small and loop-free, so re-execution is cheap
+// and forking needs no state snapshotting.
+//
+// Responsibilities split:
+//   - Evaluator/EvalContext (this file): statement & expression semantics,
+//     path condition management, assert/assume, extern contract application,
+//     emit bookkeeping, label discipline.
+//   - machine::MachineState: register/stack model mutated by host builtins.
+//   - meta::MetaExecutor: drives generator phase + interpreter phase and the
+//     path worklist (the "meta-stub" of the paper).
+#ifndef ICARUS_EXEC_EVALUATOR_H_
+#define ICARUS_EXEC_EVALUATOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/machine/machine_state.h"
+#include "src/support/status.h"
+#include "src/sym/expr.h"
+#include "src/sym/solver.h"
+
+namespace icarus::exec {
+
+// ---------------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------------
+
+struct Value {
+  const ast::Type* type = nullptr;
+  sym::ExprRef term = nullptr;
+  int label_id = -1;
+
+  bool IsLabel() const { return label_id >= 0; }
+  bool IsVoid() const { return type != nullptr && type->kind() == ast::TypeKind::kVoid; }
+
+  static Value Label(const ast::Type* label_type, int id) {
+    Value v;
+    v.type = label_type;
+    v.label_id = id;
+    return v;
+  }
+  static Value Of(const ast::Type* type, sym::ExprRef term) {
+    Value v;
+    v.type = type;
+    v.term = term;
+    return v;
+  }
+  static Value Void(const ast::Type* void_type) {
+    Value v;
+    v.type = void_type;
+    return v;
+  }
+};
+
+// Maps a DSL type to the solver sort its terms live in.
+sym::Sort SortOf(const ast::Type* type);
+
+// ---------------------------------------------------------------------------
+// Emitted code
+// ---------------------------------------------------------------------------
+
+inline constexpr int kLabelUnbound = -1;
+inline constexpr int kLabelFailure = -2;
+
+struct LabelInfo {
+  int target = kLabelUnbound;  // Instruction index, or kLabelFailure.
+  bool is_failure = false;
+  const ast::Stmt* decl_site = nullptr;
+};
+
+struct Instr {
+  const ast::OpDecl* op = nullptr;
+  std::vector<Value> args;
+  const ast::Stmt* emit_site = nullptr;  // Static emit statement (CFA node identity).
+  // For target instructions: the source-language op whose compilation
+  // emitted this (used to group CFA nodes the way Figure 6 does), plus the
+  // index of that source instruction in the trace. The pair (emit_site,
+  // source_index) plays the role of the paper's emitPath: the same compiler
+  // emit statement reached for different source instructions yields distinct
+  // CFA nodes, keeping the automaton acyclic for loop-free generators.
+  const ast::OpDecl* source_op = nullptr;
+  int source_index = -1;
+};
+
+// The per-path instruction buffers and label table.
+class EmitState {
+ public:
+  std::vector<Instr> source_trace;  // Source-language (CacheIR) instructions.
+  std::vector<Instr> target;        // Target-language (MASM) instruction buffer.
+  std::vector<LabelInfo> labels;
+
+  int NewLabel(bool is_failure, const ast::Stmt* decl_site) {
+    LabelInfo info;
+    info.is_failure = is_failure;
+    info.target = is_failure ? kLabelFailure : kLabelUnbound;
+    info.decl_site = decl_site;
+    labels.push_back(info);
+    return static_cast<int>(labels.size()) - 1;
+  }
+
+  // Binds `label_id` to the next target instruction to be emitted.
+  Status Bind(int label_id);
+
+  // All locally-declared labels must be bound by the time the stub is done.
+  Status CheckAllBound() const;
+};
+
+// ---------------------------------------------------------------------------
+// Path outcome
+// ---------------------------------------------------------------------------
+
+enum class PathStatus {
+  kCompleted,   // Ran to completion, all assertions verified on this path.
+  kInfeasible,  // Path condition became unsatisfiable.
+  kViolation,   // An assertion/discipline violation — counterexample found.
+  kLimit,       // Resource limit (step budget / solver unknown).
+};
+
+struct Violation {
+  std::string message;
+  std::string function;
+  int line = 0;
+  std::string model;                // Solver model (symbolic counterexamples).
+  std::vector<std::string> notes;   // Extra context (machine state, buffers).
+};
+
+// ---------------------------------------------------------------------------
+// Extern registry
+// ---------------------------------------------------------------------------
+
+class EvalContext;
+
+using ExternHandler =
+    std::function<StatusOr<Value>(EvalContext&, const std::vector<Value>&)>;
+
+// Host implementations for extern functions. Externs with no handler are
+// treated as pure uninterpreted functions governed by their contracts
+// (symbolic mode only).
+class ExternRegistry {
+ public:
+  void Register(const std::string& name, ExternHandler handler) {
+    handlers_[name] = std::move(handler);
+  }
+  const ExternHandler* Find(const std::string& name) const {
+    auto it = handlers_.find(name);
+    return it == handlers_.end() ? nullptr : &it->second;
+  }
+
+  // Names of all host-bound externs (used by the Boogie backend to decide
+  // which externs lower to machine-state procedures).
+  std::vector<std::string> HostBoundNames() const {
+    std::vector<std::string> names;
+    names.reserve(handlers_.size());
+    for (const auto& [name, handler] : handlers_) {
+      names.push_back(name);
+    }
+    return names;
+  }
+
+ private:
+  std::map<std::string, ExternHandler> handlers_;
+};
+
+// ---------------------------------------------------------------------------
+// Evaluation context (one path)
+// ---------------------------------------------------------------------------
+
+enum class Mode { kSymbolic, kConcrete };
+
+// Called when a generator/helper emits a *source-language* op, after the
+// instruction is recorded; used by the meta-executor to run the compiler
+// callback for the op (the streaming structure of Figure 3).
+using SourceEmitHook =
+    std::function<Status(EvalContext&, const Instr&)>;
+
+class EvalContext {
+ public:
+  EvalContext(const ast::Module* module, sym::ExprPool* pool,
+              const ExternRegistry* externs, Mode mode);
+
+  const ast::Module& module() const { return *module_; }
+  sym::ExprPool& pool() { return *pool_; }
+  Mode mode() const { return mode_; }
+  machine::MachineState& machine() { return machine_; }
+  EmitState& emits() { return emits_; }
+
+  void set_source_emit_hook(SourceEmitHook hook) { source_hook_ = std::move(hook); }
+  const SourceEmitHook& source_hook() const { return source_hook_; }
+
+  // --- Decision trace (owned by the path explorer) ---
+  void StartPath(std::vector<bool> trace) {
+    trace_ = std::move(trace);
+    trace_pos_ = 0;
+    pending_alternatives_.clear();
+    path_condition_.clear();
+    status_ = PathStatus::kCompleted;
+    violation_ = Violation{};
+    steps_ = 0;
+  }
+  const std::vector<bool>& trace() const { return trace_; }
+  // Traces for the sibling branches discovered while running this path.
+  const std::vector<std::vector<bool>>& pending_alternatives() const {
+    return pending_alternatives_;
+  }
+
+  // --- Path condition & checks ---
+  void Assume(sym::ExprRef cond);
+  // True if the current path condition is still satisfiable.
+  bool PathFeasible();
+  // Verifies `cond` holds on all models of the path condition. On failure
+  // records a Violation and flips the path status. Returns false on failure.
+  bool CheckAssert(sym::ExprRef cond, const std::string& what, const std::string& fn,
+                   int line);
+  // Records a concrete (non-symbolic) discipline failure.
+  void FailPath(const std::string& message, const std::string& fn, int line);
+  // Chooses a branch for `cond`: concrete conditions simply evaluate;
+  // symbolic conditions consult/extend the decision trace and update the
+  // path condition. Sets *ok=false if the path should be abandoned.
+  bool DecideBranch(sym::ExprRef cond, bool* ok);
+
+  PathStatus status() const { return status_; }
+  void set_status(PathStatus s) { status_ = s; }
+  const Violation& violation() const { return violation_; }
+  const std::vector<sym::ExprRef>& path_condition() const { return path_condition_; }
+
+  // Step budget guard; returns false (and sets kLimit) when exhausted.
+  bool CountStep();
+
+  // Fresh symbolic constant of the given DSL type, with enum-range
+  // assumptions applied automatically.
+  Value FreshValue(const std::string& prefix, const ast::Type* type);
+
+  // Pretty renderer for violation reports.
+  std::string RenderPathCondition() const;
+
+  // Statistics for benches.
+  int64_t solver_queries() const { return solver_queries_; }
+  int64_t paths_decided() const { return static_cast<int64_t>(trace_.size()); }
+
+  // Opaque user pointer for host bindings (the VM installs its runtime here).
+  void* host_data = nullptr;
+
+  // Set by the MASM::returnFromStub builtin; the interpreter-phase loop in
+  // the meta-executor polls and clears it.
+  bool stub_return_requested = false;
+
+  // Abstract (all-branches) mode, used by the CFA builder: branches explore
+  // both arms regardless of feasibility and assertions are not checked —
+  // only the emit/label structure is observed.
+  void set_abstract_mode(bool on) { abstract_mode_ = on; }
+  bool abstract_mode() const { return abstract_mode_; }
+
+ private:
+  friend class Evaluator;
+
+  const ast::Module* module_;
+  sym::ExprPool* pool_;
+  const ExternRegistry* externs_;
+  Mode mode_;
+  machine::MachineState machine_;
+  EmitState emits_;
+  SourceEmitHook source_hook_;
+
+  std::vector<bool> trace_;
+  size_t trace_pos_ = 0;
+  std::vector<std::vector<bool>> pending_alternatives_;
+  std::vector<sym::ExprRef> path_condition_;
+  PathStatus status_ = PathStatus::kCompleted;
+  Violation violation_;
+  int64_t steps_ = 0;
+  int64_t solver_queries_ = 0;
+  bool abstract_mode_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Evaluator
+// ---------------------------------------------------------------------------
+
+class Evaluator {
+ public:
+  // Runs `fn` with `args` on the context's current path. Returns the
+  // function result (void Value for procedures); any violation/infeasibility
+  // is recorded on the context. If the context status is no longer
+  // kCompleted, the caller should stop and inspect it.
+  static Value RunFunction(EvalContext& ctx, const ast::FunctionDecl* fn,
+                           std::vector<Value> args);
+
+  // Invokes an extern: host handler if registered, otherwise pure
+  // uninterpreted semantics with requires/ensures contracts.
+  static Value CallExtern(EvalContext& ctx, const ast::ExternFnDecl* ext,
+                          std::vector<Value> args);
+
+  // Runs an interpreter callback for one emitted instruction. A `goto`
+  // executed inside the callback is returned through *out_goto_label
+  // (-1 when control falls through).
+  static void RunInterpreterOp(EvalContext& ctx, const ast::FunctionDecl* cb,
+                               const Instr& instr, int* out_goto_label);
+};
+
+}  // namespace icarus::exec
+
+#endif  // ICARUS_EXEC_EVALUATOR_H_

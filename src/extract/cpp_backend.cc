@@ -1,0 +1,381 @@
+#include "src/extract/cpp_backend.h"
+
+#include <map>
+#include <set>
+
+#include "src/support/str_util.h"
+
+namespace icarus::extract {
+
+namespace {
+
+std::string Mangle(const std::string& name) { return ReplaceAll(name, "::", "_"); }
+
+// Generated-code type for a DSL type. Integer DSL values extract as int64_t:
+// the interpreter semantics compute mathematically and range-check at Int32
+// stores, so narrowing would change behaviour.
+std::string CppType(const ast::Type* type) {
+  switch (type->kind()) {
+    case ast::TypeKind::kVoid:
+      return "void";
+    case ast::TypeKind::kBool:
+      return "bool";
+    case ast::TypeKind::kInt32:
+    case ast::TypeKind::kInt64:
+      return "int64_t";
+    case ast::TypeKind::kDouble:
+      return "double";
+    case ast::TypeKind::kEnum:
+      return type->name();
+    case ast::TypeKind::kOpaque:
+      return StrCat("Host::", type->name());
+    case ast::TypeKind::kLabel:
+      return "Label";
+  }
+  ICARUS_UNREACHABLE("cpp type");
+}
+
+const char* BinOpText(ast::BinOp op) {
+  switch (op) {
+    case ast::BinOp::kAdd: return "+";
+    case ast::BinOp::kSub: return "-";
+    case ast::BinOp::kMul: return "*";
+    case ast::BinOp::kDiv: return "/";
+    case ast::BinOp::kMod: return "%";
+    case ast::BinOp::kBitAnd: return "&";
+    case ast::BinOp::kBitOr: return "|";
+    case ast::BinOp::kBitXor: return "^";
+    case ast::BinOp::kShl: return "<<";
+    case ast::BinOp::kShr: return ">>";
+    case ast::BinOp::kEq: return "==";
+    case ast::BinOp::kNe: return "!=";
+    case ast::BinOp::kLt: return "<";
+    case ast::BinOp::kLe: return "<=";
+    case ast::BinOp::kGt: return ">";
+    case ast::BinOp::kGe: return ">=";
+    case ast::BinOp::kLAnd: return "&&";
+    case ast::BinOp::kLOr: return "||";
+  }
+  return "?";
+}
+
+class Generator {
+ public:
+  explicit Generator(const ast::Module& module) : module_(module) {}
+
+  CppExtraction Run() {
+    CppExtraction out;
+    out.header = Header();
+    out.binding_skeleton = BindingSkeleton();
+    return out;
+  }
+
+ private:
+  // --- Expressions ---
+
+  std::string GenExpr(const ast::Expr& expr) {
+    switch (expr.kind) {
+      case ast::ExprKind::kIntLit:
+        return StrCat("INT64_C(", expr.int_val, ")");
+      case ast::ExprKind::kBoolLit:
+        return expr.bool_val ? "true" : "false";
+      case ast::ExprKind::kEnumLit:
+        return ReplaceAll(expr.name, "::", "::k");
+      case ast::ExprKind::kVar:
+        return expr.name;
+      case ast::ExprKind::kUnary:
+        return StrCat(expr.un_op == ast::UnOp::kNot ? "!" : "-", "(",
+                      GenExpr(*expr.args[0]), ")");
+      case ast::ExprKind::kBinary: {
+        // JS-style % on negatives matches C++ % (both truncate); shifts are
+        // performed in 64 bits, mirroring the evaluator's mathematical ints.
+        return StrCat("(", GenExpr(*expr.args[0]), " ", BinOpText(expr.bin_op), " ",
+                      GenExpr(*expr.args[1]), ")");
+      }
+      case ast::ExprKind::kCall: {
+        std::vector<std::string> args;
+        args.reserve(expr.args.size() + 1);
+        if (expr.callee_fn != nullptr) {
+          args.push_back("host");
+          for (const ast::ExprPtr& a : expr.args) {
+            args.push_back(GenExpr(*a));
+          }
+          return StrCat(FnName(*expr.callee_fn), "(", Join(args, ", "), ")");
+        }
+        for (const ast::ExprPtr& a : expr.args) {
+          args.push_back(GenExpr(*a));
+        }
+        return StrCat("host.", Mangle(expr.callee_ext->name), "(", Join(args, ", "), ")");
+      }
+    }
+    ICARUS_UNREACHABLE("expr");
+  }
+
+  // --- Statements ---
+
+  void GenBlock(const std::vector<ast::StmtPtr>& block, int indent, bool in_interp,
+                std::string* out) {
+    std::string pad(static_cast<size_t>(indent), ' ');
+    for (const ast::StmtPtr& stmt : block) {
+      switch (stmt->kind) {
+        case ast::StmtKind::kLet:
+          *out += StrCat(pad, CppType(stmt->decl_type), " ", stmt->name, " = ",
+                         GenExpr(*stmt->expr), ";\n");
+          break;
+        case ast::StmtKind::kAssign:
+          *out += StrCat(pad, stmt->name, " = ", GenExpr(*stmt->expr), ";\n");
+          break;
+        case ast::StmtKind::kIf: {
+          *out += StrCat(pad, "if (", GenExpr(*stmt->expr), ") {\n");
+          GenBlock(stmt->then_block, indent + 2, in_interp, out);
+          if (!stmt->else_block.empty()) {
+            *out += StrCat(pad, "} else {\n");
+            GenBlock(stmt->else_block, indent + 2, in_interp, out);
+          }
+          *out += StrCat(pad, "}\n");
+          break;
+        }
+        case ast::StmtKind::kAssert:
+          *out += StrCat(pad, "ICARUS_EXTRACTED_ASSERT(", GenExpr(*stmt->expr), ");\n");
+          break;
+        case ast::StmtKind::kAssume:
+          *out += StrCat(pad, "ICARUS_EXTRACTED_ASSUME(", GenExpr(*stmt->expr), ");\n");
+          break;
+        case ast::StmtKind::kEmit: {
+          std::vector<std::string> args;
+          args.reserve(stmt->args.size());
+          for (const ast::ExprPtr& a : stmt->args) {
+            args.push_back(GenExpr(*a));
+          }
+          *out += StrCat(pad, "host.emit_", stmt->emit_lang->name, "_", stmt->emit_op->name,
+                         "(", Join(args, ", "), ");\n");
+          break;
+        }
+        case ast::StmtKind::kLabelDecl:
+          *out += StrCat(pad, "Label ", stmt->name, " = host.newLabel();\n");
+          break;
+        case ast::StmtKind::kFailureLabel:
+          *out += StrCat(pad, "Label ", stmt->name, " = host.failureLabel();\n");
+          break;
+        case ast::StmtKind::kBind:
+          *out += StrCat(pad, "host.bindLabel(", stmt->name, ");\n");
+          break;
+        case ast::StmtKind::kGoto:
+          // Interpreter callbacks return the jump target's id; -1 means fall
+          // through to the next instruction.
+          *out += StrCat(pad, "return ", stmt->name, ".id;\n");
+          break;
+        case ast::StmtKind::kReturn:
+          if (stmt->expr != nullptr) {
+            *out += StrCat(pad, "return ", GenExpr(*stmt->expr), ";\n");
+          } else {
+            *out += StrCat(pad, "return", in_interp ? " -1" : "", ";\n");
+          }
+          break;
+        case ast::StmtKind::kExprStmt:
+          *out += StrCat(pad, GenExpr(*stmt->expr), ";\n");
+          break;
+      }
+    }
+  }
+
+  // --- Functions ---
+
+  static std::string FnName(const ast::FunctionDecl& fn) {
+    switch (fn.fn_kind) {
+      case ast::FnKind::kCompilerOp:
+        return StrCat("compile_", fn.compiler->source_language_name, "_", fn.name);
+      case ast::FnKind::kInterpOp:
+        return StrCat("interp_", fn.interpreter->language_name, "_", fn.name);
+      default:
+        return Mangle(fn.name);
+    }
+  }
+
+  std::string Signature(const ast::FunctionDecl& fn) {
+    bool is_interp = fn.fn_kind == ast::FnKind::kInterpOp;
+    std::string ret = is_interp ? "int64_t" : CppType(fn.return_type);
+    std::vector<std::string> params = {"Host& host"};
+    for (const ast::Param& p : fn.params) {
+      params.push_back(StrCat(p.is_label ? "Label" : CppType(p.type), " ", p.name));
+    }
+    return StrCat("inline ", ret, " ", FnName(fn), "(", Join(params, ", "), ")");
+  }
+
+  std::string GenFunction(const ast::FunctionDecl& fn) {
+    bool is_interp = fn.fn_kind == ast::FnKind::kInterpOp;
+    std::string out = Signature(fn) + " {\n";
+    GenBlock(fn.body, 2, is_interp, &out);
+    if (is_interp) {
+      out += "  return -1;\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+  // --- Top-level pieces ---
+
+  std::string Enums() {
+    std::string out;
+    for (const char* name :
+         {"JSValueType", "AttachDecision", "Condition", "ClassKind", "JSOp", "ICMode",
+          "Int32BitOpKind"}) {
+      const ast::EnumDecl* decl = module_.types().LookupEnum(name);
+      if (decl == nullptr) {
+        continue;
+      }
+      std::vector<std::string> members;
+      members.reserve(decl->members.size());
+      for (const std::string& m : decl->members) {
+        members.push_back("k" + m);
+      }
+      out += StrCat("enum class ", decl->name, " : int { ", Join(members, ", "), " };\n");
+    }
+    return out;
+  }
+
+  std::string HostInterface() {
+    std::string out =
+        "// Binding layer (§3.4): the embedder implements every extern the DSL\n"
+        "// code calls, bridging to the real engine's types and runtime.\n"
+        "class Host {\n public:\n  virtual ~Host() = default;\n\n"
+        "  // Opaque engine handles.\n";
+    std::set<std::string> opaque;
+    for (const char* name : {"Value", "Object", "Shape", "String", "Symbol", "BigInt",
+                             "GetterSetter", "PropertyKey", "ValueId", "ObjectId", "Int32Id",
+                             "StringId", "SymbolId", "Reg", "ValueReg"}) {
+      if (module_.types().Lookup(name) != nullptr) {
+        out += StrCat("  using ", name, " = uint64_t;\n");
+        opaque.insert(name);
+      }
+    }
+    out += "\n  // Externs.\n";
+    for (const auto& ext : module_.externs) {
+      std::vector<std::string> params;
+      for (const ast::Param& p : ext->params) {
+        params.push_back(StrCat(HostParamType(p.type), " ", p.name));
+      }
+      out += StrCat("  virtual ", HostParamType(ext->return_type), " ", Mangle(ext->name),
+                    "(", Join(params, ", "), ") = 0;\n");
+    }
+    out += "\n  // Label management and instruction emission.\n";
+    out += "  virtual struct Label newLabel() = 0;\n";
+    out += "  virtual struct Label failureLabel() = 0;\n";
+    out += "  virtual void bindLabel(struct Label label) = 0;\n";
+    for (const auto& lang : module_.languages) {
+      for (const auto& op : lang->ops) {
+        std::vector<std::string> params;
+        for (const ast::Param& p : op->params) {
+          params.push_back(StrCat(p.is_label ? "struct Label" : HostParamType(p.type), " ",
+                                  p.name));
+        }
+        out += StrCat("  virtual void emit_", lang->name, "_", op->name, "(",
+                      Join(params, ", "), ") = 0;\n");
+      }
+    }
+    out += "};\n";
+    return out;
+  }
+
+  // Host method parameter type: like CppType but opaque handles are plain
+  // (the aliases live inside Host).
+  std::string HostParamType(const ast::Type* type) {
+    if (type->kind() == ast::TypeKind::kOpaque) {
+      return type->name();
+    }
+    if (type->kind() == ast::TypeKind::kLabel) {
+      return "struct Label";
+    }
+    return CppType(type);
+  }
+
+  std::string Header() {
+    std::string out =
+        "// GENERATED by the Icarus C++ extraction backend. Do not edit.\n"
+        "//\n"
+        "// Contains: enums mirroring the DSL declarations, the Host binding\n"
+        "// interface, and the verified generator/compiler/interpreter code.\n"
+        "#ifndef ICARUS_EXTRACTED_H_\n#define ICARUS_EXTRACTED_H_\n\n"
+        "#include <cassert>\n#include <cstdint>\n\n"
+        "#ifndef ICARUS_EXTRACTED_ASSERT\n"
+        "#define ICARUS_EXTRACTED_ASSERT(cond) assert(cond)\n"
+        "#endif\n"
+        "#ifndef ICARUS_EXTRACTED_ASSUME\n"
+        "#define ICARUS_EXTRACTED_ASSUME(cond) ((void)0)\n"
+        "#endif\n\n"
+        "namespace icarus_extracted {\n\n"
+        "struct Label { int64_t id; };\n\n";
+    out += Enums();
+    out += "\n";
+    out += HostInterface();
+    out += "\n// --- Forward declarations (the DSL is non-recursive) ---\n";
+    std::vector<const ast::FunctionDecl*> fns;
+    for (const auto& fn : module_.functions) {
+      fns.push_back(fn.get());
+    }
+    for (const auto& comp : module_.compilers) {
+      for (const auto& cb : comp->op_callbacks) {
+        fns.push_back(cb.get());
+      }
+    }
+    for (const auto& interp : module_.interpreters) {
+      for (const auto& cb : interp->op_callbacks) {
+        fns.push_back(cb.get());
+      }
+    }
+    for (const ast::FunctionDecl* fn : fns) {
+      out += Signature(*fn) + ";\n";
+    }
+    out += "\n// --- Definitions ---\n\n";
+    for (const ast::FunctionDecl* fn : fns) {
+      out += GenFunction(*fn);
+      out += "\n";
+    }
+    out += "}  // namespace icarus_extracted\n\n#endif  // ICARUS_EXTRACTED_H_\n";
+    return out;
+  }
+
+  std::string BindingSkeleton() {
+    std::string out =
+        "// GENERATED binding-layer skeleton: a Host whose methods are stubs.\n"
+        "// Replace each body with a bridge into the real engine.\n"
+        "namespace icarus_extracted {\n\n"
+        "class SkeletonHost : public Host {\n public:\n";
+    for (const auto& ext : module_.externs) {
+      std::vector<std::string> params;
+      for (const ast::Param& p : ext->params) {
+        params.push_back(StrCat(HostParamType(p.type), " ", p.name));
+      }
+      std::string ret = HostParamType(ext->return_type);
+      out += StrCat("  ", ret, " ", Mangle(ext->name), "(", Join(params, ", "),
+                    ") override { ", ret == "void" ? "" : StrCat("return ", ret, "{}; "),
+                    "}\n");
+    }
+    out += "  Label newLabel() override { return Label{next_label_++}; }\n";
+    out += "  Label failureLabel() override { return Label{-2}; }\n";
+    out += "  void bindLabel(Label label) override { (void)label; }\n";
+    for (const auto& lang : module_.languages) {
+      for (const auto& op : lang->ops) {
+        std::vector<std::string> params;
+        for (const ast::Param& p : op->params) {
+          params.push_back(StrCat(p.is_label ? "Label" : HostParamType(p.type), " ", p.name));
+        }
+        out += StrCat("  void emit_", lang->name, "_", op->name, "(", Join(params, ", "),
+                      ") override {}\n");
+      }
+    }
+    out += "\n private:\n  int64_t next_label_ = 0;\n};\n\n}  // namespace icarus_extracted\n";
+    return out;
+  }
+
+  const ast::Module& module_;
+};
+
+}  // namespace
+
+StatusOr<CppExtraction> ExtractCpp(const ast::Module& module) {
+  Generator generator(module);
+  return generator.Run();
+}
+
+}  // namespace icarus::extract

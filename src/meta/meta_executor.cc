@@ -1,0 +1,201 @@
+#include "src/meta/meta_executor.h"
+
+#include "src/support/str_util.h"
+#include "src/support/timing.h"
+
+namespace icarus::meta {
+
+namespace {
+
+constexpr int kMaxInterpSteps = 4096;
+
+}  // namespace
+
+std::string MetaResult::Summary() const {
+  std::string out = StrFormat(
+      "%s: %d paths (%d attached, %d infeasible), %lld solver queries, %.3fs",
+      verified ? "VERIFIED" : "VIOLATION", paths_explored, paths_attached, paths_infeasible,
+      static_cast<long long>(solver_queries), seconds);
+  for (const exec::Violation& v : violations) {
+    out += StrCat("\n  violation in ", v.function, " (line ", v.line, "): ", v.message);
+    if (!v.model.empty()) {
+      out += StrCat("\n    model:\n", Indent(v.model, 6));
+    }
+    for (const std::string& note : v.notes) {
+      out += StrCat("\n    ", note);
+    }
+  }
+  return out;
+}
+
+MetaExecutor::MetaExecutor(const ast::Module* module, const exec::ExternRegistry* externs)
+    : module_(module), externs_(externs) {}
+
+bool MetaExecutor::RunInterpreterPhase(exec::EvalContext& ctx, const MetaStub& stub) {
+  using exec::PathStatus;
+  exec::EmitState& emits = ctx.emits();
+  int pc = 0;
+  int steps = 0;
+  bool bailed_out = false;
+  bool returned = false;
+  while (pc < static_cast<int>(emits.target.size())) {
+    if (++steps > kMaxInterpSteps) {
+      ctx.FailPath("interpreter step limit exceeded (runaway stub control flow)",
+                   "<interpreter>", 0);
+      return false;
+    }
+    const exec::Instr& instr = emits.target[static_cast<size_t>(pc)];
+    const ast::FunctionDecl* cb = stub.interpreter->FindCallback(instr.op);
+    if (cb == nullptr) {
+      ctx.FailPath(StrCat("no interpreter semantics for target op ", instr.op->name),
+                   "<interpreter>", 0);
+      return false;
+    }
+    int goto_label = -1;
+    exec::Evaluator::RunInterpreterOp(ctx, cb, instr, &goto_label);
+    if (ctx.status() != PathStatus::kCompleted) {
+      return false;
+    }
+    if (ctx.stub_return_requested) {
+      ctx.stub_return_requested = false;
+      returned = true;
+      break;
+    }
+    if (goto_label >= 0) {
+      const exec::LabelInfo& label = emits.labels[static_cast<size_t>(goto_label)];
+      if (label.is_failure) {
+        bailed_out = true;
+        break;
+      }
+      if (label.target == exec::kLabelUnbound) {
+        ctx.FailPath("jump to an unbound label", "<interpreter>", 0);
+        return false;
+      }
+      pc = label.target;
+      continue;
+    }
+    ++pc;
+  }
+  // Exit invariants (§4.2): the native stack must be balanced and saved
+  // registers restored on *every* exit, including bail-outs.
+  Status stack = ctx.machine().CheckStackBalanced(bailed_out ? "bail-out" : "stub exit");
+  if (!stack.ok()) {
+    ctx.FailPath(stack.message(), "<interpreter>", 0);
+    return false;
+  }
+  // On a successful IC return the output register must hold a boxed Value.
+  if (returned) {
+    StatusOr<machine::RegVal> out = ctx.machine().ReadReg(
+        machine::MachineState::OutputReg(), machine::RegContent::kValue, "stub exit");
+    if (!out.ok()) {
+      ctx.FailPath(out.status().message(), "<interpreter>", 0);
+      return false;
+    }
+  }
+  return true;
+}
+
+MetaResult MetaExecutor::Run(const MetaStub& stub) {
+  using exec::PathStatus;
+  MetaResult result;
+  WallTimer timer;
+  sym::ExprPool pool;
+
+  std::vector<std::vector<bool>> worklist;
+  worklist.push_back({});
+
+  while (!worklist.empty()) {
+    if (result.paths_explored >= limits_.max_paths) {
+      exec::Violation v;
+      v.message = "path budget exhausted";
+      v.function = stub.generator->name;
+      result.violations.push_back(v);
+      break;
+    }
+    std::vector<bool> trace = std::move(worklist.back());
+    worklist.pop_back();
+
+    exec::EvalContext ctx(module_, &pool, externs_, exec::Mode::kSymbolic);
+    ctx.StartPath(std::move(trace));
+    ctx.set_source_emit_hook(
+        [&stub](exec::EvalContext& hook_ctx, const exec::Instr& instr) -> Status {
+          const ast::FunctionDecl* cb = stub.compiler->FindCallback(instr.op);
+          if (cb == nullptr) {
+            return Status::Error(
+                StrCat("no compiler callback for source op ", instr.op->name));
+          }
+          exec::Evaluator::RunFunction(hook_ctx, cb, instr.args);
+          return Status::Ok();
+        });
+
+    ++result.paths_explored;
+
+    // Phase 1: generate.
+    std::vector<exec::Value> args;
+    Status input_status = stub.inputs(ctx, &args);
+    ICARUS_CHECK_MSG(input_status.ok(), input_status.message().c_str());
+    exec::Value decision;
+    if (ctx.status() == PathStatus::kCompleted) {
+      decision = exec::Evaluator::RunFunction(ctx, stub.generator, std::move(args));
+    }
+
+    // Phase 2: interpret (only when a stub was attached).
+    if (ctx.status() == PathStatus::kCompleted) {
+      ICARUS_CHECK(decision.term != nullptr);
+      ICARUS_CHECK_MSG(decision.term->kind == sym::Kind::kConstInt,
+                       "AttachDecision must be path-concrete");
+      if (decision.term->value == stub.attach_index) {
+        ++result.paths_attached;
+        Status bound = ctx.emits().CheckAllBound();
+        if (!bound.ok()) {
+          ctx.FailPath(bound.message(), stub.generator->name, 0);
+        } else {
+          RunInterpreterPhase(ctx, stub);
+        }
+      }
+    }
+
+    // Collect the outcome.
+    switch (ctx.status()) {
+      case PathStatus::kCompleted:
+        break;
+      case PathStatus::kInfeasible:
+        ++result.paths_infeasible;
+        break;
+      case PathStatus::kViolation:
+      case PathStatus::kLimit: {
+        if (static_cast<int>(result.violations.size()) < limits_.max_violations) {
+          exec::Violation v = ctx.violation();
+          // Attach the emitted-stub shape for the report.
+          std::vector<std::string> ops;
+          for (const exec::Instr& i : ctx.emits().source_trace) {
+            ops.push_back(i.op->name);
+          }
+          if (!ops.empty()) {
+            v.notes.push_back(StrCat("stub (source ops): ", Join(ops, " ; ")));
+          }
+          ops.clear();
+          for (const exec::Instr& i : ctx.emits().target) {
+            ops.push_back(i.op->name);
+          }
+          if (!ops.empty()) {
+            v.notes.push_back(StrCat("stub (target ops): ", Join(ops, " ; ")));
+          }
+          result.violations.push_back(std::move(v));
+        }
+        break;
+      }
+    }
+    result.solver_queries += ctx.solver_queries();
+
+    for (const std::vector<bool>& alt : ctx.pending_alternatives()) {
+      worklist.push_back(alt);
+    }
+  }
+
+  result.verified = result.violations.empty();
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace icarus::meta

@@ -1,0 +1,90 @@
+// Symbolic meta-execution (the paper's core technique, §2.3–§2.4).
+//
+// A meta-stub is the composition of (generator, compiler, interpreter,
+// runtime contracts). The MetaExecutor explores every path of the meta-stub:
+//
+//   Phase 1 (generate): symbolically run the IC stub generator; every `emit`
+//   of a source-language op immediately invokes the compiler callback (the
+//   streaming structure of Figure 3), filling the target-language buffer.
+//   Branches on symbolic data fork paths.
+//
+//   Phase 2 (interpret): for each generator path that attached a stub, run
+//   the target interpreter callbacks over the per-path buffer. The op at
+//   each position is *known* on the path — this is exactly the benefit the
+//   CFA optimization buys the paper's Boogie encoding, realized natively
+//   here (the naive `k^n` enumeration is kept in naive_executor.* for the
+//   ablation benchmark).
+//
+// Inputs of the two phases are distinct symbolic constants: the generation-
+// time sample input constrains what the generator *decided* to emit; the
+// run-time input is the adversarial "future value" the guards must protect
+// against. Everything the stub captured at generation time (shape pointers,
+// getter/setter pointers) flows into instruction operands as terms over the
+// generation-time input — which is what makes guard/fast-path mismatches
+// (like bug 1685925) satisfiable counterexamples.
+#ifndef ICARUS_META_META_EXECUTOR_H_
+#define ICARUS_META_META_EXECUTOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/exec/evaluator.h"
+
+namespace icarus::meta {
+
+// Builds the generator's arguments and initializes the machine (operand
+// table + run-time input registers). Returns the argument list.
+using InputBuilder =
+    std::function<Status(exec::EvalContext&, std::vector<exec::Value>*)>;
+
+struct MetaStub {
+  const ast::FunctionDecl* generator = nullptr;
+  const ast::CompilerDecl* compiler = nullptr;
+  const ast::InterpreterDecl* interpreter = nullptr;
+  InputBuilder inputs;
+  // Enum index of AttachDecision::Attach in the module (resolved by setup).
+  int attach_index = 0;
+};
+
+struct MetaResult {
+  bool verified = false;
+  std::vector<exec::Violation> violations;
+  int paths_explored = 0;
+  int paths_infeasible = 0;
+  int paths_attached = 0;  // Paths on which a stub was attached.
+  int64_t solver_queries = 0;
+  double seconds = 0.0;
+  std::string Summary() const;
+};
+
+class MetaExecutor {
+ public:
+  struct Limits {
+    int max_paths = 100000;
+    int max_violations = 16;  // Stop collecting after this many.
+  };
+
+  MetaExecutor(const ast::Module* module, const exec::ExternRegistry* externs);
+
+  void set_limits(const Limits& limits) { limits_ = limits; }
+
+  // Explores all paths of the meta-stub. `verified` is true iff every path
+  // completed with no violations and no resource limits.
+  MetaResult Run(const MetaStub& stub);
+
+  // Runs the interpreter phase over an already-built buffer on the current
+  // context path (also used by the naive executor and differential tests).
+  // Returns false if the path ended with a violation/limit.
+  static bool RunInterpreterPhase(exec::EvalContext& ctx, const MetaStub& stub);
+
+ private:
+  const ast::Module* module_;
+  const exec::ExternRegistry* externs_;
+  Limits limits_;
+};
+
+}  // namespace icarus::meta
+
+#endif  // ICARUS_META_META_EXECUTOR_H_

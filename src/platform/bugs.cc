@@ -1,0 +1,287 @@
+// The six previously-reported CacheIR security bugs of Figure 14, each as a
+// buggy/fixed generator pair. The buggy variants re-introduce the original
+// defect in the same JIT layer the paper attributes it to; the fixed
+// variants apply the SpiderMonkey developers' fix.
+
+#include "src/platform/platform.h"
+
+namespace icarus::platform {
+
+namespace {
+
+// --- 1451976: Truncate Floating Point / CacheIR Compiler / Type Confusion --
+
+constexpr char kBug1451976Buggy[] = R"ICARUS(
+generator bug1451976_buggy(value: Value, valueId: ValueId) emits CacheIR {
+  if !Value::isNumber(value) {
+    return AttachDecision::NoAction;
+  }
+  let resultId = CacheIR::newInt32Id();
+  // The buggy compiler callback truncates without a tag dispatch.
+  emit CacheIR::TruncateDoubleToInt32V0(valueId, resultId);
+  emit CacheIR::LoadInt32Result(resultId);
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+)ICARUS";
+
+constexpr char kBug1451976Fixed[] = R"ICARUS(
+generator bug1451976_fixed(value: Value, valueId: ValueId) emits CacheIR {
+  if !Value::isNumber(value) {
+    return AttachDecision::NoAction;
+  }
+  let resultId = CacheIR::newInt32Id();
+  // Fixed: the compiler dispatches on the tag before truncating.
+  emit CacheIR::TruncateDoubleToInt32(valueId, resultId);
+  emit CacheIR::LoadInt32Result(resultId);
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+)ICARUS";
+
+// --- 1471361: Truncate Floating Point / CacheIR Compiler / Stack ----------
+
+constexpr char kBug1471361Buggy[] = R"ICARUS(
+generator bug1471361_buggy(value: Value, valueId: ValueId) emits CacheIR {
+  if !Value::isNumber(value) {
+    return AttachDecision::NoAction;
+  }
+  let resultId = CacheIR::newInt32Id();
+  // The buggy compiler callback leaves the spill on the stack.
+  emit CacheIR::TruncateDoubleToInt32SpillV0(valueId, resultId);
+  emit CacheIR::LoadInt32Result(resultId);
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+)ICARUS";
+
+constexpr char kBug1471361Fixed[] = R"ICARUS(
+generator bug1471361_fixed(value: Value, valueId: ValueId) emits CacheIR {
+  if !Value::isNumber(value) {
+    return AttachDecision::NoAction;
+  }
+  let resultId = CacheIR::newInt32Id();
+  emit CacheIR::TruncateDoubleToInt32SpillFixed(valueId, resultId);
+  emit CacheIR::LoadInt32Result(resultId);
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+)ICARUS";
+
+// --- 1502143: Get Sparse Element / CacheIR Generator / Runtime Invariant --
+
+constexpr char kBug1502143Buggy[] = R"ICARUS(
+generator bug1502143_buggy(
+    value: Value, valueId: ValueId, index: Value, indexId: ValueId
+) emits CacheIR {
+  if !Value::isObject(value) {
+    return AttachDecision::NoAction;
+  }
+  let object = Value::toObject(value);
+  if Object::classOf(object) != ClassKind::ArrayObject {
+    return AttachDecision::NoAction;
+  }
+  if !Value::isInt32(index) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToObject(valueId);
+  let objId = OperandId::toObjectId(valueId);
+  // BUG: no class guard — future inputs need not be arrays, violating
+  // GetSparseElementHelper's precondition.
+  emit CacheIR::GuardToInt32(indexId);
+  emit CacheIR::GuardInt32IsNonNegative(OperandId::toInt32Id(indexId));
+  emit CacheIR::CallGetSparseElementResult(objId, OperandId::toInt32Id(indexId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+)ICARUS";
+
+constexpr char kBug1502143Fixed[] = R"ICARUS(
+generator bug1502143_fixed(
+    value: Value, valueId: ValueId, index: Value, indexId: ValueId
+) emits CacheIR {
+  if !Value::isObject(value) {
+    return AttachDecision::NoAction;
+  }
+  let object = Value::toObject(value);
+  if Object::classOf(object) != ClassKind::ArrayObject {
+    return AttachDecision::NoAction;
+  }
+  if !Value::isInt32(index) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToObject(valueId);
+  let objId = OperandId::toObjectId(valueId);
+  emit CacheIR::GuardClass(objId, ClassKind::ArrayObject);
+  emit CacheIR::GuardToInt32(indexId);
+  emit CacheIR::GuardInt32IsNonNegative(OperandId::toInt32Id(indexId));
+  emit CacheIR::CallGetSparseElementResult(objId, OperandId::toInt32Id(indexId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+)ICARUS";
+
+// --- 1651732: Get Proxy Element / JS Runtime Function / Invariant ---------
+
+constexpr char kBug1651732Buggy[] = R"ICARUS(
+generator bug1651732_buggy(
+    value: Value, valueId: ValueId, key: Value, keyId: ValueId
+) emits CacheIR {
+  if !Value::isObject(value) {
+    return AttachDecision::NoAction;
+  }
+  let object = Value::toObject(value);
+  if Object::classOf(object) != ClassKind::Proxy {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToObject(valueId);
+  let objId = OperandId::toObjectId(valueId);
+  emit CacheIR::GuardClass(objId, ClassKind::Proxy);
+  // BUG: the key may be a private name, which ProxyGetByValue must never see.
+  emit CacheIR::CallProxyGetByValueResult(objId, keyId);
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+)ICARUS";
+
+constexpr char kBug1651732Fixed[] = R"ICARUS(
+generator bug1651732_fixed(
+    value: Value, valueId: ValueId, key: Value, keyId: ValueId
+) emits CacheIR {
+  if !Value::isObject(value) {
+    return AttachDecision::NoAction;
+  }
+  let object = Value::toObject(value);
+  if Object::classOf(object) != ClassKind::Proxy {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToObject(valueId);
+  let objId = OperandId::toObjectId(valueId);
+  emit CacheIR::GuardClass(objId, ClassKind::Proxy);
+  emit CacheIR::GuardIsNotPrivateSymbol(keyId);
+  emit CacheIR::CallProxyGetByValueResult(objId, keyId);
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+)ICARUS";
+
+// --- 1654947: Int32 Bitwise Shift / CacheIR Compiler / Clobbering ---------
+
+constexpr char kBug1654947Buggy[] = R"ICARUS(
+generator bug1654947_buggy(
+    lhs: Value, lhsId: ValueId, rhs: Value, rhsId: ValueId
+) emits CacheIR {
+  if !Value::isInt32(lhs) || !Value::isInt32(rhs) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToInt32(lhsId);
+  emit CacheIR::GuardToInt32(rhsId);
+  // The buggy compiler callback clobbers the fixed shift-count register.
+  emit CacheIR::Int32LeftShiftResultV0(OperandId::toInt32Id(lhsId),
+                                       OperandId::toInt32Id(rhsId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+)ICARUS";
+
+constexpr char kBug1654947Fixed[] = R"ICARUS(
+generator bug1654947_fixed(
+    lhs: Value, lhsId: ValueId, rhs: Value, rhsId: ValueId
+) emits CacheIR {
+  if !Value::isInt32(lhs) || !Value::isInt32(rhs) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToInt32(lhsId);
+  emit CacheIR::GuardToInt32(rhsId);
+  emit CacheIR::Int32LeftShiftResult(OperandId::toInt32Id(lhsId),
+                                     OperandId::toInt32Id(rhsId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+)ICARUS";
+
+// --- 1685925: Get TypedArray Length / CacheIR Generator / OOB Read --------
+//
+// The running example of §2: the shared EmitCallGetterResultGuards helper
+// emits a GuardShape in specialized mode but only a GuardHasGetterSetter in
+// megamorphic mode — which does not pin the object's layout, so the
+// LoadTypedArrayLengthResult fast path reads out of bounds on objects like
+// Object.create(Uint8Array.prototype).
+
+constexpr char kBug1685925Buggy[] = R"ICARUS(
+fn emitCallGetterResultGuardsV0(
+    object: Object, key: PropertyKey, objId: ObjectId, mode: ICMode
+) emits CacheIR {
+  if mode == ICMode::Specialized {
+    emit CacheIR::GuardShape(objId, Object::shapeOf(object));
+  } else {
+    // Megamorphic mode: only checks that the property resolves to the
+    // expected getter/setter — safe for its other users, but NOT enough to
+    // protect a raw layout-dependent load.
+    let gs = NativeObject::lookupGetterSetter(object, key);
+    emit CacheIR::GuardHasGetterSetter(objId, key, gs);
+  }
+}
+
+generator bug1685925_buggy(
+    value: Value, valueId: ValueId, key: PropertyKey, mode: ICMode
+) emits CacheIR {
+  if !Value::isObject(value) {
+    return AttachDecision::NoAction;
+  }
+  let object = Value::toObject(value);
+  if !Object::isTypedArray(object) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToObject(valueId);
+  let objId = OperandId::toObjectId(valueId);
+  emit emitCallGetterResultGuardsV0(object, key, objId, mode);
+  emit CacheIR::LoadTypedArrayLengthResult(objId);
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+)ICARUS";
+
+constexpr char kBug1685925Fixed[] = R"ICARUS(
+generator bug1685925_fixed(
+    value: Value, valueId: ValueId, key: PropertyKey, mode: ICMode
+) emits CacheIR {
+  if !Value::isObject(value) {
+    return AttachDecision::NoAction;
+  }
+  let object = Value::toObject(value);
+  if !Object::isTypedArray(object) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToObject(valueId);
+  let objId = OperandId::toObjectId(valueId);
+  // Fixed: the raw length load is only attached behind a shape guard,
+  // regardless of mode.
+  emit CacheIR::GuardShape(objId, Object::shapeOf(object));
+  emit CacheIR::LoadTypedArrayLengthResult(objId);
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+)ICARUS";
+
+}  // namespace
+
+const std::vector<BugDef>& Bugs() {
+  static const std::vector<BugDef> kBugs = {
+      {"1451976", "Truncate Floating Point", "CacheIR Compiler", "Type Confusion",
+       kBug1451976Buggy, kBug1451976Fixed},
+      {"1471361", "Truncate Floating Point", "CacheIR Compiler", "Stack Consistency",
+       kBug1471361Buggy, kBug1471361Fixed},
+      {"1502143", "Get Sparse Element", "CacheIR Generator", "JS Runtime Invariant",
+       kBug1502143Buggy, kBug1502143Fixed},
+      {"1651732", "Get Proxy Element", "JS Runtime Function", "JS Runtime Invariant",
+       kBug1651732Buggy, kBug1651732Fixed},
+      {"1654947", "Int32 Bitwise Shift", "CacheIR Compiler", "Register Clobbering",
+       kBug1654947Buggy, kBug1654947Fixed},
+      {"1685925", "Get TypedArray Length", "CacheIR Generator", "OOB Memory Read",
+       kBug1685925Buggy, kBug1685925Fixed},
+  };
+  return kBugs;
+}
+
+}  // namespace icarus::platform

@@ -1,0 +1,98 @@
+// The CacheIR instruction subset (source language of the JIT platform).
+//
+// Signatures follow SpiderMonkey's CacheIR ops; constant "fields" (shape
+// pointers, getter/setter pointers, atoms) are modeled as operands of the
+// corresponding opaque runtime type rather than offsets into a stub-data
+// area — the values that flow in at generation time are terms over the
+// generation-time sample input, which is what the verification needs.
+
+#include "src/platform/platform.h"
+
+namespace icarus::platform {
+
+const char* CacheIRSource() {
+  return R"ICARUS(
+language CacheIR {
+  // --- Guards: value-type tests ---
+  op GuardToObject(inputId: ValueId);
+  op GuardToInt32(inputId: ValueId);
+  op GuardToString(inputId: ValueId);
+  op GuardToSymbol(inputId: ValueId);
+  op GuardToBoolean(inputId: ValueId);
+  op GuardIsNumber(inputId: ValueId);
+  op GuardIsNull(inputId: ValueId);
+  op GuardIsUndefined(inputId: ValueId);
+  op GuardIsNullOrUndefined(inputId: ValueId);
+  op GuardNonDoubleType(inputId: ValueId, t: JSValueType);
+
+  // --- Guards: object identity / layout ---
+  op GuardShape(objId: ObjectId, shape: Shape);
+  op GuardClass(objId: ObjectId, cls: ClassKind);
+  op GuardSpecificAtom(strId: StringId, atom: String);
+  op GuardHasGetterSetter(objId: ObjectId, key: PropertyKey, gs: GetterSetter);
+  op GuardInt32IsNonNegative(indexId: Int32Id);
+  op GuardIsNotPrivateSymbol(keyId: ValueId);
+
+  op GuardIsObjectOrNull(inputId: ValueId);
+  op GuardSpecificInt32(int32Id: Int32Id, expected: Int32);
+
+  // --- Number conversion ---
+  op GuardToInt32Index(inputId: ValueId, resultId: Int32Id);
+  op TruncateDoubleToInt32(inputId: ValueId, resultId: Int32Id);
+
+  // --- Loads (fast paths producing the IC result) ---
+  op LoadFixedSlotResult(objId: ObjectId, slot: Int32);
+  op LoadDynamicSlotResult(objId: ObjectId, slot: Int32);
+  op LoadDenseElementResult(objId: ObjectId, indexId: Int32Id);
+  op LoadInt32ArrayLengthResult(objId: ObjectId);
+  op LoadArgumentsObjectArgResult(objId: ObjectId, indexId: Int32Id);
+  op LoadTypedArrayLengthResult(objId: ObjectId);
+  op LoadInt32Result(inputId: Int32Id);
+  op LoadStringResult(strId: StringId);
+  op LoadSymbolResult(symId: SymbolId);
+  op LoadBooleanResult(b: Bool);
+  op LoadUndefinedResult();
+
+  // --- Int32 arithmetic results ---
+  op Int32AddResult(lhsId: Int32Id, rhsId: Int32Id);
+  op Int32SubResult(lhsId: Int32Id, rhsId: Int32Id);
+  op Int32MulResult(lhsId: Int32Id, rhsId: Int32Id);
+  op Int32DivResult(lhsId: Int32Id, rhsId: Int32Id);
+  op Int32ModResult(lhsId: Int32Id, rhsId: Int32Id);
+  op Int32BitAndResult(lhsId: Int32Id, rhsId: Int32Id);
+  op Int32BitOrResult(lhsId: Int32Id, rhsId: Int32Id);
+  op Int32BitXorResult(lhsId: Int32Id, rhsId: Int32Id);
+  op Int32LeftShiftResult(lhsId: Int32Id, rhsId: Int32Id);
+  op Int32RightShiftResult(lhsId: Int32Id, rhsId: Int32Id);
+  op Int32NegationResult(inputId: Int32Id);
+  op Int32NotResult(inputId: Int32Id);
+
+  op LoadStringLengthResult(strId: StringId);
+  op LoadInt32Constant(value: Int32);
+  op Int32MinMaxResult(isMax: Bool, lhsId: Int32Id, rhsId: Int32Id);
+
+  // --- Comparisons ---
+  op CompareInt32Result(jsop: JSOp, lhsId: Int32Id, rhsId: Int32Id);
+  op CompareNullUndefinedResult(jsop: JSOp, lhsId: ValueId, rhsId: ValueId);
+  op CompareStringResult(jsop: JSOp, lhsId: StringId, rhsId: StringId);
+  op CompareObjectResult(jsop: JSOp, lhsId: ObjectId, rhsId: ObjectId);
+  op CompareSymbolResult(jsop: JSOp, lhsId: SymbolId, rhsId: SymbolId);
+
+  // --- Runtime calls ---
+  op CallGetSparseElementResult(objId: ObjectId, indexId: Int32Id);
+  op CallProxyGetByValueResult(objId: ObjectId, keyId: ValueId);
+
+  // --- Bug-study ops (Figure 14): variants compiled by the deliberately
+  //     buggy / fixed compiler callbacks kept for the evaluation ---
+  op TruncateDoubleToInt32V0(inputId: ValueId, resultId: Int32Id);
+  op TruncateDoubleToInt32SpillV0(inputId: ValueId, resultId: Int32Id);
+  op TruncateDoubleToInt32SpillFixed(inputId: ValueId, resultId: Int32Id);
+  op Int32LeftShiftResultV0(lhsId: Int32Id, rhsId: Int32Id);
+
+  // --- Control ---
+  op ReturnFromIC();
+}
+)ICARUS";
+}
+
+}  // namespace icarus::platform

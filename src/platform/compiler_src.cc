@@ -1,0 +1,626 @@
+// The CacheIR → MASM compiler, ported into the Icarus DSL (§3.2; the
+// original is SpiderMonkey's CacheIRCompiler.cpp). Each callback compiles
+// one CacheIR op into MASM, using the compile-time register-allocator
+// builtins and the `failure` label construct (addFailurePath).
+
+#include "src/platform/platform.h"
+
+namespace icarus::platform {
+
+const char* CompilerSource() {
+  return R"ICARUS(
+compiler CacheIRCompiler : CacheIR -> MASM {
+
+  // ----- Value-type guards (unbox into the operand's register) -----
+
+  op GuardToObject(inputId: ValueId) {
+    if CacheIRCompiler::hasKnownType(inputId) {
+      if CacheIRCompiler::knownType(inputId) == JSValueType::Object {
+        return;
+      }
+    }
+    let inputReg = CacheIRCompiler::useValueId(inputId);
+    failure failLbl;
+    emit BranchTestObject(Condition::NotEqual, inputReg, failLbl);
+    emit UnboxNonDouble(inputReg, ValueReg::scratchReg(inputReg), JSValueType::Object);
+    CacheIRCompiler::setKnownType(inputId, JSValueType::Object);
+  }
+
+  op GuardToInt32(inputId: ValueId) {
+    if CacheIRCompiler::hasKnownType(inputId) {
+      if CacheIRCompiler::knownType(inputId) == JSValueType::Int32 {
+        return;
+      }
+    }
+    let inputReg = CacheIRCompiler::useValueId(inputId);
+    failure failLbl;
+    emit BranchTestInt32(Condition::NotEqual, inputReg, failLbl);
+    emit UnboxInt32(inputReg, ValueReg::scratchReg(inputReg));
+    CacheIRCompiler::setKnownType(inputId, JSValueType::Int32);
+  }
+
+  op GuardToString(inputId: ValueId) {
+    if CacheIRCompiler::hasKnownType(inputId) {
+      if CacheIRCompiler::knownType(inputId) == JSValueType::String {
+        return;
+      }
+    }
+    let inputReg = CacheIRCompiler::useValueId(inputId);
+    failure failLbl;
+    emit BranchTestString(Condition::NotEqual, inputReg, failLbl);
+    emit UnboxNonDouble(inputReg, ValueReg::scratchReg(inputReg), JSValueType::String);
+    CacheIRCompiler::setKnownType(inputId, JSValueType::String);
+  }
+
+  op GuardToSymbol(inputId: ValueId) {
+    if CacheIRCompiler::hasKnownType(inputId) {
+      if CacheIRCompiler::knownType(inputId) == JSValueType::Symbol {
+        return;
+      }
+    }
+    let inputReg = CacheIRCompiler::useValueId(inputId);
+    failure failLbl;
+    emit BranchTestSymbol(Condition::NotEqual, inputReg, failLbl);
+    emit UnboxNonDouble(inputReg, ValueReg::scratchReg(inputReg), JSValueType::Symbol);
+    CacheIRCompiler::setKnownType(inputId, JSValueType::Symbol);
+  }
+
+  op GuardToBoolean(inputId: ValueId) {
+    if CacheIRCompiler::hasKnownType(inputId) {
+      if CacheIRCompiler::knownType(inputId) == JSValueType::Boolean {
+        return;
+      }
+    }
+    let inputReg = CacheIRCompiler::useValueId(inputId);
+    failure failLbl;
+    emit BranchTestBoolean(Condition::NotEqual, inputReg, failLbl);
+    emit UnboxNonDouble(inputReg, ValueReg::scratchReg(inputReg), JSValueType::Boolean);
+    CacheIRCompiler::setKnownType(inputId, JSValueType::Boolean);
+  }
+
+  op GuardIsNumber(inputId: ValueId) {
+    let inputReg = CacheIRCompiler::useValueId(inputId);
+    failure failLbl;
+    emit BranchTestNumber(Condition::NotEqual, inputReg, failLbl);
+  }
+
+  op GuardIsNull(inputId: ValueId) {
+    let inputReg = CacheIRCompiler::useValueId(inputId);
+    failure failLbl;
+    emit BranchTestNull(Condition::NotEqual, inputReg, failLbl);
+  }
+
+  op GuardIsUndefined(inputId: ValueId) {
+    let inputReg = CacheIRCompiler::useValueId(inputId);
+    failure failLbl;
+    emit BranchTestUndefined(Condition::NotEqual, inputReg, failLbl);
+  }
+
+  op GuardIsNullOrUndefined(inputId: ValueId) {
+    let inputReg = CacheIRCompiler::useValueId(inputId);
+    failure failLbl;
+    label done: MASM;
+    emit BranchTestNull(Condition::Equal, inputReg, done);
+    emit BranchTestUndefined(Condition::NotEqual, inputReg, failLbl);
+    bind done;
+  }
+
+  op GuardNonDoubleType(inputId: ValueId, t: JSValueType) {
+    assert t != JSValueType::Double;
+    let inputReg = CacheIRCompiler::useValueId(inputId);
+    failure failLbl;
+    if t == JSValueType::Int32 {
+      emit BranchTestInt32(Condition::NotEqual, inputReg, failLbl);
+    } else if t == JSValueType::Boolean {
+      emit BranchTestBoolean(Condition::NotEqual, inputReg, failLbl);
+    } else if t == JSValueType::Undefined {
+      emit BranchTestUndefined(Condition::NotEqual, inputReg, failLbl);
+    } else if t == JSValueType::Null {
+      emit BranchTestNull(Condition::NotEqual, inputReg, failLbl);
+    } else if t == JSValueType::String {
+      emit BranchTestString(Condition::NotEqual, inputReg, failLbl);
+    } else if t == JSValueType::Symbol {
+      emit BranchTestSymbol(Condition::NotEqual, inputReg, failLbl);
+    } else if t == JSValueType::Object {
+      emit BranchTestObject(Condition::NotEqual, inputReg, failLbl);
+    } else {
+      emit BranchTestMagic(Condition::Equal, inputReg, failLbl);
+    }
+  }
+
+  // ----- Object-layout guards -----
+
+  op GuardShape(objId: ObjectId, shape: Shape) {
+    let objReg = CacheIRCompiler::useObjectId(objId);
+    failure failLbl;
+    emit BranchTestObjShape(Condition::NotEqual, objReg, shape, failLbl);
+  }
+
+  op GuardClass(objId: ObjectId, cls: ClassKind) {
+    let objReg = CacheIRCompiler::useObjectId(objId);
+    failure failLbl;
+    emit BranchTestObjClass(Condition::NotEqual, objReg, cls, failLbl);
+  }
+
+  op GuardSpecificAtom(strId: StringId, atom: String) {
+    let strReg = CacheIRCompiler::useStringId(strId);
+    failure failLbl;
+    emit BranchTestStringPtr(Condition::NotEqual, strReg, atom, failLbl);
+  }
+
+  op GuardHasGetterSetter(objId: ObjectId, key: PropertyKey, gs: GetterSetter) {
+    let objReg = CacheIRCompiler::useObjectId(objId);
+    failure failLbl;
+    emit BranchGetterSetter(objReg, key, gs, failLbl);
+  }
+
+  op GuardInt32IsNonNegative(indexId: Int32Id) {
+    let indexReg = CacheIRCompiler::useInt32Id(indexId);
+    failure failLbl;
+    emit Branch32Imm(Condition::LessThan, indexReg, 0, failLbl);
+  }
+
+  op GuardIsNotPrivateSymbol(keyId: ValueId) {
+    let keyReg = CacheIRCompiler::useValueId(keyId);
+    failure failLbl;
+    emit BranchPrivateSymbol(keyReg, failLbl);
+  }
+
+  op GuardIsObjectOrNull(inputId: ValueId) {
+    let inputReg = CacheIRCompiler::useValueId(inputId);
+    failure failLbl;
+    label done: MASM;
+    emit BranchTestObject(Condition::Equal, inputReg, done);
+    emit BranchTestNull(Condition::NotEqual, inputReg, failLbl);
+    bind done;
+  }
+
+  op GuardSpecificInt32(int32Id: Int32Id, expected: Int32) {
+    let reg = CacheIRCompiler::useInt32Id(int32Id);
+    failure failLbl;
+    emit Branch32Imm(Condition::NotEqual, reg, expected, failLbl);
+  }
+
+  // ----- Number conversion -----
+
+  op GuardToInt32Index(inputId: ValueId, resultId: Int32Id) {
+    let inputReg = CacheIRCompiler::useValueId(inputId);
+    let resultReg = CacheIRCompiler::defineOperandReg(resultId);
+    failure failLbl;
+    label isInt32: MASM;
+    label done: MASM;
+    emit BranchTestInt32(Condition::Equal, inputReg, isInt32);
+    emit BranchTestDouble(Condition::NotEqual, inputReg, failLbl);
+    emit ConvertDoubleToInt32(inputReg, resultReg, failLbl);
+    emit Jump(done);
+    bind isInt32;
+    emit UnboxInt32(inputReg, resultReg);
+    bind done;
+  }
+
+  op TruncateDoubleToInt32(inputId: ValueId, resultId: Int32Id) {
+    let inputReg = CacheIRCompiler::useValueId(inputId);
+    let resultReg = CacheIRCompiler::defineOperandReg(resultId);
+    failure failLbl;
+    label isInt32: MASM;
+    label done: MASM;
+    emit BranchTestInt32(Condition::Equal, inputReg, isInt32);
+    emit BranchTestDouble(Condition::NotEqual, inputReg, failLbl);
+    emit TruncateDoubleModUint32(inputReg, resultReg);
+    emit Jump(done);
+    bind isInt32;
+    emit UnboxInt32(inputReg, resultReg);
+    bind done;
+  }
+
+  // ----- Loads -----
+
+  op LoadFixedSlotResult(objId: ObjectId, slot: Int32) {
+    let objReg = CacheIRCompiler::useObjectId(objId);
+    emit LoadFixedSlot(objReg, slot, CacheIRCompiler::outputReg());
+  }
+
+  op LoadDynamicSlotResult(objId: ObjectId, slot: Int32) {
+    let objReg = CacheIRCompiler::useObjectId(objId);
+    emit LoadDynamicSlot(objReg, slot, CacheIRCompiler::outputReg());
+  }
+
+  op LoadDenseElementResult(objId: ObjectId, indexId: Int32Id) {
+    let objReg = CacheIRCompiler::useObjectId(objId);
+    let indexReg = CacheIRCompiler::useInt32Id(indexId);
+    failure failLbl;
+    emit LoadDenseElement(objReg, indexReg, CacheIRCompiler::outputReg(), failLbl);
+  }
+
+  op LoadInt32ArrayLengthResult(objId: ObjectId) {
+    let objReg = CacheIRCompiler::useObjectId(objId);
+    let scratch = CacheIRCompiler::allocScratchReg();
+    failure failLbl;
+    emit LoadArrayLength(objReg, scratch, failLbl);
+    emit TagValue(JSValueType::Int32, scratch, CacheIRCompiler::outputReg());
+    CacheIRCompiler::releaseReg(scratch);
+  }
+
+  op LoadArgumentsObjectArgResult(objId: ObjectId, indexId: Int32Id) {
+    let objReg = CacheIRCompiler::useObjectId(objId);
+    let indexReg = CacheIRCompiler::useInt32Id(indexId);
+    failure failLbl;
+    emit LoadArgumentsObjectArg(objReg, indexReg, CacheIRCompiler::outputReg(), failLbl);
+  }
+
+  op LoadTypedArrayLengthResult(objId: ObjectId) {
+    let objReg = CacheIRCompiler::useObjectId(objId);
+    let scratch = CacheIRCompiler::allocScratchReg();
+    failure failLbl;
+    emit LoadPrivateIntPtr(objReg, TypedArray::lengthSlot(), scratch);
+    emit IntPtrToInt32(scratch, scratch, failLbl);
+    emit TagValue(JSValueType::Int32, scratch, CacheIRCompiler::outputReg());
+    CacheIRCompiler::releaseReg(scratch);
+  }
+
+  op LoadInt32Result(inputId: Int32Id) {
+    let reg = CacheIRCompiler::useInt32Id(inputId);
+    emit TagValue(JSValueType::Int32, reg, CacheIRCompiler::outputReg());
+  }
+
+  op LoadStringResult(strId: StringId) {
+    let reg = CacheIRCompiler::useStringId(strId);
+    emit TagValue(JSValueType::String, reg, CacheIRCompiler::outputReg());
+  }
+
+  op LoadSymbolResult(symId: SymbolId) {
+    let reg = CacheIRCompiler::useSymbolId(symId);
+    emit TagValue(JSValueType::Symbol, reg, CacheIRCompiler::outputReg());
+  }
+
+  op LoadBooleanResult(b: Bool) {
+    emit StoreBooleanResult(b, CacheIRCompiler::outputReg());
+  }
+
+  op LoadUndefinedResult() {
+    emit StoreUndefinedResult(CacheIRCompiler::outputReg());
+  }
+
+  op LoadStringLengthResult(strId: StringId) {
+    let strReg = CacheIRCompiler::useStringId(strId);
+    let scratch = CacheIRCompiler::allocScratchReg();
+    emit LoadStringLength(strReg, scratch);
+    emit TagValue(JSValueType::Int32, scratch, CacheIRCompiler::outputReg());
+    CacheIRCompiler::releaseReg(scratch);
+  }
+
+  op LoadInt32Constant(value: Int32) {
+    let scratch = CacheIRCompiler::allocScratchReg();
+    emit Move32Imm(value, scratch);
+    emit TagValue(JSValueType::Int32, scratch, CacheIRCompiler::outputReg());
+    CacheIRCompiler::releaseReg(scratch);
+  }
+
+  op Int32MinMaxResult(isMax: Bool, lhsId: Int32Id, rhsId: Int32Id) {
+    let lhsReg = CacheIRCompiler::useInt32Id(lhsId);
+    let rhsReg = CacheIRCompiler::useInt32Id(rhsId);
+    let scratch = CacheIRCompiler::allocScratchReg();
+    label useLhs: MASM;
+    label done: MASM;
+    emit Move32(rhsReg, scratch);
+    if isMax {
+      emit Branch32(Condition::LessThanOrEqual, rhsReg, lhsReg, useLhs);
+    } else {
+      emit Branch32(Condition::GreaterThanOrEqual, rhsReg, lhsReg, useLhs);
+    }
+    emit Jump(done);
+    bind useLhs;
+    emit Move32(lhsReg, scratch);
+    bind done;
+    emit TagValue(JSValueType::Int32, scratch, CacheIRCompiler::outputReg());
+    CacheIRCompiler::releaseReg(scratch);
+  }
+
+  // ----- Int32 arithmetic -----
+
+  op Int32AddResult(lhsId: Int32Id, rhsId: Int32Id) {
+    let lhsReg = CacheIRCompiler::useInt32Id(lhsId);
+    let rhsReg = CacheIRCompiler::useInt32Id(rhsId);
+    let scratch = CacheIRCompiler::allocScratchReg();
+    failure failLbl;
+    emit BranchAdd32(lhsReg, rhsReg, scratch, failLbl);
+    emit TagValue(JSValueType::Int32, scratch, CacheIRCompiler::outputReg());
+    CacheIRCompiler::releaseReg(scratch);
+  }
+
+  op Int32SubResult(lhsId: Int32Id, rhsId: Int32Id) {
+    let lhsReg = CacheIRCompiler::useInt32Id(lhsId);
+    let rhsReg = CacheIRCompiler::useInt32Id(rhsId);
+    let scratch = CacheIRCompiler::allocScratchReg();
+    failure failLbl;
+    emit BranchSub32(lhsReg, rhsReg, scratch, failLbl);
+    emit TagValue(JSValueType::Int32, scratch, CacheIRCompiler::outputReg());
+    CacheIRCompiler::releaseReg(scratch);
+  }
+
+  op Int32MulResult(lhsId: Int32Id, rhsId: Int32Id) {
+    let lhsReg = CacheIRCompiler::useInt32Id(lhsId);
+    let rhsReg = CacheIRCompiler::useInt32Id(rhsId);
+    let scratch = CacheIRCompiler::allocScratchReg();
+    failure failLbl;
+    emit BranchMul32(lhsReg, rhsReg, scratch, failLbl);
+    emit TagValue(JSValueType::Int32, scratch, CacheIRCompiler::outputReg());
+    CacheIRCompiler::releaseReg(scratch);
+  }
+
+  op Int32DivResult(lhsId: Int32Id, rhsId: Int32Id) {
+    let lhsReg = CacheIRCompiler::useInt32Id(lhsId);
+    let rhsReg = CacheIRCompiler::useInt32Id(rhsId);
+    let scratch = CacheIRCompiler::allocScratchReg();
+    failure failLbl;
+    // Bail on divide-by-zero, INT_MIN (overflow case) and 0 (negative zero).
+    emit Branch32Imm(Condition::Equal, rhsReg, 0, failLbl);
+    emit Branch32Imm(Condition::Equal, lhsReg, -2147483648, failLbl);
+    emit Branch32Imm(Condition::Equal, lhsReg, 0, failLbl);
+    emit Div32(lhsReg, rhsReg, scratch, failLbl);
+    emit TagValue(JSValueType::Int32, scratch, CacheIRCompiler::outputReg());
+    CacheIRCompiler::releaseReg(scratch);
+  }
+
+  op Int32ModResult(lhsId: Int32Id, rhsId: Int32Id) {
+    let lhsReg = CacheIRCompiler::useInt32Id(lhsId);
+    let rhsReg = CacheIRCompiler::useInt32Id(rhsId);
+    let scratch = CacheIRCompiler::allocScratchReg();
+    failure failLbl;
+    emit Branch32Imm(Condition::Equal, rhsReg, 0, failLbl);
+    emit Branch32Imm(Condition::Equal, lhsReg, -2147483648, failLbl);
+    emit Mod32(lhsReg, rhsReg, scratch, failLbl);
+    emit TagValue(JSValueType::Int32, scratch, CacheIRCompiler::outputReg());
+    CacheIRCompiler::releaseReg(scratch);
+  }
+
+  op Int32BitAndResult(lhsId: Int32Id, rhsId: Int32Id) {
+    let lhsReg = CacheIRCompiler::useInt32Id(lhsId);
+    let rhsReg = CacheIRCompiler::useInt32Id(rhsId);
+    let scratch = CacheIRCompiler::allocScratchReg();
+    emit Move32(rhsReg, scratch);
+    emit And32(lhsReg, scratch);
+    emit TagValue(JSValueType::Int32, scratch, CacheIRCompiler::outputReg());
+    CacheIRCompiler::releaseReg(scratch);
+  }
+
+  op Int32BitOrResult(lhsId: Int32Id, rhsId: Int32Id) {
+    let lhsReg = CacheIRCompiler::useInt32Id(lhsId);
+    let rhsReg = CacheIRCompiler::useInt32Id(rhsId);
+    let scratch = CacheIRCompiler::allocScratchReg();
+    emit Move32(rhsReg, scratch);
+    emit Or32(lhsReg, scratch);
+    emit TagValue(JSValueType::Int32, scratch, CacheIRCompiler::outputReg());
+    CacheIRCompiler::releaseReg(scratch);
+  }
+
+  op Int32BitXorResult(lhsId: Int32Id, rhsId: Int32Id) {
+    let lhsReg = CacheIRCompiler::useInt32Id(lhsId);
+    let rhsReg = CacheIRCompiler::useInt32Id(rhsId);
+    let scratch = CacheIRCompiler::allocScratchReg();
+    emit Move32(rhsReg, scratch);
+    emit Xor32(lhsReg, scratch);
+    emit TagValue(JSValueType::Int32, scratch, CacheIRCompiler::outputReg());
+    CacheIRCompiler::releaseReg(scratch);
+  }
+
+  op Int32LeftShiftResult(lhsId: Int32Id, rhsId: Int32Id) {
+    let lhsReg = CacheIRCompiler::useInt32Id(lhsId);
+    let rhsReg = CacheIRCompiler::useInt32Id(rhsId);
+    let shiftReg = CacheIRCompiler::allocScratchReg();
+    let scratch = CacheIRCompiler::allocScratchReg();
+    emit Move32(rhsReg, shiftReg);
+    emit Move32(lhsReg, scratch);
+    emit Lshift32(shiftReg, scratch);
+    emit TagValue(JSValueType::Int32, scratch, CacheIRCompiler::outputReg());
+    CacheIRCompiler::releaseReg(shiftReg);
+    CacheIRCompiler::releaseReg(scratch);
+  }
+
+  op Int32RightShiftResult(lhsId: Int32Id, rhsId: Int32Id) {
+    let lhsReg = CacheIRCompiler::useInt32Id(lhsId);
+    let rhsReg = CacheIRCompiler::useInt32Id(rhsId);
+    let shiftReg = CacheIRCompiler::allocScratchReg();
+    let scratch = CacheIRCompiler::allocScratchReg();
+    emit Move32(rhsReg, shiftReg);
+    emit Move32(lhsReg, scratch);
+    emit Rshift32Arithmetic(shiftReg, scratch);
+    emit TagValue(JSValueType::Int32, scratch, CacheIRCompiler::outputReg());
+    CacheIRCompiler::releaseReg(shiftReg);
+    CacheIRCompiler::releaseReg(scratch);
+  }
+
+  op Int32NegationResult(inputId: Int32Id) {
+    let reg = CacheIRCompiler::useInt32Id(inputId);
+    let scratch = CacheIRCompiler::allocScratchReg();
+    failure failLbl;
+    // Bail on 0 (negative zero) and INT_MIN (overflow).
+    emit Branch32Imm(Condition::Equal, reg, 0, failLbl);
+    emit Branch32Imm(Condition::Equal, reg, -2147483648, failLbl);
+    emit Move32(reg, scratch);
+    emit BranchNeg32(scratch, failLbl);
+    emit TagValue(JSValueType::Int32, scratch, CacheIRCompiler::outputReg());
+    CacheIRCompiler::releaseReg(scratch);
+  }
+
+  op Int32NotResult(inputId: Int32Id) {
+    let reg = CacheIRCompiler::useInt32Id(inputId);
+    let scratch = CacheIRCompiler::allocScratchReg();
+    emit Move32(reg, scratch);
+    emit Not32(scratch);
+    emit TagValue(JSValueType::Int32, scratch, CacheIRCompiler::outputReg());
+    CacheIRCompiler::releaseReg(scratch);
+  }
+
+  // ----- Comparisons (Figure 9's label-driven structure) -----
+
+  op CompareInt32Result(jsop: JSOp, lhsId: Int32Id, rhsId: Int32Id) {
+    let lhsReg = CacheIRCompiler::useInt32Id(lhsId);
+    let rhsReg = CacheIRCompiler::useInt32Id(rhsId);
+    label ifTrue: MASM;
+    label done: MASM;
+    emit Branch32(Condition::fromJSOp(jsop), lhsReg, rhsReg, ifTrue);
+    emit StoreBooleanResult(false, CacheIRCompiler::outputReg());
+    emit Jump(done);
+    bind ifTrue;
+    emit StoreBooleanResult(true, CacheIRCompiler::outputReg());
+    bind done;
+  }
+
+  op CompareNullUndefinedResult(jsop: JSOp, lhsId: ValueId, rhsId: ValueId) {
+    let lhsReg = CacheIRCompiler::useValueId(lhsId);
+    let rhsReg = CacheIRCompiler::useValueId(rhsId);
+    if jsop == JSOp::Eq {
+      // Loose equality: null and undefined compare equal to each other.
+      emit StoreBooleanResult(true, CacheIRCompiler::outputReg());
+    } else if jsop == JSOp::Ne {
+      emit StoreBooleanResult(false, CacheIRCompiler::outputReg());
+    } else {
+      label same: MASM;
+      label done: MASM;
+      emit BranchSameValueTags(lhsReg, rhsReg, same);
+      emit StoreBooleanResult(jsop == JSOp::StrictNe, CacheIRCompiler::outputReg());
+      emit Jump(done);
+      bind same;
+      emit StoreBooleanResult(jsop == JSOp::StrictEq, CacheIRCompiler::outputReg());
+      bind done;
+    }
+  }
+
+  op CompareStringResult(jsop: JSOp, lhsId: StringId, rhsId: StringId) {
+    let lhsReg = CacheIRCompiler::useStringId(lhsId);
+    let rhsReg = CacheIRCompiler::useStringId(rhsId);
+    label ifTrue: MASM;
+    label done: MASM;
+    if jsop == JSOp::Eq || jsop == JSOp::StrictEq {
+      emit BranchStringsEqual(Condition::Equal, lhsReg, rhsReg, ifTrue);
+    } else {
+      emit BranchStringsEqual(Condition::NotEqual, lhsReg, rhsReg, ifTrue);
+    }
+    emit StoreBooleanResult(false, CacheIRCompiler::outputReg());
+    emit Jump(done);
+    bind ifTrue;
+    emit StoreBooleanResult(true, CacheIRCompiler::outputReg());
+    bind done;
+  }
+
+  op CompareObjectResult(jsop: JSOp, lhsId: ObjectId, rhsId: ObjectId) {
+    let lhsReg = CacheIRCompiler::useObjectId(lhsId);
+    let rhsReg = CacheIRCompiler::useObjectId(rhsId);
+    label ifTrue: MASM;
+    label done: MASM;
+    if jsop == JSOp::Eq || jsop == JSOp::StrictEq {
+      emit BranchObjectPtr(Condition::Equal, lhsReg, rhsReg, ifTrue);
+    } else {
+      emit BranchObjectPtr(Condition::NotEqual, lhsReg, rhsReg, ifTrue);
+    }
+    emit StoreBooleanResult(false, CacheIRCompiler::outputReg());
+    emit Jump(done);
+    bind ifTrue;
+    emit StoreBooleanResult(true, CacheIRCompiler::outputReg());
+    bind done;
+  }
+
+  op CompareSymbolResult(jsop: JSOp, lhsId: SymbolId, rhsId: SymbolId) {
+    let lhsReg = CacheIRCompiler::useSymbolId(lhsId);
+    let rhsReg = CacheIRCompiler::useSymbolId(rhsId);
+    label ifTrue: MASM;
+    label done: MASM;
+    if jsop == JSOp::Eq || jsop == JSOp::StrictEq {
+      emit BranchSymbolPtr(Condition::Equal, lhsReg, rhsReg, ifTrue);
+    } else {
+      emit BranchSymbolPtr(Condition::NotEqual, lhsReg, rhsReg, ifTrue);
+    }
+    emit StoreBooleanResult(false, CacheIRCompiler::outputReg());
+    emit Jump(done);
+    bind ifTrue;
+    emit StoreBooleanResult(true, CacheIRCompiler::outputReg());
+    bind done;
+  }
+
+  // ----- Runtime calls -----
+
+  op CallGetSparseElementResult(objId: ObjectId, indexId: Int32Id) {
+    let objReg = CacheIRCompiler::useObjectId(objId);
+    let indexReg = CacheIRCompiler::useInt32Id(indexId);
+    emit CallGetSparseElement(objReg, indexReg, CacheIRCompiler::outputReg());
+  }
+
+  op CallProxyGetByValueResult(objId: ObjectId, keyId: ValueId) {
+    let objReg = CacheIRCompiler::useObjectId(objId);
+    let keyReg = CacheIRCompiler::useValueId(keyId);
+    emit CallProxyGetByValue(objReg, keyReg, CacheIRCompiler::outputReg());
+  }
+
+  // ----- Bug-study compiler callbacks (Figure 14) -----
+
+  // Bug 1451976 (buggy layer: CacheIR compiler, type confusion): compiles
+  // the truncation without dispatching on the value tag, so Int32-tagged
+  // values reach the double-truncation instruction.
+  op TruncateDoubleToInt32V0(inputId: ValueId, resultId: Int32Id) {
+    let inputReg = CacheIRCompiler::useValueId(inputId);
+    let resultReg = CacheIRCompiler::defineOperandReg(resultId);
+    emit TruncateDoubleModUint32(inputReg, resultReg);
+  }
+
+  // Bug 1471361 (buggy layer: CacheIR compiler, stack consistency): spills
+  // the input around the conversion but forgets to unspill on the double
+  // path, leaving the stub's stack unbalanced at exit.
+  op TruncateDoubleToInt32SpillV0(inputId: ValueId, resultId: Int32Id) {
+    let inputReg = CacheIRCompiler::useValueId(inputId);
+    let resultReg = CacheIRCompiler::defineOperandReg(resultId);
+    failure failLbl;
+    label isInt32: MASM;
+    label done: MASM;
+    emit BranchTestInt32(Condition::Equal, inputReg, isInt32);
+    emit BranchTestDouble(Condition::NotEqual, inputReg, failLbl);
+    emit PushValueReg(inputReg);
+    emit TruncateDoubleModUint32(inputReg, resultReg);
+    emit Jump(done);
+    bind isInt32;
+    emit UnboxInt32(inputReg, resultReg);
+    bind done;
+  }
+
+  // The corresponding fix: restore the spilled value on the double path.
+  op TruncateDoubleToInt32SpillFixed(inputId: ValueId, resultId: Int32Id) {
+    let inputReg = CacheIRCompiler::useValueId(inputId);
+    let resultReg = CacheIRCompiler::defineOperandReg(resultId);
+    failure failLbl;
+    label isInt32: MASM;
+    label done: MASM;
+    emit BranchTestInt32(Condition::Equal, inputReg, isInt32);
+    emit BranchTestDouble(Condition::NotEqual, inputReg, failLbl);
+    emit PushValueReg(inputReg);
+    emit TruncateDoubleModUint32(inputReg, resultReg);
+    emit PopValueReg(inputReg);
+    emit Jump(done);
+    bind isInt32;
+    emit UnboxInt32(inputReg, resultReg);
+    bind done;
+  }
+
+  // Bug 1654947 (buggy layer: CacheIR compiler, register clobbering): x86
+  // requires the shift count in %ecx; the original code moved it there
+  // without allocating the register, clobbering whatever lived in it.
+  op Int32LeftShiftResultV0(lhsId: Int32Id, rhsId: Int32Id) {
+    let lhsReg = CacheIRCompiler::useInt32Id(lhsId);
+    let rhsReg = CacheIRCompiler::useInt32Id(rhsId);
+    let scratch = CacheIRCompiler::allocScratchReg();
+    emit Move32(lhsReg, scratch);
+    emit Move32(rhsReg, MASM::ecxReg());
+    emit Lshift32(MASM::ecxReg(), scratch);
+    emit TagValue(JSValueType::Int32, scratch, CacheIRCompiler::outputReg());
+    CacheIRCompiler::releaseReg(scratch);
+  }
+
+  // ----- Control -----
+
+  op ReturnFromIC() {
+    emit Return();
+  }
+}
+)ICARUS";
+}
+
+}  // namespace icarus::platform

@@ -1,0 +1,487 @@
+// The 21 CacheIR code-generators ported for the Figure 12 evaluation, plus
+// shared emit-helpers. Each generator mirrors the structure of its
+// SpiderMonkey counterpart: inspect the generation-time sample input, bail
+// with NoAction for cases the stub does not handle, then emit guards
+// followed by the fast path.
+
+#include "src/platform/platform.h"
+
+namespace icarus::platform {
+
+const char* GeneratorsSource() {
+  return R"ICARUS(
+enum Int32BitOpKind { And, Or, Xor }
+
+// ---------------------------------------------------------------------------
+// Compare
+// ---------------------------------------------------------------------------
+
+generator tryAttachCompareNullUndefined(
+    lhs: Value, lhsId: ValueId, rhs: Value, rhsId: ValueId, jsop: JSOp
+) emits CacheIR {
+  if jsop != JSOp::Eq && jsop != JSOp::Ne && jsop != JSOp::StrictEq && jsop != JSOp::StrictNe {
+    return AttachDecision::NoAction;
+  }
+  if !Value::isNullOrUndefined(lhs) || !Value::isNullOrUndefined(rhs) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardIsNullOrUndefined(lhsId);
+  emit CacheIR::GuardIsNullOrUndefined(rhsId);
+  emit CacheIR::CompareNullUndefinedResult(jsop, lhsId, rhsId);
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator tryAttachCompareInt32(
+    lhs: Value, lhsId: ValueId, rhs: Value, rhsId: ValueId, jsop: JSOp
+) emits CacheIR {
+  if !Value::isInt32(lhs) || !Value::isInt32(rhs) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToInt32(lhsId);
+  emit CacheIR::GuardToInt32(rhsId);
+  emit CacheIR::CompareInt32Result(jsop, OperandId::toInt32Id(lhsId),
+                                   OperandId::toInt32Id(rhsId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator tryAttachCompareStrictDifferentTypes(
+    lhs: Value, lhsId: ValueId, rhs: Value, rhsId: ValueId, jsop: JSOp
+) emits CacheIR {
+  if jsop != JSOp::StrictEq && jsop != JSOp::StrictNe {
+    return AttachDecision::NoAction;
+  }
+  if Value::typeTag(lhs) == Value::typeTag(rhs) {
+    return AttachDecision::NoAction;
+  }
+  // Numbers with different representations can still be strictly equal.
+  if Value::isDouble(lhs) || Value::isDouble(rhs) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardNonDoubleType(lhsId, Value::typeTag(lhs));
+  emit CacheIR::GuardNonDoubleType(rhsId, Value::typeTag(rhs));
+  emit CacheIR::LoadBooleanResult(jsop == JSOp::StrictNe);
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+// ---------------------------------------------------------------------------
+// Get Element
+// ---------------------------------------------------------------------------
+
+generator tryAttachDenseElement(
+    value: Value, valueId: ValueId, index: Value, indexId: ValueId
+) emits CacheIR {
+  if !Value::isObject(value) {
+    return AttachDecision::NoAction;
+  }
+  let object = Value::toObject(value);
+  if !Object::isNative(object) {
+    return AttachDecision::NoAction;
+  }
+  if !Value::isInt32(index) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToObject(valueId);
+  let objId = OperandId::toObjectId(valueId);
+  emit CacheIR::GuardShape(objId, Object::shapeOf(object));
+  emit CacheIR::GuardToInt32(indexId);
+  emit CacheIR::LoadDenseElementResult(objId, OperandId::toInt32Id(indexId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator tryAttachGetElemNativeFixedSlot(
+    value: Value, valueId: ValueId, key: Value, keyId: ValueId, propKey: PropertyKey
+) emits CacheIR {
+  if !Value::isObject(value) {
+    return AttachDecision::NoAction;
+  }
+  let object = Value::toObject(value);
+  if !Object::isNative(object) {
+    return AttachDecision::NoAction;
+  }
+  if !Value::isString(key) {
+    return AttachDecision::NoAction;
+  }
+  let shape = Object::shapeOf(object);
+  if !Shape::hasFixedSlotProperty(shape, propKey) {
+    return AttachDecision::NoAction;
+  }
+  let slot = Shape::lookupFixedSlot(shape, propKey);
+  emit CacheIR::GuardToObject(valueId);
+  let objId = OperandId::toObjectId(valueId);
+  emit CacheIR::GuardShape(objId, shape);
+  emit CacheIR::GuardToString(keyId);
+  emit CacheIR::GuardSpecificAtom(OperandId::toStringId(keyId), Value::toString(key));
+  emit CacheIR::LoadFixedSlotResult(objId, slot);
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+// ---------------------------------------------------------------------------
+// Get Property
+// ---------------------------------------------------------------------------
+
+generator tryAttachArgumentsObjectArg(
+    value: Value, valueId: ValueId, index: Value, indexId: ValueId
+) emits CacheIR {
+  if !Value::isObject(value) {
+    return AttachDecision::NoAction;
+  }
+  let object = Value::toObject(value);
+  if !Object::isArgumentsObject(object) {
+    return AttachDecision::NoAction;
+  }
+  if !Value::isInt32(index) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToObject(valueId);
+  let objId = OperandId::toObjectId(valueId);
+  emit CacheIR::GuardClass(objId, ClassKind::ArgumentsObject);
+  emit CacheIR::GuardToInt32(indexId);
+  emit CacheIR::LoadArgumentsObjectArgResult(objId, OperandId::toInt32Id(indexId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator tryAttachNativeGetPropDynamicSlot(
+    value: Value, valueId: ValueId, propKey: PropertyKey
+) emits CacheIR {
+  if !Value::isObject(value) {
+    return AttachDecision::NoAction;
+  }
+  let object = Value::toObject(value);
+  if !Object::isNative(object) {
+    return AttachDecision::NoAction;
+  }
+  let shape = Object::shapeOf(object);
+  if !Shape::hasDynamicSlotProperty(shape, propKey) {
+    return AttachDecision::NoAction;
+  }
+  let slot = Shape::lookupDynamicSlot(shape, propKey);
+  emit CacheIR::GuardToObject(valueId);
+  let objId = OperandId::toObjectId(valueId);
+  emit CacheIR::GuardShape(objId, shape);
+  emit CacheIR::LoadDynamicSlotResult(objId, slot);
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator tryAttachNativeGetPropFixedSlot(
+    value: Value, valueId: ValueId, propKey: PropertyKey
+) emits CacheIR {
+  if !Value::isObject(value) {
+    return AttachDecision::NoAction;
+  }
+  let object = Value::toObject(value);
+  if !Object::isNative(object) {
+    return AttachDecision::NoAction;
+  }
+  let shape = Object::shapeOf(object);
+  if !Shape::hasFixedSlotProperty(shape, propKey) {
+    return AttachDecision::NoAction;
+  }
+  let slot = Shape::lookupFixedSlot(shape, propKey);
+  emit CacheIR::GuardToObject(valueId);
+  let objId = OperandId::toObjectId(valueId);
+  emit CacheIR::GuardShape(objId, shape);
+  emit CacheIR::LoadFixedSlotResult(objId, slot);
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator tryAttachObjectLength(value: Value, valueId: ValueId) emits CacheIR {
+  if !Value::isObject(value) {
+    return AttachDecision::NoAction;
+  }
+  let object = Value::toObject(value);
+  if Object::classOf(object) != ClassKind::ArrayObject {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToObject(valueId);
+  let objId = OperandId::toObjectId(valueId);
+  emit CacheIR::GuardClass(objId, ClassKind::ArrayObject);
+  emit CacheIR::LoadInt32ArrayLengthResult(objId);
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+// ---------------------------------------------------------------------------
+// Int32 binary operators
+// ---------------------------------------------------------------------------
+
+fn emitInt32BinaryGuards(lhsId: ValueId, rhsId: ValueId) emits CacheIR {
+  emit CacheIR::GuardToInt32(lhsId);
+  emit CacheIR::GuardToInt32(rhsId);
+}
+
+generator tryAttachInt32Add(
+    lhs: Value, lhsId: ValueId, rhs: Value, rhsId: ValueId
+) emits CacheIR {
+  if !Value::isInt32(lhs) || !Value::isInt32(rhs) {
+    return AttachDecision::NoAction;
+  }
+  emit emitInt32BinaryGuards(lhsId, rhsId);
+  emit CacheIR::Int32AddResult(OperandId::toInt32Id(lhsId), OperandId::toInt32Id(rhsId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator tryAttachInt32Sub(
+    lhs: Value, lhsId: ValueId, rhs: Value, rhsId: ValueId
+) emits CacheIR {
+  if !Value::isInt32(lhs) || !Value::isInt32(rhs) {
+    return AttachDecision::NoAction;
+  }
+  emit emitInt32BinaryGuards(lhsId, rhsId);
+  emit CacheIR::Int32SubResult(OperandId::toInt32Id(lhsId), OperandId::toInt32Id(rhsId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator tryAttachInt32Mul(
+    lhs: Value, lhsId: ValueId, rhs: Value, rhsId: ValueId
+) emits CacheIR {
+  if !Value::isInt32(lhs) || !Value::isInt32(rhs) {
+    return AttachDecision::NoAction;
+  }
+  emit emitInt32BinaryGuards(lhsId, rhsId);
+  emit CacheIR::Int32MulResult(OperandId::toInt32Id(lhsId), OperandId::toInt32Id(rhsId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator tryAttachInt32Div(
+    lhs: Value, lhsId: ValueId, rhs: Value, rhsId: ValueId
+) emits CacheIR {
+  if !Value::isInt32(lhs) || !Value::isInt32(rhs) {
+    return AttachDecision::NoAction;
+  }
+  emit emitInt32BinaryGuards(lhsId, rhsId);
+  emit CacheIR::Int32DivResult(OperandId::toInt32Id(lhsId), OperandId::toInt32Id(rhsId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator tryAttachInt32Mod(
+    lhs: Value, lhsId: ValueId, rhs: Value, rhsId: ValueId
+) emits CacheIR {
+  if !Value::isInt32(lhs) || !Value::isInt32(rhs) {
+    return AttachDecision::NoAction;
+  }
+  emit emitInt32BinaryGuards(lhsId, rhsId);
+  emit CacheIR::Int32ModResult(OperandId::toInt32Id(lhsId), OperandId::toInt32Id(rhsId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator tryAttachInt32Bitwise(
+    lhs: Value, lhsId: ValueId, rhs: Value, rhsId: ValueId, kind: Int32BitOpKind
+) emits CacheIR {
+  if !Value::isInt32(lhs) || !Value::isInt32(rhs) {
+    return AttachDecision::NoAction;
+  }
+  emit emitInt32BinaryGuards(lhsId, rhsId);
+  if kind == Int32BitOpKind::And {
+    emit CacheIR::Int32BitAndResult(OperandId::toInt32Id(lhsId), OperandId::toInt32Id(rhsId));
+  } else if kind == Int32BitOpKind::Or {
+    emit CacheIR::Int32BitOrResult(OperandId::toInt32Id(lhsId), OperandId::toInt32Id(rhsId));
+  } else {
+    emit CacheIR::Int32BitXorResult(OperandId::toInt32Id(lhsId), OperandId::toInt32Id(rhsId));
+  }
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+// ---------------------------------------------------------------------------
+// Int32 unary operators
+// ---------------------------------------------------------------------------
+
+generator tryAttachInt32Negation(value: Value, valueId: ValueId) emits CacheIR {
+  if !Value::isInt32(value) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToInt32(valueId);
+  emit CacheIR::Int32NegationResult(OperandId::toInt32Id(valueId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator tryAttachInt32Not(value: Value, valueId: ValueId) emits CacheIR {
+  if !Value::isInt32(value) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToInt32(valueId);
+  emit CacheIR::Int32NotResult(OperandId::toInt32Id(valueId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+// ---------------------------------------------------------------------------
+// Extension generators (incremental porting, §5: new generators are added on
+// top of the existing compiler/interpreter layers and verified individually)
+// ---------------------------------------------------------------------------
+
+generator tryAttachStringLength(value: Value, valueId: ValueId) emits CacheIR {
+  if !Value::isString(value) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToString(valueId);
+  emit CacheIR::LoadStringLengthResult(OperandId::toStringId(valueId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator tryAttachCompareString(
+    lhs: Value, lhsId: ValueId, rhs: Value, rhsId: ValueId, jsop: JSOp
+) emits CacheIR {
+  if jsop != JSOp::Eq && jsop != JSOp::Ne && jsop != JSOp::StrictEq && jsop != JSOp::StrictNe {
+    return AttachDecision::NoAction;
+  }
+  if !Value::isString(lhs) || !Value::isString(rhs) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToString(lhsId);
+  emit CacheIR::GuardToString(rhsId);
+  emit CacheIR::CompareStringResult(jsop, OperandId::toStringId(lhsId),
+                                    OperandId::toStringId(rhsId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator tryAttachCompareObject(
+    lhs: Value, lhsId: ValueId, rhs: Value, rhsId: ValueId, jsop: JSOp
+) emits CacheIR {
+  if jsop != JSOp::StrictEq && jsop != JSOp::StrictNe {
+    return AttachDecision::NoAction;
+  }
+  if !Value::isObject(lhs) || !Value::isObject(rhs) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToObject(lhsId);
+  emit CacheIR::GuardToObject(rhsId);
+  emit CacheIR::CompareObjectResult(jsop, OperandId::toObjectId(lhsId),
+                                    OperandId::toObjectId(rhsId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator tryAttachCompareSymbol(
+    lhs: Value, lhsId: ValueId, rhs: Value, rhsId: ValueId, jsop: JSOp
+) emits CacheIR {
+  if jsop != JSOp::StrictEq && jsop != JSOp::StrictNe {
+    return AttachDecision::NoAction;
+  }
+  if !Value::isSymbol(lhs) || !Value::isSymbol(rhs) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToSymbol(lhsId);
+  emit CacheIR::GuardToSymbol(rhsId);
+  emit CacheIR::CompareSymbolResult(jsop, OperandId::toSymbolId(lhsId),
+                                    OperandId::toSymbolId(rhsId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator tryAttachInt32MinMax(
+    lhs: Value, lhsId: ValueId, rhs: Value, rhsId: ValueId, isMax: Bool
+) emits CacheIR {
+  if !Value::isInt32(lhs) || !Value::isInt32(rhs) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToInt32(lhsId);
+  emit CacheIR::GuardToInt32(rhsId);
+  emit CacheIR::Int32MinMaxResult(isMax, OperandId::toInt32Id(lhsId),
+                                  OperandId::toInt32Id(rhsId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+// ---------------------------------------------------------------------------
+// To Property Key (the one operation the paper ports in full)
+// ---------------------------------------------------------------------------
+
+generator tryAttachToPropertyKeyInt32(value: Value, valueId: ValueId) emits CacheIR {
+  if !Value::isInt32(value) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToInt32(valueId);
+  emit CacheIR::LoadInt32Result(OperandId::toInt32Id(valueId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator tryAttachToPropertyKeyNumber(value: Value, valueId: ValueId) emits CacheIR {
+  if !Value::isNumber(value) {
+    return AttachDecision::NoAction;
+  }
+  let resultId = CacheIR::newInt32Id();
+  emit CacheIR::GuardToInt32Index(valueId, resultId);
+  emit CacheIR::LoadInt32Result(resultId);
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator tryAttachToPropertyKeyString(value: Value, valueId: ValueId) emits CacheIR {
+  if !Value::isString(value) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToString(valueId);
+  emit CacheIR::LoadStringResult(OperandId::toStringId(valueId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator tryAttachToPropertyKeySymbol(value: Value, valueId: ValueId) emits CacheIR {
+  if !Value::isSymbol(value) {
+    return AttachDecision::NoAction;
+  }
+  emit CacheIR::GuardToSymbol(valueId);
+  emit CacheIR::LoadSymbolResult(OperandId::toSymbolId(valueId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+)ICARUS";
+}
+
+const std::vector<GeneratorInfo>& Fig12Generators() {
+  static const std::vector<GeneratorInfo> kGenerators = {
+      {"Compare", "Any Null/Undef.", "tryAttachCompareNullUndefined"},
+      {"Compare", "Int32", "tryAttachCompareInt32"},
+      {"Compare", "Strict Diff. Types", "tryAttachCompareStrictDifferentTypes"},
+      {"Get Element", "Dense Element", "tryAttachDenseElement"},
+      {"Get Element", "Native Fixed Slot*", "tryAttachGetElemNativeFixedSlot"},
+      {"Get Property", "Args. Object Arg", "tryAttachArgumentsObjectArg"},
+      {"Get Property", "Native Dyn. Slot*", "tryAttachNativeGetPropDynamicSlot"},
+      {"Get Property", "Native Fixed Slot*", "tryAttachNativeGetPropFixedSlot"},
+      {"Get Property", "Object Length", "tryAttachObjectLength"},
+      {"Int32 Binary Operator", "Add", "tryAttachInt32Add"},
+      {"Int32 Binary Operator", "Bitwise", "tryAttachInt32Bitwise"},
+      {"Int32 Binary Operator", "Divide", "tryAttachInt32Div"},
+      {"Int32 Binary Operator", "Mod", "tryAttachInt32Mod"},
+      {"Int32 Binary Operator", "Multiply", "tryAttachInt32Mul"},
+      {"Int32 Binary Operator", "Subtract", "tryAttachInt32Sub"},
+      {"Int32 Unary Operator", "Arithmetic", "tryAttachInt32Negation"},
+      {"Int32 Unary Operator", "Bitwise", "tryAttachInt32Not"},
+      {"To Property Key", "Int32", "tryAttachToPropertyKeyInt32"},
+      {"To Property Key", "Number (float. pt.)", "tryAttachToPropertyKeyNumber"},
+      {"To Property Key", "String", "tryAttachToPropertyKeyString"},
+      {"To Property Key", "Symbol", "tryAttachToPropertyKeySymbol"},
+  };
+  return kGenerators;
+}
+
+const std::vector<GeneratorInfo>& ExtensionGenerators() {
+  static const std::vector<GeneratorInfo> kExtensions = {
+      {"Get Property", "String Length", "tryAttachStringLength"},
+      {"Compare", "String", "tryAttachCompareString"},
+      {"Compare", "Object", "tryAttachCompareObject"},
+      {"Compare", "Symbol", "tryAttachCompareSymbol"},
+      {"Int32 Binary Operator", "Min/Max", "tryAttachInt32MinMax"},
+  };
+  return kExtensions;
+}
+
+}  // namespace icarus::platform

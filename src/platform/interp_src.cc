@@ -1,0 +1,637 @@
+// Executable MASM semantics with safety contracts (§3.3; "the first
+// declarative and reusable formal specification of MASM"). Each callback
+// interprets one MASM op against the machine model; `assert`s are the
+// security invariants checked by symbolic meta-execution, and refined
+// runtime functions (Value::toObject, NativeObject::getFixedSlot, ...) carry
+// the type-confusion and memory-bounds contracts.
+
+#include "src/platform/platform.h"
+
+namespace icarus::platform {
+
+const char* InterpreterSource() {
+  return R"ICARUS(
+interpreter MASMInterp : MASM {
+
+  // ----- Type-tag tests (Figure 10's BranchTestObject) -----
+
+  op BranchTestObject(cond: Condition, reg: ValueReg, label branch) {
+    assert cond == Condition::Equal || cond == Condition::NotEqual;
+    let value = MASM::getValue(reg);
+    let matches = Value::isObject(value);
+    if cond == Condition::Equal && matches {
+      goto branch;
+    }
+    if cond == Condition::NotEqual && !matches {
+      goto branch;
+    }
+  }
+
+  op BranchTestInt32(cond: Condition, reg: ValueReg, label branch) {
+    assert cond == Condition::Equal || cond == Condition::NotEqual;
+    let value = MASM::getValue(reg);
+    let matches = Value::isInt32(value);
+    if cond == Condition::Equal && matches {
+      goto branch;
+    }
+    if cond == Condition::NotEqual && !matches {
+      goto branch;
+    }
+  }
+
+  op BranchTestString(cond: Condition, reg: ValueReg, label branch) {
+    assert cond == Condition::Equal || cond == Condition::NotEqual;
+    let value = MASM::getValue(reg);
+    let matches = Value::isString(value);
+    if cond == Condition::Equal && matches {
+      goto branch;
+    }
+    if cond == Condition::NotEqual && !matches {
+      goto branch;
+    }
+  }
+
+  op BranchTestSymbol(cond: Condition, reg: ValueReg, label branch) {
+    assert cond == Condition::Equal || cond == Condition::NotEqual;
+    let value = MASM::getValue(reg);
+    let matches = Value::isSymbol(value);
+    if cond == Condition::Equal && matches {
+      goto branch;
+    }
+    if cond == Condition::NotEqual && !matches {
+      goto branch;
+    }
+  }
+
+  op BranchTestBoolean(cond: Condition, reg: ValueReg, label branch) {
+    assert cond == Condition::Equal || cond == Condition::NotEqual;
+    let value = MASM::getValue(reg);
+    let matches = Value::isBoolean(value);
+    if cond == Condition::Equal && matches {
+      goto branch;
+    }
+    if cond == Condition::NotEqual && !matches {
+      goto branch;
+    }
+  }
+
+  op BranchTestNull(cond: Condition, reg: ValueReg, label branch) {
+    assert cond == Condition::Equal || cond == Condition::NotEqual;
+    let value = MASM::getValue(reg);
+    let matches = Value::isNull(value);
+    if cond == Condition::Equal && matches {
+      goto branch;
+    }
+    if cond == Condition::NotEqual && !matches {
+      goto branch;
+    }
+  }
+
+  op BranchTestUndefined(cond: Condition, reg: ValueReg, label branch) {
+    assert cond == Condition::Equal || cond == Condition::NotEqual;
+    let value = MASM::getValue(reg);
+    let matches = Value::isUndefined(value);
+    if cond == Condition::Equal && matches {
+      goto branch;
+    }
+    if cond == Condition::NotEqual && !matches {
+      goto branch;
+    }
+  }
+
+  op BranchTestNumber(cond: Condition, reg: ValueReg, label branch) {
+    assert cond == Condition::Equal || cond == Condition::NotEqual;
+    let value = MASM::getValue(reg);
+    let matches = Value::isNumber(value);
+    if cond == Condition::Equal && matches {
+      goto branch;
+    }
+    if cond == Condition::NotEqual && !matches {
+      goto branch;
+    }
+  }
+
+  op BranchTestDouble(cond: Condition, reg: ValueReg, label branch) {
+    assert cond == Condition::Equal || cond == Condition::NotEqual;
+    let value = MASM::getValue(reg);
+    let matches = Value::isDouble(value);
+    if cond == Condition::Equal && matches {
+      goto branch;
+    }
+    if cond == Condition::NotEqual && !matches {
+      goto branch;
+    }
+  }
+
+  op BranchTestMagic(cond: Condition, reg: ValueReg, label branch) {
+    assert cond == Condition::Equal || cond == Condition::NotEqual;
+    let value = MASM::getValue(reg);
+    let matches = Value::isMagic(value);
+    if cond == Condition::Equal && matches {
+      goto branch;
+    }
+    if cond == Condition::NotEqual && !matches {
+      goto branch;
+    }
+  }
+
+  op BranchSameValueTags(lhs: ValueReg, rhs: ValueReg, label branch) {
+    let a = MASM::getValue(lhs);
+    let b = MASM::getValue(rhs);
+    if Value::typeTag(a) == Value::typeTag(b) {
+      goto branch;
+    }
+  }
+
+  op BranchStringsEqual(cond: Condition, lhs: Reg, rhs: Reg, label branch) {
+    assert cond == Condition::Equal || cond == Condition::NotEqual;
+    let matches = String::equalsRaw(MASM::getString(lhs), MASM::getString(rhs));
+    if cond == Condition::Equal && matches {
+      goto branch;
+    }
+    if cond == Condition::NotEqual && !matches {
+      goto branch;
+    }
+  }
+
+  op BranchObjectPtr(cond: Condition, lhs: Reg, rhs: Reg, label branch) {
+    assert cond == Condition::Equal || cond == Condition::NotEqual;
+    let matches = MASM::getObject(lhs) == MASM::getObject(rhs);
+    if cond == Condition::Equal && matches {
+      goto branch;
+    }
+    if cond == Condition::NotEqual && !matches {
+      goto branch;
+    }
+  }
+
+  op BranchSymbolPtr(cond: Condition, lhs: Reg, rhs: Reg, label branch) {
+    assert cond == Condition::Equal || cond == Condition::NotEqual;
+    let matches = MASM::getSymbol(lhs) == MASM::getSymbol(rhs);
+    if cond == Condition::Equal && matches {
+      goto branch;
+    }
+    if cond == Condition::NotEqual && !matches {
+      goto branch;
+    }
+  }
+
+  op LoadStringLength(strReg: Reg, dst: Reg) {
+    let s = MASM::getString(strReg);
+    MASM::setInt32(dst, String::lengthRaw(s));
+  }
+
+  // ----- Boxing / unboxing (Figure 10's UnboxNonDouble) -----
+
+  op UnboxNonDouble(src: ValueReg, dst: Reg, t: JSValueType) {
+    assert t != JSValueType::Double;
+    let value = MASM::getValue(src);
+    if t == JSValueType::Object {
+      MASM::setObject(dst, Value::toObject(value));
+    } else if t == JSValueType::String {
+      MASM::setString(dst, Value::toString(value));
+    } else if t == JSValueType::Int32 {
+      MASM::setInt32(dst, Value::toInt32(value));
+    } else if t == JSValueType::Symbol {
+      MASM::setSymbol(dst, Value::toSymbol(value));
+    } else if t == JSValueType::Boolean {
+      MASM::setBool(dst, Value::toBoolean(value));
+    } else {
+      assert false;
+    }
+  }
+
+  op UnboxInt32(src: ValueReg, dst: Reg) {
+    let value = MASM::getValue(src);
+    MASM::setInt32(dst, Value::toInt32(value));
+  }
+
+  op UnboxBoolean(src: ValueReg, dst: Reg) {
+    let value = MASM::getValue(src);
+    MASM::setBool(dst, Value::toBoolean(value));
+  }
+
+  op UnboxDouble(src: ValueReg, dst: Reg) {
+    let value = MASM::getValue(src);
+    MASM::setDouble(dst, Value::toDouble(value));
+  }
+
+  op TagValue(t: JSValueType, src: Reg, dst: ValueReg) {
+    if t == JSValueType::Int32 {
+      MASM::setValue(dst, Value::fromInt32Raw(MASM::getInt32(src)));
+    } else if t == JSValueType::Object {
+      MASM::setValue(dst, Value::fromObjectRaw(MASM::getObject(src)));
+    } else if t == JSValueType::String {
+      MASM::setValue(dst, Value::fromStringRaw(MASM::getString(src)));
+    } else if t == JSValueType::Symbol {
+      MASM::setValue(dst, Value::fromSymbolRaw(MASM::getSymbol(src)));
+    } else if t == JSValueType::Boolean {
+      MASM::setValue(dst, Value::fromBooleanRaw(MASM::getBool(src)));
+    } else {
+      assert false;
+    }
+  }
+
+  op BoxDouble(src: Reg, dst: ValueReg) {
+    MASM::setValue(dst, Value::fromDoubleRaw(MASM::getDouble(src)));
+  }
+
+  op MoveValue(src: ValueReg, dst: ValueReg) {
+    MASM::setValue(dst, MASM::getValue(src));
+  }
+
+  op StoreBooleanResult(b: Bool, dst: ValueReg) {
+    MASM::setValue(dst, Value::fromBooleanRaw(b));
+  }
+
+  op StoreUndefinedResult(dst: ValueReg) {
+    MASM::setValue(dst, Value::undefinedValue());
+  }
+
+  // ----- Moves -----
+
+  op Move32(src: Reg, dst: Reg) {
+    MASM::setInt32(dst, MASM::getInt32(src));
+  }
+
+  op Move32Imm(imm: Int32, dst: Reg) {
+    MASM::setInt32(dst, imm);
+  }
+
+  // ----- Object guards -----
+
+  op BranchTestObjShape(cond: Condition, objReg: Reg, shape: Shape, label branch) {
+    assert cond == Condition::Equal || cond == Condition::NotEqual;
+    let object = MASM::getObject(objReg);
+    let matches = Object::shapeOf(object) == shape;
+    if cond == Condition::Equal && matches {
+      goto branch;
+    }
+    if cond == Condition::NotEqual && !matches {
+      goto branch;
+    }
+  }
+
+  op BranchTestObjClass(cond: Condition, objReg: Reg, cls: ClassKind, label branch) {
+    assert cond == Condition::Equal || cond == Condition::NotEqual;
+    let object = MASM::getObject(objReg);
+    let matches = Object::classOf(object) == cls;
+    if cond == Condition::Equal && matches {
+      goto branch;
+    }
+    if cond == Condition::NotEqual && !matches {
+      goto branch;
+    }
+  }
+
+  op BranchTestStringPtr(cond: Condition, strReg: Reg, atom: String, label branch) {
+    assert cond == Condition::Equal || cond == Condition::NotEqual;
+    let s = MASM::getString(strReg);
+    let matches = s == atom;
+    if cond == Condition::Equal && matches {
+      goto branch;
+    }
+    if cond == Condition::NotEqual && !matches {
+      goto branch;
+    }
+  }
+
+  op BranchGetterSetter(objReg: Reg, key: PropertyKey, gs: GetterSetter, label fail) {
+    let object = MASM::getObject(objReg);
+    if NativeObject::lookupGetterSetter(object, key) != gs {
+      goto fail;
+    }
+  }
+
+  op BranchPrivateSymbol(reg: ValueReg, label fail) {
+    let value = MASM::getValue(reg);
+    if Value::isPrivateSymbol(value) {
+      goto fail;
+    }
+  }
+
+  // ----- Integer compare-and-branch -----
+
+  op Branch32(cond: Condition, lhs: Reg, rhs: Reg, label branch) {
+    let a = MASM::getInt32(lhs);
+    let b = MASM::getInt32(rhs);
+    if cond == Condition::Equal {
+      if a == b {
+        goto branch;
+      }
+    } else if cond == Condition::NotEqual {
+      if a != b {
+        goto branch;
+      }
+    } else if cond == Condition::LessThan {
+      if a < b {
+        goto branch;
+      }
+    } else if cond == Condition::LessThanOrEqual {
+      if a <= b {
+        goto branch;
+      }
+    } else if cond == Condition::GreaterThan {
+      if a > b {
+        goto branch;
+      }
+    } else if cond == Condition::GreaterThanOrEqual {
+      if a >= b {
+        goto branch;
+      }
+    } else {
+      assert false;
+    }
+  }
+
+  op Branch32Imm(cond: Condition, lhs: Reg, imm: Int32, label branch) {
+    let a = MASM::getInt32(lhs);
+    if cond == Condition::Equal {
+      if a == imm {
+        goto branch;
+      }
+    } else if cond == Condition::NotEqual {
+      if a != imm {
+        goto branch;
+      }
+    } else if cond == Condition::LessThan {
+      if a < imm {
+        goto branch;
+      }
+    } else if cond == Condition::LessThanOrEqual {
+      if a <= imm {
+        goto branch;
+      }
+    } else if cond == Condition::GreaterThan {
+      if a > imm {
+        goto branch;
+      }
+    } else if cond == Condition::GreaterThanOrEqual {
+      if a >= imm {
+        goto branch;
+      }
+    } else {
+      assert false;
+    }
+  }
+
+  // ----- Int32 arithmetic (mathematical results + explicit overflow edges;
+  //       storing an out-of-range value as Int32 is the violation) -----
+
+  op BranchAdd32(lhs: Reg, rhs: Reg, dst: Reg, label overflow) {
+    let a = MASM::getInt32(lhs);
+    let b = MASM::getInt32(rhs);
+    let sum = a + b;
+    if sum > 2147483647 {
+      goto overflow;
+    }
+    if sum < -2147483648 {
+      goto overflow;
+    }
+    MASM::setInt32(dst, sum);
+  }
+
+  op BranchSub32(lhs: Reg, rhs: Reg, dst: Reg, label overflow) {
+    let a = MASM::getInt32(lhs);
+    let b = MASM::getInt32(rhs);
+    let diff = a - b;
+    if diff > 2147483647 {
+      goto overflow;
+    }
+    if diff < -2147483648 {
+      goto overflow;
+    }
+    MASM::setInt32(dst, diff);
+  }
+
+  op BranchMul32(lhs: Reg, rhs: Reg, dst: Reg, label overflow) {
+    let a = MASM::getInt32(lhs);
+    let b = MASM::getInt32(rhs);
+    let prod = a * b;
+    if prod > 2147483647 {
+      goto overflow;
+    }
+    if prod < -2147483648 {
+      goto overflow;
+    }
+    // JS semantics: -0 must take the double path.
+    if prod == 0 {
+      if a < 0 {
+        goto overflow;
+      }
+      if b < 0 {
+        goto overflow;
+      }
+    }
+    MASM::setInt32(dst, prod);
+  }
+
+  op Div32(lhs: Reg, rhs: Reg, dst: Reg, label bail) {
+    let a = MASM::getInt32(lhs);
+    let b = MASM::getInt32(rhs);
+    // Hardware faults the compiler must have guarded against.
+    assert b != 0;
+    assert !(a == -2147483648 && b == -1);
+    let q = a / b;
+    // Non-exact division bails to the double path.
+    if q * b != a {
+      goto bail;
+    }
+    MASM::setInt32(dst, q);
+  }
+
+  op Mod32(lhs: Reg, rhs: Reg, dst: Reg, label bail) {
+    let a = MASM::getInt32(lhs);
+    let b = MASM::getInt32(rhs);
+    assert b != 0;
+    assert !(a == -2147483648 && b == -1);
+    let r = a % b;
+    // Negative zero result bails to the double path.
+    if r == 0 && a < 0 {
+      goto bail;
+    }
+    MASM::setInt32(dst, r);
+  }
+
+  op BranchNeg32(reg: Reg, label bail) {
+    let v = MASM::getInt32(reg);
+    if v == -2147483648 {
+      goto bail;
+    }
+    MASM::setInt32(reg, -v);
+  }
+
+  op Not32(reg: Reg) {
+    let v = MASM::getInt32(reg);
+    MASM::setInt32(reg, -1 - v);
+  }
+
+  op And32(lhs: Reg, dst: Reg) {
+    let a = MASM::getInt32(lhs);
+    let b = MASM::getInt32(dst);
+    MASM::setInt32(dst, Int32::signedTruncate(b & a));
+  }
+
+  op Or32(lhs: Reg, dst: Reg) {
+    let a = MASM::getInt32(lhs);
+    let b = MASM::getInt32(dst);
+    MASM::setInt32(dst, Int32::signedTruncate(b | a));
+  }
+
+  op Xor32(lhs: Reg, dst: Reg) {
+    let a = MASM::getInt32(lhs);
+    let b = MASM::getInt32(dst);
+    MASM::setInt32(dst, Int32::signedTruncate(b ^ a));
+  }
+
+  op Lshift32(shift: Reg, srcDst: Reg) {
+    let count = MASM::getInt32(shift);
+    let v = MASM::getInt32(srcDst);
+    MASM::setInt32(srcDst, Int32::signedTruncate(v << (count & 31)));
+  }
+
+  op Rshift32Arithmetic(shift: Reg, srcDst: Reg) {
+    let count = MASM::getInt32(shift);
+    let v = MASM::getInt32(srcDst);
+    MASM::setInt32(srcDst, Int32::signedTruncate(v >> (count & 31)));
+  }
+
+  // ----- Double conversion -----
+
+  op ConvertDoubleToInt32(src: ValueReg, dst: Reg, label fail) {
+    let value = MASM::getValue(src);
+    let d = Value::toDouble(value);
+    if !Double::isInt32Exact(d) {
+      goto fail;
+    }
+    MASM::setInt32(dst, Double::toInt32Exact(d));
+  }
+
+  op TruncateDoubleModUint32(src: ValueReg, dst: Reg) {
+    let value = MASM::getValue(src);
+    let d = Value::toDouble(value);
+    MASM::setInt32(dst, Int32::signedTruncate(Double::truncateRaw(d)));
+  }
+
+  // ----- Memory loads (the dangerous fast paths) -----
+
+  op LoadFixedSlot(objReg: Reg, slot: Int32, dst: ValueReg) {
+    let object = MASM::getObject(objReg);
+    MASM::setValue(dst, NativeObject::getFixedSlot(object, slot));
+  }
+
+  op LoadDynamicSlot(objReg: Reg, slot: Int32, dst: ValueReg) {
+    let object = MASM::getObject(objReg);
+    MASM::setValue(dst, NativeObject::getDynamicSlot(object, slot));
+  }
+
+  op LoadDenseElement(objReg: Reg, indexReg: Reg, dst: ValueReg, label fail) {
+    let object = MASM::getObject(objReg);
+    let index = MASM::getInt32(indexReg);
+    if index < 0 {
+      goto fail;
+    }
+    if index >= NativeObject::denseInitializedLengthRaw(object) {
+      goto fail;
+    }
+    let element = NativeObject::getDenseElement(object, index);
+    // Holes are stored as magic values and must bail to the slow path.
+    if Value::isMagic(element) {
+      goto fail;
+    }
+    MASM::setValue(dst, element);
+  }
+
+  op LoadArgumentsObjectArg(objReg: Reg, indexReg: Reg, dst: ValueReg, label fail) {
+    let object = MASM::getObject(objReg);
+    let index = MASM::getInt32(indexReg);
+    if index < 0 {
+      goto fail;
+    }
+    if index >= ArgumentsObject::numArgsRaw(object) {
+      goto fail;
+    }
+    let arg = ArgumentsObject::getArg(object, index);
+    // Forwarded or deleted arguments are magic and must bail.
+    if Value::isMagic(arg) {
+      goto fail;
+    }
+    MASM::setValue(dst, arg);
+  }
+
+  op LoadArrayLength(objReg: Reg, dst: Reg, label fail) {
+    let object = MASM::getObject(objReg);
+    let len = ArrayObject::length(object);
+    // JS array lengths are uint32; bail when the length does not fit int32.
+    if len > 2147483647 {
+      goto fail;
+    }
+    MASM::setInt32(dst, len);
+  }
+
+  op LoadPrivateIntPtr(objReg: Reg, slot: Int32, dst: Reg) {
+    let object = MASM::getObject(objReg);
+    // The fixed-slot bounds contract inside getFixedSlot is assertion (S) of
+    // Figure 5 — the exact invariant bug 1685925 violates.
+    let v = NativeObject::getFixedSlot(object, slot);
+    MASM::setIntPtr(dst, Value::privateToIntPtr(v));
+  }
+
+  op IntPtrToInt32(src: Reg, dst: Reg, label fail) {
+    let v = MASM::getIntPtr(src);
+    if v > 2147483647 {
+      goto fail;
+    }
+    if v < -2147483648 {
+      goto fail;
+    }
+    MASM::setInt32(dst, v);
+  }
+
+  // ----- Stack -----
+
+  op PushValueReg(reg: ValueReg) {
+    MASM::pushValueReg(reg);
+  }
+
+  op PopValueReg(reg: ValueReg) {
+    MASM::popValueReg(reg);
+  }
+
+  // ----- Runtime calls (ABI-modeled: live registers are saved, volatiles
+  //       clobbered by the callee, then restored) -----
+
+  op CallGetSparseElement(objReg: Reg, indexReg: Reg, dst: ValueReg) {
+    let object = MASM::getObject(objReg);
+    let index = MASM::getInt32(indexReg);
+    MASM::saveLiveRegs();
+    let res = VM::getSparseElementHelper(object, index);
+    MASM::clobberVolatileRegs();
+    MASM::restoreLiveRegs();
+    MASM::setValue(dst, res);
+  }
+
+  op CallProxyGetByValue(objReg: Reg, keyReg: ValueReg, dst: ValueReg) {
+    let object = MASM::getObject(objReg);
+    let key = MASM::getValue(keyReg);
+    MASM::saveLiveRegs();
+    let res = VM::proxyGetByValue(object, key);
+    MASM::clobberVolatileRegs();
+    MASM::restoreLiveRegs();
+    MASM::setValue(dst, res);
+  }
+
+  // ----- Control -----
+
+  op Jump(label target) {
+    goto target;
+  }
+
+  op Return() {
+    MASM::returnFromStub();
+  }
+}
+)ICARUS";
+}
+
+}  // namespace icarus::platform

@@ -1,0 +1,98 @@
+// The MacroAssembler (MASM) instruction subset — the target language the
+// CacheIR compiler lowers to. The executable semantics (with the safety
+// contracts) live in interp_src.cc; this file is only the syntax.
+
+#include "src/platform/platform.h"
+
+namespace icarus::platform {
+
+const char* MasmSource() {
+  return R"ICARUS(
+language MASM {
+  // --- Type-tag tests on boxed values ---
+  op BranchTestObject(cond: Condition, reg: ValueReg, label branch);
+  op BranchTestInt32(cond: Condition, reg: ValueReg, label branch);
+  op BranchTestString(cond: Condition, reg: ValueReg, label branch);
+  op BranchTestSymbol(cond: Condition, reg: ValueReg, label branch);
+  op BranchTestBoolean(cond: Condition, reg: ValueReg, label branch);
+  op BranchTestNull(cond: Condition, reg: ValueReg, label branch);
+  op BranchTestUndefined(cond: Condition, reg: ValueReg, label branch);
+  op BranchTestNumber(cond: Condition, reg: ValueReg, label branch);
+  op BranchTestDouble(cond: Condition, reg: ValueReg, label branch);
+  op BranchTestMagic(cond: Condition, reg: ValueReg, label branch);
+
+  // --- Boxing / unboxing ---
+  op UnboxNonDouble(src: ValueReg, dst: Reg, t: JSValueType);
+  op UnboxInt32(src: ValueReg, dst: Reg);
+  op UnboxBoolean(src: ValueReg, dst: Reg);
+  op UnboxDouble(src: ValueReg, dst: Reg);
+  op TagValue(t: JSValueType, src: Reg, dst: ValueReg);
+  op BoxDouble(src: Reg, dst: ValueReg);
+  op MoveValue(src: ValueReg, dst: ValueReg);
+  op StoreBooleanResult(b: Bool, dst: ValueReg);
+  op StoreUndefinedResult(dst: ValueReg);
+
+  // --- Moves and immediates ---
+  op Move32(src: Reg, dst: Reg);
+  op Move32Imm(imm: Int32, dst: Reg);
+
+  // --- Object guards ---
+  op BranchTestObjShape(cond: Condition, objReg: Reg, shape: Shape, label branch);
+  op BranchTestObjClass(cond: Condition, objReg: Reg, cls: ClassKind, label branch);
+  op BranchTestStringPtr(cond: Condition, strReg: Reg, atom: String, label branch);
+  op BranchGetterSetter(objReg: Reg, key: PropertyKey, gs: GetterSetter, label fail);
+  op BranchPrivateSymbol(reg: ValueReg, label fail);
+
+  op BranchSameValueTags(lhs: ValueReg, rhs: ValueReg, label branch);
+  op BranchStringsEqual(cond: Condition, lhs: Reg, rhs: Reg, label branch);
+  op BranchObjectPtr(cond: Condition, lhs: Reg, rhs: Reg, label branch);
+  op BranchSymbolPtr(cond: Condition, lhs: Reg, rhs: Reg, label branch);
+  op LoadStringLength(strReg: Reg, dst: Reg);
+
+  // --- Integer compare-and-branch ---
+  op Branch32(cond: Condition, lhs: Reg, rhs: Reg, label branch);
+  op Branch32Imm(cond: Condition, lhs: Reg, imm: Int32, label branch);
+
+  // --- Int32 arithmetic with explicit bail-out edges ---
+  op BranchAdd32(lhs: Reg, rhs: Reg, dst: Reg, label overflow);
+  op BranchSub32(lhs: Reg, rhs: Reg, dst: Reg, label overflow);
+  op BranchMul32(lhs: Reg, rhs: Reg, dst: Reg, label overflow);
+  op Div32(lhs: Reg, rhs: Reg, dst: Reg, label bail);
+  op Mod32(lhs: Reg, rhs: Reg, dst: Reg, label bail);
+  op BranchNeg32(reg: Reg, label bail);
+  op Not32(reg: Reg);
+  op And32(lhs: Reg, dst: Reg);
+  op Or32(lhs: Reg, dst: Reg);
+  op Xor32(lhs: Reg, dst: Reg);
+  op Lshift32(shift: Reg, srcDst: Reg);
+  op Rshift32Arithmetic(shift: Reg, srcDst: Reg);
+
+  // --- Double conversion ---
+  op ConvertDoubleToInt32(src: ValueReg, dst: Reg, label fail);
+  op TruncateDoubleModUint32(src: ValueReg, dst: Reg);
+
+  // --- Memory loads (the dangerous fast paths) ---
+  op LoadFixedSlot(objReg: Reg, slot: Int32, dst: ValueReg);
+  op LoadDynamicSlot(objReg: Reg, slot: Int32, dst: ValueReg);
+  op LoadDenseElement(objReg: Reg, indexReg: Reg, dst: ValueReg, label fail);
+  op LoadArgumentsObjectArg(objReg: Reg, indexReg: Reg, dst: ValueReg, label fail);
+  op LoadArrayLength(objReg: Reg, dst: Reg, label fail);
+  op LoadPrivateIntPtr(objReg: Reg, slot: Int32, dst: Reg);
+  op IntPtrToInt32(src: Reg, dst: Reg, label fail);
+
+  // --- Stack ---
+  op PushValueReg(reg: ValueReg);
+  op PopValueReg(reg: ValueReg);
+
+  // --- Runtime calls (ABI-modeled) ---
+  op CallGetSparseElement(objReg: Reg, indexReg: Reg, dst: ValueReg);
+  op CallProxyGetByValue(objReg: Reg, keyReg: ValueReg, dst: ValueReg);
+
+  // --- Control ---
+  op Jump(label target);
+  op Return();
+}
+)ICARUS";
+}
+
+}  // namespace icarus::platform

@@ -1,0 +1,199 @@
+#include "src/platform/platform.h"
+
+#include <set>
+
+#include "src/ast/parser.h"
+#include "src/ast/resolver.h"
+#include "src/exec/externs.h"
+#include "src/support/str_util.h"
+
+namespace icarus::platform {
+
+namespace {
+
+bool IsOperandIdType(const ast::Type* t) {
+  if (t->kind() != ast::TypeKind::kOpaque) {
+    return false;
+  }
+  const std::string& n = t->name();
+  return n == "ValueId" || n == "ObjectId" || n == "Int32Id" || n == "StringId" ||
+         n == "SymbolId";
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Platform>> Platform::Load() {
+  return LoadWithExtra({});
+}
+
+StatusOr<std::unique_ptr<Platform>> Platform::LoadWithExtra(
+    const std::vector<std::string>& extra_sources) {
+  auto platform = std::unique_ptr<Platform>(new Platform());
+  platform->module_ = std::make_unique<ast::Module>();
+  ast::Module* module = platform->module_.get();
+
+  std::vector<std::string> sources = {
+      PreludeSource(), CacheIRSource(), MasmSource(), CompilerSource(), InterpreterSource(),
+      GeneratorsSource(),
+  };
+  for (const BugDef& bug : Bugs()) {
+    sources.emplace_back(bug.buggy_src);
+    sources.emplace_back(bug.fixed_src);
+  }
+  for (const std::string& extra : extra_sources) {
+    sources.push_back(extra);
+  }
+  for (size_t i = 0; i < sources.size(); ++i) {
+    Status st = ast::Parser::ParseInto(module, sources[i]);
+    if (!st.ok()) {
+      return Status::Error(StrCat("platform chunk ", i, ": ", st.message()));
+    }
+  }
+  ICARUS_RETURN_IF_ERROR(ast::Resolve(module));
+  exec::RegisterMachineBuiltins(&platform->externs_, module);
+  return platform;
+}
+
+StatusOr<meta::MetaStub> Platform::MakeMetaStub(const std::string& generator_name) const {
+  const ast::FunctionDecl* generator = module_->FindFunction(generator_name);
+  if (generator == nullptr || generator->fn_kind != ast::FnKind::kGenerator) {
+    return Status::Error(StrCat("no generator named '", generator_name, "'"));
+  }
+  meta::MetaStub stub;
+  stub.generator = generator;
+  stub.compiler = module_->FindCompiler("CacheIRCompiler");
+  stub.interpreter = module_->FindInterpreter("MASMInterp");
+  if (stub.compiler == nullptr || stub.interpreter == nullptr) {
+    return Status::Error("platform is missing the compiler or interpreter");
+  }
+  const ast::EnumDecl* attach = module_->types().LookupEnum("AttachDecision");
+  ICARUS_CHECK(attach != nullptr);
+  stub.attach_index = attach->IndexOf("Attach");
+
+  const ast::Module* module = module_.get();
+  stub.inputs = [generator, module](exec::EvalContext& ctx,
+                                    std::vector<exec::Value>* args) -> Status {
+    for (const ast::Param& p : generator->params) {
+      if (IsOperandIdType(p.type)) {
+        // Allocate the operand and its input register; the register's
+        // run-time content is an *independent* fresh symbolic value (the
+        // adversarial future input the guards must handle).
+        int id = ctx.machine().NewOperandId();
+        StatusOr<int> reg = ctx.machine().DefineOperand(id);
+        if (!reg.ok()) {
+          return reg.status();
+        }
+        const std::string& type_name = p.type->name();
+        machine::RegContent content;
+        const ast::Type* payload_type;
+        if (type_name == "ObjectId") {
+          content = machine::RegContent::kObject;
+          payload_type = module->types().Lookup("Object");
+        } else if (type_name == "Int32Id") {
+          content = machine::RegContent::kInt32;
+          payload_type = module->types().Int32();
+        } else if (type_name == "StringId") {
+          content = machine::RegContent::kString;
+          payload_type = module->types().Lookup("String");
+        } else if (type_name == "SymbolId") {
+          content = machine::RegContent::kSymbol;
+          payload_type = module->types().Lookup("Symbol");
+        } else {
+          content = machine::RegContent::kValue;
+          payload_type = module->types().Lookup("Value");
+        }
+        exec::Value run_input = ctx.FreshValue(StrCat("run_", p.name), payload_type);
+        Status st = ctx.machine().WriteReg(reg.value(), content, run_input.term);
+        if (!st.ok()) {
+          return st;
+        }
+        args->push_back(exec::Value::Of(p.type, ctx.pool().IntConst(id)));
+      } else {
+        // Generation-time sample inputs and heuristic knobs (mode, jsop, ...)
+        // are fresh symbolic constants: the meta-stub covers every choice.
+        args->push_back(ctx.FreshValue(StrCat("gen_", p.name), p.type));
+      }
+    }
+    return Status::Ok();
+  };
+  return stub;
+}
+
+int Platform::TotalLoc(const std::string& generator_name) const {
+  const ast::FunctionDecl* generator = module_->FindFunction(generator_name);
+  if (generator == nullptr) {
+    return 0;
+  }
+  const ast::CompilerDecl* compiler = module_->FindCompiler("CacheIRCompiler");
+  const ast::InterpreterDecl* interpreter = module_->FindInterpreter("MASMInterp");
+
+  std::set<const ast::FunctionDecl*> visited;
+  std::vector<const ast::FunctionDecl*> worklist = {generator};
+
+  auto enqueue = [&](const ast::FunctionDecl* fn) {
+    if (fn != nullptr && visited.count(fn) == 0) {
+      worklist.push_back(fn);
+    }
+  };
+
+  while (!worklist.empty()) {
+    const ast::FunctionDecl* fn = worklist.back();
+    worklist.pop_back();
+    if (!visited.insert(fn).second) {
+      continue;
+    }
+    // Walk the body for calls and emits.
+    auto walk_expr = [&](auto&& self, const ast::Expr* e) -> void {
+      if (e == nullptr) {
+        return;
+      }
+      if (e->kind == ast::ExprKind::kCall && e->callee_fn != nullptr) {
+        enqueue(e->callee_fn);
+      }
+      for (const ast::ExprPtr& a : e->args) {
+        self(self, a.get());
+      }
+    };
+    auto walk_block = [&](auto&& self, const std::vector<ast::StmtPtr>& block) -> void {
+      for (const ast::StmtPtr& stmt : block) {
+        walk_expr(walk_expr, stmt->expr.get());
+        for (const ast::ExprPtr& a : stmt->args) {
+          walk_expr(walk_expr, a.get());
+        }
+        if (stmt->kind == ast::StmtKind::kEmit && stmt->emit_op != nullptr) {
+          if (compiler != nullptr && stmt->emit_op->language == compiler->source_language) {
+            enqueue(compiler->FindCallback(stmt->emit_op));
+          }
+          if (interpreter != nullptr && stmt->emit_op->language == interpreter->language) {
+            enqueue(interpreter->FindCallback(stmt->emit_op));
+          }
+        }
+        self(self, stmt->then_block);
+        self(self, stmt->else_block);
+      }
+    };
+    walk_block(walk_block, fn->body);
+  }
+
+  int loc = 0;
+  for (const ast::FunctionDecl* fn : visited) {
+    loc += CountNonBlankLines(fn->source_text);
+  }
+  return loc;
+}
+
+int Platform::NumCacheIROps() const {
+  const ast::LanguageDecl* lang = module_->FindLanguage("CacheIR");
+  return lang == nullptr ? 0 : static_cast<int>(lang->ops.size());
+}
+
+int Platform::NumMasmOps() const {
+  const ast::LanguageDecl* lang = module_->FindLanguage("MASM");
+  return lang == nullptr ? 0 : static_cast<int>(lang->ops.size());
+}
+
+int Platform::PreludeLoc() const { return CountNonBlankLines(PreludeSource()); }
+int Platform::CompilerLoc() const { return CountNonBlankLines(CompilerSource()); }
+int Platform::InterpreterLoc() const { return CountNonBlankLines(InterpreterSource()); }
+
+}  // namespace icarus::platform

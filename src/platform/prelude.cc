@@ -1,0 +1,416 @@
+// The platform prelude: DSL type declarations, the JS-runtime contract layer
+// (the "1,135 lines of Icarus defining the interface to the JavaScript
+// language runtime" of §4.1), and declarations of the machine builtins that
+// exec/externs.cc implements.
+//
+// Conventions:
+//   - `*Raw` externs are the unchecked native operations (the `raw` calls of
+//     Figure 10). The non-Raw `fn` wrappers are the refined versions whose
+//     assert/assume bodies carry the safety contracts.
+//   - Layout axioms (e.g. "TypedArray instances reserve >= 4 fixed slots")
+//     are introduced as `assume` facts exactly where the corresponding
+//     class test is performed, mirroring how the paper encodes global
+//     datatype axioms as local properties (§5, "Specification").
+
+#include "src/platform/platform.h"
+
+namespace icarus::platform {
+
+const char* PreludeSource() {
+  return R"ICARUS(
+// ---------------------------------------------------------------------------
+// Core enums
+// ---------------------------------------------------------------------------
+
+// SpiderMonkey's JSValueType tag order.
+enum JSValueType {
+  Double, Int32, Boolean, Undefined, Null, Magic, String, Symbol,
+  PrivateGCThing, BigInt, Object
+}
+
+enum AttachDecision { NoAction, Attach }
+
+enum Condition {
+  Equal, NotEqual, LessThan, LessThanOrEqual, GreaterThan, GreaterThanOrEqual,
+  Overflow, Zero, NonZero
+}
+
+enum ClassKind {
+  PlainObject, ArrayObject, TypedArray, ArgumentsObject, Proxy, StringObject, Other
+}
+
+enum JSOp { Eq, Ne, Lt, Le, Gt, Ge, StrictEq, StrictNe }
+
+enum ICMode { Specialized, Megamorphic }
+
+// ---------------------------------------------------------------------------
+// Opaque runtime types
+// ---------------------------------------------------------------------------
+
+extern type Value;
+extern type Object;
+extern type Shape;
+extern type String;
+extern type Symbol;
+extern type BigInt;
+extern type GetterSetter;
+extern type PropertyKey;
+
+// CacheIR operand ids (typed wrappers over operand indices).
+extern type ValueId;
+extern type ObjectId;
+extern type Int32Id;
+extern type StringId;
+extern type SymbolId;
+
+// Machine registers.
+extern type Reg;
+extern type ValueReg;
+
+// ---------------------------------------------------------------------------
+// Boxing / unboxing (JS::Value)
+// ---------------------------------------------------------------------------
+
+extern fn Value::typeTag(value: Value) -> JSValueType;
+
+extern fn Value::toObjectRaw(value: Value) -> Object;
+extern fn Value::fromObjectRaw(object: Object) -> Value
+  ensures Value::typeTag(result) == JSValueType::Object
+  ensures Value::toObjectRaw(result) == object;
+
+extern fn Value::toInt32Raw(value: Value) -> Int32
+  ensures result >= -2147483648
+  ensures result <= 2147483647;
+extern fn Value::fromInt32Raw(i: Int32) -> Value
+  requires i >= -2147483648
+  requires i <= 2147483647
+  ensures Value::typeTag(result) == JSValueType::Int32
+  ensures Value::toInt32Raw(result) == i;
+
+extern fn Value::toBooleanRaw(value: Value) -> Bool;
+extern fn Value::fromBooleanRaw(b: Bool) -> Value
+  ensures Value::typeTag(result) == JSValueType::Boolean
+  ensures Value::toBooleanRaw(result) == b;
+
+extern fn Value::toStringRaw(value: Value) -> String;
+extern fn Value::fromStringRaw(s: String) -> Value
+  ensures Value::typeTag(result) == JSValueType::String
+  ensures Value::toStringRaw(result) == s;
+
+extern fn Value::toSymbolRaw(value: Value) -> Symbol;
+extern fn Value::fromSymbolRaw(s: Symbol) -> Value
+  ensures Value::typeTag(result) == JSValueType::Symbol
+  ensures Value::toSymbolRaw(result) == s;
+
+extern fn Value::toDoubleRaw(value: Value) -> Double;
+extern fn Value::fromDoubleRaw(d: Double) -> Value
+  ensures Value::typeTag(result) == JSValueType::Double
+  ensures Value::toDoubleRaw(result) == d;
+
+extern fn Value::undefinedValue() -> Value
+  ensures Value::typeTag(result) == JSValueType::Undefined;
+
+// Private values (unboxed storage in reserved slots; not tagged pointers).
+extern fn Value::privateToIntPtr(value: Value) -> Int64
+  ensures result >= 0;
+
+// Tag predicates.
+fn Value::isObject(value: Value) -> Bool {
+  return Value::typeTag(value) == JSValueType::Object;
+}
+fn Value::isInt32(value: Value) -> Bool {
+  return Value::typeTag(value) == JSValueType::Int32;
+}
+fn Value::isBoolean(value: Value) -> Bool {
+  return Value::typeTag(value) == JSValueType::Boolean;
+}
+fn Value::isString(value: Value) -> Bool {
+  return Value::typeTag(value) == JSValueType::String;
+}
+fn Value::isSymbol(value: Value) -> Bool {
+  return Value::typeTag(value) == JSValueType::Symbol;
+}
+fn Value::isDouble(value: Value) -> Bool {
+  return Value::typeTag(value) == JSValueType::Double;
+}
+fn Value::isNumber(value: Value) -> Bool {
+  return Value::isInt32(value) || Value::isDouble(value);
+}
+fn Value::isNull(value: Value) -> Bool {
+  return Value::typeTag(value) == JSValueType::Null;
+}
+fn Value::isUndefined(value: Value) -> Bool {
+  return Value::typeTag(value) == JSValueType::Undefined;
+}
+fn Value::isNullOrUndefined(value: Value) -> Bool {
+  return Value::isNull(value) || Value::isUndefined(value);
+}
+fn Value::isMagic(value: Value) -> Bool {
+  return Value::typeTag(value) == JSValueType::Magic;
+}
+
+// Refined (safe) unboxing — Figure 10's `refine safe fn toObject`.
+fn Value::toObject(value: Value) -> Object {
+  assert Value::isObject(value);
+  return Value::toObjectRaw(value);
+}
+fn Value::toInt32(value: Value) -> Int32 {
+  assert Value::isInt32(value);
+  return Value::toInt32Raw(value);
+}
+fn Value::toBoolean(value: Value) -> Bool {
+  assert Value::isBoolean(value);
+  return Value::toBooleanRaw(value);
+}
+fn Value::toString(value: Value) -> String {
+  assert Value::isString(value);
+  return Value::toStringRaw(value);
+}
+fn Value::toSymbol(value: Value) -> Symbol {
+  assert Value::isSymbol(value);
+  return Value::toSymbolRaw(value);
+}
+fn Value::toDouble(value: Value) -> Double {
+  assert Value::isDouble(value);
+  return Value::toDoubleRaw(value);
+}
+
+// ---------------------------------------------------------------------------
+// Objects, shapes, slots
+// ---------------------------------------------------------------------------
+
+extern fn Object::shapeOf(object: Object) -> Shape;
+extern fn Shape::classOf(shape: Shape) -> ClassKind;
+extern fn Shape::numFixedSlots(shape: Shape) -> Int32
+  ensures result >= 0;
+
+fn Object::classOf(object: Object) -> ClassKind {
+  return Shape::classOf(Object::shapeOf(object));
+}
+fn Object::isNative(object: Object) -> Bool {
+  return Object::classOf(object) != ClassKind::Proxy;
+}
+
+// Layout axiom: TypedArray instances reserve fixed slots 0..3 (slot 3 holds
+// the length as a private intptr). Introduced locally where the class test
+// happens, so it is available exactly when the test passed.
+fn Object::isTypedArray(object: Object) -> Bool {
+  let isTA = Object::classOf(object) == ClassKind::TypedArray;
+  if isTA {
+    assume Shape::numFixedSlots(Object::shapeOf(object)) >= 4;
+  }
+  return isTA;
+}
+fn TypedArray::lengthSlot() -> Int32 {
+  return 3;
+}
+
+// Layout axiom: ArgumentsObject reserves fixed slots 0..1.
+fn Object::isArgumentsObject(object: Object) -> Bool {
+  let isArgs = Object::classOf(object) == ClassKind::ArgumentsObject;
+  if isArgs {
+    assume Shape::numFixedSlots(Object::shapeOf(object)) >= 2;
+  }
+  return isArgs;
+}
+
+// Fixed slots — Figure 5's $NativeObject~$getFixedSlot with assertion (S).
+extern fn NativeObject::getFixedSlotRaw(object: Object, slot: Int32) -> Value;
+fn NativeObject::getFixedSlot(object: Object, slot: Int32) -> Value {
+  assert slot >= 0;
+  assert slot < Shape::numFixedSlots(Object::shapeOf(object));
+  return NativeObject::getFixedSlotRaw(object, slot);
+}
+
+// Dynamic slots (slot span is determined by the shape, as in SpiderMonkey).
+extern fn NativeObject::getDynamicSlotRaw(object: Object, slot: Int32) -> Value;
+fn NativeObject::getDynamicSlot(object: Object, slot: Int32) -> Value {
+  assert Object::isNative(object);
+  assert slot >= 0;
+  assert slot < Shape::numDynamicSlots(Object::shapeOf(object));
+  return NativeObject::getDynamicSlotRaw(object, slot);
+}
+
+// Dense elements.
+extern fn NativeObject::denseInitializedLengthRaw(object: Object) -> Int32
+  ensures result >= 0;
+extern fn NativeObject::getDenseElementRaw(object: Object, index: Int32) -> Value;
+fn NativeObject::getDenseElement(object: Object, index: Int32) -> Value {
+  assert Object::isNative(object);
+  assert index >= 0;
+  assert index < NativeObject::denseInitializedLengthRaw(object);
+  return NativeObject::getDenseElementRaw(object, index);
+}
+
+// Arrays.
+extern fn ArrayObject::lengthRaw(object: Object) -> Int64
+  ensures result >= 0;
+fn ArrayObject::length(object: Object) -> Int64 {
+  assert Object::classOf(object) == ClassKind::ArrayObject;
+  return ArrayObject::lengthRaw(object);
+}
+
+// Arguments objects.
+extern fn ArgumentsObject::numArgsRaw(object: Object) -> Int32
+  ensures result >= 0;
+extern fn ArgumentsObject::getArgRaw(object: Object, index: Int32) -> Value;
+fn ArgumentsObject::getArg(object: Object, index: Int32) -> Value {
+  assert Object::classOf(object) == ClassKind::ArgumentsObject;
+  assert index >= 0;
+  assert index < ArgumentsObject::numArgsRaw(object);
+  return ArgumentsObject::getArgRaw(object, index);
+}
+
+// Property lookup used by megamorphic guards.
+extern fn NativeObject::lookupGetterSetter(object: Object, key: PropertyKey) -> GetterSetter;
+
+// Strings / symbols.
+extern fn String::equalsRaw(a: String, b: String) -> Bool;
+// JSString::MAX_LENGTH in SpiderMonkey is (1 << 30) - 2, so lengths always
+// fit an int32 — without this upper bound the verifier (rightly) rejects
+// boxing a string length as an Int32 result.
+extern fn String::lengthRaw(s: String) -> Int32
+  ensures result >= 0
+  ensures result <= 1073741822;
+extern fn Symbol::isPrivateNameRaw(sym: Symbol) -> Bool;
+fn Value::isPrivateSymbol(value: Value) -> Bool {
+  if Value::isSymbol(value) {
+    return Symbol::isPrivateNameRaw(Value::toSymbolRaw(value));
+  }
+  return false;
+}
+
+// Doubles (uninterpreted; structure comes from these operations).
+extern fn Double::isInt32Exact(d: Double) -> Bool;
+extern fn Double::toInt32Exact(d: Double) -> Int32
+  requires Double::isInt32Exact(d)
+  ensures result >= -2147483648
+  ensures result <= 2147483647;
+extern fn Double::truncateRaw(d: Double) -> Int64;
+
+// Two's-complement truncation of a 64-bit value to int32 (JS ToInt32).
+extern fn Int32::signedTruncate(v: Int64) -> Int32
+  ensures result >= -2147483648
+  ensures result <= 2147483647;
+
+// Property → slot layout facts derived from a shape. A property that lives
+// in a fixed slot is, by the shape's own bookkeeping, within the fixed-slot
+// bound — the ensures clauses are what make shape-guarded slot loads safe.
+extern fn Shape::hasFixedSlotProperty(shape: Shape, key: PropertyKey) -> Bool;
+extern fn Shape::lookupFixedSlot(shape: Shape, key: PropertyKey) -> Int32
+  requires Shape::hasFixedSlotProperty(shape, key)
+  ensures result >= 0
+  ensures result < Shape::numFixedSlots(shape);
+extern fn Shape::numDynamicSlots(shape: Shape) -> Int32
+  ensures result >= 0;
+extern fn Shape::hasDynamicSlotProperty(shape: Shape, key: PropertyKey) -> Bool;
+extern fn Shape::lookupDynamicSlot(shape: Shape, key: PropertyKey) -> Int32
+  requires Shape::hasDynamicSlotProperty(shape, key)
+  ensures result >= 0
+  ensures result < Shape::numDynamicSlots(shape);
+
+// ---------------------------------------------------------------------------
+// Runtime (VM) call targets with their invariants — §4.2 "JavaScript Runtime
+// Call ABI" and the contract layer for bugs 1502143 / 1651732.
+// ---------------------------------------------------------------------------
+
+extern fn VM::getSparseElementHelper(object: Object, index: Int32) -> Value
+  requires Object::classOf(object) == ClassKind::ArrayObject
+  requires index >= 0;
+
+extern fn VM::proxyGetByValue(object: Object, key: Value) -> Value
+  requires Object::classOf(object) == ClassKind::Proxy
+  requires !Value::isPrivateSymbol(key);
+
+// ---------------------------------------------------------------------------
+// Machine builtins (implemented by the host; see exec/externs.cc)
+// ---------------------------------------------------------------------------
+
+// Compile time: operand table and register allocation.
+extern fn CacheIRCompiler::useValueId(id: ValueId) -> ValueReg;
+extern fn CacheIRCompiler::useObjectId(id: ObjectId) -> Reg;
+extern fn CacheIRCompiler::useInt32Id(id: Int32Id) -> Reg;
+extern fn CacheIRCompiler::useStringId(id: StringId) -> Reg;
+extern fn CacheIRCompiler::useSymbolId(id: SymbolId) -> Reg;
+extern fn CacheIRCompiler::allocScratchReg() -> Reg;
+extern fn CacheIRCompiler::releaseReg(reg: Reg);
+extern fn CacheIRCompiler::outputReg() -> ValueReg;
+extern fn CacheIRCompiler::hasKnownType(id: ValueId) -> Bool;
+extern fn CacheIRCompiler::knownType(id: ValueId) -> JSValueType;
+extern fn CacheIRCompiler::setKnownType(id: ValueId, t: JSValueType);
+
+// Writer-side fresh operand ids; compiler-side result-operand binding.
+extern fn CacheIR::newInt32Id() -> Int32Id;
+extern fn CacheIRCompiler::defineOperandReg(id: Int32Id) -> Reg;
+
+// Operand-id reinterpretation.
+extern fn OperandId::toObjectId(id: ValueId) -> ObjectId;
+extern fn OperandId::toInt32Id(id: ValueId) -> Int32Id;
+extern fn OperandId::toStringId(id: ValueId) -> StringId;
+extern fn OperandId::toSymbolId(id: ValueId) -> SymbolId;
+extern fn ValueReg::scratchReg(reg: ValueReg) -> Reg;
+extern fn MASM::ecxReg() -> Reg;
+
+// Run time: the register file.
+extern fn MASM::getValue(reg: ValueReg) -> Value;
+extern fn MASM::setValue(reg: ValueReg, value: Value);
+extern fn MASM::getInt32(reg: Reg) -> Int32;
+extern fn MASM::setInt32(reg: Reg, value: Int32);
+extern fn MASM::getObject(reg: Reg) -> Object;
+extern fn MASM::setObject(reg: Reg, object: Object);
+extern fn MASM::getString(reg: Reg) -> String;
+extern fn MASM::setString(reg: Reg, s: String);
+extern fn MASM::getSymbol(reg: Reg) -> Symbol;
+extern fn MASM::setSymbol(reg: Reg, s: Symbol);
+extern fn MASM::getIntPtr(reg: Reg) -> Int64;
+extern fn MASM::setIntPtr(reg: Reg, value: Int64);
+extern fn MASM::getBool(reg: Reg) -> Bool;
+extern fn MASM::setBool(reg: Reg, b: Bool);
+extern fn MASM::getDouble(reg: Reg) -> Double;
+extern fn MASM::setDouble(reg: Reg, d: Double);
+
+// Run time: stack and ABI.
+extern fn MASM::pushReg(reg: Reg);
+extern fn MASM::popReg(reg: Reg);
+extern fn MASM::pushValueReg(reg: ValueReg);
+extern fn MASM::popValueReg(reg: ValueReg);
+extern fn MASM::dropStack(count: Int32);
+extern fn MASM::saveLiveRegs();
+extern fn MASM::restoreLiveRegs();
+extern fn MASM::clobberVolatileRegs();
+extern fn MASM::returnFromStub();
+extern fn MASM::stackDepth() -> Int32;
+
+// ---------------------------------------------------------------------------
+// Small shared helpers
+// ---------------------------------------------------------------------------
+
+fn Int32::minValue() -> Int32 {
+  return -2147483648;
+}
+fn Int32::maxValue() -> Int32 {
+  return 2147483647;
+}
+
+fn Condition::fromJSOp(jsop: JSOp) -> Condition {
+  if jsop == JSOp::Lt {
+    return Condition::LessThan;
+  }
+  if jsop == JSOp::Le {
+    return Condition::LessThanOrEqual;
+  }
+  if jsop == JSOp::Gt {
+    return Condition::GreaterThan;
+  }
+  if jsop == JSOp::Ge {
+    return Condition::GreaterThanOrEqual;
+  }
+  if jsop == JSOp::Ne || jsop == JSOp::StrictNe {
+    return Condition::NotEqual;
+  }
+  return Condition::Equal;
+}
+)ICARUS";
+}
+
+}  // namespace icarus::platform

@@ -1,0 +1,43 @@
+// Lightweight CHECK macros for invariant enforcement.
+//
+// These are used for *internal* invariants of the Icarus toolchain (bugs in
+// this codebase), never for user-visible verification failures — those are
+// reported through icarus::Status and verifier counterexamples.
+#ifndef ICARUS_SUPPORT_CHECK_H_
+#define ICARUS_SUPPORT_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace icarus {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* cond) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, cond);
+  std::abort();
+}
+
+[[noreturn]] inline void CheckFailedMsg(const char* file, int line, const char* cond,
+                                        const char* msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", file, line, cond, msg);
+  std::abort();
+}
+
+}  // namespace icarus
+
+#define ICARUS_CHECK(cond)                                 \
+  do {                                                     \
+    if (!(cond)) {                                         \
+      ::icarus::CheckFailed(__FILE__, __LINE__, #cond);    \
+    }                                                      \
+  } while (0)
+
+#define ICARUS_CHECK_MSG(cond, msg)                                \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::icarus::CheckFailedMsg(__FILE__, __LINE__, #cond, (msg));  \
+    }                                                              \
+  } while (0)
+
+#define ICARUS_UNREACHABLE(msg) ::icarus::CheckFailedMsg(__FILE__, __LINE__, "unreachable", (msg))
+
+#endif  // ICARUS_SUPPORT_CHECK_H_

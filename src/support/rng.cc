@@ -1,0 +1,31 @@
+#include "src/support/rng.h"
+
+#include "src/support/check.h"
+
+namespace icarus {
+
+uint64_t Rng::NextU64() {
+  // SplitMix64 (public domain, Sebastiano Vigna).
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  ICARUS_CHECK(bound != 0);
+  return NextU64() % bound;
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  ICARUS_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace icarus

@@ -1,0 +1,33 @@
+// Deterministic pseudo-random number generation (SplitMix64) used by the
+// mini-JS workload generators and the property-based tests. Deterministic
+// seeding keeps test failures reproducible.
+#ifndef ICARUS_SUPPORT_RNG_H_
+#define ICARUS_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace icarus {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t NextU64();
+
+  // Uniform in [0, bound); bound must be nonzero.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  bool NextBool() { return (NextU64() & 1) != 0; }
+
+  double NextDouble();  // Uniform in [0, 1).
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace icarus
+
+#endif  // ICARUS_SUPPORT_RNG_H_

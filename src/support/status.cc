@@ -1,0 +1,4 @@
+#include "src/support/status.h"
+
+// Status is header-only; this file exists to give the target a translation
+// unit and to anchor the vtable-free types in one place if they grow.

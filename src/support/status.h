@@ -1,0 +1,75 @@
+// Error propagation types for the Icarus toolchain.
+//
+// The DSL frontend (lexer/parser/resolver) reports user errors through
+// Status/StatusOr rather than aborting, so that tests and tools can assert on
+// diagnostics. Internal invariants use ICARUS_CHECK instead.
+#ifndef ICARUS_SUPPORT_STATUS_H_
+#define ICARUS_SUPPORT_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/support/check.h"
+
+namespace icarus {
+
+class Status {
+ public:
+  Status() = default;  // OK.
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    s.ok_ = false;
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {   // NOLINT(runtime/explicit)
+    ICARUS_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status without a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    ICARUS_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  const T& value() const {
+    ICARUS_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T&& take() {
+    ICARUS_CHECK_MSG(ok(), status_.message().c_str());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace icarus
+
+#define ICARUS_RETURN_IF_ERROR(expr)     \
+  do {                                   \
+    ::icarus::Status _st = (expr);       \
+    if (!_st.ok()) {                     \
+      return _st;                        \
+    }                                    \
+  } while (0)
+
+#endif  // ICARUS_SUPPORT_STATUS_H_

@@ -1,0 +1,38 @@
+#include "src/support/timing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/check.h"
+
+namespace icarus {
+
+SampleStats ComputeStats(std::vector<double> samples) {
+  SampleStats stats;
+  if (samples.empty()) {
+    return stats;
+  }
+  std::sort(samples.begin(), samples.end());
+  stats.min = samples.front();
+  stats.max = samples.back();
+  size_t n = samples.size();
+  if (n % 2 == 1) {
+    stats.median = samples[n / 2];
+  } else {
+    stats.median = (samples[n / 2 - 1] + samples[n / 2]) / 2.0;
+  }
+  double sum = 0.0;
+  for (double s : samples) {
+    sum += s;
+  }
+  stats.mean = sum / static_cast<double>(n);
+  double var = 0.0;
+  for (double s : samples) {
+    var += (s - stats.mean) * (s - stats.mean);
+  }
+  // Sample standard deviation, matching how benchmark tables usually report σ.
+  stats.stddev = (n > 1) ? std::sqrt(var / static_cast<double>(n - 1)) : 0.0;
+  return stats;
+}
+
+}  // namespace icarus

@@ -1,0 +1,38 @@
+// Wall-clock timing and the summary statistics used by the evaluation tables
+// (mean, median, standard deviation over repeated runs).
+#ifndef ICARUS_SUPPORT_TIMING_H_
+#define ICARUS_SUPPORT_TIMING_H_
+
+#include <chrono>
+#include <vector>
+
+namespace icarus {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Summary statistics over a sample of measurements.
+struct SampleStats {
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+SampleStats ComputeStats(std::vector<double> samples);
+
+}  // namespace icarus
+
+#endif  // ICARUS_SUPPORT_TIMING_H_

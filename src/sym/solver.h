@@ -1,0 +1,82 @@
+// A small SMT-style satisfiability checker for the quantifier-free fragment
+// the meta-executor produces: boolean combinations of (dis)equalities over
+// uninterpreted terms plus integer comparisons.
+//
+// This stands in for Corral/Z3 in the paper's pipeline (see DESIGN.md §3).
+// Architecture:
+//   1. DPLL case-splitting over the *atoms* of the conjunction (hash-consing
+//      makes matching guard/assert atoms pointer-equal, so most queries are
+//      resolved propositionally with zero or one decision);
+//   2. a theory check per candidate assignment: congruence closure for
+//      equality + uninterpreted functions, then interval propagation for
+//      integer comparison literals and arithmetic structure;
+//   3. model extraction for counterexample reporting.
+//
+// Sound for UNSAT answers within the supported fragment; SAT answers come
+// with a model over the atoms and integer-class values. Unsupported structure
+// (e.g. nonlinear facts the interval layer cannot refute) degrades to SAT
+// with a best-effort model, which for a verifier is the conservative
+// direction: it can cause a spurious counterexample, never a missed bug.
+#ifndef ICARUS_SYM_SOLVER_H_
+#define ICARUS_SYM_SOLVER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sym/expr.h"
+
+namespace icarus::sym {
+
+enum class Verdict {
+  kSat,
+  kUnsat,
+  kUnknown,  // Resource limits hit.
+};
+
+// Satisfying assignment, for rendering counterexamples.
+struct Model {
+  // Truth value per decided atom.
+  std::vector<std::pair<ExprRef, bool>> atoms;
+  // Concrete value per integer/term congruence-class representative.
+  std::vector<std::pair<ExprRef, int64_t>> terms;
+
+  std::string ToString() const;
+  // Looks up the value assigned to `term`'s class, if any.
+  bool Lookup(ExprRef term, int64_t* out) const;
+};
+
+struct SolverStats {
+  int64_t decisions = 0;
+  int64_t theory_checks = 0;
+  int64_t queries = 0;
+};
+
+struct SolveResult {
+  Verdict verdict = Verdict::kUnknown;
+  Model model;  // Valid only when verdict == kSat.
+};
+
+class Solver {
+ public:
+  struct Limits {
+    int64_t max_decisions = 2'000'000;
+  };
+
+  Solver() : limits_(Limits{}) {}
+  explicit Solver(Limits limits) : limits_(limits) {}
+
+  // Decides satisfiability of the conjunction of `conjuncts`.
+  SolveResult Solve(const std::vector<ExprRef>& conjuncts);
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  Limits limits_;
+  SolverStats stats_;
+};
+
+}  // namespace icarus::sym
+
+#endif  // ICARUS_SYM_SOLVER_H_

@@ -1,0 +1,67 @@
+#include "src/verifier/verifier.h"
+
+#include "src/support/str_util.h"
+
+namespace icarus::verifier {
+
+std::string VerifyReport::Render() const {
+  std::string out = StrCat("=== ", generator, " ===\n");
+  out += StrCat(verified ? "VERIFIED" : "COUNTEREXAMPLE FOUND", "\n");
+  out += StrFormat("paths: %d explored, %d attached, %d infeasible; %lld solver queries\n",
+                   meta.paths_explored, meta.paths_attached, meta.paths_infeasible,
+                   static_cast<long long>(meta.solver_queries));
+  out += StrFormat("time: mean %.3fs, median %.3fs, sigma %.4fs over runs\n", timing.mean,
+                   timing.median, timing.stddev);
+  out += StrFormat("icarus loc (call graph): %d\n", total_loc);
+  if (cfa_nodes > 0) {
+    out += StrFormat("cfa: %d nodes, %d edges, %lld feasible instruction sequences\n",
+                     cfa_nodes, cfa_edges, static_cast<long long>(cfa_paths));
+  }
+  for (const exec::Violation& v : meta.violations) {
+    out += StrCat("\nviolation: ", v.message, "\n  at ", v.function,
+                  v.line > 0 ? StrCat(" (line ", v.line, ")") : "", "\n");
+    if (!v.model.empty()) {
+      out += StrCat("  counterexample model:\n", Indent(v.model, 4), "\n");
+    }
+    for (const std::string& note : v.notes) {
+      out += StrCat("  ", note, "\n");
+    }
+  }
+  return out;
+}
+
+StatusOr<VerifyReport> Verifier::Verify(const std::string& generator_name,
+                                        const VerifyOptions& options) {
+  StatusOr<meta::MetaStub> stub = platform_->MakeMetaStub(generator_name);
+  if (!stub.ok()) {
+    return stub.status();
+  }
+  VerifyReport report;
+  report.generator = generator_name;
+  report.total_loc = platform_->TotalLoc(generator_name);
+
+  meta::MetaExecutor executor(&platform_->module(), &platform_->externs());
+  std::vector<double> samples;
+  int runs = options.runs < 1 ? 1 : options.runs;
+  for (int i = 0; i < runs; ++i) {
+    report.meta = executor.Run(stub.value());
+    samples.push_back(report.meta.seconds);
+  }
+  report.timing = ComputeStats(std::move(samples));
+  report.verified = report.meta.verified;
+
+  if (options.build_cfa) {
+    cfa::CfaBuilder builder(&platform_->module(), &platform_->externs());
+    StatusOr<cfa::Cfa> automaton = builder.Build(stub.value());
+    if (!automaton.ok()) {
+      return automaton.status();
+    }
+    report.cfa_nodes = automaton.value().num_nodes();
+    report.cfa_edges = automaton.value().num_edges();
+    report.cfa_paths = automaton.value().CountPaths(64, 1000000000);
+    report.cfa_dot = automaton.value().ToDot();
+  }
+  return report;
+}
+
+}  // namespace icarus::verifier

@@ -1,0 +1,49 @@
+// Top-level verification pipeline: generator name → CFA → meta-execution →
+// verdict with timing, the API the benchmarks, examples, and tests drive.
+#ifndef ICARUS_VERIFIER_VERIFIER_H_
+#define ICARUS_VERIFIER_VERIFIER_H_
+
+#include <string>
+
+#include "src/cfa/cfa.h"
+#include "src/meta/meta_executor.h"
+#include "src/platform/platform.h"
+#include "src/support/status.h"
+#include "src/support/timing.h"
+
+namespace icarus::verifier {
+
+struct VerifyOptions {
+  int runs = 1;           // Repeat meta-execution this many times for timing.
+  bool build_cfa = true;  // Also construct the explicit automaton artifact.
+};
+
+struct VerifyReport {
+  std::string generator;
+  bool verified = false;
+  meta::MetaResult meta;      // Result of the last run.
+  SampleStats timing;         // Seconds per run.
+  int total_loc = 0;          // Figure 12-style LoC attribution.
+  int cfa_nodes = 0;
+  int cfa_edges = 0;
+  int64_t cfa_paths = 0;      // Instruction sequences through the automaton.
+  std::string cfa_dot;        // GraphViz rendering (when build_cfa).
+
+  // Human-readable report: verdict, stub shapes, counterexample if any.
+  std::string Render() const;
+};
+
+class Verifier {
+ public:
+  explicit Verifier(const platform::Platform* platform) : platform_(platform) {}
+
+  StatusOr<VerifyReport> Verify(const std::string& generator_name,
+                                const VerifyOptions& options = VerifyOptions());
+
+ private:
+  const platform::Platform* platform_;
+};
+
+}  // namespace icarus::verifier
+
+#endif  // ICARUS_VERIFIER_VERIFIER_H_

@@ -1,0 +1,3 @@
+#include "src/vm/bytecode.h"
+
+// ProgramBuilder is header-only; this translation unit anchors the target.

@@ -1,0 +1,379 @@
+#include "src/vm/ic.h"
+
+#include <cmath>
+
+#include "src/exec/externs.h"
+#include "src/support/str_util.h"
+
+namespace icarus::vm {
+
+namespace {
+
+using exec::EvalContext;
+using exec::GetConstInt;
+using exec::Value;
+
+// Poison value returned by raw accessors on out-of-bounds reads. In the real
+// engine such a read returns adjacent memory; here it is a deterministic
+// marker so the exploit demo (examples/vm_demo.cpp) can show corrupted data
+// flowing out of an unsafely-attached stub without actual UB.
+JsValue OobPoison() { return JsValue::Private(0xBADBEEF); }
+
+Runtime* Rt(EvalContext& ctx) {
+  ICARUS_CHECK_MSG(ctx.host_data != nullptr, "VM extern called without a Runtime");
+  return static_cast<Runtime*>(ctx.host_data);
+}
+
+JsValue BoxedArg(const Value& v) {
+  StatusOr<int64_t> bits = GetConstInt(v);
+  ICARUS_CHECK_MSG(bits.ok(), "VM extern needs concrete arguments");
+  return JsValue::FromRaw(static_cast<uint64_t>(bits.value()));
+}
+
+int64_t IntArg(const Value& v) {
+  StatusOr<int64_t> i = GetConstInt(v);
+  ICARUS_CHECK_MSG(i.ok(), "VM extern needs concrete arguments");
+  return i.value();
+}
+
+}  // namespace
+
+void RegisterVmBindings(exec::ExternRegistry* registry, const ast::Module* module) {
+  const ast::Type* bool_t = module->types().Bool();
+  const ast::Type* int32_t_ = module->types().Int32();
+  const ast::Type* int64_t_ = module->types().Int64();
+  const ast::Type* value_t = module->types().Lookup("Value");
+  const ast::Type* object_t = module->types().Lookup("Object");
+  const ast::Type* shape_t = module->types().Lookup("Shape");
+  const ast::Type* string_t = module->types().Lookup("String");
+  const ast::Type* symbol_t = module->types().Lookup("Symbol");
+  const ast::Type* gs_t = module->types().Lookup("GetterSetter");
+  const ast::Type* double_t = module->types().Double();
+  const ast::Type* jsvt_t = module->types().Lookup("JSValueType");
+  const ast::Type* class_t = module->types().Lookup("ClassKind");
+
+  auto reg_int = [registry](const char* name, const ast::Type* type, auto fn) {
+    registry->Register(name,
+                       [type, fn](EvalContext& ctx,
+                                  const std::vector<Value>& args) -> StatusOr<Value> {
+                         return Value::Of(type, ctx.pool().IntConst(fn(ctx, args)));
+                       });
+  };
+  auto reg_bool = [registry, bool_t](const char* name, auto fn) {
+    registry->Register(name,
+                       [bool_t, fn](EvalContext& ctx,
+                                    const std::vector<Value>& args) -> StatusOr<Value> {
+                         return Value::Of(bool_t, ctx.pool().BoolConst(fn(ctx, args)));
+                       });
+  };
+  auto raw = [](EvalContext& ctx, const std::vector<Value>& args, size_t i) {
+    return BoxedArg(args[i]);
+  };
+
+  // --- Boxing / unboxing ---
+  reg_int("Value::typeTag", jsvt_t, [raw](EvalContext& c, const std::vector<Value>& a) {
+    return static_cast<int64_t>(raw(c, a, 0).type());
+  });
+  reg_int("Value::toObjectRaw", object_t, [raw](EvalContext& c, const std::vector<Value>& a) {
+    return static_cast<int64_t>(raw(c, a, 0).AsObjectIndex());
+  });
+  reg_int("Value::fromObjectRaw", value_t, [](EvalContext& c, const std::vector<Value>& a) {
+    return static_cast<int64_t>(JsValue::Object(static_cast<uint32_t>(IntArg(a[0]))).raw());
+  });
+  reg_int("Value::toInt32Raw", int32_t_, [raw](EvalContext& c, const std::vector<Value>& a) {
+    return static_cast<int64_t>(raw(c, a, 0).AsInt32());
+  });
+  reg_int("Value::fromInt32Raw", value_t, [](EvalContext& c, const std::vector<Value>& a) {
+    return static_cast<int64_t>(JsValue::Int32(static_cast<int32_t>(IntArg(a[0]))).raw());
+  });
+  reg_bool("Value::toBooleanRaw", [raw](EvalContext& c, const std::vector<Value>& a) {
+    return raw(c, a, 0).AsBoolean();
+  });
+  reg_int("Value::fromBooleanRaw", value_t, [](EvalContext& c, const std::vector<Value>& a) {
+    return static_cast<int64_t>(JsValue::Boolean(IntArg(a[0]) != 0).raw());
+  });
+  reg_int("Value::toStringRaw", string_t, [raw](EvalContext& c, const std::vector<Value>& a) {
+    return static_cast<int64_t>(raw(c, a, 0).AsStringAtom());
+  });
+  reg_int("Value::fromStringRaw", value_t, [](EvalContext& c, const std::vector<Value>& a) {
+    return static_cast<int64_t>(JsValue::String(static_cast<uint32_t>(IntArg(a[0]))).raw());
+  });
+  reg_int("Value::toSymbolRaw", symbol_t, [raw](EvalContext& c, const std::vector<Value>& a) {
+    return static_cast<int64_t>(raw(c, a, 0).AsSymbolIndex());
+  });
+  reg_int("Value::fromSymbolRaw", value_t, [](EvalContext& c, const std::vector<Value>& a) {
+    return static_cast<int64_t>(JsValue::Symbol(static_cast<uint32_t>(IntArg(a[0]))).raw());
+  });
+  reg_int("Value::toDoubleRaw", double_t, [raw](EvalContext& c, const std::vector<Value>& a) {
+    return static_cast<int64_t>(raw(c, a, 0).raw());  // Double bits pass through.
+  });
+  reg_int("Value::fromDoubleRaw", value_t, [](EvalContext& c, const std::vector<Value>& a) {
+    return IntArg(a[0]);
+  });
+  reg_int("Value::undefinedValue", value_t, [](EvalContext& c, const std::vector<Value>& a) {
+    return static_cast<int64_t>(JsValue::Undefined().raw());
+  });
+  reg_int("Value::privateToIntPtr", int64_t_, [raw](EvalContext& c,
+                                                    const std::vector<Value>& a) {
+    return static_cast<int64_t>(raw(c, a, 0).AsPrivate());
+  });
+
+  // --- Objects / shapes / slots ---
+  reg_int("Object::shapeOf", shape_t, [](EvalContext& c, const std::vector<Value>& a) {
+    return static_cast<int64_t>(
+        Rt(c)->Object(static_cast<uint32_t>(IntArg(a[0]))).shape->id);
+  });
+  reg_int("Shape::classOf", class_t, [](EvalContext& c, const std::vector<Value>& a) {
+    return static_cast<int64_t>(
+        Rt(c)->ShapeById(static_cast<uint32_t>(IntArg(a[0])))->clasp);
+  });
+  reg_int("Shape::numFixedSlots", int32_t_, [](EvalContext& c, const std::vector<Value>& a) {
+    return Rt(c)->ShapeById(static_cast<uint32_t>(IntArg(a[0])))->num_fixed_slots;
+  });
+  reg_int("Shape::numDynamicSlots", int32_t_, [](EvalContext& c,
+                                                 const std::vector<Value>& a) {
+    return Rt(c)->ShapeById(static_cast<uint32_t>(IntArg(a[0])))->num_dynamic_slots;
+  });
+  reg_int("NativeObject::getFixedSlotRaw", value_t,
+          [](EvalContext& c, const std::vector<Value>& a) {
+            const JsObject& obj = Rt(c)->Object(static_cast<uint32_t>(IntArg(a[0])));
+            int64_t slot = IntArg(a[1]);
+            if (slot < 0 || slot >= static_cast<int64_t>(obj.fixed_slots.size())) {
+              return static_cast<int64_t>(OobPoison().raw());
+            }
+            return static_cast<int64_t>(obj.fixed_slots[static_cast<size_t>(slot)].raw());
+          });
+  reg_int("NativeObject::getDynamicSlotRaw", value_t,
+          [](EvalContext& c, const std::vector<Value>& a) {
+            const JsObject& obj = Rt(c)->Object(static_cast<uint32_t>(IntArg(a[0])));
+            int64_t slot = IntArg(a[1]);
+            if (slot < 0 || slot >= static_cast<int64_t>(obj.dynamic_slots.size())) {
+              return static_cast<int64_t>(OobPoison().raw());
+            }
+            return static_cast<int64_t>(obj.dynamic_slots[static_cast<size_t>(slot)].raw());
+          });
+  reg_int("NativeObject::denseInitializedLengthRaw", int32_t_,
+          [](EvalContext& c, const std::vector<Value>& a) {
+            return static_cast<int64_t>(
+                Rt(c)->Object(static_cast<uint32_t>(IntArg(a[0]))).elements.size());
+          });
+  reg_int("NativeObject::getDenseElementRaw", value_t,
+          [](EvalContext& c, const std::vector<Value>& a) {
+            const JsObject& obj = Rt(c)->Object(static_cast<uint32_t>(IntArg(a[0])));
+            int64_t index = IntArg(a[1]);
+            if (index < 0 || index >= static_cast<int64_t>(obj.elements.size())) {
+              return static_cast<int64_t>(OobPoison().raw());
+            }
+            return static_cast<int64_t>(obj.elements[static_cast<size_t>(index)].raw());
+          });
+  reg_int("ArrayObject::lengthRaw", int64_t_, [](EvalContext& c,
+                                                 const std::vector<Value>& a) {
+    return Rt(c)->Object(static_cast<uint32_t>(IntArg(a[0]))).array_length;
+  });
+  reg_int("ArgumentsObject::numArgsRaw", int32_t_,
+          [](EvalContext& c, const std::vector<Value>& a) {
+            return static_cast<int64_t>(
+                Rt(c)->Object(static_cast<uint32_t>(IntArg(a[0]))).args.size());
+          });
+  reg_int("ArgumentsObject::getArgRaw", value_t,
+          [](EvalContext& c, const std::vector<Value>& a) {
+            const JsObject& obj = Rt(c)->Object(static_cast<uint32_t>(IntArg(a[0])));
+            int64_t index = IntArg(a[1]);
+            if (index < 0 || index >= static_cast<int64_t>(obj.args.size())) {
+              return static_cast<int64_t>(OobPoison().raw());
+            }
+            return static_cast<int64_t>(obj.args[static_cast<size_t>(index)].raw());
+          });
+  reg_int("NativeObject::lookupGetterSetter", gs_t,
+          [](EvalContext& c, const std::vector<Value>& a) {
+            const JsObject& obj = Rt(c)->Object(static_cast<uint32_t>(IntArg(a[0])));
+            auto it = obj.shape->getter_setters.find(static_cast<PropKey>(IntArg(a[1])));
+            return it == obj.shape->getter_setters.end() ? 0
+                                                         : static_cast<int64_t>(it->second);
+          });
+
+  // --- Strings / symbols / doubles / int helpers ---
+  reg_bool("String::equalsRaw", [](EvalContext& c, const std::vector<Value>& a) {
+    return IntArg(a[0]) == IntArg(a[1]);
+  });
+  reg_bool("Symbol::isPrivateNameRaw", [](EvalContext& c, const std::vector<Value>& a) {
+    return Rt(c)->SymbolIsPrivate(static_cast<uint32_t>(IntArg(a[0])));
+  });
+  reg_bool("Double::isInt32Exact", [](EvalContext& c, const std::vector<Value>& a) {
+    double d = JsValue::FromRaw(static_cast<uint64_t>(IntArg(a[0]))).AsDouble();
+    if (d != std::trunc(d) || d < -2147483648.0 || d > 2147483647.0) {
+      return false;
+    }
+    // Negative zero must not convert (JS -0 is not an int32 index).
+    return !(d == 0.0 && std::signbit(d));
+  });
+  reg_int("Double::toInt32Exact", int32_t_, [](EvalContext& c, const std::vector<Value>& a) {
+    return static_cast<int64_t>(
+        JsValue::FromRaw(static_cast<uint64_t>(IntArg(a[0]))).AsDouble());
+  });
+  reg_int("Double::truncateRaw", int64_t_, [](EvalContext& c, const std::vector<Value>& a) {
+    double d = JsValue::FromRaw(static_cast<uint64_t>(IntArg(a[0]))).AsDouble();
+    if (!std::isfinite(d)) {
+      return static_cast<int64_t>(0);
+    }
+    double t = std::trunc(d);
+    if (t > 9.2e18 || t < -9.2e18) {
+      return static_cast<int64_t>(0);  // JS ToInt32 of huge doubles via mod 2^32.
+    }
+    return static_cast<int64_t>(t);
+  });
+  reg_int("Int32::signedTruncate", int32_t_, [](EvalContext& c,
+                                                const std::vector<Value>& a) {
+    return static_cast<int64_t>(
+        static_cast<int32_t>(static_cast<uint32_t>(static_cast<uint64_t>(IntArg(a[0])))));
+  });
+
+  // --- Shape property layout ---
+  reg_bool("Shape::hasFixedSlotProperty", [](EvalContext& c, const std::vector<Value>& a) {
+    const Shape* shape = Rt(c)->ShapeById(static_cast<uint32_t>(IntArg(a[0])));
+    const PropertyInfo* info = shape->Find(static_cast<PropKey>(IntArg(a[1])));
+    return info != nullptr && info->is_fixed;
+  });
+  reg_int("Shape::lookupFixedSlot", int32_t_, [](EvalContext& c,
+                                                 const std::vector<Value>& a) {
+    const Shape* shape = Rt(c)->ShapeById(static_cast<uint32_t>(IntArg(a[0])));
+    const PropertyInfo* info = shape->Find(static_cast<PropKey>(IntArg(a[1])));
+    ICARUS_CHECK(info != nullptr && info->is_fixed);
+    return static_cast<int64_t>(info->slot);
+  });
+  reg_bool("Shape::hasDynamicSlotProperty", [](EvalContext& c, const std::vector<Value>& a) {
+    const Shape* shape = Rt(c)->ShapeById(static_cast<uint32_t>(IntArg(a[0])));
+    const PropertyInfo* info = shape->Find(static_cast<PropKey>(IntArg(a[1])));
+    return info != nullptr && !info->is_fixed;
+  });
+  reg_int("Shape::lookupDynamicSlot", int32_t_, [](EvalContext& c,
+                                                   const std::vector<Value>& a) {
+    const Shape* shape = Rt(c)->ShapeById(static_cast<uint32_t>(IntArg(a[0])));
+    const PropertyInfo* info = shape->Find(static_cast<PropKey>(IntArg(a[1])));
+    ICARUS_CHECK(info != nullptr && !info->is_fixed);
+    return static_cast<int64_t>(info->slot);
+  });
+
+  // --- Runtime call targets ---
+  reg_int("VM::getSparseElementHelper", value_t,
+          [](EvalContext& c, const std::vector<Value>& a) {
+            JsObject& obj = Rt(c)->Object(static_cast<uint32_t>(IntArg(a[0])));
+            auto it = obj.sparse_elements.find(IntArg(a[1]));
+            return static_cast<int64_t>(
+                (it == obj.sparse_elements.end() ? JsValue::Undefined() : it->second).raw());
+          });
+  reg_int("VM::proxyGetByValue", value_t, [](EvalContext& c, const std::vector<Value>& a) {
+    return static_cast<int64_t>(JsValue::Undefined().raw());
+  });
+}
+
+IcCompiler::IcCompiler(const platform::Platform* platform) : platform_(platform) {
+  exec::RegisterMachineBuiltins(&externs_, &platform->module());
+  RegisterVmBindings(&externs_, &platform->module());
+  compiler_ = platform->module().FindCompiler("CacheIRCompiler");
+  masm_ = platform->module().FindLanguage("MASM");
+  ICARUS_CHECK(compiler_ != nullptr && masm_ != nullptr);
+  const ast::EnumDecl* attach = platform->module().types().LookupEnum("AttachDecision");
+  attach_index_ = attach->IndexOf("Attach");
+}
+
+StatusOr<std::optional<CompiledStub>> IcCompiler::TryAttach(
+    Runtime* runtime, const std::string& generator_name,
+    const std::vector<ConcreteArg>& args) {
+  ++attach_calls_;
+  const ast::FunctionDecl* generator = platform_->module().FindFunction(generator_name);
+  if (generator == nullptr) {
+    return Status::Error(StrCat("no generator ", generator_name));
+  }
+  if (args.size() != generator->params.size()) {
+    return Status::Error(StrCat("argument count mismatch for ", generator_name));
+  }
+
+  sym::ExprPool pool;
+  exec::EvalContext ctx(&platform_->module(), &pool, &externs_, exec::Mode::kConcrete);
+  ctx.host_data = runtime;
+  ctx.StartPath({});
+  const ast::CompilerDecl* compiler = compiler_;
+  ctx.set_source_emit_hook(
+      [compiler](exec::EvalContext& hook_ctx, const exec::Instr& instr) -> Status {
+        const ast::FunctionDecl* cb = compiler->FindCallback(instr.op);
+        if (cb == nullptr) {
+          return Status::Error(StrCat("no compiler callback for ", instr.op->name));
+        }
+        exec::Evaluator::RunFunction(hook_ctx, cb, instr.args);
+        return Status::Ok();
+      });
+
+  CompiledStub stub;
+  stub.generator = generator_name;
+  std::vector<exec::Value> eval_args;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const ast::Param& param = generator->params[i];
+    const ConcreteArg& arg = args[i];
+    switch (arg.kind) {
+      case ConcreteArg::Kind::kOperand: {
+        int id = ctx.machine().NewOperandId();
+        StatusOr<int> reg = ctx.machine().DefineOperand(id);
+        if (!reg.ok()) {
+          return reg.status();
+        }
+        Status st = ctx.machine().WriteReg(reg.value(), machine::RegContent::kValue,
+                                           pool.IntConst(static_cast<int64_t>(arg.boxed.raw())));
+        if (!st.ok()) {
+          return st;
+        }
+        stub.operand_regs.push_back(reg.value());
+        eval_args.push_back(exec::Value::Of(param.type, pool.IntConst(id)));
+        break;
+      }
+      case ConcreteArg::Kind::kBoxedValue:
+        eval_args.push_back(
+            exec::Value::Of(param.type, pool.IntConst(static_cast<int64_t>(arg.boxed.raw()))));
+        break;
+      case ConcreteArg::Kind::kRaw:
+        eval_args.push_back(exec::Value::Of(param.type, pool.IntConst(arg.raw)));
+        break;
+    }
+  }
+
+  exec::Value decision = exec::Evaluator::RunFunction(ctx, generator, std::move(eval_args));
+  if (ctx.status() != exec::PathStatus::kCompleted) {
+    return Status::Error(StrCat("attach of ", generator_name,
+                                " failed: ", ctx.violation().message));
+  }
+  ICARUS_CHECK(decision.term != nullptr && decision.term->IsConst());
+  if (decision.term->value != attach_index_) {
+    return std::optional<CompiledStub>();
+  }
+  Status bound = ctx.emits().CheckAllBound();
+  if (!bound.ok()) {
+    return bound;
+  }
+
+  // Freeze the MASM buffer.
+  const exec::EmitState& emits = ctx.emits();
+  for (const exec::Instr& instr : emits.target) {
+    CompiledInstr out;
+    out.op_index = instr.op->index;
+    if (instr.args.size() > static_cast<size_t>(CompiledInstr::kMaxArgs)) {
+      return Status::Error(StrCat("op ", instr.op->name, " has too many operands"));
+    }
+    for (const exec::Value& arg : instr.args) {
+      if (arg.IsLabel()) {
+        const exec::LabelInfo& label = emits.labels[static_cast<size_t>(arg.label_id)];
+        out.label_mask = static_cast<uint8_t>(out.label_mask | (1u << out.num_args));
+        out.args[out.num_args++] = label.is_failure ? kBailTarget : label.target;
+      } else {
+        StatusOr<int64_t> v = GetConstInt(arg);
+        if (!v.ok()) {
+          return v.status();
+        }
+        out.args[out.num_args++] = v.value();
+      }
+    }
+    stub.code.push_back(out);
+  }
+  return std::optional<CompiledStub>(std::move(stub));
+}
+
+}  // namespace icarus::vm

@@ -1,0 +1,82 @@
+// Inline-cache machinery for the mini-JS VM.
+//
+// Stub attachment runs the *same* Icarus generators that were verified —
+// concretely: the evaluator executes the generator + CacheIR→MASM compiler
+// in concrete mode against the VM heap (extern handlers registered here
+// bridge Value/Object/Shape terms to the NaN-boxed runtime), and the emitted
+// MASM buffer is frozen into a CompiledStub that the StubEngine executes
+// natively on later hits. This is the paper's §4.5 pipeline with the mini-JS
+// VM playing the part of Firefox.
+#ifndef ICARUS_VM_IC_H_
+#define ICARUS_VM_IC_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/platform/platform.h"
+#include "src/vm/object.h"
+
+namespace icarus::vm {
+
+// One frozen MASM instruction: the op's index in the MASM language plus
+// fully concrete operands. Label operands hold the *resolved* instruction
+// index (kBailTarget for the shared failure path).
+struct CompiledInstr {
+  static constexpr int kMaxArgs = 4;
+  int op_index = 0;
+  int num_args = 0;
+  int64_t args[kMaxArgs] = {0, 0, 0, 0};
+  uint8_t label_mask = 0;  // Bit i set when args[i] is a resolved jump target.
+};
+
+inline constexpr int64_t kBailTarget = -2;
+
+struct CompiledStub {
+  std::vector<CompiledInstr> code;
+  // Register that holds each input operand at entry (operand i → reg[i]).
+  std::vector<int> operand_regs;
+  std::string generator;  // For diagnostics.
+};
+
+// Registers concrete handlers for every pure runtime extern, bridging to a
+// Runtime reached through EvalContext::host_data.
+void RegisterVmBindings(exec::ExternRegistry* registry, const ast::Module* module);
+
+// Concrete arguments for a generator invocation, aligned with its parameter
+// list: Value params take the boxed input; operand-id params allocate the
+// operand (their `boxed` is the same input); enums/keys take raw payloads.
+struct ConcreteArg {
+  enum class Kind { kBoxedValue, kOperand, kRaw };
+  Kind kind = Kind::kBoxedValue;
+  JsValue boxed;      // kBoxedValue / kOperand.
+  int64_t raw = 0;    // kRaw (enum index, atom id, ...).
+};
+
+class IcCompiler {
+ public:
+  explicit IcCompiler(const platform::Platform* platform);
+
+  // Runs `generator_name` concretely. Returns the compiled stub on Attach,
+  // nullopt on NoAction, and an error on internal failures.
+  StatusOr<std::optional<CompiledStub>> TryAttach(Runtime* runtime,
+                                                  const std::string& generator_name,
+                                                  const std::vector<ConcreteArg>& args);
+
+  const platform::Platform& platform() const { return *platform_; }
+  const ast::LanguageDecl* masm() const { return masm_; }
+
+  int64_t attach_calls() const { return attach_calls_; }
+
+ private:
+  const platform::Platform* platform_;
+  exec::ExternRegistry externs_;  // Machine builtins + VM bindings.
+  const ast::CompilerDecl* compiler_;
+  const ast::LanguageDecl* masm_;
+  int attach_index_ = 0;
+  int64_t attach_calls_ = 0;
+};
+
+}  // namespace icarus::vm
+
+#endif  // ICARUS_VM_IC_H_

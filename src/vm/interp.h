@@ -1,0 +1,101 @@
+// The mini-JS bytecode interpreter with pluggable inline-cache strategies:
+//
+//   kNone   — every operation takes the slow path (the oracle semantics);
+//   kNative — hand-written C++ IC stubs, the way a stock engine implements
+//             them (the "No ICARUS" arm of Figure 13);
+//   kIcarus — stubs attached by running the verified Icarus generators
+//             concretely and executed by the native StubEngine (the
+//             "ICARUS" arm of Figure 13).
+//
+// All three strategies share the same slow path, so differential runs across
+// strategies are the conformance oracle (§4.5's jstests analogue).
+#ifndef ICARUS_VM_INTERP_H_
+#define ICARUS_VM_INTERP_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/vm/bytecode.h"
+#include "src/vm/ic.h"
+#include "src/vm/object.h"
+#include "src/vm/stub_engine.h"
+
+namespace icarus::vm {
+
+enum class IcStrategy { kNone, kNative, kIcarus };
+
+struct InterpStats {
+  int64_t steps = 0;
+  int64_t ic_hits = 0;
+  int64_t ic_bails = 0;
+  int64_t ic_misses = 0;
+  int64_t stubs_attached = 0;
+};
+
+// Hand-written IC stub (the stock-engine baseline).
+struct NativeStub {
+  enum class Kind {
+    kGetPropFixedSlot,
+    kGetPropDynamicSlot,
+    kGetPropArrayLength,
+    kGetPropTypedArrayLength,
+    kGetElemDense,
+    kGetElemArgs,
+    kBinInt32,
+    kCmpInt32,
+    kNegInt32,
+    kNotInt32,
+  };
+  Kind kind;
+  uint32_t shape_id = 0;
+  int slot = 0;
+  int32_t op = 0;  // BinKind / CmpKind payload.
+};
+
+class Interpreter {
+ public:
+  // `ic_compiler` may be null when strategy != kIcarus.
+  Interpreter(Runtime* runtime, IcCompiler* ic_compiler, IcStrategy strategy);
+
+  // Runs the program; IC sites persist across calls (stubs attached on one
+  // run keep serving later runs, like a warmed-up engine).
+  JsValue Run(const BytecodeProgram& program);
+
+  const InterpStats& stats() const { return stats_; }
+  void ResetIcs() { sites_.clear(); }
+
+  // Slow-path semantics, exposed for differential tests.
+  JsValue SlowGetProp(JsValue receiver, PropKey atom);
+  JsValue SlowGetElem(JsValue receiver, JsValue key);
+  JsValue SlowBinary(BinKind kind, JsValue lhs, JsValue rhs);
+  JsValue SlowCompare(CmpKind kind, JsValue lhs, JsValue rhs);
+  JsValue SlowNeg(JsValue v);
+  JsValue SlowBitNot(JsValue v);
+
+ private:
+  struct IcSite {
+    std::vector<CompiledStub> icarus_stubs;
+    std::vector<NativeStub> native_stubs;
+    int failed_attaches = 0;
+  };
+
+  JsValue ExecIcOp(IcSite* site, const BytecodeInstr& instr, const JsValue* operands,
+                   int num_operands);
+  bool TryIcarusStubs(IcSite* site, const JsValue* operands, int num_operands, JsValue* out);
+  bool TryNativeStubs(IcSite* site, const JsValue* operands, int num_operands, JsValue* out);
+  void AttachIcarus(IcSite* site, const BytecodeInstr& instr, const JsValue* operands);
+  void AttachNative(IcSite* site, const BytecodeInstr& instr, const JsValue* operands);
+
+  Runtime* runtime_;
+  IcCompiler* ic_compiler_;
+  IcStrategy strategy_;
+  std::unique_ptr<StubEngine> engine_;
+  // program → per-pc sites (dense; sized to the program's code on first use).
+  std::map<const void*, std::vector<IcSite>> sites_;
+  InterpStats stats_;
+};
+
+}  // namespace icarus::vm
+
+#endif  // ICARUS_VM_INTERP_H_

@@ -1,0 +1,170 @@
+#include "src/vm/object.h"
+
+#include "src/support/str_util.h"
+
+namespace icarus::vm {
+
+namespace {
+
+constexpr int kTypedArrayLengthSlot = 3;  // Matches TypedArray::lengthSlot().
+
+}  // namespace
+
+Runtime::Runtime() {
+  length_atom_ = Intern("length");
+}
+
+PropKey Runtime::Intern(const std::string& text) {
+  auto it = atom_index_.find(text);
+  if (it != atom_index_.end()) {
+    return it->second;
+  }
+  PropKey atom = static_cast<PropKey>(atoms_.size());
+  atoms_.push_back(text);
+  atom_index_[text] = atom;
+  return atom;
+}
+
+const std::string& Runtime::AtomText(PropKey atom) const { return atoms_.at(atom); }
+
+uint32_t Runtime::NewSymbol(bool is_private) {
+  symbol_private_.push_back(is_private);
+  return static_cast<uint32_t>(symbol_private_.size() - 1);
+}
+
+const Shape* Runtime::MakeShape(
+    JsClass clasp, int num_fixed,
+    const std::vector<std::pair<PropKey, PropertyInfo>>& props,
+    const std::vector<std::pair<PropKey, uint64_t>>& getter_setters) {
+  // Structural interning key.
+  std::string key = StrCat(static_cast<int>(clasp), "/", num_fixed, ":");
+  int num_dynamic = 0;
+  for (const auto& [atom, info] : props) {
+    key += StrCat(atom, info.is_fixed ? "f" : "d", info.slot, ",");
+    if (!info.is_fixed) {
+      num_dynamic = std::max(num_dynamic, info.slot + 1);
+    }
+  }
+  for (const auto& [atom, gs] : getter_setters) {
+    key += StrCat("g", atom, "=", gs, ",");
+  }
+  auto it = shape_intern_.find(key);
+  if (it != shape_intern_.end()) {
+    return it->second;
+  }
+  auto shape = std::make_unique<Shape>();
+  shape->id = static_cast<uint32_t>(shapes_.size());
+  shape->clasp = clasp;
+  shape->num_fixed_slots = num_fixed;
+  shape->num_dynamic_slots = num_dynamic;
+  for (const auto& [atom, info] : props) {
+    shape->properties[atom] = info;
+  }
+  for (const auto& [atom, gs] : getter_setters) {
+    shape->getter_setters[atom] = gs;
+  }
+  const Shape* ref = shape.get();
+  shapes_.push_back(std::move(shape));
+  shape_intern_[key] = ref;
+  return ref;
+}
+
+uint32_t Runtime::NewPlainObject(const Shape* shape) {
+  auto obj = std::make_unique<JsObject>();
+  obj->shape = shape;
+  obj->fixed_slots.assign(static_cast<size_t>(shape->num_fixed_slots), JsValue::Undefined());
+  obj->dynamic_slots.assign(static_cast<size_t>(shape->num_dynamic_slots),
+                            JsValue::Undefined());
+  objects_.push_back(std::move(obj));
+  return static_cast<uint32_t>(objects_.size() - 1);
+}
+
+uint32_t Runtime::NewArray(const std::vector<JsValue>& elements) {
+  const Shape* shape = MakeShape(JsClass::kArrayObject, 0, {});
+  uint32_t index = NewPlainObject(shape);
+  JsObject& obj = Object(index);
+  obj.elements = elements;
+  obj.array_length = static_cast<int64_t>(elements.size());
+  return index;
+}
+
+uint32_t Runtime::NewTypedArray(int64_t length) {
+  const Shape* shape = MakeShape(JsClass::kTypedArray, kTypedArrayLengthSlot + 1, {},
+                                 {{length_atom_, typed_array_length_gs_}});
+  uint32_t index = NewPlainObject(shape);
+  Object(index).fixed_slots[kTypedArrayLengthSlot] =
+      JsValue::Private(static_cast<uint64_t>(length));
+  return index;
+}
+
+uint32_t Runtime::NewArgumentsObject(const std::vector<JsValue>& args) {
+  const Shape* shape = MakeShape(JsClass::kArgumentsObject, 2, {});
+  uint32_t index = NewPlainObject(shape);
+  Object(index).args = args;
+  return index;
+}
+
+uint32_t Runtime::NewProxy() {
+  const Shape* shape = MakeShape(JsClass::kProxy, 0, {});
+  return NewPlainObject(shape);
+}
+
+uint32_t Runtime::NewFakeTypedArray() {
+  // Plain-object layout (zero fixed slots!) whose shape resolves `length` to
+  // the TypedArray getter — the Object.create(Uint8Array.prototype) trick
+  // from the bug 1685925 exploit.
+  const Shape* shape = MakeShape(JsClass::kPlainObject, 0, {},
+                                 {{length_atom_, typed_array_length_gs_}});
+  return NewPlainObject(shape);
+}
+
+JsValue Runtime::GetProperty(uint32_t object_index, PropKey key) const {
+  const JsObject& obj = Object(object_index);
+  if (obj.clasp() == JsClass::kArrayObject && key == length_atom_) {
+    if (obj.array_length <= INT32_MAX) {
+      return JsValue::Int32(static_cast<int32_t>(obj.array_length));
+    }
+    return JsValue::Double(static_cast<double>(obj.array_length));
+  }
+  if (obj.clasp() == JsClass::kTypedArray && key == length_atom_) {
+    uint64_t length = obj.fixed_slots[kTypedArrayLengthSlot].AsPrivate();
+    return JsValue::Int32(static_cast<int32_t>(length));
+  }
+  const PropertyInfo* info = obj.shape->Find(key);
+  if (info == nullptr) {
+    return JsValue::Undefined();
+  }
+  return info->is_fixed ? obj.fixed_slots[static_cast<size_t>(info->slot)]
+                        : obj.dynamic_slots[static_cast<size_t>(info->slot)];
+}
+
+JsValue Runtime::GetElement(uint32_t object_index, const JsValue& key) {
+  JsObject& obj = Object(object_index);
+  if (key.IsInt32()) {
+    int64_t index = key.AsInt32();
+    if (index >= 0 && index < static_cast<int64_t>(obj.elements.size())) {
+      JsValue element = obj.elements[static_cast<size_t>(index)];
+      if (!element.IsMagic()) {
+        return element;
+      }
+    }
+    auto it = obj.sparse_elements.find(index);
+    if (it != obj.sparse_elements.end()) {
+      return it->second;
+    }
+    if (obj.clasp() == JsClass::kArgumentsObject && index >= 0 &&
+        index < static_cast<int64_t>(obj.args.size())) {
+      JsValue arg = obj.args[static_cast<size_t>(index)];
+      if (!arg.IsMagic()) {
+        return arg;
+      }
+    }
+    return JsValue::Undefined();
+  }
+  if (key.IsString()) {
+    return GetProperty(object_index, key.AsStringAtom());
+  }
+  return JsValue::Undefined();
+}
+
+}  // namespace icarus::vm

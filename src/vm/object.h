@@ -1,0 +1,127 @@
+// Shapes, objects, and the Runtime heap for the mini-JS VM.
+//
+// The layout model matches what the verified platform assumes:
+//   - a Shape determines the class, the fixed-slot count, the dynamic slot
+//     span, and the property → slot mapping (shapes are interned, so a shape
+//     pointer equality check pins the whole layout — the GuardShape
+//     semantics);
+//   - TypedArray instances reserve fixed slots 0..3, slot 3 holding the
+//     length as a private value (the layout axiom in the prelude);
+//   - ArgumentsObject instances store their arguments out-of-line with magic
+//     markers for deleted/forwarded entries;
+//   - dense elements carry an initialized length and magic holes.
+#ifndef ICARUS_VM_OBJECT_H_
+#define ICARUS_VM_OBJECT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/vm/value.h"
+
+namespace icarus::vm {
+
+enum class JsClass {
+  kPlainObject = 0,
+  kArrayObject = 1,
+  kTypedArray = 2,
+  kArgumentsObject = 3,
+  kProxy = 4,
+  kStringObject = 5,
+  kOther = 6,
+};
+
+// Interned property key: an atom id (string) — integer keys use the dense
+// elements path instead.
+using PropKey = uint32_t;
+
+struct PropertyInfo {
+  bool is_fixed = false;
+  int slot = 0;  // Fixed-slot index or dynamic-slot index.
+};
+
+struct Shape {
+  uint32_t id = 0;
+  JsClass clasp = JsClass::kPlainObject;
+  int num_fixed_slots = 0;
+  int num_dynamic_slots = 0;
+  std::map<PropKey, PropertyInfo> properties;
+  // Getter/setter table for accessor properties (payload is an arbitrary
+  // unique id standing in for the GetterSetter*).
+  std::map<PropKey, uint64_t> getter_setters;
+
+  const PropertyInfo* Find(PropKey key) const {
+    auto it = properties.find(key);
+    return it == properties.end() ? nullptr : &it->second;
+  }
+};
+
+struct JsObject {
+  const Shape* shape = nullptr;
+  std::vector<JsValue> fixed_slots;
+  std::vector<JsValue> dynamic_slots;
+  // Dense elements (arrays): initialized length == elements.size().
+  std::vector<JsValue> elements;
+  // Sparse (slow) elements for arrays.
+  std::map<int64_t, JsValue> sparse_elements;
+  int64_t array_length = 0;       // kArrayObject.
+  std::vector<JsValue> args;      // kArgumentsObject.
+
+  JsClass clasp() const { return shape->clasp; }
+};
+
+// The VM heap: objects, interned atoms/symbols, interned shapes.
+class Runtime {
+ public:
+  Runtime();
+
+  // --- Atoms & symbols ---
+  PropKey Intern(const std::string& text);
+  const std::string& AtomText(PropKey atom) const;
+  uint32_t NewSymbol(bool is_private);
+  bool SymbolIsPrivate(uint32_t sym) const { return symbol_private_.at(sym); }
+
+  // --- Shapes (interned per structural description) ---
+  const Shape* MakeShape(JsClass clasp, int num_fixed,
+                         const std::vector<std::pair<PropKey, PropertyInfo>>& props,
+                         const std::vector<std::pair<PropKey, uint64_t>>& getter_setters = {});
+
+  // --- Objects ---
+  uint32_t NewPlainObject(const Shape* shape);
+  uint32_t NewArray(const std::vector<JsValue>& elements);
+  uint32_t NewTypedArray(int64_t length);
+  uint32_t NewArgumentsObject(const std::vector<JsValue>& args);
+  uint32_t NewProxy();
+  // A `tricky`-style object: plain layout but carrying the TypedArray length
+  // getter/setter in its shape (Object.create(Uint8Array.prototype)).
+  uint32_t NewFakeTypedArray();
+
+  const Shape* ShapeById(uint32_t id) const { return shapes_.at(id).get(); }
+
+  JsObject& Object(uint32_t index) { return *objects_[index]; }
+  const JsObject& Object(uint32_t index) const { return *objects_[index]; }
+  size_t NumObjects() const { return objects_.size(); }
+
+  // --- Slow-path semantics (the interpreter oracle) ---
+  JsValue GetProperty(uint32_t object_index, PropKey key) const;
+  JsValue GetElement(uint32_t object_index, const JsValue& key);
+
+  // Shared getter/setter id for TypedArray.length (megamorphic guard model).
+  uint64_t typed_array_length_gs() const { return typed_array_length_gs_; }
+  PropKey length_atom() const { return length_atom_; }
+
+ private:
+  std::vector<std::unique_ptr<JsObject>> objects_;
+  std::vector<std::string> atoms_;
+  std::map<std::string, PropKey> atom_index_;
+  std::vector<bool> symbol_private_;
+  std::vector<std::unique_ptr<Shape>> shapes_;
+  std::map<std::string, const Shape*> shape_intern_;
+  PropKey length_atom_ = 0;
+  uint64_t typed_array_length_gs_ = 0xA11A5;
+};
+
+}  // namespace icarus::vm
+
+#endif  // ICARUS_VM_OBJECT_H_

@@ -1,0 +1,558 @@
+#include "src/vm/stub_engine.h"
+
+#include <cmath>
+#include <map>
+
+#include "src/support/str_util.h"
+
+namespace icarus::vm {
+
+enum class StubEngine::Opcode {
+  kUnsupported,
+  kBranchTestObject, kBranchTestInt32, kBranchTestString, kBranchTestSymbol,
+  kBranchTestBoolean, kBranchTestNull, kBranchTestUndefined, kBranchTestNumber,
+  kBranchTestDouble, kBranchTestMagic, kBranchSameValueTags,
+  kUnboxNonDouble, kUnboxInt32, kUnboxBoolean, kUnboxDouble,
+  kTagValue, kBoxDouble, kMoveValue, kStoreBooleanResult, kStoreUndefinedResult,
+  kMove32, kMove32Imm,
+  kBranchTestObjShape, kBranchTestObjClass, kBranchTestStringPtr,
+  kBranchGetterSetter, kBranchPrivateSymbol,
+  kBranchStringsEqual, kBranchObjectPtr, kBranchSymbolPtr, kLoadStringLength,
+  kBranch32, kBranch32Imm,
+  kBranchAdd32, kBranchSub32, kBranchMul32, kDiv32, kMod32, kBranchNeg32,
+  kNot32, kAnd32, kOr32, kXor32, kLshift32, kRshift32Arithmetic,
+  kConvertDoubleToInt32, kTruncateDoubleModUint32,
+  kLoadFixedSlot, kLoadDynamicSlot, kLoadDenseElement, kLoadArgumentsObjectArg,
+  kLoadArrayLength, kLoadPrivateIntPtr, kIntPtrToInt32,
+  kPushValueReg, kPopValueReg,
+  kCallGetSparseElement, kCallProxyGetByValue,
+  kJump, kReturn,
+};
+
+namespace {
+
+// Conditions (must match the prelude's Condition enum order).
+enum Cond { kEqual = 0, kNotEqual = 1, kLessThan = 2, kLessThanOrEqual = 3,
+            kGreaterThan = 4, kGreaterThanOrEqual = 5 };
+
+bool EvalCond(int64_t cond, int64_t a, int64_t b) {
+  switch (cond) {
+    case kEqual: return a == b;
+    case kNotEqual: return a != b;
+    case kLessThan: return a < b;
+    case kLessThanOrEqual: return a <= b;
+    case kGreaterThan: return a > b;
+    case kGreaterThanOrEqual: return a >= b;
+    default: ICARUS_UNREACHABLE("condition");
+  }
+}
+
+// JSValueType indices (prelude order).
+enum JsvType { kVtDouble = 0, kVtInt32 = 1, kVtBoolean = 2, kVtUndefined = 3, kVtNull = 4,
+               kVtMagic = 5, kVtString = 6, kVtSymbol = 7, kVtPrivate = 8, kVtBigInt = 9,
+               kVtObject = 10 };
+
+int32_t Truncate32(int64_t v) {
+  return static_cast<int32_t>(static_cast<uint32_t>(static_cast<uint64_t>(v)));
+}
+
+JsValue OobPoison() { return JsValue::Private(0xBADBEEF); }
+
+}  // namespace
+
+StubEngine::StubEngine(const ast::LanguageDecl* masm) {
+  static const std::map<std::string, Opcode> kByName = {
+      {"BranchTestObject", Opcode::kBranchTestObject},
+      {"BranchTestInt32", Opcode::kBranchTestInt32},
+      {"BranchTestString", Opcode::kBranchTestString},
+      {"BranchTestSymbol", Opcode::kBranchTestSymbol},
+      {"BranchTestBoolean", Opcode::kBranchTestBoolean},
+      {"BranchTestNull", Opcode::kBranchTestNull},
+      {"BranchTestUndefined", Opcode::kBranchTestUndefined},
+      {"BranchTestNumber", Opcode::kBranchTestNumber},
+      {"BranchTestDouble", Opcode::kBranchTestDouble},
+      {"BranchTestMagic", Opcode::kBranchTestMagic},
+      {"BranchSameValueTags", Opcode::kBranchSameValueTags},
+      {"UnboxNonDouble", Opcode::kUnboxNonDouble},
+      {"UnboxInt32", Opcode::kUnboxInt32},
+      {"UnboxBoolean", Opcode::kUnboxBoolean},
+      {"UnboxDouble", Opcode::kUnboxDouble},
+      {"TagValue", Opcode::kTagValue},
+      {"BoxDouble", Opcode::kBoxDouble},
+      {"MoveValue", Opcode::kMoveValue},
+      {"StoreBooleanResult", Opcode::kStoreBooleanResult},
+      {"StoreUndefinedResult", Opcode::kStoreUndefinedResult},
+      {"Move32", Opcode::kMove32},
+      {"Move32Imm", Opcode::kMove32Imm},
+      {"BranchTestObjShape", Opcode::kBranchTestObjShape},
+      {"BranchTestObjClass", Opcode::kBranchTestObjClass},
+      {"BranchTestStringPtr", Opcode::kBranchTestStringPtr},
+      {"BranchGetterSetter", Opcode::kBranchGetterSetter},
+      {"BranchStringsEqual", Opcode::kBranchStringsEqual},
+      {"BranchObjectPtr", Opcode::kBranchObjectPtr},
+      {"BranchSymbolPtr", Opcode::kBranchSymbolPtr},
+      {"LoadStringLength", Opcode::kLoadStringLength},
+      {"BranchPrivateSymbol", Opcode::kBranchPrivateSymbol},
+      {"Branch32", Opcode::kBranch32},
+      {"Branch32Imm", Opcode::kBranch32Imm},
+      {"BranchAdd32", Opcode::kBranchAdd32},
+      {"BranchSub32", Opcode::kBranchSub32},
+      {"BranchMul32", Opcode::kBranchMul32},
+      {"Div32", Opcode::kDiv32},
+      {"Mod32", Opcode::kMod32},
+      {"BranchNeg32", Opcode::kBranchNeg32},
+      {"Not32", Opcode::kNot32},
+      {"And32", Opcode::kAnd32},
+      {"Or32", Opcode::kOr32},
+      {"Xor32", Opcode::kXor32},
+      {"Lshift32", Opcode::kLshift32},
+      {"Rshift32Arithmetic", Opcode::kRshift32Arithmetic},
+      {"ConvertDoubleToInt32", Opcode::kConvertDoubleToInt32},
+      {"TruncateDoubleModUint32", Opcode::kTruncateDoubleModUint32},
+      {"LoadFixedSlot", Opcode::kLoadFixedSlot},
+      {"LoadDynamicSlot", Opcode::kLoadDynamicSlot},
+      {"LoadDenseElement", Opcode::kLoadDenseElement},
+      {"LoadArgumentsObjectArg", Opcode::kLoadArgumentsObjectArg},
+      {"LoadArrayLength", Opcode::kLoadArrayLength},
+      {"LoadPrivateIntPtr", Opcode::kLoadPrivateIntPtr},
+      {"IntPtrToInt32", Opcode::kIntPtrToInt32},
+      {"PushValueReg", Opcode::kPushValueReg},
+      {"PopValueReg", Opcode::kPopValueReg},
+      {"CallGetSparseElement", Opcode::kCallGetSparseElement},
+      {"CallProxyGetByValue", Opcode::kCallProxyGetByValue},
+      {"Jump", Opcode::kJump},
+      {"Return", Opcode::kReturn},
+  };
+  dispatch_.resize(masm->ops.size(), Opcode::kUnsupported);
+  for (const auto& op : masm->ops) {
+    auto it = kByName.find(op->name);
+    if (it != kByName.end()) {
+      dispatch_[static_cast<size_t>(op->index)] = it->second;
+    }
+  }
+}
+
+StubOutcome StubEngine::Run(Runtime* rt, const CompiledStub& stub, const JsValue* operands,
+                            int num_operands, JsValue* result) const {
+  // Register file: boxed values and raw payloads share the 64-bit slots, as
+  // on real hardware. Register 7 is the output.
+  uint64_t regs[8] = {0};
+  uint64_t stack[16];
+  int stack_depth = 0;
+  ICARUS_CHECK(num_operands == static_cast<int>(stub.operand_regs.size()));
+  for (int i = 0; i < num_operands; ++i) {
+    regs[stub.operand_regs[static_cast<size_t>(i)]] = operands[i].raw();
+  }
+
+  int pc = 0;
+  const int n = static_cast<int>(stub.code.size());
+  int steps = 0;
+  while (pc < n) {
+    if (++steps > 100000) {
+      return StubOutcome::kBail;  // Runaway stub: treat as bail.
+    }
+    const CompiledInstr& instr = stub.code[static_cast<size_t>(pc)];
+    const int64_t* a = instr.args;
+    auto jump = [&](int64_t target) -> bool {
+      if (target == kBailTarget) {
+        return false;
+      }
+      pc = static_cast<int>(target);
+      return true;
+    };
+    auto branch_to = [&](int64_t target, StubOutcome* bail) -> bool {
+      // Returns true when control transferred; false → fall through.
+      if (target == kBailTarget) {
+        *bail = StubOutcome::kBail;
+        return true;
+      }
+      pc = static_cast<int>(target);
+      return true;
+    };
+    (void)jump;
+    auto val = [&](int reg) { return JsValue::FromRaw(regs[reg]); };
+    auto obj = [&](int reg) -> JsObject& {
+      return rt->Object(static_cast<uint32_t>(regs[reg]));
+    };
+    auto i32 = [&](int reg) { return static_cast<int64_t>(regs[reg]); };
+    auto set_i32 = [&](int reg, int64_t v) { regs[reg] = static_cast<uint64_t>(v); };
+
+    StubOutcome bail = StubOutcome::kReturn;
+    bool transferred = false;
+    switch (dispatch_[static_cast<size_t>(instr.op_index)]) {
+      case Opcode::kUnsupported:
+        return StubOutcome::kBail;
+
+      // --- Type-tag tests: (cond, reg, label) ---
+#define ICARUS_BRANCH_TEST(OPC, PRED)                         \
+      case Opcode::OPC: {                                     \
+        bool matches = val(static_cast<int>(a[1])).PRED();    \
+        if ((a[0] == kEqual) ? matches : !matches) {          \
+          transferred = branch_to(a[2], &bail);               \
+        }                                                     \
+        break;                                                \
+      }
+      ICARUS_BRANCH_TEST(kBranchTestObject, IsObject)
+      ICARUS_BRANCH_TEST(kBranchTestInt32, IsInt32)
+      ICARUS_BRANCH_TEST(kBranchTestString, IsString)
+      ICARUS_BRANCH_TEST(kBranchTestSymbol, IsSymbol)
+      ICARUS_BRANCH_TEST(kBranchTestBoolean, IsBoolean)
+      ICARUS_BRANCH_TEST(kBranchTestNull, IsNull)
+      ICARUS_BRANCH_TEST(kBranchTestUndefined, IsUndefined)
+      ICARUS_BRANCH_TEST(kBranchTestNumber, IsNumber)
+      ICARUS_BRANCH_TEST(kBranchTestDouble, IsDouble)
+      ICARUS_BRANCH_TEST(kBranchTestMagic, IsMagic)
+#undef ICARUS_BRANCH_TEST
+      case Opcode::kBranchSameValueTags: {
+        if (val(static_cast<int>(a[0])).type() == val(static_cast<int>(a[1])).type()) {
+          transferred = branch_to(a[2], &bail);
+        }
+        break;
+      }
+
+      // --- Boxing / unboxing ---
+      case Opcode::kUnboxNonDouble: {
+        JsValue v = val(static_cast<int>(a[0]));
+        int dst = static_cast<int>(a[1]);
+        switch (a[2]) {
+          case kVtObject: regs[dst] = v.AsObjectIndex(); break;
+          case kVtString: regs[dst] = v.AsStringAtom(); break;
+          case kVtSymbol: regs[dst] = v.AsSymbolIndex(); break;
+          case kVtInt32: set_i32(dst, v.AsInt32()); break;
+          case kVtBoolean: regs[dst] = v.AsBoolean() ? 1 : 0; break;
+          default: return StubOutcome::kBail;
+        }
+        break;
+      }
+      case Opcode::kUnboxInt32:
+        set_i32(static_cast<int>(a[1]), val(static_cast<int>(a[0])).AsInt32());
+        break;
+      case Opcode::kUnboxBoolean:
+        regs[a[1]] = val(static_cast<int>(a[0])).AsBoolean() ? 1 : 0;
+        break;
+      case Opcode::kUnboxDouble:
+        regs[a[1]] = val(static_cast<int>(a[0])).raw();
+        break;
+      case Opcode::kTagValue: {
+        int src = static_cast<int>(a[1]);
+        int dst = static_cast<int>(a[2]);
+        switch (a[0]) {
+          case kVtInt32:
+            regs[dst] = JsValue::Int32(static_cast<int32_t>(i32(src))).raw();
+            break;
+          case kVtObject:
+            regs[dst] = JsValue::Object(static_cast<uint32_t>(regs[src])).raw();
+            break;
+          case kVtString:
+            regs[dst] = JsValue::String(static_cast<uint32_t>(regs[src])).raw();
+            break;
+          case kVtSymbol:
+            regs[dst] = JsValue::Symbol(static_cast<uint32_t>(regs[src])).raw();
+            break;
+          case kVtBoolean:
+            regs[dst] = JsValue::Boolean(regs[src] != 0).raw();
+            break;
+          default:
+            return StubOutcome::kBail;
+        }
+        break;
+      }
+      case Opcode::kBoxDouble:
+        regs[a[1]] = regs[a[0]];
+        break;
+      case Opcode::kMoveValue:
+        regs[a[1]] = regs[a[0]];
+        break;
+      case Opcode::kStoreBooleanResult:
+        regs[a[1]] = JsValue::Boolean(a[0] != 0).raw();
+        break;
+      case Opcode::kStoreUndefinedResult:
+        regs[a[0]] = JsValue::Undefined().raw();
+        break;
+
+      // --- Moves ---
+      case Opcode::kMove32:
+        regs[a[1]] = regs[a[0]];
+        break;
+      case Opcode::kMove32Imm:
+        set_i32(static_cast<int>(a[1]), a[0]);
+        break;
+
+      // --- Object guards ---
+      case Opcode::kBranchTestObjShape: {
+        bool matches = obj(static_cast<int>(a[1])).shape->id == static_cast<uint32_t>(a[2]);
+        if ((a[0] == kEqual) ? matches : !matches) {
+          transferred = branch_to(a[3], &bail);
+        }
+        break;
+      }
+      case Opcode::kBranchTestObjClass: {
+        bool matches =
+            static_cast<int64_t>(obj(static_cast<int>(a[1])).clasp()) == a[2];
+        if ((a[0] == kEqual) ? matches : !matches) {
+          transferred = branch_to(a[3], &bail);
+        }
+        break;
+      }
+      case Opcode::kBranchTestStringPtr: {
+        bool matches = regs[a[1]] == static_cast<uint64_t>(a[2]);
+        if ((a[0] == kEqual) ? matches : !matches) {
+          transferred = branch_to(a[3], &bail);
+        }
+        break;
+      }
+      case Opcode::kBranchGetterSetter: {
+        const JsObject& o = obj(static_cast<int>(a[0]));
+        auto it = o.shape->getter_setters.find(static_cast<PropKey>(a[1]));
+        uint64_t gs = it == o.shape->getter_setters.end() ? 0 : it->second;
+        if (gs != static_cast<uint64_t>(a[2])) {
+          transferred = branch_to(a[3], &bail);
+        }
+        break;
+      }
+      case Opcode::kBranchStringsEqual:
+      case Opcode::kBranchObjectPtr:
+      case Opcode::kBranchSymbolPtr: {
+        // Interned atoms / object indices / symbol ids: raw payload equality.
+        bool matches = regs[a[1]] == regs[a[2]];
+        if ((a[0] == kEqual) ? matches : !matches) {
+          transferred = branch_to(a[3], &bail);
+        }
+        break;
+      }
+      case Opcode::kLoadStringLength:
+        // Atom text lengths are not modeled in the VM's string table demo;
+        // unsupported here, so stubs using it bail (attach-time only).
+        return StubOutcome::kBail;
+      case Opcode::kBranchPrivateSymbol: {
+        JsValue v = val(static_cast<int>(a[0]));
+        if (v.IsSymbol() && rt->SymbolIsPrivate(v.AsSymbolIndex())) {
+          transferred = branch_to(a[1], &bail);
+        }
+        break;
+      }
+
+      // --- Integer compare-and-branch ---
+      case Opcode::kBranch32:
+        if (EvalCond(a[0], i32(static_cast<int>(a[1])), i32(static_cast<int>(a[2])))) {
+          transferred = branch_to(a[3], &bail);
+        }
+        break;
+      case Opcode::kBranch32Imm:
+        if (EvalCond(a[0], i32(static_cast<int>(a[1])), a[2])) {
+          transferred = branch_to(a[3], &bail);
+        }
+        break;
+
+      // --- Int32 arithmetic ---
+#define ICARUS_BRANCH_ARITH(OPC, EXPR, NEGZERO)                       \
+      case Opcode::OPC: {                                              \
+        int64_t lhs = i32(static_cast<int>(a[0]));                     \
+        int64_t rhs = i32(static_cast<int>(a[1]));                     \
+        (void)rhs;                                                     \
+        int64_t r = (EXPR);                                            \
+        bool overflow = r > INT32_MAX || r < INT32_MIN ||              \
+                        ((NEGZERO) && r == 0 && (lhs < 0 || rhs < 0)); \
+        if (overflow) {                                                \
+          transferred = branch_to(a[3], &bail);                        \
+        } else {                                                       \
+          set_i32(static_cast<int>(a[2]), r);                          \
+        }                                                              \
+        break;                                                         \
+      }
+      ICARUS_BRANCH_ARITH(kBranchAdd32, lhs + rhs, false)
+      ICARUS_BRANCH_ARITH(kBranchSub32, lhs - rhs, false)
+      ICARUS_BRANCH_ARITH(kBranchMul32, lhs * rhs, true)
+#undef ICARUS_BRANCH_ARITH
+      case Opcode::kDiv32: {
+        int64_t lhs = i32(static_cast<int>(a[0]));
+        int64_t rhs = i32(static_cast<int>(a[1]));
+        ICARUS_CHECK(rhs != 0 && !(lhs == INT32_MIN && rhs == -1));
+        int64_t q = lhs / rhs;
+        if (q * rhs != lhs) {
+          transferred = branch_to(a[3], &bail);
+        } else {
+          set_i32(static_cast<int>(a[2]), q);
+        }
+        break;
+      }
+      case Opcode::kMod32: {
+        int64_t lhs = i32(static_cast<int>(a[0]));
+        int64_t rhs = i32(static_cast<int>(a[1]));
+        ICARUS_CHECK(rhs != 0 && !(lhs == INT32_MIN && rhs == -1));
+        int64_t r = lhs % rhs;
+        if (r == 0 && lhs < 0) {
+          transferred = branch_to(a[3], &bail);
+        } else {
+          set_i32(static_cast<int>(a[2]), r);
+        }
+        break;
+      }
+      case Opcode::kBranchNeg32: {
+        int64_t v = i32(static_cast<int>(a[0]));
+        if (v == INT32_MIN) {
+          transferred = branch_to(a[1], &bail);
+        } else {
+          set_i32(static_cast<int>(a[0]), -v);
+        }
+        break;
+      }
+      case Opcode::kNot32:
+        set_i32(static_cast<int>(a[0]), -1 - i32(static_cast<int>(a[0])));
+        break;
+      case Opcode::kAnd32:
+        set_i32(static_cast<int>(a[1]),
+                Truncate32(i32(static_cast<int>(a[1])) & i32(static_cast<int>(a[0]))));
+        break;
+      case Opcode::kOr32:
+        set_i32(static_cast<int>(a[1]),
+                Truncate32(i32(static_cast<int>(a[1])) | i32(static_cast<int>(a[0]))));
+        break;
+      case Opcode::kXor32:
+        set_i32(static_cast<int>(a[1]),
+                Truncate32(i32(static_cast<int>(a[1])) ^ i32(static_cast<int>(a[0]))));
+        break;
+      case Opcode::kLshift32: {
+        int64_t count = i32(static_cast<int>(a[0])) & 31;
+        set_i32(static_cast<int>(a[1]),
+                Truncate32(i32(static_cast<int>(a[1])) << count));
+        break;
+      }
+      case Opcode::kRshift32Arithmetic: {
+        int64_t count = i32(static_cast<int>(a[0])) & 31;
+        set_i32(static_cast<int>(a[1]), Truncate32(i32(static_cast<int>(a[1])) >> count));
+        break;
+      }
+
+      // --- Double conversion ---
+      case Opcode::kConvertDoubleToInt32: {
+        double d = val(static_cast<int>(a[0])).AsDouble();
+        bool exact = d == std::trunc(d) && d >= -2147483648.0 && d <= 2147483647.0 &&
+                     !(d == 0.0 && std::signbit(d));
+        if (!exact) {
+          transferred = branch_to(a[2], &bail);
+        } else {
+          set_i32(static_cast<int>(a[1]), static_cast<int64_t>(d));
+        }
+        break;
+      }
+      case Opcode::kTruncateDoubleModUint32: {
+        double d = val(static_cast<int>(a[0])).AsDouble();
+        int64_t t = std::isfinite(d) && std::abs(d) < 9.2e18
+                        ? static_cast<int64_t>(std::trunc(d))
+                        : 0;
+        set_i32(static_cast<int>(a[1]), Truncate32(t));
+        break;
+      }
+
+      // --- Memory loads ---
+      case Opcode::kLoadFixedSlot: {
+        const JsObject& o = obj(static_cast<int>(a[0]));
+        int64_t slot = a[1];
+        regs[a[2]] = (slot >= 0 && slot < static_cast<int64_t>(o.fixed_slots.size()))
+                         ? o.fixed_slots[static_cast<size_t>(slot)].raw()
+                         : OobPoison().raw();
+        break;
+      }
+      case Opcode::kLoadDynamicSlot: {
+        const JsObject& o = obj(static_cast<int>(a[0]));
+        int64_t slot = a[1];
+        regs[a[2]] = (slot >= 0 && slot < static_cast<int64_t>(o.dynamic_slots.size()))
+                         ? o.dynamic_slots[static_cast<size_t>(slot)].raw()
+                         : OobPoison().raw();
+        break;
+      }
+      case Opcode::kLoadDenseElement: {
+        const JsObject& o = obj(static_cast<int>(a[0]));
+        int64_t index = i32(static_cast<int>(a[1]));
+        if (index < 0 || index >= static_cast<int64_t>(o.elements.size()) ||
+            o.elements[static_cast<size_t>(index)].IsMagic()) {
+          transferred = branch_to(a[3], &bail);
+        } else {
+          regs[a[2]] = o.elements[static_cast<size_t>(index)].raw();
+        }
+        break;
+      }
+      case Opcode::kLoadArgumentsObjectArg: {
+        const JsObject& o = obj(static_cast<int>(a[0]));
+        int64_t index = i32(static_cast<int>(a[1]));
+        if (index < 0 || index >= static_cast<int64_t>(o.args.size()) ||
+            o.args[static_cast<size_t>(index)].IsMagic()) {
+          transferred = branch_to(a[3], &bail);
+        } else {
+          regs[a[2]] = o.args[static_cast<size_t>(index)].raw();
+        }
+        break;
+      }
+      case Opcode::kLoadArrayLength: {
+        const JsObject& o = obj(static_cast<int>(a[0]));
+        if (o.array_length > INT32_MAX) {
+          transferred = branch_to(a[2], &bail);
+        } else {
+          set_i32(static_cast<int>(a[1]), o.array_length);
+        }
+        break;
+      }
+      case Opcode::kLoadPrivateIntPtr: {
+        const JsObject& o = obj(static_cast<int>(a[0]));
+        int64_t slot = a[1];
+        JsValue v = (slot >= 0 && slot < static_cast<int64_t>(o.fixed_slots.size()))
+                        ? o.fixed_slots[static_cast<size_t>(slot)]
+                        : OobPoison();
+        regs[a[2]] = v.AsPrivate();
+        break;
+      }
+      case Opcode::kIntPtrToInt32: {
+        int64_t v = static_cast<int64_t>(regs[a[0]]);
+        if (v > INT32_MAX || v < INT32_MIN) {
+          transferred = branch_to(a[2], &bail);
+        } else {
+          set_i32(static_cast<int>(a[1]), v);
+        }
+        break;
+      }
+
+      // --- Stack ---
+      case Opcode::kPushValueReg:
+        ICARUS_CHECK(stack_depth < 16);
+        stack[stack_depth++] = regs[a[0]];
+        break;
+      case Opcode::kPopValueReg:
+        ICARUS_CHECK(stack_depth > 0);
+        regs[a[0]] = stack[--stack_depth];
+        break;
+
+      // --- Runtime calls ---
+      case Opcode::kCallGetSparseElement: {
+        JsObject& o = obj(static_cast<int>(a[0]));
+        auto it = o.sparse_elements.find(i32(static_cast<int>(a[1])));
+        regs[a[2]] =
+            (it == o.sparse_elements.end() ? JsValue::Undefined() : it->second).raw();
+        break;
+      }
+      case Opcode::kCallProxyGetByValue:
+        regs[a[2]] = JsValue::Undefined().raw();
+        break;
+
+      // --- Control ---
+      case Opcode::kJump:
+        transferred = branch_to(a[0], &bail);
+        break;
+      case Opcode::kReturn:
+        *result = JsValue::FromRaw(regs[7]);
+        return StubOutcome::kReturn;
+    }
+    if (transferred) {
+      if (bail == StubOutcome::kBail) {
+        return StubOutcome::kBail;
+      }
+      continue;
+    }
+    ++pc;
+  }
+  // Fell off the end without Return: treat as bail (stub did not produce a
+  // result).
+  return StubOutcome::kBail;
+}
+
+}  // namespace icarus::vm

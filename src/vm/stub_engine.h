@@ -1,0 +1,42 @@
+// Native executor for compiled IC stubs.
+//
+// Runs a frozen MASM buffer against the VM heap at full C++ speed — the role
+// the extracted C++ plays in the paper's Firefox integration. Each opcode's
+// behaviour mirrors the verified MASM interpreter semantics op for op
+// (tests/vm_test.cc cross-checks stub results against the slow path over
+// randomized heaps, the analogue of §4.5's jstests run).
+#ifndef ICARUS_VM_STUB_ENGINE_H_
+#define ICARUS_VM_STUB_ENGINE_H_
+
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/vm/ic.h"
+#include "src/vm/object.h"
+
+namespace icarus::vm {
+
+enum class StubOutcome {
+  kReturn,  // Fast path succeeded; result is valid.
+  kBail,    // A guard failed; caller takes the slow path.
+};
+
+class StubEngine {
+ public:
+  // `masm` is the platform's MASM language; opcode dispatch is built from
+  // the op indices so compiled stubs stay valid across engine instances.
+  explicit StubEngine(const ast::LanguageDecl* masm);
+
+  // Executes `stub`. `operands[i]` is loaded into the stub's i-th input
+  // register. On kReturn, *result holds the stub's output value.
+  StubOutcome Run(Runtime* runtime, const CompiledStub& stub, const JsValue* operands,
+                  int num_operands, JsValue* result) const;
+
+ private:
+  enum class Opcode;
+  std::vector<Opcode> dispatch_;  // op_index → opcode.
+};
+
+}  // namespace icarus::vm
+
+#endif  // ICARUS_VM_STUB_ENGINE_H_

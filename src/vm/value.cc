@@ -1,0 +1,35 @@
+#include "src/vm/value.h"
+
+#include "src/support/str_util.h"
+
+namespace icarus::vm {
+
+std::string JsValue::ToString() const {
+  switch (type()) {
+    case JsType::kDouble:
+      return StrFormat("%g", AsDouble());
+    case JsType::kInt32:
+      return StrCat(AsInt32());
+    case JsType::kBoolean:
+      return AsBoolean() ? "true" : "false";
+    case JsType::kUndefined:
+      return "undefined";
+    case JsType::kNull:
+      return "null";
+    case JsType::kMagic:
+      return "<magic>";
+    case JsType::kString:
+      return StrCat("str#", AsStringAtom());
+    case JsType::kSymbol:
+      return StrCat("sym#", AsSymbolIndex());
+    case JsType::kPrivateGCThing:
+      return StrCat("<private:", AsPrivate(), ">");
+    case JsType::kBigInt:
+      return "<bigint>";
+    case JsType::kObject:
+      return StrCat("obj#", AsObjectIndex());
+  }
+  return "<?>";
+}
+
+}  // namespace icarus::vm

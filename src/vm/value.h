@@ -1,0 +1,148 @@
+// NaN-boxed JavaScript values for the mini-JS VM (the Firefox stand-in used
+// by the Figure-13 experiment).
+//
+// 64-bit encoding, SpiderMonkey x86-64 style: doubles are stored raw (NaNs
+// canonicalized); every other type t is ((0x1FFF0 | t) << 47) | payload. The
+// type indices match the platform prelude's JSValueType enum exactly, and a
+// test pins that correspondence.
+#ifndef ICARUS_VM_VALUE_H_
+#define ICARUS_VM_VALUE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "src/support/check.h"
+
+namespace icarus::vm {
+
+enum class JsType : uint64_t {
+  kDouble = 0,
+  kInt32 = 1,
+  kBoolean = 2,
+  kUndefined = 3,
+  kNull = 4,
+  kMagic = 5,
+  kString = 6,
+  kSymbol = 7,
+  kPrivateGCThing = 8,
+  kBigInt = 9,
+  kObject = 10,
+};
+
+class JsValue {
+ public:
+  JsValue() : bits_(Encode(JsType::kUndefined, 0)) {}
+
+  static JsValue Undefined() { return JsValue(); }
+  static JsValue Null() { return FromRaw(Encode(JsType::kNull, 0)); }
+  static JsValue Boolean(bool b) { return FromRaw(Encode(JsType::kBoolean, b ? 1 : 0)); }
+  static JsValue Int32(int32_t i) {
+    return FromRaw(Encode(JsType::kInt32, static_cast<uint32_t>(i)));
+  }
+  static JsValue Double(double d) {
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    if ((bits & 0x7FF0000000000000ULL) == 0x7FF0000000000000ULL &&
+        (bits & 0x000FFFFFFFFFFFFFULL) != 0) {
+      bits = 0x7FF8000000000000ULL;  // Canonical NaN.
+    }
+    return FromRaw(bits);
+  }
+  // Object/string/symbol payloads are table indices into the Runtime.
+  static JsValue Object(uint32_t index) { return FromRaw(Encode(JsType::kObject, index)); }
+  static JsValue String(uint32_t atom) { return FromRaw(Encode(JsType::kString, atom)); }
+  static JsValue Symbol(uint32_t sym) { return FromRaw(Encode(JsType::kSymbol, sym)); }
+  // The hole marker in dense elements / deleted arguments.
+  static JsValue MagicHole() { return FromRaw(Encode(JsType::kMagic, 0)); }
+  // Private payloads (reserved slots, e.g. the TypedArray length).
+  static JsValue Private(uint64_t payload) {
+    return FromRaw(Encode(JsType::kPrivateGCThing, payload));
+  }
+
+  static JsValue FromRaw(uint64_t bits) {
+    JsValue v;
+    v.bits_ = bits;
+    return v;
+  }
+  uint64_t raw() const { return bits_; }
+
+  JsType type() const {
+    if (bits_ < kMinTagged) {
+      return JsType::kDouble;
+    }
+    return static_cast<JsType>((bits_ >> kTagShift) & 0xF);
+  }
+
+  bool IsDouble() const { return type() == JsType::kDouble; }
+  bool IsInt32() const { return type() == JsType::kInt32; }
+  bool IsBoolean() const { return type() == JsType::kBoolean; }
+  bool IsUndefined() const { return type() == JsType::kUndefined; }
+  bool IsNull() const { return type() == JsType::kNull; }
+  bool IsMagic() const { return type() == JsType::kMagic; }
+  bool IsString() const { return type() == JsType::kString; }
+  bool IsSymbol() const { return type() == JsType::kSymbol; }
+  bool IsObject() const { return type() == JsType::kObject; }
+  bool IsNumber() const { return IsInt32() || IsDouble(); }
+  bool IsNullOrUndefined() const { return IsNull() || IsUndefined(); }
+
+  int32_t AsInt32() const {
+    ICARUS_CHECK(IsInt32());
+    return static_cast<int32_t>(Payload());
+  }
+  bool AsBoolean() const {
+    ICARUS_CHECK(IsBoolean());
+    return Payload() != 0;
+  }
+  double AsDouble() const {
+    ICARUS_CHECK(IsDouble());
+    double d;
+    uint64_t bits = bits_;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+  }
+  uint32_t AsObjectIndex() const {
+    ICARUS_CHECK(IsObject());
+    return static_cast<uint32_t>(Payload());
+  }
+  uint32_t AsStringAtom() const {
+    ICARUS_CHECK(IsString());
+    return static_cast<uint32_t>(Payload());
+  }
+  uint32_t AsSymbolIndex() const {
+    ICARUS_CHECK(IsSymbol());
+    return static_cast<uint32_t>(Payload());
+  }
+  uint64_t AsPrivate() const {
+    ICARUS_CHECK(type() == JsType::kPrivateGCThing);
+    return Payload();
+  }
+
+  // Numeric view regardless of int32/double representation.
+  double ToNumberValue() const {
+    return IsInt32() ? static_cast<double>(AsInt32()) : AsDouble();
+  }
+
+  bool operator==(const JsValue& o) const { return bits_ == o.bits_; }
+  bool operator!=(const JsValue& o) const { return bits_ != o.bits_; }
+
+  std::string ToString() const;
+
+ private:
+  static constexpr uint64_t kTagShift = 47;
+  static constexpr uint64_t kMinTagged = 0x1FFF1ULL << kTagShift;
+  static constexpr uint64_t kPayloadMask = (1ULL << kTagShift) - 1;
+
+  static uint64_t Encode(JsType type, uint64_t payload) {
+    ICARUS_CHECK(type != JsType::kDouble);
+    return ((0x1FFF0ULL | static_cast<uint64_t>(type)) << kTagShift) |
+           (payload & kPayloadMask);
+  }
+  uint64_t Payload() const { return bits_ & kPayloadMask; }
+
+  uint64_t bits_;
+};
+
+}  // namespace icarus::vm
+
+#endif  // ICARUS_VM_VALUE_H_

@@ -1,0 +1,188 @@
+#include "src/vm/workloads.h"
+
+namespace icarus::vm {
+
+namespace {
+
+// Shared loop skeleton:  for (i = 0; i < n; i++) { <body(b)> }  return acc;
+template <typename BodyFn>
+BytecodeProgram CountedLoop(const std::string& name, int iterations, int* i_out,
+                            int* acc_out, BodyFn body) {
+  ProgramBuilder b(name);
+  int i = b.Local();
+  int acc = b.Local();
+  *i_out = i;
+  *acc_out = acc;
+  b.Const(JsValue::Int32(0)).Store(i);
+  b.Const(JsValue::Int32(0)).Store(acc);
+  int loop = b.Here();
+  b.Load(i).Const(JsValue::Int32(iterations)).Compare(CmpKind::kLt);
+  int exit_jump = b.JumpIfFalsePlaceholder();
+  body(b);
+  b.Load(i).Const(JsValue::Int32(1)).Binary(BinKind::kAdd).Store(i);
+  b.JumpTo(loop);
+  b.Patch(exit_jump, b.Here());
+  b.Load(acc).Return();
+  return b.Build();
+}
+
+Workload Ares6Like(int iterations) {
+  Workload w;
+  w.name = "ARES-6";
+  w.description = "shape-guarded property loads (fixed + dynamic slots)";
+  w.runtime = std::make_unique<Runtime>();
+  Runtime& rt = *w.runtime;
+  PropKey x = rt.Intern("x");
+  PropKey y = rt.Intern("y");
+  const Shape* shape = rt.MakeShape(JsClass::kPlainObject, 1,
+                                    {{x, {true, 0}}, {y, {false, 0}}});
+  uint32_t obj = rt.NewPlainObject(shape);
+  rt.Object(obj).fixed_slots[0] = JsValue::Int32(7);
+  rt.Object(obj).dynamic_slots[0] = JsValue::Int32(11);
+  int i = 0;
+  int acc = 0;
+  w.program = CountedLoop(w.name, iterations, &i, &acc, [&](ProgramBuilder& b) {
+    b.Load(acc)
+        .Const(JsValue::Object(obj))
+        .GetProp(static_cast<int32_t>(x))
+        .Binary(BinKind::kAdd)
+        .Const(JsValue::Object(obj))
+        .GetProp(static_cast<int32_t>(y))
+        .Binary(BinKind::kAdd)
+        .Const(JsValue::Int32(0x3FFFFFFF))
+        .Binary(BinKind::kBitAnd)
+        .Store(acc);
+  });
+  return w;
+}
+
+Workload OctaneLike(int iterations) {
+  Workload w;
+  w.name = "Octane";
+  w.description = "int32 arithmetic (add/mul/mod with overflow guards)";
+  w.runtime = std::make_unique<Runtime>();
+  int i = 0;
+  int acc = 0;
+  w.program = CountedLoop(w.name, iterations, &i, &acc, [&](ProgramBuilder& b) {
+    // acc = (acc * 3 + i) % 65537 - 1 + 1
+    b.Load(acc)
+        .Const(JsValue::Int32(3))
+        .Binary(BinKind::kMul)
+        .Load(i)
+        .Binary(BinKind::kAdd)
+        .Const(JsValue::Int32(65537))
+        .Binary(BinKind::kMod)
+        .Const(JsValue::Int32(1))
+        .Binary(BinKind::kAdd)
+        .Const(JsValue::Int32(1))
+        .Binary(BinKind::kSub)
+        .Store(acc);
+  });
+  return w;
+}
+
+Workload SixSpeedLike(int iterations) {
+  Workload w;
+  w.name = "Six Speed";
+  w.description = "dense-array element loads with bounds/hole guards";
+  w.runtime = std::make_unique<Runtime>();
+  Runtime& rt = *w.runtime;
+  std::vector<JsValue> elements;
+  elements.reserve(1024);
+  for (int k = 0; k < 1024; ++k) {
+    elements.push_back(JsValue::Int32(k * 7 % 1001));
+  }
+  uint32_t arr = rt.NewArray(elements);
+  int i = 0;
+  int acc = 0;
+  w.program = CountedLoop(w.name, iterations, &i, &acc, [&](ProgramBuilder& b) {
+    b.Load(acc)
+        .Const(JsValue::Object(arr))
+        .Load(i)
+        .Const(JsValue::Int32(1023))
+        .Binary(BinKind::kBitAnd)
+        .GetElem()
+        .Binary(BinKind::kAdd)
+        .Const(JsValue::Int32(0x3FFFFFFF))
+        .Binary(BinKind::kBitAnd)
+        .Store(acc);
+  });
+  return w;
+}
+
+Workload SunSpiderLike(int iterations) {
+  Workload w;
+  w.name = "Sunspider";
+  w.description = "bitwise ops, negation and int32 comparisons";
+  w.runtime = std::make_unique<Runtime>();
+  int i = 0;
+  int acc = 0;
+  w.program = CountedLoop(w.name, iterations, &i, &acc, [&](ProgramBuilder& b) {
+    // acc = (acc ^ (i | 5)) & 0x7FFFFF; if (acc > 100000) acc = acc - (-i)
+    b.Load(acc)
+        .Load(i)
+        .Const(JsValue::Int32(5))
+        .Binary(BinKind::kBitOr)
+        .Binary(BinKind::kBitXor)
+        .Const(JsValue::Int32(0x7FFFFF))
+        .Binary(BinKind::kBitAnd)
+        .Store(acc);
+    b.Load(acc).Const(JsValue::Int32(100000)).Compare(CmpKind::kGt);
+    int skip = b.JumpIfFalsePlaceholder();
+    b.Load(acc).Load(i).Neg().Binary(BinKind::kSub).Const(JsValue::Int32(0x7FFFFF))
+        .Binary(BinKind::kBitAnd).Store(acc);
+    b.Patch(skip, b.Here());
+  });
+  return w;
+}
+
+Workload WebToolingLike(int iterations) {
+  Workload w;
+  w.name = "Web Tooling";
+  w.description = "arguments-object indexing, array/typed-array lengths";
+  w.runtime = std::make_unique<Runtime>();
+  Runtime& rt = *w.runtime;
+  std::vector<JsValue> args;
+  for (int k = 0; k < 8; ++k) {
+    args.push_back(JsValue::Int32(100 + k));
+  }
+  uint32_t args_obj = rt.NewArgumentsObject(args);
+  uint32_t typed_array = rt.NewTypedArray(4096);
+  uint32_t arr = rt.NewArray(std::vector<JsValue>(16, JsValue::Int32(2)));
+  PropKey length = rt.length_atom();
+  int i = 0;
+  int acc = 0;
+  w.program = CountedLoop(w.name, iterations, &i, &acc, [&](ProgramBuilder& b) {
+    b.Load(acc)
+        .Const(JsValue::Object(args_obj))
+        .Load(i)
+        .Const(JsValue::Int32(7))
+        .Binary(BinKind::kBitAnd)
+        .GetElem()
+        .Binary(BinKind::kAdd)
+        .Const(JsValue::Object(typed_array))
+        .GetProp(static_cast<int32_t>(length))
+        .Binary(BinKind::kAdd)
+        .Const(JsValue::Object(arr))
+        .GetProp(static_cast<int32_t>(length))
+        .Binary(BinKind::kAdd)
+        .Const(JsValue::Int32(0x3FFFFFFF))
+        .Binary(BinKind::kBitAnd)
+        .Store(acc);
+  });
+  return w;
+}
+
+}  // namespace
+
+std::vector<Workload> BuildWorkloads(int iterations) {
+  std::vector<Workload> out;
+  out.push_back(Ares6Like(iterations));
+  out.push_back(OctaneLike(iterations));
+  out.push_back(SixSpeedLike(iterations));
+  out.push_back(SunSpiderLike(iterations));
+  out.push_back(WebToolingLike(iterations));
+  return out;
+}
+
+}  // namespace icarus::vm

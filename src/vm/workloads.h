@@ -1,0 +1,29 @@
+// The five benchmark workloads for the Figure-13 reproduction. Each one
+// exercises the IC classes its namesake suite stresses (the paper runs the
+// actual suites inside Firefox; these are laptop-scale analogues running on
+// the mini-JS VM — see DESIGN.md §3).
+#ifndef ICARUS_VM_WORKLOADS_H_
+#define ICARUS_VM_WORKLOADS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/vm/bytecode.h"
+#include "src/vm/object.h"
+
+namespace icarus::vm {
+
+struct Workload {
+  std::string name;         // Table label, e.g. "ARES-6-like".
+  std::string description;  // What it stresses.
+  std::unique_ptr<Runtime> runtime;
+  BytecodeProgram program;
+};
+
+// `iterations` scales every workload's main loop.
+std::vector<Workload> BuildWorkloads(int iterations);
+
+}  // namespace icarus::vm
+
+#endif  // ICARUS_VM_WORKLOADS_H_

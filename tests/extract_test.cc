@@ -1,0 +1,102 @@
+// Tests for the C++ extraction backend: structural checks over the generated
+// header/binding skeleton, plus an end-to-end "does the generated C++ compile"
+// test using the system compiler.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "src/extract/cpp_backend.h"
+#include "src/platform/platform.h"
+#include "src/support/str_util.h"
+
+namespace icarus::extract {
+namespace {
+
+class ExtractTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto loaded = platform::Platform::Load();
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    platform_ = loaded.take().release();
+    auto extraction = ExtractCpp(platform_->module());
+    ASSERT_TRUE(extraction.ok()) << extraction.status().message();
+    extraction_ = new CppExtraction(extraction.take());
+  }
+  static void TearDownTestSuite() {
+    delete platform_;
+    delete extraction_;
+    platform_ = nullptr;
+    extraction_ = nullptr;
+  }
+  void SetUp() override { ASSERT_NE(extraction_, nullptr); }
+
+  static platform::Platform* platform_;
+  static CppExtraction* extraction_;
+};
+
+platform::Platform* ExtractTest::platform_ = nullptr;
+CppExtraction* ExtractTest::extraction_ = nullptr;
+
+TEST_F(ExtractTest, HeaderHasAllLayers) {
+  const std::string& header = extraction_->header;
+  // One C++ function per generator.
+  for (const auto& info : platform::Fig12Generators()) {
+    EXPECT_TRUE(Contains(header, StrCat("AttachDecision ", info.function, "(Host& host")))
+        << info.function;
+  }
+  // Visitor functions per compiler and interpreter callback.
+  EXPECT_TRUE(Contains(header, "compile_CacheIR_GuardToObject"));
+  EXPECT_TRUE(Contains(header, "interp_MASM_BranchTestObject"));
+  EXPECT_TRUE(Contains(header, "interp_MASM_LoadPrivateIntPtr"));
+  // The binding interface declares the externs.
+  EXPECT_TRUE(Contains(header, "virtual JSValueType Value_typeTag(Value value) = 0;"));
+  EXPECT_TRUE(Contains(header, "emit_MASM_BranchTestObject"));
+  // Safety contracts survive as assertions.
+  EXPECT_TRUE(Contains(header, "ICARUS_EXTRACTED_ASSERT"));
+}
+
+TEST_F(ExtractTest, SkeletonOverridesEverything) {
+  const std::string& skeleton = extraction_->binding_skeleton;
+  EXPECT_TRUE(Contains(skeleton, "class SkeletonHost : public Host"));
+  EXPECT_TRUE(Contains(skeleton, "Value_typeTag"));
+  EXPECT_TRUE(Contains(skeleton, "newLabel() override"));
+}
+
+TEST_F(ExtractTest, GeneratedCodeCompiles) {
+  // Write header + skeleton + a driver and syntax-check with the system
+  // compiler. Skipped if no compiler is available.
+  if (std::system("command -v c++ > /dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "no system compiler";
+  }
+  std::string dir = ::testing::TempDir();
+  std::string path = dir + "/icarus_extracted_test.cc";
+  std::ofstream out(path);
+  out << extraction_->header << "\n" << extraction_->binding_skeleton << "\n";
+  out << R"(
+int main() {
+  icarus_extracted::SkeletonHost host;
+  icarus_extracted::Host::Value value = 0;
+  icarus_extracted::Host::ValueId value_id = 0;
+  auto decision = icarus_extracted::tryAttachToPropertyKeyInt32(host, value, value_id);
+  return decision == icarus_extracted::AttachDecision::kNoAction ? 0 : 0;
+}
+)";
+  out.close();
+  std::string cmd = StrCat("c++ -std=c++17 -fsyntax-only -Wall ", path, " 2> ", dir,
+                           "/icarus_extract_errors.txt");
+  int rc = std::system(cmd.c_str());
+  if (rc != 0) {
+    std::ifstream errors(dir + "/icarus_extract_errors.txt");
+    std::string line;
+    std::string all;
+    while (std::getline(errors, line) && all.size() < 4000) {
+      all += line + "\n";
+    }
+    FAIL() << "generated C++ failed to compile:\n" << all;
+  }
+}
+
+}  // namespace
+}  // namespace icarus::extract

@@ -1,0 +1,247 @@
+// Lexer / parser / resolver / printer tests for the Icarus DSL frontend.
+#include <gtest/gtest.h>
+
+#include "src/ast/ast.h"
+#include "src/ast/lexer.h"
+#include "src/ast/parser.h"
+#include "src/ast/printer.h"
+#include "src/ast/resolver.h"
+
+namespace icarus::ast {
+namespace {
+
+TEST(Lexer, BasicTokens) {
+  Lexer lexer("fn foo(x: Int32) -> Bool { return x == 0x10; } // comment");
+  std::vector<Token> toks = lexer.LexAll();
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, Tok::kKwFn);
+  EXPECT_EQ(toks[1].kind, Tok::kIdent);
+  EXPECT_EQ(toks[1].text, "foo");
+  EXPECT_EQ(toks.back().kind, Tok::kEof);
+  bool saw_hex = false;
+  for (const Token& t : toks) {
+    if (t.kind == Tok::kIntLit && t.int_val == 16) {
+      saw_hex = true;
+    }
+  }
+  EXPECT_TRUE(saw_hex);
+}
+
+TEST(Lexer, OperatorsAndComments) {
+  Lexer lexer("== != <= >= << >> && || :: -> /* block\ncomment */ %");
+  std::vector<Token> toks = lexer.LexAll();
+  std::vector<Tok> kinds;
+  for (const Token& t : toks) {
+    kinds.push_back(t.kind);
+  }
+  std::vector<Tok> expected = {Tok::kEqEq, Tok::kNe,    Tok::kLe,         Tok::kGe,
+                               Tok::kShl,  Tok::kShr,   Tok::kAndAnd,     Tok::kOrOr,
+                               Tok::kColonColon, Tok::kArrow, Tok::kPercent, Tok::kEof};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(Lexer, ErrorToken) {
+  Lexer lexer("fn @");
+  std::vector<Token> toks = lexer.LexAll();
+  EXPECT_EQ(toks.back().kind, Tok::kError);
+}
+
+TEST(Lexer, TracksLines) {
+  Lexer lexer("a\nb\n  c");
+  std::vector<Token> toks = lexer.LexAll();
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 3);
+  EXPECT_EQ(toks[2].col, 3);
+}
+
+constexpr char kMiniPlatform[] = R"(
+enum Tag { A, B }
+extern type Thing;
+extern fn Thing::tagOf(t: Thing) -> Tag;
+extern fn Thing::make(tag: Tag) -> Thing
+  ensures Thing::tagOf(result) == tag;
+
+language Src {
+  op DoIt(x: Int32);
+}
+language Tgt {
+  op Branch(x: Int32, label l);
+  op Nop();
+}
+
+compiler C : Src -> Tgt {
+  op DoIt(x: Int32) {
+    label done: Tgt;
+    emit Branch(x, done);
+    emit Nop();
+    bind done;
+  }
+}
+
+interpreter I : Tgt {
+  op Branch(x: Int32, label l) {
+    if x > 0 {
+      goto l;
+    }
+  }
+  op Nop() {
+  }
+}
+
+fn helper(x: Int32) -> Int32 {
+  let y = x + 1;
+  return y * 2;
+}
+
+generator genDoIt(v: Int32) emits Src {
+  if v > 10 {
+    emit Src::DoIt(v);
+    return AttachDecision::Attach;
+  }
+  return AttachDecision::NoAction;
+}
+
+enum AttachDecision { NoAction, Attach }
+)";
+
+TEST(Parser, MiniPlatformParsesAndResolves) {
+  Module module;
+  Status st = Parser::ParseInto(&module, kMiniPlatform);
+  ASSERT_TRUE(st.ok()) << st.message();
+  st = Resolve(&module);
+  ASSERT_TRUE(st.ok()) << st.message();
+
+  const LanguageDecl* src = module.FindLanguage("Src");
+  ASSERT_NE(src, nullptr);
+  EXPECT_EQ(src->ops.size(), 1u);
+  const LanguageDecl* tgt = module.FindLanguage("Tgt");
+  ASSERT_NE(tgt, nullptr);
+  ASSERT_NE(tgt->FindOp("Branch"), nullptr);
+  EXPECT_TRUE(tgt->FindOp("Branch")->params[1].is_label);
+
+  const CompilerDecl* comp = module.FindCompiler("C");
+  ASSERT_NE(comp, nullptr);
+  EXPECT_EQ(comp->source_language, src);
+  EXPECT_EQ(comp->target_language, tgt);
+  EXPECT_NE(comp->FindCallback(src->FindOp("DoIt")), nullptr);
+
+  const InterpreterDecl* interp = module.FindInterpreter("I");
+  ASSERT_NE(interp, nullptr);
+  EXPECT_NE(interp->FindCallback(tgt->FindOp("Branch")), nullptr);
+
+  const FunctionDecl* gen = module.FindFunction("genDoIt");
+  ASSERT_NE(gen, nullptr);
+  EXPECT_EQ(gen->fn_kind, FnKind::kGenerator);
+  EXPECT_EQ(gen->emits_language, src);
+  EXPECT_FALSE(gen->source_text.empty());
+
+  const ExternFnDecl* make = module.FindExtern("Thing::make");
+  ASSERT_NE(make, nullptr);
+  EXPECT_EQ(make->contracts.size(), 1u);
+  EXPECT_FALSE(make->contracts[0].is_requires);
+}
+
+TEST(Parser, RejectsUnknownType) {
+  Module module;
+  ASSERT_TRUE(Parser::ParseInto(&module, "fn f(x: Bogus) { return; }").ok());
+  Status st = Resolve(&module);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unknown type"), std::string::npos);
+}
+
+TEST(Parser, RejectsSyntaxError) {
+  Module module;
+  Status st = Parser::ParseInto(&module, "fn f( { }");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(Resolver, RejectsRecursion) {
+  Module module;
+  ASSERT_TRUE(Parser::ParseInto(&module,
+                                "fn a(x: Int32) -> Int32 { return b(x); }\n"
+                                "fn b(x: Int32) -> Int32 { return a(x); }")
+                  .ok());
+  Status st = Resolve(&module);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("recursive"), std::string::npos);
+}
+
+TEST(Resolver, RejectsLabelStoredInVariable) {
+  Module module;
+  constexpr char kSrc[] = R"(
+language T { op N(); }
+compiler C : T -> T {
+  op N() {
+    label l;
+    let x = l;
+    bind l;
+  }
+}
+)";
+  ASSERT_TRUE(Parser::ParseInto(&module, kSrc).ok());
+  EXPECT_FALSE(Resolve(&module).ok());
+}
+
+TEST(Resolver, RejectsGotoOutsideInterpreter) {
+  Module module;
+  constexpr char kSrc[] = R"(
+language T { op N(label l); }
+compiler C : T -> T {
+  op N(label l) {
+    goto l;
+  }
+}
+)";
+  ASSERT_TRUE(Parser::ParseInto(&module, kSrc).ok());
+  Status st = Resolve(&module);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("goto"), std::string::npos);
+}
+
+TEST(Resolver, RequiresExactlyOneBind) {
+  Module module;
+  constexpr char kSrc[] = R"(
+language T { op N(); }
+compiler C : T -> T {
+  op N() {
+    label l;
+  }
+}
+)";
+  ASSERT_TRUE(Parser::ParseInto(&module, kSrc).ok());
+  Status st = Resolve(&module);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("bound"), std::string::npos);
+}
+
+TEST(Resolver, TypeChecksOperators) {
+  Module module;
+  ASSERT_TRUE(
+      Parser::ParseInto(&module, "fn f(x: Int32, b: Bool) -> Bool { return x && b; }").ok());
+  EXPECT_FALSE(Resolve(&module).ok());
+}
+
+TEST(Printer, RoundTripsThroughParser) {
+  Module module;
+  ASSERT_TRUE(Parser::ParseInto(&module, kMiniPlatform).ok());
+  ASSERT_TRUE(Resolve(&module).ok());
+  std::string printed = PrintModule(module);
+  // Re-parse the printed output together with the enums/externs it needs.
+  Module module2;
+  std::string full = "enum Tag { A, B }\nenum AttachDecision { NoAction, Attach }\n"
+                     "extern type Thing;\n"
+                     "extern fn Thing::tagOf(t: Thing) -> Tag;\n"
+                     "extern fn Thing::make(tag: Tag) -> Thing\n"
+                     "  ensures Thing::tagOf(result) == tag;\n" +
+                     printed;
+  Status st = Parser::ParseInto(&module2, full);
+  ASSERT_TRUE(st.ok()) << st.message() << "\n" << printed;
+  st = Resolve(&module2);
+  ASSERT_TRUE(st.ok()) << st.message() << "\n" << printed;
+  // Printing again is a fixpoint.
+  EXPECT_EQ(PrintModule(module2), printed);
+}
+
+}  // namespace
+}  // namespace icarus::ast

@@ -1,0 +1,117 @@
+// Unit tests for the machine-state model: operand table, register
+// allocation discipline, typed register file, stack bookkeeping, ABI
+// save/restore.
+#include <gtest/gtest.h>
+
+#include "src/machine/machine_state.h"
+#include "src/sym/expr.h"
+
+namespace icarus::machine {
+namespace {
+
+class MachineTest : public ::testing::Test {
+ protected:
+  sym::ExprPool pool_;
+  MachineState m_;
+};
+
+TEST_F(MachineTest, OperandDefinitionAndUse) {
+  int id = m_.NewOperandId();
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(m_.NewOperandId(), 1);
+  StatusOr<int> reg = m_.DefineOperand(id);
+  ASSERT_TRUE(reg.ok());
+  StatusOr<int> used = m_.UseOperand(id);
+  ASSERT_TRUE(used.ok());
+  EXPECT_EQ(used.value(), reg.value());
+  EXPECT_FALSE(m_.UseOperand(99).ok());
+  EXPECT_FALSE(m_.DefineOperand(id).ok());  // Double definition.
+}
+
+TEST_F(MachineTest, ScratchAllocationAndRelease) {
+  StatusOr<int> s1 = m_.AllocScratch();
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(m_.alloc_state(s1.value()), AllocState::kScratch);
+  ASSERT_TRUE(m_.ReleaseScratch(s1.value()).ok());
+  EXPECT_EQ(m_.alloc_state(s1.value()), AllocState::kFree);
+  // Releasing a non-scratch register fails.
+  EXPECT_FALSE(m_.ReleaseScratch(s1.value()).ok());
+  EXPECT_FALSE(m_.ReleaseScratch(99).ok());
+}
+
+TEST_F(MachineTest, RegisterFileExhaustion) {
+  // 7 general registers (reg 7 is the output).
+  for (int i = 0; i < kNumRegs - 1; ++i) {
+    ASSERT_TRUE(m_.AllocScratch().ok()) << i;
+  }
+  EXPECT_FALSE(m_.AllocScratch().ok());
+}
+
+TEST_F(MachineTest, WriteDiscipline) {
+  // Output register is always writable.
+  EXPECT_TRUE(m_.CheckWritable(MachineState::OutputReg(), "test").ok());
+  // Never-allocated register is not (the clobber check).
+  EXPECT_FALSE(m_.CheckWritable(6, "test").ok());
+  // Once allocated — even after release — it is considered compiler-owned.
+  StatusOr<int> s = m_.AllocScratch();
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(m_.CheckWritable(s.value(), "test").ok());
+  ASSERT_TRUE(m_.ReleaseScratch(s.value()).ok());
+  EXPECT_TRUE(m_.CheckWritable(s.value(), "test").ok());
+}
+
+TEST_F(MachineTest, TypedRegisterReads) {
+  sym::ExprRef v = pool_.Var("v", sym::Sort::kTerm);
+  ASSERT_TRUE(m_.WriteReg(2, RegContent::kValue, v).ok());
+  StatusOr<RegVal> ok_read = m_.ReadReg(2, RegContent::kValue, "test");
+  ASSERT_TRUE(ok_read.ok());
+  EXPECT_EQ(ok_read.value().term, v);
+  // Type confusion at the register level.
+  StatusOr<RegVal> bad = m_.ReadReg(2, RegContent::kInt32, "test");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("type confusion"), std::string::npos);
+  // Uninitialized register.
+  EXPECT_FALSE(m_.ReadReg(3, RegContent::kValue, "test").ok());
+}
+
+TEST_F(MachineTest, StackBalance) {
+  EXPECT_TRUE(m_.CheckStackBalanced("entry").ok());
+  m_.Push(RegVal{RegContent::kValue, nullptr});
+  Status st = m_.CheckStackBalanced("exit");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("stack imbalance"), std::string::npos);
+  ASSERT_TRUE(m_.Pop().ok());
+  EXPECT_TRUE(m_.CheckStackBalanced("exit").ok());
+  // Underflow past the entry frame.
+  EXPECT_FALSE(m_.Pop().ok());
+}
+
+TEST_F(MachineTest, ClobberAndSaveRestore) {
+  sym::ExprRef v = pool_.Var("v", sym::Sort::kTerm);
+  ASSERT_TRUE(m_.WriteReg(1, RegContent::kObject, v).ok());
+  m_.ClobberVolatileRegs();
+  Status clobbered = m_.ReadReg(1, RegContent::kObject, "test").status();
+  EXPECT_FALSE(clobbered.ok());
+  EXPECT_NE(clobbered.message().find("clobbered"), std::string::npos);
+
+  // With save/restore the value survives the call.
+  ASSERT_TRUE(m_.WriteReg(1, RegContent::kObject, v).ok());
+  m_.SaveLiveRegs();
+  m_.ClobberVolatileRegs();
+  ASSERT_TRUE(m_.RestoreLiveRegs().ok());
+  StatusOr<RegVal> restored = m_.ReadReg(1, RegContent::kObject, "test");
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().term, v);
+  EXPECT_TRUE(m_.CheckStackBalanced("exit").ok());
+  // Unbalanced restore fails.
+  EXPECT_FALSE(m_.RestoreLiveRegs().ok());
+}
+
+TEST_F(MachineTest, KnownTypes) {
+  EXPECT_EQ(m_.KnownType(0), -1);
+  m_.SetKnownType(0, 10);
+  EXPECT_EQ(m_.KnownType(0), 10);
+}
+
+}  // namespace
+}  // namespace icarus::machine

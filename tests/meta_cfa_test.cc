@@ -1,0 +1,138 @@
+// Tests for the CFA builder, the naive-executor ablation machinery, and the
+// verifier facade.
+#include <gtest/gtest.h>
+
+#include "src/cfa/cfa.h"
+#include "src/meta/naive_executor.h"
+#include "src/platform/platform.h"
+#include "src/support/str_util.h"
+#include "src/verifier/verifier.h"
+
+namespace icarus {
+namespace {
+
+class CfaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto loaded = platform::Platform::Load();
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    platform_ = loaded.take().release();
+  }
+  static void TearDownTestSuite() {
+    delete platform_;
+    platform_ = nullptr;
+  }
+  void SetUp() override { ASSERT_NE(platform_, nullptr); }
+
+  static StatusOr<cfa::Cfa> Build(const std::string& generator) {
+    auto stub = platform_->MakeMetaStub(generator);
+    if (!stub.ok()) {
+      return stub.status();
+    }
+    cfa::CfaBuilder builder(&platform_->module(), &platform_->externs());
+    return builder.Build(stub.value());
+  }
+
+  static platform::Platform* platform_;
+};
+
+platform::Platform* CfaTest::platform_ = nullptr;
+
+TEST_F(CfaTest, TypedArrayCfaMatchesPaperShape) {
+  auto automaton = Build("bug1685925_buggy");
+  ASSERT_TRUE(automaton.ok()) << automaton.status().message();
+  const cfa::Cfa& a = automaton.value();
+  // Figure 6: a handful of nodes, and "about ten" feasible sequences.
+  EXPECT_GE(a.num_nodes(), 5);
+  EXPECT_LE(a.num_nodes(), 12);
+  int64_t paths = a.CountPaths(32, 1000000);
+  EXPECT_GE(paths, 2);
+  EXPECT_LE(paths, 20);
+  // Node ops include the guard and the dangerous load.
+  bool has_guard = false;
+  bool has_load = false;
+  for (const cfa::Node& node : a.nodes()) {
+    has_guard = has_guard || node.op->name == "BranchTestObject";
+    has_load = has_load || node.op->name == "LoadPrivateIntPtr";
+  }
+  EXPECT_TRUE(has_guard);
+  EXPECT_TRUE(has_load);
+}
+
+TEST_F(CfaTest, DotExportIsWellFormed) {
+  auto automaton = Build("tryAttachCompareInt32");
+  ASSERT_TRUE(automaton.ok());
+  std::string dot = automaton.value().ToDot();
+  EXPECT_TRUE(StartsWith(dot, "digraph cfa {"));
+  EXPECT_TRUE(Contains(dot, "entry"));
+  EXPECT_TRUE(Contains(dot, "failure"));
+  EXPECT_TRUE(Contains(dot, "->"));
+  // Grouped by source op (Figure 6's boxes).
+  EXPECT_TRUE(Contains(dot, "subgraph cluster_"));
+  EXPECT_TRUE(Contains(dot, "CompareInt32Result"));
+}
+
+TEST_F(CfaTest, EveryFig12GeneratorHasFiniteCfa) {
+  for (const auto& info : platform::Fig12Generators()) {
+    auto automaton = Build(info.function);
+    ASSERT_TRUE(automaton.ok()) << info.function;
+    EXPECT_GT(automaton.value().num_nodes(), 0) << info.function;
+    EXPECT_LT(automaton.value().CountPaths(64, 100000), 100000) << info.function;
+  }
+}
+
+TEST_F(CfaTest, NaiveExplosionVsCfaConstraint) {
+  auto stub = platform_->MakeMetaStub("bug1685925_buggy");
+  ASSERT_TRUE(stub.ok());
+  meta::NaiveConfig config;
+  config.max_len = 6;
+  config.time_budget_seconds = 0.2;
+  meta::NaiveResult naive =
+      meta::NaiveExecutor::RunNaive(stub.value().interpreter, config);
+  EXPECT_GT(naive.num_ops, 40);
+  // k^1 + ... + k^6 with k > 40 is astronomically more than the CFA's paths.
+  EXPECT_GT(naive.total_state_space, 1e9);
+  EXPECT_TRUE(naive.budget_exhausted);
+  EXPECT_GT(naive.states_explored, 0);
+
+  auto automaton = Build("bug1685925_buggy");
+  ASSERT_TRUE(automaton.ok());
+  config.max_len = 25;
+  config.time_budget_seconds = 5.0;
+  meta::NaiveResult constrained =
+      meta::NaiveExecutor::RunCfaConstrained(automaton.value(), config);
+  EXPECT_FALSE(constrained.budget_exhausted);
+  EXPECT_LE(constrained.total_state_space, 32);
+  EXPECT_EQ(constrained.sequences_completed,
+            static_cast<int64_t>(constrained.total_state_space));
+}
+
+TEST_F(CfaTest, VerifierReportRendersEverything) {
+  verifier::Verifier v(platform_);
+  verifier::VerifyOptions options;
+  options.runs = 3;
+  options.build_cfa = true;
+  auto report = v.Verify("bug1685925_buggy", options);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_FALSE(report.value().verified);
+  EXPECT_GT(report.value().total_loc, 50);
+  EXPECT_GT(report.value().cfa_nodes, 0);
+  std::string rendered = report.value().Render();
+  EXPECT_TRUE(Contains(rendered, "COUNTEREXAMPLE"));
+  EXPECT_TRUE(Contains(rendered, "numFixedSlots"));
+  EXPECT_TRUE(Contains(rendered, "stub (target ops)"));
+  EXPECT_FALSE(report.value().cfa_dot.empty());
+
+  auto fixed = v.Verify("bug1685925_fixed", options);
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_TRUE(fixed.value().verified);
+  EXPECT_TRUE(Contains(fixed.value().Render(), "VERIFIED"));
+}
+
+TEST_F(CfaTest, VerifierRejectsUnknownGenerator) {
+  verifier::Verifier v(platform_);
+  EXPECT_FALSE(v.Verify("no_such_generator").ok());
+}
+
+}  // namespace
+}  // namespace icarus

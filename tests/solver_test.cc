@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "src/sym/expr.h"
+#include "src/sym/solver.h"
+
+namespace icarus::sym {
+namespace {
+
+class SolverTest : public ::testing::Test {
+ protected:
+  Verdict Check(const std::vector<ExprRef>& conjuncts) {
+    Solver solver;
+    last_ = solver.Solve(conjuncts);
+    return last_.verdict;
+  }
+  ExprPool pool_;
+  SolveResult last_;
+};
+
+TEST_F(SolverTest, TrivialSatUnsat) {
+  EXPECT_EQ(Check({pool_.True()}), Verdict::kSat);
+  EXPECT_EQ(Check({pool_.False()}), Verdict::kUnsat);
+  EXPECT_EQ(Check({}), Verdict::kSat);
+}
+
+TEST_F(SolverTest, PropositionalContradiction) {
+  ExprRef p = pool_.Var("p", Sort::kBool);
+  EXPECT_EQ(Check({p, pool_.Not(p)}), Verdict::kUnsat);
+  EXPECT_EQ(Check({pool_.Or(p, pool_.Not(p))}), Verdict::kSat);
+}
+
+TEST_F(SolverTest, GuardAssertPairIsSameAtom) {
+  // The common verifier query: path condition assumes isObject(v); the
+  // assertion requires isObject(v). Hash-consing makes them one atom.
+  ExprRef v = pool_.Var("value", Sort::kTerm);
+  ExprRef tag = pool_.App("typeTag", {v}, Sort::kInt);
+  ExprRef is_obj = pool_.Eq(tag, pool_.IntConst(7));
+  EXPECT_EQ(Check({is_obj, pool_.Not(is_obj)}), Verdict::kUnsat);
+}
+
+TEST_F(SolverTest, EqualityTransitivity) {
+  ExprRef a = pool_.Var("a", Sort::kTerm);
+  ExprRef b = pool_.Var("b", Sort::kTerm);
+  ExprRef c = pool_.Var("c", Sort::kTerm);
+  EXPECT_EQ(Check({pool_.Eq(a, b), pool_.Eq(b, c), pool_.Ne(a, c)}), Verdict::kUnsat);
+  EXPECT_EQ(Check({pool_.Eq(a, b), pool_.Ne(b, c)}), Verdict::kSat);
+}
+
+TEST_F(SolverTest, UninterpretedFunctionCongruence) {
+  // shapeOf(o) == s  ∧  numFixedSlots(s) == 4  ⟹  numFixedSlots(shapeOf(o)) == 4.
+  ExprRef o = pool_.Var("o", Sort::kTerm);
+  ExprRef s = pool_.Var("s", Sort::kTerm);
+  ExprRef shape_o = pool_.App("shapeOf", {o}, Sort::kTerm);
+  ExprRef n_s = pool_.App("numFixedSlots", {s}, Sort::kInt);
+  ExprRef n_shape_o = pool_.App("numFixedSlots", {shape_o}, Sort::kInt);
+  // The TypedArray fixed-slot bound: slot 3 must be < numFixedSlots.
+  ExprRef safe = pool_.Lt(pool_.IntConst(3), n_shape_o);
+  // Guarded (GuardShape present): UNSAT, i.e. verified.
+  EXPECT_EQ(Check({pool_.Eq(shape_o, s), pool_.Eq(n_s, pool_.IntConst(4)), pool_.Not(safe)}),
+            Verdict::kUnsat);
+  // Unguarded (megamorphic bug): SAT — a counterexample exists.
+  EXPECT_EQ(Check({pool_.Eq(n_s, pool_.IntConst(4)), pool_.Not(safe)}), Verdict::kSat);
+}
+
+TEST_F(SolverTest, DistinctConstantsConflict) {
+  ExprRef x = pool_.Var("x", Sort::kInt);
+  EXPECT_EQ(Check({pool_.Eq(x, pool_.IntConst(1)), pool_.Eq(x, pool_.IntConst(2))}),
+            Verdict::kUnsat);
+}
+
+TEST_F(SolverTest, IntervalReasoning) {
+  ExprRef x = pool_.Var("x", Sort::kInt);
+  ExprRef y = pool_.Var("y", Sort::kInt);
+  // x < y ∧ y < x is UNSAT.
+  EXPECT_EQ(Check({pool_.Lt(x, y), pool_.Lt(y, x)}), Verdict::kUnsat);
+  // x < 5 ∧ x > 10 is UNSAT.
+  EXPECT_EQ(Check({pool_.Lt(x, pool_.IntConst(5)), pool_.Gt(x, pool_.IntConst(10))}),
+            Verdict::kUnsat);
+  // 0 <= x ∧ x < 10 is SAT.
+  EXPECT_EQ(Check({pool_.Le(pool_.IntConst(0), x), pool_.Lt(x, pool_.IntConst(10))}),
+            Verdict::kSat);
+  // Strictness chain: x < y ∧ y < z ∧ z < x+2 is UNSAT over ints... actually
+  // x<y<z implies z >= x+2, and z < x+2 conflicts.
+  ExprRef z = pool_.Var("z", Sort::kInt);
+  EXPECT_EQ(Check({pool_.Lt(x, y), pool_.Lt(y, z),
+                   pool_.Lt(z, pool_.Add(x, pool_.IntConst(2)))}),
+            Verdict::kUnsat);
+}
+
+TEST_F(SolverTest, ArithmeticStructure) {
+  ExprRef x = pool_.Var("x", Sort::kInt);
+  ExprRef sum = pool_.Add(x, pool_.IntConst(1));
+  // x == 3 ∧ x+1 != 4 is UNSAT (via interval propagation through kAdd).
+  EXPECT_EQ(Check({pool_.Eq(x, pool_.IntConst(3)), pool_.Ne(sum, pool_.IntConst(4))}),
+            Verdict::kUnsat);
+  EXPECT_EQ(Check({pool_.Eq(x, pool_.IntConst(3)), pool_.Eq(sum, pool_.IntConst(4))}),
+            Verdict::kSat);
+}
+
+TEST_F(SolverTest, Int32OverflowGuardPattern) {
+  // Matches the Int32 Add stub: inputs in int32 range, the overflow branch
+  // assumed not taken, assert the result is still in int32 range.
+  ExprRef a = pool_.Var("a", Sort::kInt);
+  ExprRef b = pool_.Var("b", Sort::kInt);
+  ExprRef lo = pool_.IntConst(-2147483648LL);
+  ExprRef hi = pool_.IntConst(2147483647LL);
+  ExprRef sum = pool_.Add(a, b);
+  std::vector<ExprRef> pc = {
+      pool_.Le(lo, a), pool_.Le(a, hi), pool_.Le(lo, b), pool_.Le(b, hi),
+      // Overflow guard passed:
+      pool_.Le(lo, sum), pool_.Le(sum, hi),
+  };
+  // Assertion: sum in range. Negated → UNSAT.
+  auto with_not = pc;
+  with_not.push_back(pool_.Not(pool_.And(pool_.Le(lo, sum), pool_.Le(sum, hi))));
+  EXPECT_EQ(Check(with_not), Verdict::kUnsat);
+  // Without the guard, the negated assertion is satisfiable.
+  std::vector<ExprRef> unguarded = {
+      pool_.Le(lo, a), pool_.Le(a, hi), pool_.Le(lo, b), pool_.Le(b, hi),
+      pool_.Not(pool_.And(pool_.Le(lo, sum), pool_.Le(sum, hi)))};
+  EXPECT_EQ(Check(unguarded), Verdict::kSat);
+}
+
+TEST_F(SolverTest, BoolPredicateCongruence) {
+  ExprRef x = pool_.Var("x", Sort::kTerm);
+  ExprRef y = pool_.Var("y", Sort::kTerm);
+  ExprRef px = pool_.App("isNative", {x}, Sort::kBool);
+  ExprRef py = pool_.App("isNative", {y}, Sort::kBool);
+  EXPECT_EQ(Check({pool_.Eq(x, y), px, pool_.Not(py)}), Verdict::kUnsat);
+  EXPECT_EQ(Check({px, pool_.Not(py)}), Verdict::kSat);
+}
+
+TEST_F(SolverTest, ModelExtraction) {
+  ExprRef x = pool_.Var("x", Sort::kInt);
+  ExprRef y = pool_.Var("y", Sort::kInt);
+  ASSERT_EQ(Check({pool_.Eq(x, pool_.IntConst(7)), pool_.Lt(x, y)}), Verdict::kSat);
+  int64_t xv = 0;
+  int64_t yv = 0;
+  ASSERT_TRUE(last_.model.Lookup(x, &xv));
+  ASSERT_TRUE(last_.model.Lookup(y, &yv));
+  EXPECT_EQ(xv, 7);
+  EXPECT_GT(yv, xv);
+}
+
+TEST_F(SolverTest, ModelRespectsDisequalities) {
+  ExprRef a = pool_.Var("a", Sort::kTerm);
+  ExprRef b = pool_.Var("b", Sort::kTerm);
+  ASSERT_EQ(Check({pool_.Ne(a, b)}), Verdict::kSat);
+  int64_t av = 0;
+  int64_t bv = 0;
+  ASSERT_TRUE(last_.model.Lookup(a, &av));
+  ASSERT_TRUE(last_.model.Lookup(b, &bv));
+  EXPECT_NE(av, bv);
+}
+
+TEST_F(SolverTest, DeepNesting) {
+  // f(f(f(x))) == x ∧ f(x) == x ⟹ f(f(f(x))) == x; negation UNSAT.
+  ExprRef x = pool_.Var("x", Sort::kTerm);
+  ExprRef fx = pool_.App("f", {x}, Sort::kTerm);
+  ExprRef ffx = pool_.App("f", {fx}, Sort::kTerm);
+  ExprRef fffx = pool_.App("f", {ffx}, Sort::kTerm);
+  EXPECT_EQ(Check({pool_.Eq(fx, x), pool_.Ne(fffx, x)}), Verdict::kUnsat);
+}
+
+// Parameterized sweep: push-pop style random clauses keep the solver total
+// (either SAT with a model or UNSAT) across formula shapes.
+class SolverSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverSweepTest, ChainOfBoundsIsDecided) {
+  ExprPool pool;
+  int n = GetParam();
+  // x0 < x1 < ... < xn ∧ xn < x0 + n  (UNSAT: needs at least n gaps).
+  std::vector<ExprRef> vars;
+  vars.reserve(static_cast<size_t>(n) + 1);
+  for (int i = 0; i <= n; ++i) {
+    vars.push_back(pool.Var("x" + std::to_string(i), Sort::kInt));
+  }
+  std::vector<ExprRef> cs;
+  for (int i = 0; i < n; ++i) {
+    cs.push_back(pool.Lt(vars[static_cast<size_t>(i)], vars[static_cast<size_t>(i) + 1]));
+  }
+  cs.push_back(pool.Lt(vars.back(), pool.Add(vars[0], pool.IntConst(n))));
+  Solver solver;
+  EXPECT_EQ(solver.Solve(cs).verdict, Verdict::kUnsat);
+  // Relaxing the bound by one makes it SAT.
+  cs.back() = pool.Lt(vars.back(), pool.Add(vars[0], pool.IntConst(n + 1)));
+  Solver solver2;
+  EXPECT_EQ(solver2.Solve(cs).verdict, Verdict::kSat);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chains, SolverSweepTest, ::testing::Values(1, 2, 3, 5, 8, 12));
+
+}  // namespace
+}  // namespace icarus::sym

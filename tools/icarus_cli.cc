@@ -1,0 +1,185 @@
+// icarus — command-line driver for the verification toolchain.
+//
+// Usage:
+//   icarus list                      List every generator in the platform.
+//   icarus verify <generator>        Verify one generator; print the report.
+//   icarus verify-all                Verify everything (Fig. 12 + extensions).
+//   icarus cfa <generator>           Print the CFA as GraphViz DOT.
+//   icarus boogie <generator>        Emit the (DCE-sliced) Boogie meta-stub.
+//   icarus extract                   Print the extracted C++ header.
+//   icarus check <file.icarus>       Parse+resolve extra DSL source against
+//                                    the platform (syntax/type checking).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/boogie/boogie_dce.h"
+#include "src/boogie/boogie_lower.h"
+#include "src/boogie/boogie_printer.h"
+#include "src/extract/cpp_backend.h"
+#include "src/verifier/verifier.h"
+
+namespace {
+
+using icarus::platform::Platform;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: icarus <list|verify <gen>|verify-all|cfa <gen>|boogie <gen>|extract|"
+               "check <file>>\n");
+  return 2;
+}
+
+int ListGenerators(const Platform& platform) {
+  for (const auto* fn : platform.module().Generators()) {
+    std::printf("%s\n", fn->name.c_str());
+  }
+  return 0;
+}
+
+int Verify(const Platform& platform, const std::string& name, bool expect_verified) {
+  icarus::verifier::Verifier verifier(&platform);
+  auto report = verifier.Verify(name);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().message().c_str());
+    return 2;
+  }
+  std::printf("%s\n", report.value().Render().c_str());
+  return report.value().verified == expect_verified ? 0 : 1;
+}
+
+int VerifyAll(const Platform& platform) {
+  int failures = 0;
+  for (const auto* fn : platform.module().Generators()) {
+    icarus::verifier::Verifier verifier(&platform);
+    icarus::verifier::VerifyOptions options;
+    options.build_cfa = false;
+    auto report = verifier.Verify(fn->name, options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s: %s\n", fn->name.c_str(), report.status().message().c_str());
+      ++failures;
+      continue;
+    }
+    // Deliberately-buggy study generators are expected to be refuted.
+    bool expect_verified = fn->name.find("_buggy") == std::string::npos;
+    bool ok = report.value().verified == expect_verified;
+    std::printf("%-44s %s%s\n", fn->name.c_str(),
+                report.value().verified ? "VERIFIED" : "COUNTEREXAMPLE",
+                ok ? "" : "  <-- UNEXPECTED");
+    failures += ok ? 0 : 1;
+  }
+  std::printf("\n%d unexpected outcomes\n", failures);
+  return failures == 0 ? 0 : 1;
+}
+
+int DumpCfa(const Platform& platform, const std::string& name) {
+  auto stub = platform.MakeMetaStub(name);
+  if (!stub.ok()) {
+    std::fprintf(stderr, "%s\n", stub.status().message().c_str());
+    return 2;
+  }
+  icarus::cfa::CfaBuilder builder(&platform.module(), &platform.externs());
+  auto automaton = builder.Build(stub.value());
+  if (!automaton.ok()) {
+    std::fprintf(stderr, "%s\n", automaton.status().message().c_str());
+    return 2;
+  }
+  std::printf("%s", automaton.value().ToDot().c_str());
+  return 0;
+}
+
+int EmitBoogie(const Platform& platform, const std::string& name) {
+  auto stub = platform.MakeMetaStub(name);
+  if (!stub.ok()) {
+    std::fprintf(stderr, "%s\n", stub.status().message().c_str());
+    return 2;
+  }
+  icarus::cfa::CfaBuilder builder(&platform.module(), &platform.externs());
+  auto automaton = builder.Build(stub.value());
+  if (!automaton.ok()) {
+    std::fprintf(stderr, "%s\n", automaton.status().message().c_str());
+    return 2;
+  }
+  icarus::boogie::LowerOptions options;
+  options.host_externs = platform.externs().HostBoundNames();
+  auto program = icarus::boogie::LowerToBoogie(platform.module(), stub.value(),
+                                               automaton.value(), options);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().message().c_str());
+    return 2;
+  }
+  icarus::boogie::DeadCodeElim(program.value().get());
+  std::printf("%s", icarus::boogie::PrintProgram(*program.value()).c_str());
+  return 0;
+}
+
+int Extract(const Platform& platform) {
+  auto extraction = icarus::extract::ExtractCpp(platform.module());
+  if (!extraction.ok()) {
+    std::fprintf(stderr, "%s\n", extraction.status().message().c_str());
+    return 2;
+  }
+  std::printf("%s\n// ===== binding skeleton =====\n%s", extraction.value().header.c_str(),
+              extraction.value().binding_skeleton.c_str());
+  return 0;
+}
+
+int Check(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto loaded = Platform::LoadWithExtra({text.str()});
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().message().c_str());
+    return 1;
+  }
+  std::printf("%s: OK (parsed and type-checked against the platform)\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string cmd = argv[1];
+  if (cmd == "check") {
+    if (argc < 3) {
+      return Usage();
+    }
+    return Check(argv[2]);
+  }
+  auto loaded = Platform::Load();
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "platform load failed: %s\n", loaded.status().message().c_str());
+    return 2;
+  }
+  auto platform = loaded.take();
+  if (cmd == "list") {
+    return ListGenerators(*platform);
+  }
+  if (cmd == "verify-all") {
+    return VerifyAll(*platform);
+  }
+  if (argc < 3) {
+    return Usage();
+  }
+  std::string name = argv[2];
+  if (cmd == "verify") {
+    return Verify(*platform, name, name.find("_buggy") == std::string::npos);
+  }
+  if (cmd == "cfa") {
+    return DumpCfa(*platform, name);
+  }
+  if (cmd == "boogie") {
+    return EmitBoogie(*platform, name);
+  }
+  return Usage();
+}
