@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icarus_cli.dir/tools/icarus_cli.cc.o"
+  "CMakeFiles/icarus_cli.dir/tools/icarus_cli.cc.o.d"
+  "icarus"
+  "icarus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icarus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cfa_ablation.dir/bench_cfa_ablation.cc.o"
+  "CMakeFiles/bench_cfa_ablation.dir/bench_cfa_ablation.cc.o.d"
+  "bench_cfa_ablation"
+  "bench_cfa_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cfa_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

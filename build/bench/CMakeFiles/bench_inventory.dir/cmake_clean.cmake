@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inventory.dir/bench_inventory.cc.o"
+  "CMakeFiles/bench_inventory.dir/bench_inventory.cc.o.d"
+  "bench_inventory"
+  "bench_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extract_cpp.dir/extract_cpp.cpp.o"
+  "CMakeFiles/extract_cpp.dir/extract_cpp.cpp.o.d"
+  "extract_cpp"
+  "extract_cpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extract_cpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

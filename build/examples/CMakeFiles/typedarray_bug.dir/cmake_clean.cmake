@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typedarray_bug.dir/typedarray_bug.cpp.o"
+  "CMakeFiles/typedarray_bug.dir/typedarray_bug.cpp.o.d"
+  "typedarray_bug"
+  "typedarray_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typedarray_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/ast.cc" "src/CMakeFiles/icarus.dir/ast/ast.cc.o" "gcc" "src/CMakeFiles/icarus.dir/ast/ast.cc.o.d"
+  "/root/repo/src/ast/lexer.cc" "src/CMakeFiles/icarus.dir/ast/lexer.cc.o" "gcc" "src/CMakeFiles/icarus.dir/ast/lexer.cc.o.d"
+  "/root/repo/src/ast/parser.cc" "src/CMakeFiles/icarus.dir/ast/parser.cc.o" "gcc" "src/CMakeFiles/icarus.dir/ast/parser.cc.o.d"
+  "/root/repo/src/ast/printer.cc" "src/CMakeFiles/icarus.dir/ast/printer.cc.o" "gcc" "src/CMakeFiles/icarus.dir/ast/printer.cc.o.d"
+  "/root/repo/src/ast/resolver.cc" "src/CMakeFiles/icarus.dir/ast/resolver.cc.o" "gcc" "src/CMakeFiles/icarus.dir/ast/resolver.cc.o.d"
+  "/root/repo/src/ast/token.cc" "src/CMakeFiles/icarus.dir/ast/token.cc.o" "gcc" "src/CMakeFiles/icarus.dir/ast/token.cc.o.d"
+  "/root/repo/src/ast/type.cc" "src/CMakeFiles/icarus.dir/ast/type.cc.o" "gcc" "src/CMakeFiles/icarus.dir/ast/type.cc.o.d"
+  "/root/repo/src/boogie/boogie_ast.cc" "src/CMakeFiles/icarus.dir/boogie/boogie_ast.cc.o" "gcc" "src/CMakeFiles/icarus.dir/boogie/boogie_ast.cc.o.d"
+  "/root/repo/src/boogie/boogie_dce.cc" "src/CMakeFiles/icarus.dir/boogie/boogie_dce.cc.o" "gcc" "src/CMakeFiles/icarus.dir/boogie/boogie_dce.cc.o.d"
+  "/root/repo/src/boogie/boogie_lower.cc" "src/CMakeFiles/icarus.dir/boogie/boogie_lower.cc.o" "gcc" "src/CMakeFiles/icarus.dir/boogie/boogie_lower.cc.o.d"
+  "/root/repo/src/boogie/boogie_parser.cc" "src/CMakeFiles/icarus.dir/boogie/boogie_parser.cc.o" "gcc" "src/CMakeFiles/icarus.dir/boogie/boogie_parser.cc.o.d"
+  "/root/repo/src/boogie/boogie_printer.cc" "src/CMakeFiles/icarus.dir/boogie/boogie_printer.cc.o" "gcc" "src/CMakeFiles/icarus.dir/boogie/boogie_printer.cc.o.d"
+  "/root/repo/src/cfa/cfa.cc" "src/CMakeFiles/icarus.dir/cfa/cfa.cc.o" "gcc" "src/CMakeFiles/icarus.dir/cfa/cfa.cc.o.d"
+  "/root/repo/src/exec/evaluator.cc" "src/CMakeFiles/icarus.dir/exec/evaluator.cc.o" "gcc" "src/CMakeFiles/icarus.dir/exec/evaluator.cc.o.d"
+  "/root/repo/src/exec/externs.cc" "src/CMakeFiles/icarus.dir/exec/externs.cc.o" "gcc" "src/CMakeFiles/icarus.dir/exec/externs.cc.o.d"
+  "/root/repo/src/extract/cpp_backend.cc" "src/CMakeFiles/icarus.dir/extract/cpp_backend.cc.o" "gcc" "src/CMakeFiles/icarus.dir/extract/cpp_backend.cc.o.d"
+  "/root/repo/src/machine/machine_state.cc" "src/CMakeFiles/icarus.dir/machine/machine_state.cc.o" "gcc" "src/CMakeFiles/icarus.dir/machine/machine_state.cc.o.d"
+  "/root/repo/src/meta/meta_executor.cc" "src/CMakeFiles/icarus.dir/meta/meta_executor.cc.o" "gcc" "src/CMakeFiles/icarus.dir/meta/meta_executor.cc.o.d"
+  "/root/repo/src/meta/naive_executor.cc" "src/CMakeFiles/icarus.dir/meta/naive_executor.cc.o" "gcc" "src/CMakeFiles/icarus.dir/meta/naive_executor.cc.o.d"
+  "/root/repo/src/platform/bugs.cc" "src/CMakeFiles/icarus.dir/platform/bugs.cc.o" "gcc" "src/CMakeFiles/icarus.dir/platform/bugs.cc.o.d"
+  "/root/repo/src/platform/cacheir.cc" "src/CMakeFiles/icarus.dir/platform/cacheir.cc.o" "gcc" "src/CMakeFiles/icarus.dir/platform/cacheir.cc.o.d"
+  "/root/repo/src/platform/compiler_src.cc" "src/CMakeFiles/icarus.dir/platform/compiler_src.cc.o" "gcc" "src/CMakeFiles/icarus.dir/platform/compiler_src.cc.o.d"
+  "/root/repo/src/platform/generators.cc" "src/CMakeFiles/icarus.dir/platform/generators.cc.o" "gcc" "src/CMakeFiles/icarus.dir/platform/generators.cc.o.d"
+  "/root/repo/src/platform/interp_src.cc" "src/CMakeFiles/icarus.dir/platform/interp_src.cc.o" "gcc" "src/CMakeFiles/icarus.dir/platform/interp_src.cc.o.d"
+  "/root/repo/src/platform/masm.cc" "src/CMakeFiles/icarus.dir/platform/masm.cc.o" "gcc" "src/CMakeFiles/icarus.dir/platform/masm.cc.o.d"
+  "/root/repo/src/platform/platform.cc" "src/CMakeFiles/icarus.dir/platform/platform.cc.o" "gcc" "src/CMakeFiles/icarus.dir/platform/platform.cc.o.d"
+  "/root/repo/src/platform/prelude.cc" "src/CMakeFiles/icarus.dir/platform/prelude.cc.o" "gcc" "src/CMakeFiles/icarus.dir/platform/prelude.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/CMakeFiles/icarus.dir/support/rng.cc.o" "gcc" "src/CMakeFiles/icarus.dir/support/rng.cc.o.d"
+  "/root/repo/src/support/status.cc" "src/CMakeFiles/icarus.dir/support/status.cc.o" "gcc" "src/CMakeFiles/icarus.dir/support/status.cc.o.d"
+  "/root/repo/src/support/str_util.cc" "src/CMakeFiles/icarus.dir/support/str_util.cc.o" "gcc" "src/CMakeFiles/icarus.dir/support/str_util.cc.o.d"
+  "/root/repo/src/support/timing.cc" "src/CMakeFiles/icarus.dir/support/timing.cc.o" "gcc" "src/CMakeFiles/icarus.dir/support/timing.cc.o.d"
+  "/root/repo/src/sym/expr.cc" "src/CMakeFiles/icarus.dir/sym/expr.cc.o" "gcc" "src/CMakeFiles/icarus.dir/sym/expr.cc.o.d"
+  "/root/repo/src/sym/simplify.cc" "src/CMakeFiles/icarus.dir/sym/simplify.cc.o" "gcc" "src/CMakeFiles/icarus.dir/sym/simplify.cc.o.d"
+  "/root/repo/src/sym/solver.cc" "src/CMakeFiles/icarus.dir/sym/solver.cc.o" "gcc" "src/CMakeFiles/icarus.dir/sym/solver.cc.o.d"
+  "/root/repo/src/verifier/verifier.cc" "src/CMakeFiles/icarus.dir/verifier/verifier.cc.o" "gcc" "src/CMakeFiles/icarus.dir/verifier/verifier.cc.o.d"
+  "/root/repo/src/vm/bytecode.cc" "src/CMakeFiles/icarus.dir/vm/bytecode.cc.o" "gcc" "src/CMakeFiles/icarus.dir/vm/bytecode.cc.o.d"
+  "/root/repo/src/vm/ic.cc" "src/CMakeFiles/icarus.dir/vm/ic.cc.o" "gcc" "src/CMakeFiles/icarus.dir/vm/ic.cc.o.d"
+  "/root/repo/src/vm/interp.cc" "src/CMakeFiles/icarus.dir/vm/interp.cc.o" "gcc" "src/CMakeFiles/icarus.dir/vm/interp.cc.o.d"
+  "/root/repo/src/vm/object.cc" "src/CMakeFiles/icarus.dir/vm/object.cc.o" "gcc" "src/CMakeFiles/icarus.dir/vm/object.cc.o.d"
+  "/root/repo/src/vm/stub_engine.cc" "src/CMakeFiles/icarus.dir/vm/stub_engine.cc.o" "gcc" "src/CMakeFiles/icarus.dir/vm/stub_engine.cc.o.d"
+  "/root/repo/src/vm/value.cc" "src/CMakeFiles/icarus.dir/vm/value.cc.o" "gcc" "src/CMakeFiles/icarus.dir/vm/value.cc.o.d"
+  "/root/repo/src/vm/workloads.cc" "src/CMakeFiles/icarus.dir/vm/workloads.cc.o" "gcc" "src/CMakeFiles/icarus.dir/vm/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boogie_test.dir/boogie_test.cc.o"
+  "CMakeFiles/boogie_test.dir/boogie_test.cc.o.d"
+  "boogie_test"
+  "boogie_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boogie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_verify_test.dir/platform_verify_test.cc.o"
+  "CMakeFiles/platform_verify_test.dir/platform_verify_test.cc.o.d"
+  "platform_verify_test"
+  "platform_verify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_verify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sym_expr_test.dir/sym_expr_test.cc.o"
+  "CMakeFiles/sym_expr_test.dir/sym_expr_test.cc.o.d"
+  "sym_expr_test"
+  "sym_expr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sym_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(support_test "/root/repo/build/tests/support_test")
+set_tests_properties(support_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;icarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sym_expr_test "/root/repo/build/tests/sym_expr_test")
+set_tests_properties(sym_expr_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;icarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(solver_test "/root/repo/build/tests/solver_test")
+set_tests_properties(solver_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;icarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(frontend_test "/root/repo/build/tests/frontend_test")
+set_tests_properties(frontend_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;icarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(platform_verify_test "/root/repo/build/tests/platform_verify_test")
+set_tests_properties(platform_verify_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;icarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(boogie_test "/root/repo/build/tests/boogie_test")
+set_tests_properties(boogie_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;icarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(extract_test "/root/repo/build/tests/extract_test")
+set_tests_properties(extract_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;icarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(vm_test "/root/repo/build/tests/vm_test")
+set_tests_properties(vm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;icarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(machine_test "/root/repo/build/tests/machine_test")
+set_tests_properties(machine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;icarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(meta_cfa_test "/root/repo/build/tests/meta_cfa_test")
+set_tests_properties(meta_cfa_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;icarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(evaluator_test "/root/repo/build/tests/evaluator_test")
+set_tests_properties(evaluator_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;icarus_test;/root/repo/tests/CMakeLists.txt;0;")
