@@ -96,10 +96,15 @@ bool EvalContext::PathFeasible() {
     return true;
   }
   ++solver_queries_;
-  sym::Solver solver;
-  sym::SolveResult r = solver.Solve(path_condition_);
+  sym::Solver solver(solver_limits_);
+  solver.set_cache(solver_cache_);
+  // Feasibility only needs the verdict; skipping the model keeps cache
+  // entries for these queries cheap to produce.
+  sym::SolveResult r = solver.Solve(path_condition_, /*want_model=*/false);
   if (r.verdict == sym::Verdict::kUnknown) {
-    // Conservative: keep exploring (cannot prove infeasibility).
+    // Conservative: keep exploring (cannot prove infeasibility), but record
+    // that this path's verdict rests on an undecided query.
+    ++solver_unknowns_;
     return true;
   }
   return r.verdict == sym::Verdict::kSat;
@@ -116,7 +121,8 @@ bool EvalContext::CheckAssert(sym::ExprRef cond, const std::string& what,
   std::vector<sym::ExprRef> query = path_condition_;
   query.push_back(pool_->Not(cond));
   ++solver_queries_;
-  sym::Solver solver;
+  sym::Solver solver(solver_limits_);
+  solver.set_cache(solver_cache_);
   sym::SolveResult r = solver.Solve(query);
   if (r.verdict == sym::Verdict::kUnsat) {
     // The assertion holds on every model of this path; keep it as a lemma.
@@ -124,6 +130,7 @@ bool EvalContext::CheckAssert(sym::ExprRef cond, const std::string& what,
     return true;
   }
   if (r.verdict == sym::Verdict::kUnknown) {
+    ++solver_unknowns_;
     status_ = PathStatus::kLimit;
     violation_.message = StrCat("solver limit while checking: ", what);
     violation_.function = fn;
@@ -491,7 +498,9 @@ Value Evaluator::CallExtern(EvalContext& ctx, const ast::ExternFnDecl* ext,
   // Pure uninterpreted semantics with contracts. Build a frame over the
   // extern's parameter slots (plus `result`).
   ExecEnv contract_env;
-  static ast::FunctionDecl dummy_fn;  // Name holder for diagnostics.
+  // Name holder for diagnostics. thread_local: contexts on different worker
+  // threads evaluate extern contracts concurrently.
+  thread_local ast::FunctionDecl dummy_fn;
   dummy_fn.name = ext->name;
   contract_env.fn = &dummy_fn;
   contract_env.slots.resize(static_cast<size_t>(ext->num_slots));

@@ -238,6 +238,14 @@ class EvalContext {
   // Step budget guard; returns false (and sets kLimit) when exhausted.
   bool CountStep();
 
+  // --- Solver configuration (applies to every query this context issues) ---
+  // Attaches a shared, concurrency-safe solver-result cache (may be null).
+  void set_solver_cache(sym::SolverCache* cache) { solver_cache_ = cache; }
+  sym::SolverCache* solver_cache() const { return solver_cache_; }
+  // Per-query resource budgets; queries over budget degrade to kUnknown.
+  void set_solver_limits(const sym::Solver::Limits& limits) { solver_limits_ = limits; }
+  const sym::Solver::Limits& solver_limits() const { return solver_limits_; }
+
   // Fresh symbolic constant of the given DSL type, with enum-range
   // assumptions applied automatically.
   Value FreshValue(const std::string& prefix, const ast::Type* type);
@@ -245,9 +253,12 @@ class EvalContext {
   // Pretty renderer for violation reports.
   std::string RenderPathCondition() const;
 
-  // Statistics for benches.
+  // Statistics for benches and batch reports.
   int64_t solver_queries() const { return solver_queries_; }
   int64_t paths_decided() const { return static_cast<int64_t>(trace_.size()); }
+  // Queries on this path that degraded to kUnknown (budget exhausted). A
+  // nonzero count means the path's verdict is inconclusive, not proven.
+  int64_t solver_unknowns() const { return solver_unknowns_; }
 
   // Opaque user pointer for host bindings (the VM installs its runtime here).
   void* host_data = nullptr;
@@ -281,6 +292,9 @@ class EvalContext {
   Violation violation_;
   int64_t steps_ = 0;
   int64_t solver_queries_ = 0;
+  int64_t solver_unknowns_ = 0;
+  sym::SolverCache* solver_cache_ = nullptr;
+  sym::Solver::Limits solver_limits_;
   bool abstract_mode_ = false;
 };
 

@@ -12,10 +12,14 @@ constexpr int kMaxInterpSteps = 4096;
 }  // namespace
 
 std::string MetaResult::Summary() const {
+  const char* verdict = verified ? "VERIFIED" : (violations.empty() ? "INCONCLUSIVE" : "VIOLATION");
   std::string out = StrFormat(
       "%s: %d paths (%d attached, %d infeasible), %lld solver queries, %.3fs",
-      verified ? "VERIFIED" : "VIOLATION", paths_explored, paths_attached, paths_infeasible,
+      verdict, paths_explored, paths_attached, paths_infeasible,
       static_cast<long long>(solver_queries), seconds);
+  for (const std::string& note : limit_notes) {
+    out += StrCat("\n  inconclusive: ", note);
+  }
   for (const exec::Violation& v : violations) {
     out += StrCat("\n  violation in ", v.function, " (line ", v.line, "): ", v.message);
     if (!v.model.empty()) {
@@ -105,17 +109,25 @@ MetaResult MetaExecutor::Run(const MetaStub& stub) {
   worklist.push_back({});
 
   while (!worklist.empty()) {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      result.cancelled = true;
+      result.inconclusive = true;
+      result.limit_notes.push_back(
+          StrCat("cancelled (deadline) with ", worklist.size(), " paths unexplored"));
+      break;
+    }
     if (result.paths_explored >= limits_.max_paths) {
-      exec::Violation v;
-      v.message = "path budget exhausted";
-      v.function = stub.generator->name;
-      result.violations.push_back(v);
+      result.inconclusive = true;
+      result.limit_notes.push_back(StrCat("path budget (", limits_.max_paths,
+                                          ") exhausted in ", stub.generator->name));
       break;
     }
     std::vector<bool> trace = std::move(worklist.back());
     worklist.pop_back();
 
     exec::EvalContext ctx(module_, &pool, externs_, exec::Mode::kSymbolic);
+    ctx.set_solver_cache(solver_cache_);
+    ctx.set_solver_limits(solver_limits_);
     ctx.StartPath(std::move(trace));
     ctx.set_source_emit_hook(
         [&stub](exec::EvalContext& hook_ctx, const exec::Instr& instr) -> Status {
@@ -162,8 +174,15 @@ MetaResult MetaExecutor::Run(const MetaStub& stub) {
       case PathStatus::kInfeasible:
         ++result.paths_infeasible;
         break;
-      case PathStatus::kViolation:
-      case PathStatus::kLimit: {
+      case PathStatus::kLimit:
+        // Budget exhaustion is not a counterexample: record why and degrade
+        // the whole result to inconclusive instead of reporting a violation.
+        ++result.paths_limited;
+        result.inconclusive = true;
+        result.limit_notes.push_back(StrCat(ctx.violation().message, " in ",
+                                            ctx.violation().function));
+        break;
+      case PathStatus::kViolation: {
         if (static_cast<int>(result.violations.size()) < limits_.max_violations) {
           exec::Violation v = ctx.violation();
           // Attach the emitted-stub shape for the report.
@@ -193,7 +212,7 @@ MetaResult MetaExecutor::Run(const MetaStub& stub) {
     }
   }
 
-  result.verified = result.violations.empty();
+  result.verified = result.violations.empty() && !result.inconclusive;
   result.seconds = timer.ElapsedSeconds();
   return result;
 }

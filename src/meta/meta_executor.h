@@ -25,6 +25,7 @@
 #ifndef ICARUS_META_META_EXECUTOR_H_
 #define ICARUS_META_META_EXECUTOR_H_
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <vector>
@@ -49,11 +50,21 @@ struct MetaStub {
 };
 
 struct MetaResult {
+  // True iff every path completed with no violations and no resource limits;
+  // mutually exclusive with `inconclusive`.
   bool verified = false;
+  // True when a resource limit (per-query solver budget, path budget, or an
+  // external cancellation/deadline) prevented a full verdict. An
+  // inconclusive result is *not* a counterexample: `violations` stays empty
+  // unless a genuine violation was also found on some fully-decided path.
+  bool inconclusive = false;
+  bool cancelled = false;  // Aborted by the caller's cancel flag (deadline).
   std::vector<exec::Violation> violations;
+  std::vector<std::string> limit_notes;  // Why inconclusive, one per cause.
   int paths_explored = 0;
   int paths_infeasible = 0;
   int paths_attached = 0;  // Paths on which a stub was attached.
+  int paths_limited = 0;   // Paths abandoned on a resource limit.
   int64_t solver_queries = 0;
   double seconds = 0.0;
   std::string Summary() const;
@@ -70,6 +81,15 @@ class MetaExecutor {
 
   void set_limits(const Limits& limits) { limits_ = limits; }
 
+  // Shared solver-result cache applied to every path's context (may be null;
+  // must be concurrency-safe when the executor runs on a pool worker).
+  void set_solver_cache(sym::SolverCache* cache) { solver_cache_ = cache; }
+  // Per-query solver budgets applied to every path's context.
+  void set_solver_limits(const sym::Solver::Limits& limits) { solver_limits_ = limits; }
+  // Cooperative cancellation: checked between paths; when it flips true the
+  // run stops early and the result is marked cancelled + inconclusive.
+  void set_cancel_flag(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+
   // Explores all paths of the meta-stub. `verified` is true iff every path
   // completed with no violations and no resource limits.
   MetaResult Run(const MetaStub& stub);
@@ -83,6 +103,9 @@ class MetaExecutor {
   const ast::Module* module_;
   const exec::ExternRegistry* externs_;
   Limits limits_;
+  sym::SolverCache* solver_cache_ = nullptr;
+  sym::Solver::Limits solver_limits_;
+  const std::atomic<bool>* cancel_ = nullptr;
 };
 
 }  // namespace icarus::meta

@@ -86,6 +86,18 @@ ExprRef ExprPool::Intern(Node node) {
     return it->second;
   }
   node.id = next_id_++;
+  // Canonical structural hash: children are already interned (and hashed), so
+  // this is O(1) per node. Uses only structural content — never pointers or
+  // ids — so two pools building the same term agree on the hash.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = HashCombine(h, static_cast<uint64_t>(node.kind));
+  h = HashCombine(h, static_cast<uint64_t>(node.sort));
+  h = HashCombine(h, static_cast<uint64_t>(node.value));
+  h = HashCombine(h, std::hash<std::string>()(node.name));
+  for (ExprRef a : node.args) {
+    h = HashCombine(h, a->chash);
+  }
+  node.chash = h;
   nodes_.push_back(std::make_unique<Node>(std::move(node)));
   ExprRef ref = nodes_.back().get();
   interned_.emplace(std::move(key), ref);

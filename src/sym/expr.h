@@ -68,6 +68,9 @@ struct Node {
   Sort sort;
   int64_t value = 0;        // kConstInt / kConstBool payload.
   uint32_t id = 0;          // Unique, creation-ordered; stable tiebreak for canonicalization.
+  uint64_t chash = 0;       // Canonical structural hash: equal for structurally
+                            // identical terms even across different pools, so it
+                            // can key the cross-pipeline solver-result cache.
   std::string name;         // kVar / kApp symbol.
   std::vector<ExprRef> args;
 

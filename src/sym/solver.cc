@@ -8,6 +8,8 @@
 
 #include "src/support/check.h"
 #include "src/support/str_util.h"
+#include "src/support/timing.h"
+#include "src/sym/solver_cache.h"
 
 namespace icarus::sym {
 
@@ -766,6 +768,9 @@ void TheoryChecker::BuildModel(Model* model) {
 }  // namespace
 
 std::string Model::ToString() const {
+  if (!rendered.empty()) {
+    return rendered;  // Cache-restored model: already rendered, no live terms.
+  }
   std::vector<std::string> parts;
   for (const auto& [atom, truth] : atoms) {
     parts.push_back(StrCat(truth ? "" : "!", ExprPool::ToString(atom)));
@@ -789,8 +794,45 @@ bool Model::Lookup(ExprRef term, int64_t* out) const {
   return false;
 }
 
-SolveResult Solver::Solve(const std::vector<ExprRef>& conjuncts) {
+SolveResult Solver::Solve(const std::vector<ExprRef>& conjuncts, bool want_model) {
   ++stats_.queries;
+  if (cache_ == nullptr) {
+    return SolveUncached(conjuncts);
+  }
+  QueryKey key = FingerprintQuery(conjuncts);
+  // A kSat entry stored without a model cannot serve a model-needing caller;
+  // Lookup reports it as a miss and the re-solve below upgrades the entry.
+  std::optional<SolverCache::Entry> entry = cache_->Lookup(key, want_model);
+  if (entry.has_value()) {
+    SolveResult cached;
+    cached.verdict = entry->verdict;
+    if (entry->verdict == Verdict::kSat && want_model) {
+      cached.model.rendered = std::move(entry->model_text);
+    }
+    if (entry->verdict == Verdict::kUnknown) {
+      // Negative entry: some earlier attempt blew its budget on this exact
+      // query; don't burn another budget rediscovering that.
+      ++stats_.cache_negative_hits;
+    } else {
+      ++stats_.cache_hits;
+    }
+    return cached;
+  }
+  ++stats_.cache_misses;
+  SolveResult result = SolveUncached(conjuncts);
+  SolverCache::Entry fresh;
+  fresh.verdict = result.verdict;
+  if (result.verdict == Verdict::kSat && want_model) {
+    // Rendering the model is the expensive part of an insertion; skip it for
+    // verdict-only callers (the entry can be upgraded later if needed).
+    fresh.has_model = true;
+    fresh.model_text = result.model.ToString();
+  }
+  cache_->Insert(key, std::move(fresh));
+  return result;
+}
+
+SolveResult Solver::SolveUncached(const std::vector<ExprRef>& conjuncts) {
   // Gather atoms across all conjuncts.
   std::vector<ExprRef> atoms;
   std::unordered_set<ExprRef> seen;
@@ -802,10 +844,21 @@ SolveResult Solver::Solve(const std::vector<ExprRef>& conjuncts) {
   std::unordered_map<ExprRef, Tri> assignment;
   SolveResult result;
   bool exhausted = false;
+  // Budgets are per query: decisions are counted relative to this query's
+  // start, and the wall clock (checked every 64 decisions to keep it off the
+  // hot path) starts now.
+  const int64_t decisions_at_start = stats_.decisions;
+  WallTimer query_timer;
 
   // Recursive DPLL with early skeleton evaluation.
   auto search = [&](auto&& self) -> bool {
-    if (stats_.decisions > limits_.max_decisions) {
+    if (stats_.decisions - decisions_at_start > limits_.max_decisions) {
+      exhausted = true;
+      return false;
+    }
+    if (limits_.max_seconds > 0.0 &&
+        (stats_.decisions - decisions_at_start) % 64 == 0 &&
+        query_timer.ElapsedSeconds() > limits_.max_seconds) {
       exhausted = true;
       return false;
     }
@@ -855,7 +908,12 @@ SolveResult Solver::Solve(const std::vector<ExprRef>& conjuncts) {
   if (search(search)) {
     return result;
   }
-  result.verdict = exhausted ? Verdict::kUnknown : Verdict::kUnsat;
+  if (exhausted) {
+    ++stats_.budget_exhausted;
+    result.verdict = Verdict::kUnknown;
+  } else {
+    result.verdict = Verdict::kUnsat;
+  }
   return result;
 }
 

@@ -29,10 +29,13 @@
 
 namespace icarus::sym {
 
+class SolverCache;  // solver_cache.h
+
+// Three-valued answer of a satisfiability query.
 enum class Verdict {
   kSat,
   kUnsat,
-  kUnknown,  // Resource limits hit.
+  kUnknown,  // Resource limits hit (decision or wall-clock budget).
 };
 
 // Satisfying assignment, for rendering counterexamples.
@@ -41,40 +44,72 @@ struct Model {
   std::vector<std::pair<ExprRef, bool>> atoms;
   // Concrete value per integer/term congruence-class representative.
   std::vector<std::pair<ExprRef, int64_t>> terms;
+  // Pre-rendered model text, set when the model was restored from the
+  // solver-result cache (cached entries are pool-independent and carry no
+  // live ExprRefs). When non-empty, ToString() returns it verbatim.
+  std::string rendered;
 
+  // Renders the assignment for counterexample reports.
   std::string ToString() const;
   // Looks up the value assigned to `term`'s class, if any.
   bool Lookup(ExprRef term, int64_t* out) const;
 };
 
+// Per-Solver counters; cache counters cover only this solver's lookups (the
+// shared SolverCache keeps its own global totals).
 struct SolverStats {
   int64_t decisions = 0;
   int64_t theory_checks = 0;
   int64_t queries = 0;
+  int64_t cache_hits = 0;           // Queries answered by a kSat/kUnsat entry.
+  int64_t cache_negative_hits = 0;  // Queries answered by a kUnknown entry.
+  int64_t cache_misses = 0;         // Cache consulted but empty for the key.
+  int64_t budget_exhausted = 0;     // Queries that degraded to kUnknown.
 };
 
+// Outcome of one Solve() call.
 struct SolveResult {
   Verdict verdict = Verdict::kUnknown;
   Model model;  // Valid only when verdict == kSat.
 };
 
+// Decides satisfiability of conjunctions of hash-consed boolean terms.
+// A Solver is cheap to construct and single-threaded; concurrent pipelines
+// each build their own and may share one concurrency-safe SolverCache.
 class Solver {
  public:
+  // Per-query resource budgets. A query that exceeds either budget degrades
+  // to Verdict::kUnknown instead of running unboundedly — callers treat that
+  // as "inconclusive", never as a verdict.
   struct Limits {
     int64_t max_decisions = 2'000'000;
+    double max_seconds = 0.0;  // Wall-clock budget per query; 0 = unlimited.
   };
 
   Solver() : limits_(Limits{}) {}
   explicit Solver(Limits limits) : limits_(limits) {}
 
-  // Decides satisfiability of the conjunction of `conjuncts`.
-  SolveResult Solve(const std::vector<ExprRef>& conjuncts);
+  // Attaches a shared result cache consulted (and filled) by Solve().
+  // Pass nullptr to detach. The cache must outlive the solver.
+  void set_cache(SolverCache* cache) { cache_ = cache; }
 
+  // Decides satisfiability of the conjunction of `conjuncts`. `want_model`
+  // says whether the caller will consume the model on kSat: feasibility
+  // checks pass false (only the verdict matters) so cached entries skip the
+  // model-rendering cost; assertion checks pass true. A cached entry stored
+  // without a model still answers want_model=false hits; a want_model=true
+  // lookup of such an entry re-solves and upgrades the entry in place.
+  SolveResult Solve(const std::vector<ExprRef>& conjuncts, bool want_model = true);
+
+  // Counters accumulated across all Solve() calls on this instance.
   const SolverStats& stats() const { return stats_; }
 
  private:
+  SolveResult SolveUncached(const std::vector<ExprRef>& conjuncts);
+
   Limits limits_;
   SolverStats stats_;
+  SolverCache* cache_ = nullptr;
 };
 
 }  // namespace icarus::sym

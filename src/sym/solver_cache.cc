@@ -1,0 +1,120 @@
+#include "src/sym/solver_cache.h"
+
+#include <algorithm>
+
+#include "src/support/str_util.h"
+
+namespace icarus::sym {
+
+namespace {
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+QueryKey FingerprintQuery(const std::vector<ExprRef>& conjuncts) {
+  // Sort the per-conjunct canonical hashes and drop duplicates so that the
+  // fingerprint is insensitive to conjunct order and repetition — a path
+  // condition is a *set* of facts.
+  std::vector<uint64_t> hashes;
+  hashes.reserve(conjuncts.size());
+  for (ExprRef c : conjuncts) {
+    hashes.push_back(c->chash);
+  }
+  std::sort(hashes.begin(), hashes.end());
+  hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+
+  QueryKey key;
+  key.lo = 0x6a09e667f3bcc908ULL;  // Two independent lanes: same input stream,
+  key.hi = 0xbb67ae8584caa73bULL;  // different seeds and round constants.
+  for (uint64_t h : hashes) {
+    key.lo = Mix(key.lo, h);
+    key.hi = Mix(key.hi, h ^ 0xa5a5a5a5a5a5a5a5ULL);
+  }
+  key.lo = Mix(key.lo, hashes.size());
+  key.hi = Mix(key.hi, hashes.size() + 1);
+  return key;
+}
+
+double SolverCacheStats::HitRate() const {
+  int64_t total = lookups();
+  return total == 0 ? 0.0 : static_cast<double>(hits + negative_hits) / static_cast<double>(total);
+}
+
+std::string SolverCacheStats::ToString() const {
+  return StrFormat("cache: %lld hits, %lld negative hits, %lld misses (%.1f%% hit rate)",
+                   static_cast<long long>(hits), static_cast<long long>(negative_hits),
+                   static_cast<long long>(misses), HitRate() * 100.0);
+}
+
+SolverCache::SolverCache() = default;
+
+std::optional<SolverCache::Entry> SolverCache::Lookup(const QueryKey& key, bool need_model) {
+  Shard& shard = ShardFor(key);
+  std::optional<Entry> found;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end() &&
+        !(need_model && it->second.verdict == Verdict::kSat && !it->second.has_model)) {
+      found = it->second;
+    }
+  }
+  if (!found.has_value()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  } else if (found->verdict == Verdict::kUnknown) {
+    negative_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return found;
+}
+
+void SolverCache::Insert(const QueryKey& key, Entry entry) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.map.emplace(key, entry);
+  if (inserted) {
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+  } else if (entry.has_model && !it->second.has_model) {
+    // Upgrade: a model-needing caller re-solved a query originally cached by
+    // a verdict-only caller; keep the richer entry.
+    it->second = std::move(entry);
+  }
+}
+
+size_t SolverCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+SolverCacheStats SolverCache::Snapshot() const {
+  SolverCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.negative_hits = negative_hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void SolverCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+  hits_.store(0);
+  negative_hits_.store(0);
+  misses_.store(0);
+  insertions_.store(0);
+}
+
+}  // namespace icarus::sym

@@ -1,0 +1,119 @@
+// Concurrency-safe cache of solver results, shared across verification
+// pipelines.
+//
+// Keying: a query is a conjunction of hash-consed boolean terms; its
+// fingerprint is derived from the *canonical structural hashes* of the
+// conjuncts (Node::chash), combined order-insensitively into 128 bits. Two
+// structurally identical conjunctions — even ones built in different
+// ExprPools by different worker threads — map to the same key, and structural
+// identity implies identical satisfiability, so a hit is sound (up to 128-bit
+// hash collision). This is what lets generators that share CacheIR prefixes,
+// and the per-path re-execution inside one generator, reuse each other's
+// solver work.
+//
+// Entries are pool-independent: verdict plus the pre-rendered model text for
+// kSat (counterexample reports only ever consume the rendered form).
+// kUnknown results are stored as *negative entries* so a query that already
+// blew its budget once is not retried by every sibling path.
+//
+// Thread safety: the table is sharded (mutex per shard) and the statistics
+// counters are atomics; Lookup/Insert may be called concurrently from any
+// number of Solver instances.
+#ifndef ICARUS_SYM_SOLVER_CACHE_H_
+#define ICARUS_SYM_SOLVER_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sym/expr.h"
+#include "src/sym/solver.h"
+
+namespace icarus::sym {
+
+// 128-bit fingerprint of a conjunct set (order- and duplicate-insensitive).
+struct QueryKey {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  bool operator==(const QueryKey& o) const { return lo == o.lo && hi == o.hi; }
+};
+
+// Computes the canonical fingerprint of the conjunction of `conjuncts`.
+QueryKey FingerprintQuery(const std::vector<ExprRef>& conjuncts);
+
+// Monotonic counters; snapshot with SolverCache::Snapshot().
+struct SolverCacheStats {
+  int64_t hits = 0;           // Lookups served from a kSat/kUnsat entry.
+  int64_t negative_hits = 0;  // Lookups served from a kUnknown (negative) entry.
+  int64_t misses = 0;         // Lookups that found nothing.
+  int64_t insertions = 0;     // Entries stored (all verdicts).
+
+  int64_t lookups() const { return hits + negative_hits + misses; }
+  // Fraction of lookups answered from the cache (any entry kind).
+  double HitRate() const;
+  std::string ToString() const;
+};
+
+class SolverCache {
+ public:
+  // A cached result. `model_text` is the rendered model for kSat entries
+  // stored with `has_model` set; it is pool-independent by construction.
+  // kSat entries inserted by model-free callers (feasibility checks) have
+  // has_model == false: they answer verdict-only lookups, and a lookup that
+  // needs the model re-solves and upgrades the entry.
+  struct Entry {
+    Verdict verdict = Verdict::kUnknown;
+    bool has_model = false;
+    std::string model_text;
+  };
+
+  SolverCache();
+  SolverCache(const SolverCache&) = delete;
+  SolverCache& operator=(const SolverCache&) = delete;
+
+  // Returns the cached entry for `key`, if present and usable, updating hit
+  // statistics. With `need_model` set, a kSat entry stored without a model is
+  // reported as a miss (the caller must re-solve; see Insert on upgrading).
+  std::optional<Entry> Lookup(const QueryKey& key, bool need_model = false);
+
+  // Stores `entry` under `key`. First writer wins — a concurrent duplicate
+  // insert (same structural query solved by two threads) is dropped — except
+  // that an entry carrying a model upgrades a resident model-free entry.
+  void Insert(const QueryKey& key, Entry entry);
+
+  // Number of resident entries (approximate under concurrent mutation).
+  size_t size() const;
+
+  // Point-in-time copy of the counters.
+  SolverCacheStats Snapshot() const;
+
+  // Drops all entries and resets statistics (single-threaded use only).
+  void Clear();
+
+ private:
+  struct KeyHash {
+    size_t operator()(const QueryKey& k) const { return static_cast<size_t>(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ULL)); }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<QueryKey, Entry, KeyHash> map;
+  };
+  static constexpr size_t kNumShards = 16;
+
+  Shard& ShardFor(const QueryKey& key) { return shards_[key.lo % kNumShards]; }
+  const Shard& ShardFor(const QueryKey& key) const { return shards_[key.lo % kNumShards]; }
+
+  Shard shards_[kNumShards];
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> negative_hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> insertions_{0};
+};
+
+}  // namespace icarus::sym
+
+#endif  // ICARUS_SYM_SOLVER_CACHE_H_

@@ -1,0 +1,167 @@
+#include "src/verifier/batch_verifier.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+
+#include "src/support/str_util.h"
+#include "src/support/thread_pool.h"
+#include "src/support/timing.h"
+
+namespace icarus::verifier {
+
+const char* OutcomeName(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kVerified:
+      return "VERIFIED";
+    case Outcome::kRefuted:
+      return "COUNTEREXAMPLE";
+    case Outcome::kInconclusive:
+      return "INCONCLUSIVE";
+    case Outcome::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+int BatchReport::NumWithOutcome(Outcome outcome) const {
+  int n = 0;
+  for (const GeneratorResult& r : results) {
+    n += r.outcome == outcome ? 1 : 0;
+  }
+  return n;
+}
+
+std::string BatchReport::RenderTable() const {
+  std::string out = StrFormat("%-44s %-15s %7s %9s %10s\n", "Generator", "Outcome", "Paths",
+                              "Queries", "Time (s)");
+  out += std::string(88, '-') + "\n";
+  for (const GeneratorResult& r : results) {
+    if (r.outcome == Outcome::kError) {
+      out += StrFormat("%-44s %-15s %s\n", r.generator.c_str(), OutcomeName(r.outcome),
+                       r.error.c_str());
+      continue;
+    }
+    out += StrFormat("%-44s %-15s %7d %9lld %10.4f\n", r.generator.c_str(),
+                     OutcomeName(r.outcome), r.report.meta.paths_explored,
+                     static_cast<long long>(r.report.meta.solver_queries), r.seconds);
+  }
+  out += std::string(88, '-') + "\n";
+  out += StrFormat("%d generators: %d verified, %d counterexamples, %d inconclusive, %d errors\n",
+                   static_cast<int>(results.size()), NumWithOutcome(Outcome::kVerified),
+                   NumWithOutcome(Outcome::kRefuted), NumWithOutcome(Outcome::kInconclusive),
+                   NumWithOutcome(Outcome::kError));
+  out += StrFormat("wall: %.3fs on %d jobs%s\n", wall_seconds, jobs,
+                   deadline_hit ? "  (deadline hit; stragglers inconclusive)" : "");
+  if (cache.lookups() > 0) {
+    out += cache.ToString() + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+GeneratorResult VerifyOne(const platform::Platform* platform, const std::string& name,
+                          const BatchOptions& options, sym::SolverCache* cache,
+                          const std::atomic<bool>* cancel) {
+  GeneratorResult result;
+  result.generator = name;
+  WallTimer timer;
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    // Deadline expired before this task started: report it honestly rather
+    // than paying for a verification that would be cancelled immediately.
+    result.outcome = Outcome::kInconclusive;
+    result.report.generator = name;
+    result.report.inconclusive = true;
+    result.report.meta.inconclusive = true;
+    result.report.meta.cancelled = true;
+    result.report.meta.limit_notes.push_back("cancelled (deadline) before start");
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  VerifyOptions vopts;
+  vopts.runs = options.runs;
+  vopts.build_cfa = options.build_cfa;
+  vopts.solver_cache = cache;
+  vopts.solver_limits = options.solver_limits;
+  vopts.cancel = cancel;
+  Verifier verifier(platform);
+  StatusOr<VerifyReport> report = verifier.Verify(name, vopts);
+  result.seconds = timer.ElapsedSeconds();
+  if (!report.ok()) {
+    result.outcome = Outcome::kError;
+    result.error = report.status().message();
+    return result;
+  }
+  result.report = report.take();
+  if (!result.report.meta.violations.empty()) {
+    result.outcome = Outcome::kRefuted;
+  } else if (result.report.inconclusive) {
+    result.outcome = Outcome::kInconclusive;
+  } else {
+    result.outcome = Outcome::kVerified;
+  }
+  return result;
+}
+
+}  // namespace
+
+BatchReport BatchVerifier::VerifyAll(const std::vector<std::string>& generator_names,
+                                     const BatchOptions& options) {
+  BatchReport report;
+  report.jobs = options.jobs > 0 ? options.jobs : ThreadPool::DefaultConcurrency();
+  report.results.resize(generator_names.size());
+
+  std::unique_ptr<sym::SolverCache> cache;
+  if (options.use_cache) {
+    cache = std::make_unique<sym::SolverCache>();
+  }
+  std::atomic<bool> cancel{false};
+  WallTimer timer;
+  {
+    ThreadPool pool(report.jobs);
+    std::vector<std::future<void>> futures;
+    futures.reserve(generator_names.size());
+    for (size_t i = 0; i < generator_names.size(); ++i) {
+      futures.push_back(pool.Submit([this, &generator_names, &options, &report, &cancel,
+                                     cache_ptr = cache.get(), i]() {
+        report.results[i] =
+            VerifyOne(platform_, generator_names[i], options, cache_ptr, &cancel);
+      }));
+    }
+    if (options.deadline_seconds > 0.0) {
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(options.deadline_seconds));
+      for (std::future<void>& f : futures) {
+        if (f.wait_until(deadline) == std::future_status::timeout) {
+          // Flip the flag once; every running task stops at its next path
+          // boundary and every queued task returns inconclusive on entry.
+          cancel.store(true, std::memory_order_relaxed);
+          report.deadline_hit = true;
+          break;
+        }
+      }
+    }
+    for (std::future<void>& f : futures) {
+      f.get();  // Rethrows task exceptions; none expected from VerifyOne.
+    }
+  }
+  report.wall_seconds = timer.ElapsedSeconds();
+  if (cache != nullptr) {
+    report.cache = cache->Snapshot();
+  }
+  return report;
+}
+
+BatchReport BatchVerifier::VerifyEverything(const BatchOptions& options) {
+  std::vector<std::string> names;
+  for (const ast::FunctionDecl* fn : platform_->module().Generators()) {
+    names.push_back(fn->name);
+  }
+  return VerifyAll(names, options);
+}
+
+}  // namespace icarus::verifier

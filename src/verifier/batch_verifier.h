@@ -1,0 +1,99 @@
+// Parallel verification driver: verifies a fleet of generators concurrently
+// on a work-stealing thread pool, with a shared solver-result cache and
+// per-query/fleet-level resource budgets.
+//
+// Each generator is one task; tasks are independent (each owns its ExprPool
+// and machine state; the Platform is shared read-only), so verdicts are
+// deterministic and identical to the serial driver's. The shared SolverCache
+// lets tasks reuse solver work across paths, runs, and generators that share
+// CacheIR prefixes. A fleet deadline flips a cancel flag that running tasks
+// observe between paths, degrading stragglers to "inconclusive" instead of
+// hanging the batch. See docs/ARCHITECTURE.md §"Batch driver".
+#ifndef ICARUS_VERIFIER_BATCH_VERIFIER_H_
+#define ICARUS_VERIFIER_BATCH_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sym/solver.h"
+#include "src/sym/solver_cache.h"
+#include "src/verifier/verifier.h"
+
+namespace icarus::verifier {
+
+// Knobs for one batch run.
+struct BatchOptions {
+  // Worker threads; <= 0 selects ThreadPool::DefaultConcurrency().
+  int jobs = 0;
+  // Share one solver-result cache across all tasks.
+  bool use_cache = true;
+  // Fleet-level wall-clock deadline in seconds; 0 = none. On expiry, running
+  // tasks stop at their next path boundary and unfinished generators are
+  // reported inconclusive — never silently dropped.
+  double deadline_seconds = 0.0;
+  // Per-query solver budgets applied inside every task.
+  sym::Solver::Limits solver_limits;
+  // Timing repeats per generator (passed through to VerifyOptions.runs).
+  int runs = 1;
+  // Also build each generator's CFA artifact (off by default: the batch
+  // driver reports verdicts, not DOT renderings).
+  bool build_cfa = false;
+};
+
+// How one generator's verification concluded.
+enum class Outcome {
+  kVerified,      // All paths proven safe.
+  kRefuted,       // A counterexample was found.
+  kInconclusive,  // A budget or the fleet deadline prevented a verdict.
+  kError,         // Pipeline error (unknown generator, malformed platform).
+};
+
+// Renders e.g. "VERIFIED" / "COUNTEREXAMPLE" / "INCONCLUSIVE" / "ERROR".
+const char* OutcomeName(Outcome outcome);
+
+// One row of the batch report.
+struct GeneratorResult {
+  std::string generator;
+  Outcome outcome = Outcome::kError;
+  std::string error;    // Set when outcome == kError.
+  VerifyReport report;  // Valid unless outcome == kError.
+  double seconds = 0.0; // Wall-clock for this task (queue wait excluded).
+};
+
+// Aggregate result of BatchVerifier::VerifyAll.
+struct BatchReport {
+  std::vector<GeneratorResult> results;  // Same order as the input list.
+  int jobs = 1;
+  double wall_seconds = 0.0;  // End-to-end batch wall clock.
+  bool deadline_hit = false;
+  sym::SolverCacheStats cache;  // Zero-valued when the cache was disabled.
+
+  // Outcome counts over `results`.
+  int NumWithOutcome(Outcome outcome) const;
+  // Multi-line summary table: one row per generator plus aggregate footer.
+  std::string RenderTable() const;
+};
+
+// Drives Verifier over many generators concurrently. Thread-compatible: use
+// one BatchVerifier per batch run.
+class BatchVerifier {
+ public:
+  // `platform` must outlive the batch verifier.
+  explicit BatchVerifier(const platform::Platform* platform) : platform_(platform) {}
+
+  // Verifies every generator in `generator_names` (order of the report rows
+  // matches the input order regardless of scheduling).
+  BatchReport VerifyAll(const std::vector<std::string>& generator_names,
+                        const BatchOptions& options = BatchOptions());
+
+  // Convenience: every generator declared by the platform (Figure-12 set,
+  // extensions, and the buggy/fixed study pairs).
+  BatchReport VerifyEverything(const BatchOptions& options = BatchOptions());
+
+ private:
+  const platform::Platform* platform_;
+};
+
+}  // namespace icarus::verifier
+
+#endif  // ICARUS_VERIFIER_BATCH_VERIFIER_H_

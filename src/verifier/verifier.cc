@@ -6,7 +6,13 @@ namespace icarus::verifier {
 
 std::string VerifyReport::Render() const {
   std::string out = StrCat("=== ", generator, " ===\n");
-  out += StrCat(verified ? "VERIFIED" : "COUNTEREXAMPLE FOUND", "\n");
+  const char* verdict = verified ? "VERIFIED"
+                                 : (meta.violations.empty() ? "INCONCLUSIVE"
+                                                            : "COUNTEREXAMPLE FOUND");
+  out += StrCat(verdict, "\n");
+  for (const std::string& note : meta.limit_notes) {
+    out += StrCat("inconclusive: ", note, "\n");
+  }
   out += StrFormat("paths: %d explored, %d attached, %d infeasible; %lld solver queries\n",
                    meta.paths_explored, meta.paths_attached, meta.paths_infeasible,
                    static_cast<long long>(meta.solver_queries));
@@ -40,16 +46,8 @@ StatusOr<VerifyReport> Verifier::Verify(const std::string& generator_name,
   report.generator = generator_name;
   report.total_loc = platform_->TotalLoc(generator_name);
 
-  meta::MetaExecutor executor(&platform_->module(), &platform_->externs());
-  std::vector<double> samples;
-  int runs = options.runs < 1 ? 1 : options.runs;
-  for (int i = 0; i < runs; ++i) {
-    report.meta = executor.Run(stub.value());
-    samples.push_back(report.meta.seconds);
-  }
-  report.timing = ComputeStats(std::move(samples));
-  report.verified = report.meta.verified;
-
+  // Untimed artifacts first: the CFA is a per-generator construction, not
+  // part of meta-execution, so it stays outside the timing loop below.
   if (options.build_cfa) {
     cfa::CfaBuilder builder(&platform_->module(), &platform_->externs());
     StatusOr<cfa::Cfa> automaton = builder.Build(stub.value());
@@ -61,6 +59,22 @@ StatusOr<VerifyReport> Verifier::Verify(const std::string& generator_name,
     report.cfa_paths = automaton.value().CountPaths(64, 1000000000);
     report.cfa_dot = automaton.value().ToDot();
   }
+
+  meta::MetaExecutor executor(&platform_->module(), &platform_->externs());
+  executor.set_solver_cache(options.solver_cache);
+  executor.set_solver_limits(options.solver_limits);
+  executor.set_cancel_flag(options.cancel);
+
+  // Timed loop: meta-execution only, `runs` samples.
+  std::vector<double> samples;
+  int runs = options.runs < 1 ? 1 : options.runs;
+  for (int i = 0; i < runs; ++i) {
+    report.meta = executor.Run(stub.value());
+    samples.push_back(report.meta.seconds);
+  }
+  report.timing = ComputeStats(std::move(samples));
+  report.verified = report.meta.verified;
+  report.inconclusive = report.meta.inconclusive;
   return report;
 }
 

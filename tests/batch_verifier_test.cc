@@ -1,0 +1,190 @@
+// BatchVerifier determinism and deadline tests: the parallel driver must
+// produce the same verdicts as the serial Verifier on every platform
+// generator (including the 6 buggy/fixed study pairs), preserve input order,
+// and degrade gracefully to INCONCLUSIVE when budgets or the fleet deadline
+// bite.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/platform/platform.h"
+#include "src/support/str_util.h"
+#include "src/verifier/batch_verifier.h"
+#include "src/verifier/verifier.h"
+
+namespace icarus::verifier {
+namespace {
+
+class BatchVerifierTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    StatusOr<std::unique_ptr<platform::Platform>> loaded = platform::Platform::Load();
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    platform_ = loaded.take().release();
+  }
+
+  void SetUp() override {
+    ASSERT_NE(platform_, nullptr) << "platform failed to load";
+  }
+  static void TearDownTestSuite() {
+    delete platform_;
+    platform_ = nullptr;
+  }
+
+  // Serial reference outcome via the single-generator driver, no cache.
+  static Outcome SerialOutcome(const std::string& name) {
+    Verifier verifier(platform_);
+    VerifyOptions opts;
+    opts.build_cfa = false;
+    StatusOr<VerifyReport> report = verifier.Verify(name, opts);
+    if (!report.ok()) {
+      return Outcome::kError;
+    }
+    if (!report.value().meta.violations.empty()) {
+      return Outcome::kRefuted;
+    }
+    if (report.value().inconclusive) {
+      return Outcome::kInconclusive;
+    }
+    return Outcome::kVerified;
+  }
+
+  static platform::Platform* platform_;
+};
+
+platform::Platform* BatchVerifierTest::platform_ = nullptr;
+
+TEST_F(BatchVerifierTest, ParallelVerdictsMatchSerialOnAllGenerators) {
+  // The acceptance bar of the batch driver: `--jobs 4` must be a pure
+  // performance knob, never a semantic one.
+  BatchVerifier batch(platform_);
+  BatchOptions opts;
+  opts.jobs = 4;
+  opts.use_cache = true;
+  BatchReport report = batch.VerifyEverything(opts);
+
+  ASSERT_FALSE(report.results.empty());
+  EXPECT_FALSE(report.deadline_hit);
+  for (const GeneratorResult& r : report.results) {
+    EXPECT_EQ(r.outcome, SerialOutcome(r.generator)) << r.generator;
+  }
+  // The platform declares no broken-by-default generators: everything is
+  // either verified or a deliberately planted counterexample.
+  EXPECT_EQ(report.NumWithOutcome(Outcome::kError), 0);
+  EXPECT_EQ(report.NumWithOutcome(Outcome::kInconclusive), 0);
+  EXPECT_EQ(report.NumWithOutcome(Outcome::kRefuted),
+            static_cast<int>(platform::Bugs().size()));
+  // Re-solved prefix queries across paths guarantee cache traffic.
+  EXPECT_GT(report.cache.lookups(), 0);
+  EXPECT_GT(report.cache.hits, 0);
+}
+
+TEST_F(BatchVerifierTest, BuggyPairsRefutedFixedPairsVerified) {
+  std::vector<std::string> names;
+  for (const platform::BugDef& bug : platform::Bugs()) {
+    names.push_back(StrCat("bug", bug.id, "_buggy"));
+    names.push_back(StrCat("bug", bug.id, "_fixed"));
+  }
+  BatchVerifier batch(platform_);
+  BatchOptions opts;
+  opts.jobs = 4;
+  BatchReport report = batch.VerifyAll(names, opts);
+
+  ASSERT_EQ(report.results.size(), names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    // Rows come back in input order regardless of scheduling.
+    EXPECT_EQ(report.results[i].generator, names[i]);
+    Outcome want = (i % 2 == 0) ? Outcome::kRefuted : Outcome::kVerified;
+    EXPECT_EQ(report.results[i].outcome, want) << names[i];
+  }
+}
+
+TEST_F(BatchVerifierTest, SingleJobNoCacheMatchesParallelCached) {
+  // Same fleet through both extreme configurations.
+  std::vector<std::string> names;
+  for (const platform::GeneratorInfo& info : platform::Fig12Generators()) {
+    names.push_back(info.function);
+  }
+  BatchVerifier batch(platform_);
+
+  BatchOptions serial;
+  serial.jobs = 1;
+  serial.use_cache = false;
+  BatchReport serial_report = batch.VerifyAll(names, serial);
+  EXPECT_EQ(serial_report.jobs, 1);
+  EXPECT_EQ(serial_report.cache.lookups(), 0);
+
+  BatchOptions parallel;
+  parallel.jobs = 4;
+  parallel.use_cache = true;
+  BatchReport parallel_report = batch.VerifyAll(names, parallel);
+
+  ASSERT_EQ(serial_report.results.size(), parallel_report.results.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(serial_report.results[i].outcome, parallel_report.results[i].outcome)
+        << names[i];
+  }
+}
+
+TEST_F(BatchVerifierTest, ExpiredDeadlineReportsInconclusiveNotWrong) {
+  // A deadline that has effectively already passed: every generator must be
+  // reported inconclusive — not verified, not refuted, not dropped.
+  std::vector<std::string> names;
+  for (const platform::GeneratorInfo& info : platform::Fig12Generators()) {
+    names.push_back(info.function);
+  }
+  BatchVerifier batch(platform_);
+  BatchOptions opts;
+  opts.jobs = 2;
+  opts.deadline_seconds = 1e-9;
+  BatchReport report = batch.VerifyAll(names, opts);
+
+  ASSERT_EQ(report.results.size(), names.size());
+  EXPECT_TRUE(report.deadline_hit);
+  EXPECT_GT(report.NumWithOutcome(Outcome::kInconclusive), 0);
+  for (const GeneratorResult& r : report.results) {
+    // No generator may flip to a hard verdict it did not earn: anything that
+    // did not finish ahead of the (instant) deadline must say so.
+    EXPECT_NE(r.outcome, Outcome::kError) << r.generator;
+    if (r.outcome == Outcome::kInconclusive) {
+      EXPECT_TRUE(r.report.inconclusive);
+      EXPECT_FALSE(r.report.verified);
+    }
+  }
+}
+
+TEST_F(BatchVerifierTest, TinyDecisionBudgetDegradesToInconclusive) {
+  // Per-query budgets: a 0-decision budget can only produce INCONCLUSIVE or a
+  // propositionally-trivial verdict, never a wrong one.
+  BatchVerifier batch(platform_);
+  BatchOptions opts;
+  opts.jobs = 2;
+  opts.solver_limits.max_decisions = 0;
+  BatchReport report =
+      batch.VerifyAll({"tryAttachCompareInt32", "tryAttachObjectLength"}, opts);
+  for (const GeneratorResult& r : report.results) {
+    EXPECT_NE(r.outcome, Outcome::kError) << r.generator;
+    if (r.outcome == Outcome::kInconclusive) {
+      EXPECT_FALSE(r.report.verified) << r.generator;
+      EXPECT_FALSE(r.report.meta.limit_notes.empty()) << r.generator;
+    }
+  }
+}
+
+TEST_F(BatchVerifierTest, RenderTableMentionsEveryGenerator) {
+  BatchVerifier batch(platform_);
+  BatchOptions opts;
+  opts.jobs = 2;
+  BatchReport report = batch.VerifyAll({"tryAttachCompareInt32", "bug1685925_buggy"}, opts);
+  std::string table = report.RenderTable();
+  EXPECT_NE(table.find("tryAttachCompareInt32"), std::string::npos);
+  EXPECT_NE(table.find("bug1685925_buggy"), std::string::npos);
+  EXPECT_NE(table.find("VERIFIED"), std::string::npos);
+  EXPECT_NE(table.find("COUNTEREXAMPLE"), std::string::npos);
+  EXPECT_NE(table.find("2 generators"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace icarus::verifier

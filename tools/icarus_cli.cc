@@ -3,7 +3,14 @@
 // Usage:
 //   icarus list                      List every generator in the platform.
 //   icarus verify <generator>        Verify one generator; print the report.
-//   icarus verify-all                Verify everything (Fig. 12 + extensions).
+//   icarus verify-all [flags]        Verify everything (Fig. 12 + extensions +
+//                                    bug studies) on the parallel batch driver.
+//     --jobs N                       Worker threads (default: all cores).
+//     --cache / --no-cache           Shared solver-result cache (default: on).
+//     --deadline S                   Fleet deadline in seconds; stragglers
+//                                    degrade to INCONCLUSIVE (default: none).
+//     --serial                       One generator at a time on one thread
+//                                    (equivalent to --jobs 1 --no-cache).
 //   icarus cfa <generator>           Print the CFA as GraphViz DOT.
 //   icarus boogie <generator>        Emit the (DCE-sliced) Boogie meta-stub.
 //   icarus extract                   Print the extracted C++ header.
@@ -12,6 +19,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -19,6 +27,7 @@
 #include "src/boogie/boogie_lower.h"
 #include "src/boogie/boogie_printer.h"
 #include "src/extract/cpp_backend.h"
+#include "src/verifier/batch_verifier.h"
 #include "src/verifier/verifier.h"
 
 namespace {
@@ -27,8 +36,8 @@ using icarus::platform::Platform;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: icarus <list|verify <gen>|verify-all|cfa <gen>|boogie <gen>|extract|"
-               "check <file>>\n");
+               "usage: icarus <list|verify <gen>|verify-all [--jobs N] [--cache|--no-cache] "
+               "[--deadline S] [--serial]|cfa <gen>|boogie <gen>|extract|check <file>>\n");
   return 2;
 }
 
@@ -50,25 +59,24 @@ int Verify(const Platform& platform, const std::string& name, bool expect_verifi
   return report.value().verified == expect_verified ? 0 : 1;
 }
 
-int VerifyAll(const Platform& platform) {
+int VerifyAll(const Platform& platform, const icarus::verifier::BatchOptions& options) {
+  using icarus::verifier::Outcome;
+  icarus::verifier::BatchVerifier batch(&platform);
+  icarus::verifier::BatchReport report = batch.VerifyEverything(options);
+  std::printf("%s", report.RenderTable().c_str());
+
+  // Deliberately-buggy study generators are expected to be refuted; anything
+  // else must verify. Inconclusive results (deadline/budget) are reported but
+  // also count as unexpected for the exit code.
   int failures = 0;
-  for (const auto* fn : platform.module().Generators()) {
-    icarus::verifier::Verifier verifier(&platform);
-    icarus::verifier::VerifyOptions options;
-    options.build_cfa = false;
-    auto report = verifier.Verify(fn->name, options);
-    if (!report.ok()) {
-      std::fprintf(stderr, "%s: %s\n", fn->name.c_str(), report.status().message().c_str());
+  for (const icarus::verifier::GeneratorResult& r : report.results) {
+    Outcome expected = r.generator.find("_buggy") == std::string::npos ? Outcome::kVerified
+                                                                       : Outcome::kRefuted;
+    if (r.outcome != expected) {
+      std::printf("UNEXPECTED: %s is %s (expected %s)\n", r.generator.c_str(),
+                  OutcomeName(r.outcome), OutcomeName(expected));
       ++failures;
-      continue;
     }
-    // Deliberately-buggy study generators are expected to be refuted.
-    bool expect_verified = fn->name.find("_buggy") == std::string::npos;
-    bool ok = report.value().verified == expect_verified;
-    std::printf("%-44s %s%s\n", fn->name.c_str(),
-                report.value().verified ? "VERIFIED" : "COUNTEREXAMPLE",
-                ok ? "" : "  <-- UNEXPECTED");
-    failures += ok ? 0 : 1;
   }
   std::printf("\n%d unexpected outcomes\n", failures);
   return failures == 0 ? 0 : 1;
@@ -166,7 +174,29 @@ int main(int argc, char** argv) {
     return ListGenerators(*platform);
   }
   if (cmd == "verify-all") {
-    return VerifyAll(*platform);
+    icarus::verifier::BatchOptions options;
+    for (int i = 2; i < argc; ++i) {
+      std::string flag = argv[i];
+      if (flag == "--jobs" && i + 1 < argc) {
+        options.jobs = std::atoi(argv[++i]);
+      } else if (flag == "--cache") {
+        options.use_cache = true;
+      } else if (flag == "--no-cache") {
+        options.use_cache = false;
+      } else if (flag == "--deadline" && i + 1 < argc) {
+        options.deadline_seconds = std::atof(argv[++i]);
+      } else if (flag == "--serial") {
+        options.jobs = 1;
+        options.use_cache = false;
+      } else {
+        std::fprintf(stderr, "unknown verify-all flag: %s\n", flag.c_str());
+        return Usage();
+      }
+    }
+    return VerifyAll(*platform, options);
+  }
+  if (cmd == "extract") {
+    return Extract(*platform);
   }
   if (argc < 3) {
     return Usage();
