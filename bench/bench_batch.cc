@@ -39,7 +39,7 @@ int main() {
   BatchOptions serial;
   serial.jobs = 1;
   serial.use_cache = false;
-  BatchReport base = batch.VerifyEverything(serial);
+  BatchReport base = batch.VerifyEverything(serial).take();
   std::printf("%-28s wall %7.3fs\n", "serial (1 job, no cache)", base.wall_seconds);
 
   struct Config {
@@ -61,7 +61,7 @@ int main() {
     BatchOptions options;
     options.jobs = config.jobs;
     options.use_cache = config.cache;
-    BatchReport report = batch.VerifyEverything(options);
+    BatchReport report = batch.VerifyEverything(options).take();
     for (size_t i = 0; i < report.results.size(); ++i) {
       if (report.results[i].outcome != base.results[i].outcome) {
         std::printf("  VERDICT MISMATCH: %s (%s vs %s serial)\n",

@@ -1,6 +1,7 @@
 #include "src/ast/lexer.h"
 
 #include <cctype>
+#include <cstdint>
 #include <map>
 
 #include "src/support/str_util.h"
@@ -76,7 +77,10 @@ bool Lexer::Match(char c) {
   return false;
 }
 
-void Lexer::SkipTrivia() {
+// Returns true on success; false when a block comment ran to EOF unclosed
+// (a classic truncated-file symptom), with the comment start in *err_line /
+// *err_col for the diagnostic.
+bool Lexer::SkipTrivia(int* err_line, int* err_col) {
   while (true) {
     char c = Peek();
     if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
@@ -86,19 +90,23 @@ void Lexer::SkipTrivia() {
         Advance();
       }
     } else if (c == '/' && Peek(1) == '*') {
+      *err_line = line_;
+      *err_col = col_;
       Advance();
       Advance();
       while (!(Peek() == '*' && Peek(1) == '/') && Peek() != '\0') {
         Advance();
       }
-      if (Peek() != '\0') {
-        Advance();
-        Advance();
+      if (Peek() == '\0') {
+        return false;
       }
+      Advance();
+      Advance();
     } else {
       break;
     }
   }
+  return true;
 }
 
 Token Lexer::Make(Tok kind) {
@@ -110,8 +118,23 @@ Token Lexer::Make(Tok kind) {
   return t;
 }
 
+Token Lexer::Error(int line, int col, std::string message) {
+  Token t = Make(Tok::kError);
+  t.line = line;
+  t.col = col;
+  t.text = std::move(message);
+  return t;
+}
+
 Token Lexer::Next() {
-  SkipTrivia();
+  int trivia_line = 0;
+  int trivia_col = 0;
+  if (!SkipTrivia(&trivia_line, &trivia_col)) {
+    return Error(trivia_line, trivia_col,
+                 StrFormat("unterminated block comment starting at line %d, col %d "
+                           "(truncated file?)",
+                           trivia_line, trivia_col));
+  }
   tok_line_ = line_;
   tok_col_ = col_;
   tok_offset_ = pos_;
@@ -135,24 +158,71 @@ Token Lexer::Next() {
     return t;
   }
   if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-    int64_t value = 0;
+    // Accumulate with an explicit overflow guard: a runaway literal is a
+    // diagnostic, not signed-overflow UB.
+    uint64_t value = 0;
+    bool overflow = false;
     if (c == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
       Advance();
       Advance();
+      if (std::isxdigit(static_cast<unsigned char>(Peek())) == 0) {
+        return Error(tok_line_, tok_col_,
+                     StrFormat("hex literal with no digits at line %d, col %d", tok_line_,
+                               tok_col_));
+      }
       while (std::isxdigit(static_cast<unsigned char>(Peek())) != 0) {
         char d = Advance();
-        int digit = std::isdigit(static_cast<unsigned char>(d)) != 0
-                        ? d - '0'
-                        : (std::tolower(d) - 'a' + 10);
+        uint64_t digit = std::isdigit(static_cast<unsigned char>(d)) != 0
+                             ? static_cast<uint64_t>(d - '0')
+                             : static_cast<uint64_t>(std::tolower(d) - 'a' + 10);
+        overflow = overflow || value > (UINT64_MAX - digit) / 16;
         value = value * 16 + digit;
       }
     } else {
       while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
-        value = value * 10 + (Advance() - '0');
+        uint64_t digit = static_cast<uint64_t>(Advance() - '0');
+        overflow = overflow || value > (UINT64_MAX - digit) / 10;
+        value = value * 10 + digit;
       }
     }
+    if (overflow || value > static_cast<uint64_t>(INT64_MAX)) {
+      return Error(tok_line_, tok_col_,
+                   StrFormat("integer literal overflows int64 at line %d, col %d", tok_line_,
+                             tok_col_));
+    }
     Token t = Make(Tok::kIntLit);
-    t.int_val = value;
+    t.int_val = static_cast<int64_t>(value);
+    return t;
+  }
+  if (c == '"') {
+    Advance();
+    std::string text;
+    while (true) {
+      char d = Peek();
+      if (d == '\0' || d == '\n') {
+        return Error(tok_line_, tok_col_,
+                     StrFormat("unterminated string literal starting at line %d, col %d",
+                               tok_line_, tok_col_));
+      }
+      Advance();
+      if (d == '"') {
+        break;
+      }
+      if (d == '\\') {
+        // Consume the escaped character so an escaped quote doesn't end the
+        // literal; the DSL rejects strings anyway, so no unescaping needed.
+        if (Peek() == '\0') {
+          return Error(tok_line_, tok_col_,
+                       StrFormat("unterminated string literal starting at line %d, col %d",
+                                 tok_line_, tok_col_));
+        }
+        text.push_back(Advance());
+        continue;
+      }
+      text.push_back(d);
+    }
+    Token t = Make(Tok::kStrLit);
+    t.text = std::move(text);
     return t;
   }
   Advance();
@@ -183,9 +253,14 @@ Token Lexer::Next() {
     case '%': return Make(Tok::kPercent);
     case '^': return Make(Tok::kCaret);
     default: {
-      Token t = Make(Tok::kError);
-      t.text = StrFormat("unexpected character '%c' at line %d", c, tok_line_);
-      return t;
+      // Render non-printable bytes as \xNN so a stray control byte in the
+      // input produces a readable diagnostic.
+      std::string spelling = std::isprint(static_cast<unsigned char>(c)) != 0
+                                 ? StrFormat("'%c'", c)
+                                 : StrFormat("byte \\x%02x", static_cast<unsigned char>(c));
+      return Error(tok_line_, tok_col_,
+                   StrFormat("unexpected %s at line %d, col %d", spelling.c_str(), tok_line_,
+                             tok_col_));
     }
   }
 }

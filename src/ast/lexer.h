@@ -26,8 +26,9 @@ class Lexer {
   char Peek(int ahead = 0) const;
   char Advance();
   bool Match(char c);
-  void SkipTrivia();
+  bool SkipTrivia(int* err_line, int* err_col);
   Token Make(Tok kind);
+  Token Error(int line, int col, std::string message);
 
   std::string_view src_;
   size_t pos_ = 0;

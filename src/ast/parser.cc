@@ -328,6 +328,16 @@ class ParserImpl {
   // --- Statements ----------------------------------------------------------
 
   Status Statement(StmtPtr* out) {
+    if (++depth_ > kMaxNestingDepth) {
+      --depth_;
+      return Err("statement nesting too deep");
+    }
+    Status st = StatementImpl(out);
+    --depth_;
+    return st;
+  }
+
+  Status StatementImpl(StmtPtr* out) {
     auto stmt = std::make_unique<Stmt>();
     stmt->loc = Loc();
     switch (Cur().kind) {
@@ -444,7 +454,19 @@ class ParserImpl {
 
   // --- Expressions ---------------------------------------------------------
 
-  Status ParseExpr(ExprPtr* out) { return OrExpr(out); }
+  // Recursion budget shared by nested expressions and statements: deeply
+  // nested malformed input must produce a diagnostic, not a stack overflow.
+  static constexpr int kMaxNestingDepth = 200;
+
+  Status ParseExpr(ExprPtr* out) {
+    if (++depth_ > kMaxNestingDepth) {
+      --depth_;
+      return Err("expression nesting too deep");
+    }
+    Status st = OrExpr(out);
+    --depth_;
+    return st;
+  }
 
   using SubParser = Status (ParserImpl::*)(ExprPtr*);
 
@@ -579,6 +601,8 @@ class ParserImpl {
         }
         break;
       }
+      case Tok::kStrLit:
+        return Err("string literals are not part of the Icarus DSL");
       default:
         return Err("expected an expression");
     }
@@ -590,6 +614,7 @@ class ParserImpl {
   std::string_view source_;
   std::vector<Token> tokens_;
   size_t idx_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -400,7 +400,7 @@ class ResolverImpl {
         return ResolveExpr(stmt->expr.get(), scope, &t);
       }
     }
-    ICARUS_UNREACHABLE("statement kind");
+    ICARUS_BUG("statement kind");
   }
 
   Status ResolveEmit(Stmt* stmt, FnScope* scope) {

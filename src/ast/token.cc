@@ -7,6 +7,7 @@ const char* TokName(Tok t) {
     case Tok::kEof: return "<eof>";
     case Tok::kIdent: return "identifier";
     case Tok::kIntLit: return "integer literal";
+    case Tok::kStrLit: return "string literal";
     case Tok::kLParen: return "(";
     case Tok::kRParen: return ")";
     case Tok::kLBrace: return "{";

@@ -11,6 +11,7 @@ enum class Tok {
   kEof,
   kIdent,
   kIntLit,
+  kStrLit,  // Lexed for diagnostics; the DSL grammar has no string values.
   // Punctuation.
   kLParen, kRParen, kLBrace, kRBrace,
   kComma, kSemi, kColon, kColonColon, kArrow,

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "src/support/failpoint.h"
 #include "src/support/str_util.h"
 
 namespace icarus::boogie {
@@ -30,7 +31,7 @@ std::string TypeName(const ast::Type* type) {
     case ast::TypeKind::kVoid:
       break;
   }
-  ICARUS_UNREACHABLE("no boogie type");
+  ICARUS_BUG("no boogie type");
 }
 
 // Lowers one Icarus function body into a Boogie procedure. Expression
@@ -158,7 +159,7 @@ class FnLowerer {
         return result_type.empty() ? Expr::Bool(true) : Expr::Var(tmp);
       }
     }
-    ICARUS_UNREACHABLE("expr kind");
+    ICARUS_BUG("expr kind");
   }
 
   void LowerBlock(const std::vector<ast::StmtPtr>& block, std::vector<StmtPtr>* out) {
@@ -303,7 +304,7 @@ ExprPtr LowerContractExpr(const ast::Expr& expr,
           {ast::BinOp::kLOr, "||"},
       };
       auto it = kOps.find(expr.bin_op);
-      ICARUS_CHECK(it != kOps.end());
+      ICARUS_REQUIRE_MSG(it != kOps.end(), "binary op has no Boogie lowering");
       return Expr::Binary(it->second, LowerContractExpr(*expr.args[0], slot_names),
                           LowerContractExpr(*expr.args[1], slot_names));
     }
@@ -317,7 +318,7 @@ ExprPtr LowerContractExpr(const ast::Expr& expr,
       return Expr::App(StrCat(Mangle(callee), "#fn"), std::move(args));
     }
   }
-  ICARUS_UNREACHABLE("contract expr");
+  ICARUS_BUG("contract expr");
 }
 
 }  // namespace
@@ -326,6 +327,7 @@ StatusOr<std::unique_ptr<Program>> LowerToBoogie(const ast::Module& module,
                                                  const meta::MetaStub& stub,
                                                  const cfa::Cfa& automaton,
                                                  const LowerOptions& options) {
+  ICARUS_FAILPOINT(failpoint::kBoogieLower);
   auto program = std::make_unique<Program>();
   std::set<std::string> host_externs(options.host_externs.begin(),
                                      options.host_externs.end());

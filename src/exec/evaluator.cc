@@ -1,6 +1,7 @@
 #include "src/exec/evaluator.h"
 
 #include "src/ast/printer.h"
+#include "src/support/failpoint.h"
 #include "src/support/str_util.h"
 
 namespace icarus::exec {
@@ -40,7 +41,7 @@ sym::Sort SortOf(const ast::Type* type) {
     case ast::TypeKind::kLabel:
       break;
   }
-  ICARUS_UNREACHABLE("type has no term sort");
+  ICARUS_BUG("type has no term sort");
 }
 
 // ---------------------------------------------------------------------------
@@ -248,7 +249,7 @@ Value EvalBinary(EvalContext& ctx, const ast::Expr& expr, const Value& lhs, cons
     case ast::BinOp::kLAnd: return Value::Of(expr.type, pool.And(a, b));
     case ast::BinOp::kLOr: return Value::Of(expr.type, pool.Or(a, b));
   }
-  ICARUS_UNREACHABLE("binary op");
+  ICARUS_BUG("binary op");
 }
 
 Value EvalExpr(EvalContext& ctx, ExecEnv& env, const ast::Expr& expr) {
@@ -302,11 +303,11 @@ Value EvalExpr(EvalContext& ctx, ExecEnv& env, const ast::Expr& expr) {
       if (expr.callee_fn != nullptr) {
         return Evaluator::RunFunction(ctx, expr.callee_fn, std::move(args));
       }
-      ICARUS_CHECK(expr.callee_ext != nullptr);
+      ICARUS_REQUIRE_MSG(expr.callee_ext != nullptr, "call resolved to neither a function nor an extern");
       return Evaluator::CallExtern(ctx, expr.callee_ext, std::move(args));
     }
   }
-  ICARUS_UNREACHABLE("expr kind");
+  ICARUS_BUG("expr kind");
 }
 
 // ---------------------------------------------------------------------------
@@ -413,7 +414,7 @@ Flow ExecStmt(EvalContext& ctx, ExecEnv& env, const ast::Stmt& stmt) {
     }
     case ast::StmtKind::kBind: {
       const Value& label = env.slots[static_cast<size_t>(stmt.var_slot)];
-      ICARUS_CHECK(label.IsLabel());
+      ICARUS_REQUIRE_MSG(label.IsLabel(), "bind/goto target is not a label value");
       Status st = ctx.emits().Bind(label.label_id);
       if (!st.ok()) {
         ctx.FailPath(st.message(), fn_name, stmt.loc.line);
@@ -423,7 +424,7 @@ Flow ExecStmt(EvalContext& ctx, ExecEnv& env, const ast::Stmt& stmt) {
     }
     case ast::StmtKind::kGoto: {
       const Value& label = env.slots[static_cast<size_t>(stmt.var_slot)];
-      ICARUS_CHECK(label.IsLabel());
+      ICARUS_REQUIRE_MSG(label.IsLabel(), "bind/goto target is not a label value");
       env.goto_label = label.label_id;
       return Flow::kGoto;
     }
@@ -441,7 +442,7 @@ Flow ExecStmt(EvalContext& ctx, ExecEnv& env, const ast::Stmt& stmt) {
       return ctx.status() == PathStatus::kCompleted ? Flow::kNormal : Flow::kAbort;
     }
   }
-  ICARUS_UNREACHABLE("stmt kind");
+  ICARUS_BUG("stmt kind");
 }
 
 Flow ExecBlock(EvalContext& ctx, ExecEnv& env, const std::vector<ast::StmtPtr>& block) {
@@ -462,7 +463,8 @@ Flow ExecBlock(EvalContext& ctx, ExecEnv& env, const std::vector<ast::StmtPtr>& 
 
 Value Evaluator::RunFunction(EvalContext& ctx, const ast::FunctionDecl* fn,
                              std::vector<Value> args) {
-  ICARUS_CHECK_MSG(args.size() == fn->params.size(), fn->name.c_str());
+  ICARUS_REQUIRE_MSG(args.size() == fn->params.size(),
+                     StrCat("argument count mismatch calling ", fn->name));
   ExecEnv env;
   env.fn = fn;
   env.slots.resize(static_cast<size_t>(fn->num_slots));
@@ -470,7 +472,7 @@ Value Evaluator::RunFunction(EvalContext& ctx, const ast::FunctionDecl* fn,
     env.slots[static_cast<size_t>(fn->params[i].slot)] = std::move(args[i]);
   }
   Flow flow = ExecBlock(ctx, env, fn->body);
-  ICARUS_CHECK_MSG(flow != Flow::kGoto, "goto escaped a non-interpreter function");
+  ICARUS_REQUIRE_MSG(flow != Flow::kGoto, "goto escaped a non-interpreter function");
   if (env.ret.type == nullptr) {
     env.ret = Value::Void(ctx.module().types().Void());
   }
@@ -482,6 +484,7 @@ Value Evaluator::CallExtern(EvalContext& ctx, const ast::ExternFnDecl* ext,
   if (ctx.status() != PathStatus::kCompleted) {
     return Value{};
   }
+  ICARUS_FAILPOINT(failpoint::kExternCall);
   // Host-bound externs (register allocator, machine state, VM runtime).
   const ExternHandler* handler = ctx.externs_->Find(ext->name);
   if (handler != nullptr) {
@@ -492,9 +495,8 @@ Value Evaluator::CallExtern(EvalContext& ctx, const ast::ExternFnDecl* ext,
     }
     return result.take();
   }
-  ICARUS_CHECK_MSG(ctx.mode() == Mode::kSymbolic,
-                   StrCat("extern ", ext->name, " has no host binding for concrete mode")
-                       .c_str());
+  ICARUS_REQUIRE_MSG(ctx.mode() == Mode::kSymbolic,
+                     StrCat("extern ", ext->name, " has no host binding for concrete mode"));
   // Pure uninterpreted semantics with contracts. Build a frame over the
   // extern's parameter slots (plus `result`).
   ExecEnv contract_env;
@@ -561,7 +563,8 @@ void Evaluator::RunInterpreterOp(EvalContext& ctx, const ast::FunctionDecl* cb,
   ExecEnv env;
   env.fn = cb;
   env.slots.resize(static_cast<size_t>(cb->num_slots));
-  ICARUS_CHECK(instr.args.size() == cb->params.size());
+  ICARUS_REQUIRE_MSG(instr.args.size() == cb->params.size(),
+                     StrCat("operand count mismatch for interpreter op ", cb->name));
   for (size_t i = 0; i < instr.args.size(); ++i) {
     env.slots[static_cast<size_t>(cb->params[i].slot)] = instr.args[i];
   }

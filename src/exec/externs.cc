@@ -13,7 +13,7 @@ constexpr int64_t kInt32Max = 2147483647LL;
 
 const ast::Type* TypeOf(const ast::Module* module, const char* name) {
   const ast::Type* t = module->types().Lookup(name);
-  ICARUS_CHECK_MSG(t != nullptr, name);
+  ICARUS_REQUIRE_MSG(t != nullptr, name);
   return t;
 }
 

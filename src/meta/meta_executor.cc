@@ -145,7 +145,7 @@ MetaResult MetaExecutor::Run(const MetaStub& stub) {
     // Phase 1: generate.
     std::vector<exec::Value> args;
     Status input_status = stub.inputs(ctx, &args);
-    ICARUS_CHECK_MSG(input_status.ok(), input_status.message().c_str());
+    ICARUS_REQUIRE_MSG(input_status.ok(), input_status.message());
     exec::Value decision;
     if (ctx.status() == PathStatus::kCompleted) {
       decision = exec::Evaluator::RunFunction(ctx, stub.generator, std::move(args));
@@ -153,9 +153,9 @@ MetaResult MetaExecutor::Run(const MetaStub& stub) {
 
     // Phase 2: interpret (only when a stub was attached).
     if (ctx.status() == PathStatus::kCompleted) {
-      ICARUS_CHECK(decision.term != nullptr);
-      ICARUS_CHECK_MSG(decision.term->kind == sym::Kind::kConstInt,
-                       "AttachDecision must be path-concrete");
+      ICARUS_REQUIRE_MSG(decision.term != nullptr, "generator returned no attach decision");
+      ICARUS_REQUIRE_MSG(decision.term->kind == sym::Kind::kConstInt,
+                         "AttachDecision must be path-concrete");
       if (decision.term->value == stub.attach_index) {
         ++result.paths_attached;
         Status bound = ctx.emits().CheckAllBound();

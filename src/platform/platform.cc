@@ -119,6 +119,49 @@ StatusOr<meta::MetaStub> Platform::MakeMetaStub(const std::string& generator_nam
   return stub;
 }
 
+std::string Platform::Fingerprint() const {
+  // FNV-1a over a canonical serialization of the loaded declarations. Only
+  // resolved AST state feeds the hash (not raw source chunk order), so the
+  // fingerprint is stable across load paths that produce the same module.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::string_view s) {
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0xff;  // Separator: "ab"+"c" and "a"+"bc" must differ.
+    h *= 0x100000001b3ULL;
+  };
+  for (const auto& lang : module_->languages) {
+    mix(lang->name);
+    for (const auto& op : lang->ops) {
+      mix(op->name);
+    }
+  }
+  for (const auto& fn : module_->functions) {
+    mix(fn->name);
+    mix(fn->source_text);
+  }
+  for (const auto& compiler : module_->compilers) {
+    mix(compiler->name);
+    for (const auto& cb : compiler->op_callbacks) {
+      mix(cb->name);
+      mix(cb->source_text);
+    }
+  }
+  for (const auto& interp : module_->interpreters) {
+    mix(interp->name);
+    for (const auto& cb : interp->op_callbacks) {
+      mix(cb->name);
+      mix(cb->source_text);
+    }
+  }
+  for (const auto& ext : module_->externs) {
+    mix(ext->name);
+  }
+  return StrFormat("%016llx", static_cast<unsigned long long>(h));
+}
+
 int Platform::TotalLoc(const std::string& generator_name) const {
   const ast::FunctionDecl* generator = module_->FindFunction(generator_name);
   if (generator == nullptr) {

@@ -1,15 +1,35 @@
-// Lightweight CHECK macros for invariant enforcement.
+// Invariant enforcement for the Icarus toolchain, in two severities:
 //
-// These are used for *internal* invariants of the Icarus toolchain (bugs in
-// this codebase), never for user-visible verification failures — those are
-// reported through icarus::Status and verifier counterexamples.
+//  - ICARUS_CHECK / ICARUS_CHECK_MSG: true programmer invariants whose
+//    violation means this process's memory can no longer be trusted
+//    (corrupted indices, broken data-structure invariants). They abort.
+//
+//  - ICARUS_REQUIRE / ICARUS_BUG: recoverable internal errors — a malformed
+//    platform construct, a sort mismatch, an impossible enum value reached
+//    through bad input. They throw icarus::InternalError, which the
+//    verification drivers contain at the per-generator boundary and report
+//    as an INTERNAL_ERROR outcome instead of killing the whole fleet (see
+//    docs/ARCHITECTURE.md §"Failure domains").
+//
+// Neither is for user-visible verification failures — those are reported
+// through icarus::Status and verifier counterexamples.
 #ifndef ICARUS_SUPPORT_CHECK_H_
 #define ICARUS_SUPPORT_CHECK_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace icarus {
+
+// A contained internal failure: thrown by ICARUS_REQUIRE/ICARUS_BUG and the
+// fail-point injection framework, caught at fault-containment boundaries
+// (BatchVerifier tasks, the CLI top level).
+class InternalError : public std::runtime_error {
+ public:
+  explicit InternalError(const std::string& message) : std::runtime_error(message) {}
+};
 
 [[noreturn]] inline void CheckFailed(const char* file, int line, const char* cond) {
   std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, cond);
@@ -20,6 +40,22 @@ namespace icarus {
                                         const char* msg) {
   std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", file, line, cond, msg);
   std::abort();
+}
+
+[[noreturn]] inline void RequireFailed(const char* file, int line, const char* cond,
+                                       const std::string& msg) {
+  std::string what = "internal error at ";
+  what += file;
+  what += ':';
+  what += std::to_string(line);
+  what += ": ";
+  what += cond;
+  if (!msg.empty()) {
+    what += " (";
+    what += msg;
+    what += ')';
+  }
+  throw InternalError(what);
 }
 
 }  // namespace icarus
@@ -39,5 +75,22 @@ namespace icarus {
   } while (0)
 
 #define ICARUS_UNREACHABLE(msg) ::icarus::CheckFailedMsg(__FILE__, __LINE__, "unreachable", (msg))
+
+// Recoverable variants: throw icarus::InternalError instead of aborting.
+#define ICARUS_REQUIRE(cond)                                        \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::icarus::RequireFailed(__FILE__, __LINE__, #cond, "");       \
+    }                                                               \
+  } while (0)
+
+#define ICARUS_REQUIRE_MSG(cond, msg)                               \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::icarus::RequireFailed(__FILE__, __LINE__, #cond, (msg));    \
+    }                                                               \
+  } while (0)
+
+#define ICARUS_BUG(msg) ::icarus::RequireFailed(__FILE__, __LINE__, "unreachable", (msg))
 
 #endif  // ICARUS_SUPPORT_CHECK_H_

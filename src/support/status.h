@@ -38,22 +38,25 @@ class StatusOr {
  public:
   StatusOr(T value) : value_(std::move(value)) {}          // NOLINT(runtime/explicit)
   StatusOr(Status status) : status_(std::move(status)) {   // NOLINT(runtime/explicit)
-    ICARUS_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status without a value");
+    ICARUS_REQUIRE_MSG(!status_.ok(), "StatusOr constructed from OK status without a value");
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
+  // Accessing the value of an error StatusOr throws icarus::InternalError
+  // (recoverable at a containment boundary) rather than aborting: one task
+  // mis-consuming a StatusOr must not take down a whole verification fleet.
   T& value() {
-    ICARUS_CHECK_MSG(ok(), status_.message().c_str());
+    ICARUS_REQUIRE_MSG(ok(), status_.message());
     return *value_;
   }
   const T& value() const {
-    ICARUS_CHECK_MSG(ok(), status_.message().c_str());
+    ICARUS_REQUIRE_MSG(ok(), status_.message());
     return *value_;
   }
   T&& take() {
-    ICARUS_CHECK_MSG(ok(), status_.message().c_str());
+    ICARUS_REQUIRE_MSG(ok(), status_.message());
     return std::move(*value_);
   }
 
@@ -70,6 +73,26 @@ class StatusOr {
     if (!_st.ok()) {                     \
       return _st;                        \
     }                                    \
+  } while (0)
+
+// Returns an error Status from the current function when `cond` is false —
+// the recoverable sibling of ICARUS_CHECK for Status-returning code paths.
+#define ICARUS_FAIL_IF_NOT(cond, message)                  \
+  do {                                                     \
+    if (!(cond)) {                                         \
+      return ::icarus::Status::Error(message);             \
+    }                                                      \
+  } while (0)
+
+// Evaluates a StatusOr<T> expression; on error returns the Status, otherwise
+// moves the value into `lhs` (which must name an existing variable).
+#define ICARUS_ASSIGN_OR_RETURN(lhs, expr)                 \
+  do {                                                     \
+    auto _st_or = (expr);                                  \
+    if (!_st_or.ok()) {                                    \
+      return _st_or.status();                              \
+    }                                                      \
+    lhs = _st_or.take();                                   \
   } while (0)
 
 #endif  // ICARUS_SUPPORT_STATUS_H_

@@ -29,35 +29,51 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(wake_mu_);
     stop_.store(true);
   }
   wake_cv_.notify_all();
   for (std::thread& t : threads_) {
-    t.join();
+    if (t.joinable()) {
+      t.join();
+    }
   }
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
-  if (tl_pool == this) {
-    // Nested submission: the task goes on the submitting worker's own deque
-    // (hot end), where the owner pops it LIFO and siblings can steal it FIFO.
-    Worker& w = *workers_[tl_worker];
-    std::lock_guard<std::mutex> lock(w.mu);
-    w.deque.push_back(std::move(task));
-  } else {
-    std::lock_guard<std::mutex> lock(injection_mu_);
-    injection_.push_back(std::move(task));
-  }
-  pending_.fetch_add(1, std::memory_order_release);
   {
-    // Taking the wake lock (even empty) orders the notify after any sleeper's
-    // predicate check, so the wakeup cannot be lost.
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    // The stop check and the queue push happen under the wake lock so they
+    // are atomic with respect to Shutdown() setting the flag: a task can
+    // never land in a queue after the last worker decided to exit (which
+    // would silently drop it and leave its future forever unready).
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    if (!stop_.load()) {
+      if (tl_pool == this) {
+        // Nested submission: the task goes on the submitting worker's own
+        // deque (hot end), where the owner pops it LIFO and siblings can
+        // steal it FIFO.
+        Worker& w = *workers_[tl_worker];
+        std::lock_guard<std::mutex> worker_lock(w.mu);
+        w.deque.push_back(std::move(task));
+      } else {
+        std::lock_guard<std::mutex> inject_lock(injection_mu_);
+        injection_.push_back(std::move(task));
+      }
+      pending_.fetch_add(1, std::memory_order_release);
+      lock.unlock();
+      wake_cv_.notify_all();
+      return;
+    }
   }
-  wake_cv_.notify_all();
+  // The pool is shutting down (or already shut down): run the task inline on
+  // the submitting thread. Every submitted task still runs to completion and
+  // resolves its future — late submissions degrade to synchronous execution,
+  // they are never dropped.
+  task();
 }
 
 bool ThreadPool::RunPendingTask() {

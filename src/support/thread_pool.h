@@ -33,14 +33,22 @@
 #include <type_traits>
 #include <vector>
 
+#include "src/support/failpoint.h"
+
 namespace icarus {
 
 class ThreadPool {
  public:
   // Starts `num_threads` workers (clamped to >= 1).
   explicit ThreadPool(int num_threads);
-  // Drains all pending tasks, then joins the workers.
+  // Drains all pending tasks, then joins the workers (calls Shutdown()).
   ~ThreadPool();
+
+  // Begins shutdown and joins the workers after every already-submitted task
+  // has run. Idempotent. Tasks submitted during or after shutdown are not
+  // dropped: they run synchronously on the submitting thread, so their
+  // futures always become ready (see the drain guarantee above).
+  void Shutdown();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -51,7 +59,13 @@ class ThreadPool {
   template <typename F>
   auto Submit(F fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    // The fail point fires *inside* the packaged task so an injected fault is
+    // captured by the future (like any task exception) instead of unwinding
+    // through the worker loop, which would std::terminate.
+    auto task = std::make_shared<std::packaged_task<R()>>([fn = std::move(fn)]() mutable {
+      ICARUS_FAILPOINT(::icarus::failpoint::kPoolTask);
+      return fn();
+    });
     std::future<R> future = task->get_future();
     Enqueue([task]() { (*task)(); });
     return future;

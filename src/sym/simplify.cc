@@ -22,7 +22,7 @@ bool BothConstInt(ExprRef a, ExprRef b) {
 }  // namespace
 
 ExprRef ExprPool::Add(ExprRef a, ExprRef b) {
-  ICARUS_CHECK(a->sort == Sort::kInt && b->sort == Sort::kInt);
+  ICARUS_REQUIRE(a->sort == Sort::kInt && b->sort == Sort::kInt);
   if (BothConstInt(a, b)) {
     return IntConst(a->value + b->value);
   }
@@ -40,7 +40,7 @@ ExprRef ExprPool::Add(ExprRef a, ExprRef b) {
 }
 
 ExprRef ExprPool::Sub(ExprRef a, ExprRef b) {
-  ICARUS_CHECK(a->sort == Sort::kInt && b->sort == Sort::kInt);
+  ICARUS_REQUIRE(a->sort == Sort::kInt && b->sort == Sort::kInt);
   if (BothConstInt(a, b)) {
     return IntConst(a->value - b->value);
   }
@@ -54,7 +54,7 @@ ExprRef ExprPool::Sub(ExprRef a, ExprRef b) {
 }
 
 ExprRef ExprPool::Mul(ExprRef a, ExprRef b) {
-  ICARUS_CHECK(a->sort == Sort::kInt && b->sort == Sort::kInt);
+  ICARUS_REQUIRE(a->sort == Sort::kInt && b->sort == Sort::kInt);
   if (BothConstInt(a, b)) {
     return IntConst(a->value * b->value);
   }
@@ -73,7 +73,7 @@ ExprRef ExprPool::Mul(ExprRef a, ExprRef b) {
 }
 
 ExprRef ExprPool::Div(ExprRef a, ExprRef b) {
-  ICARUS_CHECK(a->sort == Sort::kInt && b->sort == Sort::kInt);
+  ICARUS_REQUIRE(a->sort == Sort::kInt && b->sort == Sort::kInt);
   // Fold only when well-defined (nonzero divisor, no INT64_MIN/-1 overflow).
   if (BothConstInt(a, b) && b->value != 0 && !(a->value == INT64_MIN && b->value == -1)) {
     return IntConst(a->value / b->value);
@@ -85,7 +85,7 @@ ExprRef ExprPool::Div(ExprRef a, ExprRef b) {
 }
 
 ExprRef ExprPool::Mod(ExprRef a, ExprRef b) {
-  ICARUS_CHECK(a->sort == Sort::kInt && b->sort == Sort::kInt);
+  ICARUS_REQUIRE(a->sort == Sort::kInt && b->sort == Sort::kInt);
   if (BothConstInt(a, b) && b->value != 0 && !(a->value == INT64_MIN && b->value == -1)) {
     return IntConst(a->value % b->value);
   }
@@ -93,7 +93,7 @@ ExprRef ExprPool::Mod(ExprRef a, ExprRef b) {
 }
 
 ExprRef ExprPool::Neg(ExprRef a) {
-  ICARUS_CHECK(a->sort == Sort::kInt);
+  ICARUS_REQUIRE(a->sort == Sort::kInt);
   if (a->kind == Kind::kConstInt) {
     return IntConst(-a->value);
   }
@@ -164,7 +164,7 @@ ExprRef ExprPool::Shr(ExprRef a, ExprRef b) {
 }
 
 ExprRef ExprPool::Eq(ExprRef a, ExprRef b) {
-  ICARUS_CHECK(a->sort == b->sort);
+  ICARUS_REQUIRE(a->sort == b->sort);
   if (a == b) {
     return True();
   }
@@ -197,7 +197,7 @@ ExprRef ExprPool::Eq(ExprRef a, ExprRef b) {
 }
 
 ExprRef ExprPool::Lt(ExprRef a, ExprRef b) {
-  ICARUS_CHECK(a->sort == Sort::kInt && b->sort == Sort::kInt);
+  ICARUS_REQUIRE(a->sort == Sort::kInt && b->sort == Sort::kInt);
   if (BothConstInt(a, b)) {
     return BoolConst(a->value < b->value);
   }
@@ -208,7 +208,7 @@ ExprRef ExprPool::Lt(ExprRef a, ExprRef b) {
 }
 
 ExprRef ExprPool::Le(ExprRef a, ExprRef b) {
-  ICARUS_CHECK(a->sort == Sort::kInt && b->sort == Sort::kInt);
+  ICARUS_REQUIRE(a->sort == Sort::kInt && b->sort == Sort::kInt);
   if (BothConstInt(a, b)) {
     return BoolConst(a->value <= b->value);
   }
@@ -219,7 +219,7 @@ ExprRef ExprPool::Le(ExprRef a, ExprRef b) {
 }
 
 ExprRef ExprPool::Not(ExprRef a) {
-  ICARUS_CHECK(a->sort == Sort::kBool);
+  ICARUS_REQUIRE(a->sort == Sort::kBool);
   if (a->IsConst()) {
     return BoolConst(a->value == 0);
   }
@@ -234,7 +234,7 @@ ExprRef ExprPool::Not(ExprRef a) {
 }
 
 ExprRef ExprPool::And(ExprRef a, ExprRef b) {
-  ICARUS_CHECK(a->sort == Sort::kBool && b->sort == Sort::kBool);
+  ICARUS_REQUIRE(a->sort == Sort::kBool && b->sort == Sort::kBool);
   if (a->IsFalse() || b->IsFalse()) {
     return False();
   }
@@ -254,7 +254,7 @@ ExprRef ExprPool::And(ExprRef a, ExprRef b) {
 }
 
 ExprRef ExprPool::Or(ExprRef a, ExprRef b) {
-  ICARUS_CHECK(a->sort == Sort::kBool && b->sort == Sort::kBool);
+  ICARUS_REQUIRE(a->sort == Sort::kBool && b->sort == Sort::kBool);
   if (a->IsTrue() || b->IsTrue()) {
     return True();
   }
@@ -274,7 +274,7 @@ ExprRef ExprPool::Or(ExprRef a, ExprRef b) {
 }
 
 ExprRef ExprPool::IteBool(ExprRef c, ExprRef t, ExprRef e) {
-  ICARUS_CHECK(c->sort == Sort::kBool && t->sort == Sort::kBool && e->sort == Sort::kBool);
+  ICARUS_REQUIRE(c->sort == Sort::kBool && t->sort == Sort::kBool && e->sort == Sort::kBool);
   return Or(And(c, t), And(Not(c), e));
 }
 

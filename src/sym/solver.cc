@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "src/support/check.h"
+#include "src/support/failpoint.h"
 #include "src/support/str_util.h"
 #include "src/support/timing.h"
 #include "src/sym/solver_cache.h"
@@ -111,7 +112,7 @@ class SkeletonEval {
         return Tri::kUnknown;
       }
       default:
-        ICARUS_UNREACHABLE("non-boolean node in skeleton");
+        ICARUS_BUG("non-boolean node in skeleton");
     }
   }
 
@@ -810,13 +811,18 @@ SolveResult Solver::Solve(const std::vector<ExprRef>& conjuncts, bool want_model
       cached.model.rendered = std::move(entry->model_text);
     }
     if (entry->verdict == Verdict::kUnknown) {
-      // Negative entry: some earlier attempt blew its budget on this exact
-      // query; don't burn another budget rediscovering that.
-      ++stats_.cache_negative_hits;
+      if (!limits_.ignore_cached_unknowns) {
+        // Negative entry: some earlier attempt blew its budget on this exact
+        // query; don't burn another budget rediscovering that.
+        ++stats_.cache_negative_hits;
+        return cached;
+      }
+      // Retry with an escalated budget: fall through to re-solve. A decisive
+      // answer upgrades the resident negative entry via Insert.
     } else {
       ++stats_.cache_hits;
+      return cached;
     }
-    return cached;
   }
   ++stats_.cache_misses;
   SolveResult result = SolveUncached(conjuncts);
@@ -837,7 +843,7 @@ SolveResult Solver::SolveUncached(const std::vector<ExprRef>& conjuncts) {
   std::vector<ExprRef> atoms;
   std::unordered_set<ExprRef> seen;
   for (ExprRef c : conjuncts) {
-    ICARUS_CHECK(c->sort == Sort::kBool);
+    ICARUS_REQUIRE_MSG(c->sort == Sort::kBool, "non-boolean conjunct in solver query");
     CollectAtoms(c, &atoms, &seen);
   }
 
@@ -892,6 +898,7 @@ SolveResult Solver::SolveUncached(const std::vector<ExprRef>& conjuncts) {
       return true;
     }
     for (Tri choice : {Tri::kTrue, Tri::kFalse}) {
+      ICARUS_FAILPOINT(failpoint::kSolverDecision);
       ++stats_.decisions;
       assignment[branch_atom] = choice;
       if (self(self)) {

@@ -84,6 +84,12 @@ class Solver {
   struct Limits {
     int64_t max_decisions = 2'000'000;
     double max_seconds = 0.0;  // Wall-clock budget per query; 0 = unlimited.
+    // Treat cached kUnknown (negative) entries as misses and re-solve under
+    // this query's budgets. Retry attempts with escalated budgets set this:
+    // otherwise the negative entry written by the smaller-budget attempt
+    // would answer instantly and the retry would be a no-op. A decisive
+    // re-solve upgrades the resident entry (see SolverCache::Insert).
+    bool ignore_cached_unknowns = false;
   };
 
   Solver() : limits_(Limits{}) {}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/support/failpoint.h"
 #include "src/support/str_util.h"
 
 namespace icarus::sym {
@@ -55,6 +56,7 @@ std::string SolverCacheStats::ToString() const {
 SolverCache::SolverCache() = default;
 
 std::optional<SolverCache::Entry> SolverCache::Lookup(const QueryKey& key, bool need_model) {
+  ICARUS_FAILPOINT(failpoint::kCacheLookup);
   Shard& shard = ShardFor(key);
   std::optional<Entry> found;
   {
@@ -78,12 +80,21 @@ std::optional<SolverCache::Entry> SolverCache::Lookup(const QueryKey& key, bool 
 void SolverCache::Insert(const QueryKey& key, Entry entry) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
+  // The fail point fires while the shard lock is held, before any mutation:
+  // an injected fault here must unwind leaving the shard untouched and
+  // unlocked (lock_guard unlocks on unwind), never with a torn entry.
+  ICARUS_FAILPOINT(failpoint::kCacheInsert);
   auto [it, inserted] = shard.map.emplace(key, entry);
   if (inserted) {
     insertions_.fetch_add(1, std::memory_order_relaxed);
   } else if (entry.has_model && !it->second.has_model) {
     // Upgrade: a model-needing caller re-solved a query originally cached by
     // a verdict-only caller; keep the richer entry.
+    it->second = std::move(entry);
+  } else if (entry.verdict != Verdict::kUnknown && it->second.verdict == Verdict::kUnknown) {
+    // Upgrade: a decisive verdict (typically from a retry with a larger
+    // budget) replaces a resident negative entry, so siblings stop paying
+    // for the original budget blow-out.
     it->second = std::move(entry);
   }
 }

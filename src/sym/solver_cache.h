@@ -82,7 +82,9 @@ class SolverCache {
 
   // Stores `entry` under `key`. First writer wins — a concurrent duplicate
   // insert (same structural query solved by two threads) is dropped — except
-  // that an entry carrying a model upgrades a resident model-free entry.
+  // that an entry carrying a model upgrades a resident model-free entry, and
+  // a decisive verdict (kSat/kUnsat, e.g. from a retry with a larger budget)
+  // upgrades a resident kUnknown negative entry.
   void Insert(const QueryKey& key, Entry entry);
 
   // Number of resident entries (approximate under concurrent mutation).

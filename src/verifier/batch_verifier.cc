@@ -2,12 +2,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <exception>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 
 #include "src/support/str_util.h"
 #include "src/support/thread_pool.h"
 #include "src/support/timing.h"
+#include "src/verifier/journal.h"
 
 namespace icarus::verifier {
 
@@ -21,8 +25,21 @@ const char* OutcomeName(Outcome outcome) {
       return "INCONCLUSIVE";
     case Outcome::kError:
       return "ERROR";
+    case Outcome::kInternalError:
+      return "INTERNAL_ERROR";
   }
   return "?";
+}
+
+bool OutcomeFromName(const std::string& name, Outcome* out) {
+  for (Outcome o : {Outcome::kVerified, Outcome::kRefuted, Outcome::kInconclusive,
+                    Outcome::kError, Outcome::kInternalError}) {
+    if (name == OutcomeName(o)) {
+      *out = o;
+      return true;
+    }
+  }
+  return false;
 }
 
 int BatchReport::NumWithOutcome(Outcome outcome) const {
@@ -33,25 +50,41 @@ int BatchReport::NumWithOutcome(Outcome outcome) const {
   return n;
 }
 
-std::string BatchReport::RenderTable() const {
-  std::string out = StrFormat("%-44s %-15s %7s %9s %10s\n", "Generator", "Outcome", "Paths",
-                              "Queries", "Time (s)");
-  out += std::string(88, '-') + "\n";
+int BatchReport::TotalRetries() const {
+  int n = 0;
   for (const GeneratorResult& r : results) {
-    if (r.outcome == Outcome::kError) {
+    n += r.attempts > 1 ? r.attempts - 1 : 0;
+  }
+  return n;
+}
+
+std::string BatchReport::RenderTable() const {
+  std::string out = StrFormat("%-44s %-15s %7s %9s %5s %10s\n", "Generator", "Outcome", "Paths",
+                              "Queries", "Tries", "Time (s)");
+  out += std::string(94, '-') + "\n";
+  for (const GeneratorResult& r : results) {
+    if (r.outcome == Outcome::kError || r.outcome == Outcome::kInternalError) {
       out += StrFormat("%-44s %-15s %s\n", r.generator.c_str(), OutcomeName(r.outcome),
                        r.error.c_str());
       continue;
     }
-    out += StrFormat("%-44s %-15s %7d %9lld %10.4f\n", r.generator.c_str(),
+    out += StrFormat("%-44s %-15s %7d %9lld %5d %10.4f\n", r.generator.c_str(),
                      OutcomeName(r.outcome), r.report.meta.paths_explored,
-                     static_cast<long long>(r.report.meta.solver_queries), r.seconds);
+                     static_cast<long long>(r.report.meta.solver_queries), r.attempts, r.seconds);
   }
-  out += std::string(88, '-') + "\n";
-  out += StrFormat("%d generators: %d verified, %d counterexamples, %d inconclusive, %d errors\n",
-                   static_cast<int>(results.size()), NumWithOutcome(Outcome::kVerified),
-                   NumWithOutcome(Outcome::kRefuted), NumWithOutcome(Outcome::kInconclusive),
-                   NumWithOutcome(Outcome::kError));
+  out += std::string(94, '-') + "\n";
+  out += StrFormat(
+      "%d generators: %d verified, %d counterexamples, %d inconclusive, %d errors, "
+      "%d internal errors\n",
+      static_cast<int>(results.size()), NumWithOutcome(Outcome::kVerified),
+      NumWithOutcome(Outcome::kRefuted), NumWithOutcome(Outcome::kInconclusive),
+      NumWithOutcome(Outcome::kError), NumWithOutcome(Outcome::kInternalError));
+  if (TotalRetries() > 0) {
+    out += StrFormat("%d retries consumed (budget escalation)\n", TotalRetries());
+  }
+  if (num_resumed > 0) {
+    out += StrFormat("%d verdicts restored from journal\n", num_resumed);
+  }
   out += StrFormat("wall: %.3fs on %d jobs%s\n", wall_seconds, jobs,
                    deadline_hit ? "  (deadline hit; stragglers inconclusive)" : "");
   if (cache.lookups() > 0) {
@@ -68,51 +101,143 @@ GeneratorResult VerifyOne(const platform::Platform* platform, const std::string&
   GeneratorResult result;
   result.generator = name;
   WallTimer timer;
-  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
-    // Deadline expired before this task started: report it honestly rather
-    // than paying for a verification that would be cancelled immediately.
-    result.outcome = Outcome::kInconclusive;
-    result.report.generator = name;
-    result.report.inconclusive = true;
-    result.report.meta.inconclusive = true;
-    result.report.meta.cancelled = true;
-    result.report.meta.limit_notes.push_back("cancelled (deadline) before start");
-    result.seconds = timer.ElapsedSeconds();
-    return result;
-  }
+  sym::Solver::Limits limits = options.solver_limits;
+  for (int attempt = 0;; ++attempt) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      // Deadline expired before this task/attempt started: report it honestly
+      // rather than paying for a verification that would be cancelled
+      // immediately.
+      result.outcome = Outcome::kInconclusive;
+      result.report = VerifyReport{};
+      result.report.generator = name;
+      result.report.inconclusive = true;
+      result.report.meta.inconclusive = true;
+      result.report.meta.cancelled = true;
+      result.report.meta.limit_notes.push_back("cancelled (deadline) before start");
+      result.seconds = timer.ElapsedSeconds();
+      result.attempts = attempt + 1;
+      return result;
+    }
 
-  VerifyOptions vopts;
-  vopts.runs = options.runs;
-  vopts.build_cfa = options.build_cfa;
-  vopts.solver_cache = cache;
-  vopts.solver_limits = options.solver_limits;
-  vopts.cancel = cancel;
-  Verifier verifier(platform);
-  StatusOr<VerifyReport> report = verifier.Verify(name, vopts);
-  result.seconds = timer.ElapsedSeconds();
-  if (!report.ok()) {
-    result.outcome = Outcome::kError;
-    result.error = report.status().message();
-    return result;
+    VerifyOptions vopts;
+    vopts.runs = options.runs;
+    vopts.build_cfa = options.build_cfa;
+    vopts.solver_cache = cache;
+    vopts.solver_limits = limits;
+    vopts.cancel = cancel;
+    Verifier verifier(platform);
+    StatusOr<VerifyReport> report = verifier.Verify(name, vopts);
+    result.seconds = timer.ElapsedSeconds();
+    result.attempts = attempt + 1;
+    if (!report.ok()) {
+      result.outcome = Outcome::kError;
+      result.error = report.status().message();
+      return result;
+    }
+    result.report = report.take();
+    if (!result.report.meta.violations.empty()) {
+      result.outcome = Outcome::kRefuted;
+    } else if (result.report.inconclusive) {
+      result.outcome = Outcome::kInconclusive;
+    } else {
+      result.outcome = Outcome::kVerified;
+    }
+    // Retry only budget-inconclusive results: a deadline cancellation means
+    // the fleet is out of time, and decisive outcomes are final.
+    if (result.outcome != Outcome::kInconclusive || result.report.meta.cancelled ||
+        attempt >= options.retries) {
+      return result;
+    }
+    // Escalate: double both per-query budgets and re-solve queries the
+    // smaller budget left as cached negatives. A zero decision budget (a
+    // starved configuration) escalates to 1 so doubling has something to
+    // work with; a zero wall budget means unlimited and stays zero.
+    limits.max_decisions = limits.max_decisions > 0 ? limits.max_decisions * 2 : 1;
+    limits.max_seconds *= 2.0;
+    limits.ignore_cached_unknowns = true;
   }
-  result.report = report.take();
-  if (!result.report.meta.violations.empty()) {
-    result.outcome = Outcome::kRefuted;
-  } else if (result.report.inconclusive) {
-    result.outcome = Outcome::kInconclusive;
-  } else {
-    result.outcome = Outcome::kVerified;
-  }
+}
+
+// Containment boundary helper: the INTERNAL_ERROR row for a task that threw.
+GeneratorResult ContainedCrash(const std::string& name, const char* what) {
+  GeneratorResult result;
+  result.generator = name;
+  result.outcome = Outcome::kInternalError;
+  result.error = what;
   return result;
+}
+
+JournalRecord ToRecord(const GeneratorResult& r, const std::string& fingerprint) {
+  JournalRecord rec;
+  rec.platform = fingerprint;
+  rec.generator = r.generator;
+  rec.outcome = OutcomeName(r.outcome);
+  rec.error = r.error;
+  rec.paths = r.report.meta.paths_explored;
+  rec.queries = r.report.meta.solver_queries;
+  rec.seconds = r.seconds;
+  rec.attempts = r.attempts;
+  return rec;
+}
+
+StatusOr<GeneratorResult> FromRecord(const JournalRecord& rec) {
+  GeneratorResult r;
+  r.generator = rec.generator;
+  if (!OutcomeFromName(rec.outcome, &r.outcome)) {
+    return Status::Error(StrCat("journal record for '", rec.generator,
+                                "' has unknown outcome '", rec.outcome, "'"));
+  }
+  r.error = rec.error;
+  r.seconds = rec.seconds;
+  r.attempts = rec.attempts;
+  r.resumed = true;
+  r.report.generator = rec.generator;
+  r.report.meta.paths_explored = static_cast<int>(rec.paths);
+  r.report.meta.solver_queries = rec.queries;
+  return r;
 }
 
 }  // namespace
 
-BatchReport BatchVerifier::VerifyAll(const std::vector<std::string>& generator_names,
-                                     const BatchOptions& options) {
+StatusOr<BatchReport> BatchVerifier::VerifyAll(const std::vector<std::string>& generator_names,
+                                               const BatchOptions& options) {
   BatchReport report;
   report.jobs = options.jobs > 0 ? options.jobs : ThreadPool::DefaultConcurrency();
   report.results.resize(generator_names.size());
+
+  // Journal plumbing. The fingerprint binds both the records we write and the
+  // records we accept to this exact platform.
+  std::string fingerprint;
+  if (!options.journal_path.empty() || !options.resume_path.empty()) {
+    fingerprint = platform_->Fingerprint();
+  }
+  std::unordered_map<std::string, GeneratorResult> restored;
+  if (!options.resume_path.empty()) {
+    StatusOr<std::vector<JournalRecord>> records =
+        ReadJournal(options.resume_path, fingerprint);
+    if (!records.ok()) {
+      return records.status();
+    }
+    for (const JournalRecord& rec : records.value()) {
+      StatusOr<GeneratorResult> r = FromRecord(rec);
+      if (!r.ok()) {
+        return r.status();
+      }
+      // Last record wins: a journal may hold several records for one
+      // generator if an earlier resume re-verified it.
+      restored[rec.generator] = r.take();
+    }
+  }
+  std::unique_ptr<JournalWriter> journal;
+  if (!options.journal_path.empty()) {
+    StatusOr<std::unique_ptr<JournalWriter>> writer = JournalWriter::Open(options.journal_path);
+    if (!writer.ok()) {
+      return writer.status();
+    }
+    journal = writer.take();
+  }
+  std::mutex journal_mu;
+  Status journal_status = Status::Ok();
 
   std::unique_ptr<sym::SolverCache> cache;
   if (options.use_cache) {
@@ -123,12 +248,36 @@ BatchReport BatchVerifier::VerifyAll(const std::vector<std::string>& generator_n
   {
     ThreadPool pool(report.jobs);
     std::vector<std::future<void>> futures;
+    std::vector<size_t> submitted;  // results index per future.
     futures.reserve(generator_names.size());
     for (size_t i = 0; i < generator_names.size(); ++i) {
+      auto it = restored.find(generator_names[i]);
+      if (it != restored.end()) {
+        report.results[i] = it->second;
+        ++report.num_resumed;
+        continue;
+      }
+      submitted.push_back(i);
       futures.push_back(pool.Submit([this, &generator_names, &options, &report, &cancel,
+                                     &journal, &journal_mu, &journal_status, &fingerprint,
                                      cache_ptr = cache.get(), i]() {
-        report.results[i] =
-            VerifyOne(platform_, generator_names[i], options, cache_ptr, &cancel);
+        // Containment boundary: a crash in one generator's pipeline (an
+        // ICARUS_REQUIRE/ICARUS_BUG violation or an injected fault) becomes
+        // that generator's INTERNAL_ERROR row; the fleet keeps running.
+        GeneratorResult result;
+        try {
+          result = VerifyOne(platform_, generator_names[i], options, cache_ptr, &cancel);
+        } catch (const std::exception& e) {
+          result = ContainedCrash(generator_names[i], e.what());
+        }
+        if (journal != nullptr) {
+          std::lock_guard<std::mutex> lock(journal_mu);
+          Status st = journal->Append(ToRecord(result, fingerprint));
+          if (!st.ok() && journal_status.ok()) {
+            journal_status = st;
+          }
+        }
+        report.results[i] = std::move(result);
       }));
     }
     if (options.deadline_seconds > 0.0) {
@@ -145,18 +294,31 @@ BatchReport BatchVerifier::VerifyAll(const std::vector<std::string>& generator_n
         }
       }
     }
-    for (std::future<void>& f : futures) {
-      f.get();  // Rethrows task exceptions; none expected from VerifyOne.
+    for (size_t k = 0; k < futures.size(); ++k) {
+      try {
+        futures[k].get();
+      } catch (const std::exception& e) {
+        // The task body is already contained, so an exception here means the
+        // fault fired before the body ran (e.g. the pool-task fail point).
+        // Contain it the same way; note it is not journaled — a resumed run
+        // re-verifies this generator, which is the correct recovery.
+        report.results[submitted[k]] = ContainedCrash(generator_names[submitted[k]], e.what());
+      }
     }
   }
   report.wall_seconds = timer.ElapsedSeconds();
+  if (!journal_status.ok()) {
+    // The run finished but its durability contract is broken; fail loudly
+    // rather than hand back a journal missing verdicts.
+    return journal_status;
+  }
   if (cache != nullptr) {
     report.cache = cache->Snapshot();
   }
   return report;
 }
 
-BatchReport BatchVerifier::VerifyEverything(const BatchOptions& options) {
+StatusOr<BatchReport> BatchVerifier::VerifyEverything(const BatchOptions& options) {
   std::vector<std::string> names;
   for (const ast::FunctionDecl* fn : platform_->module().Generators()) {
     names.push_back(fn->name);

@@ -38,26 +38,46 @@ struct BatchOptions {
   // Also build each generator's CFA artifact (off by default: the batch
   // driver reports verdicts, not DOT renderings).
   bool build_cfa = false;
+  // Re-verify a budget-inconclusive generator up to this many extra times,
+  // doubling the per-query decision and wall budgets on each attempt (and
+  // bypassing cached kUnknown entries so the retry actually re-solves).
+  // Deadline-cancelled tasks are never retried — the fleet is out of time.
+  int retries = 0;
+  // When non-empty, append each verdict to this JSONL journal as it lands
+  // (fsync'd per record; see journal.h). A run killed mid-flight loses at
+  // most the record being written.
+  std::string journal_path;
+  // When non-empty, read this journal first and skip every generator it
+  // already holds a verdict for, restoring the journaled rows. Refused when
+  // the journal's platform fingerprint differs from the loaded platform.
+  std::string resume_path;
 };
 
 // How one generator's verification concluded.
 enum class Outcome {
-  kVerified,      // All paths proven safe.
-  kRefuted,       // A counterexample was found.
-  kInconclusive,  // A budget or the fleet deadline prevented a verdict.
-  kError,         // Pipeline error (unknown generator, malformed platform).
+  kVerified,       // All paths proven safe.
+  kRefuted,        // A counterexample was found.
+  kInconclusive,   // A budget or the fleet deadline prevented a verdict.
+  kError,          // Pipeline error (unknown generator, malformed platform).
+  kInternalError,  // The task crashed (bug or injected fault) and was contained.
 };
 
-// Renders e.g. "VERIFIED" / "COUNTEREXAMPLE" / "INCONCLUSIVE" / "ERROR".
+// Renders e.g. "VERIFIED" / "COUNTEREXAMPLE" / "INCONCLUSIVE" / "ERROR" /
+// "INTERNAL_ERROR".
 const char* OutcomeName(Outcome outcome);
+
+// Inverse of OutcomeName; returns false for an unknown token.
+bool OutcomeFromName(const std::string& name, Outcome* out);
 
 // One row of the batch report.
 struct GeneratorResult {
   std::string generator;
   Outcome outcome = Outcome::kError;
-  std::string error;    // Set when outcome == kError.
-  VerifyReport report;  // Valid unless outcome == kError.
+  std::string error;    // Set when outcome is kError / kInternalError.
+  VerifyReport report;  // Valid unless outcome is kError / kInternalError.
   double seconds = 0.0; // Wall-clock for this task (queue wait excluded).
+  int attempts = 1;     // 1 + retries consumed by this generator.
+  bool resumed = false; // Row restored from a journal, not recomputed.
 };
 
 // Aggregate result of BatchVerifier::VerifyAll.
@@ -66,29 +86,42 @@ struct BatchReport {
   int jobs = 1;
   double wall_seconds = 0.0;  // End-to-end batch wall clock.
   bool deadline_hit = false;
+  int num_resumed = 0;  // Rows restored from the resume journal.
   sym::SolverCacheStats cache;  // Zero-valued when the cache was disabled.
 
   // Outcome counts over `results`.
   int NumWithOutcome(Outcome outcome) const;
+  // Total retries consumed across all rows (sum of attempts - 1).
+  int TotalRetries() const;
   // Multi-line summary table: one row per generator plus aggregate footer.
   std::string RenderTable() const;
 };
 
 // Drives Verifier over many generators concurrently. Thread-compatible: use
 // one BatchVerifier per batch run.
+//
+// Fault containment: each generator task runs inside a containment boundary —
+// a pipeline Status error becomes an ERROR row and a thrown exception
+// (ICARUS_REQUIRE/ICARUS_BUG violations, injected faults) becomes an
+// INTERNAL_ERROR row. One crashing generator never takes down the fleet; the
+// remaining tasks run to completion. See docs/ARCHITECTURE.md §"Failure
+// domains".
 class BatchVerifier {
  public:
   // `platform` must outlive the batch verifier.
   explicit BatchVerifier(const platform::Platform* platform) : platform_(platform) {}
 
   // Verifies every generator in `generator_names` (order of the report rows
-  // matches the input order regardless of scheduling).
-  BatchReport VerifyAll(const std::vector<std::string>& generator_names,
-                        const BatchOptions& options = BatchOptions());
+  // matches the input order regardless of scheduling). Errors only on
+  // journal problems (unreadable/corrupt/mismatched resume journal,
+  // unwritable journal path) — per-generator failures are report rows, never
+  // errors.
+  StatusOr<BatchReport> VerifyAll(const std::vector<std::string>& generator_names,
+                                  const BatchOptions& options = BatchOptions());
 
   // Convenience: every generator declared by the platform (Figure-12 set,
   // extensions, and the buggy/fixed study pairs).
-  BatchReport VerifyEverything(const BatchOptions& options = BatchOptions());
+  StatusOr<BatchReport> VerifyEverything(const BatchOptions& options = BatchOptions());
 
  private:
   const platform::Platform* platform_;

@@ -1,0 +1,298 @@
+#include "src/verifier/journal.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "src/support/str_util.h"
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace icarus::verifier {
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", static_cast<unsigned char>(c));
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Minimal parser for the flat JSON objects this journal writes: string and
+// number values only, no nesting. Unknown keys are skipped so a newer writer
+// that adds fields stays readable (the schema version gates real breaks).
+class LineParser {
+ public:
+  explicit LineParser(std::string_view line) : p_(line.data()), end_(line.data() + line.size()) {}
+
+  bool Parse(JournalRecord* rec) {
+    SkipWs();
+    if (!Consume('{')) {
+      return false;
+    }
+    SkipWs();
+    if (Consume('}')) {
+      return AtEnd();
+    }
+    while (true) {
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        return false;
+      }
+      SkipWs();
+      if (!ParseValue(key, rec)) {
+        return false;
+      }
+      SkipWs();
+      if (Consume(',')) {
+        SkipWs();
+        continue;
+      }
+      break;
+    }
+    if (!Consume('}')) {
+      return false;
+    }
+    return AtEnd();
+  }
+
+ private:
+  void SkipWs() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+  bool AtEnd() {
+    SkipWs();
+    return p_ == end_;
+  }
+  bool Consume(char c) {
+    if (p_ < end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return false;
+    }
+    out->clear();
+    while (p_ < end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c == '\\') {
+        if (p_ >= end_) {
+          return false;
+        }
+        char e = *p_++;
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (end_ - p_ < 4) {
+              return false;
+            }
+            char hex[5] = {p_[0], p_[1], p_[2], p_[3], '\0'};
+            char* hex_end = nullptr;
+            long cp = std::strtol(hex, &hex_end, 16);
+            if (hex_end != hex + 4) {
+              return false;
+            }
+            p_ += 4;
+            // The writer only emits \u00XX for control bytes; decode the
+            // low byte and ignore the (unused) wider range.
+            out->push_back(static_cast<char>(cp & 0xff));
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Consume('"');
+  }
+
+  bool ParseNumber(double* out) {
+    const char* start = p_;
+    while (p_ < end_ && (std::isdigit(static_cast<unsigned char>(*p_)) != 0 || *p_ == '-' ||
+                         *p_ == '+' || *p_ == '.' || *p_ == 'e' || *p_ == 'E')) {
+      ++p_;
+    }
+    if (p_ == start) {
+      return false;
+    }
+    std::string text(start, p_);
+    char* num_end = nullptr;
+    errno = 0;
+    double v = std::strtod(text.c_str(), &num_end);
+    if (errno != 0 || num_end != text.c_str() + text.size()) {
+      return false;
+    }
+    *out = v;
+    return true;
+  }
+
+  bool ParseValue(const std::string& key, JournalRecord* rec) {
+    if (p_ < end_ && *p_ == '"') {
+      std::string s;
+      if (!ParseString(&s)) {
+        return false;
+      }
+      if (key == "platform") {
+        rec->platform = std::move(s);
+      } else if (key == "generator") {
+        rec->generator = std::move(s);
+      } else if (key == "outcome") {
+        rec->outcome = std::move(s);
+      } else if (key == "error") {
+        rec->error = std::move(s);
+      }
+      return true;
+    }
+    double v = 0.0;
+    if (!ParseNumber(&v)) {
+      return false;
+    }
+    if (key == "schema") {
+      rec->schema = static_cast<int>(v);
+    } else if (key == "paths") {
+      rec->paths = static_cast<int64_t>(v);
+    } else if (key == "queries") {
+      rec->queries = static_cast<int64_t>(v);
+    } else if (key == "seconds") {
+      rec->seconds = v;
+    } else if (key == "attempts") {
+      rec->attempts = static_cast<int>(v);
+    }
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+std::string JournalRecord::ToJsonLine() const {
+  std::string out = StrFormat("{\"schema\":%d,\"platform\":", schema);
+  AppendJsonString(platform, &out);
+  out += ",\"generator\":";
+  AppendJsonString(generator, &out);
+  out += ",\"outcome\":";
+  AppendJsonString(outcome, &out);
+  out += ",\"error\":";
+  AppendJsonString(error, &out);
+  // %.17g round-trips a double exactly through strtod, so a resumed run
+  // re-renders the same "%.4f" table cell the interrupted run printed.
+  out += StrFormat(",\"paths\":%lld,\"queries\":%lld,\"seconds\":%.17g,\"attempts\":%d}",
+                   static_cast<long long>(paths), static_cast<long long>(queries), seconds,
+                   attempts);
+  return out;
+}
+
+StatusOr<std::unique_ptr<JournalWriter>> JournalWriter::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::Error(
+        StrCat("cannot open journal '", path, "' for append: ", std::strerror(errno)));
+  }
+  return std::unique_ptr<JournalWriter>(new JournalWriter(file));
+}
+
+JournalWriter::~JournalWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Status JournalWriter::Append(const JournalRecord& record) {
+  std::string line = record.ToJsonLine();
+  line.push_back('\n');
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return Status::Error(StrCat("journal write failed: ", std::strerror(errno)));
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::Error(StrCat("journal flush failed: ", std::strerror(errno)));
+  }
+#ifndef _WIN32
+  // The fsync is what makes "journaled" mean "survives a crash": without it
+  // the verdict can sit in the page cache when the process is killed.
+  if (fsync(fileno(file_)) != 0) {
+    return Status::Error(StrCat("journal fsync failed: ", std::strerror(errno)));
+  }
+#endif
+  return Status::Ok();
+}
+
+StatusOr<std::vector<JournalRecord>> ReadJournal(const std::string& path,
+                                                 const std::string& expect_platform) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::Error(StrCat("cannot read journal '", path, "'"));
+  }
+  std::vector<JournalRecord> records;
+  std::string line;
+  std::string pending_error;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!pending_error.empty()) {
+      // A malformed line followed by anything else is corruption; only a
+      // malformed *final* line (a torn append from a crash) is tolerated.
+      return Status::Error(pending_error);
+    }
+    if (line.empty()) {
+      continue;
+    }
+    JournalRecord rec;
+    if (!LineParser(line).Parse(&rec)) {
+      pending_error = StrCat("journal '", path, "' line ", line_no, " is malformed");
+      continue;
+    }
+    if (rec.schema != kJournalSchemaVersion) {
+      return Status::Error(StrFormat("journal '%s' line %d has schema version %d; this build "
+                                     "reads version %d",
+                                     path.c_str(), line_no, rec.schema, kJournalSchemaVersion));
+    }
+    if (!expect_platform.empty() && rec.platform != expect_platform) {
+      return Status::Error(StrFormat(
+          "journal '%s' line %d was written by platform %s but this process loaded %s; "
+          "refusing to mix verdicts across platforms",
+          path.c_str(), line_no, rec.platform.c_str(), expect_platform.c_str()));
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+}  // namespace icarus::verifier

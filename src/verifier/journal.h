@@ -1,0 +1,82 @@
+// Verdict journal for resumable batch runs.
+//
+// Format: JSON Lines — one self-contained JSON object per verdict, appended
+// and fsync'd as each generator finishes, so a run killed mid-flight loses at
+// most the verdict being written (a torn final line, which the reader
+// tolerates). Every record carries the schema version and the platform
+// fingerprint (Platform::Fingerprint()); resuming against a journal written
+// by a different platform or schema is refused rather than silently mixing
+// verdicts from different universes.
+//
+// The record holds exactly what the batch report renders for a finished
+// generator (outcome, path/query counts, wall seconds, attempts), so a
+// resumed run reproduces the interrupted run's rows byte-for-byte without
+// re-verifying.
+#ifndef ICARUS_VERIFIER_JOURNAL_H_
+#define ICARUS_VERIFIER_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace icarus::verifier {
+
+// Journal wire format version; bump on any incompatible record change.
+inline constexpr int kJournalSchemaVersion = 1;
+
+// One journaled verdict. `outcome` is the OutcomeName() token (e.g.
+// "VERIFIED", "INTERNAL_ERROR") — a string, not the enum, so the journal
+// stays readable and diffable with standard tools.
+struct JournalRecord {
+  int schema = kJournalSchemaVersion;
+  std::string platform;   // Platform::Fingerprint() of the writing process.
+  std::string generator;  // DSL generator name (row key for resume).
+  std::string outcome;    // OutcomeName() token.
+  std::string error;      // Diagnostic for ERROR / INTERNAL_ERROR rows.
+  int64_t paths = 0;      // meta.paths_explored.
+  int64_t queries = 0;    // meta.solver_queries.
+  double seconds = 0.0;   // Per-task wall clock.
+  int attempts = 1;       // 1 + retries consumed.
+
+  // Renders the record as a single JSON line (no trailing newline).
+  std::string ToJsonLine() const;
+};
+
+// Appends records to a JSONL journal file, durably: each Append writes one
+// line, flushes, and fsyncs, so a verdict that was reported is on disk even
+// if the process dies immediately after.
+class JournalWriter {
+ public:
+  // Opens `path` for appending (creating it if absent).
+  static StatusOr<std::unique_ptr<JournalWriter>> Open(const std::string& path);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  // Durably appends one record. Thread-compatible: callers serialize.
+  Status Append(const JournalRecord& record);
+
+ private:
+  explicit JournalWriter(std::FILE* file) : file_(file) {}
+  std::FILE* file_;
+};
+
+// Reads every complete record from a journal at `path`.
+//
+// A torn final line (the crash case: the process died mid-append) is dropped
+// silently; a malformed line anywhere *before* the last is corruption and an
+// error. When `expect_platform` is non-empty, a record whose platform
+// fingerprint differs fails the read — resuming would mix verdicts across
+// different platform sources. A record with an unknown schema version also
+// fails the read.
+StatusOr<std::vector<JournalRecord>> ReadJournal(const std::string& path,
+                                                 const std::string& expect_platform);
+
+}  // namespace icarus::verifier
+
+#endif  // ICARUS_VERIFIER_JOURNAL_H_

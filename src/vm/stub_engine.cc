@@ -43,7 +43,7 @@ bool EvalCond(int64_t cond, int64_t a, int64_t b) {
     case kLessThanOrEqual: return a <= b;
     case kGreaterThan: return a > b;
     case kGreaterThanOrEqual: return a >= b;
-    default: ICARUS_UNREACHABLE("condition");
+    default: ICARUS_BUG("condition");
   }
 }
 
@@ -139,7 +139,8 @@ StubOutcome StubEngine::Run(Runtime* rt, const CompiledStub& stub, const JsValue
   uint64_t regs[8] = {0};
   uint64_t stack[16];
   int stack_depth = 0;
-  ICARUS_CHECK(num_operands == static_cast<int>(stub.operand_regs.size()));
+  ICARUS_REQUIRE_MSG(num_operands == static_cast<int>(stub.operand_regs.size()),
+                     "operand count does not match the compiled stub");
   for (int i = 0; i < num_operands; ++i) {
     regs[stub.operand_regs[static_cast<size_t>(i)]] = operands[i].raw();
   }
@@ -367,7 +368,8 @@ StubOutcome StubEngine::Run(Runtime* rt, const CompiledStub& stub, const JsValue
       case Opcode::kDiv32: {
         int64_t lhs = i32(static_cast<int>(a[0]));
         int64_t rhs = i32(static_cast<int>(a[1]));
-        ICARUS_CHECK(rhs != 0 && !(lhs == INT32_MIN && rhs == -1));
+        ICARUS_REQUIRE_MSG(rhs != 0 && !(lhs == INT32_MIN && rhs == -1),
+                           "unguarded Div32/Mod32 operands (stub bug)");
         int64_t q = lhs / rhs;
         if (q * rhs != lhs) {
           transferred = branch_to(a[3], &bail);
@@ -379,7 +381,8 @@ StubOutcome StubEngine::Run(Runtime* rt, const CompiledStub& stub, const JsValue
       case Opcode::kMod32: {
         int64_t lhs = i32(static_cast<int>(a[0]));
         int64_t rhs = i32(static_cast<int>(a[1]));
-        ICARUS_CHECK(rhs != 0 && !(lhs == INT32_MIN && rhs == -1));
+        ICARUS_REQUIRE_MSG(rhs != 0 && !(lhs == INT32_MIN && rhs == -1),
+                           "unguarded Div32/Mod32 operands (stub bug)");
         int64_t r = lhs % rhs;
         if (r == 0 && lhs < 0) {
           transferred = branch_to(a[3], &bail);
@@ -514,11 +517,11 @@ StubOutcome StubEngine::Run(Runtime* rt, const CompiledStub& stub, const JsValue
 
       // --- Stack ---
       case Opcode::kPushValueReg:
-        ICARUS_CHECK(stack_depth < 16);
+        ICARUS_REQUIRE_MSG(stack_depth < 16, "stub value-stack overflow");
         stack[stack_depth++] = regs[a[0]];
         break;
       case Opcode::kPopValueReg:
-        ICARUS_CHECK(stack_depth > 0);
+        ICARUS_REQUIRE_MSG(stack_depth > 0, "stub value-stack underflow");
         regs[a[0]] = stack[--stack_depth];
         break;
 

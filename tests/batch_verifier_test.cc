@@ -63,7 +63,9 @@ TEST_F(BatchVerifierTest, ParallelVerdictsMatchSerialOnAllGenerators) {
   BatchOptions opts;
   opts.jobs = 4;
   opts.use_cache = true;
-  BatchReport report = batch.VerifyEverything(opts);
+  StatusOr<BatchReport> report_or = batch.VerifyEverything(opts);
+  ASSERT_TRUE(report_or.ok()) << report_or.status().message();
+  BatchReport report = report_or.take();
 
   ASSERT_FALSE(report.results.empty());
   EXPECT_FALSE(report.deadline_hit);
@@ -90,7 +92,9 @@ TEST_F(BatchVerifierTest, BuggyPairsRefutedFixedPairsVerified) {
   BatchVerifier batch(platform_);
   BatchOptions opts;
   opts.jobs = 4;
-  BatchReport report = batch.VerifyAll(names, opts);
+  StatusOr<BatchReport> report_or = batch.VerifyAll(names, opts);
+  ASSERT_TRUE(report_or.ok()) << report_or.status().message();
+  BatchReport report = report_or.take();
 
   ASSERT_EQ(report.results.size(), names.size());
   for (size_t i = 0; i < names.size(); ++i) {
@@ -112,14 +116,14 @@ TEST_F(BatchVerifierTest, SingleJobNoCacheMatchesParallelCached) {
   BatchOptions serial;
   serial.jobs = 1;
   serial.use_cache = false;
-  BatchReport serial_report = batch.VerifyAll(names, serial);
+  BatchReport serial_report = batch.VerifyAll(names, serial).take();
   EXPECT_EQ(serial_report.jobs, 1);
   EXPECT_EQ(serial_report.cache.lookups(), 0);
 
   BatchOptions parallel;
   parallel.jobs = 4;
   parallel.use_cache = true;
-  BatchReport parallel_report = batch.VerifyAll(names, parallel);
+  BatchReport parallel_report = batch.VerifyAll(names, parallel).take();
 
   ASSERT_EQ(serial_report.results.size(), parallel_report.results.size());
   for (size_t i = 0; i < names.size(); ++i) {
@@ -139,7 +143,7 @@ TEST_F(BatchVerifierTest, ExpiredDeadlineReportsInconclusiveNotWrong) {
   BatchOptions opts;
   opts.jobs = 2;
   opts.deadline_seconds = 1e-9;
-  BatchReport report = batch.VerifyAll(names, opts);
+  BatchReport report = batch.VerifyAll(names, opts).take();
 
   ASSERT_EQ(report.results.size(), names.size());
   EXPECT_TRUE(report.deadline_hit);
@@ -163,7 +167,7 @@ TEST_F(BatchVerifierTest, TinyDecisionBudgetDegradesToInconclusive) {
   opts.jobs = 2;
   opts.solver_limits.max_decisions = 0;
   BatchReport report =
-      batch.VerifyAll({"tryAttachCompareInt32", "tryAttachObjectLength"}, opts);
+      batch.VerifyAll({"tryAttachCompareInt32", "tryAttachObjectLength"}, opts).take();
   for (const GeneratorResult& r : report.results) {
     EXPECT_NE(r.outcome, Outcome::kError) << r.generator;
     if (r.outcome == Outcome::kInconclusive) {
@@ -177,7 +181,8 @@ TEST_F(BatchVerifierTest, RenderTableMentionsEveryGenerator) {
   BatchVerifier batch(platform_);
   BatchOptions opts;
   opts.jobs = 2;
-  BatchReport report = batch.VerifyAll({"tryAttachCompareInt32", "bug1685925_buggy"}, opts);
+  BatchReport report =
+      batch.VerifyAll({"tryAttachCompareInt32", "bug1685925_buggy"}, opts).take();
   std::string table = report.RenderTable();
   EXPECT_NE(table.find("tryAttachCompareInt32"), std::string::npos);
   EXPECT_NE(table.find("bug1685925_buggy"), std::string::npos);

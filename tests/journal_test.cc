@@ -1,0 +1,273 @@
+// Journal + resume tests: record round-tripping, torn-tail tolerance,
+// platform/schema mismatch refusal, and the headline crash-recovery
+// scenario — kill a verify-all mid-run (via an abort-action fail point) and
+// prove the resumed run reproduces exactly the verdicts of an uninterrupted
+// run.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/platform/platform.h"
+#include "src/support/str_util.h"
+#include "src/verifier/batch_verifier.h"
+#include "src/verifier/journal.h"
+
+namespace icarus::verifier {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << path;
+  out << content;
+}
+
+JournalRecord MakeRecord(const std::string& generator, const std::string& outcome) {
+  JournalRecord rec;
+  rec.platform = "cafef00dcafef00d";
+  rec.generator = generator;
+  rec.outcome = outcome;
+  rec.paths = 12;
+  rec.queries = 345;
+  rec.seconds = 0.0625;
+  rec.attempts = 2;
+  return rec;
+}
+
+TEST(Journal, RecordRoundTripsThroughDisk) {
+  std::string path = TempPath("roundtrip.jsonl");
+  {
+    StatusOr<std::unique_ptr<JournalWriter>> writer = JournalWriter::Open(path);
+    ASSERT_TRUE(writer.ok()) << writer.status().message();
+    JournalRecord rec = MakeRecord("tryAttachCompareInt32", "VERIFIED");
+    // Hostile error text: quotes, backslashes, newlines, a control byte.
+    rec.error = "parse \"error\"\n\tat C:\\path\x01!";
+    ASSERT_TRUE(writer.value()->Append(rec).ok());
+    ASSERT_TRUE(writer.value()->Append(MakeRecord("bug1685925_buggy", "COUNTEREXAMPLE")).ok());
+  }
+  StatusOr<std::vector<JournalRecord>> read = ReadJournal(path, "cafef00dcafef00d");
+  ASSERT_TRUE(read.ok()) << read.status().message();
+  ASSERT_EQ(read.value().size(), 2u);
+  const JournalRecord& r = read.value()[0];
+  EXPECT_EQ(r.schema, kJournalSchemaVersion);
+  EXPECT_EQ(r.generator, "tryAttachCompareInt32");
+  EXPECT_EQ(r.outcome, "VERIFIED");
+  EXPECT_EQ(r.error, "parse \"error\"\n\tat C:\\path\x01!");
+  EXPECT_EQ(r.paths, 12);
+  EXPECT_EQ(r.queries, 345);
+  EXPECT_DOUBLE_EQ(r.seconds, 0.0625);
+  EXPECT_EQ(r.attempts, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, TornFinalLineIsDropped) {
+  std::string path = TempPath("torn.jsonl");
+  std::string good1 = MakeRecord("a", "VERIFIED").ToJsonLine();
+  std::string good2 = MakeRecord("b", "VERIFIED").ToJsonLine();
+  // A crash mid-append leaves a prefix of the record with no closing brace.
+  WriteFile(path, good1 + "\n" + good2 + "\n" + good2.substr(0, good2.size() / 2));
+  StatusOr<std::vector<JournalRecord>> read = ReadJournal(path, "");
+  ASSERT_TRUE(read.ok()) << read.status().message();
+  EXPECT_EQ(read.value().size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, MalformedMiddleLineIsCorruption) {
+  std::string path = TempPath("corrupt.jsonl");
+  std::string good = MakeRecord("a", "VERIFIED").ToJsonLine();
+  WriteFile(path, good + "\n{not json\n" + good + "\n");
+  StatusOr<std::vector<JournalRecord>> read = ReadJournal(path, "");
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().message().find("malformed"), std::string::npos)
+      << read.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(Journal, MismatchedPlatformIsRefused) {
+  std::string path = TempPath("mismatch.jsonl");
+  WriteFile(path, MakeRecord("a", "VERIFIED").ToJsonLine() + "\n");
+  StatusOr<std::vector<JournalRecord>> read = ReadJournal(path, "deadbeefdeadbeef");
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().message().find("refusing to mix"), std::string::npos)
+      << read.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(Journal, UnknownSchemaIsRefused) {
+  std::string path = TempPath("schema.jsonl");
+  JournalRecord rec = MakeRecord("a", "VERIFIED");
+  rec.schema = kJournalSchemaVersion + 1;
+  WriteFile(path, rec.ToJsonLine() + "\n");
+  StatusOr<std::vector<JournalRecord>> read = ReadJournal(path, "");
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().message().find("schema version"), std::string::npos)
+      << read.status().message();
+  std::remove(path.c_str());
+}
+
+// --- Library-level resume ------------------------------------------------
+
+class JournalBatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    StatusOr<std::unique_ptr<platform::Platform>> loaded = platform::Platform::Load();
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    platform_ = loaded.take().release();
+  }
+  static void TearDownTestSuite() {
+    delete platform_;
+    platform_ = nullptr;
+  }
+  static platform::Platform* platform_;
+};
+
+platform::Platform* JournalBatchTest::platform_ = nullptr;
+
+TEST_F(JournalBatchTest, ResumeSkipsJournaledGeneratorsAndRestoresRows) {
+  std::string path = TempPath("resume_lib.jsonl");
+  std::remove(path.c_str());
+  const std::vector<std::string> names = {"tryAttachCompareInt32", "tryAttachObjectLength",
+                                          "bug1685925_buggy"};
+  BatchVerifier batch(platform_);
+
+  // First run journals only a two-generator subset.
+  BatchOptions first;
+  first.jobs = 2;
+  first.journal_path = path;
+  StatusOr<BatchReport> partial =
+      batch.VerifyAll({names[0], names[2]}, first);
+  ASSERT_TRUE(partial.ok()) << partial.status().message();
+
+  // Second run over the full fleet resumes: the journaled rows come back
+  // restored (same outcome, paths, queries, seconds) and only the missing
+  // generator is verified.
+  BatchOptions second;
+  second.jobs = 2;
+  second.journal_path = path;
+  second.resume_path = path;
+  StatusOr<BatchReport> full_or = batch.VerifyAll(names, second);
+  ASSERT_TRUE(full_or.ok()) << full_or.status().message();
+  BatchReport full = full_or.take();
+  ASSERT_EQ(full.results.size(), 3u);
+  EXPECT_EQ(full.num_resumed, 2);
+  EXPECT_TRUE(full.results[0].resumed);
+  EXPECT_FALSE(full.results[1].resumed);
+  EXPECT_TRUE(full.results[2].resumed);
+  EXPECT_EQ(full.results[0].outcome, Outcome::kVerified);
+  EXPECT_EQ(full.results[1].outcome, Outcome::kVerified);
+  EXPECT_EQ(full.results[2].outcome, Outcome::kRefuted);
+  for (const GeneratorResult& r : partial.value().results) {
+    for (const GeneratorResult& f : full.results) {
+      if (f.generator == r.generator) {
+        EXPECT_TRUE(f.resumed);
+        EXPECT_EQ(f.outcome, r.outcome) << f.generator;
+        EXPECT_EQ(f.report.meta.paths_explored, r.report.meta.paths_explored) << f.generator;
+        EXPECT_EQ(f.report.meta.solver_queries, r.report.meta.solver_queries) << f.generator;
+        EXPECT_DOUBLE_EQ(f.seconds, r.seconds) << f.generator;
+      }
+    }
+  }
+  // The journal now also covers the generator added by the second run.
+  StatusOr<std::vector<JournalRecord>> records = ReadJournal(path, platform_->Fingerprint());
+  ASSERT_TRUE(records.ok()) << records.status().message();
+  EXPECT_EQ(records.value().size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST_F(JournalBatchTest, ResumeAgainstForeignJournalFails) {
+  std::string path = TempPath("foreign.jsonl");
+  JournalRecord rec = MakeRecord("tryAttachCompareInt32", "VERIFIED");
+  rec.platform = "0123456789abcdef";  // Not this platform's fingerprint.
+  WriteFile(path, rec.ToJsonLine() + "\n");
+  BatchVerifier batch(platform_);
+  BatchOptions opts;
+  opts.resume_path = path;
+  StatusOr<BatchReport> report = batch.VerifyAll({"tryAttachCompareInt32"}, opts);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("refusing to mix"), std::string::npos)
+      << report.status().message();
+  std::remove(path.c_str());
+}
+
+// --- Crash recovery end-to-end -------------------------------------------
+
+#ifdef ICARUS_CLI_PATH
+
+struct VerdictRow {
+  std::string outcome;
+  int64_t paths = 0;
+  int64_t queries = 0;
+};
+
+// Final verdict per generator from a journal (later records win, matching
+// the resume semantics).
+std::map<std::string, VerdictRow> VerdictsFrom(const std::string& journal_path) {
+  std::map<std::string, VerdictRow> verdicts;
+  StatusOr<std::vector<JournalRecord>> records = ReadJournal(journal_path, "");
+  EXPECT_TRUE(records.ok()) << records.status().message();
+  if (records.ok()) {
+    for (const JournalRecord& rec : records.value()) {
+      verdicts[rec.generator] = VerdictRow{rec.outcome, rec.paths, rec.queries};
+    }
+  }
+  return verdicts;
+}
+
+TEST(CrashRecovery, KilledRunResumesToIdenticalVerdicts) {
+  const std::string cli = ICARUS_CLI_PATH;
+  const std::string clean = TempPath("clean.jsonl");
+  const std::string crashed = TempPath("crashed.jsonl");
+  std::remove(clean.c_str());
+  std::remove(crashed.c_str());
+
+  // Reference: one uninterrupted run over the whole platform.
+  std::string cmd = cli + " verify-all --jobs 2 --journal " + clean + " >/dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  // Crash run: an abort-action fail point kills the process partway through
+  // (the 2000th cache insert lands mid-fleet), after some verdicts are
+  // already journaled and fsync'd.
+  cmd = cli + " verify-all --jobs 2 --fail at=cache-insert:2000,action=abort --journal " +
+        crashed + " >/dev/null 2>&1";
+  EXPECT_NE(std::system(cmd.c_str()), 0) << "crash run unexpectedly survived";
+
+  std::map<std::string, VerdictRow> reference = VerdictsFrom(clean);
+  ASSERT_FALSE(reference.empty());
+  std::map<std::string, VerdictRow> partial = VerdictsFrom(crashed);
+  EXPECT_LT(partial.size(), reference.size())
+      << "the abort fired after every verdict was journaled; pick an earlier site count";
+
+  // Resume the crashed journal in place and finish the fleet.
+  cmd = cli + " verify-all --jobs 2 --journal " + crashed + " --resume " + crashed +
+        " >/dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  // The resumed journal must now hold exactly the reference verdicts:
+  // same generators, same outcome, same path and query counts.
+  std::map<std::string, VerdictRow> resumed = VerdictsFrom(crashed);
+  ASSERT_EQ(resumed.size(), reference.size());
+  for (const auto& [generator, want] : reference) {
+    auto it = resumed.find(generator);
+    ASSERT_NE(it, resumed.end()) << generator << " missing after resume";
+    EXPECT_EQ(it->second.outcome, want.outcome) << generator;
+    EXPECT_EQ(it->second.paths, want.paths) << generator;
+    EXPECT_EQ(it->second.queries, want.queries) << generator;
+  }
+
+  std::remove(clean.c_str());
+  std::remove(crashed.c_str());
+}
+
+#endif  // ICARUS_CLI_PATH
+
+}  // namespace
+}  // namespace icarus::verifier

@@ -1,12 +1,16 @@
 // Solver-result cache tests: fingerprint canonicalization, cross-pool hits on
-// structurally identical queries, no false hits across distinct queries, and
-// thread-safety under concurrent Solve() calls sharing one cache.
+// structurally identical queries, no false hits across distinct queries,
+// thread-safety under concurrent Solve() calls sharing one cache, and
+// integrity under injected faults (a fault mid-insert must not poison the
+// shard).
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <thread>
 #include <vector>
 
+#include "src/support/check.h"
+#include "src/support/failpoint.h"
 #include "src/sym/expr.h"
 #include "src/sym/solver.h"
 #include "src/sym/solver_cache.h"
@@ -186,6 +190,106 @@ TEST_F(SolverCacheTest, UnknownStoredAsNegativeEntry) {
   EXPECT_EQ(s2.stats().cache_negative_hits, 1);
   EXPECT_EQ(s2.stats().budget_exhausted, 0);
   EXPECT_EQ(cache.Snapshot().negative_hits, 1);
+}
+
+TEST_F(SolverCacheTest, DecisiveVerdictUpgradesNegativeEntry) {
+  SolverCache cache;
+  ExprRef x = pool_.Var("x", Sort::kInt);
+  QueryKey key = FingerprintQuery({pool_.Lt(x, pool_.IntConst(5))});
+
+  SolverCache::Entry negative;
+  negative.verdict = Verdict::kUnknown;
+  cache.Insert(key, negative);
+  ASSERT_EQ(cache.Lookup(key)->verdict, Verdict::kUnknown);
+
+  // A decisive verdict (as produced by a budget-escalated retry) must replace
+  // the resident negative entry, not be dropped by first-writer-wins.
+  SolverCache::Entry decisive;
+  decisive.verdict = Verdict::kSat;
+  decisive.has_model = true;
+  decisive.model_text = "x = 4";
+  cache.Insert(key, decisive);
+  std::optional<SolverCache::Entry> got = cache.Lookup(key, /*need_model=*/true);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->verdict, Verdict::kSat);
+  EXPECT_EQ(got->model_text, "x = 4");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(SolverCacheTest, IgnoreCachedUnknownsBypassesAndUpgradesNegativeEntry) {
+  // The retry path: a starved solver caches kUnknown; a retry with
+  // ignore_cached_unknowns set must re-solve instead of being served the
+  // negative entry, and its decisive verdict must upgrade the entry so later
+  // normal lookups are decisive too.
+  SolverCache cache;
+  Solver::Limits tiny;
+  tiny.max_decisions = 0;
+  Solver starved(tiny);
+  starved.set_cache(&cache);
+
+  ExprRef p = pool_.Var("p", Sort::kBool);
+  ExprRef q = pool_.Var("q", Sort::kBool);
+  std::vector<ExprRef> query = {pool_.Or(p, q), pool_.Or(pool_.Not(p), q)};
+  ASSERT_EQ(starved.Solve(query).verdict, Verdict::kUnknown);
+
+  Solver::Limits escalated;
+  escalated.ignore_cached_unknowns = true;
+  Solver retry(escalated);
+  retry.set_cache(&cache);
+  EXPECT_EQ(retry.Solve(query).verdict, Verdict::kSat);
+  EXPECT_EQ(retry.stats().cache_negative_hits, 0);
+  EXPECT_EQ(retry.stats().cache_misses, 1);
+
+  // The negative entry was upgraded in place: a plain solver now hits the
+  // decisive verdict without spending budget.
+  Solver after;
+  after.set_cache(&cache);
+  EXPECT_EQ(after.Solve(query).verdict, Verdict::kSat);
+  EXPECT_EQ(after.stats().cache_hits, 1);
+  EXPECT_EQ(after.stats().decisions, 0);
+}
+
+TEST_F(SolverCacheTest, InjectedInsertFaultDoesNotPoisonShard) {
+  failpoint::DisarmAll();
+  SolverCache cache;
+  ExprRef x = pool_.Var("x", Sort::kInt);
+  QueryKey key = FingerprintQuery({pool_.Lt(x, pool_.IntConst(5))});
+  SolverCache::Entry entry;
+  entry.verdict = Verdict::kSat;
+
+  // The fault fires after the shard lock is taken; stack unwinding must
+  // release the lock and leave the map untouched.
+  ASSERT_TRUE(failpoint::Arm(std::string("at=") + failpoint::kCacheInsert + ":1").ok());
+  EXPECT_THROW(cache.Insert(key, entry), InternalError);
+  failpoint::DisarmAll();
+
+  // Not poisoned: no torn entry is resident, the shard lock is free, and the
+  // cache accepts and serves the entry normally afterwards.
+  EXPECT_FALSE(cache.Lookup(key).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  cache.Insert(key, entry);
+  std::optional<SolverCache::Entry> got = cache.Lookup(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->verdict, Verdict::kSat);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(SolverCacheTest, InjectedLookupFaultIsRecoverable) {
+  failpoint::DisarmAll();
+  SolverCache cache;
+  ExprRef x = pool_.Var("x", Sort::kInt);
+  QueryKey key = FingerprintQuery({pool_.Lt(x, pool_.IntConst(5))});
+  SolverCache::Entry entry;
+  entry.verdict = Verdict::kUnsat;
+  cache.Insert(key, entry);
+
+  ASSERT_TRUE(failpoint::Arm(std::string("at=") + failpoint::kCacheLookup + ":1").ok());
+  EXPECT_THROW(cache.Lookup(key), InternalError);
+  failpoint::DisarmAll();
+
+  std::optional<SolverCache::Entry> got = cache.Lookup(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->verdict, Verdict::kUnsat);
 }
 
 TEST_F(SolverCacheTest, ThreadSafeUnderConcurrentSolves) {

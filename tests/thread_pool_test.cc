@@ -1,5 +1,6 @@
 // Thread-pool unit tests: submission ordering, exception propagation through
-// futures, nested (work-stealing) submission, and shutdown under load.
+// futures, nested (work-stealing) submission, and shutdown under load —
+// including the no-dropped-tasks guarantee for submissions racing shutdown.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -10,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/support/check.h"
+#include "src/support/failpoint.h"
 #include "src/support/thread_pool.h"
 
 namespace icarus {
@@ -133,6 +136,85 @@ TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
   EXPECT_EQ(pool.num_threads(), 1);
   EXPECT_EQ(pool.Submit([]() { return 42; }).get(), 42);
   EXPECT_GE(ThreadPool::DefaultConcurrency(), 1);
+}
+
+TEST(ThreadPoolTest, ExplicitShutdownDrainsAndIsIdempotent) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter]() { counter.fetch_add(1); });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 100);
+  pool.Shutdown();  // Second call is a no-op (and so is the destructor).
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownRunsInlineNotDropped) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  // The pool has no workers left; the submission must still run (on the
+  // calling thread) and resolve its future rather than being dropped.
+  std::thread::id ran_on;
+  std::future<int> f = pool.Submit([&ran_on]() {
+    ran_on = std::this_thread::get_id();
+    return 99;
+  });
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f.get(), 99);
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+  // Exceptions still travel through the future on the inline path.
+  std::future<int> bad = pool.Submit([]() -> int { throw std::runtime_error("late"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmissionsRacingShutdownAreNeverDropped) {
+  // The regression this guards: a task enqueued between "workers decided to
+  // exit" and "queues checked one last time" used to be stranded forever
+  // (its future never ready). Hammer the race: submitter threads run flat
+  // out while the main thread shuts the pool down mid-stream. Every future
+  // must become ready and every task must run exactly once.
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 500;
+  std::atomic<int> executed{0};
+  ThreadPool pool(2);
+  std::vector<std::thread> submitters;
+  std::mutex futures_mu;
+  std::vector<std::future<void>> futures;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &executed, &futures, &futures_mu]() {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        std::future<void> f = pool.Submit([&executed]() { executed.fetch_add(1); });
+        std::lock_guard<std::mutex> lock(futures_mu);
+        futures.push_back(std::move(f));
+      }
+    });
+  }
+  // Let the submitters get going, then shut down while they are mid-stream.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  pool.Shutdown();
+  for (std::thread& t : submitters) {
+    t.join();
+  }
+  for (std::future<void>& f : futures) {
+    // Ready (or resolving) — a dropped task would hang here forever.
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+    f.get();
+  }
+  EXPECT_EQ(executed.load(), kSubmitters * kPerSubmitter);
+}
+
+TEST(ThreadPoolTest, PoolTaskFaultIsDeliveredThroughTheFuture) {
+  // An injected fault at the pool-task site must surface exactly like any
+  // task exception: through the future, leaving the worker loop (and the
+  // other tasks) intact.
+  failpoint::DisarmAll();
+  ASSERT_TRUE(failpoint::Arm(std::string("at=") + failpoint::kPoolTask + ":1").ok());
+  ThreadPool pool(2);
+  std::future<int> poisoned = pool.Submit([]() { return 1; });
+  EXPECT_THROW(poisoned.get(), InternalError);
+  std::future<int> healthy = pool.Submit([]() { return 2; });
+  EXPECT_EQ(healthy.get(), 2);
+  failpoint::DisarmAll();
 }
 
 }  // namespace

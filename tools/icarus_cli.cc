@@ -5,12 +5,8 @@
 //   icarus verify <generator>        Verify one generator; print the report.
 //   icarus verify-all [flags]        Verify everything (Fig. 12 + extensions +
 //                                    bug studies) on the parallel batch driver.
-//     --jobs N                       Worker threads (default: all cores).
-//     --cache / --no-cache           Shared solver-result cache (default: on).
-//     --deadline S                   Fleet deadline in seconds; stragglers
-//                                    degrade to INCONCLUSIVE (default: none).
-//     --serial                       One generator at a time on one thread
-//                                    (equivalent to --jobs 1 --no-cache).
+//                                    See `icarus verify-all --help` for the
+//                                    flag list and exit codes.
 //   icarus cfa <generator>           Print the CFA as GraphViz DOT.
 //   icarus boogie <generator>        Emit the (DCE-sliced) Boogie meta-stub.
 //   icarus extract                   Print the extracted C++ header.
@@ -23,10 +19,13 @@
 #include <fstream>
 #include <sstream>
 
+#include <exception>
+
 #include "src/boogie/boogie_dce.h"
 #include "src/boogie/boogie_lower.h"
 #include "src/boogie/boogie_printer.h"
 #include "src/extract/cpp_backend.h"
+#include "src/support/failpoint.h"
 #include "src/verifier/batch_verifier.h"
 #include "src/verifier/verifier.h"
 
@@ -36,9 +35,64 @@ using icarus::platform::Platform;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: icarus <list|verify <gen>|verify-all [--jobs N] [--cache|--no-cache] "
-               "[--deadline S] [--serial]|cfa <gen>|boogie <gen>|extract|check <file>>\n");
+               "usage: icarus <list|verify <gen>|verify-all [flags]|cfa <gen>|boogie <gen>|"
+               "extract|check <file>>\n"
+               "       icarus verify-all --help   for batch flags and exit codes\n");
   return 2;
+}
+
+int VerifyAllHelp() {
+  std::printf(
+      "icarus verify-all — verify every generator on the parallel batch driver\n"
+      "\n"
+      "Flags:\n"
+      "  --jobs N        Worker threads (default: all cores).\n"
+      "  --cache         Share one solver-result cache across tasks (default).\n"
+      "  --no-cache      Disable the shared solver-result cache.\n"
+      "  --deadline S    Fleet wall-clock deadline in seconds; on expiry,\n"
+      "                  unfinished generators degrade to INCONCLUSIVE.\n"
+      "  --serial        One generator at a time, no cache\n"
+      "                  (equivalent to --jobs 1 --no-cache).\n"
+      "  --max-decisions N\n"
+      "                  Per-query solver decision budget (default: 2000000);\n"
+      "                  exhaustion degrades that generator to INCONCLUSIVE.\n"
+      "  --retries N     Re-verify budget-inconclusive generators up to N extra\n"
+      "                  times, doubling the per-query solver budgets each time\n"
+      "                  (default: 0). Deadline-cancelled tasks are not retried.\n"
+      "  --journal FILE  Append each verdict to FILE as a JSON line, fsync'd as\n"
+      "                  it lands, so a killed run can be resumed.\n"
+      "  --resume FILE   Skip generators FILE already holds a verdict for,\n"
+      "                  restoring their rows. Refused if FILE was written by a\n"
+      "                  different platform (fingerprint mismatch). Typically\n"
+      "                  used with --journal pointing at the same FILE.\n"
+      "  --fail SPEC     Arm a fail-point (fault injection, for testing the\n"
+      "                  containment machinery). SPEC is one of\n"
+      "                    at=SITE:N     fault on exactly the N-th hit of SITE\n"
+      "                    after=SITE:N  fault on every hit past the N-th\n"
+      "                    p=SITE:P      fault each hit with probability P\n"
+      "                  with optional suffixes `,seed=S` (for p=) and\n"
+      "                  `,action=abort` (kill the process instead of throwing;\n"
+      "                  simulates a crash for journal/resume testing).\n"
+      "                  Repeatable. Sites: %s.\n"
+      "\n"
+      "Exit codes:\n"
+      "  0  every generator had its expected outcome (generators named\n"
+      "     *_buggy refuted, everything else verified)\n"
+      "  1  at least one unexpected outcome (including INCONCLUSIVE,\n"
+      "     ERROR and INTERNAL_ERROR rows)\n"
+      "  2  usage error, platform load failure, or journal error\n",
+      [] {
+        std::string sites;
+        for (const std::string& site : icarus::failpoint::AllSites()) {
+          if (!sites.empty()) {
+            sites += ", ";
+          }
+          sites += site;
+        }
+        return sites;
+      }()
+          .c_str());
+  return 0;
 }
 
 int ListGenerators(const Platform& platform) {
@@ -62,7 +116,12 @@ int Verify(const Platform& platform, const std::string& name, bool expect_verifi
 int VerifyAll(const Platform& platform, const icarus::verifier::BatchOptions& options) {
   using icarus::verifier::Outcome;
   icarus::verifier::BatchVerifier batch(&platform);
-  icarus::verifier::BatchReport report = batch.VerifyEverything(options);
+  auto batch_report = batch.VerifyEverything(options);
+  if (!batch_report.ok()) {
+    std::fprintf(stderr, "%s\n", batch_report.status().message().c_str());
+    return 2;
+  }
+  const icarus::verifier::BatchReport& report = batch_report.value();
   std::printf("%s", report.RenderTable().c_str());
 
   // Deliberately-buggy study generators are expected to be refuted; anything
@@ -153,11 +212,20 @@ int Check(const std::string& path) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int Run(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
   }
   std::string cmd = argv[1];
+  if (cmd == "verify-all") {
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--help") == 0) {
+        return VerifyAllHelp();
+      }
+    }
+  }
   if (cmd == "check") {
     if (argc < 3) {
       return Usage();
@@ -188,6 +256,20 @@ int main(int argc, char** argv) {
       } else if (flag == "--serial") {
         options.jobs = 1;
         options.use_cache = false;
+      } else if (flag == "--max-decisions" && i + 1 < argc) {
+        options.solver_limits.max_decisions = std::atoll(argv[++i]);
+      } else if (flag == "--retries" && i + 1 < argc) {
+        options.retries = std::atoi(argv[++i]);
+      } else if (flag == "--journal" && i + 1 < argc) {
+        options.journal_path = argv[++i];
+      } else if (flag == "--resume" && i + 1 < argc) {
+        options.resume_path = argv[++i];
+      } else if (flag == "--fail" && i + 1 < argc) {
+        icarus::Status st = icarus::failpoint::Arm(argv[++i]);
+        if (!st.ok()) {
+          std::fprintf(stderr, "--fail: %s\n", st.message().c_str());
+          return 2;
+        }
       } else {
         std::fprintf(stderr, "unknown verify-all flag: %s\n", flag.c_str());
         return Usage();
@@ -212,4 +294,18 @@ int main(int argc, char** argv) {
     return EmitBoogie(*platform, name);
   }
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Last-resort containment: anything that escapes the per-generator
+  // boundaries (e.g. a fault injected outside a batch task) is reported as a
+  // tool failure, not a raw terminate.
+  try {
+    return Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "icarus: internal error: %s\n", e.what());
+    return 2;
+  }
 }
