@@ -9,19 +9,34 @@
 // prefixes share sub-queries) and contributes speedup on top of parallelism.
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "src/obs/json.h"
 #include "src/platform/platform.h"
+#include "src/support/str_util.h"
 #include "src/support/thread_pool.h"
 #include "src/verifier/batch_verifier.h"
 
-int main() {
+// Usage: bench_batch [--json PATH]
+// --json writes one {name, mean_ms, median_ms, stddev_ms, runs} entry per
+// configuration (single run each, so mean == median and stddev is 0).
+int main(int argc, char** argv) {
   using icarus::platform::Platform;
   using icarus::verifier::BatchOptions;
   using icarus::verifier::BatchReport;
   using icarus::verifier::BatchVerifier;
 
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_batch [--json PATH]\n");
+      return 1;
+    }
+  }
   auto loaded = Platform::Load();
   if (!loaded.ok()) {
     std::fprintf(stderr, "platform load failed: %s\n", loaded.status().message().c_str());
@@ -41,6 +56,9 @@ int main() {
   serial.use_cache = false;
   BatchReport base = batch.VerifyEverything(serial).take();
   std::printf("%-28s wall %7.3fs\n", "serial (1 job, no cache)", base.wall_seconds);
+  std::vector<icarus::obs::BenchEntry> entries;
+  entries.push_back(
+      {"serial_1job_nocache", base.wall_seconds * 1e3, base.wall_seconds * 1e3, 0.0, 1});
 
   struct Config {
     const char* label;
@@ -73,6 +91,8 @@ int main() {
     double speedup = report.wall_seconds > 0 ? base.wall_seconds / report.wall_seconds : 0.0;
     std::printf("%-28s wall %7.3fs   speedup %5.2fx   %s\n", config.label, report.wall_seconds,
                 speedup, report.cache.ToString().c_str());
+    entries.push_back({icarus::StrFormat("%djobs_cache", config.jobs),
+                       report.wall_seconds * 1e3, report.wall_seconds * 1e3, 0.0, 1});
     if (config.jobs == 4 && speedup >= 2.0) {
       speedup_ok = true;
     }
@@ -90,6 +110,14 @@ int main() {
     // waived (verdict determinism and cache behaviour are still enforced).
     std::printf(">=2x speedup at 4 jobs: waived (single-core machine)\n");
     speedup_ok = true;
+  }
+  if (!json_path.empty()) {
+    icarus::Status st = icarus::obs::WriteBenchJson(json_path, "bench_batch", entries);
+    if (!st.ok()) {
+      std::fprintf(stderr, "--json: %s\n", st.message().c_str());
+      return 1;
+    }
+    std::printf("json written to %s\n", json_path.c_str());
   }
   return verdicts_match && speedup_ok && cache_hits_seen ? 0 : 1;
 }

@@ -7,12 +7,28 @@
 // relative ordering and the universal success, not wall-clock parity).
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "src/obs/json.h"
 #include "src/platform/platform.h"
 #include "src/verifier/verifier.h"
 
-int main() {
+// Usage: bench_fig12 [--json PATH]
+// --json writes one {name, mean_ms, median_ms, stddev_ms, runs} entry per
+// generator for machine consumption (regression tracking across commits).
+int main(int argc, char** argv) {
   using icarus::platform::Platform;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_fig12 [--json PATH]\n");
+      return 1;
+    }
+  }
   auto loaded = Platform::Load();
   if (!loaded.ok()) {
     std::fprintf(stderr, "platform load failed: %s\n", loaded.status().message().c_str());
@@ -23,14 +39,16 @@ int main() {
 
   std::printf("Figure 12: CacheIR code-generators ported into Icarus and verified\n");
   std::printf("(10 runs per generator; times in seconds)\n\n");
-  std::printf("%-22s %-22s %9s %10s %10s %8s\n", "Operation", "Code Generator", "Total LOC",
-              "Mean (s)", "Sigma (s)", "Verdict");
-  std::printf("%s\n", std::string(86, '-').c_str());
+  std::printf("%-22s %-22s %9s %10s %10s %10s %8s\n", "Operation", "Code Generator", "Total LOC",
+              "Mean (s)", "P90 (s)", "Sigma (s)", "Verdict");
+  std::printf("%s\n", std::string(97, '-').c_str());
 
+  constexpr int kRuns = 10;
   bool all_verified = true;
+  std::vector<icarus::obs::BenchEntry> entries;
   for (const auto& info : icarus::platform::Fig12Generators()) {
     icarus::verifier::VerifyOptions options;
-    options.runs = 10;
+    options.runs = kRuns;
     options.build_cfa = false;
     auto report = verifier.Verify(info.function, options);
     if (!report.ok()) {
@@ -39,10 +57,21 @@ int main() {
     }
     const auto& r = report.value();
     all_verified = all_verified && r.verified;
-    std::printf("%-22s %-22s %9d %10.4f %10.4f %8s\n", info.operation, info.name, r.total_loc,
-                r.timing.mean, r.timing.stddev, r.verified ? "OK" : "FAIL");
+    std::printf("%-22s %-22s %9d %10.4f %10.4f %10.4f %8s\n", info.operation, info.name,
+                r.total_loc, r.timing.mean, r.timing.p90, r.timing.stddev,
+                r.verified ? "OK" : "FAIL");
+    entries.push_back({info.function, r.timing.mean * 1e3, r.timing.median * 1e3,
+                       r.timing.stddev * 1e3, kRuns});
   }
   std::printf("\nAll 21 generators verified: %s\n", all_verified ? "yes" : "NO");
   std::printf("(paper: all 21 verify, in under a minute each, typically under 4s)\n");
+  if (!json_path.empty()) {
+    icarus::Status st = icarus::obs::WriteBenchJson(json_path, "bench_fig12", entries);
+    if (!st.ok()) {
+      std::fprintf(stderr, "--json: %s\n", st.message().c_str());
+      return 1;
+    }
+    std::printf("json written to %s\n", json_path.c_str());
+  }
   return all_verified ? 0 : 1;
 }

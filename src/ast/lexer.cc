@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <map>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/support/str_util.h"
 
 namespace icarus::ast {
@@ -266,6 +268,7 @@ Token Lexer::Next() {
 }
 
 std::vector<Token> Lexer::LexAll() {
+  obs::ScopedSpan span("frontend.lex");
   std::vector<Token> out;
   while (true) {
     Token t = Next();
@@ -274,6 +277,11 @@ std::vector<Token> Lexer::LexAll() {
     if (done) {
       break;
     }
+  }
+  if (obs::Enabled()) {
+    static obs::Counter* tokens = obs::Registry::Global().GetCounter(
+        "icarus_frontend_tokens_total", "Tokens produced by the lexer (including EOF/error)");
+    tokens->Add(static_cast<int64_t>(out.size()));
   }
   return out;
 }

@@ -3,6 +3,8 @@
 #include <memory>
 
 #include "src/ast/lexer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/support/str_util.h"
 
 namespace icarus::ast {
@@ -620,8 +622,20 @@ class ParserImpl {
 }  // namespace
 
 Status Parser::ParseInto(Module* module, std::string_view source) {
+  obs::ScopedSpan span("frontend.parse");
   ParserImpl impl(module, source);
-  return impl.Run();
+  Status status = impl.Run();
+  if (obs::Enabled()) {
+    static obs::Counter* parses = obs::Registry::Global().GetCounter(
+        "icarus_frontend_parses_total", "Modules run through Parser::ParseInto");
+    parses->Add(1);
+    if (!status.ok()) {
+      static obs::Counter* errors = obs::Registry::Global().GetCounter(
+          "icarus_frontend_parse_errors_total", "Parses that returned an error status");
+      errors->Add(1);
+    }
+  }
+  return status;
 }
 
 }  // namespace icarus::ast

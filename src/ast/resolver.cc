@@ -4,6 +4,8 @@
 #include <set>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/support/str_util.h"
 
 namespace icarus::ast {
@@ -695,8 +697,20 @@ class ResolverImpl {
 }  // namespace
 
 Status Resolve(Module* module) {
+  obs::ScopedSpan span("frontend.resolve");
   ResolverImpl impl(module);
-  return impl.Run();
+  Status status = impl.Run();
+  if (obs::Enabled()) {
+    static obs::Counter* resolves = obs::Registry::Global().GetCounter(
+        "icarus_frontend_resolves_total", "Modules run through ast::Resolve");
+    resolves->Add(1);
+    if (!status.ok()) {
+      static obs::Counter* errors = obs::Registry::Global().GetCounter(
+          "icarus_frontend_resolve_errors_total", "Resolves that returned an error status");
+      errors->Add(1);
+    }
+  }
+  return status;
 }
 
 }  // namespace icarus::ast

@@ -2,9 +2,29 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/support/str_util.h"
 
 namespace icarus::cfa {
+
+namespace {
+
+// Graphviz double-quoted strings treat `"` and `\` specially; op names come
+// from user-supplied generator sources, so escape rather than trust them.
+std::string EscapeDotLabel(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
 
 int Cfa::NodeFor(const ast::OpDecl* op, const ast::Stmt* emit_site, int source_index,
                  const ast::OpDecl* source_op) {
@@ -79,12 +99,12 @@ std::string Cfa::ToDot() const {
   int cluster = 0;
   for (const auto& [source_op, members] : groups) {
     if (source_op != nullptr) {
-      out += StrCat("  subgraph cluster_", cluster++, " {\n    label=\"", source_op->name,
-                    "\";\n    style=rounded;\n");
+      out += StrCat("  subgraph cluster_", cluster++, " {\n    label=\"",
+                    EscapeDotLabel(source_op->name), "\";\n    style=rounded;\n");
     }
     for (const Node* node : members) {
       out += StrCat(source_op != nullptr ? "    " : "  ", "n", node->id, " [label=\"",
-                    node->op->name, "\"];\n");
+                    EscapeDotLabel(node->op->name), "\"];\n");
     }
     if (source_op != nullptr) {
       out += "  }\n";
@@ -115,6 +135,7 @@ std::string Cfa::Summary() const {
 }
 
 StatusOr<Cfa> CfaBuilder::Build(const meta::MetaStub& stub) {
+  obs::ScopedSpan span("cfa.build", stub.generator != nullptr ? stub.generator->name : "");
   Cfa cfa;
   // Which target ops can end the stub (their interpreter callback reaches
   // MASM::returnFromStub)?
@@ -236,6 +257,17 @@ StatusOr<Cfa> CfaBuilder::Build(const meta::MetaStub& stub) {
     if (buffer_size == 0) {
       cfa.AddEdge(kEntry, kExit);
     }
+  }
+  if (obs::Enabled()) {
+    static obs::Counter* states = obs::Registry::Global().GetCounter(
+        "icarus_cfa_states_total", "Automaton states produced across CFA builds");
+    static obs::Counter* transitions = obs::Registry::Global().GetCounter(
+        "icarus_cfa_transitions_total", "Automaton transitions produced across CFA builds");
+    static obs::Counter* abstract_paths = obs::Registry::Global().GetCounter(
+        "icarus_cfa_abstract_paths_total", "Abstract paths explored while building CFAs");
+    states->Add(cfa.num_nodes());
+    transitions->Add(cfa.num_edges());
+    abstract_paths->Add(paths);
   }
   return cfa;
 }

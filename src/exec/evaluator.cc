@@ -3,6 +3,7 @@
 #include "src/ast/printer.h"
 #include "src/support/failpoint.h"
 #include "src/support/str_util.h"
+#include "src/support/timing.h"
 
 namespace icarus::exec {
 
@@ -101,7 +102,10 @@ bool EvalContext::PathFeasible() {
   solver.set_cache(solver_cache_);
   // Feasibility only needs the verdict; skipping the model keeps cache
   // entries for these queries cheap to produce.
+  WallTimer solve_timer;
   sym::SolveResult r = solver.Solve(path_condition_, /*want_model=*/false);
+  solver_seconds_ += solve_timer.ElapsedSeconds();
+  solver_decisions_ += solver.stats().decisions;
   if (r.verdict == sym::Verdict::kUnknown) {
     // Conservative: keep exploring (cannot prove infeasibility), but record
     // that this path's verdict rests on an undecided query.
@@ -124,7 +128,10 @@ bool EvalContext::CheckAssert(sym::ExprRef cond, const std::string& what,
   ++solver_queries_;
   sym::Solver solver(solver_limits_);
   solver.set_cache(solver_cache_);
+  WallTimer solve_timer;
   sym::SolveResult r = solver.Solve(query);
+  solver_seconds_ += solve_timer.ElapsedSeconds();
+  solver_decisions_ += solver.stats().decisions;
   if (r.verdict == sym::Verdict::kUnsat) {
     // The assertion holds on every model of this path; keep it as a lemma.
     Assume(cond);

@@ -259,6 +259,11 @@ class EvalContext {
   // Queries on this path that degraded to kUnknown (budget exhausted). A
   // nonzero count means the path's verdict is inconclusive, not proven.
   int64_t solver_unknowns() const { return solver_unknowns_; }
+  // Wall-clock seconds and DPLL decisions spent inside solver queries issued
+  // by this context. Accumulated unconditionally (two cheap reads per query)
+  // so per-verdict cost attribution works without the metrics registry.
+  double solver_seconds() const { return solver_seconds_; }
+  int64_t solver_decisions() const { return solver_decisions_; }
 
   // Opaque user pointer for host bindings (the VM installs its runtime here).
   void* host_data = nullptr;
@@ -293,6 +298,8 @@ class EvalContext {
   int64_t steps_ = 0;
   int64_t solver_queries_ = 0;
   int64_t solver_unknowns_ = 0;
+  double solver_seconds_ = 0.0;
+  int64_t solver_decisions_ = 0;
   sym::SolverCache* solver_cache_ = nullptr;
   sym::Solver::Limits solver_limits_;
   bool abstract_mode_ = false;

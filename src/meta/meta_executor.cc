@@ -1,5 +1,9 @@
 #include "src/meta/meta_executor.h"
 
+#include <algorithm>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/support/str_util.h"
 #include "src/support/timing.h"
 
@@ -143,29 +147,45 @@ MetaResult MetaExecutor::Run(const MetaStub& stub) {
     ++result.paths_explored;
 
     // Phase 1: generate.
+    WallTimer phase_timer;
     std::vector<exec::Value> args;
     Status input_status = stub.inputs(ctx, &args);
     ICARUS_REQUIRE_MSG(input_status.ok(), input_status.message());
     exec::Value decision;
     if (ctx.status() == PathStatus::kCompleted) {
+      obs::ScopedSpan gen_span("meta.generate", stub.generator->name);
       decision = exec::Evaluator::RunFunction(ctx, stub.generator, std::move(args));
     }
+    const double gen_wall = phase_timer.ElapsedSeconds();
+    const double gen_solve = ctx.solver_seconds();
 
     // Phase 2: interpret (only when a stub was attached).
+    phase_timer.Reset();
     if (ctx.status() == PathStatus::kCompleted) {
       ICARUS_REQUIRE_MSG(decision.term != nullptr, "generator returned no attach decision");
       ICARUS_REQUIRE_MSG(decision.term->kind == sym::Kind::kConstInt,
                          "AttachDecision must be path-concrete");
       if (decision.term->value == stub.attach_index) {
         ++result.paths_attached;
+        if (obs::Enabled()) {
+          static obs::Histogram* buffer_len = obs::Registry::Global().GetHistogram(
+              "icarus_meta_buffer_len", "Target-buffer length per attached path");
+          buffer_len->Observe(static_cast<double>(ctx.emits().target.size()));
+        }
         Status bound = ctx.emits().CheckAllBound();
         if (!bound.ok()) {
           ctx.FailPath(bound.message(), stub.generator->name, 0);
         } else {
+          obs::ScopedSpan interp_span("meta.interpret", stub.generator->name);
           RunInterpreterPhase(ctx, stub);
         }
       }
     }
+    const double path_solve = ctx.solver_seconds();
+    result.gen_seconds += std::max(0.0, gen_wall - gen_solve);
+    result.interp_seconds += std::max(0.0, phase_timer.ElapsedSeconds() - (path_solve - gen_solve));
+    result.solve_seconds += path_solve;
+    result.solver_decisions += ctx.solver_decisions();
 
     // Collect the outcome.
     switch (ctx.status()) {
@@ -207,6 +227,7 @@ MetaResult MetaExecutor::Run(const MetaStub& stub) {
     }
     result.solver_queries += ctx.solver_queries();
 
+    result.paths_forked += static_cast<int>(ctx.pending_alternatives().size());
     for (const std::vector<bool>& alt : ctx.pending_alternatives()) {
       worklist.push_back(alt);
     }
@@ -214,6 +235,23 @@ MetaResult MetaExecutor::Run(const MetaStub& stub) {
 
   result.verified = result.violations.empty() && !result.inconclusive;
   result.seconds = timer.ElapsedSeconds();
+  if (obs::Enabled()) {
+    static obs::Counter* explored = obs::Registry::Global().GetCounter(
+        "icarus_meta_paths_explored_total", "Meta-execution paths explored");
+    static obs::Counter* forked = obs::Registry::Global().GetCounter(
+        "icarus_meta_paths_forked_total", "Alternative paths enqueued by symbolic branches");
+    static obs::Counter* infeasible = obs::Registry::Global().GetCounter(
+        "icarus_meta_paths_infeasible_total", "Paths pruned as infeasible");
+    static obs::Counter* attached = obs::Registry::Global().GetCounter(
+        "icarus_meta_paths_attached_total", "Paths on which a stub attached");
+    static obs::Counter* limited = obs::Registry::Global().GetCounter(
+        "icarus_meta_paths_limited_total", "Paths abandoned on a resource limit");
+    explored->Add(result.paths_explored);
+    forked->Add(result.paths_forked);
+    infeasible->Add(result.paths_infeasible);
+    attached->Add(result.paths_attached);
+    limited->Add(result.paths_limited);
+  }
   return result;
 }
 

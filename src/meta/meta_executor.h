@@ -65,8 +65,18 @@ struct MetaResult {
   int paths_infeasible = 0;
   int paths_attached = 0;  // Paths on which a stub was attached.
   int paths_limited = 0;   // Paths abandoned on a resource limit.
+  int paths_forked = 0;    // Alternatives enqueued by symbolic branches.
   int64_t solver_queries = 0;
   double seconds = 0.0;
+  // Per-stage cost attribution. The phase walls are *exclusive* of solver
+  // time (which is reported separately in solve_seconds), so the three stage
+  // numbers partition the work even though solver queries are issued from
+  // inside both phases. They need not sum to `seconds`: worklist bookkeeping
+  // and outcome collection are deliberately unattributed.
+  double gen_seconds = 0.0;      // Phase 1 (generate), minus solver time.
+  double interp_seconds = 0.0;   // Phase 2 (interpret), minus solver time.
+  double solve_seconds = 0.0;    // Wall time inside Solver::Solve.
+  int64_t solver_decisions = 0;  // DPLL decisions across all queries.
   std::string Summary() const;
 };
 

@@ -1,0 +1,153 @@
+#include "src/obs/json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "src/support/check.h"
+#include "src/support/str_util.h"
+
+namespace icarus::obs {
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (first_in_container_.empty()) {
+    return;  // Top-level value.
+  }
+  if (!first_in_container_.back()) {
+    out_.push_back(',');
+  }
+  first_in_container_.back() = false;
+}
+
+void JsonWriter::AppendEscaped(std::string_view s) {
+  out_.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out_ += StrFormat("\\u%04x", static_cast<unsigned char>(c));
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  first_in_container_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  ICARUS_REQUIRE(!first_in_container_.empty());
+  first_in_container_.pop_back();
+  out_.push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  first_in_container_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  ICARUS_REQUIRE(!first_in_container_.empty());
+  first_in_container_.pop_back();
+  out_.push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  ICARUS_REQUIRE(!first_in_container_.empty());
+  if (!first_in_container_.back()) {
+    out_.push_back(',');
+  }
+  first_in_container_.back() = false;
+  AppendEscaped(key);
+  out_.push_back(':');
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  AppendEscaped(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += StrFormat("%lld", static_cast<long long>(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+  } else {
+    out_ += StrFormat("%.17g", value);
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+Status WriteBenchJson(const std::string& path, std::string_view bench_name,
+                      const std::vector<BenchEntry>& entries) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String(bench_name);
+  w.Key("entries").BeginArray();
+  for (const BenchEntry& e : entries) {
+    w.BeginObject();
+    w.Key("name").String(e.name);
+    w.Key("mean_ms").Double(e.mean_ms);
+    w.Key("median_ms").Double(e.median_ms);
+    w.Key("stddev_ms").Double(e.stddev_ms);
+    w.Key("runs").Int(e.runs);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Error(
+        StrCat("cannot open '", path, "' for bench JSON: ", std::strerror(errno)));
+  }
+  const std::string& doc = w.str();
+  size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  int newline = std::fputc('\n', f);
+  int closed = std::fclose(f);
+  if (written != doc.size() || newline == EOF || closed != 0) {
+    return Status::Error(StrCat("short write to bench JSON '", path, "'"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace icarus::obs

@@ -7,8 +7,31 @@
 
 namespace icarus {
 
+double Percentile(const std::vector<double>& sorted_samples, double q) {
+  if (sorted_samples.empty()) {
+    return 0.0;
+  }
+  if (q <= 0.0) {
+    return sorted_samples.front();
+  }
+  if (q >= 1.0) {
+    return sorted_samples.back();
+  }
+  // Nearest-rank: ceil(q * n) - 1, clamped into range.
+  size_t n = sorted_samples.size();
+  size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) {
+    rank = 1;
+  }
+  if (rank > n) {
+    rank = n;
+  }
+  return sorted_samples[rank - 1];
+}
+
 SampleStats ComputeStats(std::vector<double> samples) {
   SampleStats stats;
+  // Empty-sample guard: every field stays 0; no division by n below.
   if (samples.empty()) {
     return stats;
   }
@@ -32,6 +55,9 @@ SampleStats ComputeStats(std::vector<double> samples) {
   }
   // Sample standard deviation, matching how benchmark tables usually report σ.
   stats.stddev = (n > 1) ? std::sqrt(var / static_cast<double>(n - 1)) : 0.0;
+  stats.p50 = Percentile(samples, 0.50);
+  stats.p90 = Percentile(samples, 0.90);
+  stats.p99 = Percentile(samples, 0.99);
   return stats;
 }
 

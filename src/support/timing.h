@@ -22,16 +22,26 @@ class WallTimer {
   Clock::time_point start_;
 };
 
-// Summary statistics over a sample of measurements.
+// Summary statistics over a sample of measurements. All fields are 0 for an
+// empty sample (ComputeStats never divides by a zero count).
 struct SampleStats {
   double mean = 0.0;
   double median = 0.0;
   double stddev = 0.0;
   double min = 0.0;
   double max = 0.0;
+  // Tail percentiles (nearest-rank over the sorted sample; for even counts
+  // p50 is the lower middle element, while `median` interpolates).
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
 };
 
 SampleStats ComputeStats(std::vector<double> samples);
+
+// Nearest-rank percentile of an ascending-sorted sample; `q` in [0, 1].
+// Returns 0 for an empty sample rather than indexing out of bounds.
+double Percentile(const std::vector<double>& sorted_samples, double q);
 
 }  // namespace icarus
 

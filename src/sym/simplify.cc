@@ -5,6 +5,7 @@
 // condition and the matching assertion usually become the *same node*, which
 // lets the solver discharge them propositionally.
 
+#include "src/obs/metrics.h"
 #include "src/support/check.h"
 #include "src/sym/expr.h"
 
@@ -19,18 +20,32 @@ bool BothConstInt(ExprRef a, ExprRef b) {
   return a->kind == Kind::kConstInt && b->kind == Kind::kConstInt;
 }
 
+// Every simplified return funnels through Rw() so the observability layer
+// can count how many rewrites actually fired (vs. terms materialized); with
+// obs disabled this is the usual single relaxed load, folded to nothing when
+// compiled out.
+ExprRef Rw(ExprRef rewritten) {
+  if (obs::Enabled()) {
+    static obs::Counter* rewrites = obs::Registry::Global().GetCounter(
+        "icarus_simplify_rewrites_total",
+        "Constant folds and identity rewrites fired by term smart constructors");
+    rewrites->Add(1);
+  }
+  return rewritten;
+}
+
 }  // namespace
 
 ExprRef ExprPool::Add(ExprRef a, ExprRef b) {
   ICARUS_REQUIRE(a->sort == Sort::kInt && b->sort == Sort::kInt);
   if (BothConstInt(a, b)) {
-    return IntConst(a->value + b->value);
+    return Rw(IntConst(a->value + b->value));
   }
   if (a->kind == Kind::kConstInt && a->value == 0) {
-    return b;
+    return Rw(b);
   }
   if (b->kind == Kind::kConstInt && b->value == 0) {
-    return a;
+    return Rw(a);
   }
   // Canonicalize constant to the right for better sharing.
   if (a->kind == Kind::kConstInt) {
@@ -42,13 +57,13 @@ ExprRef ExprPool::Add(ExprRef a, ExprRef b) {
 ExprRef ExprPool::Sub(ExprRef a, ExprRef b) {
   ICARUS_REQUIRE(a->sort == Sort::kInt && b->sort == Sort::kInt);
   if (BothConstInt(a, b)) {
-    return IntConst(a->value - b->value);
+    return Rw(IntConst(a->value - b->value));
   }
   if (b->kind == Kind::kConstInt && b->value == 0) {
-    return a;
+    return Rw(a);
   }
   if (a == b) {
-    return IntConst(0);
+    return Rw(IntConst(0));
   }
   return MakeBinary(Kind::kSub, Sort::kInt, a, b);
 }
@@ -56,17 +71,17 @@ ExprRef ExprPool::Sub(ExprRef a, ExprRef b) {
 ExprRef ExprPool::Mul(ExprRef a, ExprRef b) {
   ICARUS_REQUIRE(a->sort == Sort::kInt && b->sort == Sort::kInt);
   if (BothConstInt(a, b)) {
-    return IntConst(a->value * b->value);
+    return Rw(IntConst(a->value * b->value));
   }
   if (a->kind == Kind::kConstInt) {
     std::swap(a, b);
   }
   if (b->kind == Kind::kConstInt) {
     if (b->value == 0) {
-      return IntConst(0);
+      return Rw(IntConst(0));
     }
     if (b->value == 1) {
-      return a;
+      return Rw(a);
     }
   }
   return MakeBinary(Kind::kMul, Sort::kInt, a, b);
@@ -76,10 +91,10 @@ ExprRef ExprPool::Div(ExprRef a, ExprRef b) {
   ICARUS_REQUIRE(a->sort == Sort::kInt && b->sort == Sort::kInt);
   // Fold only when well-defined (nonzero divisor, no INT64_MIN/-1 overflow).
   if (BothConstInt(a, b) && b->value != 0 && !(a->value == INT64_MIN && b->value == -1)) {
-    return IntConst(a->value / b->value);
+    return Rw(IntConst(a->value / b->value));
   }
   if (b->kind == Kind::kConstInt && b->value == 1) {
-    return a;
+    return Rw(a);
   }
   return MakeBinary(Kind::kDiv, Sort::kInt, a, b);
 }
@@ -87,7 +102,7 @@ ExprRef ExprPool::Div(ExprRef a, ExprRef b) {
 ExprRef ExprPool::Mod(ExprRef a, ExprRef b) {
   ICARUS_REQUIRE(a->sort == Sort::kInt && b->sort == Sort::kInt);
   if (BothConstInt(a, b) && b->value != 0 && !(a->value == INT64_MIN && b->value == -1)) {
-    return IntConst(a->value % b->value);
+    return Rw(IntConst(a->value % b->value));
   }
   return MakeBinary(Kind::kMod, Sort::kInt, a, b);
 }
@@ -95,10 +110,10 @@ ExprRef ExprPool::Mod(ExprRef a, ExprRef b) {
 ExprRef ExprPool::Neg(ExprRef a) {
   ICARUS_REQUIRE(a->sort == Sort::kInt);
   if (a->kind == Kind::kConstInt) {
-    return IntConst(-a->value);
+    return Rw(IntConst(-a->value));
   }
   if (a->kind == Kind::kNeg) {
-    return a->args[0];
+    return Rw(a->args[0]);
   }
   Node n;
   n.kind = Kind::kNeg;
@@ -109,56 +124,56 @@ ExprRef ExprPool::Neg(ExprRef a) {
 
 ExprRef ExprPool::BitAnd(ExprRef a, ExprRef b) {
   if (BothConstInt(a, b)) {
-    return IntConst(a->value & b->value);
+    return Rw(IntConst(a->value & b->value));
   }
   if (a->kind == Kind::kConstInt) {
     std::swap(a, b);
   }
   if (b->kind == Kind::kConstInt && b->value == 0) {
-    return IntConst(0);
+    return Rw(IntConst(0));
   }
   if (a == b) {
-    return a;
+    return Rw(a);
   }
   return MakeBinary(Kind::kBitAnd, Sort::kInt, a, b);
 }
 
 ExprRef ExprPool::BitOr(ExprRef a, ExprRef b) {
   if (BothConstInt(a, b)) {
-    return IntConst(a->value | b->value);
+    return Rw(IntConst(a->value | b->value));
   }
   if (a->kind == Kind::kConstInt) {
     std::swap(a, b);
   }
   if (b->kind == Kind::kConstInt && b->value == 0) {
-    return a;
+    return Rw(a);
   }
   if (a == b) {
-    return a;
+    return Rw(a);
   }
   return MakeBinary(Kind::kBitOr, Sort::kInt, a, b);
 }
 
 ExprRef ExprPool::BitXor(ExprRef a, ExprRef b) {
   if (BothConstInt(a, b)) {
-    return IntConst(a->value ^ b->value);
+    return Rw(IntConst(a->value ^ b->value));
   }
   if (a == b) {
-    return IntConst(0);
+    return Rw(IntConst(0));
   }
   return MakeBinary(Kind::kBitXor, Sort::kInt, a, b);
 }
 
 ExprRef ExprPool::Shl(ExprRef a, ExprRef b) {
   if (BothConstInt(a, b) && b->value >= 0 && b->value < 63) {
-    return IntConst(static_cast<int64_t>(static_cast<uint64_t>(a->value) << b->value));
+    return Rw(IntConst(static_cast<int64_t>(static_cast<uint64_t>(a->value) << b->value)));
   }
   return MakeBinary(Kind::kShl, Sort::kInt, a, b);
 }
 
 ExprRef ExprPool::Shr(ExprRef a, ExprRef b) {
   if (BothConstInt(a, b) && b->value >= 0 && b->value < 64) {
-    return IntConst(a->value >> b->value);
+    return Rw(IntConst(a->value >> b->value));
   }
   return MakeBinary(Kind::kShr, Sort::kInt, a, b);
 }
@@ -166,24 +181,24 @@ ExprRef ExprPool::Shr(ExprRef a, ExprRef b) {
 ExprRef ExprPool::Eq(ExprRef a, ExprRef b) {
   ICARUS_REQUIRE(a->sort == b->sort);
   if (a == b) {
-    return True();
+    return Rw(True());
   }
   if (a->IsConst() && b->IsConst()) {
-    return BoolConst(a->value == b->value);
+    return Rw(BoolConst(a->value == b->value));
   }
   if (a->sort == Sort::kBool) {
     // Boolean equality: fold against constants to keep the skeleton simple.
     if (a->IsTrue()) {
-      return b;
+      return Rw(b);
     }
     if (b->IsTrue()) {
-      return a;
+      return Rw(a);
     }
     if (a->IsFalse()) {
-      return Not(b);
+      return Rw(Not(b));
     }
     if (b->IsFalse()) {
-      return Not(a);
+      return Rw(Not(a));
     }
     // Lower bool==bool to connectives so the solver's atom layer only ever
     // sees equalities between first-order terms.
@@ -199,10 +214,10 @@ ExprRef ExprPool::Eq(ExprRef a, ExprRef b) {
 ExprRef ExprPool::Lt(ExprRef a, ExprRef b) {
   ICARUS_REQUIRE(a->sort == Sort::kInt && b->sort == Sort::kInt);
   if (BothConstInt(a, b)) {
-    return BoolConst(a->value < b->value);
+    return Rw(BoolConst(a->value < b->value));
   }
   if (a == b) {
-    return False();
+    return Rw(False());
   }
   return MakeBinary(Kind::kLt, Sort::kBool, a, b);
 }
@@ -210,10 +225,10 @@ ExprRef ExprPool::Lt(ExprRef a, ExprRef b) {
 ExprRef ExprPool::Le(ExprRef a, ExprRef b) {
   ICARUS_REQUIRE(a->sort == Sort::kInt && b->sort == Sort::kInt);
   if (BothConstInt(a, b)) {
-    return BoolConst(a->value <= b->value);
+    return Rw(BoolConst(a->value <= b->value));
   }
   if (a == b) {
-    return True();
+    return Rw(True());
   }
   return MakeBinary(Kind::kLe, Sort::kBool, a, b);
 }
@@ -221,10 +236,10 @@ ExprRef ExprPool::Le(ExprRef a, ExprRef b) {
 ExprRef ExprPool::Not(ExprRef a) {
   ICARUS_REQUIRE(a->sort == Sort::kBool);
   if (a->IsConst()) {
-    return BoolConst(a->value == 0);
+    return Rw(BoolConst(a->value == 0));
   }
   if (a->kind == Kind::kNot) {
-    return a->args[0];
+    return Rw(a->args[0]);
   }
   Node n;
   n.kind = Kind::kNot;
@@ -236,16 +251,16 @@ ExprRef ExprPool::Not(ExprRef a) {
 ExprRef ExprPool::And(ExprRef a, ExprRef b) {
   ICARUS_REQUIRE(a->sort == Sort::kBool && b->sort == Sort::kBool);
   if (a->IsFalse() || b->IsFalse()) {
-    return False();
+    return Rw(False());
   }
   if (a->IsTrue()) {
-    return b;
+    return Rw(b);
   }
   if (b->IsTrue()) {
-    return a;
+    return Rw(a);
   }
   if (a == b) {
-    return a;
+    return Rw(a);
   }
   if (a->id > b->id) {
     std::swap(a, b);
@@ -256,16 +271,16 @@ ExprRef ExprPool::And(ExprRef a, ExprRef b) {
 ExprRef ExprPool::Or(ExprRef a, ExprRef b) {
   ICARUS_REQUIRE(a->sort == Sort::kBool && b->sort == Sort::kBool);
   if (a->IsTrue() || b->IsTrue()) {
-    return True();
+    return Rw(True());
   }
   if (a->IsFalse()) {
-    return b;
+    return Rw(b);
   }
   if (b->IsFalse()) {
-    return a;
+    return Rw(a);
   }
   if (a == b) {
-    return a;
+    return Rw(a);
   }
   if (a->id > b->id) {
     std::swap(a, b);

@@ -6,6 +6,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "src/obs/metrics.h"
 #include "src/support/check.h"
 #include "src/support/failpoint.h"
 #include "src/support/str_util.h"
@@ -797,6 +798,60 @@ bool Model::Lookup(ExprRef term, int64_t* out) const {
 
 SolveResult Solver::Solve(const std::vector<ExprRef>& conjuncts, bool want_model) {
   ++stats_.queries;
+  if (!obs::Enabled()) {
+    return SolveImpl(conjuncts, want_model);
+  }
+  // Observability wrapper: per-outcome latency histograms plus counters for
+  // queries, decisions, theory propagations, and cache traffic. Deltas are
+  // measured against this solver's own stats so re-used Solver instances
+  // attribute each query exactly once.
+  static auto& reg = obs::Registry::Global();
+  static obs::Counter* queries =
+      reg.GetCounter("icarus_solver_queries_total", "Satisfiability queries issued");
+  static obs::Counter* decisions =
+      reg.GetCounter("icarus_solver_decisions_total", "DPLL case-split decisions");
+  static obs::Counter* propagations = reg.GetCounter("icarus_solver_propagations_total",
+                                                     "Theory checks (congruence + intervals)");
+  static obs::Counter* exhausted = reg.GetCounter("icarus_solver_budget_exhausted_total",
+                                                  "Queries degraded to UNKNOWN by a budget");
+  static obs::Counter* cache_hits =
+      reg.GetCounter("icarus_solver_cache_hits_total", "Queries answered by a decisive entry");
+  static obs::Counter* cache_negative = reg.GetCounter(
+      "icarus_solver_cache_negative_hits_total", "Queries answered by a kUnknown entry");
+  static obs::Counter* cache_misses =
+      reg.GetCounter("icarus_solver_cache_misses_total", "Cache consulted, no usable entry");
+  static obs::Histogram* lat_sat = reg.GetHistogram("icarus_solver_latency_sat_seconds",
+                                                    "Per-query wall clock, SAT outcomes");
+  static obs::Histogram* lat_unsat = reg.GetHistogram("icarus_solver_latency_unsat_seconds",
+                                                      "Per-query wall clock, UNSAT outcomes");
+  static obs::Histogram* lat_unknown = reg.GetHistogram(
+      "icarus_solver_latency_unknown_seconds", "Per-query wall clock, UNKNOWN outcomes");
+  const SolverStats before = stats_;
+  WallTimer timer;
+  SolveResult result = SolveImpl(conjuncts, want_model);
+  double seconds = timer.ElapsedSeconds();
+  queries->Add(1);
+  decisions->Add(stats_.decisions - before.decisions);
+  propagations->Add(stats_.theory_checks - before.theory_checks);
+  exhausted->Add(stats_.budget_exhausted - before.budget_exhausted);
+  cache_hits->Add(stats_.cache_hits - before.cache_hits);
+  cache_negative->Add(stats_.cache_negative_hits - before.cache_negative_hits);
+  cache_misses->Add(stats_.cache_misses - before.cache_misses);
+  switch (result.verdict) {
+    case Verdict::kSat:
+      lat_sat->Observe(seconds);
+      break;
+    case Verdict::kUnsat:
+      lat_unsat->Observe(seconds);
+      break;
+    case Verdict::kUnknown:
+      lat_unknown->Observe(seconds);
+      break;
+  }
+  return result;
+}
+
+SolveResult Solver::SolveImpl(const std::vector<ExprRef>& conjuncts, bool want_model) {
   if (cache_ == nullptr) {
     return SolveUncached(conjuncts);
   }

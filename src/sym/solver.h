@@ -111,6 +111,8 @@ class Solver {
   const SolverStats& stats() const { return stats_; }
 
  private:
+  // Solve() minus the observability wrapper (cache consult + DPLL search).
+  SolveResult SolveImpl(const std::vector<ExprRef>& conjuncts, bool want_model);
   SolveResult SolveUncached(const std::vector<ExprRef>& conjuncts);
 
   Limits limits_;

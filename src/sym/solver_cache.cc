@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
 #include "src/support/failpoint.h"
 #include "src/support/str_util.h"
 
@@ -85,17 +86,26 @@ void SolverCache::Insert(const QueryKey& key, Entry entry) {
   // unlocked (lock_guard unlocks on unwind), never with a torn entry.
   ICARUS_FAILPOINT(failpoint::kCacheInsert);
   auto [it, inserted] = shard.map.emplace(key, entry);
+  bool upgraded = false;
   if (inserted) {
     insertions_.fetch_add(1, std::memory_order_relaxed);
   } else if (entry.has_model && !it->second.has_model) {
     // Upgrade: a model-needing caller re-solved a query originally cached by
     // a verdict-only caller; keep the richer entry.
     it->second = std::move(entry);
+    upgraded = true;
   } else if (entry.verdict != Verdict::kUnknown && it->second.verdict == Verdict::kUnknown) {
     // Upgrade: a decisive verdict (typically from a retry with a larger
     // budget) replaces a resident negative entry, so siblings stop paying
     // for the original budget blow-out.
     it->second = std::move(entry);
+    upgraded = true;
+  }
+  if (upgraded && obs::Enabled()) {
+    static obs::Counter* upgrades = obs::Registry::Global().GetCounter(
+        "icarus_solver_cache_upgrades_total",
+        "Resident entries upgraded in place (model added or kUnknown resolved)");
+    upgrades->Add(1);
   }
 }
 

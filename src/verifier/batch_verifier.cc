@@ -8,6 +8,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/support/str_util.h"
 #include "src/support/thread_pool.h"
 #include "src/support/timing.h"
@@ -93,6 +95,66 @@ std::string BatchReport::RenderTable() const {
   return out;
 }
 
+std::string BatchReport::RenderStatsTable() const {
+  std::string out =
+      StrFormat("%-44s %-15s %9s %8s %8s %9s %9s %10s %8s %-9s\n", "Generator", "Outcome",
+                "Total(s)", "CFA(s)", "Gen(s)", "Interp(s)", "Solve(s)", "Decisions", "Queries",
+                "Dominant");
+  const size_t rule_width = 140;
+  out += std::string(rule_width, '-') + "\n";
+  double sum_cfa = 0.0;
+  double sum_gen = 0.0;
+  double sum_interp = 0.0;
+  double sum_solve = 0.0;
+  long long sum_decisions = 0;
+  long long sum_queries = 0;
+  std::vector<double> row_seconds;
+  for (const GeneratorResult& r : results) {
+    if (r.outcome == Outcome::kError || r.outcome == Outcome::kInternalError) {
+      out += StrFormat("%-44s %-15s %s\n", r.generator.c_str(), OutcomeName(r.outcome),
+                       r.error.c_str());
+      continue;
+    }
+    const double cfa = r.report.cfa_seconds;
+    const double gen = r.report.meta.gen_seconds;
+    const double interp = r.report.meta.interp_seconds;
+    const double solve = r.report.meta.solve_seconds;
+    const char* dominant = "-";
+    double best = 0.0;
+    const std::pair<const char*, double> stages[] = {
+        {"cfa", cfa}, {"generate", gen}, {"interpret", interp}, {"solve", solve}};
+    for (const auto& [name, seconds] : stages) {
+      if (seconds > best) {
+        best = seconds;
+        dominant = name;
+      }
+    }
+    out += StrFormat("%-44s %-15s %9.4f %8.4f %8.4f %9.4f %9.4f %10lld %8lld %-9s\n",
+                     r.generator.c_str(), OutcomeName(r.outcome), r.seconds, cfa, gen, interp,
+                     solve, static_cast<long long>(r.report.meta.solver_decisions),
+                     static_cast<long long>(r.report.meta.solver_queries), dominant);
+    sum_cfa += cfa;
+    sum_gen += gen;
+    sum_interp += interp;
+    sum_solve += solve;
+    sum_decisions += r.report.meta.solver_decisions;
+    sum_queries += r.report.meta.solver_queries;
+    row_seconds.push_back(r.seconds);
+  }
+  out += std::string(rule_width, '-') + "\n";
+  double sum_total = 0.0;
+  for (double s : row_seconds) {
+    sum_total += s;
+  }
+  out += StrFormat("%-44s %-15s %9.4f %8.4f %8.4f %9.4f %9.4f %10lld %8lld\n", "TOTAL", "",
+                   sum_total, sum_cfa, sum_gen, sum_interp, sum_solve, sum_decisions,
+                   sum_queries);
+  SampleStats stats = ComputeStats(row_seconds);
+  out += StrFormat("per-generator seconds: p50 %.4f, p90 %.4f, p99 %.4f (n=%d)\n", stats.p50,
+                   stats.p90, stats.p99, static_cast<int>(row_seconds.size()));
+  return out;
+}
+
 namespace {
 
 GeneratorResult VerifyOne(const platform::Platform* platform, const std::string& name,
@@ -152,6 +214,11 @@ GeneratorResult VerifyOne(const platform::Platform* platform, const std::string&
     // smaller budget left as cached negatives. A zero decision budget (a
     // starved configuration) escalates to 1 so doubling has something to
     // work with; a zero wall budget means unlimited and stays zero.
+    if (obs::Enabled()) {
+      static obs::Counter* retries = obs::Registry::Global().GetCounter(
+          "icarus_batch_retries_total", "Budget-escalation retries consumed");
+      retries->Add(1);
+    }
     limits.max_decisions = limits.max_decisions > 0 ? limits.max_decisions * 2 : 1;
     limits.max_seconds *= 2.0;
     limits.ignore_cached_unknowns = true;
@@ -160,6 +227,12 @@ GeneratorResult VerifyOne(const platform::Platform* platform, const std::string&
 
 // Containment boundary helper: the INTERNAL_ERROR row for a task that threw.
 GeneratorResult ContainedCrash(const std::string& name, const char* what) {
+  if (obs::Enabled()) {
+    static obs::Counter* contained = obs::Registry::Global().GetCounter(
+        "icarus_batch_contained_faults_total",
+        "Task crashes contained to an INTERNAL_ERROR row");
+    contained->Add(1);
+  }
   GeneratorResult result;
   result.generator = name;
   result.outcome = Outcome::kInternalError;
@@ -177,6 +250,11 @@ JournalRecord ToRecord(const GeneratorResult& r, const std::string& fingerprint)
   rec.queries = r.report.meta.solver_queries;
   rec.seconds = r.seconds;
   rec.attempts = r.attempts;
+  rec.cfa_s = r.report.cfa_seconds;
+  rec.gen_s = r.report.meta.gen_seconds;
+  rec.interp_s = r.report.meta.interp_seconds;
+  rec.solve_s = r.report.meta.solve_seconds;
+  rec.decisions = r.report.meta.solver_decisions;
   return rec;
 }
 
@@ -194,6 +272,11 @@ StatusOr<GeneratorResult> FromRecord(const JournalRecord& rec) {
   r.report.generator = rec.generator;
   r.report.meta.paths_explored = static_cast<int>(rec.paths);
   r.report.meta.solver_queries = rec.queries;
+  r.report.cfa_seconds = rec.cfa_s;
+  r.report.meta.gen_seconds = rec.gen_s;
+  r.report.meta.interp_seconds = rec.interp_s;
+  r.report.meta.solve_seconds = rec.solve_s;
+  r.report.meta.solver_decisions = rec.decisions;
   return r;
 }
 
@@ -258,9 +341,17 @@ StatusOr<BatchReport> BatchVerifier::VerifyAll(const std::vector<std::string>& g
         continue;
       }
       submitted.push_back(i);
+      WallTimer queue_timer;  // Copied into the task: measures submit → start.
       futures.push_back(pool.Submit([this, &generator_names, &options, &report, &cancel,
                                      &journal, &journal_mu, &journal_status, &fingerprint,
-                                     cache_ptr = cache.get(), i]() {
+                                     cache_ptr = cache.get(), queue_timer, i]() {
+        if (obs::Enabled()) {
+          static obs::Histogram* queue_wait = obs::Registry::Global().GetHistogram(
+              "icarus_batch_queue_wait_seconds",
+              "Delay between task submission and a worker picking it up");
+          queue_wait->Observe(queue_timer.ElapsedSeconds());
+        }
+        obs::ScopedSpan task_span("batch.task", generator_names[i]);
         // Containment boundary: a crash in one generator's pipeline (an
         // ICARUS_REQUIRE/ICARUS_BUG violation or an injected fault) becomes
         // that generator's INTERNAL_ERROR row; the fleet keeps running.

@@ -95,6 +95,12 @@ struct BatchReport {
   int TotalRetries() const;
   // Multi-line summary table: one row per generator plus aggregate footer.
   std::string RenderTable() const;
+  // Cost-attribution table: per-generator stage breakdown (CFA build,
+  // generate, interpret, solver), decision/query counts, and the dominant
+  // stage, plus aggregate and tail-percentile footers. Stage columns are 0
+  // for rows resumed from a schema-1 journal (written before the breakdown
+  // existed).
+  std::string RenderStatsTable() const;
 };
 
 // Drives Verifier over many generators concurrently. Thread-compatible: use

@@ -193,6 +193,16 @@ class LineParser {
       rec->seconds = v;
     } else if (key == "attempts") {
       rec->attempts = static_cast<int>(v);
+    } else if (key == "cfa_s") {
+      rec->cfa_s = v;
+    } else if (key == "gen_s") {
+      rec->gen_s = v;
+    } else if (key == "interp_s") {
+      rec->interp_s = v;
+    } else if (key == "solve_s") {
+      rec->solve_s = v;
+    } else if (key == "decisions") {
+      rec->decisions = static_cast<int64_t>(v);
     }
     return true;
   }
@@ -214,9 +224,12 @@ std::string JournalRecord::ToJsonLine() const {
   AppendJsonString(error, &out);
   // %.17g round-trips a double exactly through strtod, so a resumed run
   // re-renders the same "%.4f" table cell the interrupted run printed.
-  out += StrFormat(",\"paths\":%lld,\"queries\":%lld,\"seconds\":%.17g,\"attempts\":%d}",
+  out += StrFormat(",\"paths\":%lld,\"queries\":%lld,\"seconds\":%.17g,\"attempts\":%d",
                    static_cast<long long>(paths), static_cast<long long>(queries), seconds,
                    attempts);
+  out += StrFormat(
+      ",\"cfa_s\":%.17g,\"gen_s\":%.17g,\"interp_s\":%.17g,\"solve_s\":%.17g,\"decisions\":%lld}",
+      cfa_s, gen_s, interp_s, solve_s, static_cast<long long>(decisions));
   return out;
 }
 
@@ -279,10 +292,11 @@ StatusOr<std::vector<JournalRecord>> ReadJournal(const std::string& path,
       pending_error = StrCat("journal '", path, "' line ", line_no, " is malformed");
       continue;
     }
-    if (rec.schema != kJournalSchemaVersion) {
+    if (rec.schema < kJournalMinReadSchemaVersion || rec.schema > kJournalSchemaVersion) {
       return Status::Error(StrFormat("journal '%s' line %d has schema version %d; this build "
-                                     "reads version %d",
-                                     path.c_str(), line_no, rec.schema, kJournalSchemaVersion));
+                                     "reads versions %d through %d",
+                                     path.c_str(), line_no, rec.schema,
+                                     kJournalMinReadSchemaVersion, kJournalSchemaVersion));
     }
     if (!expect_platform.empty() && rec.platform != expect_platform) {
       return Status::Error(StrFormat(

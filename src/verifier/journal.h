@@ -26,7 +26,14 @@
 namespace icarus::verifier {
 
 // Journal wire format version; bump on any incompatible record change.
-inline constexpr int kJournalSchemaVersion = 1;
+// History:
+//   1 — initial format (outcome, paths, queries, seconds, attempts).
+//   2 — adds the per-stage cost breakdown (cfa_s/gen_s/interp_s/solve_s/
+//       decisions). Strictly additive: a v1 record reads fine with the new
+//       fields defaulting to 0, so resuming a v1 journal is still allowed
+//       (kJournalMinReadSchemaVersion); its rows simply render zero costs.
+inline constexpr int kJournalSchemaVersion = 2;
+inline constexpr int kJournalMinReadSchemaVersion = 1;
 
 // One journaled verdict. `outcome` is the OutcomeName() token (e.g.
 // "VERIFIED", "INTERNAL_ERROR") — a string, not the enum, so the journal
@@ -41,6 +48,12 @@ struct JournalRecord {
   int64_t queries = 0;    // meta.solver_queries.
   double seconds = 0.0;   // Per-task wall clock.
   int attempts = 1;       // 1 + retries consumed.
+  // Per-stage cost attribution (schema >= 2; 0 in resumed v1 rows).
+  double cfa_s = 0.0;      // CFA construction.
+  double gen_s = 0.0;      // Meta-execution phase 1, minus solver time.
+  double interp_s = 0.0;   // Meta-execution phase 2, minus solver time.
+  double solve_s = 0.0;    // Wall time inside Solver::Solve.
+  int64_t decisions = 0;   // DPLL decisions across the task's queries.
 
   // Renders the record as a single JSON line (no trailing newline).
   std::string ToJsonLine() const;

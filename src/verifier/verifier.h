@@ -44,6 +44,7 @@ struct VerifyReport {
   bool inconclusive = false;  // A resource budget/deadline prevented a verdict.
   meta::MetaResult meta;      // Result of the last run.
   SampleStats timing;         // Seconds per run (meta-execution only).
+  double cfa_seconds = 0.0;   // Wall time of the CFA build (0 when skipped).
   int total_loc = 0;          // Figure 12-style LoC attribution.
   int cfa_nodes = 0;
   int cfa_edges = 0;

@@ -40,6 +40,11 @@ JournalRecord MakeRecord(const std::string& generator, const std::string& outcom
   rec.queries = 345;
   rec.seconds = 0.0625;
   rec.attempts = 2;
+  rec.cfa_s = 0.001;
+  rec.gen_s = 0.0155;
+  rec.interp_s = 0.008;
+  rec.solve_s = 0.031;
+  rec.decisions = 9876;
   return rec;
 }
 
@@ -66,6 +71,47 @@ TEST(Journal, RecordRoundTripsThroughDisk) {
   EXPECT_EQ(r.queries, 345);
   EXPECT_DOUBLE_EQ(r.seconds, 0.0625);
   EXPECT_EQ(r.attempts, 2);
+  EXPECT_DOUBLE_EQ(r.cfa_s, 0.001);
+  EXPECT_DOUBLE_EQ(r.gen_s, 0.0155);
+  EXPECT_DOUBLE_EQ(r.interp_s, 0.008);
+  EXPECT_DOUBLE_EQ(r.solve_s, 0.031);
+  EXPECT_EQ(r.decisions, 9876);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, SchemaOneRecordStillReads) {
+  // A journal written before the schema-2 cost-attribution fields existed
+  // must still resume: the missing fields default to zero.
+  std::string path = TempPath("schema1.jsonl");
+  WriteFile(path,
+            "{\"schema\":1,\"platform\":\"cafef00dcafef00d\",\"generator\":\"g\","
+            "\"outcome\":\"VERIFIED\",\"error\":\"\",\"paths\":3,\"queries\":7,"
+            "\"seconds\":0.5,\"attempts\":1}\n");
+  StatusOr<std::vector<JournalRecord>> read = ReadJournal(path, "cafef00dcafef00d");
+  ASSERT_TRUE(read.ok()) << read.status().message();
+  ASSERT_EQ(read.value().size(), 1u);
+  const JournalRecord& r = read.value()[0];
+  EXPECT_EQ(r.schema, 1);
+  EXPECT_EQ(r.generator, "g");
+  EXPECT_EQ(r.paths, 3);
+  EXPECT_DOUBLE_EQ(r.seconds, 0.5);
+  EXPECT_DOUBLE_EQ(r.cfa_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.gen_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.interp_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.solve_s, 0.0);
+  EXPECT_EQ(r.decisions, 0);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, SchemaZeroIsRefused) {
+  std::string path = TempPath("schema0.jsonl");
+  JournalRecord rec = MakeRecord("g", "VERIFIED");
+  rec.schema = 0;
+  WriteFile(path, rec.ToJsonLine() + "\n");
+  StatusOr<std::vector<JournalRecord>> read = ReadJournal(path, "");
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().message().find("schema version"), std::string::npos)
+      << read.status().message();
   std::remove(path.c_str());
 }
 

@@ -8,6 +8,9 @@
 //                                    See `icarus verify-all --help` for the
 //                                    flag list and exit codes.
 //   icarus cfa <generator>           Print the CFA as GraphViz DOT.
+//   icarus cfa-dot <generator> [out.dot]
+//                                    Same rendering, written to a file (or
+//                                    stdout when no path is given).
 //   icarus boogie <generator>        Emit the (DCE-sliced) Boogie meta-stub.
 //   icarus extract                   Print the extracted C++ header.
 //   icarus check <file.icarus>       Parse+resolve extra DSL source against
@@ -25,6 +28,8 @@
 #include "src/boogie/boogie_lower.h"
 #include "src/boogie/boogie_printer.h"
 #include "src/extract/cpp_backend.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/support/failpoint.h"
 #include "src/verifier/batch_verifier.h"
 #include "src/verifier/verifier.h"
@@ -35,10 +40,26 @@ using icarus::platform::Platform;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: icarus <list|verify <gen>|verify-all [flags]|cfa <gen>|boogie <gen>|"
-               "extract|check <file>>\n"
+               "usage: icarus <list|verify <gen>|verify-all [flags]|cfa <gen>|"
+               "cfa-dot <gen> [out.dot]|boogie <gen>|extract|check <file>>\n"
                "       icarus verify-all --help   for batch flags and exit codes\n");
   return 2;
+}
+
+// Observability outputs requested on the verify-all command line.
+struct ObsFlags {
+  bool stats = false;         // Render the per-generator cost table.
+  std::string trace_path;     // Chrome trace_event JSON (Perfetto-loadable).
+  std::string metrics_path;   // Metrics export; .json suffix selects JSON.
+};
+
+int WriteTextFile(const std::string& path, const std::string& contents, const char* what) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out || !(out << contents) || !out.flush()) {
+    std::fprintf(stderr, "cannot write %s to '%s'\n", what, path.c_str());
+    return 2;
+  }
+  return 0;
 }
 
 int VerifyAllHelp() {
@@ -59,6 +80,15 @@ int VerifyAllHelp() {
       "  --retries N     Re-verify budget-inconclusive generators up to N extra\n"
       "                  times, doubling the per-query solver budgets each time\n"
       "                  (default: 0). Deadline-cancelled tasks are not retried.\n"
+      "  --stats         Also render the cost-attribution table: per-generator\n"
+      "                  stage breakdown (CFA / generate / interpret / solve),\n"
+      "                  decision counts, and the dominant stage.\n"
+      "  --trace FILE    Record pipeline spans and write a Chrome trace_event\n"
+      "                  JSON file (load in Perfetto or chrome://tracing).\n"
+      "                  Enables the observability runtime for the run.\n"
+      "  --metrics FILE  Export the metrics registry after the run: Prometheus\n"
+      "                  text format, or JSON when FILE ends in .json. Enables\n"
+      "                  the observability runtime for the run.\n"
       "  --journal FILE  Append each verdict to FILE as a JSON line, fsync'd as\n"
       "                  it lands, so a killed run can be resumed.\n"
       "  --resume FILE   Skip generators FILE already holds a verdict for,\n"
@@ -113,7 +143,8 @@ int Verify(const Platform& platform, const std::string& name, bool expect_verifi
   return report.value().verified == expect_verified ? 0 : 1;
 }
 
-int VerifyAll(const Platform& platform, const icarus::verifier::BatchOptions& options) {
+int VerifyAll(const Platform& platform, const icarus::verifier::BatchOptions& options,
+              const ObsFlags& obs_flags) {
   using icarus::verifier::Outcome;
   icarus::verifier::BatchVerifier batch(&platform);
   auto batch_report = batch.VerifyEverything(options);
@@ -123,6 +154,28 @@ int VerifyAll(const Platform& platform, const icarus::verifier::BatchOptions& op
   }
   const icarus::verifier::BatchReport& report = batch_report.value();
   std::printf("%s", report.RenderTable().c_str());
+  if (obs_flags.stats) {
+    std::printf("\n%s", report.RenderStatsTable().c_str());
+  }
+  if (!obs_flags.trace_path.empty()) {
+    icarus::obs::StopTracing();
+    int rc = WriteTextFile(obs_flags.trace_path, icarus::obs::ExportChromeTrace(), "trace");
+    if (rc != 0) {
+      return rc;
+    }
+    std::printf("trace written to %s\n", obs_flags.trace_path.c_str());
+  }
+  if (!obs_flags.metrics_path.empty()) {
+    const std::string& path = obs_flags.metrics_path;
+    bool json = path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+    const auto& registry = icarus::obs::Registry::Global();
+    int rc = WriteTextFile(path, json ? registry.RenderJson() : registry.RenderPrometheus(),
+                           "metrics");
+    if (rc != 0) {
+      return rc;
+    }
+    std::printf("metrics written to %s\n", path.c_str());
+  }
 
   // Deliberately-buggy study generators are expected to be refuted; anything
   // else must verify. Inconclusive results (deadline/budget) are reported but
@@ -141,7 +194,7 @@ int VerifyAll(const Platform& platform, const icarus::verifier::BatchOptions& op
   return failures == 0 ? 0 : 1;
 }
 
-int DumpCfa(const Platform& platform, const std::string& name) {
+int DumpCfa(const Platform& platform, const std::string& name, const std::string& out_path) {
   auto stub = platform.MakeMetaStub(name);
   if (!stub.ok()) {
     std::fprintf(stderr, "%s\n", stub.status().message().c_str());
@@ -153,8 +206,16 @@ int DumpCfa(const Platform& platform, const std::string& name) {
     std::fprintf(stderr, "%s\n", automaton.status().message().c_str());
     return 2;
   }
-  std::printf("%s", automaton.value().ToDot().c_str());
-  return 0;
+  std::string dot = automaton.value().ToDot();
+  if (out_path.empty()) {
+    std::printf("%s", dot.c_str());
+    return 0;
+  }
+  int rc = WriteTextFile(out_path, dot, "CFA DOT");
+  if (rc == 0) {
+    std::printf("%s: %s\n", out_path.c_str(), automaton.value().Summary().c_str());
+  }
+  return rc;
 }
 
 int EmitBoogie(const Platform& platform, const std::string& name) {
@@ -225,6 +286,21 @@ int Run(int argc, char** argv) {
         return VerifyAllHelp();
       }
     }
+    // Enable observability before Platform::Load() so the frontend stages
+    // (lex/parse/resolve) land in the trace and metrics too.
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--trace") == 0 || std::strcmp(argv[i], "--metrics") == 0) {
+        icarus::obs::SetEnabled(true);
+        if (!icarus::obs::kCompiledIn) {
+          std::fprintf(stderr,
+                       "note: this build has ICARUS_ENABLE_OBS=OFF; --trace/--metrics "
+                       "outputs will be empty\n");
+        }
+      }
+      if (std::strcmp(argv[i], "--trace") == 0) {
+        icarus::obs::StartTracing();
+      }
+    }
   }
   if (cmd == "check") {
     if (argc < 3) {
@@ -243,9 +319,16 @@ int Run(int argc, char** argv) {
   }
   if (cmd == "verify-all") {
     icarus::verifier::BatchOptions options;
+    ObsFlags obs_flags;
     for (int i = 2; i < argc; ++i) {
       std::string flag = argv[i];
-      if (flag == "--jobs" && i + 1 < argc) {
+      if (flag == "--stats") {
+        obs_flags.stats = true;
+      } else if (flag == "--trace" && i + 1 < argc) {
+        obs_flags.trace_path = argv[++i];
+      } else if (flag == "--metrics" && i + 1 < argc) {
+        obs_flags.metrics_path = argv[++i];
+      } else if (flag == "--jobs" && i + 1 < argc) {
         options.jobs = std::atoi(argv[++i]);
       } else if (flag == "--cache") {
         options.use_cache = true;
@@ -275,7 +358,7 @@ int Run(int argc, char** argv) {
         return Usage();
       }
     }
-    return VerifyAll(*platform, options);
+    return VerifyAll(*platform, options, obs_flags);
   }
   if (cmd == "extract") {
     return Extract(*platform);
@@ -288,7 +371,10 @@ int Run(int argc, char** argv) {
     return Verify(*platform, name, name.find("_buggy") == std::string::npos);
   }
   if (cmd == "cfa") {
-    return DumpCfa(*platform, name);
+    return DumpCfa(*platform, name, "");
+  }
+  if (cmd == "cfa-dot") {
+    return DumpCfa(*platform, name, argc > 3 ? argv[3] : "");
   }
   if (cmd == "boogie") {
     return EmitBoogie(*platform, name);
