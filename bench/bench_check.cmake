@@ -1,0 +1,24 @@
+# Runs one bench binary and gates its result against the checked-in baseline.
+# Invoked by the `bench_check` ctest entry (see bench/CMakeLists.txt) as:
+#   cmake -DBENCH_EXE=... -DCOMPARE_EXE=... -DBASELINE=... -DCURRENT_JSON=...
+#         -DTHRESHOLD=... -P bench_check.cmake
+# Split into a script because a ctest COMMAND is a single process and the gate
+# is two: produce a fresh measurement, then compare it.
+
+execute_process(
+  COMMAND "${BENCH_EXE}" --json "${CURRENT_JSON}"
+  RESULT_VARIABLE bench_rc
+  OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench-check: bench run failed (exit ${bench_rc})")
+endif()
+
+execute_process(
+  COMMAND "${COMPARE_EXE}" --baseline "${BASELINE}" --current "${CURRENT_JSON}"
+          --threshold "${THRESHOLD}"
+  RESULT_VARIABLE compare_rc)
+if(NOT compare_rc EQUAL 0)
+  message(FATAL_ERROR "bench-check: regression gate failed (exit ${compare_rc}); "
+                      "if the slowdown is intended, regenerate the baseline with "
+                      "the bench-baseline target")
+endif()

@@ -135,6 +135,9 @@ bool EvalContext::CheckAssert(sym::ExprRef cond, const std::string& what,
   if (r.verdict == sym::Verdict::kUnsat) {
     // The assertion holds on every model of this path; keep it as a lemma.
     Assume(cond);
+    if (recording_) {
+      LogEvent(StrCat("assert ok: ", what, "  [", fn, ":", line, "]"));
+    }
     return true;
   }
   if (r.verdict == sym::Verdict::kUnknown) {
@@ -143,6 +146,9 @@ bool EvalContext::CheckAssert(sym::ExprRef cond, const std::string& what,
     violation_.message = StrCat("solver limit while checking: ", what);
     violation_.function = fn;
     violation_.line = line;
+    if (recording_) {
+      LogEvent(StrCat("assert UNDECIDED (solver budget): ", what, "  [", fn, ":", line, "]"));
+    }
     return false;
   }
   status_ = PathStatus::kViolation;
@@ -150,6 +156,14 @@ bool EvalContext::CheckAssert(sym::ExprRef cond, const std::string& what,
   violation_.function = fn;
   violation_.line = line;
   violation_.model = r.model.ToString();
+  // Witnesses are the structured form of the model: one concrete value per
+  // named variable, pool-independent, consumed by counterexample reports
+  // and the replay harness. The model was rendered above, so moving out of
+  // it is safe.
+  violation_.witnesses = std::move(r.model.witnesses);
+  if (recording_) {
+    LogEvent(StrCat("assert VIOLATED: ", what, "  [", fn, ":", line, "]"));
+  }
   return false;
 }
 
@@ -161,6 +175,9 @@ void EvalContext::FailPath(const std::string& message, const std::string& fn, in
   violation_.message = message;
   violation_.function = fn;
   violation_.line = line;
+  if (recording_) {
+    LogEvent(StrCat("path FAILED: ", message, "  [", fn, ":", line, "]"));
+  }
 }
 
 bool EvalContext::DecideBranch(sym::ExprRef cond, bool* ok) {
@@ -186,11 +203,29 @@ bool EvalContext::DecideBranch(sym::ExprRef cond, bool* ok) {
   }
   ++trace_pos_;
   Assume(decision ? cond : pool_->Not(cond));
+  if (recording_) {
+    LogEvent(StrCat("branch #", trace_pos_ - 1, " ", decision ? "TRUE " : "FALSE", ": ",
+                    sym::ExprPool::ToString(cond)));
+  }
   if (!PathFeasible()) {
     status_ = PathStatus::kInfeasible;
+    if (recording_) {
+      LogEvent("path condition became infeasible; path abandoned");
+    }
     *ok = false;
   }
   return decision;
+}
+
+void EvalContext::LogEvent(std::string event) {
+  if (!recording_) {
+    return;
+  }
+  if (events_.size() >= max_events_) {
+    ++events_dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
 }
 
 bool EvalContext::CountStep() {
@@ -206,6 +241,7 @@ bool EvalContext::CountStep() {
 
 Value EvalContext::FreshValue(const std::string& prefix, const ast::Type* type) {
   sym::ExprRef term = pool_->Fresh(prefix, SortOf(type));
+  symbolic_inputs_.emplace_back(term->name, term);
   if (type->kind() == ast::TypeKind::kEnum) {
     int n = static_cast<int>(type->enum_decl()->members.size());
     Assume(pool_->Le(pool_->IntConst(0), term));
@@ -391,8 +427,18 @@ Flow ExecStmt(EvalContext& ctx, ExecEnv& env, const ast::Stmt& stmt) {
           instr.source_op = ctx.emits().source_trace.back().op;
           instr.source_index = static_cast<int>(ctx.emits().source_trace.size()) - 1;
         }
+        if (ctx.recording()) {
+          ctx.LogEvent(StrCat("emit target[", ctx.emits().target.size(), "]: ",
+                              instr.op->name, "  (compiling ",
+                              instr.source_op != nullptr ? instr.source_op->name : "<none>",
+                              ")"));
+        }
         ctx.emits().target.push_back(std::move(instr));
       } else {
+        if (ctx.recording()) {
+          ctx.LogEvent(StrCat("emit source[", ctx.emits().source_trace.size(), "]: ",
+                              instr.op->name));
+        }
         ctx.emits().source_trace.push_back(instr);
         if (ctx.source_hook() != nullptr) {
           Status st = ctx.source_hook()(ctx, ctx.emits().source_trace.back());

@@ -134,6 +134,23 @@ struct Violation {
   int line = 0;
   std::string model;                // Solver model (symbolic counterexamples).
   std::vector<std::string> notes;   // Extra context (machine state, buffers).
+
+  // --- Flight recorder ---
+  // Structured counterexample data captured on the failing path; always
+  // populated for symbolic violations (the data is cheap — the solver model
+  // and op-name copies), independent of the event log below.
+  std::vector<bool> decisions;               // Branch decisions of the path.
+  std::vector<sym::Witness> witnesses;       // Concrete witness values from
+                                             // the SAT model, per variable.
+  std::vector<std::string> symbolic_inputs;  // Fresh symbolic inputs created
+                                             // on the path (creation order).
+  std::vector<std::string> source_ops;       // Source-language ops emitted.
+  std::vector<std::string> target_ops;       // Target instruction buffer.
+  // Bounded per-path event log, captured only when the owning context has
+  // recording enabled (string rendering per event is not free). The first
+  // `events` up to the cap are kept; the rest are counted, not stored.
+  std::vector<std::string> events;
+  int64_t events_dropped = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -208,6 +225,9 @@ class EvalContext {
     status_ = PathStatus::kCompleted;
     violation_ = Violation{};
     steps_ = 0;
+    symbolic_inputs_.clear();
+    events_.clear();
+    events_dropped_ = 0;
   }
   const std::vector<bool>& trace() const { return trace_; }
   // Traces for the sibling branches discovered while running this path.
@@ -249,6 +269,26 @@ class EvalContext {
   // Fresh symbolic constant of the given DSL type, with enum-range
   // assumptions applied automatically.
   Value FreshValue(const std::string& prefix, const ast::Type* type);
+
+  // --- Flight recorder ---
+  // With recording on, the context keeps a bounded human-readable event log
+  // per path (branch decisions, emits, assertion checks). Off by default:
+  // rendering event strings costs time on every statement, so only the
+  // explain/record pipelines turn it on.
+  void set_recording(bool on) { recording_ = on; }
+  bool recording() const { return recording_; }
+  void set_max_events(size_t n) { max_events_ = n; }
+  // Appends one event line (recording only; over-cap events are counted).
+  void LogEvent(std::string event);
+  const std::vector<std::string>& events() const { return events_; }
+  int64_t events_dropped() const { return events_dropped_; }
+  // Fresh symbolic inputs created on this path, in creation order: the
+  // (name, term) pairs FreshValue handed out. Witness values from a SAT
+  // model are matched back to these names in counterexample reports, and
+  // the replay harness constrains exactly these terms.
+  const std::vector<std::pair<std::string, sym::ExprRef>>& symbolic_inputs() const {
+    return symbolic_inputs_;
+  }
 
   // Pretty renderer for violation reports.
   std::string RenderPathCondition() const;
@@ -303,6 +343,11 @@ class EvalContext {
   sym::SolverCache* solver_cache_ = nullptr;
   sym::Solver::Limits solver_limits_;
   bool abstract_mode_ = false;
+  bool recording_ = false;
+  size_t max_events_ = 256;
+  std::vector<std::string> events_;
+  int64_t events_dropped_ = 0;
+  std::vector<std::pair<std::string, sym::ExprRef>> symbolic_inputs_;
 };
 
 // ---------------------------------------------------------------------------

@@ -132,6 +132,8 @@ MetaResult MetaExecutor::Run(const MetaStub& stub) {
     exec::EvalContext ctx(module_, &pool, externs_, exec::Mode::kSymbolic);
     ctx.set_solver_cache(solver_cache_);
     ctx.set_solver_limits(solver_limits_);
+    ctx.set_recording(recording_);
+    ctx.set_max_events(static_cast<size_t>(limits_.max_path_events));
     ctx.StartPath(std::move(trace));
     ctx.set_source_emit_hook(
         [&stub](exec::EvalContext& hook_ctx, const exec::Instr& instr) -> Status {
@@ -205,7 +207,25 @@ MetaResult MetaExecutor::Run(const MetaStub& stub) {
       case PathStatus::kViolation: {
         if (static_cast<int>(result.violations.size()) < limits_.max_violations) {
           exec::Violation v = ctx.violation();
-          // Attach the emitted-stub shape for the report.
+          // Flight recorder: the structured counterexample. Branch decisions
+          // identify the path (replayable — path exploration is
+          // deterministic re-execution), the op sequences are the stub the
+          // path built, and the symbolic-input names anchor the witnesses
+          // already captured by CheckAssert to the values the replay harness
+          // must pin.
+          v.decisions = ctx.trace();
+          for (const exec::Instr& i : ctx.emits().source_trace) {
+            v.source_ops.push_back(i.op->name);
+          }
+          for (const exec::Instr& i : ctx.emits().target) {
+            v.target_ops.push_back(i.op->name);
+          }
+          for (const auto& [name, term] : ctx.symbolic_inputs()) {
+            v.symbolic_inputs.push_back(name);
+          }
+          v.events = ctx.events();
+          v.events_dropped = ctx.events_dropped();
+          // Attach the emitted-stub shape for the (legacy) textual report.
           std::vector<std::string> ops;
           for (const exec::Instr& i : ctx.emits().source_trace) {
             ops.push_back(i.op->name);

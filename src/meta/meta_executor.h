@@ -85,6 +85,7 @@ class MetaExecutor {
   struct Limits {
     int max_paths = 100000;
     int max_violations = 16;  // Stop collecting after this many.
+    int max_path_events = 256;  // Event-log cap per path (recording only).
   };
 
   MetaExecutor(const ast::Module* module, const exec::ExternRegistry* externs);
@@ -99,6 +100,12 @@ class MetaExecutor {
   // Cooperative cancellation: checked between paths; when it flips true the
   // run stops early and the result is marked cancelled + inconclusive.
   void set_cancel_flag(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+  // Flight recorder: with recording on, every path keeps a bounded event log
+  // (branch decisions, emits, assertion checks) that is attached to any
+  // Violation collected on that path. Structured counterexample data
+  // (decisions, op sequences, witnesses, symbolic inputs) is captured on
+  // violations regardless of this flag — only the event log costs extra.
+  void set_recording(bool on) { recording_ = on; }
 
   // Explores all paths of the meta-stub. `verified` is true iff every path
   // completed with no violations and no resource limits.
@@ -116,6 +123,7 @@ class MetaExecutor {
   sym::SolverCache* solver_cache_ = nullptr;
   sym::Solver::Limits solver_limits_;
   const std::atomic<bool>* cancel_ = nullptr;
+  bool recording_ = false;
 };
 
 }  // namespace icarus::meta

@@ -1,0 +1,163 @@
+#include "src/meta/path_recorder.h"
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "src/support/str_util.h"
+
+namespace icarus::meta {
+
+std::string_view WitnessBaseName(std::string_view name) {
+  size_t pos = name.rfind('#');
+  return pos == std::string_view::npos ? name : name.substr(0, pos);
+}
+
+std::string RenderDecisionString(const std::vector<bool>& decisions) {
+  std::string out;
+  out.reserve(decisions.size());
+  for (bool d : decisions) {
+    out.push_back(d ? 'T' : 'F');
+  }
+  return out;
+}
+
+namespace {
+
+// Groups `witnesses` by base name, preserving order within a group.
+std::map<std::string, std::deque<const sym::Witness*>, std::less<>> GroupWitnesses(
+    const std::vector<sym::Witness>& witnesses) {
+  std::map<std::string, std::deque<const sym::Witness*>, std::less<>> by_base;
+  for (const sym::Witness& w : witnesses) {
+    by_base[std::string(WitnessBaseName(w.name))].push_back(&w);
+  }
+  return by_base;
+}
+
+std::string RenderWitnessValue(const sym::Witness& w) {
+  switch (w.sort) {
+    case sym::Sort::kBool:
+      return w.value != 0 ? "true" : "false";
+    case sym::Sort::kInt:
+      return StrCat(w.value);
+    case sym::Sort::kTerm:
+      return StrCat("@", w.value, " (abstract individual)");
+  }
+  return StrCat(w.value);
+}
+
+}  // namespace
+
+std::string RenderWitnessSummary(const exec::Violation& v) {
+  std::vector<std::string> parts;
+  auto by_base = GroupWitnesses(v.witnesses);
+  for (const std::string& input : v.symbolic_inputs) {
+    auto it = by_base.find(WitnessBaseName(input));
+    if (it != by_base.end() && !it->second.empty()) {
+      const sym::Witness* w = it->second.front();
+      it->second.pop_front();
+      parts.push_back(StrCat(WitnessBaseName(input), " = ", RenderWitnessValue(*w)));
+    } else {
+      parts.push_back(StrCat(WitnessBaseName(input), " = unconstrained"));
+    }
+  }
+  return Join(parts, "; ");
+}
+
+std::string RenderCounterexample(const exec::Violation& v) {
+  std::string out = StrCat("counterexample: ", v.message, "\n");
+  out += StrCat("  at: ", v.function, ":", v.line, "\n");
+  if (!v.decisions.empty()) {
+    out += StrCat("  path decisions: ", RenderDecisionString(v.decisions), "  (",
+                  v.decisions.size(), " symbolic branches)\n");
+  }
+  if (!v.source_ops.empty()) {
+    out += StrCat("  source ops: ", Join(v.source_ops, " ; "), "\n");
+  }
+  if (!v.target_ops.empty()) {
+    out += StrCat("  target ops: ", Join(v.target_ops, " ; "), "\n");
+  }
+  if (!v.symbolic_inputs.empty()) {
+    out += "  witness values (symbolic inputs):\n";
+    auto by_base = GroupWitnesses(v.witnesses);
+    for (const std::string& input : v.symbolic_inputs) {
+      auto it = by_base.find(WitnessBaseName(input));
+      if (it != by_base.end() && !it->second.empty()) {
+        const sym::Witness* w = it->second.front();
+        it->second.pop_front();
+        out += StrCat("    ", WitnessBaseName(input), " = ", RenderWitnessValue(*w), "\n");
+      } else {
+        out += StrCat("    ", WitnessBaseName(input), " = unconstrained (any value)\n");
+      }
+    }
+  }
+  if (!v.events.empty()) {
+    out += StrCat("  event log (", v.events.size(), " events");
+    if (v.events_dropped > 0) {
+      out += StrCat(", ", v.events_dropped, " dropped past cap");
+    }
+    out += "):\n";
+    for (size_t i = 0; i < v.events.size(); ++i) {
+      out += StrCat("    ", i + 1, ". ", v.events[i], "\n");
+    }
+  }
+  return out;
+}
+
+ReplayOutcome ReplayWithWitnesses(const ast::Module* module,
+                                  const exec::ExternRegistry* externs,
+                                  const MetaStub& stub,
+                                  const exec::Violation& violation,
+                                  sym::SolverCache* cache) {
+  MetaStub pinned = stub;
+  pinned.inputs = [orig = stub.inputs, &violation](
+                      exec::EvalContext& ctx,
+                      std::vector<exec::Value>* args) -> Status {
+    Status st = orig(ctx, args);
+    if (!st.ok()) {
+      return st;
+    }
+    // Pin every input the original builder created to the counterexample's
+    // witness value. Fresh-counter suffixes differ between runs, so match by
+    // base name; repeated bases consume witnesses in creation order.
+    auto by_base = GroupWitnesses(violation.witnesses);
+    sym::ExprPool& pool = ctx.pool();
+    for (const auto& [name, term] : ctx.symbolic_inputs()) {
+      auto it = by_base.find(WitnessBaseName(name));
+      if (it == by_base.end() || it->second.empty()) {
+        continue;  // Unconstrained in the model: any value works.
+      }
+      const sym::Witness* w = it->second.front();
+      it->second.pop_front();
+      switch (w->sort) {
+        case sym::Sort::kInt:
+          ctx.Assume(pool.Eq(term, pool.IntConst(w->value)));
+          break;
+        case sym::Sort::kBool:
+          ctx.Assume(w->value != 0 ? term : pool.Not(term));
+          break;
+        case sym::Sort::kTerm:
+          // Abstract individuals have no concrete literal form; leave free.
+          break;
+      }
+    }
+    return Status::Ok();
+  };
+
+  MetaExecutor executor(module, externs);
+  executor.set_recording(true);
+  if (cache != nullptr) {
+    executor.set_solver_cache(cache);
+  }
+  ReplayOutcome outcome;
+  outcome.result = executor.Run(pinned);
+  for (const exec::Violation& v : outcome.result.violations) {
+    if (v.message == violation.message) {
+      outcome.reproduced = true;
+      break;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace icarus::meta

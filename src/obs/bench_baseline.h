@@ -1,0 +1,73 @@
+// Bench baseline store and regression comparison.
+//
+// The bench binaries emit machine-readable results via `--json`
+// (WriteBenchJson in json.h). This module reads those files back and
+// compares a current run against a checked-in baseline
+// (bench/baselines/*.json), flagging any entry whose time regressed by more
+// than a configurable threshold. `bench_compare` wraps it as a CLI and the
+// `bench-check` ctest target wires it into CI — the repo's perf trajectory
+// gate (ROADMAP "perf trajectory").
+//
+// Comparison is on median_ms (robust to a noisy outlier run on a loaded
+// machine), falling back to mean_ms for single-run benches that report no
+// median. Entries only in the current run ("added") or only in the baseline
+// ("removed") are reported but are not regressions: benches evolve.
+#ifndef ICARUS_OBS_BENCH_BASELINE_H_
+#define ICARUS_OBS_BENCH_BASELINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/support/status.h"
+
+namespace icarus::obs {
+
+// One parsed bench result file.
+struct BenchRun {
+  std::string bench;  // Bench binary name, e.g. "bench_fig12".
+  std::vector<BenchEntry> entries;
+};
+
+// Parses the exact shape WriteBenchJson emits:
+//   {"bench": <name>, "entries": [{"name", "mean_ms", "median_ms",
+//    "stddev_ms", "runs"}, ...]}
+// Unknown keys inside an entry are skipped (additive evolution, like the
+// journal); structural errors are reported with context.
+StatusOr<BenchRun> ParseBenchJson(std::string_view text);
+
+// Reads and parses a bench JSON file.
+StatusOr<BenchRun> ReadBenchJsonFile(const std::string& path);
+
+// Per-entry comparison outcome.
+struct BenchDelta {
+  std::string name;
+  double baseline_ms = 0.0;
+  double current_ms = 0.0;
+  double delta_pct = 0.0;  // (current - baseline) / baseline * 100.
+  bool regressed = false;  // delta_pct > threshold.
+};
+
+// Result of comparing a current run against a baseline.
+struct BenchComparison {
+  double threshold_pct = 0.0;
+  std::vector<BenchDelta> deltas;        // Entries present in both runs.
+  std::vector<std::string> added;        // Only in the current run.
+  std::vector<std::string> removed;      // Only in the baseline.
+  bool regressed = false;                // Any delta over threshold.
+
+  // Multi-line human-readable table with a PASS/FAIL verdict footer.
+  std::string Render() const;
+};
+
+// Compares entry-by-entry (matched by name). An entry regresses when its
+// time exceeds the baseline by more than `threshold_pct` percent. A
+// baseline time of 0 (degenerate) never flags, to avoid division blow-ups
+// on sub-resolution timings.
+BenchComparison CompareBenchRuns(const BenchRun& baseline, const BenchRun& current,
+                                 double threshold_pct);
+
+}  // namespace icarus::obs
+
+#endif  // ICARUS_OBS_BENCH_BASELINE_H_

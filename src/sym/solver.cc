@@ -764,10 +764,32 @@ void TheoryChecker::BuildModel(Model* model) {
     }
     chosen[cls] = v;
     model->terms.emplace_back(members.front(), v);
+    // Every named variable in the class gets a witness entry — not just the
+    // representative — so counterexample reports can show a concrete value
+    // for each symbolic input, independent of class structure.
+    for (ExprRef m : members) {
+      if (m->kind == Kind::kVar) {
+        model->witnesses.push_back(Witness{m->name, m->sort, v});
+      }
+    }
   }
 }
 
 }  // namespace
+
+std::string Witness::ToString() const {
+  switch (sort) {
+    case Sort::kBool:
+      return StrCat(name, " = ", value != 0 ? "true" : "false");
+    case Sort::kTerm:
+      // Uninterpreted individuals: the value is the abstract id of the
+      // congruence class the model placed the variable in.
+      return StrCat(name, " = @", value);
+    case Sort::kInt:
+      break;
+  }
+  return StrCat(name, " = ", value);
+}
 
 std::string Model::ToString() const {
   if (!rendered.empty()) {
@@ -790,6 +812,16 @@ bool Model::Lookup(ExprRef term, int64_t* out) const {
   for (const auto& [t, v] : terms) {
     if (t == term) {
       *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Model::LookupWitness(std::string_view name, int64_t* out) const {
+  for (const Witness& w : witnesses) {
+    if (w.name == name) {
+      *out = w.value;
       return true;
     }
   }
@@ -864,6 +896,7 @@ SolveResult Solver::SolveImpl(const std::vector<ExprRef>& conjuncts, bool want_m
     cached.verdict = entry->verdict;
     if (entry->verdict == Verdict::kSat && want_model) {
       cached.model.rendered = std::move(entry->model_text);
+      cached.model.witnesses = std::move(entry->witnesses);
     }
     if (entry->verdict == Verdict::kUnknown) {
       if (!limits_.ignore_cached_unknowns) {
@@ -888,6 +921,7 @@ SolveResult Solver::SolveImpl(const std::vector<ExprRef>& conjuncts, bool want_m
     // verdict-only callers (the entry can be upgraded later if needed).
     fresh.has_model = true;
     fresh.model_text = result.model.ToString();
+    fresh.witnesses = result.model.witnesses;
   }
   cache_->Insert(key, std::move(fresh));
   return result;
@@ -950,6 +984,13 @@ SolveResult Solver::SolveUncached(const std::vector<ExprRef>& conjuncts) {
       result.verdict = Verdict::kSat;
       result.model.atoms = literals;
       theory.BuildModel(&result.model);
+      // Boolean variables are atoms, not theory terms; record their truth
+      // values as witnesses alongside the integer/term class values.
+      for (const auto& [atom, truth] : literals) {
+        if (atom->kind == Kind::kVar && atom->sort == Sort::kBool) {
+          result.model.witnesses.push_back(Witness{atom->name, Sort::kBool, truth ? 1 : 0});
+        }
+      }
       return true;
     }
     for (Tri choice : {Tri::kTrue, Tri::kFalse}) {

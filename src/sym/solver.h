@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -38,12 +39,29 @@ enum class Verdict {
   kUnknown,  // Resource limits hit (decision or wall-clock budget).
 };
 
+// Concrete value assigned to one named symbolic variable by a satisfying
+// model. Witnesses are pool-independent (name + sort + value, no live
+// ExprRefs), so they survive the solver-result cache and the verdict journal
+// — this is the raw material of the flight recorder's counterexamples.
+struct Witness {
+  std::string name;       // Variable name, e.g. "gen_mode#3".
+  Sort sort = Sort::kInt;
+  int64_t value = 0;      // kBool: 0/1. kTerm: abstract individual id.
+
+  // Renders e.g. "gen_mode#3 = 1", "gen_ok#0 = true", "run_val#2 = @7".
+  std::string ToString() const;
+};
+
 // Satisfying assignment, for rendering counterexamples.
 struct Model {
   // Truth value per decided atom.
   std::vector<std::pair<ExprRef, bool>> atoms;
   // Concrete value per integer/term congruence-class representative.
   std::vector<std::pair<ExprRef, int64_t>> terms;
+  // Concrete value per named *variable* in the query (every kVar, not just
+  // class representatives). Populated on every kSat answer, restored intact
+  // from cached entries.
+  std::vector<Witness> witnesses;
   // Pre-rendered model text, set when the model was restored from the
   // solver-result cache (cached entries are pool-independent and carry no
   // live ExprRefs). When non-empty, ToString() returns it verbatim.
@@ -53,6 +71,8 @@ struct Model {
   std::string ToString() const;
   // Looks up the value assigned to `term`'s class, if any.
   bool Lookup(ExprRef term, int64_t* out) const;
+  // Looks up a witness by variable name (works on cache-restored models too).
+  bool LookupWitness(std::string_view name, int64_t* out) const;
 };
 
 // Per-Solver counters; cache counters cover only this solver's lookups (the

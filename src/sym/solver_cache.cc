@@ -49,9 +49,10 @@ double SolverCacheStats::HitRate() const {
 }
 
 std::string SolverCacheStats::ToString() const {
-  return StrFormat("cache: %lld hits, %lld negative hits, %lld misses (%.1f%% hit rate)",
-                   static_cast<long long>(hits), static_cast<long long>(negative_hits),
-                   static_cast<long long>(misses), HitRate() * 100.0);
+  return StrFormat(
+      "cache: %lld hits, %lld negative hits, %lld misses (%.1f%% hit rate), %lld upgrades",
+      static_cast<long long>(hits), static_cast<long long>(negative_hits),
+      static_cast<long long>(misses), HitRate() * 100.0, static_cast<long long>(upgrades));
 }
 
 SolverCache::SolverCache() = default;
@@ -101,11 +102,14 @@ void SolverCache::Insert(const QueryKey& key, Entry entry) {
     it->second = std::move(entry);
     upgraded = true;
   }
-  if (upgraded && obs::Enabled()) {
-    static obs::Counter* upgrades = obs::Registry::Global().GetCounter(
-        "icarus_solver_cache_upgrades_total",
-        "Resident entries upgraded in place (model added or kUnknown resolved)");
-    upgrades->Add(1);
+  if (upgraded) {
+    upgrades_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Enabled()) {
+      static obs::Counter* upgrades = obs::Registry::Global().GetCounter(
+          "icarus_solver_cache_upgrades_total",
+          "Resident entries upgraded in place (model added or kUnknown resolved)");
+      upgrades->Add(1);
+    }
   }
 }
 
@@ -124,6 +128,7 @@ SolverCacheStats SolverCache::Snapshot() const {
   stats.negative_hits = negative_hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.upgrades = upgrades_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -136,6 +141,7 @@ void SolverCache::Clear() {
   negative_hits_.store(0);
   misses_.store(0);
   insertions_.store(0);
+  upgrades_.store(0);
 }
 
 }  // namespace icarus::sym

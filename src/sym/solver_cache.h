@@ -51,6 +51,8 @@ struct SolverCacheStats {
   int64_t negative_hits = 0;  // Lookups served from a kUnknown (negative) entry.
   int64_t misses = 0;         // Lookups that found nothing.
   int64_t insertions = 0;     // Entries stored (all verdicts).
+  int64_t upgrades = 0;       // Resident entries upgraded in place (model
+                              // added, or a retry resolved a kUnknown).
 
   int64_t lookups() const { return hits + negative_hits + misses; }
   // Fraction of lookups answered from the cache (any entry kind).
@@ -69,6 +71,10 @@ class SolverCache {
     Verdict verdict = Verdict::kUnknown;
     bool has_model = false;
     std::string model_text;
+    // Per-variable witness values for kSat entries stored with a model.
+    // Witnesses carry no ExprRefs, so they are pool-independent like
+    // model_text and can feed counterexample reports from cached hits.
+    std::vector<Witness> witnesses;
   };
 
   SolverCache();
@@ -114,6 +120,7 @@ class SolverCache {
   std::atomic<int64_t> negative_hits_{0};
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> insertions_{0};
+  std::atomic<int64_t> upgrades_{0};
 };
 
 }  // namespace icarus::sym

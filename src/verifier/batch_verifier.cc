@@ -8,6 +8,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "src/meta/path_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/support/str_util.h"
@@ -91,6 +92,30 @@ std::string BatchReport::RenderTable() const {
                    deadline_hit ? "  (deadline hit; stragglers inconclusive)" : "");
   if (cache.lookups() > 0) {
     out += cache.ToString() + "\n";
+  }
+  return out;
+}
+
+std::string BatchReport::RenderExplain() const {
+  std::string out;
+  for (const GeneratorResult& r : results) {
+    if (r.outcome != Outcome::kRefuted) {
+      continue;
+    }
+    for (const exec::Violation& v : r.report.meta.violations) {
+      out += StrCat("--- ", r.generator, r.resumed ? " (from journal)" : "", " ---\n");
+      out += meta::RenderCounterexample(v);
+      // Resumed rows keep pre-rendered context in notes (no live witnesses).
+      if (r.resumed) {
+        for (const std::string& note : v.notes) {
+          out += StrCat("  ", note, "\n");
+        }
+      }
+      out += "\n";
+    }
+  }
+  if (out.empty()) {
+    out = "no counterexamples to explain\n";
   }
   return out;
 }
@@ -187,6 +212,7 @@ GeneratorResult VerifyOne(const platform::Platform* platform, const std::string&
     vopts.solver_cache = cache;
     vopts.solver_limits = limits;
     vopts.cancel = cancel;
+    vopts.record = options.record;
     Verifier verifier(platform);
     StatusOr<VerifyReport> report = verifier.Verify(name, vopts);
     result.seconds = timer.ElapsedSeconds();
@@ -240,7 +266,9 @@ GeneratorResult ContainedCrash(const std::string& name, const char* what) {
   return result;
 }
 
-JournalRecord ToRecord(const GeneratorResult& r, const std::string& fingerprint) {
+}  // namespace
+
+JournalRecord RecordFromResult(const GeneratorResult& r, const std::string& fingerprint) {
   JournalRecord rec;
   rec.platform = fingerprint;
   rec.generator = r.generator;
@@ -255,10 +283,25 @@ JournalRecord ToRecord(const GeneratorResult& r, const std::string& fingerprint)
   rec.interp_s = r.report.meta.interp_seconds;
   rec.solve_s = r.report.meta.solve_seconds;
   rec.decisions = r.report.meta.solver_decisions;
+  rec.paths_attached = r.report.meta.paths_attached;
+  rec.paths_infeasible = r.report.meta.paths_infeasible;
+  // Flight recorder: journal the first violation's counterexample (the
+  // journal row is flat; additional violations stay in memory and in the
+  // explain rendering).
+  if (!r.report.meta.violations.empty()) {
+    const exec::Violation& v = r.report.meta.violations.front();
+    rec.cx_contract = v.message;
+    rec.cx_function = v.function;
+    rec.cx_line = v.line;
+    rec.cx_witnesses = meta::RenderWitnessSummary(v);
+    rec.cx_source_ops = Join(v.source_ops, " ; ");
+    rec.cx_target_ops = Join(v.target_ops, " ; ");
+    rec.cx_decisions = meta::RenderDecisionString(v.decisions);
+  }
   return rec;
 }
 
-StatusOr<GeneratorResult> FromRecord(const JournalRecord& rec) {
+StatusOr<GeneratorResult> ResultFromRecord(const JournalRecord& rec) {
   GeneratorResult r;
   r.generator = rec.generator;
   if (!OutcomeFromName(rec.outcome, &r.outcome)) {
@@ -277,10 +320,34 @@ StatusOr<GeneratorResult> FromRecord(const JournalRecord& rec) {
   r.report.meta.interp_seconds = rec.interp_s;
   r.report.meta.solve_seconds = rec.solve_s;
   r.report.meta.solver_decisions = rec.decisions;
+  r.report.meta.paths_attached = static_cast<int>(rec.paths_attached);
+  r.report.meta.paths_infeasible = static_cast<int>(rec.paths_infeasible);
+  // Reconstruct the journaled counterexample so a resumed REFUTED row still
+  // renders and reports. The witness summary and decision string come back
+  // pre-rendered (the journal stores the wire form, not Witness structs);
+  // they land in notes and decisions respectively.
+  if (!rec.cx_contract.empty()) {
+    exec::Violation v;
+    v.message = rec.cx_contract;
+    v.function = rec.cx_function;
+    v.line = rec.cx_line;
+    if (!rec.cx_witnesses.empty()) {
+      v.notes.push_back(StrCat("witnesses: ", rec.cx_witnesses));
+    }
+    if (!rec.cx_source_ops.empty()) {
+      v.notes.push_back(StrCat("stub (source ops): ", rec.cx_source_ops));
+    }
+    if (!rec.cx_target_ops.empty()) {
+      v.notes.push_back(StrCat("stub (target ops): ", rec.cx_target_ops));
+    }
+    v.decisions.reserve(rec.cx_decisions.size());
+    for (char c : rec.cx_decisions) {
+      v.decisions.push_back(c == 'T');
+    }
+    r.report.meta.violations.push_back(std::move(v));
+  }
   return r;
 }
-
-}  // namespace
 
 StatusOr<BatchReport> BatchVerifier::VerifyAll(const std::vector<std::string>& generator_names,
                                                const BatchOptions& options) {
@@ -302,7 +369,7 @@ StatusOr<BatchReport> BatchVerifier::VerifyAll(const std::vector<std::string>& g
       return records.status();
     }
     for (const JournalRecord& rec : records.value()) {
-      StatusOr<GeneratorResult> r = FromRecord(rec);
+      StatusOr<GeneratorResult> r = ResultFromRecord(rec);
       if (!r.ok()) {
         return r.status();
       }
@@ -363,7 +430,7 @@ StatusOr<BatchReport> BatchVerifier::VerifyAll(const std::vector<std::string>& g
         }
         if (journal != nullptr) {
           std::lock_guard<std::mutex> lock(journal_mu);
-          Status st = journal->Append(ToRecord(result, fingerprint));
+          Status st = journal->Append(RecordFromResult(result, fingerprint));
           if (!st.ok() && journal_status.ok()) {
             journal_status = st;
           }

@@ -17,6 +17,7 @@
 
 #include "src/sym/solver.h"
 #include "src/sym/solver_cache.h"
+#include "src/verifier/journal.h"
 #include "src/verifier/verifier.h"
 
 namespace icarus::verifier {
@@ -51,6 +52,10 @@ struct BatchOptions {
   // already holds a verdict for, restoring the journaled rows. Refused when
   // the journal's platform fingerprint differs from the loaded platform.
   std::string resume_path;
+  // Flight recorder: keep bounded per-path event logs, attached to any
+  // violation found (consumed by `verify-all --explain`). The structured
+  // counterexample is captured either way.
+  bool record = false;
 };
 
 // How one generator's verification concluded.
@@ -95,6 +100,10 @@ struct BatchReport {
   int TotalRetries() const;
   // Multi-line summary table: one row per generator plus aggregate footer.
   std::string RenderTable() const;
+  // Flight-recorder rendering: one explain block (see
+  // meta::RenderCounterexample) per violation of every refuted row. Resumed
+  // rows render from their journaled counterexample fields.
+  std::string RenderExplain() const;
   // Cost-attribution table: per-generator stage breakdown (CFA build,
   // generate, interpret, solver), decision/query counts, and the dominant
   // stage, plus aggregate and tail-percentile footers. Stage columns are 0
@@ -102,6 +111,13 @@ struct BatchReport {
   // existed).
   std::string RenderStatsTable() const;
 };
+
+// Converts one batch row to its journal record (schema v3, including the
+// flight-recorder counterexample fields for refuted rows) and back. Public
+// because `icarus report` builds report rows from in-memory batch results
+// without round-tripping through a journal file.
+JournalRecord RecordFromResult(const GeneratorResult& r, const std::string& fingerprint);
+StatusOr<GeneratorResult> ResultFromRecord(const JournalRecord& rec);
 
 // Drives Verifier over many generators concurrently. Thread-compatible: use
 // one BatchVerifier per batch run.

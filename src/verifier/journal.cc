@@ -176,6 +176,18 @@ class LineParser {
         rec->outcome = std::move(s);
       } else if (key == "error") {
         rec->error = std::move(s);
+      } else if (key == "cx_contract") {
+        rec->cx_contract = std::move(s);
+      } else if (key == "cx_function") {
+        rec->cx_function = std::move(s);
+      } else if (key == "cx_witnesses") {
+        rec->cx_witnesses = std::move(s);
+      } else if (key == "cx_source_ops") {
+        rec->cx_source_ops = std::move(s);
+      } else if (key == "cx_target_ops") {
+        rec->cx_target_ops = std::move(s);
+      } else if (key == "cx_decisions") {
+        rec->cx_decisions = std::move(s);
       }
       return true;
     }
@@ -203,6 +215,12 @@ class LineParser {
       rec->solve_s = v;
     } else if (key == "decisions") {
       rec->decisions = static_cast<int64_t>(v);
+    } else if (key == "paths_attached") {
+      rec->paths_attached = static_cast<int64_t>(v);
+    } else if (key == "paths_infeasible") {
+      rec->paths_infeasible = static_cast<int64_t>(v);
+    } else if (key == "cx_line") {
+      rec->cx_line = static_cast<int>(v);
     }
     return true;
   }
@@ -228,8 +246,29 @@ std::string JournalRecord::ToJsonLine() const {
                    static_cast<long long>(paths), static_cast<long long>(queries), seconds,
                    attempts);
   out += StrFormat(
-      ",\"cfa_s\":%.17g,\"gen_s\":%.17g,\"interp_s\":%.17g,\"solve_s\":%.17g,\"decisions\":%lld}",
+      ",\"cfa_s\":%.17g,\"gen_s\":%.17g,\"interp_s\":%.17g,\"solve_s\":%.17g,\"decisions\":%lld",
       cfa_s, gen_s, interp_s, solve_s, static_cast<long long>(decisions));
+  out += StrFormat(",\"paths_attached\":%lld,\"paths_infeasible\":%lld",
+                   static_cast<long long>(paths_attached),
+                   static_cast<long long>(paths_infeasible));
+  // Counterexample block: only on rows that carry one, so VERIFIED rows stay
+  // as compact as before.
+  if (!cx_contract.empty()) {
+    out += ",\"cx_contract\":";
+    AppendJsonString(cx_contract, &out);
+    out += ",\"cx_function\":";
+    AppendJsonString(cx_function, &out);
+    out += StrFormat(",\"cx_line\":%d", cx_line);
+    out += ",\"cx_witnesses\":";
+    AppendJsonString(cx_witnesses, &out);
+    out += ",\"cx_source_ops\":";
+    AppendJsonString(cx_source_ops, &out);
+    out += ",\"cx_target_ops\":";
+    AppendJsonString(cx_target_ops, &out);
+    out += ",\"cx_decisions\":";
+    AppendJsonString(cx_decisions, &out);
+  }
+  out.push_back('}');
   return out;
 }
 
@@ -307,6 +346,32 @@ StatusOr<std::vector<JournalRecord>> ReadJournal(const std::string& path,
     records.push_back(std::move(rec));
   }
   return records;
+}
+
+obs::ReportRow ReportRowFromRecord(const JournalRecord& rec) {
+  obs::ReportRow row;
+  row.generator = rec.generator;
+  row.outcome = rec.outcome;
+  row.error = rec.error;
+  row.paths = rec.paths;
+  row.paths_attached = rec.paths_attached;
+  row.paths_infeasible = rec.paths_infeasible;
+  row.queries = rec.queries;
+  row.decisions = rec.decisions;
+  row.attempts = rec.attempts;
+  row.seconds = rec.seconds;
+  row.cfa_s = rec.cfa_s;
+  row.gen_s = rec.gen_s;
+  row.interp_s = rec.interp_s;
+  row.solve_s = rec.solve_s;
+  row.cx_contract = rec.cx_contract;
+  row.cx_function = rec.cx_function;
+  row.cx_line = rec.cx_line;
+  row.cx_witnesses = rec.cx_witnesses;
+  row.cx_source_ops = rec.cx_source_ops;
+  row.cx_target_ops = rec.cx_target_ops;
+  row.cx_decisions = rec.cx_decisions;
+  return row;
 }
 
 }  // namespace icarus::verifier

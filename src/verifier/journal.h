@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/report.h"
 #include "src/support/status.h"
 
 namespace icarus::verifier {
@@ -32,7 +33,12 @@ namespace icarus::verifier {
 //       decisions). Strictly additive: a v1 record reads fine with the new
 //       fields defaulting to 0, so resuming a v1 journal is still allowed
 //       (kJournalMinReadSchemaVersion); its rows simply render zero costs.
-inline constexpr int kJournalSchemaVersion = 2;
+//   3 — adds the flight-recorder counterexample (cx_contract/cx_function/
+//       cx_line/cx_witnesses/cx_source_ops/cx_target_ops/cx_decisions, only
+//       present on REFUTED rows) and the path-outcome counters
+//       (paths_attached/paths_infeasible). Additive again: the parser skips
+//       unknown keys, so v1/v2 records read fine with empty counterexamples.
+inline constexpr int kJournalSchemaVersion = 3;
 inline constexpr int kJournalMinReadSchemaVersion = 1;
 
 // One journaled verdict. `outcome` is the OutcomeName() token (e.g.
@@ -54,6 +60,20 @@ struct JournalRecord {
   double interp_s = 0.0;   // Meta-execution phase 2, minus solver time.
   double solve_s = 0.0;    // Wall time inside Solver::Solve.
   int64_t decisions = 0;   // DPLL decisions across the task's queries.
+  // Path-outcome counters (schema >= 3; 0 in older rows).
+  int64_t paths_attached = 0;
+  int64_t paths_infeasible = 0;
+  // Flight-recorder counterexample (schema >= 3). Present — cx_contract
+  // non-empty — only on rows whose verdict carries a violation. The journal
+  // stays a *flat* object: list-valued data is pre-rendered with "; " (ops)
+  // or as a T/F string (decisions), which is what the reports consume.
+  std::string cx_contract;    // Violated contract / assertion text.
+  std::string cx_function;    // Function containing the violated check.
+  int cx_line = 0;
+  std::string cx_witnesses;   // "gen_mode = 1; run_val = unconstrained" form.
+  std::string cx_source_ops;  // Source ops on the failing path, "; "-joined.
+  std::string cx_target_ops;  // Target buffer on the failing path.
+  std::string cx_decisions;   // Branch decisions as a T/F string, e.g. "TTF".
 
   // Renders the record as a single JSON line (no trailing newline).
   std::string ToJsonLine() const;
@@ -89,6 +109,11 @@ class JournalWriter {
 // fails the read.
 StatusOr<std::vector<JournalRecord>> ReadJournal(const std::string& path,
                                                  const std::string& expect_platform);
+
+// Flattens one journal record into the HTML report's row type (field-for-
+// field; the cx_* wire strings transfer verbatim). The dependency points
+// verifier → obs, keeping the report emitter below the verifier layer.
+obs::ReportRow ReportRowFromRecord(const JournalRecord& rec);
 
 }  // namespace icarus::verifier
 

@@ -69,6 +69,7 @@ StatusOr<VerifyReport> Verifier::Verify(const std::string& generator_name,
   executor.set_solver_cache(options.solver_cache);
   executor.set_solver_limits(options.solver_limits);
   executor.set_cancel_flag(options.cancel);
+  executor.set_recording(options.record);
 
   // Timed loop: meta-execution only, `runs` samples.
   std::vector<double> samples;

@@ -35,6 +35,11 @@ struct VerifyOptions {
   sym::Solver::Limits solver_limits;
   // Cooperative cancellation (fleet deadline); checked between paths.
   const std::atomic<bool>* cancel = nullptr;
+  // Flight recorder: keep a bounded per-path event log, attached to any
+  // violation found (see MetaExecutor::set_recording). Off by default — the
+  // structured counterexample (witnesses, decisions, op sequences) is
+  // captured either way; only the event log costs extra.
+  bool record = false;
 };
 
 // Everything Verify() learned about one generator.

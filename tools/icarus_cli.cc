@@ -3,10 +3,19 @@
 // Usage:
 //   icarus list                      List every generator in the platform.
 //   icarus verify <generator>        Verify one generator; print the report.
+//   icarus explain <generator>       Verify one generator with the flight
+//                                    recorder on and print the full
+//                                    counterexample (witnesses, op sequences,
+//                                    event log), then replay it with the
+//                                    witness values pinned to confirm it.
 //   icarus verify-all [flags]        Verify everything (Fig. 12 + extensions +
 //                                    bug studies) on the parallel batch driver.
 //                                    See `icarus verify-all --help` for the
 //                                    flag list and exit codes.
+//   icarus report <journal> [out.html] [--metrics FILE] [--title T]
+//                                    Aggregate a verdict journal (and optional
+//                                    metrics snapshot) into a self-contained
+//                                    HTML dashboard.
 //   icarus cfa <generator>           Print the CFA as GraphViz DOT.
 //   icarus cfa-dot <generator> [out.dot]
 //                                    Same rendering, written to a file (or
@@ -20,7 +29,11 @@
 #include <cstring>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include <exception>
 
@@ -28,10 +41,13 @@
 #include "src/boogie/boogie_lower.h"
 #include "src/boogie/boogie_printer.h"
 #include "src/extract/cpp_backend.h"
+#include "src/meta/path_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/report.h"
 #include "src/obs/trace.h"
 #include "src/support/failpoint.h"
 #include "src/verifier/batch_verifier.h"
+#include "src/verifier/journal.h"
 #include "src/verifier/verifier.h"
 
 namespace {
@@ -40,7 +56,8 @@ using icarus::platform::Platform;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: icarus <list|verify <gen>|verify-all [flags]|cfa <gen>|"
+               "usage: icarus <list|verify <gen>|explain <gen>|verify-all [flags]|"
+               "report <journal> [out.html]|cfa <gen>|"
                "cfa-dot <gen> [out.dot]|boogie <gen>|extract|check <file>>\n"
                "       icarus verify-all --help   for batch flags and exit codes\n");
   return 2;
@@ -49,8 +66,10 @@ int Usage() {
 // Observability outputs requested on the verify-all command line.
 struct ObsFlags {
   bool stats = false;         // Render the per-generator cost table.
+  bool explain = false;       // Render flight-recorder counterexamples.
   std::string trace_path;     // Chrome trace_event JSON (Perfetto-loadable).
   std::string metrics_path;   // Metrics export; .json suffix selects JSON.
+  std::string report_path;    // Self-contained HTML dashboard.
 };
 
 int WriteTextFile(const std::string& path, const std::string& contents, const char* what) {
@@ -82,7 +101,16 @@ int VerifyAllHelp() {
       "                  (default: 0). Deadline-cancelled tasks are not retried.\n"
       "  --stats         Also render the cost-attribution table: per-generator\n"
       "                  stage breakdown (CFA / generate / interpret / solve),\n"
-      "                  decision counts, and the dominant stage.\n"
+      "                  decision counts, and the dominant stage. With --trace,\n"
+      "                  also reports the span ring-buffer retention/drop count.\n"
+      "  --explain       Turn the flight recorder on and, after the table,\n"
+      "                  print a full counterexample block for every refuted\n"
+      "                  generator: violated contract, branch decisions, the\n"
+      "                  emitted op sequences, concrete witness values for each\n"
+      "                  symbolic input, and the per-path event log.\n"
+      "  --report FILE   Write a self-contained HTML dashboard of the run:\n"
+      "                  verdict table with counterexample drill-downs, stage\n"
+      "                  cost bars, path/solver histograms, CFA effectiveness.\n"
       "  --trace FILE    Record pipeline spans and write a Chrome trace_event\n"
       "                  JSON file (load in Perfetto or chrome://tracing).\n"
       "                  Enables the observability runtime for the run.\n"
@@ -143,6 +171,121 @@ int Verify(const Platform& platform, const std::string& name, bool expect_verifi
   return report.value().verified == expect_verified ? 0 : 1;
 }
 
+// `icarus explain <gen>`: one generator, flight recorder on, full
+// counterexample rendering, then a concrete replay that pins every symbolic
+// input to its witness value to confirm the counterexample is not spurious.
+int Explain(const Platform& platform, const std::string& name) {
+  icarus::verifier::Verifier verifier(&platform);
+  icarus::verifier::VerifyOptions vopts;
+  vopts.record = true;
+  auto report = verifier.Verify(name, vopts);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().message().c_str());
+    return 2;
+  }
+  const icarus::verifier::VerifyReport& rep = report.value();
+  std::printf("%s\n", rep.Render().c_str());
+  if (rep.meta.violations.empty()) {
+    std::printf("no violation found: nothing to explain%s\n",
+                rep.inconclusive ? " (verdict inconclusive — raise budgets and retry)" : "");
+    return rep.verified ? 0 : 1;
+  }
+  for (const icarus::exec::Violation& v : rep.meta.violations) {
+    std::printf("%s\n", icarus::meta::RenderCounterexample(v).c_str());
+  }
+  // Replay phase: re-run the stub with the recorded witness values assumed up
+  // front. Reproducing the same violation concretely is the end-to-end check
+  // that the extracted model actually triggers the bug.
+  auto stub = platform.MakeMetaStub(name);
+  if (stub.ok()) {
+    icarus::meta::ReplayOutcome outcome = icarus::meta::ReplayWithWitnesses(
+        &platform.module(), &platform.externs(), stub.value(), rep.meta.violations.front());
+    std::printf("replay with pinned witnesses: %s\n",
+                outcome.reproduced
+                    ? "violation REPRODUCED (counterexample confirmed concrete)"
+                    : "violation NOT reproduced (witness may be incomplete)");
+  }
+  return 0;
+}
+
+// Builds the HTML dashboard input common to `icarus report` (journal-sourced)
+// and `verify-all --report` (in-memory results).
+int WriteHtmlReport(icarus::obs::ReportInput input, const std::string& out_path) {
+  int rc = WriteTextFile(out_path, icarus::obs::RenderHtmlReport(input), "HTML report");
+  if (rc == 0) {
+    std::printf("report written to %s (%zu generators)\n", out_path.c_str(), input.rows.size());
+  }
+  return rc;
+}
+
+// `icarus report <journal> [out.html] [--metrics FILE] [--title T]`: offline
+// aggregation — needs no platform, just the journal (any fingerprint).
+int ReportCmd(int argc, char** argv) {
+  std::string journal_path;
+  std::string out_path = "icarus-report.html";
+  std::string metrics_path;
+  std::string title;
+  int positional = 0;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "--title" && i + 1 < argc) {
+      title = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown report flag: %s\n", arg.c_str());
+      return Usage();
+    } else if (positional == 0) {
+      journal_path = arg;
+      ++positional;
+    } else if (positional == 1) {
+      out_path = arg;
+      ++positional;
+    } else {
+      return Usage();
+    }
+  }
+  if (journal_path.empty()) {
+    return Usage();
+  }
+  auto records = icarus::verifier::ReadJournal(journal_path, /*expect_platform=*/"");
+  if (!records.ok()) {
+    std::fprintf(stderr, "%s\n", records.status().message().c_str());
+    return 2;
+  }
+  icarus::obs::ReportInput input;
+  if (!title.empty()) {
+    input.title = title;
+  }
+  // Last verdict wins per generator (a resumed journal appends a fresh row),
+  // but rows keep first-appearance order so the dashboard is stable.
+  std::vector<std::string> order;
+  std::map<std::string, icarus::obs::ReportRow> latest;
+  for (const icarus::verifier::JournalRecord& rec : records.value()) {
+    if (latest.find(rec.generator) == latest.end()) {
+      order.push_back(rec.generator);
+    }
+    if (input.fingerprint.empty()) {
+      input.fingerprint = rec.platform;
+    }
+    latest[rec.generator] = icarus::verifier::ReportRowFromRecord(rec);
+  }
+  for (const std::string& name : order) {
+    input.rows.push_back(std::move(latest[name]));
+  }
+  if (!metrics_path.empty()) {
+    std::ifstream in(metrics_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read metrics snapshot '%s'\n", metrics_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    input.metrics_json = buf.str();
+  }
+  return WriteHtmlReport(std::move(input), out_path);
+}
+
 int VerifyAll(const Platform& platform, const icarus::verifier::BatchOptions& options,
               const ObsFlags& obs_flags) {
   using icarus::verifier::Outcome;
@@ -156,6 +299,16 @@ int VerifyAll(const Platform& platform, const icarus::verifier::BatchOptions& op
   std::printf("%s", report.RenderTable().c_str());
   if (obs_flags.stats) {
     std::printf("\n%s", report.RenderStatsTable().c_str());
+    if (!obs_flags.trace_path.empty()) {
+      // Ring-buffer accounting: a drop count > 0 means the trace (and any
+      // span-derived statistic) is a suffix of the run, not the whole run.
+      std::printf("trace ring buffers: %zu spans retained, %lld overwritten\n",
+                  icarus::obs::SnapshotSpans().size(),
+                  static_cast<long long>(icarus::obs::DroppedSpans()));
+    }
+  }
+  if (obs_flags.explain) {
+    std::printf("\n%s", report.RenderExplain().c_str());
   }
   if (!obs_flags.trace_path.empty()) {
     icarus::obs::StopTracing();
@@ -163,7 +316,13 @@ int VerifyAll(const Platform& platform, const icarus::verifier::BatchOptions& op
     if (rc != 0) {
       return rc;
     }
-    std::printf("trace written to %s\n", obs_flags.trace_path.c_str());
+    long long dropped = icarus::obs::DroppedSpans();
+    if (dropped > 0) {
+      std::printf("trace written to %s (%lld oldest spans dropped by ring-buffer wraparound)\n",
+                  obs_flags.trace_path.c_str(), dropped);
+    } else {
+      std::printf("trace written to %s\n", obs_flags.trace_path.c_str());
+    }
   }
   if (!obs_flags.metrics_path.empty()) {
     const std::string& path = obs_flags.metrics_path;
@@ -175,6 +334,27 @@ int VerifyAll(const Platform& platform, const icarus::verifier::BatchOptions& op
       return rc;
     }
     std::printf("metrics written to %s\n", path.c_str());
+  }
+  if (!obs_flags.report_path.empty()) {
+    icarus::obs::ReportInput input;
+    input.fingerprint = platform.Fingerprint();
+    for (const icarus::verifier::GeneratorResult& r : report.results) {
+      input.rows.push_back(icarus::verifier::ReportRowFromRecord(
+          icarus::verifier::RecordFromResult(r, input.fingerprint)));
+    }
+    if (report.cache.lookups() > 0) {
+      input.cache_summary = report.cache.ToString();
+    }
+    if (icarus::obs::Enabled()) {
+      input.metrics_json = icarus::obs::Registry::Global().RenderJson();
+    }
+    if (!obs_flags.trace_path.empty()) {
+      input.trace_dropped_spans = icarus::obs::DroppedSpans();
+    }
+    int rc = WriteHtmlReport(std::move(input), obs_flags.report_path);
+    if (rc != 0) {
+      return rc;
+    }
   }
 
   // Deliberately-buggy study generators are expected to be refuted; anything
@@ -308,6 +488,12 @@ int Run(int argc, char** argv) {
     }
     return Check(argv[2]);
   }
+  if (cmd == "report") {
+    if (argc < 3) {
+      return Usage();
+    }
+    return ReportCmd(argc, argv);
+  }
   auto loaded = Platform::Load();
   if (!loaded.ok()) {
     std::fprintf(stderr, "platform load failed: %s\n", loaded.status().message().c_str());
@@ -324,6 +510,11 @@ int Run(int argc, char** argv) {
       std::string flag = argv[i];
       if (flag == "--stats") {
         obs_flags.stats = true;
+      } else if (flag == "--explain") {
+        obs_flags.explain = true;
+        options.record = true;
+      } else if (flag == "--report" && i + 1 < argc) {
+        obs_flags.report_path = argv[++i];
       } else if (flag == "--trace" && i + 1 < argc) {
         obs_flags.trace_path = argv[++i];
       } else if (flag == "--metrics" && i + 1 < argc) {
@@ -369,6 +560,9 @@ int Run(int argc, char** argv) {
   std::string name = argv[2];
   if (cmd == "verify") {
     return Verify(*platform, name, name.find("_buggy") == std::string::npos);
+  }
+  if (cmd == "explain") {
+    return Explain(*platform, name);
   }
   if (cmd == "cfa") {
     return DumpCfa(*platform, name, "");
