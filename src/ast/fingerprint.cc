@@ -1,0 +1,203 @@
+#include "src/ast/fingerprint.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/ast/printer.h"
+#include "src/support/str_util.h"
+
+namespace icarus::ast {
+
+namespace {
+
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+// Accumulates the closure: every item is serialized to a tagged string and
+// hashed; the per-item hashes are combined order-insensitively at the end so
+// traversal order (worklist scheduling, declaration order) cannot leak into
+// the fingerprint.
+class ClosureHasher {
+ public:
+  explicit ClosureHasher(const Module& module) : module_(module) {}
+
+  void AddFunction(const FunctionDecl* fn) {
+    if (fn == nullptr || !seen_fns_.insert(fn).second) {
+      return;
+    }
+    worklist_.push_back(fn);
+  }
+
+  void Run() {
+    while (!worklist_.empty()) {
+      const FunctionDecl* fn = worklist_.back();
+      worklist_.pop_back();
+      AddItem(StrCat("fn\x1f", fn->name, "\x1f", fn->source_text));
+      AddParams(fn->params);
+      WalkBlock(fn->body);
+    }
+  }
+
+  Fingerprint Finish() {
+    // Sort + dedupe, then fold through two independently seeded lanes — the
+    // same combination scheme the solver-cache query fingerprint uses.
+    std::sort(items_.begin(), items_.end());
+    items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+    Fingerprint fp;
+    fp.lo = 0x6a09e667f3bcc908ULL;
+    fp.hi = 0xbb67ae8584caa73bULL;
+    for (uint64_t h : items_) {
+      fp.lo = Mix(fp.lo, h);
+      fp.hi = Mix(fp.hi, h ^ 0xa5a5a5a5a5a5a5a5ULL);
+    }
+    fp.lo = Mix(fp.lo, items_.size());
+    fp.hi = Mix(fp.hi, items_.size() + 1);
+    return fp;
+  }
+
+ private:
+  void AddItem(const std::string& item) { items_.push_back(Fnv1a(item)); }
+
+  void AddEnum(const EnumDecl* decl) {
+    if (decl == nullptr || !seen_enums_.insert(decl).second) {
+      return;
+    }
+    // Member *order* matters: enum literals resolve to indices.
+    AddItem(StrCat("enum\x1f", decl->name, "\x1f", Join(decl->members, ",")));
+  }
+
+  void AddType(const Type* type) {
+    if (type == nullptr) {
+      return;
+    }
+    if (type->kind() == TypeKind::kEnum) {
+      AddEnum(type->enum_decl());
+    }
+  }
+
+  void AddParams(const std::vector<Param>& params) {
+    for (const Param& p : params) {
+      AddType(p.type);
+    }
+  }
+
+  void AddExtern(const ExternFnDecl* ext) {
+    if (ext == nullptr || !seen_exts_.insert(ext).second) {
+      return;
+    }
+    // Externs carry no source_text; serialize the resolved declaration:
+    // signature plus every contract clause. Contract expressions are what
+    // the evaluator asserts, so their text is semantic content.
+    std::string item = StrCat("ext\x1f", ext->name, "\x1f(");
+    for (const Param& p : ext->params) {
+      item += StrCat(p.name, ":", p.type_name, ",");
+    }
+    item += StrCat(")->", ext->return_type_name);
+    for (const ContractClause& clause : ext->contracts) {
+      item += StrCat("\x1f", clause.is_requires ? "requires " : "ensures ",
+                     PrintExpr(*clause.expr));
+    }
+    AddItem(item);
+    AddParams(ext->params);
+    // Contracts can themselves call externs (e.g. `slot <
+    // Shape::numFixedSlots(...)`) whose contracts feed the same queries.
+    for (const ContractClause& clause : ext->contracts) {
+      WalkExpr(clause.expr.get());
+    }
+  }
+
+  void AddEmittedOp(const OpDecl* op) {
+    if (op == nullptr || !seen_ops_.insert(op).second) {
+      return;
+    }
+    AddItem(StrCat("op\x1f", op->language != nullptr ? op->language->name : "", "\x1f",
+                   PrintOpSignature(*op)));
+    AddParams(op->params);
+    // Emitting an op pulls in its compiler lowering and, transitively, the
+    // interpreter semantics of whatever that lowering emits (the interpreter
+    // callbacks of ops emitted *by the callback* are enqueued when its body
+    // is walked).
+    for (const auto& compiler : module_.compilers) {
+      if (compiler->source_language == op->language) {
+        AddFunction(compiler->FindCallback(op));
+      }
+    }
+    for (const auto& interp : module_.interpreters) {
+      if (interp->language == op->language) {
+        AddFunction(interp->FindCallback(op));
+      }
+    }
+  }
+
+  void WalkExpr(const Expr* e) {
+    if (e == nullptr) {
+      return;
+    }
+    if (e->kind == ExprKind::kEnumLit) {
+      AddEnum(e->enum_decl);
+    }
+    if (e->kind == ExprKind::kCall) {
+      AddFunction(e->callee_fn);
+      AddExtern(e->callee_ext);
+    }
+    for (const ExprPtr& a : e->args) {
+      WalkExpr(a.get());
+    }
+  }
+
+  void WalkBlock(const std::vector<StmtPtr>& block) {
+    for (const StmtPtr& stmt : block) {
+      WalkExpr(stmt->expr.get());
+      for (const ExprPtr& a : stmt->args) {
+        WalkExpr(a.get());
+      }
+      if (stmt->kind == StmtKind::kEmit) {
+        AddEmittedOp(stmt->emit_op);
+      }
+      WalkBlock(stmt->then_block);
+      WalkBlock(stmt->else_block);
+    }
+  }
+
+  const Module& module_;
+  std::vector<const FunctionDecl*> worklist_;
+  std::set<const FunctionDecl*> seen_fns_;
+  std::set<const ExternFnDecl*> seen_exts_;
+  std::set<const OpDecl*> seen_ops_;
+  std::set<const EnumDecl*> seen_enums_;
+  std::vector<uint64_t> items_;
+};
+
+}  // namespace
+
+std::string Fingerprint::ToHex() const {
+  return StrFormat("%016llx%016llx", static_cast<unsigned long long>(lo),
+                   static_cast<unsigned long long>(hi));
+}
+
+StatusOr<Fingerprint> UnitFingerprint(const Module& module, const std::string& generator_name) {
+  const FunctionDecl* generator = module.FindFunction(generator_name);
+  if (generator == nullptr || generator->fn_kind != FnKind::kGenerator) {
+    return Status::Error(StrCat("no generator named '", generator_name, "' to fingerprint"));
+  }
+  ClosureHasher hasher(module);
+  hasher.AddFunction(generator);
+  hasher.Run();
+  return hasher.Finish();
+}
+
+}  // namespace icarus::ast

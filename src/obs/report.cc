@@ -43,6 +43,7 @@ td.num { text-align: right; font-variant-numeric: tabular-nums; }
 .badge { display: inline-block; padding: 0.1em 0.55em; border-radius: 9px;
          font-size: 0.85em; font-weight: 600; }
 .ok   { background: #e3f6e8; color: #19692c; }
+.cached { background: #e3f6e8; color: #19692c; border: 1px dashed #19692c; }
 .bad  { background: #fde8e8; color: #9b1c1c; }
 .warn { background: #fdf6dd; color: #8a6d1a; }
 .err  { background: #ece9fd; color: #4c3a9b; }
@@ -73,6 +74,9 @@ details.cx pre, details.metrics pre { background: #23233b; color: #e8e8f0;
 const char* BadgeClass(const std::string& outcome) {
   if (outcome == "VERIFIED") {
     return "ok";
+  }
+  if (outcome == "CACHED_SAFE") {
+    return "cached";
   }
   if (outcome == "COUNTEREXAMPLE") {
     return "bad";
@@ -183,12 +187,15 @@ std::string RenderHtmlReport(const ReportInput& input) {
 
   // Outcome tiles.
   int64_t verified = 0;
+  int64_t cached_safe = 0;
   int64_t refuted = 0;
   int64_t inconclusive = 0;
   int64_t errors = 0;
   for (const ReportRow& r : input.rows) {
     if (r.outcome == "VERIFIED") {
       ++verified;
+    } else if (r.outcome == "CACHED_SAFE") {
+      ++cached_safe;
     } else if (r.outcome == "COUNTEREXAMPLE") {
       ++refuted;
     } else if (r.outcome == "INCONCLUSIVE") {
@@ -200,6 +207,9 @@ std::string RenderHtmlReport(const ReportInput& input) {
   out += "<div class=\"tiles\">\n";
   AppendTile(static_cast<int64_t>(input.rows.size()), "generators", &out);
   AppendTile(verified, "verified", &out);
+  if (cached_safe > 0) {
+    AppendTile(cached_safe, "cached safe", &out);
+  }
   AppendTile(refuted, "counterexamples", &out);
   AppendTile(inconclusive, "inconclusive", &out);
   AppendTile(errors, "errors", &out);

@@ -1,5 +1,6 @@
 #include "src/support/failpoint.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -94,14 +95,24 @@ Status Arm(std::string_view spec) {
   if (mode_str == "at" || mode_str == "after") {
     config.mode = mode_str == "at" ? Mode::kAtNth : Mode::kAfterNth;
     char* end = nullptr;
+    errno = 0;
     config.n = std::strtoll(arg.c_str(), &end, 10);
+    if (errno == ERANGE) {
+      return Status::Error(
+          StrCat("hit count '", arg, "' in fail-point spec overflows a 64-bit integer"));
+    }
     if (end == arg.c_str() || *end != '\0' || config.n < (config.mode == Mode::kAtNth ? 1 : 0)) {
       return Status::Error(StrCat("bad hit count '", arg, "' in fail-point spec"));
     }
   } else if (mode_str == "p") {
     config.mode = Mode::kProbability;
     char* end = nullptr;
+    errno = 0;
     config.probability = std::strtod(arg.c_str(), &end);
+    if (errno == ERANGE) {
+      return Status::Error(
+          StrCat("probability '", arg, "' in fail-point spec is out of double range"));
+    }
     if (end == arg.c_str() || *end != '\0' || config.probability < 0.0 ||
         config.probability > 1.0) {
       return Status::Error(StrCat("bad probability '", arg, "' in fail-point spec"));
@@ -114,7 +125,17 @@ Status Arm(std::string_view spec) {
   uint64_t seed = 0;
   for (const std::string& extra : extras) {
     if (extra.rfind("seed=", 0) == 0) {
-      seed = std::strtoull(extra.c_str() + 5, nullptr, 10);
+      const char* digits = extra.c_str() + 5;
+      char* end = nullptr;
+      errno = 0;
+      seed = std::strtoull(digits, &end, 10);
+      if (errno == ERANGE) {
+        return Status::Error(
+            StrCat("seed '", extra.substr(5), "' in fail-point spec overflows a 64-bit integer"));
+      }
+      if (end == digits || *end != '\0' || extra.find('-', 5) != std::string::npos) {
+        return Status::Error(StrCat("bad seed '", extra.substr(5), "' in fail-point spec"));
+      }
     } else if (extra == "action=abort") {
       config.action = Action::kAbort;
     } else if (extra == "action=throw") {

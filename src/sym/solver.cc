@@ -888,9 +888,11 @@ SolveResult Solver::SolveImpl(const std::vector<ExprRef>& conjuncts, bool want_m
     return SolveUncached(conjuncts);
   }
   QueryKey key = FingerprintQuery(conjuncts);
-  // A kSat entry stored without a model cannot serve a model-needing caller;
-  // Lookup reports it as a miss and the re-solve below upgrades the entry.
-  std::optional<SolverCache::Entry> entry = cache_->Lookup(key, want_model);
+  // A kSat entry stored without a model cannot serve a model-needing caller,
+  // and a kUnknown entry produced under a strictly smaller budget cannot
+  // serve this query; Lookup reports both as misses and the re-solve below
+  // upgrades the resident entry.
+  std::optional<SolverCache::Entry> entry = cache_->Lookup(key, want_model, &limits_);
   if (entry.has_value()) {
     SolveResult cached;
     cached.verdict = entry->verdict;
@@ -899,18 +901,14 @@ SolveResult Solver::SolveImpl(const std::vector<ExprRef>& conjuncts, bool want_m
       cached.model.witnesses = std::move(entry->witnesses);
     }
     if (entry->verdict == Verdict::kUnknown) {
-      if (!limits_.ignore_cached_unknowns) {
-        // Negative entry: some earlier attempt blew its budget on this exact
-        // query; don't burn another budget rediscovering that.
-        ++stats_.cache_negative_hits;
-        return cached;
-      }
-      // Retry with an escalated budget: fall through to re-solve. A decisive
-      // answer upgrades the resident negative entry via Insert.
+      // Negative entry earned under at-least-this budget: an earlier attempt
+      // already blew an equal-or-larger budget on this exact query; don't
+      // burn another budget rediscovering that.
+      ++stats_.cache_negative_hits;
     } else {
       ++stats_.cache_hits;
-      return cached;
     }
+    return cached;
   }
   ++stats_.cache_misses;
   SolveResult result = SolveUncached(conjuncts);
@@ -922,6 +920,12 @@ SolveResult Solver::SolveImpl(const std::vector<ExprRef>& conjuncts, bool want_m
     fresh.has_model = true;
     fresh.model_text = result.model.ToString();
     fresh.witnesses = result.model.witnesses;
+  }
+  if (result.verdict == Verdict::kUnknown) {
+    // Stamp the budget this give-up happened under; only strictly larger
+    // budgets will miss past it.
+    fresh.budget_decisions = limits_.max_decisions;
+    fresh.budget_seconds = limits_.max_seconds;
   }
   cache_->Insert(key, std::move(fresh));
   return result;

@@ -101,15 +101,13 @@ class Solver {
   // Per-query resource budgets. A query that exceeds either budget degrades
   // to Verdict::kUnknown instead of running unboundedly — callers treat that
   // as "inconclusive", never as a verdict.
+  // Cached kUnknown (negative) entries remember the budget they were
+  // produced under; a query whose budget strictly exceeds it misses and
+  // re-solves (see SolverCache::Lookup), so escalated retries work without
+  // any bypass flag.
   struct Limits {
     int64_t max_decisions = 2'000'000;
     double max_seconds = 0.0;  // Wall-clock budget per query; 0 = unlimited.
-    // Treat cached kUnknown (negative) entries as misses and re-solve under
-    // this query's budgets. Retry attempts with escalated budgets set this:
-    // otherwise the negative entry written by the smaller-budget attempt
-    // would answer instantly and the retry would be a no-op. A decisive
-    // re-solve upgrades the resident entry (see SolverCache::Insert).
-    bool ignore_cached_unknowns = false;
   };
 
   Solver() : limits_(Limits{}) {}

@@ -17,6 +17,22 @@ uint64_t Mix(uint64_t h, uint64_t v) {
   return h;
 }
 
+// True when `limits` grants strictly more resources than the budget a
+// kUnknown entry was produced under — on at least one axis, with the other
+// axis no smaller is not required: any strictly-larger axis means the
+// original attempt's give-up does not bound this attempt. A wall budget of 0
+// means unlimited (mirrors Solver::Limits::max_seconds).
+bool LimitsExceedBudget(const Solver::Limits& limits, int64_t budget_decisions,
+                        double budget_seconds) {
+  if (limits.max_decisions > budget_decisions) {
+    return true;
+  }
+  if (budget_seconds > 0.0 && (limits.max_seconds == 0.0 || limits.max_seconds > budget_seconds)) {
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 QueryKey FingerprintQuery(const std::vector<ExprRef>& conjuncts) {
@@ -49,24 +65,39 @@ double SolverCacheStats::HitRate() const {
 }
 
 std::string SolverCacheStats::ToString() const {
+  // With zero lookups a percentage is meaningless (and used to render as a
+  // confusing "0.0%"): show `-` instead.
+  std::string rate = lookups() == 0 ? "-" : StrFormat("%.1f%%", HitRate() * 100.0);
   return StrFormat(
-      "cache: %lld hits, %lld negative hits, %lld misses (%.1f%% hit rate), %lld upgrades",
+      "cache: %lld hits, %lld negative hits, %lld misses (%s hit rate), %lld upgrades",
       static_cast<long long>(hits), static_cast<long long>(negative_hits),
-      static_cast<long long>(misses), HitRate() * 100.0, static_cast<long long>(upgrades));
+      static_cast<long long>(misses), rate.c_str(), static_cast<long long>(upgrades));
 }
 
 SolverCache::SolverCache() = default;
 
-std::optional<SolverCache::Entry> SolverCache::Lookup(const QueryKey& key, bool need_model) {
+std::optional<SolverCache::Entry> SolverCache::Lookup(const QueryKey& key, bool need_model,
+                                                      const Solver::Limits* limits) {
   ICARUS_FAILPOINT(failpoint::kCacheLookup);
   Shard& shard = ShardFor(key);
   std::optional<Entry> found;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(key);
-    if (it != shard.map.end() &&
-        !(need_model && it->second.verdict == Verdict::kSat && !it->second.has_model)) {
-      found = it->second;
+    if (it != shard.map.end()) {
+      const Entry& resident = it->second;
+      bool usable = !(need_model && resident.verdict == Verdict::kSat && !resident.has_model);
+      if (usable && resident.verdict == Verdict::kUnknown && limits != nullptr &&
+          LimitsExceedBudget(*limits, resident.budget_decisions, resident.budget_seconds)) {
+        // Stale negative entry: the caller's budget strictly exceeds the one
+        // the give-up happened under. Miss, so the caller re-solves; a
+        // decisive answer (or a bigger give-up) upgrades the entry.
+        usable = false;
+      }
+      if (usable) {
+        it->second.tick = tick_.fetch_add(1, std::memory_order_relaxed);
+        found = it->second;
+      }
     }
   }
   if (!found.has_value()) {
@@ -86,6 +117,7 @@ void SolverCache::Insert(const QueryKey& key, Entry entry) {
   // an injected fault here must unwind leaving the shard untouched and
   // unlocked (lock_guard unlocks on unwind), never with a torn entry.
   ICARUS_FAILPOINT(failpoint::kCacheInsert);
+  entry.tick = tick_.fetch_add(1, std::memory_order_relaxed);
   auto [it, inserted] = shard.map.emplace(key, entry);
   bool upgraded = false;
   if (inserted) {
@@ -101,6 +133,15 @@ void SolverCache::Insert(const QueryKey& key, Entry entry) {
     // for the original budget blow-out.
     it->second = std::move(entry);
     upgraded = true;
+  } else if (entry.verdict == Verdict::kUnknown && it->second.verdict == Verdict::kUnknown &&
+             LimitsExceedBudget(
+                 Solver::Limits{.max_decisions = entry.budget_decisions,
+                                .max_seconds = entry.budget_seconds},
+                 it->second.budget_decisions, it->second.budget_seconds)) {
+    // Upgrade: still unknown, but under a strictly larger budget — advance
+    // the stamp so lookups at the new budget stop re-solving.
+    it->second = std::move(entry);
+    upgraded = true;
   }
   if (upgraded) {
     upgrades_.fetch_add(1, std::memory_order_relaxed);
@@ -111,6 +152,37 @@ void SolverCache::Insert(const QueryKey& key, Entry entry) {
       upgrades->Add(1);
     }
   }
+}
+
+void SolverCache::Preload(const QueryKey& key, Entry entry) {
+  uint64_t restored_tick = entry.tick;
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.map.emplace(key, std::move(entry));
+    (void)it;
+    if (!inserted) {
+      return;  // A live entry always outranks a persisted one.
+    }
+  }
+  preloads_.fetch_add(1, std::memory_order_relaxed);
+  // Keep the clock ahead of every restored tick so fresh activity ranks as
+  // more recent than anything from the previous process.
+  uint64_t now = tick_.load(std::memory_order_relaxed);
+  while (now <= restored_tick &&
+         !tick_.compare_exchange_weak(now, restored_tick + 1, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::pair<QueryKey, SolverCache::Entry>> SolverCache::Export() const {
+  std::vector<std::pair<QueryKey, Entry>> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, entry] : shard.map) {
+      out.emplace_back(key, entry);
+    }
+  }
+  return out;
 }
 
 size_t SolverCache::size() const {
@@ -129,6 +201,7 @@ SolverCacheStats SolverCache::Snapshot() const {
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.insertions = insertions_.load(std::memory_order_relaxed);
   stats.upgrades = upgrades_.load(std::memory_order_relaxed);
+  stats.preloads = preloads_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -142,6 +215,8 @@ void SolverCache::Clear() {
   misses_.store(0);
   insertions_.store(0);
   upgrades_.store(0);
+  preloads_.store(0);
+  tick_.store(1);
 }
 
 }  // namespace icarus::sym

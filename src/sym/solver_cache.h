@@ -28,6 +28,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/sym/expr.h"
@@ -49,13 +50,15 @@ QueryKey FingerprintQuery(const std::vector<ExprRef>& conjuncts);
 struct SolverCacheStats {
   int64_t hits = 0;           // Lookups served from a kSat/kUnsat entry.
   int64_t negative_hits = 0;  // Lookups served from a kUnknown (negative) entry.
-  int64_t misses = 0;         // Lookups that found nothing.
-  int64_t insertions = 0;     // Entries stored (all verdicts).
+  int64_t misses = 0;         // Lookups that found nothing usable.
+  int64_t insertions = 0;     // Entries stored by Insert (all verdicts).
   int64_t upgrades = 0;       // Resident entries upgraded in place (model
                               // added, or a retry resolved a kUnknown).
+  int64_t preloads = 0;       // Entries restored from a persisted store.
 
   int64_t lookups() const { return hits + negative_hits + misses; }
-  // Fraction of lookups answered from the cache (any entry kind).
+  // Fraction of lookups answered from the cache (any entry kind); 0.0 when no
+  // lookups have occurred (ToString renders the rate as `-` in that case).
   double HitRate() const;
   std::string ToString() const;
 };
@@ -75,6 +78,17 @@ class SolverCache {
     // Witnesses carry no ExprRefs, so they are pool-independent like
     // model_text and can feed counterexample reports from cached hits.
     std::vector<Witness> witnesses;
+    // The Solver::Limits budget the producing query ran under. Meaningful for
+    // kUnknown entries only: a negative entry answers exactly the budgets it
+    // was earned under — a lookup with a *strictly larger* budget is a miss,
+    // so escalated retries re-solve naturally instead of being served the
+    // stale "I gave up" answer. (0 seconds means the wall clock was
+    // unlimited, mirroring Solver::Limits::max_seconds.)
+    int64_t budget_decisions = 0;
+    double budget_seconds = 0.0;
+    // Recency stamp maintained by Lookup/Insert; the persistent store evicts
+    // lowest-tick-first when trimming to --cache-max-mb (LRU).
+    uint64_t tick = 0;
   };
 
   SolverCache();
@@ -84,14 +98,30 @@ class SolverCache {
   // Returns the cached entry for `key`, if present and usable, updating hit
   // statistics. With `need_model` set, a kSat entry stored without a model is
   // reported as a miss (the caller must re-solve; see Insert on upgrading).
-  std::optional<Entry> Lookup(const QueryKey& key, bool need_model = false);
+  // With `limits` set, a kUnknown entry whose producing budget is strictly
+  // smaller than `limits` is reported as a miss — the caller has more budget
+  // than the attempt that gave up, so the negative answer is stale for it.
+  // A null `limits` serves every resident entry (budget-blind lookup).
+  std::optional<Entry> Lookup(const QueryKey& key, bool need_model = false,
+                              const Solver::Limits* limits = nullptr);
 
   // Stores `entry` under `key`. First writer wins — a concurrent duplicate
   // insert (same structural query solved by two threads) is dropped — except
-  // that an entry carrying a model upgrades a resident model-free entry, and
-  // a decisive verdict (kSat/kUnsat, e.g. from a retry with a larger budget)
-  // upgrades a resident kUnknown negative entry.
+  // that an entry carrying a model upgrades a resident model-free entry, a
+  // decisive verdict (kSat/kUnsat, e.g. from a retry with a larger budget)
+  // upgrades a resident kUnknown negative entry, and a kUnknown produced
+  // under a strictly larger budget upgrades a resident kUnknown's budget
+  // stamp (so the bigger give-up is not rediscovered).
   void Insert(const QueryKey& key, Entry entry);
+
+  // Bulk-loads one entry from a persisted snapshot (cache_store.h). Counts
+  // as a preload, not an insertion; never overwrites a resident entry; keeps
+  // the entry's persisted recency tick and advances the internal clock past
+  // it so new activity always ranks as more recent.
+  void Preload(const QueryKey& key, Entry entry);
+
+  // Point-in-time copy of every resident entry, for persistence.
+  std::vector<std::pair<QueryKey, Entry>> Export() const;
 
   // Number of resident entries (approximate under concurrent mutation).
   size_t size() const;
@@ -121,6 +151,10 @@ class SolverCache {
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> insertions_{0};
   std::atomic<int64_t> upgrades_{0};
+  std::atomic<int64_t> preloads_{0};
+  // Logical clock for Entry::tick (LRU recency). Starts at 1 so a zero tick
+  // unambiguously means "never touched".
+  std::atomic<uint64_t> tick_{1};
 };
 
 }  // namespace icarus::sym

@@ -8,13 +8,16 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "src/ast/fingerprint.h"
 #include "src/meta/path_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/support/str_util.h"
 #include "src/support/thread_pool.h"
 #include "src/support/timing.h"
+#include "src/sym/cache_store.h"
 #include "src/verifier/journal.h"
+#include "src/verifier/verdict_store.h"
 
 namespace icarus::verifier {
 
@@ -30,13 +33,15 @@ const char* OutcomeName(Outcome outcome) {
       return "ERROR";
     case Outcome::kInternalError:
       return "INTERNAL_ERROR";
+    case Outcome::kCachedSafe:
+      return "CACHED_SAFE";
   }
   return "?";
 }
 
 bool OutcomeFromName(const std::string& name, Outcome* out) {
   for (Outcome o : {Outcome::kVerified, Outcome::kRefuted, Outcome::kInconclusive,
-                    Outcome::kError, Outcome::kInternalError}) {
+                    Outcome::kError, Outcome::kInternalError, Outcome::kCachedSafe}) {
     if (name == OutcomeName(o)) {
       *out = o;
       return true;
@@ -82,6 +87,10 @@ std::string BatchReport::RenderTable() const {
       static_cast<int>(results.size()), NumWithOutcome(Outcome::kVerified),
       NumWithOutcome(Outcome::kRefuted), NumWithOutcome(Outcome::kInconclusive),
       NumWithOutcome(Outcome::kError), NumWithOutcome(Outcome::kInternalError));
+  if (NumWithOutcome(Outcome::kCachedSafe) > 0) {
+    out += StrFormat("%d cached safe (unchanged units skipped via the incremental store)\n",
+                     NumWithOutcome(Outcome::kCachedSafe));
+  }
   if (TotalRetries() > 0) {
     out += StrFormat("%d retries consumed (budget escalation)\n", TotalRetries());
   }
@@ -92,6 +101,9 @@ std::string BatchReport::RenderTable() const {
                    deadline_hit ? "  (deadline hit; stragglers inconclusive)" : "");
   if (cache.lookups() > 0) {
     out += cache.ToString() + "\n";
+  }
+  for (const std::string& note : notes) {
+    out += StrCat("note: ", note, "\n");
   }
   return out;
 }
@@ -236,10 +248,12 @@ GeneratorResult VerifyOne(const platform::Platform* platform, const std::string&
         attempt >= options.retries) {
       return result;
     }
-    // Escalate: double both per-query budgets and re-solve queries the
-    // smaller budget left as cached negatives. A zero decision budget (a
-    // starved configuration) escalates to 1 so doubling has something to
-    // work with; a zero wall budget means unlimited and stays zero.
+    // Escalate: double both per-query budgets. Cached negative entries carry
+    // the budget they were produced under, so the escalated attempt misses
+    // past them and re-solves naturally (no bypass flag needed). A zero
+    // decision budget (a starved configuration) escalates to 1 so doubling
+    // has something to work with; a zero wall budget means unlimited and
+    // stays zero.
     if (obs::Enabled()) {
       static obs::Counter* retries = obs::Registry::Global().GetCounter(
           "icarus_batch_retries_total", "Budget-escalation retries consumed");
@@ -247,7 +261,6 @@ GeneratorResult VerifyOne(const platform::Platform* platform, const std::string&
     }
     limits.max_decisions = limits.max_decisions > 0 ? limits.max_decisions * 2 : 1;
     limits.max_seconds *= 2.0;
-    limits.ignore_cached_unknowns = true;
   }
 }
 
@@ -285,6 +298,9 @@ JournalRecord RecordFromResult(const GeneratorResult& r, const std::string& fing
   rec.decisions = r.report.meta.solver_decisions;
   rec.paths_attached = r.report.meta.paths_attached;
   rec.paths_infeasible = r.report.meta.paths_infeasible;
+  rec.unit_fp = r.unit_fp;
+  rec.budget_decisions = r.budget_decisions;
+  rec.budget_seconds = r.budget_seconds;
   // Flight recorder: journal the first violation's counterexample (the
   // journal row is flat; additional violations stay in memory and in the
   // explain rendering).
@@ -322,6 +338,9 @@ StatusOr<GeneratorResult> ResultFromRecord(const JournalRecord& rec) {
   r.report.meta.solver_decisions = rec.decisions;
   r.report.meta.paths_attached = static_cast<int>(rec.paths_attached);
   r.report.meta.paths_infeasible = static_cast<int>(rec.paths_infeasible);
+  r.unit_fp = rec.unit_fp;
+  r.budget_decisions = rec.budget_decisions;
+  r.budget_seconds = rec.budget_seconds;
   // Reconstruct the journaled counterexample so a resumed REFUTED row still
   // renders and reports. The witness summary and decision string come back
   // pre-rendered (the journal stores the wire form, not Witness structs);
@@ -389,9 +408,47 @@ StatusOr<BatchReport> BatchVerifier::VerifyAll(const std::vector<std::string>& g
   std::mutex journal_mu;
   Status journal_status = Status::Ok();
 
+  // Incremental mode: open the persistent stores and fingerprint every
+  // requested unit up front (a cheap serial AST walk). Store problems are
+  // notes, not errors — the run simply starts cold.
+  VerdictStore store;
+  std::vector<std::string> unit_fps(generator_names.size());
+  std::string solver_store_path;
+  bool persistence_enabled = false;
+  if (options.incremental) {
+    Status dir = EnsureCacheDir(options.cache_dir);
+    if (!dir.ok()) {
+      report.notes.push_back(StrCat(dir.message(), "; running without persistence"));
+    } else {
+      persistence_enabled = true;
+      solver_store_path = SolverCacheStorePath(options.cache_dir);
+      VerdictStore::LoadResult loaded =
+          store.Load(VerdictStorePath(options.cache_dir), kVerifierEpoch);
+      if (!loaded.note.empty()) {
+        report.notes.push_back(loaded.note);
+      }
+    }
+    for (size_t i = 0; i < generator_names.size(); ++i) {
+      StatusOr<ast::Fingerprint> fp =
+          ast::UnitFingerprint(platform_->module(), generator_names[i]);
+      if (fp.ok()) {
+        // An unfingerprintable name stays empty: never skipped, never stored;
+        // the task itself reports the (unknown-generator) error.
+        unit_fps[i] = fp.value().ToHex();
+      }
+    }
+  }
+
   std::unique_ptr<sym::SolverCache> cache;
   if (options.use_cache) {
     cache = std::make_unique<sym::SolverCache>();
+    if (persistence_enabled) {
+      sym::CacheLoadResult loaded =
+          sym::LoadSolverCache(solver_store_path, kVerifierEpoch, cache.get());
+      if (!loaded.note.empty()) {
+        report.notes.push_back(loaded.note);
+      }
+    }
   }
   std::atomic<bool> cancel{false};
   WallTimer timer;
@@ -400,6 +457,7 @@ StatusOr<BatchReport> BatchVerifier::VerifyAll(const std::vector<std::string>& g
     std::vector<std::future<void>> futures;
     std::vector<size_t> submitted;  // results index per future.
     futures.reserve(generator_names.size());
+    int journal_appends = 0;  // Guarded by journal_mu; drives checkpoints.
     for (size_t i = 0; i < generator_names.size(); ++i) {
       auto it = restored.find(generator_names[i]);
       if (it != restored.end()) {
@@ -407,10 +465,42 @@ StatusOr<BatchReport> BatchVerifier::VerifyAll(const std::vector<std::string>& g
         ++report.num_resumed;
         continue;
       }
+      if (options.incremental) {
+        const JournalRecord* pass =
+            store.FindPass(generator_names[i], unit_fps[i], options.solver_limits);
+        if (pass != nullptr) {
+          // Unchanged unit, same budget, previously VERIFIED: skip the
+          // dispatch outright. The row carries no work counters — nothing
+          // ran — only the identity that justified the skip.
+          GeneratorResult skip;
+          skip.generator = generator_names[i];
+          skip.outcome = Outcome::kCachedSafe;
+          skip.unit_fp = unit_fps[i];
+          skip.budget_decisions = options.solver_limits.max_decisions;
+          skip.budget_seconds = options.solver_limits.max_seconds;
+          skip.report.generator = generator_names[i];
+          if (obs::Enabled()) {
+            static obs::Counter* skips = obs::Registry::Global().GetCounter(
+                "icarus_incremental_skips_total",
+                "Generators skipped as CACHED_SAFE by the persistent verdict store");
+            skips->Add(1);
+          }
+          if (journal != nullptr) {
+            std::lock_guard<std::mutex> lock(journal_mu);
+            Status st = journal->Append(RecordFromResult(skip, fingerprint));
+            if (!st.ok() && journal_status.ok()) {
+              journal_status = st;
+            }
+          }
+          report.results[i] = std::move(skip);
+          continue;
+        }
+      }
       submitted.push_back(i);
       WallTimer queue_timer;  // Copied into the task: measures submit → start.
       futures.push_back(pool.Submit([this, &generator_names, &options, &report, &cancel,
-                                     &journal, &journal_mu, &journal_status, &fingerprint,
+                                     &journal, &journal_mu, &journal_status, &journal_appends,
+                                     &fingerprint, &unit_fps, &solver_store_path,
                                      cache_ptr = cache.get(), queue_timer, i]() {
         if (obs::Enabled()) {
           static obs::Histogram* queue_wait = obs::Registry::Global().GetHistogram(
@@ -428,11 +518,24 @@ StatusOr<BatchReport> BatchVerifier::VerifyAll(const std::vector<std::string>& g
         } catch (const std::exception& e) {
           result = ContainedCrash(generator_names[i], e.what());
         }
+        if (options.incremental) {
+          result.unit_fp = unit_fps[i];
+          result.budget_decisions = options.solver_limits.max_decisions;
+          result.budget_seconds = options.solver_limits.max_seconds;
+        }
         if (journal != nullptr) {
           std::lock_guard<std::mutex> lock(journal_mu);
           Status st = journal->Append(RecordFromResult(result, fingerprint));
           if (!st.ok() && journal_status.ok()) {
             journal_status = st;
+          }
+          // Journal checkpoint: periodically flush the solver cache so a run
+          // killed mid-fleet still warms the next one. Best-effort — a failed
+          // checkpoint never fails the run (the final save reports instead).
+          if (!solver_store_path.empty() && cache_ptr != nullptr &&
+              ++journal_appends % 8 == 0) {
+            (void)sym::SaveSolverCache(*cache_ptr, solver_store_path, kVerifierEpoch,
+                                       options.cache_max_mb * 1024 * 1024);
           }
         }
         report.results[i] = std::move(result);
@@ -472,6 +575,28 @@ StatusOr<BatchReport> BatchVerifier::VerifyAll(const std::vector<std::string>& g
   }
   if (cache != nullptr) {
     report.cache = cache->Snapshot();
+  }
+  if (options.incremental && persistence_enabled) {
+    // Write back: fresh PASSes enter the verdict store (keyed by generator;
+    // the record carries the unit fingerprint and budget that earned them),
+    // then both stores land on disk atomically. Failures are notes — the
+    // verdicts themselves are correct and already reported.
+    for (const GeneratorResult& r : report.results) {
+      if (r.outcome == Outcome::kVerified) {
+        store.Put(RecordFromResult(r, kVerifierEpoch));
+      }
+    }
+    Status saved = store.Save(VerdictStorePath(options.cache_dir));
+    if (!saved.ok()) {
+      report.notes.push_back(saved.message());
+    }
+    if (cache != nullptr) {
+      Status cache_saved = sym::SaveSolverCache(*cache, solver_store_path, kVerifierEpoch,
+                                                options.cache_max_mb * 1024 * 1024);
+      if (!cache_saved.ok()) {
+        report.notes.push_back(cache_saved.message());
+      }
+    }
   }
   return report;
 }

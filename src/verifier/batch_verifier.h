@@ -56,6 +56,18 @@ struct BatchOptions {
   // violation found (consumed by `verify-all --explain`). The structured
   // counterexample is captured either way.
   bool record = false;
+  // Incremental mode: consult and maintain the persistent stores under
+  // `cache_dir` (verdict store + solver-result cache; see
+  // verdict_store.h / sym/cache_store.h). A generator whose verification-
+  // unit fingerprint and solver budget match a stored PASS is skipped and
+  // reported CACHED_SAFE; everything else verifies normally and fresh PASSes
+  // are written back. Store load problems degrade to a cold run with a note
+  // in BatchReport::notes, never an error.
+  bool incremental = false;
+  std::string cache_dir = ".icarus-cache";
+  // Size bound (MiB) for the persisted solver cache; LRU-evicted at save
+  // time. <= 0 means unbounded.
+  int64_t cache_max_mb = 64;
 };
 
 // How one generator's verification concluded.
@@ -65,10 +77,12 @@ enum class Outcome {
   kInconclusive,   // A budget or the fleet deadline prevented a verdict.
   kError,          // Pipeline error (unknown generator, malformed platform).
   kInternalError,  // The task crashed (bug or injected fault) and was contained.
+  kCachedSafe,     // Incremental skip: a stored PASS for an unchanged unit
+                   // under the same solver budget (stands for kVerified).
 };
 
 // Renders e.g. "VERIFIED" / "COUNTEREXAMPLE" / "INCONCLUSIVE" / "ERROR" /
-// "INTERNAL_ERROR".
+// "INTERNAL_ERROR" / "CACHED_SAFE".
 const char* OutcomeName(Outcome outcome);
 
 // Inverse of OutcomeName; returns false for an unknown token.
@@ -83,6 +97,12 @@ struct GeneratorResult {
   double seconds = 0.0; // Wall-clock for this task (queue wait excluded).
   int attempts = 1;     // 1 + retries consumed by this generator.
   bool resumed = false; // Row restored from a journal, not recomputed.
+  // Incremental verification: the unit's content fingerprint (hex; empty in
+  // non-incremental runs) and the solver budget the run was configured with.
+  // Journaled (schema v4) and matched by the verdict store.
+  std::string unit_fp;
+  int64_t budget_decisions = 0;
+  double budget_seconds = 0.0;
 };
 
 // Aggregate result of BatchVerifier::VerifyAll.
@@ -93,6 +113,9 @@ struct BatchReport {
   bool deadline_hit = false;
   int num_resumed = 0;  // Rows restored from the resume journal.
   sym::SolverCacheStats cache;  // Zero-valued when the cache was disabled.
+  // Incremental-mode diagnostics (store load notes, save failures). Rendered
+  // after the table; empty outside --incremental runs.
+  std::vector<std::string> notes;
 
   // Outcome counts over `results`.
   int NumWithOutcome(Outcome outcome) const;

@@ -188,6 +188,8 @@ class LineParser {
         rec->cx_target_ops = std::move(s);
       } else if (key == "cx_decisions") {
         rec->cx_decisions = std::move(s);
+      } else if (key == "unit_fp") {
+        rec->unit_fp = std::move(s);
       }
       return true;
     }
@@ -221,6 +223,10 @@ class LineParser {
       rec->paths_infeasible = static_cast<int64_t>(v);
     } else if (key == "cx_line") {
       rec->cx_line = static_cast<int>(v);
+    } else if (key == "budget_decisions") {
+      rec->budget_decisions = static_cast<int64_t>(v);
+    } else if (key == "budget_seconds") {
+      rec->budget_seconds = v;
     }
     return true;
   }
@@ -230,6 +236,10 @@ class LineParser {
 };
 
 }  // namespace
+
+bool ParseJournalLine(std::string_view line, JournalRecord* rec) {
+  return LineParser(line).Parse(rec);
+}
 
 std::string JournalRecord::ToJsonLine() const {
   std::string out = StrFormat("{\"schema\":%d,\"platform\":", schema);
@@ -251,6 +261,14 @@ std::string JournalRecord::ToJsonLine() const {
   out += StrFormat(",\"paths_attached\":%lld,\"paths_infeasible\":%lld",
                    static_cast<long long>(paths_attached),
                    static_cast<long long>(paths_infeasible));
+  // Incremental-verification block (schema >= 4): only on rows that carry a
+  // unit fingerprint, so journals from non-incremental runs stay compact.
+  if (!unit_fp.empty()) {
+    out += ",\"unit_fp\":";
+    AppendJsonString(unit_fp, &out);
+    out += StrFormat(",\"budget_decisions\":%lld,\"budget_seconds\":%.17g",
+                     static_cast<long long>(budget_decisions), budget_seconds);
+  }
   // Counterexample block: only on rows that carry one, so VERIFIED rows stay
   // as compact as before.
   if (!cx_contract.empty()) {
@@ -327,7 +345,7 @@ StatusOr<std::vector<JournalRecord>> ReadJournal(const std::string& path,
       continue;
     }
     JournalRecord rec;
-    if (!LineParser(line).Parse(&rec)) {
+    if (!ParseJournalLine(line, &rec)) {
       pending_error = StrCat("journal '", path, "' line ", line_no, " is malformed");
       continue;
     }

@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/obs/report.h"
@@ -38,7 +39,13 @@ namespace icarus::verifier {
 //       present on REFUTED rows) and the path-outcome counters
 //       (paths_attached/paths_infeasible). Additive again: the parser skips
 //       unknown keys, so v1/v2 records read fine with empty counterexamples.
-inline constexpr int kJournalSchemaVersion = 3;
+//   4 — adds the incremental-verification fields: the verification unit's
+//       content fingerprint (unit_fp, ast::Fingerprint::ToHex) and the solver
+//       budget the run used (budget_decisions/budget_seconds). These are what
+//       the persistent verdict store matches on before skipping a generator
+//       as CACHED_SAFE. Additive: older rows read fine with an empty
+//       fingerprint, which simply never matches (so they are re-verified).
+inline constexpr int kJournalSchemaVersion = 4;
 inline constexpr int kJournalMinReadSchemaVersion = 1;
 
 // One journaled verdict. `outcome` is the OutcomeName() token (e.g.
@@ -63,6 +70,10 @@ struct JournalRecord {
   // Path-outcome counters (schema >= 3; 0 in older rows).
   int64_t paths_attached = 0;
   int64_t paths_infeasible = 0;
+  // Incremental verification (schema >= 4; empty/0 in older rows).
+  std::string unit_fp;          // ast::UnitFingerprint(...).ToHex() of the unit.
+  int64_t budget_decisions = 0; // Solver::Limits the verdict was earned under.
+  double budget_seconds = 0.0;
   // Flight-recorder counterexample (schema >= 3). Present — cx_contract
   // non-empty — only on rows whose verdict carries a violation. The journal
   // stays a *flat* object: list-valued data is pre-rendered with "; " (ops)
@@ -98,6 +109,12 @@ class JournalWriter {
   explicit JournalWriter(std::FILE* file) : file_(file) {}
   std::FILE* file_;
 };
+
+// Parses one JSONL journal line into `rec`. Returns false on malformed
+// input. Exposed for the persistent verdict store (verdict_store.h), which
+// reuses the journal's record format and parser but applies a tolerant
+// corruption policy instead of ReadJournal's strict one.
+bool ParseJournalLine(std::string_view line, JournalRecord* rec);
 
 // Reads every complete record from a journal at `path`.
 //

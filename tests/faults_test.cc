@@ -173,6 +173,18 @@ TEST_F(FaultsTest, ArmRejectsBadSpecs) {
   EXPECT_FALSE(failpoint::Arm("p=solver-decision:1.5").ok());
   EXPECT_FALSE(failpoint::Arm("at=solver-decision:0").ok());
   EXPECT_FALSE(failpoint::Arm("at=solver-decision:1,action=explode").ok());
+  // Overflow must be rejected with a diagnostic, not silently clamped by
+  // strtoll/strtod saturation (errno=ERANGE used to go unchecked).
+  EXPECT_FALSE(failpoint::Arm("at=solver-decision:99999999999999999999999").ok());
+  EXPECT_FALSE(failpoint::Arm("after=solver-decision:9223372036854775808").ok());
+  EXPECT_FALSE(failpoint::Arm("p=solver-decision:1e999").ok());
+  // seed= parsing was entirely unchecked: junk, trailing garbage, negatives
+  // (strtoull wraps them), and overflow must all be diagnosed.
+  EXPECT_FALSE(failpoint::Arm("p=cache-insert:0.5,seed=abc").ok());
+  EXPECT_FALSE(failpoint::Arm("p=cache-insert:0.5,seed=").ok());
+  EXPECT_FALSE(failpoint::Arm("p=cache-insert:0.5,seed=7x").ok());
+  EXPECT_FALSE(failpoint::Arm("p=cache-insert:0.5,seed=-1").ok());
+  EXPECT_FALSE(failpoint::Arm("p=cache-insert:0.5,seed=99999999999999999999999").ok());
   EXPECT_TRUE(failpoint::Arm("at=solver-decision:3").ok());
   EXPECT_TRUE(failpoint::Arm("p=cache-insert:0.5,seed=7").ok());
 }

@@ -216,11 +216,11 @@ TEST_F(SolverCacheTest, DecisiveVerdictUpgradesNegativeEntry) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
-TEST_F(SolverCacheTest, IgnoreCachedUnknownsBypassesAndUpgradesNegativeEntry) {
-  // The retry path: a starved solver caches kUnknown; a retry with
-  // ignore_cached_unknowns set must re-solve instead of being served the
-  // negative entry, and its decisive verdict must upgrade the entry so later
-  // normal lookups are decisive too.
+TEST_F(SolverCacheTest, LargerBudgetMissesPastNegativeEntryAndUpgradesIt) {
+  // The retry path: a starved solver caches kUnknown stamped with its budget;
+  // a retry with a strictly larger budget must miss past the negative entry
+  // and re-solve, and its decisive verdict must upgrade the entry so later
+  // lookups are decisive too.
   SolverCache cache;
   Solver::Limits tiny;
   tiny.max_decisions = 0;
@@ -233,7 +233,7 @@ TEST_F(SolverCacheTest, IgnoreCachedUnknownsBypassesAndUpgradesNegativeEntry) {
   ASSERT_EQ(starved.Solve(query).verdict, Verdict::kUnknown);
 
   Solver::Limits escalated;
-  escalated.ignore_cached_unknowns = true;
+  escalated.max_decisions = 1'000;
   Solver retry(escalated);
   retry.set_cache(&cache);
   EXPECT_EQ(retry.Solve(query).verdict, Verdict::kSat);
@@ -247,6 +247,62 @@ TEST_F(SolverCacheTest, IgnoreCachedUnknownsBypassesAndUpgradesNegativeEntry) {
   EXPECT_EQ(after.Solve(query).verdict, Verdict::kSat);
   EXPECT_EQ(after.stats().cache_hits, 1);
   EXPECT_EQ(after.stats().decisions, 0);
+}
+
+TEST_F(SolverCacheTest, EqualOrSmallerBudgetIsServedTheNegativeEntry) {
+  // Re-running under the same (or a smaller) budget must NOT re-solve: the
+  // give-up already happened under at least this much budget.
+  SolverCache cache;
+  Solver::Limits budget;
+  budget.max_decisions = 0;
+  Solver starved(budget);
+  starved.set_cache(&cache);
+
+  ExprRef p = pool_.Var("p", Sort::kBool);
+  ExprRef q = pool_.Var("q", Sort::kBool);
+  std::vector<ExprRef> query = {pool_.Or(p, q), pool_.Or(pool_.Not(p), q)};
+  ASSERT_EQ(starved.Solve(query).verdict, Verdict::kUnknown);
+
+  Solver same(budget);
+  same.set_cache(&cache);
+  EXPECT_EQ(same.Solve(query).verdict, Verdict::kUnknown);
+  EXPECT_EQ(same.stats().cache_negative_hits, 1);
+  EXPECT_EQ(same.stats().cache_misses, 0);
+  EXPECT_EQ(same.stats().budget_exhausted, 0);
+}
+
+TEST_F(SolverCacheTest, UnknownEntryStoresProducingBudget) {
+  // The entry written for a budget blow-out carries the budget it ran under,
+  // and a bigger give-up upgrades the stamp in place.
+  SolverCache cache;
+  Solver::Limits tiny;
+  tiny.max_decisions = 0;
+  tiny.max_seconds = 1.0;
+  Solver starved(tiny);
+  starved.set_cache(&cache);
+
+  ExprRef p = pool_.Var("p", Sort::kBool);
+  ExprRef q = pool_.Var("q", Sort::kBool);
+  std::vector<ExprRef> query = {pool_.Or(p, q), pool_.Or(pool_.Not(p), q)};
+  ASSERT_EQ(starved.Solve(query).verdict, Verdict::kUnknown);
+
+  QueryKey key = FingerprintQuery(query);
+  std::optional<SolverCache::Entry> entry = cache.Lookup(key);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->verdict, Verdict::kUnknown);
+  EXPECT_EQ(entry->budget_decisions, 0);
+  EXPECT_DOUBLE_EQ(entry->budget_seconds, 1.0);
+
+  // A kUnknown produced under a strictly larger budget advances the stamp.
+  SolverCache::Entry bigger;
+  bigger.verdict = Verdict::kUnknown;
+  bigger.budget_decisions = 50;
+  bigger.budget_seconds = 1.0;
+  cache.Insert(key, bigger);
+  entry = cache.Lookup(key);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->budget_decisions, 50);
+  EXPECT_EQ(cache.Snapshot().upgrades, 1);
 }
 
 TEST_F(SolverCacheTest, InjectedInsertFaultDoesNotPoisonShard) {

@@ -123,6 +123,22 @@ int VerifyAllHelp() {
       "                  restoring their rows. Refused if FILE was written by a\n"
       "                  different platform (fingerprint mismatch). Typically\n"
       "                  used with --journal pointing at the same FILE.\n"
+      "  --incremental   Skip generators whose verification unit (the generator\n"
+      "                  plus every DSL decl its verdict depends on) is unchanged\n"
+      "                  since a previously stored PASS under the same solver\n"
+      "                  budget. Skipped rows report CACHED_SAFE — it stands for\n"
+      "                  VERIFIED and satisfies the exit code the same way. The\n"
+      "                  persistent stores (verdict store + solver-result cache)\n"
+      "                  live under --cache-dir and are written back crash-safely\n"
+      "                  at the end of the run and on journal checkpoints. A\n"
+      "                  missing or corrupt store means a cold run, never an\n"
+      "                  error or a wrong verdict.\n"
+      "  --cache-dir D   Directory for the incremental stores\n"
+      "                  (default: .icarus-cache).\n"
+      "  --cache-max-mb N\n"
+      "                  Size bound for the persisted solver cache; least-\n"
+      "                  recently-used entries are evicted at save time\n"
+      "                  (default: 64; <= 0 means unbounded).\n"
       "  --fail SPEC     Arm a fail-point (fault injection, for testing the\n"
       "                  containment machinery). SPEC is one of\n"
       "                    at=SITE:N     fault on exactly the N-th hit of SITE\n"
@@ -135,7 +151,7 @@ int VerifyAllHelp() {
       "\n"
       "Exit codes:\n"
       "  0  every generator had its expected outcome (generators named\n"
-      "     *_buggy refuted, everything else verified)\n"
+      "     *_buggy refuted, everything else verified or CACHED_SAFE)\n"
       "  1  at least one unexpected outcome (including INCONCLUSIVE,\n"
       "     ERROR and INTERNAL_ERROR rows)\n"
       "  2  usage error, platform load failure, or journal error\n",
@@ -359,11 +375,15 @@ int VerifyAll(const Platform& platform, const icarus::verifier::BatchOptions& op
 
   // Deliberately-buggy study generators are expected to be refuted; anything
   // else must verify. Inconclusive results (deadline/budget) are reported but
-  // also count as unexpected for the exit code.
+  // also count as unexpected for the exit code. CACHED_SAFE stands for a
+  // stored VERIFIED and satisfies the expectation the same way.
   int failures = 0;
   for (const icarus::verifier::GeneratorResult& r : report.results) {
     Outcome expected = r.generator.find("_buggy") == std::string::npos ? Outcome::kVerified
                                                                        : Outcome::kRefuted;
+    if (expected == Outcome::kVerified && r.outcome == Outcome::kCachedSafe) {
+      continue;
+    }
     if (r.outcome != expected) {
       std::printf("UNEXPECTED: %s is %s (expected %s)\n", r.generator.c_str(),
                   OutcomeName(r.outcome), OutcomeName(expected));
@@ -538,6 +558,12 @@ int Run(int argc, char** argv) {
         options.journal_path = argv[++i];
       } else if (flag == "--resume" && i + 1 < argc) {
         options.resume_path = argv[++i];
+      } else if (flag == "--incremental") {
+        options.incremental = true;
+      } else if (flag == "--cache-dir" && i + 1 < argc) {
+        options.cache_dir = argv[++i];
+      } else if (flag == "--cache-max-mb" && i + 1 < argc) {
+        options.cache_max_mb = std::atoll(argv[++i]);
       } else if (flag == "--fail" && i + 1 < argc) {
         icarus::Status st = icarus::failpoint::Arm(argv[++i]);
         if (!st.ok()) {
