@@ -88,6 +88,29 @@ void EvalContext::Assume(sym::ExprRef cond) {
   path_condition_.push_back(cond);
 }
 
+sym::SolveResult EvalContext::SolveQuery(const std::vector<sym::ExprRef>& conjuncts,
+                                         bool want_model) {
+  ++solver_queries_;
+  WallTimer solve_timer;
+  sym::SolveResult r;
+  if (solver_ != nullptr) {
+    // Persistent solver: re-sync budgets (retry escalation replaces the
+    // context's limits between attempts) and attribute cost by delta — its
+    // counters accumulate across every query of the run.
+    solver_->set_limits(solver_limits_);
+    const int64_t decisions_before = solver_->stats().decisions;
+    r = solver_->Solve(conjuncts, want_model);
+    solver_decisions_ += solver_->stats().decisions - decisions_before;
+  } else {
+    sym::Solver solver(solver_limits_);
+    solver.set_cache(solver_cache_);
+    r = solver.Solve(conjuncts, want_model);
+    solver_decisions_ += solver.stats().decisions;
+  }
+  solver_seconds_ += solve_timer.ElapsedSeconds();
+  return r;
+}
+
 bool EvalContext::PathFeasible() {
   for (sym::ExprRef c : path_condition_) {
     if (c->IsFalse()) {
@@ -97,15 +120,20 @@ bool EvalContext::PathFeasible() {
   if (abstract_mode_) {
     return true;
   }
-  ++solver_queries_;
-  sym::Solver solver(solver_limits_);
-  solver.set_cache(solver_cache_);
+  // Forced-prefix replay: while re-executing the shared prefix of a forked
+  // trace (deterministic re-execution — same conditions, same path
+  // condition), every feasibility question was already answered by the
+  // execution that enqueued this trace, and it answered "continue" (it only
+  // proceeds past a branch when PathFeasible returned true). Skipping the
+  // repeat query is what makes exploration cost O(tree edges) solver work
+  // instead of O(paths * depth). The flip decision itself (trace_pos_ ==
+  // trace_.size()) and everything after it are new territory and are checked.
+  if (trace_pos_ < trace_.size()) {
+    return true;
+  }
   // Feasibility only needs the verdict; skipping the model keeps cache
   // entries for these queries cheap to produce.
-  WallTimer solve_timer;
-  sym::SolveResult r = solver.Solve(path_condition_, /*want_model=*/false);
-  solver_seconds_ += solve_timer.ElapsedSeconds();
-  solver_decisions_ += solver.stats().decisions;
+  sym::SolveResult r = SolveQuery(path_condition_, /*want_model=*/false);
   if (r.verdict == sym::Verdict::kUnknown) {
     // Conservative: keep exploring (cannot prove infeasibility), but record
     // that this path's verdict rests on an undecided query.
@@ -123,15 +151,21 @@ bool EvalContext::CheckAssert(sym::ExprRef cond, const std::string& what,
   if (cond->IsTrue() || abstract_mode_) {
     return true;
   }
+  // Forced-prefix replay (see PathFeasible): an assert inside the forced
+  // prefix passed on the execution that enqueued this trace — it aborts the
+  // path on any other verdict, and this trace replays the identical prefix.
+  // Re-assume the proven lemma (the parent did, and later queries on this
+  // path must see the same path condition) and skip the repeat query.
+  if (trace_pos_ < trace_.size()) {
+    Assume(cond);
+    if (recording_) {
+      LogEvent(StrCat("assert ok (prefix replay): ", what, "  [", fn, ":", line, "]"));
+    }
+    return true;
+  }
   std::vector<sym::ExprRef> query = path_condition_;
   query.push_back(pool_->Not(cond));
-  ++solver_queries_;
-  sym::Solver solver(solver_limits_);
-  solver.set_cache(solver_cache_);
-  WallTimer solve_timer;
-  sym::SolveResult r = solver.Solve(query);
-  solver_seconds_ += solve_timer.ElapsedSeconds();
-  solver_decisions_ += solver.stats().decisions;
+  sym::SolveResult r = SolveQuery(query, /*want_model=*/true);
   if (r.verdict == sym::Verdict::kUnsat) {
     // The assertion holds on every model of this path; keep it as a lemma.
     Assume(cond);

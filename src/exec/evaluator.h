@@ -218,6 +218,13 @@ class EvalContext {
 
   // --- Decision trace (owned by the path explorer) ---
   void StartPath(std::vector<bool> trace) {
+    // Re-executing a path from the root must mint the same variable nodes at
+    // the same positions (see ExprPool::ResetFresh). Aliasing same-position
+    // variables across paths is sound: the solver's clause database only ever
+    // holds consequences of the empty context (Tseitin definitions and theory
+    // lemmas are valid for every interpretation of the named atoms), so a
+    // clause learned on one path is a tautology over the sibling's atoms too.
+    pool_->ResetFresh();
     trace_ = std::move(trace);
     trace_pos_ = 0;
     pending_alternatives_.clear();
@@ -265,6 +272,14 @@ class EvalContext {
   // Per-query resource budgets; queries over budget degrade to kUnknown.
   void set_solver_limits(const sym::Solver::Limits& limits) { solver_limits_ = limits; }
   const sym::Solver::Limits& solver_limits() const { return solver_limits_; }
+  // Attaches a persistent Solver owned by the caller (the meta-executor keeps
+  // one per generator run, so clauses learned on one path prune its
+  // siblings). Null (the default) makes every query build a fresh throwaway
+  // solver. The solver must outlive the context; its limits are re-synced
+  // from solver_limits() before each query, and this context's per-query
+  // cost counters are accumulated as deltas against its stats.
+  void set_solver(sym::Solver* solver) { solver_ = solver; }
+  sym::Solver* solver() const { return solver_; }
 
   // Fresh symbolic constant of the given DSL type, with enum-range
   // assumptions applied automatically.
@@ -321,6 +336,11 @@ class EvalContext {
  private:
   friend class Evaluator;
 
+  // Issues one satisfiability query through the shared solver when one is
+  // attached, or a fresh local solver otherwise, maintaining the per-context
+  // cost counters either way.
+  sym::SolveResult SolveQuery(const std::vector<sym::ExprRef>& conjuncts, bool want_model);
+
   const ast::Module* module_;
   sym::ExprPool* pool_;
   const ExternRegistry* externs_;
@@ -342,6 +362,7 @@ class EvalContext {
   int64_t solver_decisions_ = 0;
   sym::SolverCache* solver_cache_ = nullptr;
   sym::Solver::Limits solver_limits_;
+  sym::Solver* solver_ = nullptr;  // Shared persistent solver (not owned).
   bool abstract_mode_ = false;
   bool recording_ = false;
   size_t max_events_ = 256;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/obs/metrics.h"
+#include "src/sym/solver_cache.h"
 #include "src/obs/trace.h"
 #include "src/support/str_util.h"
 #include "src/support/timing.h"
@@ -38,6 +39,15 @@ std::string MetaResult::Summary() const {
 
 MetaExecutor::MetaExecutor(const ast::Module* module, const exec::ExternRegistry* externs)
     : module_(module), externs_(externs) {}
+
+MetaExecutor::~MetaExecutor() = default;
+
+void MetaExecutor::set_solver_options(const sym::Solver::Options& options) {
+  solver_options_ = options;
+  solver_.reset();
+  run_cache_.reset();
+  pool_.reset();
+}
 
 bool MetaExecutor::RunInterpreterPhase(exec::EvalContext& ctx, const MetaStub& stub) {
   using exec::PathStatus;
@@ -107,7 +117,25 @@ MetaResult MetaExecutor::Run(const MetaStub& stub) {
   using exec::PathStatus;
   MetaResult result;
   WallTimer timer;
-  sym::ExprPool pool;
+  // One persistent solver across every path — and every Run() — of this
+  // executor: the Tseitin encoding and every clause learned on one path
+  // carry over to its siblings (paths of a generator share most of their
+  // path condition), which is where the CDCL core's cross-query speedup
+  // comes from. Repeated runs of the same generator re-mint identical terms
+  // (deterministic exploration + per-path fresh-counter reset), so the warm
+  // state answers their queries almost entirely from learned clauses and the
+  // run-local result cache.
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<sym::ExprPool>();
+    solver_ = std::make_unique<sym::Solver>(solver_limits_, solver_options_);
+    run_cache_ = std::make_unique<sym::SolverCache>();
+  }
+  sym::ExprPool& pool = *pool_;
+  sym::Solver& solver = *solver_;
+  solver.set_cache(solver_cache_ != nullptr ? solver_cache_ : run_cache_.get());
+  // Persistent-solver counters accumulate across runs; report this run's
+  // share as deltas.
+  const sym::SolverStats stats_before = solver.stats();
 
   std::vector<std::vector<bool>> worklist;
   worklist.push_back({});
@@ -132,6 +160,7 @@ MetaResult MetaExecutor::Run(const MetaStub& stub) {
     exec::EvalContext ctx(module_, &pool, externs_, exec::Mode::kSymbolic);
     ctx.set_solver_cache(solver_cache_);
     ctx.set_solver_limits(solver_limits_);
+    ctx.set_solver(&solver);
     ctx.set_recording(recording_);
     ctx.set_max_events(static_cast<size_t>(limits_.max_path_events));
     ctx.StartPath(std::move(trace));
@@ -255,6 +284,10 @@ MetaResult MetaExecutor::Run(const MetaStub& stub) {
 
   result.verified = result.violations.empty() && !result.inconclusive;
   result.seconds = timer.ElapsedSeconds();
+  result.solver_propagations = solver.stats().propagations - stats_before.propagations;
+  result.solver_learned_clauses =
+      solver.stats().learned_clauses - stats_before.learned_clauses;
+  result.solver_restarts = solver.stats().restarts - stats_before.restarts;
   if (obs::Enabled()) {
     static obs::Counter* explored = obs::Registry::Global().GetCounter(
         "icarus_meta_paths_explored_total", "Meta-execution paths explored");

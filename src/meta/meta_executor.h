@@ -27,11 +27,13 @@
 
 #include <atomic>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/ast/ast.h"
 #include "src/exec/evaluator.h"
+#include "src/sym/solver.h"
 
 namespace icarus::meta {
 
@@ -76,7 +78,12 @@ struct MetaResult {
   double gen_seconds = 0.0;      // Phase 1 (generate), minus solver time.
   double interp_seconds = 0.0;   // Phase 2 (interpret), minus solver time.
   double solve_seconds = 0.0;    // Wall time inside Solver::Solve.
-  int64_t solver_decisions = 0;  // DPLL decisions across all queries.
+  int64_t solver_decisions = 0;  // Branching decisions across all queries.
+  // CDCL counters from the run's persistent solver (zero under the
+  // decide-only ablation engine).
+  int64_t solver_propagations = 0;     // Literals assigned by unit propagation.
+  int64_t solver_learned_clauses = 0;  // 1-UIP clauses + theory lemmas learned.
+  int64_t solver_restarts = 0;         // Luby restarts.
   std::string Summary() const;
 };
 
@@ -89,6 +96,7 @@ class MetaExecutor {
   };
 
   MetaExecutor(const ast::Module* module, const exec::ExternRegistry* externs);
+  ~MetaExecutor();  // Out of line: members of forward-declared types.
 
   void set_limits(const Limits& limits) { limits_ = limits; }
 
@@ -97,6 +105,10 @@ class MetaExecutor {
   void set_solver_cache(sym::SolverCache* cache) { solver_cache_ = cache; }
   // Per-query solver budgets applied to every path's context.
   void set_solver_limits(const sym::Solver::Limits& limits) { solver_limits_ = limits; }
+  // Engine selection for the run's persistent solver (clause learning on/off;
+  // off is the `--no-clause-learning` ablation path). Discards any warm
+  // solver state carried from earlier Run() calls.
+  void set_solver_options(const sym::Solver::Options& options);
   // Cooperative cancellation: checked between paths; when it flips true the
   // run stops early and the result is marked cancelled + inconclusive.
   void set_cancel_flag(const std::atomic<bool>* cancel) { cancel_ = cancel; }
@@ -122,8 +134,19 @@ class MetaExecutor {
   Limits limits_;
   sym::SolverCache* solver_cache_ = nullptr;
   sym::Solver::Limits solver_limits_;
+  sym::Solver::Options solver_options_;
   const std::atomic<bool>* cancel_ = nullptr;
   bool recording_ = false;
+  // Warm state shared by every Run() on this executor (one executor per
+  // generator). The pool hash-conses terms and every path resets the fresh
+  // suffix sequence (ExprPool::ResetFresh), so repeated runs mint the same
+  // nodes and the solver's Tseitin encoding, learned clauses, and the
+  // run-local result cache all stay valid and keep paying off — this is the
+  // steady state a long-lived verification service operates in. The solver
+  // must not outlive the pool (declaration order matters: pool first).
+  std::unique_ptr<sym::ExprPool> pool_;
+  std::unique_ptr<sym::Solver> solver_;
+  std::unique_ptr<sym::SolverCache> run_cache_;
 };
 
 }  // namespace icarus::meta

@@ -280,7 +280,7 @@ StatusOr<BenchRun> ReadBenchJsonFile(const std::string& path) {
 }
 
 BenchComparison CompareBenchRuns(const BenchRun& baseline, const BenchRun& current,
-                                 double threshold_pct) {
+                                 double threshold_pct, double noise_floor_ms) {
   BenchComparison cmp;
   cmp.threshold_pct = threshold_pct;
   std::map<std::string, const BenchEntry*> base_by_name;
@@ -301,7 +301,8 @@ BenchComparison CompareBenchRuns(const BenchRun& baseline, const BenchRun& curre
     d.current_ms = EntryMs(e);
     if (d.baseline_ms > 0.0) {
       d.delta_pct = (d.current_ms - d.baseline_ms) / d.baseline_ms * 100.0;
-      d.regressed = d.delta_pct > threshold_pct;
+      d.regressed = d.delta_pct > threshold_pct &&
+                    d.current_ms - d.baseline_ms > noise_floor_ms;
     }
     cmp.regressed = cmp.regressed || d.regressed;
     cmp.deltas.push_back(std::move(d));

@@ -46,7 +46,7 @@ struct BenchDelta {
   double baseline_ms = 0.0;
   double current_ms = 0.0;
   double delta_pct = 0.0;  // (current - baseline) / baseline * 100.
-  bool regressed = false;  // delta_pct > threshold.
+  bool regressed = false;  // Over both the threshold and the noise floor.
 };
 
 // Result of comparing a current run against a baseline.
@@ -62,11 +62,15 @@ struct BenchComparison {
 };
 
 // Compares entry-by-entry (matched by name). An entry regresses when its
-// time exceeds the baseline by more than `threshold_pct` percent. A
+// time exceeds the baseline by more than `threshold_pct` percent AND by
+// more than `noise_floor_ms` absolute. The floor keeps microsecond-scale
+// entries (a warm solver answers some whole generators in tens of
+// microseconds) from flagging on scheduler jitter that is large relative
+// to the entry but far below anything a human would call a regression. A
 // baseline time of 0 (degenerate) never flags, to avoid division blow-ups
 // on sub-resolution timings.
 BenchComparison CompareBenchRuns(const BenchRun& baseline, const BenchRun& current,
-                                 double threshold_pct);
+                                 double threshold_pct, double noise_floor_ms = 0.25);
 
 }  // namespace icarus::obs
 

@@ -97,6 +97,13 @@ class ExprPool {
   ExprRef Var(const std::string& name, Sort sort);
   // Fresh variable with a unique suffix.
   ExprRef Fresh(const std::string& prefix, Sort sort);
+  // Restarts the Fresh() suffix sequence. Path exploration calls this at the
+  // start of every path so that deterministic re-execution mints *identical*
+  // variable nodes at identical replay positions — which is what lets a
+  // persistent solver's learned clauses, Tseitin encodings, and cached
+  // verdicts carry across sibling paths instead of seeing each path's inputs
+  // as brand-new atoms.
+  void ResetFresh() { fresh_counter_ = 0; }
 
   // Uninterpreted function application.
   ExprRef App(const std::string& fn, std::vector<ExprRef> args, Sort result_sort);

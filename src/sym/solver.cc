@@ -828,22 +828,824 @@ bool Model::LookupWitness(std::string_view name, int64_t* out) const {
   return false;
 }
 
+
+// ---------------------------------------------------------------------------
+// The CDCL engine.
+//
+// A classic conflict-driven clause-learning SAT core specialized for the
+// meta-executor's workload: queries are conjunctions of hash-consed boolean
+// terms that share long prefixes across sibling paths, so the engine is built
+// to be *persistent* — the Tseitin encoding and every learned clause survive
+// across queries, and each query is solved under MiniSat-style assumptions
+// rather than by asserting its conjuncts. Theory reasoning is layered on top
+// (lazy SMT): at each full assignment of the query-relevant variables the
+// TheoryChecker above is consulted, and a theory conflict is turned into a
+// theory lemma — a clause valid in every model — that is learned permanently.
+//
+// Relevancy bounding: decisions are restricted to variables in the Tseitin
+// closure of the current query (assumptions + active temporary clauses), so
+// a warm solver carrying thousands of variables from earlier queries does
+// not enumerate assignments for atoms the current query never mentions.
+// This is sound in both directions: UNSAT answers are derived by resolution
+// from clauses that are consequences of the query + valid definitions, and a
+// SAT answer's partial assignment extends to a full model because every
+// clause in the database is a consequence of Tseitin definitions (valid by
+// construction over fresh aux variables) and theory lemmas (valid outright).
+// ---------------------------------------------------------------------------
+class Solver::Cdcl {
+ public:
+  // A literal is var*2 + sign (sign 1 = negated); clause refs index clauses_.
+  using Lit = int32_t;
+
+  explicit Cdcl(SolverStats* stats) : stats_(stats) {
+    // Variable 0 is the distinguished "true" variable, pinned by a level-0
+    // unit clause; ConstBool terms encode to ±true_var_.
+    true_var_ = NewVar(nullptr, /*is_atom=*/false);
+    AddClauseLits({MkLit(true_var_, false)});
+  }
+
+  // Fresh guard variable for one assumption scope's temporary clauses.
+  int NewSelectorVar() { return NewVar(nullptr, /*is_atom=*/false); }
+
+  // Permanently falsifies a selector, deactivating every clause guarded by
+  // it — including learned clauses derived from them, which all contain ¬sel.
+  void DisableSelector(int v) { AddClauseLits({MkLit(v, true)}); }
+
+  // Stores a scope-local clause as {¬sel ∨ lits}: active only while `sel`
+  // is assumed, dead forever once DisableSelector(sel) runs.
+  void AddGuardedClause(int selector, const std::vector<ExprRef>& terms) {
+    std::vector<Lit> lits;
+    lits.reserve(terms.size() + 1);
+    lits.push_back(MkLit(selector, true));
+    for (ExprRef t : terms) {
+      lits.push_back(EncodeTerm(t));
+    }
+    AddClauseLits(std::move(lits));
+  }
+
+  // Solves the conjunction of `assumptions` under the active guarded clauses
+  // (whose selectors are assumed true). On kUnsat, `out_core` receives the
+  // subset of assumption terms involved in the final conflict.
+  SolveResult Solve(const std::vector<ExprRef>& assumptions,
+                    const std::vector<int>& selectors,
+                    const std::vector<ExprRef>& clause_roots, const Limits& limits,
+                    bool want_model, std::vector<ExprRef>* out_core) {
+    SolveResult res;
+    out_core->clear();
+    if (!ok_) {
+      res.verdict = Verdict::kUnsat;
+      return res;
+    }
+    CancelUntil(0);
+    // Encode at level 0: new Tseitin definitions become permanent clauses.
+    assump_lits_.clear();
+    assump_terms_.clear();
+    assump_index_of_var_.clear();
+    for (int sel : selectors) {
+      assump_lits_.push_back(MkLit(sel, false));
+      assump_terms_.push_back(nullptr);
+    }
+    for (ExprRef t : assumptions) {
+      assump_lits_.push_back(EncodeTerm(t));
+      assump_terms_.push_back(t);
+    }
+    for (size_t i = 0; i < assump_lits_.size(); ++i) {
+      assump_index_of_var_.emplace(VarOf(assump_lits_[i]), static_cast<int>(i));
+    }
+    // Relevancy: decisions (and hence theory-check size) are confined to the
+    // closure of this query's assumptions and active temporary clauses.
+    ++relevancy_stamp_;
+    relevant_list_.clear();
+    for (ExprRef t : assumptions) {
+      MarkRelevant(t);
+    }
+    for (ExprRef t : clause_roots) {
+      MarkRelevant(t);
+    }
+
+    // Budgets are per query; decisions count from this query's start.
+    const int64_t decisions_at_start = stats_->decisions;
+    WallTimer query_timer;
+    int64_t ticks = 0;
+    int64_t conflicts_since_restart = 0;
+    int64_t restart_seq = 0;
+    int64_t restart_limit = kRestartBase * Luby(restart_seq);
+
+    Verdict verdict = Verdict::kUnknown;
+    for (;;) {
+      int confl = Propagate();
+      if (confl == kCRefUndef) {
+        if (stats_->decisions - decisions_at_start > limits.max_decisions) {
+          break;  // kUnknown: decision budget exhausted.
+        }
+        if (limits.max_seconds > 0.0 && (++ticks % 64 == 0) &&
+            query_timer.ElapsedSeconds() > limits.max_seconds) {
+          break;  // kUnknown: wall-clock budget exhausted.
+        }
+        if (conflicts_since_restart >= restart_limit) {
+          ++stats_->restarts;
+          ++restart_seq;
+          restart_limit = kRestartBase * Luby(restart_seq);
+          conflicts_since_restart = 0;
+          CancelUntil(0);
+          continue;
+        }
+        if (DecisionLevel() < static_cast<int>(assump_lits_.size())) {
+          // Place the next assumption on its own decision level. Assumptions
+          // are decisions, never clauses: nothing learned can depend on them.
+          int idx = DecisionLevel();
+          Lit p = assump_lits_[static_cast<size_t>(idx)];
+          if (LitValue(p) == LB::kTrue) {
+            NewDecisionLevel();  // Dummy level keeps index == level in sync.
+          } else if (LitValue(p) == LB::kFalse) {
+            AnalyzeFinal(p, idx, out_core);
+            verdict = Verdict::kUnsat;
+            break;
+          } else {
+            NewDecisionLevel();
+            UncheckedEnqueue(p, kCRefUndef);
+          }
+          continue;
+        }
+        int v = PickBranchVar();
+        if (v >= 0) {
+          ICARUS_FAILPOINT(failpoint::kSolverDecision);
+          ++stats_->decisions;
+          NewDecisionLevel();
+          UncheckedEnqueue(MkLit(v, !vars_[static_cast<size_t>(v)].phase), kCRefUndef);
+          continue;
+        }
+        // Full assignment over the relevant closure: consult the theory.
+        TheoryOutcome outcome = TheoryCheckFull(want_model, &res.model, &confl);
+        if (outcome == TheoryOutcome::kConsistent) {
+          verdict = Verdict::kSat;
+          break;
+        }
+        if (outcome == TheoryOutcome::kGlobalUnsat) {
+          verdict = Verdict::kUnsat;
+          break;
+        }
+        if (outcome == TheoryOutcome::kUnitLemma) {
+          ++stats_->conflicts;
+          ++conflicts_since_restart;
+          continue;
+        }
+        // TheoryOutcome::kLemmaConflict: fall through with confl set.
+      }
+      ++stats_->conflicts;
+      ++conflicts_since_restart;
+      if (DecisionLevel() == 0) {
+        // Conflict with no decisions or assumptions on the trail: the clause
+        // database itself is inconsistent — everything is unsat from now on.
+        ok_ = false;
+        out_core->clear();
+        verdict = Verdict::kUnsat;
+        break;
+      }
+      std::vector<Lit> learnt;
+      int bt = 0;
+      Analyze(confl, &learnt, &bt);
+      CancelUntil(bt);
+      if (learnt.size() == 1) {
+        UncheckedEnqueue(learnt[0], kCRefUndef);  // Permanent level-0 fact.
+      } else {
+        int cr = AttachClause(std::move(learnt));
+        UncheckedEnqueue(clauses_[static_cast<size_t>(cr)][0], cr);
+      }
+      ++stats_->learned_clauses;
+      var_inc_ /= kActivityDecay;
+    }
+    CancelUntil(0);
+    if (verdict == Verdict::kUnknown) {
+      ++stats_->budget_exhausted;
+    }
+    res.verdict = verdict;
+    return res;
+  }
+
+ private:
+  enum class LB : uint8_t { kTrue, kFalse, kUndef };
+  enum class TheoryOutcome { kConsistent, kLemmaConflict, kUnitLemma, kGlobalUnsat };
+
+  static constexpr int kCRefUndef = -1;
+  static constexpr Lit kLitUndef = -1;
+  static constexpr int64_t kRestartBase = 64;
+  static constexpr double kActivityDecay = 0.95;
+  static constexpr double kActivityLimit = 1e100;
+  // Theory conflicts up to this size go through greedy deletion
+  // minimization; larger ones are learned as-is (quadratic re-checking of a
+  // huge core costs more than the weaker lemma saves).
+  static constexpr size_t kMaxMinimizeCore = 48;
+
+  struct VarData {
+    ExprRef term = nullptr;  // The atom for is_atom vars; null for aux vars.
+    LB value = LB::kUndef;
+    bool phase = true;   // Saved polarity; starts true (try-true-first, like
+                         // the decide-only engine).
+    bool is_atom = false;
+    int level = 0;
+    int reason = kCRefUndef;
+    double activity = 0.0;
+    int64_t relevant_mark = 0;
+  };
+
+  static Lit MkLit(int var, bool neg) { return var * 2 + (neg ? 1 : 0); }
+  static Lit Negate(Lit l) { return l ^ 1; }
+  static int VarOf(Lit l) { return l >> 1; }
+  static bool SignOf(Lit l) { return (l & 1) != 0; }
+
+  // The x-th element of the Luby restart sequence 1,1,2,1,1,2,4,...
+  static int64_t Luby(int64_t x) {
+    int64_t size = 1;
+    int64_t seq = 0;
+    while (size < x + 1) {
+      ++seq;
+      size = 2 * size + 1;
+    }
+    while (size - 1 != x) {
+      size = (size - 1) / 2;
+      --seq;
+      x = x % size;
+    }
+    return seq < 62 ? (int64_t{1} << seq) : (int64_t{1} << 62);
+  }
+
+  LB LitValue(Lit l) const {
+    LB v = vars_[static_cast<size_t>(VarOf(l))].value;
+    if (v == LB::kUndef) {
+      return LB::kUndef;
+    }
+    return ((v == LB::kTrue) != SignOf(l)) ? LB::kTrue : LB::kFalse;
+  }
+
+  int DecisionLevel() const { return static_cast<int>(trail_lim_.size()); }
+  void NewDecisionLevel() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+
+  int NewVar(ExprRef term, bool is_atom) {
+    int v = static_cast<int>(vars_.size());
+    VarData vd;
+    vd.term = term;
+    vd.is_atom = is_atom;
+    vars_.push_back(vd);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    seen_.push_back(0);
+    return v;
+  }
+
+  // Tseitin encoding of a boolean term, memoized across queries (hash-consing
+  // makes the subterm → literal map stable for the life of the pool).
+  Lit EncodeTerm(ExprRef e) {
+    if (e->kind == Kind::kConstBool) {
+      return MkLit(true_var_, e->value == 0);
+    }
+    auto it = enc_cache_.find(e);
+    if (it != enc_cache_.end()) {
+      return it->second;
+    }
+    Lit out = kLitUndef;
+    if (IsAtomKind(e)) {
+      int v = NewVar(e, /*is_atom=*/true);
+      var_of_[e] = v;
+      out = MkLit(v, false);
+    } else {
+      switch (e->kind) {
+        case Kind::kNot:
+          out = Negate(EncodeTerm(e->args[0]));
+          break;
+        case Kind::kAnd: {
+          Lit a = EncodeTerm(e->args[0]);
+          Lit b = EncodeTerm(e->args[1]);
+          Lit v = MkLit(NewVar(e, /*is_atom=*/false), false);
+          AddClauseLits({Negate(v), a});
+          AddClauseLits({Negate(v), b});
+          AddClauseLits({v, Negate(a), Negate(b)});
+          out = v;
+          break;
+        }
+        case Kind::kOr: {
+          Lit a = EncodeTerm(e->args[0]);
+          Lit b = EncodeTerm(e->args[1]);
+          Lit v = MkLit(NewVar(e, /*is_atom=*/false), false);
+          AddClauseLits({v, Negate(a)});
+          AddClauseLits({v, Negate(b)});
+          AddClauseLits({Negate(v), a, b});
+          out = v;
+          break;
+        }
+        default:
+          ICARUS_BUG("non-boolean node in skeleton");
+      }
+    }
+    enc_cache_[e] = out;
+    return out;
+  }
+
+  // Variables in the Tseitin closure of `root`, memoized per root term.
+  // Requires `root` to have been encoded already.
+  const std::vector<int>& ClosureVars(ExprRef root) {
+    auto it = closure_cache_.find(root);
+    if (it != closure_cache_.end()) {
+      return it->second;
+    }
+    std::vector<int> vars;
+    std::unordered_set<ExprRef> seen;
+    CollectClosure(root, &vars, &seen);
+    std::sort(vars.begin(), vars.end());
+    vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+    return closure_cache_.emplace(root, std::move(vars)).first->second;
+  }
+
+  void CollectClosure(ExprRef e, std::vector<int>* out,
+                      std::unordered_set<ExprRef>* seen) {
+    if (!seen->insert(e).second) {
+      return;
+    }
+    if (e->kind == Kind::kConstBool) {
+      out->push_back(true_var_);
+      return;
+    }
+    if (IsAtomKind(e)) {
+      out->push_back(var_of_.at(e));
+      return;
+    }
+    // kNot has no variable of its own; kAnd/kOr own a Tseitin aux variable.
+    if (e->kind != Kind::kNot) {
+      out->push_back(VarOf(enc_cache_.at(e)));
+    }
+    for (ExprRef a : e->args) {
+      CollectClosure(a, out, seen);
+    }
+  }
+
+  void MarkRelevant(ExprRef root) {
+    for (int v : ClosureVars(root)) {
+      VarData& vd = vars_[static_cast<size_t>(v)];
+      if (vd.relevant_mark != relevancy_stamp_) {
+        vd.relevant_mark = relevancy_stamp_;
+        relevant_list_.push_back(v);
+      }
+    }
+  }
+
+  // Adds a permanent clause. Must run at decision level 0 (encoding time,
+  // scope teardown, or right after a backjump to the root), because level-0
+  // truth values are used to simplify the clause.
+  void AddClauseLits(std::vector<Lit> lits) {
+    if (!ok_) {
+      return;
+    }
+    std::sort(lits.begin(), lits.end());
+    lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+    size_t out = 0;
+    for (size_t i = 0; i < lits.size(); ++i) {
+      if (i + 1 < lits.size() && VarOf(lits[i]) == VarOf(lits[i + 1])) {
+        return;  // l and ¬l adjacent after sorting: tautology.
+      }
+      LB v = LitValue(lits[i]);
+      if (v == LB::kTrue) {
+        return;  // Already satisfied at level 0.
+      }
+      if (v == LB::kFalse) {
+        continue;  // Falsified at level 0: drop the literal.
+      }
+      lits[out++] = lits[i];
+    }
+    lits.resize(out);
+    if (lits.empty()) {
+      ok_ = false;
+      return;
+    }
+    if (lits.size() == 1) {
+      UncheckedEnqueue(lits[0], kCRefUndef);
+      return;
+    }
+    AttachClause(std::move(lits));
+  }
+
+  int AttachClause(std::vector<Lit> lits) {
+    int cr = static_cast<int>(clauses_.size());
+    watches_[static_cast<size_t>(lits[0])].push_back(cr);
+    watches_[static_cast<size_t>(lits[1])].push_back(cr);
+    clauses_.push_back(std::move(lits));
+    return cr;
+  }
+
+  void UncheckedEnqueue(Lit p, int reason) {
+    VarData& vd = vars_[static_cast<size_t>(VarOf(p))];
+    vd.value = SignOf(p) ? LB::kFalse : LB::kTrue;
+    vd.level = DecisionLevel();
+    vd.reason = reason;
+    trail_.push_back(p);
+  }
+
+  // Two-watched-literal unit propagation. Returns the conflicting clause
+  // ref, or kCRefUndef. Invariant for conflict analysis: a reason clause
+  // keeps its implied literal at position 0 for as long as it is a reason.
+  int Propagate() {
+    int confl = kCRefUndef;
+    while (qhead_ < trail_.size()) {
+      Lit p = trail_[qhead_++];
+      Lit false_lit = Negate(p);
+      std::vector<int>& ws = watches_[static_cast<size_t>(false_lit)];
+      size_t i = 0;
+      size_t j = 0;
+      while (i < ws.size()) {
+        int cr = ws[i++];
+        std::vector<Lit>& c = clauses_[static_cast<size_t>(cr)];
+        if (c[0] == false_lit) {
+          std::swap(c[0], c[1]);
+        }
+        if (LitValue(c[0]) == LB::kTrue) {
+          ws[j++] = cr;
+          continue;
+        }
+        bool moved = false;
+        for (size_t k = 2; k < c.size(); ++k) {
+          if (LitValue(c[k]) != LB::kFalse) {
+            std::swap(c[1], c[k]);
+            watches_[static_cast<size_t>(c[1])].push_back(cr);
+            moved = true;
+            break;
+          }
+        }
+        if (moved) {
+          continue;  // Watch moved; drop from this list.
+        }
+        ws[j++] = cr;
+        if (LitValue(c[0]) == LB::kFalse) {
+          confl = cr;
+          qhead_ = trail_.size();
+          while (i < ws.size()) {
+            ws[j++] = ws[i++];
+          }
+          break;
+        }
+        UncheckedEnqueue(c[0], cr);
+        ++stats_->propagations;
+      }
+      ws.resize(j);
+      if (confl != kCRefUndef) {
+        break;
+      }
+    }
+    return confl;
+  }
+
+  void CancelUntil(int level) {
+    if (DecisionLevel() <= level) {
+      return;
+    }
+    for (int i = static_cast<int>(trail_.size()) - 1;
+         i >= trail_lim_[static_cast<size_t>(level)]; --i) {
+      VarData& vd = vars_[static_cast<size_t>(VarOf(trail_[static_cast<size_t>(i)]))];
+      vd.phase = (vd.value == LB::kTrue);  // Phase saving.
+      vd.value = LB::kUndef;
+      vd.reason = kCRefUndef;
+    }
+    trail_.resize(static_cast<size_t>(trail_lim_[static_cast<size_t>(level)]));
+    trail_lim_.resize(static_cast<size_t>(level));
+    qhead_ = trail_.size();
+  }
+
+  // Highest-activity unassigned variable among this query's relevant set.
+  int PickBranchVar() const {
+    int best = -1;
+    double best_act = -1.0;
+    for (int v : relevant_list_) {
+      const VarData& vd = vars_[static_cast<size_t>(v)];
+      if (vd.value != LB::kUndef) {
+        continue;
+      }
+      if (best < 0 || vd.activity > best_act) {
+        best = v;
+        best_act = vd.activity;
+      }
+    }
+    return best;
+  }
+
+  void BumpActivity(int v) {
+    double& a = vars_[static_cast<size_t>(v)].activity;
+    a += var_inc_;
+    if (a > kActivityLimit) {
+      for (VarData& vd : vars_) {
+        vd.activity *= 1e-100;
+      }
+      var_inc_ *= 1e-100;
+    }
+  }
+
+  // Standard 1-UIP conflict analysis: resolves the conflict clause backward
+  // along the trail until exactly one literal of the current decision level
+  // remains. learnt[0] is the asserting literal; out_btlevel the backjump
+  // target (the second-highest level in the clause).
+  void Analyze(int confl, std::vector<Lit>* out_learnt, int* out_btlevel) {
+    out_learnt->clear();
+    out_learnt->push_back(kLitUndef);  // Slot for the asserting literal.
+    int pathC = 0;
+    Lit p = kLitUndef;
+    int index = static_cast<int>(trail_.size()) - 1;
+    do {
+      ICARUS_REQUIRE_MSG(confl != kCRefUndef, "conflict analysis lost its reason chain");
+      const std::vector<Lit>& c = clauses_[static_cast<size_t>(confl)];
+      for (size_t j = (p == kLitUndef) ? 0 : 1; j < c.size(); ++j) {
+        int v = VarOf(c[j]);
+        VarData& vd = vars_[static_cast<size_t>(v)];
+        if (seen_[static_cast<size_t>(v)] == 0 && vd.level > 0) {
+          BumpActivity(v);
+          seen_[static_cast<size_t>(v)] = 1;
+          if (vd.level >= DecisionLevel()) {
+            ++pathC;
+          } else {
+            out_learnt->push_back(c[j]);
+          }
+        }
+      }
+      while (seen_[static_cast<size_t>(VarOf(trail_[static_cast<size_t>(index)]))] == 0) {
+        --index;
+      }
+      p = trail_[static_cast<size_t>(index)];
+      --index;
+      confl = vars_[static_cast<size_t>(VarOf(p))].reason;
+      seen_[static_cast<size_t>(VarOf(p))] = 0;
+      --pathC;
+    } while (pathC > 0);
+    (*out_learnt)[0] = Negate(p);
+    if (out_learnt->size() == 1) {
+      *out_btlevel = 0;
+    } else {
+      size_t max_i = 1;
+      for (size_t i = 2; i < out_learnt->size(); ++i) {
+        if (vars_[static_cast<size_t>(VarOf((*out_learnt)[i]))].level >
+            vars_[static_cast<size_t>(VarOf((*out_learnt)[max_i]))].level) {
+          max_i = i;
+        }
+      }
+      std::swap((*out_learnt)[1], (*out_learnt)[max_i]);
+      *out_btlevel = vars_[static_cast<size_t>(VarOf((*out_learnt)[1]))].level;
+    }
+    for (Lit l : *out_learnt) {
+      seen_[static_cast<size_t>(VarOf(l))] = 0;
+    }
+  }
+
+  // Assumption-level unsat core: called when assumption `p` (index `p_index`
+  // in assump_terms_) is already false at placement time. Walks the trail
+  // top-down expanding reasons; assumptions hit along the way (and `p`'s own
+  // term) form the core. Selector pseudo-assumptions carry a null term and
+  // are skipped — a conflict caused purely by a temporary clause yields an
+  // empty core, as documented in the header.
+  void AnalyzeFinal(Lit p, int p_index, std::vector<ExprRef>* out_core) {
+    out_core->clear();
+    ExprRef own = assump_terms_[static_cast<size_t>(p_index)];
+    if (own != nullptr) {
+      out_core->push_back(own);
+    }
+    seen_[static_cast<size_t>(VarOf(p))] = 1;
+    int lo = trail_lim_.empty() ? static_cast<int>(trail_.size()) : trail_lim_[0];
+    for (int i = static_cast<int>(trail_.size()) - 1; i >= lo; --i) {
+      int v = VarOf(trail_[static_cast<size_t>(i)]);
+      if (seen_[static_cast<size_t>(v)] == 0) {
+        continue;
+      }
+      seen_[static_cast<size_t>(v)] = 0;
+      int reason = vars_[static_cast<size_t>(v)].reason;
+      if (reason == kCRefUndef) {
+        // A decision below the search levels is an assumption.
+        auto it = assump_index_of_var_.find(v);
+        if (it != assump_index_of_var_.end()) {
+          ExprRef t = assump_terms_[static_cast<size_t>(it->second)];
+          if (t != nullptr &&
+              std::find(out_core->begin(), out_core->end(), t) == out_core->end()) {
+            out_core->push_back(t);
+          }
+        }
+      } else {
+        for (Lit l : clauses_[static_cast<size_t>(reason)]) {
+          if (vars_[static_cast<size_t>(VarOf(l))].level > 0) {
+            seen_[static_cast<size_t>(VarOf(l))] = 1;
+          }
+        }
+      }
+    }
+    seen_[static_cast<size_t>(VarOf(p))] = 0;
+  }
+
+  // Theory check at a full assignment of the relevant closure. Collects every
+  // assigned atom on the trail (a superset of the relevant atoms — all
+  // assigned literals are consequences of the current context, so including
+  // them is sound and makes lemmas reusable). On conflict, produces a theory
+  // lemma, minimized by greedy deletion when small enough, and stages it as
+  // either a unit level-0 fact or a conflict clause for Analyze.
+  TheoryOutcome TheoryCheckFull(bool want_model, Model* model, int* out_confl) {
+    ++stats_->theory_checks;
+    std::vector<std::pair<ExprRef, bool>> literals;
+    for (Lit p : trail_) {
+      const VarData& vd = vars_[static_cast<size_t>(VarOf(p))];
+      if (!vd.is_atom) {
+        continue;
+      }
+      literals.emplace_back(vd.term, vd.value == LB::kTrue);
+    }
+    {
+      TheoryChecker theory;
+      if (theory.Check(literals)) {
+        if (want_model) {
+          model->atoms = literals;
+          theory.BuildModel(model);
+          // Boolean variables are atoms, not theory terms; record their
+          // truth values as witnesses alongside the class values.
+          for (const auto& [atom, truth] : literals) {
+            if (atom->kind == Kind::kVar && atom->sort == Sort::kBool) {
+              model->witnesses.push_back(Witness{atom->name, Sort::kBool, truth ? 1 : 0});
+            }
+          }
+        }
+        return TheoryOutcome::kConsistent;
+      }
+    }
+    ++stats_->theory_conflicts;
+    std::vector<std::pair<ExprRef, bool>> core = literals;
+    if (core.size() <= kMaxMinimizeCore) {
+      for (size_t i = 0; i < core.size();) {
+        std::pair<ExprRef, bool> saved = core[i];
+        core.erase(core.begin() + static_cast<std::ptrdiff_t>(i));
+        ++stats_->theory_checks;
+        TheoryChecker sub;
+        if (sub.Check(core)) {
+          core.insert(core.begin() + static_cast<std::ptrdiff_t>(i), saved);
+          ++i;
+        }
+      }
+    }
+    // The lemma: at least one core literal must flip. Valid in every model
+    // (it mentions no aux variables), so it is learned permanently and keeps
+    // pruning across queries and scopes.
+    std::vector<Lit> lemma;
+    lemma.reserve(core.size());
+    int max_level = 0;
+    for (const auto& [atom, truth] : core) {
+      int v = var_of_.at(atom);
+      lemma.push_back(MkLit(v, truth));  // Negation of the current literal.
+      max_level = std::max(max_level, vars_[static_cast<size_t>(v)].level);
+    }
+    if (max_level == 0) {
+      // The level-0 facts alone are theory-inconsistent: globally unsat.
+      ok_ = false;
+      return TheoryOutcome::kGlobalUnsat;
+    }
+    if (lemma.size() == 1) {
+      CancelUntil(0);
+      AddClauseLits({lemma[0]});
+      ++stats_->learned_clauses;
+      return TheoryOutcome::kUnitLemma;
+    }
+    // Backtrack so the lemma has a literal at the (new) current level, put
+    // the two highest-level literals in the watch positions, and hand it to
+    // conflict analysis as the conflicting clause.
+    CancelUntil(max_level);
+    auto level_of = [this](Lit l) {
+      return vars_[static_cast<size_t>(VarOf(l))].level;
+    };
+    size_t hi0 = 0;
+    for (size_t i = 1; i < lemma.size(); ++i) {
+      if (level_of(lemma[i]) > level_of(lemma[hi0])) {
+        hi0 = i;
+      }
+    }
+    std::swap(lemma[0], lemma[hi0]);
+    size_t hi1 = 1;
+    for (size_t i = 2; i < lemma.size(); ++i) {
+      if (level_of(lemma[i]) > level_of(lemma[hi1])) {
+        hi1 = i;
+      }
+    }
+    std::swap(lemma[1], lemma[hi1]);
+    int cr = AttachClause(std::move(lemma));
+    ++stats_->learned_clauses;
+    *out_confl = cr;
+    return TheoryOutcome::kLemmaConflict;
+  }
+
+  SolverStats* stats_;
+  bool ok_ = true;  // False once the clause database is inconsistent.
+  int true_var_ = 0;
+  std::vector<VarData> vars_;
+  std::vector<std::vector<Lit>> clauses_;  // Arena; a clause ref indexes it.
+  std::vector<std::vector<int>> watches_;  // Per literal: clauses watching it.
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  size_t qhead_ = 0;
+  std::vector<uint8_t> seen_;  // Scratch for Analyze/AnalyzeFinal, per var.
+  double var_inc_ = 1.0;
+  int64_t relevancy_stamp_ = 0;
+  std::vector<int> relevant_list_;
+  std::unordered_map<ExprRef, Lit> enc_cache_;
+  std::unordered_map<ExprRef, int> var_of_;  // Atom term → variable.
+  std::unordered_map<ExprRef, std::vector<int>> closure_cache_;
+  std::vector<Lit> assump_lits_;       // This query's assumption literals.
+  std::vector<ExprRef> assump_terms_;  // Parallel; null = scope selector.
+  std::unordered_map<int, int> assump_index_of_var_;
+};
+
+// ---------------------------------------------------------------------------
+// Solver: the incremental interface over the engines.
+// ---------------------------------------------------------------------------
+
+Solver::Solver() : Solver(Limits{}, Options{}) {}
+Solver::Solver(Limits limits) : Solver(limits, Options{}) {}
+Solver::Solver(Limits limits, Options options) : limits_(limits), options_(options) {}
+Solver::~Solver() = default;
+
+void Solver::Push() { scopes_.emplace_back(); }
+
+void Solver::Pop() {
+  ICARUS_REQUIRE_MSG(!scopes_.empty(), "Pop without a matching Push");
+  if (scopes_.back().selector_var >= 0 && cdcl_ != nullptr) {
+    cdcl_->DisableSelector(scopes_.back().selector_var);
+  }
+  scopes_.pop_back();
+}
+
+int Solver::depth() const { return static_cast<int>(scopes_.size()); }
+
+void Solver::Assume(ExprRef conjunct) {
+  ICARUS_REQUIRE_MSG(!scopes_.empty(), "Assume outside an assumption scope");
+  ICARUS_REQUIRE_MSG(conjunct->sort == Sort::kBool, "non-boolean conjunct in solver query");
+  scopes_.back().assumed.push_back(conjunct);
+}
+
+void Solver::AddTempClause(const std::vector<ExprRef>& lits) {
+  ICARUS_REQUIRE_MSG(!scopes_.empty(), "AddTempClause outside an assumption scope");
+  ICARUS_REQUIRE_MSG(!lits.empty(), "empty temporary clause");
+  for (ExprRef l : lits) {
+    ICARUS_REQUIRE_MSG(l->sort == Sort::kBool, "non-boolean literal in temporary clause");
+  }
+  Scope& scope = scopes_.back();
+  scope.temp_clauses.push_back(lits);
+  if (options_.clause_learning) {
+    if (cdcl_ == nullptr) {
+      cdcl_ = std::make_unique<Cdcl>(&stats_);
+    }
+    if (scope.selector_var < 0) {
+      scope.selector_var = cdcl_->NewSelectorVar();
+    }
+    cdcl_->AddGuardedClause(scope.selector_var, lits);
+  }
+}
+
+std::vector<ExprRef> Solver::FlattenAssumptions() const {
+  std::vector<ExprRef> out;
+  for (const Scope& s : scopes_) {
+    out.insert(out.end(), s.assumed.begin(), s.assumed.end());
+  }
+  return out;
+}
+
+bool Solver::HasTempClauses() const {
+  for (const Scope& s : scopes_) {
+    if (!s.temp_clauses.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
 SolveResult Solver::Solve(const std::vector<ExprRef>& conjuncts, bool want_model) {
+  Push();
+  for (ExprRef c : conjuncts) {
+    Assume(c);
+  }
+  SolveResult result = SolveAssuming(want_model);
+  Pop();
+  return result;
+}
+
+SolveResult Solver::SolveAssuming(bool want_model) {
   ++stats_.queries;
   if (!obs::Enabled()) {
-    return SolveImpl(conjuncts, want_model);
+    return SolveImpl(want_model);
   }
   // Observability wrapper: per-outcome latency histograms plus counters for
-  // queries, decisions, theory propagations, and cache traffic. Deltas are
-  // measured against this solver's own stats so re-used Solver instances
+  // search effort and cache traffic. Deltas are measured against this
+  // solver's own stats so persistent (per-generator) Solver instances
   // attribute each query exactly once.
   static auto& reg = obs::Registry::Global();
   static obs::Counter* queries =
       reg.GetCounter("icarus_solver_queries_total", "Satisfiability queries issued");
   static obs::Counter* decisions =
-      reg.GetCounter("icarus_solver_decisions_total", "DPLL case-split decisions");
-  static obs::Counter* propagations = reg.GetCounter("icarus_solver_propagations_total",
-                                                     "Theory checks (congruence + intervals)");
+      reg.GetCounter("icarus_solver_decisions_total", "Branching decisions");
+  static obs::Counter* propagations = reg.GetCounter(
+      "icarus_solver_propagations_total", "Literals assigned by unit propagation");
+  static obs::Counter* conflicts =
+      reg.GetCounter("icarus_solver_conflicts_total", "Conflicts (propositional + theory)");
+  static obs::Counter* learned = reg.GetCounter("icarus_solver_learned_clauses_total",
+                                                "Clauses learned (1-UIP + theory lemmas)");
+  static obs::Counter* restarts =
+      reg.GetCounter("icarus_solver_restarts_total", "Search restarts (Luby policy)");
+  static obs::Counter* theory_checks = reg.GetCounter(
+      "icarus_solver_theory_checks_total", "Theory checks (congruence + intervals)");
   static obs::Counter* exhausted = reg.GetCounter("icarus_solver_budget_exhausted_total",
                                                   "Queries degraded to UNKNOWN by a budget");
   static obs::Counter* cache_hits =
@@ -860,11 +1662,15 @@ SolveResult Solver::Solve(const std::vector<ExprRef>& conjuncts, bool want_model
       "icarus_solver_latency_unknown_seconds", "Per-query wall clock, UNKNOWN outcomes");
   const SolverStats before = stats_;
   WallTimer timer;
-  SolveResult result = SolveImpl(conjuncts, want_model);
+  SolveResult result = SolveImpl(want_model);
   double seconds = timer.ElapsedSeconds();
   queries->Add(1);
   decisions->Add(stats_.decisions - before.decisions);
-  propagations->Add(stats_.theory_checks - before.theory_checks);
+  propagations->Add(stats_.propagations - before.propagations);
+  conflicts->Add(stats_.conflicts - before.conflicts);
+  learned->Add(stats_.learned_clauses - before.learned_clauses);
+  restarts->Add(stats_.restarts - before.restarts);
+  theory_checks->Add(stats_.theory_checks - before.theory_checks);
   exhausted->Add(stats_.budget_exhausted - before.budget_exhausted);
   cache_hits->Add(stats_.cache_hits - before.cache_hits);
   cache_negative->Add(stats_.cache_negative_hits - before.cache_negative_hits);
@@ -883,10 +1689,14 @@ SolveResult Solver::Solve(const std::vector<ExprRef>& conjuncts, bool want_model
   return result;
 }
 
-SolveResult Solver::SolveImpl(const std::vector<ExprRef>& conjuncts, bool want_model) {
-  if (cache_ == nullptr) {
-    return SolveUncached(conjuncts);
+SolveResult Solver::SolveImpl(bool want_model) {
+  // The cache key is the flattened assumption set; active temporary clauses
+  // are not part of the key, so queries made while any scope holds a temp
+  // clause bypass the cache entirely (in both directions).
+  if (cache_ == nullptr || HasTempClauses()) {
+    return SolveCore(want_model);
   }
+  std::vector<ExprRef> conjuncts = FlattenAssumptions();
   QueryKey key = FingerprintQuery(conjuncts);
   // A kSat entry stored without a model cannot serve a model-needing caller,
   // and a kUnknown entry produced under a strictly smaller budget cannot
@@ -908,10 +1718,15 @@ SolveResult Solver::SolveImpl(const std::vector<ExprRef>& conjuncts, bool want_m
     } else {
       ++stats_.cache_hits;
     }
+    if (entry->verdict == Verdict::kUnsat) {
+      // Cached entries carry no core; the full assumption set is the sound
+      // over-approximation of the final conflict.
+      final_conflict_ = conjuncts;
+    }
     return cached;
   }
   ++stats_.cache_misses;
-  SolveResult result = SolveUncached(conjuncts);
+  SolveResult result = SolveCore(want_model);
   SolverCache::Entry fresh;
   fresh.verdict = result.verdict;
   if (result.verdict == Verdict::kSat && want_model) {
@@ -923,7 +1738,10 @@ SolveResult Solver::SolveImpl(const std::vector<ExprRef>& conjuncts, bool want_m
   }
   if (result.verdict == Verdict::kUnknown) {
     // Stamp the budget this give-up happened under; only strictly larger
-    // budgets will miss past it.
+    // budgets will miss past it. Decisive verdicts are budget-independent —
+    // including ones found cheaply via learned clauses: a learned clause is
+    // a logical consequence of the database, so any answer derived from it
+    // would also have been found by uninformed search.
     fresh.budget_decisions = limits_.max_decisions;
     fresh.budget_seconds = limits_.max_seconds;
   }
@@ -931,13 +1749,59 @@ SolveResult Solver::SolveImpl(const std::vector<ExprRef>& conjuncts, bool want_m
   return result;
 }
 
-SolveResult Solver::SolveUncached(const std::vector<ExprRef>& conjuncts) {
-  // Gather atoms across all conjuncts.
+SolveResult Solver::SolveCore(bool want_model) {
+  // One failpoint hit per searched (cache-missed) query, in addition to the
+  // per-decision hits inside the engines, so fault-injection tests observe
+  // query-grained activity even when learned clauses answer with few or no
+  // decisions. Cache hits do not fire.
+  ICARUS_FAILPOINT(failpoint::kSolverDecision);
+  std::vector<ExprRef> conjuncts = FlattenAssumptions();
+  final_conflict_.clear();
+  if (!options_.clause_learning) {
+    std::vector<std::vector<ExprRef>> clauses;
+    for (const Scope& s : scopes_) {
+      clauses.insert(clauses.end(), s.temp_clauses.begin(), s.temp_clauses.end());
+    }
+    SolveResult result = SolveDecideOnly(conjuncts, clauses);
+    if (result.verdict == Verdict::kUnsat) {
+      // The decide-only engine has no conflict analysis; every assumed
+      // conjunct is reported (a sound over-approximation of the core).
+      final_conflict_ = conjuncts;
+    }
+    return result;
+  }
+  if (cdcl_ == nullptr) {
+    cdcl_ = std::make_unique<Cdcl>(&stats_);
+  }
+  std::vector<int> selectors;
+  std::vector<ExprRef> clause_roots;
+  for (const Scope& s : scopes_) {
+    if (s.selector_var >= 0) {
+      selectors.push_back(s.selector_var);
+    }
+    for (const auto& clause : s.temp_clauses) {
+      clause_roots.insert(clause_roots.end(), clause.begin(), clause.end());
+    }
+  }
+  return cdcl_->Solve(conjuncts, selectors, clause_roots, limits_, want_model,
+                      &final_conflict_);
+}
+
+// The retained pre-CDCL engine: recursive DPLL over the query's atoms with
+// early skeleton evaluation, fresh per call, no learning. Serves as the
+// --no-clause-learning ablation engine and as the oracle for the solver's
+// differential fuzz tests.
+SolveResult Solver::SolveDecideOnly(const std::vector<ExprRef>& conjuncts,
+                                    const std::vector<std::vector<ExprRef>>& clauses) {
   std::vector<ExprRef> atoms;
   std::unordered_set<ExprRef> seen;
   for (ExprRef c : conjuncts) {
-    ICARUS_REQUIRE_MSG(c->sort == Sort::kBool, "non-boolean conjunct in solver query");
     CollectAtoms(c, &atoms, &seen);
+  }
+  for (const auto& clause : clauses) {
+    for (ExprRef l : clause) {
+      CollectAtoms(l, &atoms, &seen);
+    }
   }
 
   std::unordered_map<ExprRef, Tri> assignment;
@@ -949,7 +1813,6 @@ SolveResult Solver::SolveUncached(const std::vector<ExprRef>& conjuncts) {
   const int64_t decisions_at_start = stats_.decisions;
   WallTimer query_timer;
 
-  // Recursive DPLL with early skeleton evaluation.
   auto search = [&](auto&& self) -> bool {
     if (stats_.decisions - decisions_at_start > limits_.max_decisions) {
       exhausted = true;
@@ -972,9 +1835,33 @@ SolveResult Solver::SolveUncached(const std::vector<ExprRef>& conjuncts) {
         branch_atom = eval.PickUndecided(c);
       }
     }
+    for (const auto& clause : clauses) {
+      // Disjunctive temporary clause: or-fold its literals.
+      Tri v = Tri::kFalse;
+      ExprRef undecided = nullptr;
+      for (ExprRef l : clause) {
+        Tri lv = eval.Eval(l);
+        if (lv == Tri::kTrue) {
+          v = Tri::kTrue;
+          break;
+        }
+        if (lv == Tri::kUnknown) {
+          v = Tri::kUnknown;
+          if (undecided == nullptr) {
+            undecided = eval.PickUndecided(l);
+          }
+        }
+      }
+      if (v == Tri::kFalse) {
+        return false;
+      }
+      if (v == Tri::kUnknown && branch_atom == nullptr) {
+        branch_atom = undecided;
+      }
+    }
     if (branch_atom == nullptr) {
-      // All conjuncts propositionally true; check the decided literals
-      // against the theory.
+      // Everything propositionally true; check the decided literals against
+      // the theory.
       ++stats_.theory_checks;
       std::vector<std::pair<ExprRef, bool>> literals;
       literals.reserve(assignment.size());

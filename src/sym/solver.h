@@ -1,26 +1,40 @@
-// A small SMT-style satisfiability checker for the quantifier-free fragment
-// the meta-executor produces: boolean combinations of (dis)equalities over
-// uninterpreted terms plus integer comparisons.
+// An incremental SMT-style satisfiability checker for the quantifier-free
+// fragment the meta-executor produces: boolean combinations of
+// (dis)equalities over uninterpreted terms plus integer comparisons.
 //
 // This stands in for Corral/Z3 in the paper's pipeline (see DESIGN.md §3).
-// Architecture:
-//   1. DPLL case-splitting over the *atoms* of the conjunction (hash-consing
-//      makes matching guard/assert atoms pointer-equal, so most queries are
-//      resolved propositionally with zero or one decision);
-//   2. a theory check per candidate assignment: congruence closure for
-//      equality + uninterpreted functions, then interval propagation for
-//      integer comparison literals and arithmetic structure;
-//   3. model extraction for counterexample reporting.
+// Architecture (the full design lives in docs/SOLVER.md):
+//   1. a CDCL core over a Tseitin encoding of the boolean structure:
+//      two-watched-literal unit propagation, 1-UIP conflict clause learning
+//      with non-chronological backjumping, VSIDS-style activity branching
+//      with phase saving, and Luby restarts;
+//   2. MiniSat-style assumption handling: a query is solved *under
+//      assumptions*, never by asserting the conjuncts as clauses, so the
+//      clause database only ever accumulates facts that are true for every
+//      query — which is what lets one Solver instance stay warm across all
+//      paths of a generator and answer sibling-path queries from learned
+//      clauses;
+//   3. a theory check at each full (relevancy-bounded) assignment:
+//      congruence closure for equality + uninterpreted functions, difference
+//      bounds, and interval propagation. Theory conflicts come back as
+//      *theory lemmas* — valid clauses over the conflicting atoms — that are
+//      learned like any other clause and prune sibling paths;
+//   4. model extraction for counterexample reporting.
 //
 // Sound for UNSAT answers within the supported fragment; SAT answers come
-// with a model over the atoms and integer-class values. Unsupported structure
-// (e.g. nonlinear facts the interval layer cannot refute) degrades to SAT
-// with a best-effort model, which for a verifier is the conservative
+// with a model over the atoms and integer-class values. Unsupported
+// structure (e.g. nonlinear facts the interval layer cannot refute) degrades
+// to SAT with a best-effort model, which for a verifier is the conservative
 // direction: it can cause a spurious counterexample, never a missed bug.
+//
+// The pre-CDCL decide-only search (atom-level DPLL, no learning) is retained
+// behind Options::clause_learning = false as the `--no-clause-learning`
+// ablation engine and as the oracle for the differential fuzz tests.
 #ifndef ICARUS_SYM_SOLVER_H_
 #define ICARUS_SYM_SOLVER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -76,10 +90,17 @@ struct Model {
 };
 
 // Per-Solver counters; cache counters cover only this solver's lookups (the
-// shared SolverCache keeps its own global totals).
+// shared SolverCache keeps its own global totals). For a persistent
+// (per-generator) solver the counters accumulate across queries; callers
+// attributing cost per query take deltas.
 struct SolverStats {
-  int64_t decisions = 0;
-  int64_t theory_checks = 0;
+  int64_t decisions = 0;         // Branching decisions (CDCL or decide-only).
+  int64_t propagations = 0;      // Literals assigned by unit propagation.
+  int64_t conflicts = 0;         // Conflicts hit (propositional + theory).
+  int64_t learned_clauses = 0;   // Clauses added by 1-UIP analysis + lemmas.
+  int64_t restarts = 0;          // Search restarts (Luby policy).
+  int64_t theory_checks = 0;     // Full-assignment theory checks.
+  int64_t theory_conflicts = 0;  // Theory checks that produced a lemma.
   int64_t queries = 0;
   int64_t cache_hits = 0;           // Queries answered by a kSat/kUnsat entry.
   int64_t cache_negative_hits = 0;  // Queries answered by a kUnknown entry.
@@ -94,13 +115,33 @@ struct SolveResult {
 };
 
 // Decides satisfiability of conjunctions of hash-consed boolean terms.
+//
 // A Solver is cheap to construct and single-threaded; concurrent pipelines
-// each build their own and may share one concurrency-safe SolverCache.
+// each build their own and may share one concurrency-safe SolverCache. A
+// Solver may outlive many queries: internal state (the Tseitin encoding and
+// every learned clause) persists across Solve()/SolveAssuming() calls and is
+// valid as long as the ExprPool the query terms came from is alive, so keep
+// one instance per pool (the meta-executor keeps one per generator run).
+//
+// Assumption-scope protocol (the incremental interface; see docs/SOLVER.md):
+//   solver.Push();                    // open a scope
+//   solver.Assume(t1); ...            // conjuncts, asserted as assumptions
+//   solver.AddTempClause({a, b});     // optional: scope-local disjunction
+//   SolveResult r = solver.SolveAssuming(want_model);
+//   if (r.verdict == Verdict::kUnsat) use(solver.final_conflict());
+//   solver.Pop();                     // retract the scope's assumptions
+// Scopes nest; Solve() is the one-shot wrapper (Push + Assume* + Pop) that
+// every production call site uses. Assumptions are decisions, never clauses:
+// Pop() retracts them completely, and nothing learned while a scope was open
+// depends on it (temp clauses are guarded by a per-scope selector literal
+// that is permanently falsified on Pop, which deactivates every learned
+// clause derived from them).
 class Solver {
  public:
   // Per-query resource budgets. A query that exceeds either budget degrades
   // to Verdict::kUnknown instead of running unboundedly — callers treat that
-  // as "inconclusive", never as a verdict.
+  // as "inconclusive", never as a verdict. Budgets are charged per query
+  // (counted from the start of each SolveAssuming), not per solver lifetime.
   // Cached kUnknown (negative) entries remember the budget they were
   // produced under; a query whose budget strictly exceeds it misses and
   // re-solves (see SolverCache::Lookup), so escalated retries work without
@@ -110,32 +151,100 @@ class Solver {
     double max_seconds = 0.0;  // Wall-clock budget per query; 0 = unlimited.
   };
 
-  Solver() : limits_(Limits{}) {}
-  explicit Solver(Limits limits) : limits_(limits) {}
+  // Engine selection, fixed at construction.
+  struct Options {
+    // Default: the CDCL core. False selects the decide-only DPLL search
+    // (no clause learning, no cross-query reuse) — the `--no-clause-learning`
+    // ablation path and the oracle for differential fuzzing.
+    bool clause_learning = true;
+  };
 
-  // Attaches a shared result cache consulted (and filled) by Solve().
-  // Pass nullptr to detach. The cache must outlive the solver.
+  Solver();
+  explicit Solver(Limits limits);
+  Solver(Limits limits, Options options);
+  ~Solver();
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  // Attaches a shared result cache consulted (and filled) by Solve() /
+  // SolveAssuming(). Pass nullptr to detach. The cache must outlive the
+  // solver. Decisive cached verdicts and decisive answers produced from
+  // learned clauses are interchangeable — both are budget-independent truths
+  // (see docs/SOLVER.md §"Cache interaction").
   void set_cache(SolverCache* cache) { cache_ = cache; }
 
-  // Decides satisfiability of the conjunction of `conjuncts`. `want_model`
-  // says whether the caller will consume the model on kSat: feasibility
-  // checks pass false (only the verdict matters) so cached entries skip the
-  // model-rendering cost; assertion checks pass true. A cached entry stored
-  // without a model still answers want_model=false hits; a want_model=true
-  // lookup of such an entry re-solves and upgrades the entry in place.
+  // Replaces the per-query budgets for subsequent queries (retry escalation
+  // on a persistent solver).
+  void set_limits(const Limits& limits) { limits_ = limits; }
+  const Limits& limits() const { return limits_; }
+  const Options& options() const { return options_; }
+
+  // --- Incremental assumption-scope interface ---
+
+  // Opens a new assumption scope.
+  void Push();
+  // Closes the innermost scope: retracts its assumptions and deactivates its
+  // temporary clauses. Requires depth() > 0.
+  void Pop();
+  // Number of open scopes.
+  int depth() const;
+  // Asserts `conjunct` (a boolean term) as an assumption in the innermost
+  // scope. Requires depth() > 0.
+  void Assume(ExprRef conjunct);
+  // Adds the disjunction of `lits` (boolean terms; negate via pool Not())
+  // to the innermost scope. The clause constrains every SolveAssuming()
+  // until that scope is popped. Requires depth() > 0 and a nonempty clause.
+  void AddTempClause(const std::vector<ExprRef>& lits);
+  // Decides satisfiability of the conjunction of all assumptions in all open
+  // scopes, under all active temporary clauses. `want_model` as in Solve().
+  SolveResult SolveAssuming(bool want_model = true);
+  // After SolveAssuming() returned kUnsat: the subset of assumed conjuncts
+  // that already implies the conflict (the assumption-level unsat core; not
+  // guaranteed minimal). Empty when the clause database alone is
+  // inconsistent or when a temporary clause participated in the conflict
+  // without any assumption. Invalidated by the next query.
+  const std::vector<ExprRef>& final_conflict() const { return final_conflict_; }
+
+  // One-shot query: decides satisfiability of the conjunction of `conjuncts`
+  // in a private scope (Push + Assume each + SolveAssuming + Pop).
+  // `want_model` says whether the caller will consume the model on kSat:
+  // feasibility checks pass false (only the verdict matters) so cached
+  // entries skip the model-rendering cost; assertion checks pass true. A
+  // cached entry stored without a model still answers want_model=false hits;
+  // a want_model=true lookup of such an entry re-solves and upgrades the
+  // entry in place.
   SolveResult Solve(const std::vector<ExprRef>& conjuncts, bool want_model = true);
 
-  // Counters accumulated across all Solve() calls on this instance.
+  // Counters accumulated across all queries on this instance.
   const SolverStats& stats() const { return stats_; }
 
  private:
-  // Solve() minus the observability wrapper (cache consult + DPLL search).
-  SolveResult SolveImpl(const std::vector<ExprRef>& conjuncts, bool want_model);
-  SolveResult SolveUncached(const std::vector<ExprRef>& conjuncts);
+  class Cdcl;     // The clause-learning engine (solver.cc).
+  struct Scope {  // One open assumption scope.
+    std::vector<ExprRef> assumed;
+    std::vector<std::vector<ExprRef>> temp_clauses;  // Decide-only engine view.
+    int selector_var = -1;  // CDCL selector guarding this scope's temp clauses.
+  };
+
+  // SolveAssuming minus the observability wrapper (cache consult + search).
+  SolveResult SolveImpl(bool want_model);
+  // Cache-independent search over the current assumption stack.
+  SolveResult SolveCore(bool want_model);
+  // The retained pre-CDCL engine: atom-level DPLL over `conjuncts` plus
+  // scope-local temp clauses, fresh per call, no learning.
+  SolveResult SolveDecideOnly(const std::vector<ExprRef>& conjuncts,
+                              const std::vector<std::vector<ExprRef>>& clauses);
+  // All assumed terms across open scopes, in assertion order.
+  std::vector<ExprRef> FlattenAssumptions() const;
+  bool HasTempClauses() const;
 
   Limits limits_;
+  Options options_;
   SolverStats stats_;
   SolverCache* cache_ = nullptr;
+  std::vector<Scope> scopes_;
+  std::vector<ExprRef> final_conflict_;
+  std::unique_ptr<Cdcl> cdcl_;  // Lazily created on first CDCL query.
 };
 
 }  // namespace icarus::sym

@@ -134,10 +134,10 @@ std::string BatchReport::RenderExplain() const {
 
 std::string BatchReport::RenderStatsTable() const {
   std::string out =
-      StrFormat("%-44s %-15s %9s %8s %8s %9s %9s %10s %8s %-9s\n", "Generator", "Outcome",
-                "Total(s)", "CFA(s)", "Gen(s)", "Interp(s)", "Solve(s)", "Decisions", "Queries",
-                "Dominant");
-  const size_t rule_width = 140;
+      StrFormat("%-44s %-15s %9s %8s %8s %9s %9s %10s %8s %9s %8s %8s %-9s\n", "Generator",
+                "Outcome", "Total(s)", "CFA(s)", "Gen(s)", "Interp(s)", "Solve(s)", "Decisions",
+                "Queries", "Props", "Learned", "Restarts", "Dominant");
+  const size_t rule_width = 168;
   out += std::string(rule_width, '-') + "\n";
   double sum_cfa = 0.0;
   double sum_gen = 0.0;
@@ -145,6 +145,9 @@ std::string BatchReport::RenderStatsTable() const {
   double sum_solve = 0.0;
   long long sum_decisions = 0;
   long long sum_queries = 0;
+  long long sum_propagations = 0;
+  long long sum_learned = 0;
+  long long sum_restarts = 0;
   std::vector<double> row_seconds;
   for (const GeneratorResult& r : results) {
     if (r.outcome == Outcome::kError || r.outcome == Outcome::kInternalError) {
@@ -166,16 +169,22 @@ std::string BatchReport::RenderStatsTable() const {
         dominant = name;
       }
     }
-    out += StrFormat("%-44s %-15s %9.4f %8.4f %8.4f %9.4f %9.4f %10lld %8lld %-9s\n",
+    out += StrFormat("%-44s %-15s %9.4f %8.4f %8.4f %9.4f %9.4f %10lld %8lld %9lld %8lld %8lld %-9s\n",
                      r.generator.c_str(), OutcomeName(r.outcome), r.seconds, cfa, gen, interp,
                      solve, static_cast<long long>(r.report.meta.solver_decisions),
-                     static_cast<long long>(r.report.meta.solver_queries), dominant);
+                     static_cast<long long>(r.report.meta.solver_queries),
+                     static_cast<long long>(r.report.meta.solver_propagations),
+                     static_cast<long long>(r.report.meta.solver_learned_clauses),
+                     static_cast<long long>(r.report.meta.solver_restarts), dominant);
     sum_cfa += cfa;
     sum_gen += gen;
     sum_interp += interp;
     sum_solve += solve;
     sum_decisions += r.report.meta.solver_decisions;
     sum_queries += r.report.meta.solver_queries;
+    sum_propagations += r.report.meta.solver_propagations;
+    sum_learned += r.report.meta.solver_learned_clauses;
+    sum_restarts += r.report.meta.solver_restarts;
     row_seconds.push_back(r.seconds);
   }
   out += std::string(rule_width, '-') + "\n";
@@ -183,9 +192,9 @@ std::string BatchReport::RenderStatsTable() const {
   for (double s : row_seconds) {
     sum_total += s;
   }
-  out += StrFormat("%-44s %-15s %9.4f %8.4f %8.4f %9.4f %9.4f %10lld %8lld\n", "TOTAL", "",
-                   sum_total, sum_cfa, sum_gen, sum_interp, sum_solve, sum_decisions,
-                   sum_queries);
+  out += StrFormat("%-44s %-15s %9.4f %8.4f %8.4f %9.4f %9.4f %10lld %8lld %9lld %8lld %8lld\n",
+                   "TOTAL", "", sum_total, sum_cfa, sum_gen, sum_interp, sum_solve, sum_decisions,
+                   sum_queries, sum_propagations, sum_learned, sum_restarts);
   SampleStats stats = ComputeStats(row_seconds);
   out += StrFormat("per-generator seconds: p50 %.4f, p90 %.4f, p99 %.4f (n=%d)\n", stats.p50,
                    stats.p90, stats.p99, static_cast<int>(row_seconds.size()));
@@ -223,6 +232,7 @@ GeneratorResult VerifyOne(const platform::Platform* platform, const std::string&
     vopts.build_cfa = options.build_cfa;
     vopts.solver_cache = cache;
     vopts.solver_limits = limits;
+    vopts.solver_options = options.solver_options;
     vopts.cancel = cancel;
     vopts.record = options.record;
     Verifier verifier(platform);
@@ -296,6 +306,9 @@ JournalRecord RecordFromResult(const GeneratorResult& r, const std::string& fing
   rec.interp_s = r.report.meta.interp_seconds;
   rec.solve_s = r.report.meta.solve_seconds;
   rec.decisions = r.report.meta.solver_decisions;
+  rec.propagations = r.report.meta.solver_propagations;
+  rec.learned_clauses = r.report.meta.solver_learned_clauses;
+  rec.restarts = r.report.meta.solver_restarts;
   rec.paths_attached = r.report.meta.paths_attached;
   rec.paths_infeasible = r.report.meta.paths_infeasible;
   rec.unit_fp = r.unit_fp;
@@ -336,6 +349,9 @@ StatusOr<GeneratorResult> ResultFromRecord(const JournalRecord& rec) {
   r.report.meta.interp_seconds = rec.interp_s;
   r.report.meta.solve_seconds = rec.solve_s;
   r.report.meta.solver_decisions = rec.decisions;
+  r.report.meta.solver_propagations = rec.propagations;
+  r.report.meta.solver_learned_clauses = rec.learned_clauses;
+  r.report.meta.solver_restarts = rec.restarts;
   r.report.meta.paths_attached = static_cast<int>(rec.paths_attached);
   r.report.meta.paths_infeasible = static_cast<int>(rec.paths_infeasible);
   r.unit_fp = rec.unit_fp;

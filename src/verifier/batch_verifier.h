@@ -34,6 +34,9 @@ struct BatchOptions {
   double deadline_seconds = 0.0;
   // Per-query solver budgets applied inside every task.
   sym::Solver::Limits solver_limits;
+  // Solver engine selection applied inside every task (clause_learning =
+  // false is the `--no-clause-learning` ablation).
+  sym::Solver::Options solver_options;
   // Timing repeats per generator (passed through to VerifyOptions.runs).
   int runs = 1;
   // Also build each generator's CFA artifact (off by default: the batch

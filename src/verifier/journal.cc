@@ -217,6 +217,12 @@ class LineParser {
       rec->solve_s = v;
     } else if (key == "decisions") {
       rec->decisions = static_cast<int64_t>(v);
+    } else if (key == "propagations") {
+      rec->propagations = static_cast<int64_t>(v);
+    } else if (key == "learned_clauses") {
+      rec->learned_clauses = static_cast<int64_t>(v);
+    } else if (key == "restarts") {
+      rec->restarts = static_cast<int64_t>(v);
     } else if (key == "paths_attached") {
       rec->paths_attached = static_cast<int64_t>(v);
     } else if (key == "paths_infeasible") {
@@ -258,6 +264,10 @@ std::string JournalRecord::ToJsonLine() const {
   out += StrFormat(
       ",\"cfa_s\":%.17g,\"gen_s\":%.17g,\"interp_s\":%.17g,\"solve_s\":%.17g,\"decisions\":%lld",
       cfa_s, gen_s, interp_s, solve_s, static_cast<long long>(decisions));
+  out += StrFormat(",\"propagations\":%lld,\"learned_clauses\":%lld,\"restarts\":%lld",
+                   static_cast<long long>(propagations),
+                   static_cast<long long>(learned_clauses),
+                   static_cast<long long>(restarts));
   out += StrFormat(",\"paths_attached\":%lld,\"paths_infeasible\":%lld",
                    static_cast<long long>(paths_attached),
                    static_cast<long long>(paths_infeasible));

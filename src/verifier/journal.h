@@ -45,7 +45,10 @@ namespace icarus::verifier {
 //       the persistent verdict store matches on before skipping a generator
 //       as CACHED_SAFE. Additive: older rows read fine with an empty
 //       fingerprint, which simply never matches (so they are re-verified).
-inline constexpr int kJournalSchemaVersion = 4;
+//   5 — adds the CDCL solver counters (propagations/learned_clauses/
+//       restarts), rendered by `verify-all --stats`. Additive: older rows
+//       read fine with the counters defaulting to 0.
+inline constexpr int kJournalSchemaVersion = 5;
 inline constexpr int kJournalMinReadSchemaVersion = 1;
 
 // One journaled verdict. `outcome` is the OutcomeName() token (e.g.
@@ -66,7 +69,12 @@ struct JournalRecord {
   double gen_s = 0.0;      // Meta-execution phase 1, minus solver time.
   double interp_s = 0.0;   // Meta-execution phase 2, minus solver time.
   double solve_s = 0.0;    // Wall time inside Solver::Solve.
-  int64_t decisions = 0;   // DPLL decisions across the task's queries.
+  int64_t decisions = 0;   // Branching decisions across the task's queries.
+  // CDCL solver counters (schema >= 5; 0 in older rows and under the
+  // --no-clause-learning ablation engine).
+  int64_t propagations = 0;     // Literals assigned by unit propagation.
+  int64_t learned_clauses = 0;  // 1-UIP clauses + theory lemmas learned.
+  int64_t restarts = 0;         // Luby restarts.
   // Path-outcome counters (schema >= 3; 0 in older rows).
   int64_t paths_attached = 0;
   int64_t paths_infeasible = 0;

@@ -44,7 +44,10 @@ namespace icarus::verifier {
 
 // Names the C++-side verification semantics the stored verdicts assume.
 // Persisted stores written under a different epoch are discarded wholesale.
-inline constexpr char kVerifierEpoch[] = "icarus-incremental-v1";
+// Bumped to v2 when the CDCL core replaced the decide-only solver (same
+// verdicts, but budget semantics — what a given decision budget can decide —
+// changed, so pre-CDCL PASSes must not short-circuit re-verification).
+inline constexpr char kVerifierEpoch[] = "icarus-cdcl-v2";
 
 // Canonical file layout under a --cache-dir directory.
 std::string VerdictStorePath(const std::string& cache_dir);

@@ -101,6 +101,18 @@ TEST(BenchBaseline, AddedAndRemovedEntriesAreNotRegressions) {
   EXPECT_NE(table.find("removed from current"), std::string::npos) << table;
 }
 
+TEST(BenchBaseline, NoiseFloorShieldsMicrosecondEntries) {
+  // A 0.03ms entry tripling is 200% relative but 0.06ms absolute — scheduler
+  // jitter, not a regression. The same relative slip on a 10ms entry flags.
+  BenchRun base = MakeRun({Entry("micro", 0.03)});
+  EXPECT_FALSE(CompareBenchRuns(base, MakeRun({Entry("micro", 0.09)}), 50.0).regressed);
+  // An absolute slip above the floor still flags, however small the entry.
+  EXPECT_TRUE(CompareBenchRuns(base, MakeRun({Entry("micro", 0.50)}), 50.0).regressed);
+  // A caller may disable the floor outright.
+  EXPECT_TRUE(
+      CompareBenchRuns(base, MakeRun({Entry("micro", 0.09)}), 50.0, 0.0).regressed);
+}
+
 TEST(BenchBaseline, ZeroBaselineNeverFlags) {
   // Sub-resolution timings round to 0; a 0 -> 0.2ms "regression" is noise,
   // not an infinite-percent slip.

@@ -192,24 +192,26 @@ TEST_F(FaultsTest, ArmRejectsBadSpecs) {
 // --- Bounded retry with budget escalation -------------------------------
 
 TEST_F(FaultsTest, RetriesEscalateBudgetsUntilDecisive) {
-  // A 1-decision budget leaves real generators inconclusive; doubling per
-  // retry must eventually clear them, and the consumed retries must be
-  // visible on the rows and in the table.
+  // A zero-decision budget leaves real generators inconclusive (the CDCL
+  // core's unit propagation decides many queries without branching, so only
+  // budget 0 reliably starves the fleet); escalation per retry must
+  // eventually clear them, and the consumed retries must be visible on the
+  // rows and in the table.
   BatchVerifier batch(platform_);
   BatchOptions base;
   base.jobs = 2;
   base.use_cache = true;
-  base.solver_limits.max_decisions = 1;
+  base.solver_limits.max_decisions = 0;
   StatusOr<BatchReport> no_retry_or = batch.VerifyAll(kFleet, base);
   ASSERT_TRUE(no_retry_or.ok());
   BatchReport no_retry = no_retry_or.take();
   int inconclusive_without_retries = no_retry.NumWithOutcome(Outcome::kInconclusive);
   ASSERT_GT(inconclusive_without_retries, 0)
-      << "budget of 1 decision unexpectedly decisive:\n"
+      << "budget of 0 decisions unexpectedly decisive:\n"
       << no_retry.RenderTable();
 
   BatchOptions with_retries = base;
-  with_retries.retries = 24;  // 1 decision doubled 24 times covers any query here.
+  with_retries.retries = 24;  // 0 escalates to 1, then doubles: covers any query here.
   StatusOr<BatchReport> retried_or = batch.VerifyAll(kFleet, with_retries);
   ASSERT_TRUE(retried_or.ok());
   BatchReport retried = retried_or.take();
@@ -231,9 +233,11 @@ TEST_F(FaultsTest, RetryBypassesCachedNegativeEntries) {
   BatchOptions opts;
   opts.jobs = 1;
   opts.use_cache = true;  // Shared cache is what makes this dangerous.
-  opts.solver_limits.max_decisions = 1;
+  opts.solver_limits.max_decisions = 0;
   opts.retries = 24;
-  StatusOr<BatchReport> report_or = batch.VerifyAll({"tryAttachCompareInt32"}, opts);
+  // tryAttachInt32Add needs branching decisions even under the CDCL core, so
+  // a zero budget reliably produces the negative entry on attempt 1.
+  StatusOr<BatchReport> report_or = batch.VerifyAll({"tryAttachInt32Add"}, opts);
   ASSERT_TRUE(report_or.ok());
   BatchReport report = report_or.take();
   ASSERT_EQ(report.results.size(), 1u);

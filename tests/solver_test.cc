@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "src/sym/expr.h"
 #include "src/sym/solver.h"
 
@@ -161,6 +165,264 @@ TEST_F(SolverTest, DeepNesting) {
   ExprRef fffx = pool_.App("f", {ffx}, Sort::kTerm);
   EXPECT_EQ(Check({pool_.Eq(fx, x), pool_.Ne(fffx, x)}), Verdict::kUnsat);
 }
+
+// ---------------------------------------------------------------------------
+// CDCL-specific coverage: the incremental scope protocol, clause learning,
+// backjumping, and unsat cores (docs/SOLVER.md documents the contract).
+// ---------------------------------------------------------------------------
+
+TEST_F(SolverTest, PushPopRestoresScopeState) {
+  // The protocol every call site follows: Push/Assume/SolveAssuming/Pop must
+  // retract assumptions completely — a conjunct assumed in a popped scope
+  // cannot influence later queries.
+  ExprRef p = pool_.Var("p", Sort::kBool);
+  ExprRef q = pool_.Var("q", Sort::kBool);
+  Solver solver;
+  solver.Push();
+  solver.Assume(p);
+  EXPECT_EQ(solver.SolveAssuming().verdict, Verdict::kSat);
+  solver.Push();
+  solver.Assume(pool_.Not(p));
+  EXPECT_EQ(solver.depth(), 2);
+  EXPECT_EQ(solver.SolveAssuming().verdict, Verdict::kUnsat);
+  solver.Pop();
+  // Inner contradiction gone; outer scope must solve exactly as before.
+  EXPECT_EQ(solver.SolveAssuming().verdict, Verdict::kSat);
+  solver.Push();
+  solver.Assume(q);
+  EXPECT_EQ(solver.SolveAssuming().verdict, Verdict::kSat);
+  solver.Pop();
+  solver.Pop();
+  EXPECT_EQ(solver.depth(), 0);
+  // Fully popped: the empty conjunction is satisfiable even after an UNSAT
+  // query was answered (assumptions are decisions, never clauses).
+  EXPECT_EQ(solver.Solve({pool_.Not(p)}).verdict, Verdict::kSat);
+}
+
+TEST_F(SolverTest, TempClausesDieWithTheirScope) {
+  ExprRef p = pool_.Var("p", Sort::kBool);
+  ExprRef q = pool_.Var("q", Sort::kBool);
+  Solver solver;
+  solver.Push();
+  solver.AddTempClause({p, q});          // p ∨ q while this scope is open.
+  solver.Push();
+  solver.Assume(pool_.Not(p));
+  solver.Assume(pool_.Not(q));
+  EXPECT_EQ(solver.SolveAssuming().verdict, Verdict::kUnsat);
+  solver.Pop();
+  solver.Pop();
+  // The disjunction is retracted with its scope: ¬p ∧ ¬q is SAT again, even
+  // though conflict clauses may have been learned from the guarded clause.
+  EXPECT_EQ(solver.Solve({pool_.Not(p), pool_.Not(q)}).verdict, Verdict::kSat);
+}
+
+TEST_F(SolverTest, LearnedClausesPersistAcrossQueriesSoundly) {
+  // A persistent solver answers repeated and *sibling* queries after learning
+  // from earlier ones; every verdict must match a fresh solver's. This is the
+  // warm-solver configuration the meta-executor runs (one instance per
+  // generator, all paths).
+  ExprRef x = pool_.Var("x", Sort::kInt);
+  ExprRef y = pool_.Var("y", Sort::kInt);
+  ExprRef f_x = pool_.App("f", {x}, Sort::kInt);
+  ExprRef f_y = pool_.App("f", {y}, Sort::kInt);
+  std::vector<std::vector<ExprRef>> queries = {
+      {pool_.Lt(x, y), pool_.Lt(y, x)},                              // UNSAT
+      {pool_.Lt(x, y), pool_.Lt(y, pool_.Add(x, pool_.IntConst(2)))},// SAT
+      {pool_.Eq(x, y), pool_.Ne(f_x, f_y)},                          // UNSAT
+      {pool_.Lt(x, y), pool_.Lt(y, x)},                              // repeat
+      {pool_.Eq(x, y), pool_.Eq(f_x, f_y)},                          // SAT
+  };
+  Solver warm;
+  for (const auto& q : queries) {
+    Verdict fresh = Solver().Solve(q).verdict;
+    EXPECT_EQ(warm.Solve(q).verdict, fresh);
+  }
+  EXPECT_GT(warm.stats().queries, 0);
+}
+
+TEST_F(SolverTest, BackjumpRefutesBranchingTheoryConflicts) {
+  // Every assignment of the boolean selectors p,q forces the contradictory
+  // pair x<y ∧ y<x, so refutation requires the search to branch, hit theory
+  // conflicts, learn lemmas, and backjump across decision levels — the CDCL
+  // loop end to end. Dropping the last row opens exactly one escape
+  // (p ∧ q ∧ x<y), which the correctness half checks.
+  ExprRef p = pool_.Var("sel_p", Sort::kBool);
+  ExprRef q = pool_.Var("sel_q", Sort::kBool);
+  ExprRef x = pool_.Var("bx", Sort::kInt);
+  ExprRef y = pool_.Var("by", Sort::kInt);
+  ExprRef xy = pool_.Lt(x, y);
+  ExprRef yx = pool_.Lt(y, x);
+  std::vector<ExprRef> cs;
+  for (ExprRef pl : {p, pool_.Not(p)}) {
+    for (ExprRef ql : {q, pool_.Not(q)}) {
+      cs.push_back(pool_.Or(pl, pool_.Or(ql, xy)));
+      cs.push_back(pool_.Or(pl, pool_.Or(ql, yx)));
+    }
+  }
+  Solver solver;
+  EXPECT_EQ(solver.Solve(cs).verdict, Verdict::kUnsat);
+  // The refutation must have actually learned something (CDCL engaged).
+  EXPECT_GT(solver.stats().learned_clauses, 0);
+  cs.pop_back();  // Drop {¬p ∨ ¬q ∨ y<x}: p ∧ q ∧ x<y now satisfies.
+  SolveResult r = solver.Solve(cs);
+  ASSERT_EQ(r.verdict, Verdict::kSat);
+  int64_t xv = 0;
+  int64_t yv = 0;
+  ASSERT_TRUE(r.model.Lookup(x, &xv));
+  ASSERT_TRUE(r.model.Lookup(y, &yv));
+  EXPECT_LT(xv, yv);
+}
+
+TEST_F(SolverTest, ModelSatisfiesEveryConjunct) {
+  // Learned-clause soundness, checked from the SAT side: any model produced
+  // after warm-up must still evaluate every conjunct of the *current* query
+  // to true (a clause wrongly retained from a popped scope or an unsound
+  // lemma would steer the model off the query).
+  ExprRef x = pool_.Var("x", Sort::kInt);
+  ExprRef y = pool_.Var("y", Sort::kInt);
+  Solver solver;
+  // Warm up with a contradictory sibling so clauses get learned.
+  EXPECT_EQ(solver.Solve({pool_.Lt(x, y), pool_.Lt(y, x)}).verdict, Verdict::kUnsat);
+  SolveResult r = solver.Solve({pool_.Lt(x, y), pool_.Le(pool_.IntConst(10), x),
+                                pool_.Le(y, pool_.IntConst(12))});
+  ASSERT_EQ(r.verdict, Verdict::kSat);
+  int64_t xv = 0;
+  int64_t yv = 0;
+  ASSERT_TRUE(r.model.Lookup(x, &xv));
+  ASSERT_TRUE(r.model.Lookup(y, &yv));
+  EXPECT_LT(xv, yv);
+  EXPECT_GE(xv, 10);
+  EXPECT_LE(yv, 12);
+}
+
+TEST_F(SolverTest, FinalConflictIsAnUnsatCore) {
+  // final_conflict() must name a subset of the assumed conjuncts that is
+  // itself UNSAT — and for this query, strictly smaller than the full set
+  // (minimality smoke: the irrelevant conjuncts are dropped).
+  ExprRef x = pool_.Var("x", Sort::kInt);
+  ExprRef a = pool_.Var("a", Sort::kInt);
+  ExprRef b = pool_.Var("b", Sort::kInt);
+  ExprRef clash1 = pool_.Eq(x, pool_.IntConst(1));
+  ExprRef clash2 = pool_.Eq(x, pool_.IntConst(2));
+  std::vector<ExprRef> padding = {pool_.Lt(a, b), pool_.Le(pool_.IntConst(0), a),
+                                  pool_.Le(b, pool_.IntConst(100))};
+  Solver solver;
+  solver.Push();
+  for (ExprRef c : padding) {
+    solver.Assume(c);
+  }
+  solver.Assume(clash1);
+  solver.Assume(clash2);
+  ASSERT_EQ(solver.SolveAssuming().verdict, Verdict::kUnsat);
+  std::vector<ExprRef> core = solver.final_conflict();
+  solver.Pop();
+  ASSERT_FALSE(core.empty());
+  EXPECT_LT(core.size(), padding.size() + 2) << "core did not shrink";
+  // Every core member must be one of the assumed conjuncts...
+  for (ExprRef c : core) {
+    bool assumed = std::find(padding.begin(), padding.end(), c) != padding.end() ||
+                   c == clash1 || c == clash2;
+    EXPECT_TRUE(assumed);
+  }
+  // ...and the core alone must already be UNSAT.
+  EXPECT_EQ(Solver().Solve(core).verdict, Verdict::kUnsat);
+}
+
+TEST_F(SolverTest, DecideOnlyAblationEngineAgrees) {
+  // The --no-clause-learning engine must return the same verdicts (it is the
+  // differential oracle, so pin it on a couple of fixed formulas too).
+  Solver::Options no_learn;
+  no_learn.clause_learning = false;
+  ExprRef x = pool_.Var("x", Sort::kInt);
+  ExprRef y = pool_.Var("y", Sort::kInt);
+  std::vector<std::vector<ExprRef>> queries = {
+      {pool_.Lt(x, y), pool_.Lt(y, x)},
+      {pool_.Le(pool_.IntConst(0), x), pool_.Lt(x, pool_.IntConst(3))},
+  };
+  for (const auto& q : queries) {
+    Solver cdcl;
+    Solver dpll(Solver::Limits{}, no_learn);
+    EXPECT_EQ(cdcl.Solve(q).verdict, dpll.Solve(q).verdict);
+  }
+  // The ablation engine reports no CDCL activity.
+  Solver dpll(Solver::Limits{}, no_learn);
+  EXPECT_EQ(dpll.Solve({pool_.Lt(x, y), pool_.Lt(y, x)}).verdict, Verdict::kUnsat);
+  EXPECT_EQ(dpll.stats().learned_clauses, 0);
+  EXPECT_EQ(dpll.stats().propagations, 0);
+  EXPECT_EQ(dpll.stats().restarts, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz: random formulas, CDCL vs the decide-only oracle. The
+// formulas mix propositional structure with a small theory vocabulary so the
+// lazy-SMT loop (lemma learning from theory conflicts) is exercised, not just
+// the boolean core. Deterministic PRNG: failures reproduce by seed.
+// ---------------------------------------------------------------------------
+
+class SolverFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverFuzzTest, CdclMatchesDecideOnlyOracle) {
+  uint64_t state = GetParam() * 0x9E3779B97F4A7C15ULL + 1;
+  auto rnd = [&state](int n) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<int>(state % static_cast<uint64_t>(n));
+  };
+  ExprPool pool;
+  // Vocabulary: bools p0..p2, ints i0..i2, constants 0..3.
+  std::vector<ExprRef> bools;
+  std::vector<ExprRef> ints;
+  for (int i = 0; i < 3; ++i) {
+    bools.push_back(pool.Var("p" + std::to_string(i), Sort::kBool));
+    ints.push_back(pool.Var("i" + std::to_string(i), Sort::kInt));
+  }
+  auto atom = [&]() -> ExprRef {
+    switch (rnd(4)) {
+      case 0:
+        return bools[static_cast<size_t>(rnd(3))];
+      case 1:
+        return pool.Lt(ints[static_cast<size_t>(rnd(3))], ints[static_cast<size_t>(rnd(3))]);
+      case 2:
+        return pool.Eq(ints[static_cast<size_t>(rnd(3))], pool.IntConst(rnd(4)));
+      default:
+        return pool.Le(ints[static_cast<size_t>(rnd(3))],
+                       pool.Add(ints[static_cast<size_t>(rnd(3))], pool.IntConst(rnd(3))));
+    }
+  };
+  auto literal = [&]() {
+    ExprRef a = atom();
+    return rnd(2) == 0 ? a : pool.Not(a);
+  };
+  Solver cdcl;  // Persistent across the whole sweep: warm-state soundness.
+  Solver::Options no_learn;
+  no_learn.clause_learning = false;
+  for (int round = 0; round < 24; ++round) {
+    // Random CNF-ish conjunction: 2-6 conjuncts, each a literal or a small
+    // disjunction of literals.
+    std::vector<ExprRef> conjuncts;
+    int n = 2 + rnd(5);
+    for (int i = 0; i < n; ++i) {
+      ExprRef c = literal();
+      if (rnd(3) == 0) {
+        c = pool.Or(c, literal());
+      }
+      if (rnd(6) == 0) {
+        c = pool.Or(c, literal());
+      }
+      conjuncts.push_back(c);
+    }
+    Solver oracle(Solver::Limits{}, no_learn);  // Fresh + learning-free.
+    Verdict expect = oracle.Solve(conjuncts).verdict;
+    ASSERT_NE(expect, Verdict::kUnknown);
+    SolveResult got = cdcl.Solve(conjuncts);
+    ASSERT_EQ(got.verdict, expect)
+        << "divergence at seed " << GetParam() << " round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFormulas, SolverFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
 
 // Parameterized sweep: push-pop style random clauses keep the solver total
 // (either SAT with a model or UNSAT) across formula shapes.

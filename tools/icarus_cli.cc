@@ -99,10 +99,15 @@ int VerifyAllHelp() {
       "  --retries N     Re-verify budget-inconclusive generators up to N extra\n"
       "                  times, doubling the per-query solver budgets each time\n"
       "                  (default: 0). Deadline-cancelled tasks are not retried.\n"
+      "  --no-clause-learning\n"
+      "                  Debug/ablation: solve every query with the decide-only\n"
+      "                  search (no conflict clause learning, no cross-path\n"
+      "                  reuse). See EXPERIMENTS.md §\"Solver ablation\".\n"
       "  --stats         Also render the cost-attribution table: per-generator\n"
       "                  stage breakdown (CFA / generate / interpret / solve),\n"
-      "                  decision counts, and the dominant stage. With --trace,\n"
-      "                  also reports the span ring-buffer retention/drop count.\n"
+      "                  decision/propagation counts, learned clauses, restarts,\n"
+      "                  and the dominant stage. With --trace, also reports the\n"
+      "                  span ring-buffer retention/drop count.\n"
       "  --explain       Turn the flight recorder on and, after the table,\n"
       "                  print a full counterexample block for every refuted\n"
       "                  generator: violated contract, branch decisions, the\n"
@@ -552,6 +557,8 @@ int Run(int argc, char** argv) {
         options.use_cache = false;
       } else if (flag == "--max-decisions" && i + 1 < argc) {
         options.solver_limits.max_decisions = std::atoll(argv[++i]);
+      } else if (flag == "--no-clause-learning") {
+        options.solver_options.clause_learning = false;
       } else if (flag == "--retries" && i + 1 < argc) {
         options.retries = std::atoi(argv[++i]);
       } else if (flag == "--journal" && i + 1 < argc) {
