@@ -1,0 +1,87 @@
+#include "src/daemon/admission.h"
+
+#include <algorithm>
+
+namespace icarus::daemon {
+
+void TokenBucket::Refill(double now) {
+  if (now > last_) {
+    tokens_ = std::min(burst_, tokens_ + (now - last_) * rate_);
+  }
+  last_ = std::max(last_, now);
+}
+
+bool TokenBucket::TryAcquire(double now, double* retry_after_s) {
+  Refill(now);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  if (retry_after_s != nullptr) {
+    *retry_after_s = rate_ > 0 ? (1.0 - tokens_) / rate_ : 3600.0;
+  }
+  return false;
+}
+
+double TokenBucket::tokens(double now) {
+  Refill(now);
+  return tokens_;
+}
+
+AdmissionController::Decision AdmissionController::Admit(const std::string& client,
+                                                         int queue_depth, double now,
+                                                         double* retry_after_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client);
+  if (it == clients_.end()) {
+    it = clients_.emplace(client, ClientState(options_, now)).first;
+  }
+  ClientState& state = it->second;
+  // Rate gate first: a client over budget is shed even when the queue has
+  // room, so the per-client verdict is stable under light global load.
+  if (!state.bucket.TryAcquire(now, retry_after_s)) {
+    ++state.stats.shed_rate;
+    return Decision::kShedRate;
+  }
+  if (queue_depth >= options_.queue_limit) {
+    ++state.stats.shed_queue;
+    if (retry_after_s != nullptr) {
+      // The queue drains at verification speed, which we cannot predict
+      // here; hint one bucket period as a coarse "come back later".
+      *retry_after_s = options_.rate_per_sec > 0 ? 1.0 / options_.rate_per_sec : 1.0;
+    }
+    return Decision::kShedQueue;
+  }
+  ++state.stats.admitted;
+  return Decision::kAdmit;
+}
+
+std::vector<std::pair<std::string, ClientStats>> AdmissionController::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, ClientStats>> out;
+  out.reserve(clients_.size());
+  for (const auto& [name, state] : clients_) {
+    out.emplace_back(name, state.stats);
+  }
+  return out;
+}
+
+int64_t AdmissionController::total_admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [name, state] : clients_) {
+    total += state.stats.admitted;
+  }
+  return total;
+}
+
+int64_t AdmissionController::total_shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [name, state] : clients_) {
+    total += state.stats.shed_rate + state.stats.shed_queue;
+  }
+  return total;
+}
+
+}  // namespace icarus::daemon

@@ -1,0 +1,103 @@
+// Admission control for the `icarusd` serving loop.
+//
+// Two gates stand between an accepted request and the worker pool:
+//
+//   1. A per-client token bucket. Each client identity (Request::client)
+//      gets its own bucket of `burst` tokens refilling at `rate_per_sec`.
+//      A verify request costs one token; ping/stats are free (they are
+//      answered inline and cost microseconds). An empty bucket sheds the
+//      request with OVERLOADED and a retry-after hint sized to when the
+//      next token lands, so one chatty client cannot starve the rest.
+//
+//   2. A global bounded queue check. The server's ticket queue holds at
+//      most `queue_limit` waiting requests; when it is full the request is
+//      shed with OVERLOADED regardless of per-client budget. Memory stays
+//      bounded no matter how many clients pile on.
+//
+// Time is injected (seconds, monotonic) so tests drive the bucket with a
+// fake clock. All methods are thread-safe.
+#ifndef ICARUS_DAEMON_ADMISSION_H_
+#define ICARUS_DAEMON_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace icarus::daemon {
+
+// A classic token bucket: capacity `burst`, refilling continuously at
+// `rate_per_sec`. Not thread-safe on its own; AdmissionController locks.
+class TokenBucket {
+ public:
+  TokenBucket(double burst, double rate_per_sec, double now)
+      : burst_(burst), rate_(rate_per_sec), tokens_(burst), last_(now) {}
+
+  // Takes one token if available. On refusal returns false and sets
+  // *retry_after_s to the time until one token is available.
+  bool TryAcquire(double now, double* retry_after_s);
+
+  double tokens(double now);
+
+ private:
+  void Refill(double now);
+
+  double burst_;
+  double rate_;
+  double tokens_;
+  double last_;
+};
+
+// Per-client accounting, exported through the stats op and /metrics.
+struct ClientStats {
+  int64_t admitted = 0;
+  int64_t shed_rate = 0;   // Refused by this client's token bucket.
+  int64_t shed_queue = 0;  // Refused because the global queue was full.
+};
+
+class AdmissionController {
+ public:
+  struct Options {
+    double burst = 8.0;          // Bucket capacity per client.
+    double rate_per_sec = 16.0;  // Refill rate per client.
+    int queue_limit = 32;        // Global bound on waiting requests.
+  };
+
+  enum class Decision {
+    kAdmit,
+    kShedRate,   // Client over its token budget.
+    kShedQueue,  // Global queue full.
+  };
+
+  explicit AdmissionController(const Options& options) : options_(options) {}
+
+  // Decides whether a verify request from `client` may enter a queue that
+  // currently holds `queue_depth` waiting requests. `now` is monotonic
+  // seconds. On a shed, *retry_after_s holds the backoff hint.
+  Decision Admit(const std::string& client, int queue_depth, double now,
+                 double* retry_after_s);
+
+  // Snapshot of per-client stats, sorted by client name.
+  std::vector<std::pair<std::string, ClientStats>> Snapshot() const;
+
+  int64_t total_admitted() const;
+  int64_t total_shed() const;
+
+ private:
+  struct ClientState {
+    ClientState(const Options& options, double now)
+        : bucket(options.burst, options.rate_per_sec, now) {}
+    TokenBucket bucket;
+    ClientStats stats;
+  };
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, ClientState> clients_;
+};
+
+}  // namespace icarus::daemon
+
+#endif  // ICARUS_DAEMON_ADMISSION_H_

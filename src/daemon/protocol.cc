@@ -1,0 +1,319 @@
+#include "src/daemon/protocol.h"
+
+#include <cstdlib>
+
+#include "src/support/failpoint.h"
+#include "src/support/str_util.h"
+
+namespace icarus::daemon {
+
+namespace {
+
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", static_cast<unsigned char>(c));
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Flat-object scanner shared by both message parsers: the same dialect the
+// verdict journal reads (string / number / bool values, no nesting), with a
+// per-key callback. Unknown keys are skipped so either endpoint can be newer.
+class FlatParser {
+ public:
+  explicit FlatParser(std::string_view line)
+      : p_(line.data()), end_(line.data() + line.size()) {}
+
+  // `on_string(key, value)` / `on_number(key, value)`; bools surface as
+  // numbers (0/1). Returns false on malformed input.
+  template <typename OnString, typename OnNumber>
+  bool Parse(OnString&& on_string, OnNumber&& on_number) {
+    SkipWs();
+    if (!Consume('{')) {
+      return false;
+    }
+    SkipWs();
+    if (Consume('}')) {
+      return AtEnd();
+    }
+    while (true) {
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        return false;
+      }
+      SkipWs();
+      if (p_ < end_ && *p_ == '"') {
+        std::string value;
+        if (!ParseString(&value)) {
+          return false;
+        }
+        on_string(key, std::move(value));
+      } else if (end_ - p_ >= 4 && std::string_view(p_, 4) == "true") {
+        p_ += 4;
+        on_number(key, 1.0);
+      } else if (end_ - p_ >= 5 && std::string_view(p_, 5) == "false") {
+        p_ += 5;
+        on_number(key, 0.0);
+      } else if (end_ - p_ >= 4 && std::string_view(p_, 4) == "null") {
+        p_ += 4;
+      } else {
+        double value = 0;
+        if (!ParseNumber(&value)) {
+          return false;
+        }
+        on_number(key, value);
+      }
+      SkipWs();
+      if (Consume(',')) {
+        SkipWs();
+        continue;
+      }
+      break;
+    }
+    if (!Consume('}')) {
+      return false;
+    }
+    return AtEnd();
+  }
+
+ private:
+  void SkipWs() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+  bool AtEnd() {
+    SkipWs();
+    return p_ == end_;
+  }
+  bool Consume(char c) {
+    if (p_ < end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return false;
+    }
+    out->clear();
+    while (p_ < end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (p_ >= end_) {
+        return false;
+      }
+      char e = *p_++;
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (end_ - p_ < 4) {
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = *p_++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          // The writers only emit \u00XX for control bytes; decode the
+          // low byte and pass anything wider through as '?' rather than
+          // growing a UTF-8 encoder for data we never produce.
+          out->push_back(code <= 0xff ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return Consume('"');
+  }
+
+  bool ParseNumber(double* out) {
+    const char* start = p_;
+    while (p_ < end_ &&
+           (*p_ == '-' || *p_ == '+' || *p_ == '.' || *p_ == 'e' || *p_ == 'E' ||
+            (*p_ >= '0' && *p_ <= '9'))) {
+      ++p_;
+    }
+    if (p_ == start) {
+      return false;
+    }
+    std::string text(start, p_);
+    char* endp = nullptr;
+    *out = std::strtod(text.c_str(), &endp);
+    return endp == text.c_str() + text.size();
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+std::string Request::ToJsonLine() const {
+  std::string out = StrCat("{\"v\":", std::to_string(v), ",\"id\":");
+  AppendJsonString(id, &out);
+  out += ",\"op\":";
+  AppendJsonString(op, &out);
+  out += ",\"gen\":";
+  AppendJsonString(generator, &out);
+  out += ",\"client\":";
+  AppendJsonString(client, &out);
+  out += StrFormat(",\"deadline_ms\":%.17g}", deadline_ms);
+  return out;
+}
+
+Status ParseRequest(std::string_view line, Request* request) {
+  ICARUS_FAILPOINT(failpoint::kDaemonParse);
+  *request = Request{};
+  request->v = 0;  // Distinguish "absent" from an explicit version.
+  FlatParser parser(line);
+  bool ok = parser.Parse(
+      [&](const std::string& key, std::string value) {
+        if (key == "id") {
+          request->id = std::move(value);
+        } else if (key == "op") {
+          request->op = std::move(value);
+        } else if (key == "gen") {
+          request->generator = std::move(value);
+        } else if (key == "client") {
+          request->client = std::move(value);
+        }
+      },
+      [&](const std::string& key, double value) {
+        if (key == "v") {
+          request->v = static_cast<int>(value);
+        } else if (key == "deadline_ms") {
+          request->deadline_ms = value;
+        }
+      });
+  if (!ok) {
+    return Status::Error("malformed request (want one flat JSON object per line)");
+  }
+  if (request->v == 0) {
+    request->v = kProtocolVersion;  // Tolerate omitted version from simple clients.
+  }
+  if (request->v != kProtocolVersion) {
+    return Status::Error(StrFormat("unsupported protocol version %d (this server speaks %d)",
+                                   request->v, kProtocolVersion));
+  }
+  if (request->op != kOpPing && request->op != kOpVerify && request->op != kOpStats &&
+      request->op != kOpShutdown) {
+    return Status::Error(StrCat("unknown op '", request->op,
+                                "' (want ping, verify, stats, or shutdown)"));
+  }
+  if (request->op == kOpVerify && request->generator.empty()) {
+    return Status::Error("verify request without a 'gen' field");
+  }
+  if (request->deadline_ms < 0) {
+    return Status::Error("negative deadline_ms");
+  }
+  return Status::Ok();
+}
+
+std::string Response::ToJsonLine() const {
+  std::string out = StrCat("{\"v\":", std::to_string(v), ",\"id\":");
+  AppendJsonString(id, &out);
+  out += ",\"status\":";
+  AppendJsonString(status, &out);
+  out += ",\"gen\":";
+  AppendJsonString(generator, &out);
+  out += ",\"outcome\":";
+  AppendJsonString(outcome, &out);
+  out += ",\"error\":";
+  AppendJsonString(error, &out);
+  out += StrCat(",\"cached\":", cached ? "true" : "false");
+  out += StrFormat(",\"seconds\":%.17g", seconds);
+  out += StrCat(",\"paths\":", std::to_string(paths));
+  out += StrCat(",\"queries\":", std::to_string(queries));
+  out += StrFormat(",\"retry_after_ms\":%.17g", retry_after_ms);
+  if (!stats_json.empty()) {
+    out += ",\"stats_json\":";
+    AppendJsonString(stats_json, &out);
+  }
+  out.push_back('}');
+  return out;
+}
+
+Status ParseResponse(std::string_view line, Response* response) {
+  *response = Response{};
+  FlatParser parser(line);
+  bool ok = parser.Parse(
+      [&](const std::string& key, std::string value) {
+        if (key == "id") {
+          response->id = std::move(value);
+        } else if (key == "status") {
+          response->status = std::move(value);
+        } else if (key == "gen") {
+          response->generator = std::move(value);
+        } else if (key == "outcome") {
+          response->outcome = std::move(value);
+        } else if (key == "error") {
+          response->error = std::move(value);
+        } else if (key == "stats_json") {
+          response->stats_json = std::move(value);
+        }
+      },
+      [&](const std::string& key, double value) {
+        if (key == "v") {
+          response->v = static_cast<int>(value);
+        } else if (key == "cached") {
+          response->cached = value != 0;
+        } else if (key == "seconds") {
+          response->seconds = value;
+        } else if (key == "paths") {
+          response->paths = static_cast<int64_t>(value);
+        } else if (key == "queries") {
+          response->queries = static_cast<int64_t>(value);
+        } else if (key == "retry_after_ms") {
+          response->retry_after_ms = value;
+        }
+      });
+  if (!ok) {
+    return Status::Error("malformed response line");
+  }
+  if (response->status.empty()) {
+    return Status::Error("response without a status");
+  }
+  return Status::Ok();
+}
+
+}  // namespace icarus::daemon

@@ -1,0 +1,67 @@
+#include "src/daemon/quarantine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace icarus::daemon {
+
+Quarantine::Check Quarantine::Probe(const std::string& generator, double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Check check;
+  auto it = entries_.find(generator);
+  if (it == entries_.end() || it->second.until <= now) {
+    return check;
+  }
+  check.quarantined = true;
+  check.retry_after_s = it->second.until - now;
+  return check;
+}
+
+bool Quarantine::RecordStrike(const std::string& generator, double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[generator];
+  entry.generator = generator;
+  ++entry.strikes;
+  if (entry.strikes < options_.strikes) {
+    return false;
+  }
+  // k-th strike at or past the threshold opens window base * 2^(k - strikes),
+  // capped, then stretched by jitter in [1, 1+jitter).
+  int past = entry.strikes - options_.strikes;
+  double window = options_.base_s * std::ldexp(1.0, std::min(past, 60));
+  window = std::min(window, options_.max_s);
+  if (options_.jitter > 0) {
+    std::uniform_real_distribution<double> dist(0.0, options_.jitter);
+    window *= 1.0 + dist(rng_);
+  }
+  entry.until = now + window;
+  return true;
+}
+
+void Quarantine::RecordSuccess(const std::string& generator) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(generator);
+}
+
+std::vector<Quarantine::Entry> Quarantine::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.push_back(entry);
+  }
+  return out;
+}
+
+int64_t Quarantine::ActiveCount(double now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t count = 0;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.until > now) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace icarus::daemon

@@ -1,0 +1,77 @@
+// Quarantine for poisoned verification targets.
+//
+// The supervisor runs each verify request inside the containment boundary
+// (InternalError → INTERNAL_ERROR for that request only). A generator that
+// keeps blowing up is costing real solver time on every retry, so after
+// `strikes` consecutive internal errors the target is quarantined: further
+// requests for it are refused immediately with QUARANTINED and a
+// retry-after hint. The quarantine window grows exponentially with each
+// strike past the threshold — base * 2^(k - strikes), capped at `max_s` —
+// with bounded multiplicative jitter so a fleet of clients retrying a
+// quarantined generator does not thundering-herd the daemon the instant a
+// window lapses. A successful (non-internal-error) verification clears the
+// target's record entirely.
+//
+// Time is injected (monotonic seconds) and the jitter RNG is seeded, so the
+// schedule is fully deterministic under test. Thread-safe.
+#ifndef ICARUS_DAEMON_QUARANTINE_H_
+#define ICARUS_DAEMON_QUARANTINE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace icarus::daemon {
+
+class Quarantine {
+ public:
+  struct Options {
+    int strikes = 3;          // Consecutive internal errors before quarantine.
+    double base_s = 0.5;      // First window length.
+    double max_s = 60.0;      // Backoff ceiling.
+    double jitter = 0.25;     // Window is scaled by a factor in [1, 1+jitter).
+    uint64_t seed = 0;        // Jitter RNG seed.
+  };
+
+  struct Check {
+    bool quarantined = false;
+    double retry_after_s = 0;  // Time until the window lapses (when quarantined).
+  };
+
+  struct Entry {
+    std::string generator;
+    int strikes = 0;
+    double until = 0;  // Monotonic deadline of the active window (0 = none).
+  };
+
+  explicit Quarantine(const Options& options) : options_(options), rng_(options.seed) {}
+
+  // Is `generator` currently quarantined at time `now`?
+  Check Probe(const std::string& generator, double now);
+
+  // Records an internal error for `generator`. Returns true when this strike
+  // put (or kept) the target in quarantine, i.e. a new window was opened.
+  bool RecordStrike(const std::string& generator, double now);
+
+  // Records a successful verification: clears the target's record.
+  void RecordSuccess(const std::string& generator);
+
+  // Targets with a strike record, sorted by generator name.
+  std::vector<Entry> Snapshot() const;
+
+  // Number of targets currently inside a quarantine window.
+  int64_t ActiveCount(double now) const;
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  std::mt19937_64 rng_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace icarus::daemon
+
+#endif  // ICARUS_DAEMON_QUARANTINE_H_

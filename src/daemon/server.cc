@@ -1,0 +1,662 @@
+#include "src/daemon/server.h"
+
+#include <algorithm>
+#include <exception>
+#include <future>
+
+#include <sys/stat.h>
+
+#include "src/ast/fingerprint.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/support/failpoint.h"
+#include "src/support/str_util.h"
+#include "src/support/timing.h"
+#include "src/sym/cache_store.h"
+#include "src/verifier/batch_verifier.h"
+#include "src/verifier/verifier.h"
+
+namespace icarus::daemon {
+
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool IsDecisive(const std::string& outcome) {
+  return outcome == verifier::OutcomeName(verifier::Outcome::kVerified) ||
+         outcome == verifier::OutcomeName(verifier::Outcome::kRefuted) ||
+         outcome == verifier::OutcomeName(verifier::Outcome::kCachedSafe);
+}
+
+Response ResponseFromRecord(const verifier::JournalRecord& rec) {
+  Response resp;
+  resp.status = kStatusOk;
+  resp.generator = rec.generator;
+  resp.outcome = rec.outcome;
+  resp.error = rec.error;
+  resp.cached = true;
+  resp.paths = rec.paths;
+  resp.queries = rec.queries;
+  return resp;
+}
+
+}  // namespace
+
+// One queued verify request. Allocated on the Execute() caller's stack: the
+// protocol is that exactly one of the worker pool or the drain path fulfils
+// the promise, and Execute() always waits on the future before returning, so
+// the ticket outlives every reference to it.
+struct ServerCore::Ticket {
+  Request request;
+  std::string unit_fp;
+  std::atomic<bool> cancel{false};
+  std::promise<Response> promise;
+};
+
+std::string DaemonStats::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("requests").Int(requests);
+  w.Key("served").Int(served);
+  w.Key("warm_hits").Int(warm_hits);
+  w.Key("cached_safe").Int(cached_safe);
+  w.Key("shed_rate").Int(shed_rate);
+  w.Key("shed_queue").Int(shed_queue);
+  w.Key("quarantined").Int(quarantined);
+  w.Key("rejected_draining").Int(rejected_draining);
+  w.Key("bad_requests").Int(bad_requests);
+  w.Key("internal_errors").Int(internal_errors);
+  w.Key("deadline_cancelled").Int(deadline_cancelled);
+  w.Key("queue_depth").Int(queue_depth);
+  w.Key("in_flight").Int(in_flight);
+  w.Key("quarantine_active").Int(quarantine_active);
+  w.Key("replayed").Int(replayed);
+  w.Key("read_only_cache").Bool(read_only_cache);
+  w.Key("clients").BeginObject();
+  for (const auto& [name, stats] : clients) {
+    w.Key(name).BeginObject();
+    w.Key("admitted").Int(stats.admitted);
+    w.Key("shed_rate").Int(stats.shed_rate);
+    w.Key("shed_queue").Int(stats.shed_queue);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.Key("quarantine").BeginArray();
+  for (const Quarantine::Entry& entry : quarantine) {
+    w.BeginObject();
+    w.Key("generator").String(entry.generator);
+    w.Key("strikes").Int(entry.strikes);
+    w.Key("until").Double(entry.until);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+ServerCore::ServerCore(const platform::Platform* platform, const DaemonOptions& options)
+    : platform_(platform),
+      options_(options),
+      epoch_(std::chrono::steady_clock::now()),
+      admission_(options.admission),
+      quarantine_(options.quarantine) {
+  if (options_.jobs <= 0) {
+    options_.jobs = 1;
+  }
+}
+
+ServerCore::~ServerCore() {
+  if (started_) {
+    BeginDrain();
+    (void)FinishDrain();
+  }
+}
+
+double ServerCore::Now() const {
+  if (options_.clock) {
+    return options_.clock();
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+}
+
+Status ServerCore::Start() {
+  if (started_) {
+    return Status::Error("ServerCore::Start called twice");
+  }
+
+  // Persistent stores, guarded by the advisory cache lock. A second writer
+  // (another daemon, a concurrent `verify-all --incremental`) degrades this
+  // instance to a read-only view: it still warms from the stores but never
+  // writes them back, so the lock holder's saves are not clobbered.
+  if (options_.incremental) {
+    Status dir = verifier::EnsureCacheDir(options_.cache_dir);
+    if (!dir.ok()) {
+      notes_.push_back(StrCat(dir.message(), "; running without persistence"));
+    } else {
+      persistence_enabled_ = true;
+      FileLock::Result lock = FileLock::TryExclusive(options_.cache_dir + "/lock");
+      if (lock.state == FileLock::State::kAcquired) {
+        cache_lock_ = std::move(lock.lock);
+      } else {
+        read_only_cache_ = true;
+        notes_.push_back(StrCat(lock.message, "; cache degraded to read-only"));
+      }
+      solver_store_path_ = verifier::SolverCacheStorePath(options_.cache_dir);
+      verifier::VerdictStore::LoadResult loaded =
+          store_.Load(verifier::VerdictStorePath(options_.cache_dir), verifier::kVerifierEpoch);
+      if (!loaded.note.empty()) {
+        notes_.push_back(loaded.note);
+      }
+    }
+  }
+  if (options_.use_cache) {
+    cache_ = std::make_unique<sym::SolverCache>();
+    if (persistence_enabled_ && !solver_store_path_.empty()) {
+      sym::CacheLoadResult loaded =
+          sym::LoadSolverCache(solver_store_path_, verifier::kVerifierEpoch, cache_.get());
+      if (!loaded.note.empty()) {
+        notes_.push_back(loaded.note);
+      }
+    }
+  }
+
+  // Journal: replay yesterday's verdicts into the warm view, then open for
+  // appending. Replay errors fail startup — serving from a journal we cannot
+  // trust would hand out wrong warm verdicts.
+  if (!options_.journal_path.empty()) {
+    fingerprint_ = platform_->Fingerprint();
+    if (FileExists(options_.journal_path)) {
+      StatusOr<std::vector<verifier::JournalRecord>> records =
+          verifier::ReadJournal(options_.journal_path, fingerprint_);
+      if (!records.ok()) {
+        return Status::Error(StrCat("cannot replay journal '", options_.journal_path,
+                                    "': ", records.status().message(),
+                                    " (remove or relocate the journal to start cold)"));
+      }
+      for (const verifier::JournalRecord& rec : records.value()) {
+        if (IsDecisive(rec.outcome)) {
+          // Last record wins, as in batch resume.
+          warm_[rec.generator] = ResponseFromRecord(rec);
+        }
+      }
+      counters_.replayed = static_cast<int64_t>(warm_.size());
+      if (!warm_.empty()) {
+        notes_.push_back(StrFormat("replayed %d warm verdicts from the journal",
+                                   static_cast<int>(warm_.size())));
+      }
+    }
+    StatusOr<std::unique_ptr<verifier::JournalWriter>> writer =
+        verifier::JournalWriter::Open(options_.journal_path);
+    if (!writer.ok()) {
+      return writer.status();
+    }
+    journal_ = writer.take();
+  }
+
+  workers_.reserve(options_.jobs);
+  for (int i = 0; i < options_.jobs; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  started_ = true;
+  return Status::Ok();
+}
+
+std::string ServerCore::UnitFingerprint(const std::string& generator) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = unit_fp_cache_.find(generator);
+    if (it != unit_fp_cache_.end()) {
+      return it->second;
+    }
+  }
+  // An unfingerprintable name stays empty: never matched against the store,
+  // never stored (the verification itself reports the unknown-generator
+  // error).
+  std::string fp;
+  StatusOr<ast::Fingerprint> computed = ast::UnitFingerprint(platform_->module(), generator);
+  if (computed.ok()) {
+    fp = computed.value().ToHex();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  unit_fp_cache_[generator] = fp;
+  return fp;
+}
+
+void ServerCore::UpdateGauges() {
+  if (!obs::Enabled()) {
+    return;
+  }
+  static obs::Gauge* depth = obs::Registry::Global().GetGauge(
+      "icarus_daemon_queue_depth", "Verify requests waiting in the bounded queue");
+  static obs::Gauge* in_flight = obs::Registry::Global().GetGauge(
+      "icarus_daemon_in_flight", "Verify requests currently executing");
+  static obs::Gauge* quarantine_active = obs::Registry::Global().GetGauge(
+      "icarus_daemon_quarantine_active", "Targets currently inside a quarantine window");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    depth->Set(static_cast<int64_t>(queue_.size()));
+    in_flight->Set(static_cast<int64_t>(active_.size()));
+  }
+  quarantine_active->Set(quarantine_.ActiveCount(Now()));
+}
+
+void ServerCore::AppendJournal(const verifier::JournalRecord& record) {
+  if (journal_ == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  Status st = journal_->Append(record);
+  if (!st.ok()) {
+    // The service keeps serving — verdicts remain correct — but the
+    // durability gap is visible in the notes and stats.
+    std::lock_guard<std::mutex> note_lock(mu_);
+    if (notes_.empty() || notes_.back() != st.message()) {
+      notes_.push_back(st.message());
+    }
+  }
+}
+
+Response ServerCore::Execute(const Request& request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.requests;
+  }
+  if (obs::Enabled()) {
+    static obs::Counter* requests = obs::Registry::Global().GetCounter(
+        "icarus_daemon_requests_total", "Requests executed by the daemon core");
+    requests->Add(1);
+  }
+
+  Response resp;
+  resp.id = request.id;
+
+  if (request.op == kOpPing) {
+    resp.status = draining() ? kStatusShuttingDown : kStatusOk;
+    return resp;
+  }
+  if (request.op == kOpStats) {
+    resp.status = kStatusOk;
+    resp.stats_json = StatsSnapshot().ToJson();
+    return resp;
+  }
+  if (request.op == kOpShutdown) {
+    shutdown_requested_.store(true, std::memory_order_release);
+    resp.status = kStatusOk;
+    return resp;
+  }
+
+  resp = ExecuteVerify(request);
+  resp.id = request.id;
+  return resp;
+}
+
+Response ServerCore::ExecuteVerify(const Request& request) {
+  Response resp;
+  resp.generator = request.generator;
+
+  if (draining()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.rejected_draining;
+    resp.status = kStatusShuttingDown;
+    return resp;
+  }
+
+  // Warm view: a decisive verdict this service (or the journal it replayed)
+  // already earned. Free — no admission cost, no queueing.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = warm_.find(request.generator);
+    if (it != warm_.end()) {
+      ++counters_.warm_hits;
+      if (obs::Enabled()) {
+        static obs::Counter* warm = obs::Registry::Global().GetCounter(
+            "icarus_daemon_warm_hits_total", "Requests served from the warm verdict view");
+        warm->Add(1);
+      }
+      Response out = it->second;
+      return out;
+    }
+  }
+
+  double now = Now();
+  Quarantine::Check check = quarantine_.Probe(request.generator, now);
+  if (check.quarantined) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.quarantined;
+    }
+    if (obs::Enabled()) {
+      static obs::Counter* refused = obs::Registry::Global().GetCounter(
+          "icarus_daemon_quarantine_refusals_total",
+          "Requests refused because their target is quarantined");
+      refused->Add(1);
+    }
+    resp.status = kStatusQuarantined;
+    resp.error = StrCat("generator '", request.generator,
+                        "' is quarantined after repeated internal errors");
+    resp.retry_after_ms = check.retry_after_s * 1e3;
+    return resp;
+  }
+
+  int depth;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    depth = static_cast<int>(queue_.size());
+  }
+  std::string client = request.client.empty() ? "anon" : request.client;
+  double retry_after_s = 0;
+  AdmissionController::Decision decision = admission_.Admit(client, depth, now, &retry_after_s);
+  if (decision != AdmissionController::Decision::kAdmit) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (decision == AdmissionController::Decision::kShedRate) {
+        ++counters_.shed_rate;
+      } else {
+        ++counters_.shed_queue;
+      }
+    }
+    if (obs::Enabled()) {
+      static obs::Counter* shed = obs::Registry::Global().GetCounter(
+          "icarus_daemon_shed_total", "Requests shed by admission control");
+      shed->Add(1);
+    }
+    resp.status = kStatusOverloaded;
+    resp.error = decision == AdmissionController::Decision::kShedRate
+                     ? StrCat("client '", client, "' is over its request budget")
+                     : "request queue is full";
+    resp.retry_after_ms = retry_after_s * 1e3;
+    return resp;
+  }
+
+  Ticket ticket;
+  ticket.request = request;
+  if (options_.incremental && persistence_enabled_) {
+    ticket.unit_fp = UnitFingerprint(request.generator);
+  }
+  std::future<Response> future = ticket.promise.get_future();
+  try {
+    ICARUS_FAILPOINT(failpoint::kDaemonEnqueue);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_.load(std::memory_order_acquire)) {
+      ++counters_.rejected_draining;
+      resp.status = kStatusShuttingDown;
+      return resp;
+    }
+    queue_.push_back(&ticket);
+  } catch (const std::exception& e) {
+    // An enqueue fault burns only this request: nothing was queued, so
+    // answering ERROR (retryable) is honest.
+    resp.status = kStatusError;
+    resp.error = e.what();
+    return resp;
+  }
+  cv_.notify_one();
+  UpdateGauges();
+
+  // Per-request deadline: wait for the worker, and past the deadline flip
+  // this ticket's cancel flag — the verification observes it at its next
+  // path boundary and degrades to INCONCLUSIVE. The wait after cancellation
+  // is bounded by one path's solver budget.
+  double deadline_ms =
+      request.deadline_ms > 0 ? request.deadline_ms : options_.default_deadline_ms;
+  if (deadline_ms > 0) {
+    auto wait = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(deadline_ms / 1e3));
+    if (future.wait_for(wait) == std::future_status::timeout) {
+      ticket.cancel.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.deadline_cancelled;
+    }
+  }
+  Response out = future.get();
+  out.generator = request.generator;
+  UpdateGauges();
+  return out;
+}
+
+void ServerCore::WorkerLoop() {
+  while (true) {
+    Ticket* ticket = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_workers_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_workers_) {
+          return;
+        }
+        continue;
+      }
+      ticket = queue_.front();
+      queue_.pop_front();
+      active_.insert(ticket);
+    }
+    Response resp;
+    try {
+      resp = ServeVerify(ticket);
+    } catch (const std::exception& e) {
+      // ServeVerify contains verification crashes itself; this net catches a
+      // fault in the serving bookkeeping around it. The promise must be
+      // fulfilled either way — the Execute() caller is blocked on it.
+      resp = Response{};
+      resp.status = kStatusError;
+      resp.generator = ticket->request.generator;
+      resp.error = e.what();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_.erase(ticket);
+    }
+    ticket->promise.set_value(std::move(resp));
+  }
+}
+
+Response ServerCore::ServeVerify(Ticket* ticket) {
+  const Request& request = ticket->request;
+  Response resp;
+  resp.status = kStatusOk;
+  resp.generator = request.generator;
+
+  verifier::GeneratorResult result;
+  result.generator = request.generator;
+  result.unit_fp = ticket->unit_fp;
+  result.budget_decisions = options_.solver_limits.max_decisions;
+  result.budget_seconds = options_.solver_limits.max_seconds;
+
+  // Persistent-store hit: an unchanged unit previously VERIFIED under this
+  // exact budget — same contract as `verify-all --incremental`.
+  if (!ticket->unit_fp.empty() &&
+      store_.FindPass(request.generator, ticket->unit_fp, options_.solver_limits) != nullptr) {
+    result.outcome = verifier::Outcome::kCachedSafe;
+    resp.outcome = verifier::OutcomeName(result.outcome);
+    resp.cached = true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.cached_safe;
+      ++counters_.served;
+      warm_[request.generator] = [&] {
+        Response cached = resp;
+        cached.cached = true;
+        return cached;
+      }();
+    }
+    AppendJournal(verifier::RecordFromResult(result, fingerprint_));
+    return resp;
+  }
+
+  WallTimer timer;
+  // Containment boundary: a crash inside one request's verification (a
+  // genuine bug or the daemon-dispatch fail point) becomes that request's
+  // INTERNAL_ERROR response and a quarantine strike; the worker, the queue,
+  // and every other request are untouched.
+  try {
+    ICARUS_FAILPOINT(failpoint::kDaemonDispatch);
+    verifier::VerifyOptions vopts;
+    vopts.build_cfa = false;
+    vopts.solver_cache = cache_.get();
+    vopts.solver_limits = options_.solver_limits;
+    vopts.cancel = &ticket->cancel;
+    verifier::Verifier verifier(platform_);
+    StatusOr<verifier::VerifyReport> report = verifier.Verify(request.generator, vopts);
+    result.seconds = timer.ElapsedSeconds();
+    if (!report.ok()) {
+      result.outcome = verifier::Outcome::kError;
+      result.error = report.status().message();
+    } else {
+      result.report = report.take();
+      if (!result.report.meta.violations.empty()) {
+        result.outcome = verifier::Outcome::kRefuted;
+      } else if (result.report.inconclusive) {
+        result.outcome = verifier::Outcome::kInconclusive;
+      } else {
+        result.outcome = verifier::Outcome::kVerified;
+      }
+    }
+  } catch (const std::exception& e) {
+    result.seconds = timer.ElapsedSeconds();
+    result.outcome = verifier::Outcome::kInternalError;
+    result.error = e.what();
+  }
+
+  resp.outcome = verifier::OutcomeName(result.outcome);
+  resp.error = result.error;
+  resp.seconds = result.seconds;
+  resp.paths = result.report.meta.paths_explored;
+  resp.queries = result.report.meta.solver_queries;
+
+  if (obs::Enabled()) {
+    static obs::Histogram* seconds = obs::Registry::Global().GetHistogram(
+        "icarus_daemon_request_seconds", "Verify-request service time (queue wait excluded)");
+    seconds->Observe(result.seconds);
+  }
+
+  if (result.outcome == verifier::Outcome::kInternalError) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.internal_errors;
+    }
+    if (obs::Enabled()) {
+      static obs::Counter* contained = obs::Registry::Global().GetCounter(
+          "icarus_daemon_contained_faults_total",
+          "Request crashes contained to an INTERNAL_ERROR response");
+      contained->Add(1);
+    }
+    quarantine_.RecordStrike(request.generator, Now());
+  } else {
+    quarantine_.RecordSuccess(request.generator);
+  }
+
+  bool decisive = result.outcome == verifier::Outcome::kVerified ||
+                  result.outcome == verifier::Outcome::kRefuted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.served;
+    if (decisive) {
+      Response cached = resp;
+      cached.cached = true;
+      cached.seconds = 0;
+      warm_[request.generator] = std::move(cached);
+    }
+  }
+  if (result.outcome == verifier::Outcome::kVerified && persistence_enabled_ &&
+      !read_only_cache_ && !ticket->unit_fp.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    store_.Put(verifier::RecordFromResult(result, verifier::kVerifierEpoch));
+  }
+  // Journal every verdict (fsync'd): the next daemon instance replays the
+  // decisive ones into its warm view.
+  AppendJournal(verifier::RecordFromResult(result, fingerprint_));
+  return resp;
+}
+
+void ServerCore::BeginDrain() {
+  std::vector<Ticket*> queued;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_.exchange(true, std::memory_order_acq_rel)) {
+      return;
+    }
+    queued.assign(queue_.begin(), queue_.end());
+    queue_.clear();
+    // Cancel in-flight work; each verification stops at its next path
+    // boundary and its caller sees INCONCLUSIVE.
+    for (Ticket* ticket : active_) {
+      ticket->cancel.store(true, std::memory_order_relaxed);
+    }
+  }
+  // Fail queued-but-unstarted tickets fast, outside the lock (their
+  // Execute() callers are blocked on these promises).
+  for (Ticket* ticket : queued) {
+    Response resp;
+    resp.status = kStatusShuttingDown;
+    resp.generator = ticket->request.generator;
+    ticket->promise.set_value(std::move(resp));
+  }
+  cv_.notify_all();
+  UpdateGauges();
+}
+
+Status ServerCore::FinishDrain() {
+  BeginDrain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_workers_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  workers_.clear();
+  started_ = false;
+
+  Status status = Status::Ok();
+  // The drain fail point models a fault in the shutdown path itself (e.g.
+  // store save machinery); it surfaces as a drain error, never a crash.
+  try {
+    ICARUS_FAILPOINT(failpoint::kDaemonDrain);
+    if (persistence_enabled_ && !read_only_cache_) {
+      Status saved = store_.Save(verifier::VerdictStorePath(options_.cache_dir));
+      if (!saved.ok()) {
+        status = saved;
+      }
+      if (cache_ != nullptr && !solver_store_path_.empty()) {
+        Status cache_saved =
+            sym::SaveSolverCache(*cache_, solver_store_path_, verifier::kVerifierEpoch,
+                                 options_.cache_max_mb * 1024 * 1024);
+        if (!cache_saved.ok() && status.ok()) {
+          status = cache_saved;
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    status = Status::Error(StrCat("drain fault: ", e.what()));
+  }
+  // The journal is fsync'd per record; closing it here releases the handle.
+  {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    journal_.reset();
+  }
+  cache_lock_.reset();
+  return status;
+}
+
+DaemonStats ServerCore::StatsSnapshot() const {
+  DaemonStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats = counters_;
+    stats.queue_depth = static_cast<int>(queue_.size());
+    stats.in_flight = static_cast<int>(active_.size());
+  }
+  stats.read_only_cache = read_only_cache_;
+  stats.clients = admission_.Snapshot();
+  stats.quarantine = quarantine_.Snapshot();
+  stats.quarantine_active = quarantine_.ActiveCount(Now());
+  return stats;
+}
+
+}  // namespace icarus::daemon

@@ -1,0 +1,213 @@
+// ServerCore: the transport-independent engine of the `icarusd` verification
+// service.
+//
+// One ServerCore owns the warm state a long-lived service exists to keep:
+// the loaded Platform, the shared solver-result cache, the persistent
+// verdict store, a warm verdict view (generator → last decisive verdict,
+// restored from the journal on startup), and the worker pool that executes
+// verify requests. Transports (the Unix-socket loop in
+// tools/icarusd_main.cc, in-process tests) parse requests off the wire and
+// call the synchronous, thread-safe `Execute()` — one call per request,
+// blocking until that request's response is ready. Each connection thread
+// therefore paces its own client (responses per connection stay in request
+// order) while independent connections proceed concurrently.
+//
+// Request lifecycle inside Execute():
+//
+//   draining? ──────────────▶ SHUTTING_DOWN
+//   warm view hit ──────────▶ OK (cached=true; no work, no admission cost)
+//   quarantined target? ────▶ QUARANTINED (+retry_after_ms)
+//   admission control ──────▶ OVERLOADED on a rate or queue shed
+//   bounded queue ──────────▶ worker dispatch inside the containment
+//                             boundary; per-request deadline flips the
+//                             ticket's cancel flag → INCONCLUSIVE
+//
+// Failure domains: a request that throws (a genuine bug or an injected
+// fault at daemon-dispatch) burns only itself — the worker catches at the
+// boundary, answers INTERNAL_ERROR, and records a quarantine strike for the
+// target; after `quarantine.strikes` consecutive strikes the target is
+// refused up front with exponential backoff. Drain (BeginDrain/FinishDrain)
+// stops admission, fails queued tickets fast with SHUTTING_DOWN, cancels
+// in-flight work, then saves the persistent stores. The journal is fsync'd
+// per record at append time, so a crash loses at most the record being
+// written and a restarted daemon replays the journal back into an identical
+// warm view.
+#ifndef ICARUS_DAEMON_SERVER_H_
+#define ICARUS_DAEMON_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/daemon/admission.h"
+#include "src/daemon/protocol.h"
+#include "src/daemon/quarantine.h"
+#include "src/platform/platform.h"
+#include "src/support/file_lock.h"
+#include "src/support/status.h"
+#include "src/sym/solver.h"
+#include "src/sym/solver_cache.h"
+#include "src/verifier/journal.h"
+#include "src/verifier/verdict_store.h"
+
+namespace icarus::daemon {
+
+struct DaemonOptions {
+  int jobs = 1;  // Worker threads executing verify requests.
+  AdmissionController::Options admission;
+  Quarantine::Options quarantine;
+  // Deadline applied to requests that do not carry their own; 0 = none.
+  double default_deadline_ms = 0;
+  // Per-query solver budgets for every verification this daemon runs (the
+  // budget is part of the verdict-store key, so it is service config, not
+  // per-request — two clients asking under different budgets would defeat
+  // the warm view).
+  sym::Solver::Limits solver_limits;
+  bool use_cache = true;  // Shared in-memory solver-result cache.
+  // When non-empty, every verdict is appended (fsync'd) here and replayed
+  // into the warm view on startup.
+  std::string journal_path;
+  // Persistent stores under cache_dir (verdict store + solver cache), as in
+  // `verify-all --incremental`. The daemon takes the advisory cache lock; if
+  // another process holds it the daemon degrades to a read-only cache view.
+  bool incremental = false;
+  std::string cache_dir = ".icarus-cache";
+  int64_t cache_max_mb = 64;
+  // Monotonic seconds for admission/quarantine schedules; null uses the
+  // steady clock. Injected by tests to drive backoff deterministically.
+  std::function<double()> clock;
+};
+
+// Point-in-time service counters, exported via the `stats` op and mirrored
+// into the obs registry (icarus_daemon_* instruments).
+struct DaemonStats {
+  int64_t requests = 0;        // Every Execute() call.
+  int64_t served = 0;          // Verify requests that ran to a verdict.
+  int64_t warm_hits = 0;       // Served from the warm verdict view.
+  int64_t cached_safe = 0;     // Served from the persistent verdict store.
+  int64_t shed_rate = 0;       // OVERLOADED: per-client token bucket.
+  int64_t shed_queue = 0;      // OVERLOADED: bounded queue full.
+  int64_t quarantined = 0;     // Refused: target in quarantine.
+  int64_t rejected_draining = 0;
+  int64_t bad_requests = 0;
+  int64_t internal_errors = 0;     // Contained crashes (strikes).
+  int64_t deadline_cancelled = 0;  // Requests degraded to INCONCLUSIVE.
+  int queue_depth = 0;
+  int in_flight = 0;
+  int64_t quarantine_active = 0;  // Targets currently inside a window.
+  int64_t replayed = 0;           // Warm-view entries restored at startup.
+  bool read_only_cache = false;
+  std::vector<std::pair<std::string, ClientStats>> clients;
+  std::vector<Quarantine::Entry> quarantine;
+
+  std::string ToJson() const;
+};
+
+class ServerCore {
+ public:
+  // `platform` must outlive the core.
+  ServerCore(const platform::Platform* platform, const DaemonOptions& options);
+  ~ServerCore();
+
+  ServerCore(const ServerCore&) = delete;
+  ServerCore& operator=(const ServerCore&) = delete;
+
+  // Loads the persistent stores (taking the advisory cache lock), replays
+  // the journal into the warm view, opens the journal for appending, and
+  // spawns the worker pool. Errors (unreadable journal, mismatched platform
+  // fingerprint) fail startup; store problems degrade with a note.
+  Status Start();
+
+  // Serves one request, blocking until its response is ready. Thread-safe;
+  // call from any number of transport threads.
+  Response Execute(const Request& request);
+
+  // Stops admitting verify work: queued-but-unstarted tickets complete
+  // immediately with SHUTTING_DOWN, in-flight tickets are cancelled (their
+  // callers see INCONCLUSIVE). Idempotent; callable from a signal-driven
+  // transport thread.
+  void BeginDrain();
+
+  // Joins the workers and durably saves the persistent stores. Call after
+  // BeginDrain once the transport has stopped feeding Execute. Returns the
+  // first drain error (store save failure, injected daemon-drain fault).
+  Status FinishDrain();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+  // Set when a `shutdown` op was served; the transport loop polls this.
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+
+  DaemonStats StatsSnapshot() const;
+  // Startup diagnostics (store-load notes, read-only degradation, replay
+  // summary); the transport logs them.
+  const std::vector<std::string>& notes() const { return notes_; }
+
+ private:
+  struct Ticket;
+
+  double Now() const;
+  // Runs one verify ticket to a response (worker thread; containment
+  // boundary lives here).
+  Response ServeVerify(Ticket* ticket);
+  Response ExecuteVerify(const Request& request);
+  void WorkerLoop();
+  void AppendJournal(const verifier::JournalRecord& record);
+  std::string UnitFingerprint(const std::string& generator);
+  void UpdateGauges();
+
+  const platform::Platform* platform_;
+  DaemonOptions options_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  AdmissionController admission_;
+  Quarantine quarantine_;
+
+  // Serving state. `mu_` guards the queue, the active set, the warm view,
+  // and the counters; verification itself runs outside the lock.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Ticket*> queue_;
+  std::set<Ticket*> active_;
+  std::map<std::string, Response> warm_;  // Decisive verdicts only.
+  bool stop_workers_ = false;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  bool started_ = false;
+
+  // Counters not derivable from admission_/quarantine_ (guarded by mu_).
+  DaemonStats counters_;
+
+  // Warm verification state.
+  std::unique_ptr<sym::SolverCache> cache_;
+  verifier::VerdictStore store_;
+  std::unique_ptr<FileLock> cache_lock_;
+  bool persistence_enabled_ = false;
+  bool read_only_cache_ = false;
+  std::string solver_store_path_;
+  std::map<std::string, std::string> unit_fp_cache_;  // Guarded by mu_.
+
+  // Journal (appends serialized by journal_mu_).
+  std::string fingerprint_;
+  std::mutex journal_mu_;
+  std::unique_ptr<verifier::JournalWriter> journal_;
+
+  std::vector<std::string> notes_;
+};
+
+}  // namespace icarus::daemon
+
+#endif  // ICARUS_DAEMON_SERVER_H_

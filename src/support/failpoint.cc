@@ -50,7 +50,9 @@ std::atomic<bool> g_any_armed{false};
 
 const std::vector<std::string>& AllSites() {
   static const std::vector<std::string> kSites = {
-      kSolverDecision, kCacheLookup, kCacheInsert, kPoolTask, kExternCall, kBoogieLower,
+      kSolverDecision, kCacheLookup,    kCacheInsert,  kPoolTask,
+      kExternCall,     kBoogieLower,    kDaemonAccept, kDaemonParse,
+      kDaemonEnqueue,  kDaemonDispatch, kDaemonRespond, kDaemonDrain,
   };
   return kSites;
 }
@@ -88,7 +90,15 @@ Status Arm(std::string_view spec) {
     known = known || s == site;
   }
   if (!known) {
-    return Status::Error(StrCat("unknown fail-point site '", site, "' (see `icarus verify-all --help`)"));
+    // A typo'd site would otherwise be armed but never hit — a fault test
+    // that silently tests nothing. Spell out the registered sites so the fix
+    // is in the error message.
+    std::string sites;
+    for (const std::string& s : AllSites()) {
+      sites += sites.empty() ? s : StrCat(", ", s);
+    }
+    return Status::Error(StrCat("unknown fail-point site '", site, "' (registered sites: ",
+                                sites, ")"));
   }
 
   SiteConfig config;

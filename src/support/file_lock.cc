@@ -1,0 +1,67 @@
+#include "src/support/file_lock.h"
+
+#include <cerrno>
+#include <cstring>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
+
+#include "src/support/str_util.h"
+
+namespace icarus {
+
+#ifdef _WIN32
+
+FileLock::Result FileLock::TryExclusive(const std::string& path) {
+  Result result;
+  result.state = State::kError;
+  result.message = StrCat("advisory file locks are not supported on this platform (", path, ")");
+  return result;
+}
+
+FileLock::~FileLock() = default;
+
+#else
+
+FileLock::Result FileLock::TryExclusive(const std::string& path) {
+  Result result;
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    result.state = State::kError;
+    result.message = StrCat("cannot open lock file '", path, "': ", std::strerror(errno));
+    return result;
+  }
+  int rc;
+  do {
+    rc = ::flock(fd, LOCK_EX | LOCK_NB);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    int err = errno;
+    ::close(fd);
+    if (err == EWOULDBLOCK) {
+      result.state = State::kBusy;
+      result.message = StrCat("lock '", path, "' is held by another icarus process");
+    } else {
+      result.state = State::kError;
+      result.message = StrCat("cannot lock '", path, "': ", std::strerror(err));
+    }
+    return result;
+  }
+  result.state = State::kAcquired;
+  result.lock = std::unique_ptr<FileLock>(new FileLock(fd, path));
+  return result;
+}
+
+FileLock::~FileLock() {
+  // Closing releases the flock; the lock file itself is left in place (it is
+  // an empty rendezvous point, and unlinking would race a concurrent
+  // TryExclusive that just opened it).
+  ::close(fd_);
+}
+
+#endif  // _WIN32
+
+}  // namespace icarus

@@ -1,0 +1,59 @@
+// Advisory cross-process locking for the `.icarus-cache/` persistent stores.
+//
+// Both the incremental batch driver and the `icarusd` daemon publish store
+// updates with write-temp-then-rename. Rename itself is atomic, but two
+// concurrent writers can interleave load → merge → publish and silently drop
+// each other's entries (last rename wins). An advisory flock() on a dedicated
+// lock file serializes writers: whoever holds it owns store publication;
+// anyone who finds it held degrades to *read-only* cache use — still warm,
+// never corrupting — with a user-visible note.
+//
+// flock() semantics we rely on: the lock is tied to the open file
+// description, so it is released automatically when the holder exits or
+// crashes (no stale-lock cleanup problem), and a second open+flock in the
+// *same* process conflicts too (each TryExclusive opens its own fd), which is
+// what lets tests exercise contention in-process.
+#ifndef ICARUS_SUPPORT_FILE_LOCK_H_
+#define ICARUS_SUPPORT_FILE_LOCK_H_
+
+#include <memory>
+#include <string>
+
+namespace icarus {
+
+class FileLock {
+ public:
+  enum class State {
+    kAcquired,  // This process now holds the exclusive lock.
+    kBusy,      // Another holder (process or fd) owns it; degrade to read-only.
+    kError,     // The lock file could not be opened/locked (I/O problem).
+  };
+
+  struct Result {
+    State state = State::kError;
+    std::unique_ptr<FileLock> lock;  // Non-null iff state == kAcquired.
+    std::string message;             // Diagnostic for kBusy / kError.
+  };
+
+  // Attempts a non-blocking exclusive flock on `path`, creating the file if
+  // absent. Never blocks.
+  static Result TryExclusive(const std::string& path);
+
+  // Releases the lock (closes the fd).
+  ~FileLock();
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FileLock(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace icarus
+
+#endif  // ICARUS_SUPPORT_FILE_LOCK_H_

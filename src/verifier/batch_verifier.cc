@@ -12,6 +12,7 @@
 #include "src/meta/path_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/support/file_lock.h"
 #include "src/support/str_util.h"
 #include "src/support/thread_pool.h"
 #include "src/support/timing.h"
@@ -97,8 +98,9 @@ std::string BatchReport::RenderTable() const {
   if (num_resumed > 0) {
     out += StrFormat("%d verdicts restored from journal\n", num_resumed);
   }
-  out += StrFormat("wall: %.3fs on %d jobs%s\n", wall_seconds, jobs,
-                   deadline_hit ? "  (deadline hit; stragglers inconclusive)" : "");
+  out += StrFormat("wall: %.3fs on %d jobs%s%s\n", wall_seconds, jobs,
+                   deadline_hit ? "  (deadline hit; stragglers inconclusive)" : "",
+                   interrupted ? "  (interrupted; stragglers inconclusive)" : "");
   if (cache.lookups() > 0) {
     out += cache.ToString() + "\n";
   }
@@ -431,12 +433,26 @@ StatusOr<BatchReport> BatchVerifier::VerifyAll(const std::vector<std::string>& g
   std::vector<std::string> unit_fps(generator_names.size());
   std::string solver_store_path;
   bool persistence_enabled = false;
+  bool store_writable = false;
+  std::unique_ptr<FileLock> cache_lock;  // Held until the final store save.
   if (options.incremental) {
     Status dir = EnsureCacheDir(options.cache_dir);
     if (!dir.ok()) {
       report.notes.push_back(StrCat(dir.message(), "; running without persistence"));
     } else {
       persistence_enabled = true;
+      // Advisory lock on the cache directory: two concurrent writers would
+      // race the temp+rename saves and clobber each other's entries. The
+      // second arrival degrades to a read-only view — it still warms from
+      // the stores but never writes them back.
+      FileLock::Result lock = FileLock::TryExclusive(options.cache_dir + "/lock");
+      if (lock.state == FileLock::State::kAcquired) {
+        store_writable = true;
+        cache_lock = std::move(lock.lock);
+      } else {
+        report.notes.push_back(
+            StrCat(lock.message, "; cache degraded to read-only (stores not written back)"));
+      }
       solver_store_path = SolverCacheStorePath(options.cache_dir);
       VerdictStore::LoadResult loaded =
           store.Load(VerdictStorePath(options.cache_dir), kVerifierEpoch);
@@ -516,7 +532,7 @@ StatusOr<BatchReport> BatchVerifier::VerifyAll(const std::vector<std::string>& g
       WallTimer queue_timer;  // Copied into the task: measures submit → start.
       futures.push_back(pool.Submit([this, &generator_names, &options, &report, &cancel,
                                      &journal, &journal_mu, &journal_status, &journal_appends,
-                                     &fingerprint, &unit_fps, &solver_store_path,
+                                     &fingerprint, &unit_fps, &solver_store_path, store_writable,
                                      cache_ptr = cache.get(), queue_timer, i]() {
         if (obs::Enabled()) {
           static obs::Histogram* queue_wait = obs::Registry::Global().GetHistogram(
@@ -548,7 +564,7 @@ StatusOr<BatchReport> BatchVerifier::VerifyAll(const std::vector<std::string>& g
           // Journal checkpoint: periodically flush the solver cache so a run
           // killed mid-fleet still warms the next one. Best-effort — a failed
           // checkpoint never fails the run (the final save reports instead).
-          if (!solver_store_path.empty() && cache_ptr != nullptr &&
+          if (store_writable && !solver_store_path.empty() && cache_ptr != nullptr &&
               ++journal_appends % 8 == 0) {
             (void)sym::SaveSolverCache(*cache_ptr, solver_store_path, kVerifierEpoch,
                                        options.cache_max_mb * 1024 * 1024);
@@ -557,16 +573,38 @@ StatusOr<BatchReport> BatchVerifier::VerifyAll(const std::vector<std::string>& g
         report.results[i] = std::move(result);
       }));
     }
-    if (options.deadline_seconds > 0.0) {
+    if (options.deadline_seconds > 0.0 || options.interrupt != nullptr) {
+      bool deadline_active = options.deadline_seconds > 0.0;
       auto deadline = std::chrono::steady_clock::now() +
                       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                          std::chrono::duration<double>(options.deadline_seconds));
+                          std::chrono::duration<double>(
+                              deadline_active ? options.deadline_seconds : 0.0));
+      // Poll in short slices so an external interrupt (SIGINT/SIGTERM flag)
+      // is noticed within ~50ms even while futures are far from done. Once
+      // either trigger fires, flip the flag once and stop polling: every
+      // running task stops at its next path boundary and every queued task
+      // returns inconclusive on entry.
+      bool cancelled = false;
       for (std::future<void>& f : futures) {
-        if (f.wait_until(deadline) == std::future_status::timeout) {
-          // Flip the flag once; every running task stops at its next path
-          // boundary and every queued task returns inconclusive on entry.
-          cancel.store(true, std::memory_order_relaxed);
-          report.deadline_hit = true;
+        while (!cancelled) {
+          if (options.interrupt != nullptr &&
+              options.interrupt->load(std::memory_order_relaxed)) {
+            cancel.store(true, std::memory_order_relaxed);
+            report.interrupted = true;
+            cancelled = true;
+            break;
+          }
+          if (deadline_active && std::chrono::steady_clock::now() >= deadline) {
+            cancel.store(true, std::memory_order_relaxed);
+            report.deadline_hit = true;
+            cancelled = true;
+            break;
+          }
+          if (f.wait_for(std::chrono::milliseconds(50)) == std::future_status::ready) {
+            break;
+          }
+        }
+        if (cancelled) {
           break;
         }
       }
@@ -592,7 +630,7 @@ StatusOr<BatchReport> BatchVerifier::VerifyAll(const std::vector<std::string>& g
   if (cache != nullptr) {
     report.cache = cache->Snapshot();
   }
-  if (options.incremental && persistence_enabled) {
+  if (options.incremental && persistence_enabled && store_writable) {
     // Write back: fresh PASSes enter the verdict store (keyed by generator;
     // the record carries the unit fingerprint and budget that earned them),
     // then both stores land on disk atomically. Failures are notes — the

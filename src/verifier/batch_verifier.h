@@ -12,6 +12,7 @@
 #ifndef ICARUS_VERIFIER_BATCH_VERIFIER_H_
 #define ICARUS_VERIFIER_BATCH_VERIFIER_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,13 @@ struct BatchOptions {
   // Size bound (MiB) for the persisted solver cache; LRU-evicted at save
   // time. <= 0 means unbounded.
   int64_t cache_max_mb = 64;
+  // External interruption (SIGINT/SIGTERM in the CLI): when non-null and it
+  // becomes true, the fleet is cancelled exactly like a deadline expiry —
+  // running tasks stop at their next path boundary, unfinished generators
+  // report INCONCLUSIVE, and every verdict that landed is already fsync'd in
+  // the journal, so the run can be resumed with --resume. The pointee must
+  // outlive VerifyAll; it may be flipped from a signal handler.
+  const std::atomic<bool>* interrupt = nullptr;
 };
 
 // How one generator's verification concluded.
@@ -114,6 +122,7 @@ struct BatchReport {
   int jobs = 1;
   double wall_seconds = 0.0;  // End-to-end batch wall clock.
   bool deadline_hit = false;
+  bool interrupted = false;  // BatchOptions::interrupt fired mid-run.
   int num_resumed = 0;  // Rows restored from the resume journal.
   sym::SolverCacheStats cache;  // Zero-valued when the cache was disabled.
   // Incremental-mode diagnostics (store load notes, save failures). Rendered

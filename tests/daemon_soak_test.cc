@@ -1,0 +1,237 @@
+// Daemon soak suite: a hundred-plus concurrent clients against an
+// in-process ServerCore, with and without injected faults, proving the
+// overload story end to end — the bounded queue sheds honest OVERLOADED
+// responses instead of growing without bound, every request gets exactly one
+// response (the books balance), and a drain fired in the middle of the storm
+// still runs to a clean completion with queued work failed fast and in-flight
+// work degraded, never dropped.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/daemon/protocol.h"
+#include "src/daemon/server.h"
+#include "src/platform/platform.h"
+#include "src/support/failpoint.h"
+#include "src/support/status.h"
+
+namespace icarus::daemon {
+namespace {
+
+// Healthy generators only: whatever the storm does, a COUNTEREXAMPLE for any
+// of these would be a wrong verdict.
+const std::vector<std::string> kPool = {
+    "tryAttachCompareInt32",   "tryAttachCompareString",  "tryAttachCompareObject",
+    "tryAttachCompareSymbol",  "tryAttachInt32Add",       "tryAttachInt32Sub",
+    "tryAttachInt32Mul",       "tryAttachInt32Div",       "tryAttachInt32Mod",
+    "tryAttachInt32Bitwise",   "tryAttachInt32MinMax",    "tryAttachInt32Negation",
+    "tryAttachInt32Not",       "tryAttachObjectLength",   "tryAttachStringLength",
+    "tryAttachDenseElement",
+};
+
+class DaemonSoakTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    StatusOr<std::unique_ptr<platform::Platform>> loaded = platform::Platform::Load();
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    platform_ = loaded.take().release();
+  }
+  static void TearDownTestSuite() {
+    delete platform_;
+    platform_ = nullptr;
+  }
+  void SetUp() override {
+    ASSERT_NE(platform_, nullptr);
+    failpoint::DisarmAll();
+  }
+  void TearDown() override { failpoint::DisarmAll(); }
+
+  static Request Verify(const std::string& generator, int i) {
+    Request req;
+    req.op = kOpVerify;
+    req.generator = generator;
+    // A handful of client identities, as a real fleet would present.
+    req.client = "soak-" + std::to_string(i % 4);
+    return req;
+  }
+
+  // Fires `count` one-request client threads and collects every response.
+  static std::vector<Response> Storm(ServerCore* core, int count) {
+    std::vector<Response> responses(count);
+    std::vector<std::thread> clients;
+    clients.reserve(count);
+    for (int i = 0; i < count; ++i) {
+      clients.emplace_back([core, &responses, i] {
+        responses[i] = core->Execute(Verify(kPool[i % kPool.size()], i));
+      });
+    }
+    for (std::thread& t : clients) {
+      t.join();
+    }
+    return responses;
+  }
+
+  static platform::Platform* platform_;
+};
+
+platform::Platform* DaemonSoakTest::platform_ = nullptr;
+
+// The headline overload scenario from the acceptance criteria: queue bound Q,
+// well over 2Q concurrent requests. Memory stays bounded because the queue
+// does; the overflow is shed with OVERLOADED, and the accounting is exact.
+TEST_F(DaemonSoakTest, OverloadStormShedsInsteadOfGrowing) {
+  constexpr int kQueueLimit = 8;
+  constexpr int kClients = 120;  // 15x the queue bound.
+
+  DaemonOptions options;
+  options.jobs = 2;
+  options.admission.queue_limit = kQueueLimit;
+  // Generous per-client budgets so the *queue* bound is the gate under test.
+  options.admission.burst = kClients;
+  options.admission.rate_per_sec = kClients;
+  ServerCore core(platform_, options);
+  ASSERT_TRUE(core.Start().ok());
+
+  std::vector<Response> responses = Storm(&core, kClients);
+
+  int ok = 0;
+  int overloaded = 0;
+  for (const Response& resp : responses) {
+    if (resp.status == kStatusOk) {
+      ++ok;
+      // No wrong verdicts under load: healthy generators verify or (if a
+      // drain/cancel raced) stay inconclusive — never COUNTEREXAMPLE.
+      EXPECT_NE(resp.outcome, "COUNTEREXAMPLE") << resp.generator;
+      EXPECT_NE(resp.outcome, "INTERNAL_ERROR") << resp.generator << ": " << resp.error;
+    } else {
+      ASSERT_EQ(resp.status, kStatusOverloaded) << resp.status << " " << resp.error;
+      EXPECT_GT(resp.retry_after_ms, 0);
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(ok + overloaded, kClients);
+  // With 120 requests racing two workers through a queue of 8, shedding is
+  // not optional; and the first arrivals must still have been served.
+  EXPECT_GE(overloaded, 1);
+  EXPECT_GE(ok, 1);
+
+  // Exact bookkeeping: one counted disposition per request, queue empty at
+  // rest, nothing in flight.
+  DaemonStats stats = core.StatsSnapshot();
+  EXPECT_EQ(stats.requests, kClients);
+  EXPECT_EQ(stats.served + stats.warm_hits, ok);
+  EXPECT_EQ(stats.shed_rate + stats.shed_queue, overloaded);
+  EXPECT_EQ(stats.queue_depth, 0);
+  EXPECT_EQ(stats.in_flight, 0);
+  EXPECT_TRUE(core.FinishDrain().ok());
+}
+
+// Fault storm + mid-storm drain: seeded probabilistic faults at the enqueue
+// and dispatch sites while 120 clients hammer the core, then BeginDrain fired
+// from outside once the storm is rolling. Every client still gets exactly one
+// honest response and the drain completes cleanly.
+TEST_F(DaemonSoakTest, FaultStormWithMidStormDrainCompletesCleanly) {
+  constexpr int kClients = 120;
+
+  DaemonOptions options;
+  options.jobs = 2;
+  options.admission.queue_limit = 16;
+  options.admission.burst = kClients;
+  options.admission.rate_per_sec = kClients;
+  ServerCore core(platform_, options);
+  ASSERT_TRUE(core.Start().ok());
+
+  ASSERT_TRUE(
+      failpoint::Arm(std::string("p=") + failpoint::kDaemonDispatch + ":0.15,seed=3").ok());
+  ASSERT_TRUE(
+      failpoint::Arm(std::string("p=") + failpoint::kDaemonEnqueue + ":0.05,seed=5").ok());
+
+  // The drain races the storm from a separate thread: wait for the service
+  // to have actually served something, then pull the plug.
+  std::thread drainer([&core] {
+    for (int spins = 0; spins < 200000; ++spins) {
+      DaemonStats stats = core.StatsSnapshot();
+      if (stats.served + stats.warm_hits >= 10) {
+        break;
+      }
+      std::this_thread::yield();
+    }
+    core.BeginDrain();
+  });
+
+  std::vector<Response> responses = Storm(&core, kClients);
+  drainer.join();
+
+  int shut_down = 0;
+  for (const Response& resp : responses) {
+    // The complete set of honest dispositions under fault + drain; anything
+    // else (an empty status, a hang — the join above already rules that
+    // out) is a dropped request.
+    bool valid = resp.status == kStatusOk || resp.status == kStatusOverloaded ||
+                 resp.status == kStatusQuarantined || resp.status == kStatusShuttingDown ||
+                 resp.status == kStatusError;
+    ASSERT_TRUE(valid) << "status '" << resp.status << "' error '" << resp.error << "'";
+    if (resp.status == kStatusShuttingDown) {
+      ++shut_down;
+    }
+    if (resp.status == kStatusOk) {
+      // Faults may burn individual requests (INTERNAL_ERROR), cancellation
+      // may degrade them (INCONCLUSIVE) — but no wrong verdicts, ever.
+      EXPECT_NE(resp.outcome, "COUNTEREXAMPLE") << resp.generator;
+    }
+    if (resp.status == kStatusError) {
+      EXPECT_NE(resp.error.find("injected fault"), std::string::npos) << resp.error;
+    }
+  }
+  EXPECT_EQ(core.StatsSnapshot().requests, kClients);
+
+  // Drain must finish cleanly even though the storm was still raging when it
+  // began (the drain fail point itself is not armed here).
+  failpoint::DisarmAll();
+  EXPECT_TRUE(core.FinishDrain().ok());
+
+  // Post-drain the core refuses new work honestly.
+  EXPECT_EQ(core.Execute(Verify("tryAttachInt32Add", 0)).status, kStatusShuttingDown);
+  (void)shut_down;  // How many were failed fast depends on timing; zero is legal.
+}
+
+// Repeated drain storms: BeginDrain/FinishDrain are idempotent and a core
+// can be destroyed immediately after a storm without leaking tickets (ASan
+// runs of this test are the proof).
+TEST_F(DaemonSoakTest, DrainIsIdempotentUnderConcurrentCallers) {
+  DaemonOptions options;
+  options.jobs = 2;
+  options.admission.burst = 64;
+  options.admission.rate_per_sec = 64;
+  ServerCore core(platform_, options);
+  ASSERT_TRUE(core.Start().ok());
+
+  std::vector<std::thread> clients;
+  std::atomic<int> responded{0};
+  for (int i = 0; i < 32; ++i) {
+    clients.emplace_back([&core, &responded, i] {
+      (void)core.Execute(Verify(kPool[i % kPool.size()], i));
+      responded.fetch_add(1);
+    });
+  }
+  // Several drainers race each other and the storm.
+  std::vector<std::thread> drainers;
+  for (int i = 0; i < 4; ++i) {
+    drainers.emplace_back([&core] { core.BeginDrain(); });
+  }
+  for (std::thread& t : drainers) {
+    t.join();
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  EXPECT_EQ(responded.load(), 32);
+  EXPECT_TRUE(core.FinishDrain().ok());
+}
+
+}  // namespace
+}  // namespace icarus::daemon

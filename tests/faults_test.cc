@@ -168,6 +168,20 @@ TEST_F(FaultsTest, BoogieLoweringFaultIsARecoverableException) {
 
 TEST_F(FaultsTest, ArmRejectsBadSpecs) {
   EXPECT_FALSE(failpoint::Arm("at=no-such-site:1").ok());
+  // A typo'd daemon site must be a startup error that spells out the
+  // registered sites (silently arming nothing would make the serving-loop
+  // fault tests meaningless).
+  Status typo = failpoint::Arm("at=daemon-dispach:1");
+  ASSERT_FALSE(typo.ok());
+  EXPECT_NE(typo.message().find("registered sites"), std::string::npos) << typo.message();
+  EXPECT_NE(typo.message().find("daemon-dispatch"), std::string::npos) << typo.message();
+  // The real daemon sites arm fine.
+  for (const char* site : {failpoint::kDaemonAccept, failpoint::kDaemonParse,
+                           failpoint::kDaemonEnqueue, failpoint::kDaemonDispatch,
+                           failpoint::kDaemonRespond, failpoint::kDaemonDrain}) {
+    EXPECT_TRUE(failpoint::Arm(std::string("at=") + site + ":1").ok()) << site;
+  }
+  failpoint::DisarmAll();
   EXPECT_FALSE(failpoint::Arm("bogus").ok());
   EXPECT_FALSE(failpoint::Arm("at=solver-decision").ok());
   EXPECT_FALSE(failpoint::Arm("p=solver-decision:1.5").ok());

@@ -24,7 +24,12 @@
 //   icarus extract                   Print the extracted C++ header.
 //   icarus check <file.icarus>       Parse+resolve extra DSL source against
 //                                    the platform (syntax/type checking).
+//   icarus client [flags] <op>       Talk to a running icarusd service:
+//                                    ping, stats, shutdown, verify GEN...,
+//                                    verify-all. See `icarus client --help`.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <cstdlib>
@@ -38,6 +43,7 @@
 #include <exception>
 
 #include "src/boogie/boogie_dce.h"
+#include "src/daemon/protocol.h"
 #include "src/boogie/boogie_lower.h"
 #include "src/boogie/boogie_printer.h"
 #include "src/extract/cpp_backend.h"
@@ -46,6 +52,8 @@
 #include "src/obs/report.h"
 #include "src/obs/trace.h"
 #include "src/support/failpoint.h"
+#include "src/support/net.h"
+#include "src/support/str_util.h"
 #include "src/verifier/batch_verifier.h"
 #include "src/verifier/journal.h"
 #include "src/verifier/verifier.h"
@@ -58,10 +66,20 @@ int Usage() {
   std::fprintf(stderr,
                "usage: icarus <list|verify <gen>|explain <gen>|verify-all [flags]|"
                "report <journal> [out.html]|cfa <gen>|"
-               "cfa-dot <gen> [out.dot]|boogie <gen>|extract|check <file>>\n"
-               "       icarus verify-all --help   for batch flags and exit codes\n");
+               "cfa-dot <gen> [out.dot]|boogie <gen>|extract|check <file>|"
+               "client [flags] <op>>\n"
+               "       icarus verify-all --help   for batch flags and exit codes\n"
+               "       icarus client --help       for the icarusd client ops\n");
   return 2;
 }
+
+// SIGINT/SIGTERM during verify-all: flip a flag the batch driver polls. The
+// run then winds down exactly like a deadline expiry — running tasks stop at
+// their next path boundary — and since the journal is fsync'd per record,
+// every verdict that landed before the signal is already durable.
+std::atomic<bool> g_interrupt{false};
+
+void OnInterrupt(int) { g_interrupt.store(true, std::memory_order_relaxed); }
 
 // Observability outputs requested on the verify-all command line.
 struct ObsFlags {
@@ -396,6 +414,18 @@ int VerifyAll(const Platform& platform, const icarus::verifier::BatchOptions& op
     }
   }
   std::printf("\n%d unexpected outcomes\n", failures);
+  if (report.interrupted) {
+    if (!options.journal_path.empty()) {
+      std::printf(
+          "interrupted: every finished verdict is fsync'd in '%s'; resume with\n"
+          "  icarus verify-all --journal %s --resume %s\n",
+          options.journal_path.c_str(), options.journal_path.c_str(),
+          options.journal_path.c_str());
+    } else {
+      std::printf(
+          "interrupted: run again with --journal FILE to make interrupted runs resumable\n");
+    }
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -459,6 +489,180 @@ int Extract(const Platform& platform) {
   return 0;
 }
 
+int ClientUsage() {
+  std::fprintf(
+      stderr,
+      "usage: icarus client [--socket PATH] [--client NAME] [--deadline-ms D]\n"
+      "                     <ping|stats|shutdown|verify GEN...|verify-all>\n"
+      "\n"
+      "Talks to a running icarusd over its Unix-domain socket.\n"
+      "  ping        Liveness probe; prints the daemon's status token.\n"
+      "  stats       Print the daemon's service counters as JSON.\n"
+      "  shutdown    Ask the daemon to drain gracefully and exit.\n"
+      "  verify GEN...   Verify the named generators on the daemon.\n"
+      "  verify-all      Verify every generator the platform declares.\n"
+      "\n"
+      "Exit codes: 0 expected outcomes, 1 unexpected/refused, 2 usage or\n"
+      "connection error.\n");
+  return 2;
+}
+
+int ClientCmd(int argc, char** argv) {
+  using icarus::daemon::Request;
+  using icarus::daemon::Response;
+  std::string socket_path = "./icarusd.sock";
+  std::string client_name = "cli";
+  double deadline_ms = 0;
+  std::vector<std::string> positional;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help") {
+      ClientUsage();
+      return 0;
+    } else if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--client" && i + 1 < argc) {
+      client_name = argv[++i];
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      deadline_ms = std::atof(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown client flag: %s\n", arg.c_str());
+      return ClientUsage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.empty()) {
+    return ClientUsage();
+  }
+  const std::string op = positional[0];
+
+  // Resolve the generator list before connecting: `verify-all` needs the
+  // platform (the daemon has no list op), and a load failure should not cost
+  // the daemon a connection.
+  std::vector<std::string> generators(positional.begin() + 1, positional.end());
+  if (op == "verify-all") {
+    if (!generators.empty()) {
+      return ClientUsage();
+    }
+    auto loaded = Platform::Load();
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "platform load failed: %s\n", loaded.status().message().c_str());
+      return 2;
+    }
+    for (const auto* fn : loaded.value()->module().Generators()) {
+      generators.push_back(fn->name);
+    }
+  }
+
+  auto connected = icarus::net::ConnectUnix(socket_path);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "icarus client: %s\n", connected.status().message().c_str());
+    return 2;
+  }
+  int fd = connected.value();
+  icarus::net::LineReader reader(fd);
+  int next_id = 0;
+  // One request line out, one response line in; `ok` means transport-level
+  // success — the response's own status still decides the exit code.
+  auto round_trip = [&](Request req, Response* resp) -> bool {
+    req.client = client_name;
+    req.id = std::to_string(++next_id);
+    if (!icarus::net::WriteLine(fd, req.ToJsonLine()).ok()) {
+      std::fprintf(stderr, "icarus client: cannot write to %s\n", socket_path.c_str());
+      return false;
+    }
+    std::string line;
+    std::string error;
+    if (reader.ReadLine(&line, &error) != icarus::net::LineReader::Result::kLine) {
+      std::fprintf(stderr, "icarus client: connection closed by icarusd%s%s\n",
+                   error.empty() ? "" : ": ", error.c_str());
+      return false;
+    }
+    icarus::Status st = icarus::daemon::ParseResponse(line, resp);
+    if (!st.ok()) {
+      std::fprintf(stderr, "icarus client: %s\n", st.message().c_str());
+      return false;
+    }
+    return true;
+  };
+
+  int rc = 2;
+  if (op == "ping" && generators.empty()) {
+    Request req;
+    req.op = icarus::daemon::kOpPing;
+    Response resp;
+    if (round_trip(req, &resp)) {
+      std::printf("%s\n", resp.status.c_str());
+      rc = resp.status == icarus::daemon::kStatusOk ? 0 : 1;
+    }
+  } else if (op == "stats" && generators.empty()) {
+    Request req;
+    req.op = icarus::daemon::kOpStats;
+    Response resp;
+    if (round_trip(req, &resp)) {
+      std::printf("%s\n", resp.stats_json.c_str());
+      rc = resp.status == icarus::daemon::kStatusOk ? 0 : 1;
+    }
+  } else if (op == "shutdown" && generators.empty()) {
+    Request req;
+    req.op = icarus::daemon::kOpShutdown;
+    Response resp;
+    if (round_trip(req, &resp)) {
+      std::printf("shutdown %s\n",
+                  resp.status == icarus::daemon::kStatusOk ? "acknowledged" : "refused");
+      rc = resp.status == icarus::daemon::kStatusOk ? 0 : 1;
+    }
+  } else if (op == "verify" || op == "verify-all") {
+    if (generators.empty()) {
+      icarus::net::CloseFd(fd);
+      return ClientUsage();
+    }
+    using icarus::verifier::Outcome;
+    using icarus::verifier::OutcomeName;
+    int failures = 0;
+    for (const std::string& gen : generators) {
+      Request req;
+      req.op = icarus::daemon::kOpVerify;
+      req.generator = gen;
+      req.deadline_ms = deadline_ms;
+      Response resp;
+      if (!round_trip(req, &resp)) {
+        icarus::net::CloseFd(fd);
+        return 2;
+      }
+      bool expect_refuted = gen.find("_buggy") != std::string::npos;
+      bool expected =
+          resp.status == icarus::daemon::kStatusOk &&
+          (expect_refuted
+               ? resp.outcome == OutcomeName(Outcome::kRefuted)
+               : resp.outcome == OutcomeName(Outcome::kVerified) ||
+                     resp.outcome == OutcomeName(Outcome::kCachedSafe));
+      if (resp.status == icarus::daemon::kStatusOk) {
+        // ERROR/INTERNAL_ERROR outcomes are served (status OK) but carry
+        // their diagnostic in `error` — show it, or the row is just a label.
+        std::printf("%-44s %-15s%s %10.4f%s%s\n", gen.c_str(), resp.outcome.c_str(),
+                    resp.cached ? " (cached)" : "", resp.seconds,
+                    resp.error.empty() ? "" : "  ", resp.error.c_str());
+      } else {
+        std::printf("%-44s %-15s %s%s\n", gen.c_str(), resp.status.c_str(),
+                    resp.error.c_str(),
+                    resp.retry_after_ms > 0
+                        ? icarus::StrFormat(" (retry after %.0f ms)", resp.retry_after_ms).c_str()
+                        : "");
+      }
+      failures += expected ? 0 : 1;
+    }
+    std::printf("\n%d unexpected outcomes\n", failures);
+    rc = failures == 0 ? 0 : 1;
+  } else {
+    icarus::net::CloseFd(fd);
+    return ClientUsage();
+  }
+  icarus::net::CloseFd(fd);
+  return rc;
+}
+
 int Check(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -518,6 +722,9 @@ int Run(int argc, char** argv) {
       return Usage();
     }
     return ReportCmd(argc, argv);
+  }
+  if (cmd == "client") {
+    return ClientCmd(argc, argv);
   }
   auto loaded = Platform::Load();
   if (!loaded.ok()) {
@@ -582,6 +789,12 @@ int Run(int argc, char** argv) {
         return Usage();
       }
     }
+    // SIGINT/SIGTERM wind the fleet down gracefully (verdicts stay fsync'd
+    // in the journal and a resume hint is printed) instead of killing the
+    // process mid-write.
+    options.interrupt = &g_interrupt;
+    std::signal(SIGINT, OnInterrupt);
+    std::signal(SIGTERM, OnInterrupt);
     return VerifyAll(*platform, options, obs_flags);
   }
   if (cmd == "extract") {

@@ -1,0 +1,301 @@
+// icarusd — the long-lived Icarus verification service.
+//
+// Holds the loaded platform, the shared solver-result cache, the persistent
+// verdict store, and a warm verdict view in memory, and serves verify
+// requests over newline-delimited JSON on a Unix-domain socket (see
+// src/daemon/protocol.h for the wire format and src/daemon/server.h for the
+// serving semantics: admission control, bounded queue, per-request
+// deadlines, quarantine, graceful drain).
+//
+// Lifecycle: SIGTERM/SIGINT (or a `shutdown` op) begins a graceful drain —
+// the daemon stops accepting, fails queued requests fast with
+// SHUTTING_DOWN, cancels in-flight work to INCONCLUSIVE, fsyncs and closes
+// the journal, saves the persistent stores, and exits 0. A crashed daemon
+// loses at most the verdict being written; the next instance replays the
+// journal back into an identical warm view.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/daemon/protocol.h"
+#include "src/daemon/server.h"
+#include "src/obs/metrics.h"
+#include "src/support/failpoint.h"
+#include "src/support/net.h"
+
+namespace {
+
+using icarus::daemon::Request;
+using icarus::daemon::Response;
+using icarus::daemon::ServerCore;
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void OnSignal(int) { g_signal = 1; }
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: icarusd [flags]\n"
+      "\n"
+      "Serves verify requests over newline-delimited JSON on a Unix-domain\n"
+      "socket. Drive it with `icarus client --socket PATH <op>`.\n"
+      "\n"
+      "Flags:\n"
+      "  --socket PATH    Socket path (default: ./icarusd.sock).\n"
+      "  --jobs N         Worker threads executing verify requests (default 1).\n"
+      "  --queue N        Bounded request queue length; beyond it requests are\n"
+      "                   shed with OVERLOADED (default 32).\n"
+      "  --rate R         Per-client verify requests per second (default 16).\n"
+      "  --burst B        Per-client token-bucket burst (default 8).\n"
+      "  --strikes N      Consecutive internal errors before a generator is\n"
+      "                   quarantined with exponential backoff (default 3).\n"
+      "  --deadline-ms D  Default per-request deadline; past it the request\n"
+      "                   degrades to INCONCLUSIVE (default: none).\n"
+      "  --max-decisions N  Per-query solver decision budget.\n"
+      "  --journal FILE   Append every verdict (fsync'd) and replay it into\n"
+      "                   the warm verdict view on startup.\n"
+      "  --incremental    Use the persistent stores under --cache-dir; if\n"
+      "                   another process holds the cache lock, degrade to a\n"
+      "                   read-only cache view.\n"
+      "  --cache-dir D    Store directory (default: .icarus-cache).\n"
+      "  --cache-max-mb N Persisted solver-cache size bound (default 64).\n"
+      "  --metrics FILE   Export the metrics registry on exit (Prometheus\n"
+      "                   text, or JSON when FILE ends in .json).\n"
+      "  --fail SPEC      Arm a fail-point (see `icarus verify-all --help`).\n"
+      "                   Unknown sites are a startup error. Repeatable.\n"
+      "\n"
+      "Exit codes: 0 clean drain, 1 drain error, 2 startup/usage error.\n");
+  return 2;
+}
+
+// Serves one accepted connection: a request line in, a response line out, in
+// order, until the peer closes or the daemon drains. Every fault here is
+// contained to this connection.
+void ServeConnection(ServerCore* core, int fd) {
+  icarus::net::LineReader reader(fd);
+  std::string line;
+  std::string error;
+  while (true) {
+    icarus::net::LineReader::Result got = reader.ReadLine(&line, &error);
+    if (got != icarus::net::LineReader::Result::kLine) {
+      break;
+    }
+    if (line.empty()) {
+      continue;
+    }
+    Response resp;
+    Request request;
+    bool parsed = false;
+    try {
+      icarus::Status st = icarus::daemon::ParseRequest(line, &request);
+      if (st.ok()) {
+        parsed = true;
+      } else {
+        resp.status = icarus::daemon::kStatusBadRequest;
+        resp.error = st.message();
+      }
+    } catch (const std::exception& e) {
+      // An injected daemon-parse fault: this request is unusable, the
+      // connection and every other request are fine.
+      resp.status = icarus::daemon::kStatusError;
+      resp.error = e.what();
+    }
+    if (parsed) {
+      resp = core->Execute(request);
+    }
+    try {
+      ICARUS_FAILPOINT(icarus::failpoint::kDaemonRespond);
+      if (!icarus::net::WriteLine(fd, resp.ToJsonLine()).ok()) {
+        break;  // Peer went away; nothing left to serve here.
+      }
+    } catch (const std::exception& e) {
+      // A respond fault burns the in-flight response. Best effort: tell the
+      // client something went wrong so it does not hang on a silent line.
+      Response burnt;
+      burnt.id = resp.id;
+      burnt.status = icarus::daemon::kStatusError;
+      burnt.error = e.what();
+      if (!icarus::net::WriteLine(fd, burnt.ToJsonLine()).ok()) {
+        break;
+      }
+    }
+  }
+  icarus::net::CloseFd(fd);
+}
+
+int RunDaemon(int argc, char** argv) {
+  std::string socket_path = "./icarusd.sock";
+  std::string metrics_path;
+  icarus::daemon::DaemonOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--help") {
+      Usage();
+      return 0;
+    } else if (flag == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (flag == "--jobs" && i + 1 < argc) {
+      options.jobs = std::atoi(argv[++i]);
+    } else if (flag == "--queue" && i + 1 < argc) {
+      options.admission.queue_limit = std::atoi(argv[++i]);
+    } else if (flag == "--rate" && i + 1 < argc) {
+      options.admission.rate_per_sec = std::atof(argv[++i]);
+    } else if (flag == "--burst" && i + 1 < argc) {
+      options.admission.burst = std::atof(argv[++i]);
+    } else if (flag == "--strikes" && i + 1 < argc) {
+      options.quarantine.strikes = std::atoi(argv[++i]);
+    } else if (flag == "--deadline-ms" && i + 1 < argc) {
+      options.default_deadline_ms = std::atof(argv[++i]);
+    } else if (flag == "--max-decisions" && i + 1 < argc) {
+      options.solver_limits.max_decisions = std::atoll(argv[++i]);
+    } else if (flag == "--journal" && i + 1 < argc) {
+      options.journal_path = argv[++i];
+    } else if (flag == "--incremental") {
+      options.incremental = true;
+    } else if (flag == "--cache-dir" && i + 1 < argc) {
+      options.cache_dir = argv[++i];
+    } else if (flag == "--cache-max-mb" && i + 1 < argc) {
+      options.cache_max_mb = std::atoll(argv[++i]);
+    } else if (flag == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+      icarus::obs::SetEnabled(true);
+    } else if (flag == "--fail" && i + 1 < argc) {
+      icarus::Status st = icarus::failpoint::Arm(argv[++i]);
+      if (!st.ok()) {
+        std::fprintf(stderr, "--fail: %s\n", st.message().c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown icarusd flag: %s\n", flag.c_str());
+      return Usage();
+    }
+  }
+
+  auto loaded = icarus::platform::Platform::Load();
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "platform load failed: %s\n", loaded.status().message().c_str());
+    return 2;
+  }
+  auto platform = loaded.take();
+
+  ServerCore core(platform.get(), options);
+  icarus::Status started = core.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "icarusd: %s\n", started.message().c_str());
+    return 2;
+  }
+  for (const std::string& note : core.notes()) {
+    std::fprintf(stderr, "icarusd: note: %s\n", note.c_str());
+  }
+
+  icarus::StatusOr<int> listener = icarus::net::ListenUnix(socket_path);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "icarusd: %s\n", listener.status().message().c_str());
+    return 2;
+  }
+  int listen_fd = listener.value();
+
+  struct sigaction sa {};
+  sa.sa_handler = OnSignal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  std::fprintf(stderr, "icarusd: serving on %s (%d worker%s, queue %d)\n", socket_path.c_str(),
+               options.jobs, options.jobs == 1 ? "" : "s", options.admission.queue_limit);
+
+  std::mutex conn_mu;
+  std::set<int> conn_fds;
+  std::vector<std::thread> conn_threads;
+
+  while (g_signal == 0 && !core.shutdown_requested()) {
+    int ready = icarus::net::PollReadable(listen_fd, 100);
+    if (ready < 0) {
+      break;
+    }
+    if (ready == 0) {
+      continue;  // Timeout or EINTR: re-check the shutdown flags.
+    }
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    try {
+      ICARUS_FAILPOINT(icarus::failpoint::kDaemonAccept);
+    } catch (const std::exception&) {
+      // An accept fault burns the one connection being accepted; the
+      // listener and every established connection keep going.
+      icarus::net::CloseFd(fd);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mu);
+      conn_fds.insert(fd);
+    }
+    conn_threads.emplace_back([&core, &conn_mu, &conn_fds, fd] {
+      ServeConnection(&core, fd);
+      std::lock_guard<std::mutex> lock(conn_mu);
+      conn_fds.erase(fd);
+    });
+  }
+
+  // Graceful drain: stop accepting, fail queued work fast, cancel in-flight
+  // work, wake every connection thread blocked in read, then persist.
+  std::fprintf(stderr, "icarusd: draining (%s)\n",
+               g_signal != 0 ? "signal" : "shutdown requested");
+  core.BeginDrain();
+  icarus::net::CloseFd(listen_fd);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu);
+    for (int fd : conn_fds) {
+      icarus::net::ShutdownFd(fd);
+    }
+  }
+  for (std::thread& t : conn_threads) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  icarus::Status drained = core.FinishDrain();
+  ::unlink(socket_path.c_str());
+
+  if (!metrics_path.empty()) {
+    bool json = metrics_path.size() >= 5 &&
+                metrics_path.compare(metrics_path.size() - 5, 5, ".json") == 0;
+    const auto& registry = icarus::obs::Registry::Global();
+    std::ofstream out(metrics_path, std::ios::binary);
+    if (out) {
+      out << (json ? registry.RenderJson() : registry.RenderPrometheus());
+    }
+  }
+
+  if (!drained.ok()) {
+    std::fprintf(stderr, "icarusd: drain error: %s\n", drained.message().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "icarusd: drained cleanly\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return RunDaemon(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "icarusd: internal error: %s\n", e.what());
+    return 2;
+  }
+}
