@@ -1,0 +1,193 @@
+// Distributed scaling: 1-worker vs. 4-worker fleets over the full batch.
+//
+// Spawns real `icarusd` worker processes via the fleet launcher and drives
+// them with the coordinator, measuring the claim/collect dispatch phase
+// alone (worker spawn and teardown excluded — those amortize over a CI
+// day, the dispatch phase is what scales). Three shapes:
+//
+//   single_process   BatchVerifier on one thread — the reference verdicts
+//                    and the baseline wall clock.
+//   fleet_1_worker   coordinator + one worker process: what the protocol
+//                    round-trips cost on top of the verification itself.
+//   fleet_4_workers  the scaling claim: near-linear throughput at 4 workers.
+//
+// Gates:
+//   - UNCONDITIONAL: both fleets' verdicts must be identical to the
+//     single-process run, unit for unit. A fleet that scales but disagrees
+//     is worthless.
+//   - hardware-gated (needs >= 4 cores): 4-worker throughput must be >= 3x
+//     the 1-worker fleet's. On smaller machines the scaling rows are
+//     reported but the gate is skipped — 4 workers on 1 core measure
+//     context switching, not the coordinator.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/dist/coordinator.h"
+#include "src/dist/fleet.h"
+#include "src/obs/json.h"
+#include "src/platform/platform.h"
+#include "src/support/timing.h"
+#include "src/verifier/batch_verifier.h"
+
+namespace {
+
+#ifndef ICARUS_WORKER_BIN
+#define ICARUS_WORKER_BIN ""
+#endif
+
+struct FleetRun {
+  double dispatch_ms = 0.0;
+  std::map<std::string, icarus::verifier::Outcome> verdicts;
+  bool ok = false;
+};
+
+FleetRun RunFleet(int workers, const std::vector<std::string>& generators) {
+  using icarus::dist::Coordinator;
+  using icarus::dist::Fleet;
+  using icarus::dist::FleetOptions;
+
+  FleetRun run;
+  FleetOptions options;
+  options.workers = workers;
+  options.worker_bin = ICARUS_WORKER_BIN;
+  auto fleet = Fleet::Spawn(options);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "fleet spawn (%d workers) failed: %s\n", workers,
+                 fleet.status().message().c_str());
+    return run;
+  }
+  Coordinator coordinator(icarus::dist::CoordinatorOptions{});
+  auto report = coordinator.Run(generators, fleet.value()->endpoints());
+  fleet.value()->Shutdown();
+  if (!report.ok()) {
+    std::fprintf(stderr, "coordinator run (%d workers) failed: %s\n", workers,
+                 report.status().message().c_str());
+    return run;
+  }
+  run.dispatch_ms = report.value().dispatch_seconds * 1000.0;
+  for (const auto& r : report.value().batch.results) {
+    run.verdicts[r.generator] = r.outcome;
+  }
+  run.ok = true;
+  for (const auto& w : report.value().workers) {
+    if (w.died) {
+      std::fprintf(stderr, "worker %s died during the bench: %s\n", w.name.c_str(),
+                   w.detail.c_str());
+      run.ok = false;
+    }
+  }
+  return run;
+}
+
+}  // namespace
+
+// Usage: bench_distributed [--json PATH]
+int main(int argc, char** argv) {
+  using icarus::platform::Platform;
+  using icarus::verifier::Outcome;
+  using icarus::verifier::OutcomeName;
+
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_distributed [--json PATH]\n");
+      return 1;
+    }
+  }
+
+  auto loaded = Platform::Load();
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "platform load failed: %s\n", loaded.status().message().c_str());
+    return 1;
+  }
+  std::unique_ptr<Platform> platform = loaded.take();
+  std::vector<std::string> generators;
+  for (const auto* fn : platform->module().Generators()) {
+    generators.push_back(fn->name);
+  }
+
+  std::printf("Distributed scaling over %zu generators\n\n", generators.size());
+
+  // Reference: single process, one job — the per-unit work a worker performs,
+  // summed serially.
+  icarus::verifier::BatchVerifier verifier(platform.get());
+  icarus::verifier::BatchOptions batch_options;
+  batch_options.jobs = 1;
+  icarus::WallTimer single_timer;
+  auto single = verifier.VerifyAll(generators, batch_options);
+  double single_ms = single_timer.ElapsedMillis();
+  if (!single.ok()) {
+    std::fprintf(stderr, "single-process run failed: %s\n", single.status().message().c_str());
+    return 1;
+  }
+  std::map<std::string, Outcome> reference;
+  for (const auto& r : single.value().results) {
+    reference[r.generator] = r.outcome;
+  }
+
+  FleetRun one = RunFleet(1, generators);
+  FleetRun four = RunFleet(4, generators);
+  if (!one.ok || !four.ok) {
+    return 1;
+  }
+
+  std::printf("%-20s %14s %12s\n", "shape", "dispatch ms", "speedup");
+  std::printf("%-20s %14.1f %12s\n", "single_process", single_ms, "1.00x");
+  std::printf("%-20s %14.1f %11.2fx\n", "fleet_1_worker", one.dispatch_ms,
+              single_ms / one.dispatch_ms);
+  std::printf("%-20s %14.1f %11.2fx\n", "fleet_4_workers", four.dispatch_ms,
+              single_ms / four.dispatch_ms);
+
+  // Gate 1 (unconditional): verdict identity, unit for unit, both fleets.
+  bool identical = true;
+  for (const auto& [generator, outcome] : reference) {
+    for (const FleetRun* fleet : {&one, &four}) {
+      auto it = fleet->verdicts.find(generator);
+      if (it == fleet->verdicts.end() || it->second != outcome) {
+        std::fprintf(stderr, "verdict mismatch for %s: single-process %s vs fleet %s\n",
+                     generator.c_str(), OutcomeName(outcome),
+                     it == fleet->verdicts.end() ? "MISSING" : OutcomeName(it->second));
+        identical = false;
+      }
+    }
+  }
+  std::printf("\nfleet verdicts identical to single-process: %s\n", identical ? "yes" : "NO");
+
+  // Gate 2 (hardware-gated): near-linear scaling needs the cores to exist.
+  double scaling = one.dispatch_ms / four.dispatch_ms;
+  unsigned cores = std::thread::hardware_concurrency();
+  bool scaling_gate_applies = cores >= 4;
+  bool scales = scaling >= 3.0;
+  std::printf("4-worker vs 1-worker throughput: %.2fx (gate: >= 3x, %s on %u cores)\n", scaling,
+              scaling_gate_applies ? (scales ? "PASS" : "FAIL") : "skipped", cores);
+
+  if (!json_path.empty()) {
+    // Floored at 1ms like the other gated benches: sub-millisecond dispatch
+    // phases are scheduler noise, not signal.
+    auto clamped = [](double ms) { return ms < 1.0 ? 1.0 : ms; };
+    std::vector<icarus::obs::BenchEntry> entries;
+    entries.push_back({"single_process", clamped(single_ms), clamped(single_ms), 0.0,
+                       static_cast<int>(generators.size())});
+    entries.push_back({"fleet_1_worker", clamped(one.dispatch_ms), clamped(one.dispatch_ms), 0.0,
+                       static_cast<int>(generators.size())});
+    entries.push_back({"fleet_4_workers", clamped(four.dispatch_ms), clamped(four.dispatch_ms),
+                       0.0, static_cast<int>(generators.size())});
+    icarus::Status st = icarus::obs::WriteBenchJson(json_path, "bench_distributed", entries);
+    if (!st.ok()) {
+      std::fprintf(stderr, "--json: %s\n", st.message().c_str());
+      return 1;
+    }
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+
+  if (!identical) {
+    return 1;
+  }
+  return (!scaling_gate_applies || scales) ? 0 : 1;
+}

@@ -197,7 +197,11 @@ std::string Request::ToJsonLine() const {
   AppendJsonString(generator, &out);
   out += ",\"client\":";
   AppendJsonString(client, &out);
-  out += StrFormat(",\"deadline_ms\":%.17g}", deadline_ms);
+  out += StrFormat(",\"deadline_ms\":%.17g", deadline_ms);
+  if (count != 0) {
+    out += StrCat(",\"count\":", std::to_string(count));
+  }
+  out.push_back('}');
   return out;
 }
 
@@ -223,6 +227,8 @@ Status ParseRequest(std::string_view line, Request* request) {
           request->v = static_cast<int>(value);
         } else if (key == "deadline_ms") {
           request->deadline_ms = value;
+        } else if (key == "count") {
+          request->count = static_cast<int64_t>(value);
         }
       });
   if (!ok) {
@@ -236,12 +242,17 @@ Status ParseRequest(std::string_view line, Request* request) {
                                    request->v, kProtocolVersion));
   }
   if (request->op != kOpPing && request->op != kOpVerify && request->op != kOpStats &&
-      request->op != kOpShutdown) {
+      request->op != kOpShutdown && request->op != kOpClaim && request->op != kOpCollect &&
+      request->op != kOpSteal && request->op != kOpPublish) {
     return Status::Error(StrCat("unknown op '", request->op,
-                                "' (want ping, verify, stats, or shutdown)"));
+                                "' (want ping, verify, stats, shutdown, claim, collect, "
+                                "steal, or publish)"));
   }
-  if (request->op == kOpVerify && request->generator.empty()) {
-    return Status::Error("verify request without a 'gen' field");
+  if ((request->op == kOpVerify || request->op == kOpClaim) && request->generator.empty()) {
+    return Status::Error(StrCat(request->op, " request without a 'gen' field"));
+  }
+  if (request->op == kOpSteal && request->count <= 0) {
+    return Status::Error("steal request needs a positive 'count'");
   }
   if (request->deadline_ms < 0) {
     return Status::Error("negative deadline_ms");
@@ -269,6 +280,16 @@ std::string Response::ToJsonLine() const {
     out += ",\"stats_json\":";
     AppendJsonString(stats_json, &out);
   }
+  if (pending) {
+    out += ",\"pending\":true";
+  }
+  if (!units.empty()) {
+    out += ",\"units\":";
+    AppendJsonString(units, &out);
+  }
+  if (count != 0) {
+    out += StrCat(",\"count\":", std::to_string(count));
+  }
   out.push_back('}');
   return out;
 }
@@ -290,6 +311,8 @@ Status ParseResponse(std::string_view line, Response* response) {
           response->error = std::move(value);
         } else if (key == "stats_json") {
           response->stats_json = std::move(value);
+        } else if (key == "units") {
+          response->units = std::move(value);
         }
       },
       [&](const std::string& key, double value) {
@@ -305,6 +328,10 @@ Status ParseResponse(std::string_view line, Response* response) {
           response->queries = static_cast<int64_t>(value);
         } else if (key == "retry_after_ms") {
           response->retry_after_ms = value;
+        } else if (key == "pending") {
+          response->pending = value != 0;
+        } else if (key == "count") {
+          response->count = static_cast<int64_t>(value);
         }
       });
   if (!ok) {

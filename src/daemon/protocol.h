@@ -16,6 +16,20 @@
 //   stats     service counters + per-client stats as a JSON document.
 //   shutdown  ask the daemon to drain gracefully and exit 0.
 //
+// Distributed-fleet ops (src/dist/ coordinator ↔ worker):
+//   claim     enqueue one generator on the worker's dist queue and return
+//             immediately (OK = accepted, OVERLOADED = dist queue full).
+//             The verdict is delivered later by a `collect`.
+//   collect   block until a completed dist verdict is ready or `deadline_ms`
+//             elapses; a timeout answers OK with `pending` set and no
+//             verdict. Responses are verify-shaped (outcome/seconds/...).
+//   steal     remove up to `count` queued-but-not-started units from the
+//             dist queue tail; their names come back comma-joined in
+//             `units` so the coordinator can reassign them.
+//   publish   flush the worker's staged store deltas (fresh PASS verdicts +
+//             the in-memory solver cache) to its staging directory for the
+//             coordinator's end-of-run merge.
+//
 // Response statuses (`status` field):
 //   OK             the request was served; `outcome` holds the verdict for
 //                  verify ops (VERIFIED / COUNTEREXAMPLE / INCONCLUSIVE /
@@ -55,14 +69,20 @@ inline constexpr char kOpPing[] = "ping";
 inline constexpr char kOpVerify[] = "verify";
 inline constexpr char kOpStats[] = "stats";
 inline constexpr char kOpShutdown[] = "shutdown";
+inline constexpr char kOpClaim[] = "claim";
+inline constexpr char kOpCollect[] = "collect";
+inline constexpr char kOpSteal[] = "steal";
+inline constexpr char kOpPublish[] = "publish";
 
 struct Request {
   int v = kProtocolVersion;
   std::string id;         // Client-chosen correlation id, echoed verbatim.
   std::string op;         // One of the kOp* tokens.
-  std::string generator;  // Target for verify ops.
+  std::string generator;  // Target for verify/claim ops.
   std::string client;     // Admission-control identity; empty → "anon".
-  double deadline_ms = 0; // Per-request deadline; 0 → server default.
+  double deadline_ms = 0; // Per-request deadline; 0 → server default. For
+                          // collect ops: how long to wait for a verdict.
+  int64_t count = 0;      // steal: max units to shed (must be > 0).
 
   std::string ToJsonLine() const;
 };
@@ -85,6 +105,9 @@ struct Response {
   int64_t queries = 0;
   double retry_after_ms = 0; // Backoff hint for OVERLOADED / QUARANTINED.
   std::string stats_json;    // `stats` op payload (a JSON document, escaped).
+  bool pending = false;      // collect: timed out with no verdict ready.
+  std::string units;         // steal: shed unit names, comma-joined.
+  int64_t count = 0;         // steal: units shed; publish: records staged.
 
   std::string ToJsonLine() const;
 };

@@ -10,6 +10,7 @@
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/support/failpoint.h"
+#include "src/support/net.h"
 #include "src/support/str_util.h"
 #include "src/support/timing.h"
 #include "src/sym/cache_store.h"
@@ -45,15 +46,20 @@ Response ResponseFromRecord(const verifier::JournalRecord& rec) {
 
 }  // namespace
 
-// One queued verify request. Allocated on the Execute() caller's stack: the
-// protocol is that exactly one of the worker pool or the drain path fulfils
-// the promise, and Execute() always waits on the future before returning, so
-// the ticket outlives every reference to it.
+// One queued verify request. For `verify` ops the ticket is allocated on the
+// Execute() caller's stack: exactly one of the worker pool or the drain path
+// fulfils the promise, and Execute() always waits on the future before
+// returning, so the ticket outlives every reference to it. Dist tickets
+// (`claim` ops) are heap-owned by the core instead — the claim response
+// returns before execution — and are deleted by whichever path retires them:
+// the worker after pushing the verdict to dist_done_, a steal that sheds
+// them, or BeginDrain.
 struct ServerCore::Ticket {
   Request request;
   std::string unit_fp;
   std::atomic<bool> cancel{false};
   std::promise<Response> promise;
+  bool dist = false;
 };
 
 std::string DaemonStats::ToJson() const {
@@ -75,6 +81,12 @@ std::string DaemonStats::ToJson() const {
   w.Key("quarantine_active").Int(quarantine_active);
   w.Key("replayed").Int(replayed);
   w.Key("read_only_cache").Bool(read_only_cache);
+  w.Key("dist_claimed").Int(dist_claimed);
+  w.Key("dist_completed").Int(dist_completed);
+  w.Key("dist_stolen").Int(dist_stolen);
+  w.Key("dist_published").Int(dist_published);
+  w.Key("dist_queued").Int(dist_queued);
+  w.Key("store_entries").Int(store_entries);
   w.Key("clients").BeginObject();
   for (const auto& [name, stats] : clients) {
     w.Key(name).BeginObject();
@@ -137,20 +149,47 @@ Status ServerCore::Start() {
       notes_.push_back(StrCat(dir.message(), "; running without persistence"));
     } else {
       persistence_enabled_ = true;
-      FileLock::Result lock = FileLock::TryExclusive(options_.cache_dir + "/lock");
-      if (lock.state == FileLock::State::kAcquired) {
-        cache_lock_ = std::move(lock.lock);
+      if (!options_.staging_dir.empty()) {
+        // Fleet-worker staging mode: the shared cache_dir is a read-only
+        // startup snapshot (deliberately *not* locked — every worker in the
+        // fleet reads it concurrently) and this worker's deltas go to its
+        // private staging dir, merged by the coordinator after the run.
+        Status staging = verifier::EnsureCacheDir(options_.staging_dir);
+        if (!staging.ok()) {
+          notes_.push_back(StrCat(staging.message(), "; running without persistence"));
+          persistence_enabled_ = false;
+        } else {
+          staging_mode_ = true;
+          notes_.push_back(StrCat("staging mode: shared cache is a read-only snapshot; "
+                                  "deltas publish to ",
+                                  options_.staging_dir));
+        }
       } else {
-        read_only_cache_ = true;
-        notes_.push_back(StrCat(lock.message, "; cache degraded to read-only"));
+        FileLock::Result lock = FileLock::TryExclusive(options_.cache_dir + "/lock");
+        if (lock.state == FileLock::State::kAcquired) {
+          cache_lock_ = std::move(lock.lock);
+        } else {
+          read_only_cache_ = true;
+          notes_.push_back(StrCat(lock.message, "; cache degraded to read-only"));
+          if (obs::Enabled()) {
+            static obs::Counter* degraded = obs::Registry::Global().GetCounter(
+                "icarus_cache_readonly_degraded_total",
+                "Runs degraded to a read-only cache view by advisory-lock contention");
+            degraded->Add(1);
+          }
+        }
       }
-      solver_store_path_ = verifier::SolverCacheStorePath(options_.cache_dir);
-      verifier::VerdictStore::LoadResult loaded =
-          store_.Load(verifier::VerdictStorePath(options_.cache_dir), verifier::kVerifierEpoch);
-      if (!loaded.note.empty()) {
-        notes_.push_back(loaded.note);
+      if (persistence_enabled_) {
+        solver_store_path_ = verifier::SolverCacheStorePath(options_.cache_dir);
+        verifier::VerdictStore::LoadResult loaded =
+            store_.Load(verifier::VerdictStorePath(options_.cache_dir), verifier::kVerifierEpoch);
+        if (!loaded.note.empty()) {
+          notes_.push_back(loaded.note);
+        }
       }
     }
+  } else if (!options_.staging_dir.empty()) {
+    notes_.push_back("--staging has no effect without --incremental");
   }
   if (options_.use_cache) {
     cache_ = std::make_unique<sym::SolverCache>();
@@ -287,10 +326,178 @@ Response ServerCore::Execute(const Request& request) {
     resp.status = kStatusOk;
     return resp;
   }
+  if (request.op == kOpClaim) {
+    resp = ExecuteClaim(request);
+    resp.id = request.id;
+    return resp;
+  }
+  if (request.op == kOpCollect) {
+    resp = ExecuteCollect(request);
+    resp.id = request.id;
+    return resp;
+  }
+  if (request.op == kOpSteal) {
+    resp = ExecuteSteal(request);
+    resp.id = request.id;
+    return resp;
+  }
+  if (request.op == kOpPublish) {
+    resp = ExecutePublish(request);
+    resp.id = request.id;
+    return resp;
+  }
 
   resp = ExecuteVerify(request);
   resp.id = request.id;
   return resp;
+}
+
+Response ServerCore::ExecuteClaim(const Request& request) {
+  Response resp;
+  resp.generator = request.generator;
+  if (draining()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.rejected_draining;
+    resp.status = kStatusShuttingDown;
+    return resp;
+  }
+  // Fingerprint outside mu_ (UnitFingerprint takes it internally).
+  std::string unit_fp;
+  if (options_.incremental && persistence_enabled_) {
+    unit_fp = UnitFingerprint(request.generator);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_.load(std::memory_order_acquire)) {
+      ++counters_.rejected_draining;
+      resp.status = kStatusShuttingDown;
+      return resp;
+    }
+    if (dist_queued_ >= options_.dist_queue_limit) {
+      ++counters_.shed_queue;
+      resp.status = kStatusOverloaded;
+      resp.error = "dist queue is full";
+      resp.retry_after_ms = 50;
+      return resp;
+    }
+    auto* ticket = new Ticket;
+    ticket->dist = true;
+    ticket->request = request;
+    ticket->unit_fp = std::move(unit_fp);
+    queue_.push_back(ticket);
+    ++dist_queued_;
+    ++counters_.dist_claimed;
+  }
+  cv_.notify_one();
+  UpdateGauges();
+  resp.status = kStatusOk;
+  return resp;
+}
+
+Response ServerCore::ExecuteCollect(const Request& request) {
+  Response resp;
+  // How long to wait for a verdict before answering `pending`; the
+  // coordinator polls with short collects so its driver thread stays
+  // responsive to steal requests and new pending units.
+  double wait_ms = request.deadline_ms > 0 ? request.deadline_ms : 250.0;
+  auto wait = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(wait_ms / 1e3));
+  std::unique_lock<std::mutex> lock(mu_);
+  dist_cv_.wait_for(lock, wait, [this] {
+    return !dist_done_.empty() || draining_.load(std::memory_order_acquire);
+  });
+  if (!dist_done_.empty()) {
+    // Deliver finished work even while draining: the verdict is already
+    // earned and the coordinator is waiting for it.
+    resp = std::move(dist_done_.front());
+    dist_done_.pop_front();
+    resp.id.clear();  // Execute() stamps the collect request's id.
+    ++counters_.dist_completed;
+    return resp;
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    ++counters_.rejected_draining;
+    resp.status = kStatusShuttingDown;
+    return resp;
+  }
+  resp.status = kStatusOk;
+  resp.pending = true;
+  return resp;
+}
+
+Response ServerCore::ExecuteSteal(const Request& request) {
+  Response resp;
+  resp.status = kStatusOk;
+  std::vector<std::string> shed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Shed from the queue tail: the units furthest from execution, so a
+    // steal never races the worker pulling from the front.
+    for (auto it = queue_.rbegin();
+         it != queue_.rend() && static_cast<int64_t>(shed.size()) < request.count;) {
+      Ticket* ticket = *it;
+      if (!ticket->dist) {
+        ++it;
+        continue;
+      }
+      shed.push_back(ticket->request.generator);
+      // reverse_iterator erase dance: base() points one past the element.
+      it = std::make_reverse_iterator(queue_.erase(std::next(it).base()));
+      --dist_queued_;
+      ++counters_.dist_stolen;
+      delete ticket;
+    }
+  }
+  resp.units = Join(shed, ",");
+  resp.count = static_cast<int64_t>(shed.size());
+  UpdateGauges();
+  return resp;
+}
+
+Response ServerCore::ExecutePublish(const Request& request) {
+  (void)request;
+  Response resp;
+  resp.generator.clear();
+  if (!staging_mode_) {
+    resp.status = kStatusBadRequest;
+    resp.error = "publish on a worker without a staging dir (--staging)";
+    return resp;
+  }
+  Status saved = PublishStaging();
+  if (!saved.ok()) {
+    resp.status = kStatusError;
+    resp.error = saved.message();
+    return resp;
+  }
+  resp.status = kStatusOk;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    resp.count = static_cast<int64_t>(delta_store_.size());
+    ++counters_.dist_published;
+  }
+  return resp;
+}
+
+Status ServerCore::PublishStaging() {
+  // Verdict deltas: only the PASSes this worker earned, never the shared
+  // snapshot — the coordinator's merge stays proportional to new work.
+  Status status = Status::Ok();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    status = delta_store_.Save(verifier::VerdictStorePath(options_.staging_dir));
+  }
+  if (cache_ != nullptr) {
+    // The whole in-memory solver cache (snapshot + fresh entries): the merge
+    // preloads the shared store first, so duplicates are skipped there and
+    // only this worker's new entries land.
+    Status cache_saved = sym::SaveSolverCache(
+        *cache_, verifier::SolverCacheStorePath(options_.staging_dir), verifier::kVerifierEpoch,
+        options_.cache_max_mb * 1024 * 1024);
+    if (!cache_saved.ok() && status.ok()) {
+      status = cache_saved;
+    }
+  }
+  return status;
 }
 
 Response ServerCore::ExecuteVerify(const Request& request) {
@@ -432,9 +639,19 @@ void ServerCore::WorkerLoop() {
       ticket = queue_.front();
       queue_.pop_front();
       active_.insert(ticket);
+      if (ticket->dist) {
+        --dist_queued_;
+      }
     }
     Response resp;
     try {
+      if (ticket->dist) {
+        // Worker-death injection point: with action=abort this kills the
+        // whole worker process mid-unit, which is exactly the failure the
+        // coordinator's requeue logic must contain. A throwing spec instead
+        // burns just this unit (an ERROR verdict the coordinator retries).
+        ICARUS_FAILPOINT(failpoint::kDistWorkerCrash);
+      }
       resp = ServeVerify(ticket);
     } catch (const std::exception& e) {
       // ServeVerify contains verification crashes itself; this net catches a
@@ -444,6 +661,18 @@ void ServerCore::WorkerLoop() {
       resp.status = kStatusError;
       resp.generator = ticket->request.generator;
       resp.error = e.what();
+    }
+    if (ticket->dist) {
+      // Dist tickets are core-owned: park the verdict for `collect` and
+      // reclaim the ticket here.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        active_.erase(ticket);
+        dist_done_.push_back(std::move(resp));
+      }
+      dist_cv_.notify_all();
+      delete ticket;
+      continue;
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -562,8 +791,12 @@ Response ServerCore::ServeVerify(Ticket* ticket) {
   }
   if (result.outcome == verifier::Outcome::kVerified && persistence_enabled_ &&
       !read_only_cache_ && !ticket->unit_fp.empty()) {
+    verifier::JournalRecord pass = verifier::RecordFromResult(result, verifier::kVerifierEpoch);
     std::lock_guard<std::mutex> lock(mu_);
-    store_.Put(verifier::RecordFromResult(result, verifier::kVerifierEpoch));
+    store_.Put(pass);  // In-memory: later requests hit CACHED_SAFE.
+    if (staging_mode_) {
+      delta_store_.Put(pass);  // Published to staging, merged by the coordinator.
+    }
   }
   // Journal every verdict (fsync'd): the next daemon instance replays the
   // decisive ones into its warm view.
@@ -580,6 +813,7 @@ void ServerCore::BeginDrain() {
     }
     queued.assign(queue_.begin(), queue_.end());
     queue_.clear();
+    dist_queued_ = 0;
     // Cancel in-flight work; each verification stops at its next path
     // boundary and its caller sees INCONCLUSIVE.
     for (Ticket* ticket : active_) {
@@ -587,18 +821,25 @@ void ServerCore::BeginDrain() {
     }
   }
   // Fail queued-but-unstarted tickets fast, outside the lock (their
-  // Execute() callers are blocked on these promises).
+  // Execute() callers are blocked on these promises). Queued dist tickets
+  // have no waiting caller — the coordinator learns SHUTTING_DOWN from its
+  // next collect and requeues the units elsewhere — so they are just freed.
   for (Ticket* ticket : queued) {
+    if (ticket->dist) {
+      delete ticket;
+      continue;
+    }
     Response resp;
     resp.status = kStatusShuttingDown;
     resp.generator = ticket->request.generator;
     ticket->promise.set_value(std::move(resp));
   }
   cv_.notify_all();
+  dist_cv_.notify_all();
   UpdateGauges();
 }
 
-Status ServerCore::FinishDrain() {
+Status ServerCore::FinishDrain(bool persist) {
   BeginDrain();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -618,7 +859,16 @@ Status ServerCore::FinishDrain() {
   // store save machinery); it surfaces as a drain error, never a crash.
   try {
     ICARUS_FAILPOINT(failpoint::kDaemonDrain);
-    if (persistence_enabled_ && !read_only_cache_) {
+    if (!persist) {
+      // Simulated worker death: leave no trace (no saves, no publish).
+    } else if (staging_mode_) {
+      // Fleet worker: final publish of any deltas not yet flushed by an
+      // explicit publish op. The shared stores are never written here.
+      Status saved = PublishStaging();
+      if (!saved.ok()) {
+        status = saved;
+      }
+    } else if (persistence_enabled_ && !read_only_cache_) {
       Status saved = store_.Save(verifier::VerdictStorePath(options_.cache_dir));
       if (!saved.ok()) {
         status = saved;
@@ -651,12 +901,66 @@ DaemonStats ServerCore::StatsSnapshot() const {
     stats = counters_;
     stats.queue_depth = static_cast<int>(queue_.size());
     stats.in_flight = static_cast<int>(active_.size());
+    stats.dist_queued = dist_queued_;
+    stats.store_entries = static_cast<int64_t>(store_.size());
   }
   stats.read_only_cache = read_only_cache_;
   stats.clients = admission_.Snapshot();
   stats.quarantine = quarantine_.Snapshot();
   stats.quarantine_active = quarantine_.ActiveCount(Now());
   return stats;
+}
+
+void ServeConnection(ServerCore* core, int fd) {
+  net::LineReader reader(fd);
+  std::string line;
+  std::string error;
+  while (true) {
+    net::LineReader::Result got = reader.ReadLine(&line, &error);
+    if (got != net::LineReader::Result::kLine) {
+      break;
+    }
+    if (line.empty()) {
+      continue;
+    }
+    Response resp;
+    Request request;
+    bool parsed = false;
+    try {
+      Status st = ParseRequest(line, &request);
+      if (st.ok()) {
+        parsed = true;
+      } else {
+        resp.status = kStatusBadRequest;
+        resp.error = st.message();
+      }
+    } catch (const std::exception& e) {
+      // An injected daemon-parse fault: this request is unusable, the
+      // connection and every other request are fine.
+      resp.status = kStatusError;
+      resp.error = e.what();
+    }
+    if (parsed) {
+      resp = core->Execute(request);
+    }
+    try {
+      ICARUS_FAILPOINT(failpoint::kDaemonRespond);
+      if (!net::WriteLine(fd, resp.ToJsonLine()).ok()) {
+        break;  // Peer went away; nothing left to serve here.
+      }
+    } catch (const std::exception& e) {
+      // A respond fault burns the in-flight response. Best effort: tell the
+      // client something went wrong so it does not hang on a silent line.
+      Response burnt;
+      burnt.id = resp.id;
+      burnt.status = kStatusError;
+      burnt.error = e.what();
+      if (!net::WriteLine(fd, burnt.ToJsonLine()).ok()) {
+        break;
+      }
+    }
+  }
+  net::CloseFd(fd);
 }
 
 }  // namespace icarus::daemon

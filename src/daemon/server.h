@@ -84,6 +84,18 @@ struct DaemonOptions {
   bool incremental = false;
   std::string cache_dir = ".icarus-cache";
   int64_t cache_max_mb = 64;
+  // Fleet-worker staging mode (requires incremental): read the shared
+  // cache_dir stores as a startup snapshot *without* taking the advisory
+  // lock, never write them back, and publish this worker's deltas (fresh
+  // PASS verdicts + the in-memory solver cache) to this directory on a
+  // `publish` op or at drain. The coordinator merges every worker's staging
+  // dir into the shared store after the run (src/dist/store_merge.h).
+  std::string staging_dir;
+  // Bounded dist queue: `claim` ops beyond this many queued-but-unstarted
+  // units are shed with OVERLOADED. Claims bypass per-client admission (the
+  // coordinator self-paces via its dispatch window); this bound is the
+  // backstop.
+  int dist_queue_limit = 256;
   // Monotonic seconds for admission/quarantine schedules; null uses the
   // steady clock. Injected by tests to drive backoff deterministically.
   std::function<double()> clock;
@@ -108,6 +120,13 @@ struct DaemonStats {
   int64_t quarantine_active = 0;  // Targets currently inside a window.
   int64_t replayed = 0;           // Warm-view entries restored at startup.
   bool read_only_cache = false;
+  // Distributed-fleet counters (claim/collect/steal/publish ops).
+  int64_t dist_claimed = 0;    // Units accepted onto the dist queue.
+  int64_t dist_completed = 0;  // Dist verdicts delivered via collect.
+  int64_t dist_stolen = 0;     // Queued units shed back via steal.
+  int64_t dist_published = 0;  // Publish ops served.
+  int dist_queued = 0;         // Dist units queued but not started.
+  int64_t store_entries = 0;   // Verdict-store size (cold-worker detection).
   std::vector<std::pair<std::string, ClientStats>> clients;
   std::vector<Quarantine::Entry> quarantine;
 
@@ -142,7 +161,10 @@ class ServerCore {
   // Joins the workers and durably saves the persistent stores. Call after
   // BeginDrain once the transport has stopped feeding Execute. Returns the
   // first drain error (store save failure, injected daemon-drain fault).
-  Status FinishDrain();
+  // `persist = false` skips the store saves / staging publish — used by the
+  // in-process worker host's Kill() to model a crashed worker, which leaves
+  // nothing behind.
+  Status FinishDrain(bool persist = true);
 
   bool draining() const { return draining_.load(std::memory_order_acquire); }
   // Set when a `shutdown` op was served; the transport loop polls this.
@@ -163,6 +185,15 @@ class ServerCore {
   // boundary lives here).
   Response ServeVerify(Ticket* ticket);
   Response ExecuteVerify(const Request& request);
+  // Distributed-fleet ops (see protocol.h): claim enqueues a self-owned dist
+  // ticket, collect blocks for a completed dist verdict, steal sheds queued
+  // dist tickets back to the coordinator, publish flushes staged deltas.
+  Response ExecuteClaim(const Request& request);
+  Response ExecuteCollect(const Request& request);
+  Response ExecuteSteal(const Request& request);
+  Response ExecutePublish(const Request& request);
+  // Writes delta_store_ + the in-memory solver cache to staging_dir.
+  Status PublishStaging();
   void WorkerLoop();
   void AppendJournal(const verifier::JournalRecord& record);
   std::string UnitFingerprint(const std::string& generator);
@@ -181,6 +212,12 @@ class ServerCore {
   std::condition_variable cv_;
   std::deque<Ticket*> queue_;
   std::set<Ticket*> active_;
+  // Distributed-fleet state (guarded by mu_). Dist tickets are heap-owned by
+  // the core (claims return before execution); their responses land in
+  // dist_done_ for `collect` to drain, signalled by dist_cv_.
+  std::deque<Response> dist_done_;
+  std::condition_variable dist_cv_;
+  int dist_queued_ = 0;  // Dist tickets currently in queue_.
   std::map<std::string, Response> warm_;  // Decisive verdicts only.
   bool stop_workers_ = false;
   std::vector<std::thread> workers_;
@@ -197,6 +234,10 @@ class ServerCore {
   std::unique_ptr<FileLock> cache_lock_;
   bool persistence_enabled_ = false;
   bool read_only_cache_ = false;
+  // Staging mode: fresh PASSes accumulate here (guarded by mu_) and are
+  // written to options_.staging_dir on publish/drain, never to cache_dir.
+  bool staging_mode_ = false;
+  verifier::VerdictStore delta_store_;
   std::string solver_store_path_;
   std::map<std::string, std::string> unit_fp_cache_;  // Guarded by mu_.
 
@@ -207,6 +248,12 @@ class ServerCore {
 
   std::vector<std::string> notes_;
 };
+
+// Serves one accepted connection: a request line in, a response line out, in
+// order, until the peer closes or the daemon drains. Every fault here is
+// contained to this connection. Closes `fd` on exit. Shared by the icarusd
+// transport loop and the in-process worker host (src/dist/worker_host.h).
+void ServeConnection(ServerCore* core, int fd);
 
 }  // namespace icarus::daemon
 

@@ -1,0 +1,543 @@
+#include "src/dist/coordinator.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "src/daemon/protocol.h"
+#include "src/support/failpoint.h"
+#include "src/support/net.h"
+#include "src/support/str_util.h"
+#include "src/support/timing.h"
+#include "src/verifier/journal.h"
+
+namespace icarus::dist {
+
+namespace {
+
+using daemon::Request;
+using daemon::Response;
+
+// One synchronous exchange on a driver's connection. False on any transport
+// failure (broken pipe, EOF, unparseable response) — the caller treats the
+// worker as dead.
+bool Transact(int fd, net::LineReader* reader, const Request& req, Response* resp) {
+  if (!net::WriteLine(fd, req.ToJsonLine()).ok()) {
+    return false;
+  }
+  std::string line;
+  std::string error;
+  if (reader->ReadLine(&line, &error) != net::LineReader::Result::kLine) {
+    return false;
+  }
+  *resp = Response{};
+  return daemon::ParseResponse(line, resp).ok();
+}
+
+// Dispatch state shared by every driver thread; `mu` guards all of it.
+struct FleetState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<int> pending;  // Unit indices awaiting (re)dispatch.
+  std::vector<int> failures;  // Failure-driven redispatches per unit.
+  std::vector<std::optional<Response>> results;  // Final verdict per unit.
+  std::vector<std::string> result_worker;
+  int remaining = 0;  // Units without a final result.
+  int alive = 0;      // Drivers with a usable connection.
+  std::vector<int> outstanding_count;  // Per worker; steal targeting.
+  std::vector<char> steal_flag;        // Per worker; set by idle thieves.
+  int requeues = 0;
+  bool done = false;
+
+  // mu held. Records the final verdict for `unit` (first writer wins; a
+  // replayed unit whose original verdict also arrives keeps the first).
+  void Resolve(int unit, Response resp, const std::string& worker) {
+    if (results[unit].has_value()) {
+      return;
+    }
+    results[unit] = std::move(resp);
+    result_worker[unit] = worker;
+    if (--remaining == 0) {
+      done = true;
+      cv.notify_all();
+    }
+  }
+
+  // mu held. Puts `unit` back up for dispatch after a failure, or resolves
+  // it lost once its bounded retry budget is exhausted.
+  void RequeueOrFail(int unit, const std::string& generator, int max_requeues,
+                     const char* why) {
+    if (results[unit].has_value()) {
+      return;
+    }
+    ++failures[unit];
+    if (failures[unit] <= max_requeues) {
+      ++requeues;
+      pending.push_back(unit);
+      cv.notify_all();
+      return;
+    }
+    Response lost;
+    lost.status = daemon::kStatusError;
+    lost.generator = generator;
+    lost.outcome = verifier::OutcomeName(verifier::Outcome::kInternalError);
+    lost.error = StrFormat("unit lost after %d failed dispatches (%s)", failures[unit], why);
+    Resolve(unit, std::move(lost), "");
+  }
+};
+
+struct DriverContext {
+  const CoordinatorOptions* opts;
+  const std::vector<std::string>* generators;
+  const WorkerEndpoint* endpoint;
+  int index;
+  FleetState* state;
+  WorkerAttribution* attr;
+};
+
+void RunDriver(const DriverContext& ctx) {
+  FleetState& st = *ctx.state;
+  const CoordinatorOptions& opts = *ctx.opts;
+  const std::vector<std::string>& generators = *ctx.generators;
+
+  // This worker's in-flight units: generator → unit index. Owned by this
+  // thread; mirrored into st.outstanding_count for steal targeting.
+  std::map<std::string, int> outstanding;
+
+  // Marks this worker dead: requeue everything it held (plus `extra`, units
+  // mid-claim when the connection broke) and, if it was the last live
+  // worker, resolve the remainder so the fleet terminates.
+  auto Die = [&](const std::string& why,
+                 const std::vector<std::pair<int, std::string>>& extra) {
+    std::lock_guard<std::mutex> lock(st.mu);
+    ctx.attr->died = true;
+    ctx.attr->detail = why;
+    for (const auto& [unit, generator] : extra) {
+      st.RequeueOrFail(unit, generator, opts.max_requeues, "worker died");
+    }
+    for (const auto& [generator, unit] : outstanding) {
+      st.RequeueOrFail(unit, generator, opts.max_requeues, "worker died");
+    }
+    outstanding.clear();
+    st.outstanding_count[ctx.index] = 0;
+    if (--st.alive == 0) {
+      // Nobody left to serve the rest; every unresolved unit is in pending
+      // (dead drivers requeue their outstanding first).
+      while (!st.pending.empty()) {
+        int unit = st.pending.front();
+        st.pending.pop_front();
+        if (st.results[unit].has_value()) {
+          continue;
+        }
+        Response lost;
+        lost.status = daemon::kStatusError;
+        lost.generator = generators[unit];
+        lost.outcome = verifier::OutcomeName(verifier::Outcome::kInternalError);
+        lost.error = "no live workers left";
+        st.Resolve(unit, std::move(lost), "");
+      }
+      st.done = true;
+      st.cv.notify_all();
+    }
+  };
+
+  StatusOr<int> connected = net::ConnectUnix(ctx.endpoint->socket_path);
+  if (!connected.ok()) {
+    Die(connected.status().message(), {});
+    return;
+  }
+  int fd = connected.value();
+  net::LineReader reader(fd);
+  bool dead = false;
+
+  while (!dead) {
+    // Fill this worker's window from the shared pending queue, or go idle.
+    std::vector<std::pair<int, std::string>> to_claim;
+    {
+      std::unique_lock<std::mutex> lock(st.mu);
+      if (st.done) {
+        break;
+      }
+      while (static_cast<int>(outstanding.size() + to_claim.size()) < opts.window &&
+             !st.pending.empty()) {
+        int unit = st.pending.front();
+        st.pending.pop_front();
+        if (st.results[unit].has_value()) {
+          continue;
+        }
+        to_claim.emplace_back(unit, generators[unit]);
+      }
+      if (to_claim.empty() && outstanding.empty()) {
+        // Idle. Flag the most-loaded worker as a steal victim (its own
+        // driver sheds queued units between collect polls), then wait for
+        // pending work or fleet completion.
+        if (opts.steal) {
+          int victim = -1;
+          int deepest = 1;  // A victim needs >= 2 in flight to have a queue.
+          for (int w = 0; w < static_cast<int>(st.outstanding_count.size()); ++w) {
+            if (w != ctx.index && st.outstanding_count[w] > deepest) {
+              deepest = st.outstanding_count[w];
+              victim = w;
+            }
+          }
+          if (victim >= 0) {
+            st.steal_flag[victim] = 1;
+          }
+        }
+        st.cv.wait_for(lock, std::chrono::milliseconds(50));
+        continue;
+      }
+    }
+
+    // Dispatch the claims. The dispatch fail point models losing a claim in
+    // transit: contained to a bounded requeue of that one unit.
+    for (size_t i = 0; i < to_claim.size(); ++i) {
+      const auto& [unit, generator] = to_claim[i];
+      Response resp;
+      bool sent = false;
+      try {
+        ICARUS_FAILPOINT(failpoint::kDistDispatch);
+        sent = true;
+        Request req;
+        req.op = daemon::kOpClaim;
+        req.generator = generator;
+        req.client = "coordinator";
+        if (!Transact(fd, &reader, req, &resp)) {
+          std::vector<std::pair<int, std::string>> rest(to_claim.begin() + i, to_claim.end());
+          Die("connection broke during claim", rest);
+          dead = true;
+          break;
+        }
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(st.mu);
+        st.RequeueOrFail(unit, generator, opts.max_requeues,
+                         sent ? "claim failed" : "dispatch fault");
+        continue;
+      }
+      if (resp.status == daemon::kStatusShuttingDown) {
+        std::vector<std::pair<int, std::string>> rest(to_claim.begin() + i, to_claim.end());
+        Die("worker is draining", rest);
+        dead = true;
+        break;
+      }
+      std::lock_guard<std::mutex> lock(st.mu);
+      if (resp.status == daemon::kStatusOk) {
+        outstanding[generator] = unit;
+        st.outstanding_count[ctx.index] = static_cast<int>(outstanding.size());
+      } else {
+        // OVERLOADED (dist queue full) or a contained serving fault: put the
+        // unit back up, bounded.
+        st.RequeueOrFail(unit, generator, opts.max_requeues, resp.status.c_str());
+      }
+    }
+    if (dead) {
+      break;
+    }
+
+    // Serve a steal request against this worker: shed queued (never
+    // in-flight) units back to the shared pending queue.
+    bool steal_me = false;
+    {
+      std::lock_guard<std::mutex> lock(st.mu);
+      steal_me = st.steal_flag[ctx.index] != 0 && outstanding.size() >= 2;
+      st.steal_flag[ctx.index] = 0;
+    }
+    if (steal_me) {
+      Request req;
+      req.op = daemon::kOpSteal;
+      req.client = "coordinator";
+      req.count = static_cast<int64_t>(outstanding.size()) - 1;
+      Response resp;
+      if (!Transact(fd, &reader, req, &resp)) {
+        Die("connection broke during steal", {});
+        break;
+      }
+      if (resp.status == daemon::kStatusOk && resp.count > 0) {
+        std::lock_guard<std::mutex> lock(st.mu);
+        for (const std::string& name : Split(resp.units, ',')) {
+          auto it = outstanding.find(name);
+          if (it == outstanding.end()) {
+            continue;
+          }
+          // Shedding is not a failure: the unit goes straight back to
+          // pending without touching its retry budget.
+          st.pending.push_back(it->second);
+          outstanding.erase(it);
+          ++ctx.attr->stolen_from;
+        }
+        st.outstanding_count[ctx.index] = static_cast<int>(outstanding.size());
+        st.cv.notify_all();
+      }
+    }
+
+    if (outstanding.empty()) {
+      continue;
+    }
+
+    // Collect one verdict (server-side wait bounded by collect_deadline_ms
+    // so this driver stays responsive to steal flags and requeued work).
+    Request req;
+    req.op = daemon::kOpCollect;
+    req.client = "coordinator";
+    req.deadline_ms = opts.collect_deadline_ms;
+    Response resp;
+    if (!Transact(fd, &reader, req, &resp)) {
+      Die("connection broke during collect", {});
+      break;
+    }
+    if (resp.status == daemon::kStatusShuttingDown) {
+      Die("worker is draining", {});
+      break;
+    }
+    if (resp.status != daemon::kStatusOk || resp.pending) {
+      continue;
+    }
+    // A verdict arrived. The result fail point models losing it in transit:
+    // the unit is redispatched (bounded) and the fleet still converges.
+    try {
+      ICARUS_FAILPOINT(failpoint::kDistResult);
+      std::lock_guard<std::mutex> lock(st.mu);
+      auto it = outstanding.find(resp.generator);
+      if (it != outstanding.end()) {
+        int unit = it->second;
+        outstanding.erase(it);
+        st.outstanding_count[ctx.index] = static_cast<int>(outstanding.size());
+        ++ctx.attr->verdicts;
+        st.Resolve(unit, std::move(resp), ctx.endpoint->name);
+      }
+    } catch (const std::exception&) {
+      std::lock_guard<std::mutex> lock(st.mu);
+      auto it = outstanding.find(resp.generator);
+      if (it != outstanding.end()) {
+        int unit = it->second;
+        outstanding.erase(it);
+        st.outstanding_count[ctx.index] = static_cast<int>(outstanding.size());
+        st.RequeueOrFail(unit, resp.generator, opts.max_requeues, "result lost in transit");
+      }
+    }
+  }
+
+  // End of run: ask a surviving staging worker to flush its store deltas for
+  // the coordinator's merge.
+  if (!dead && !ctx.endpoint->staging_dir.empty()) {
+    Request req;
+    req.op = daemon::kOpPublish;
+    req.client = "coordinator";
+    Response resp;
+    if (Transact(fd, &reader, req, &resp) && resp.status == daemon::kStatusOk) {
+      ctx.attr->published = true;
+    } else {
+      ctx.attr->detail = StrCat("publish failed",
+                                resp.error.empty() ? "" : StrCat(": ", resp.error));
+    }
+  }
+  net::CloseFd(fd);
+}
+
+}  // namespace
+
+StatusOr<FleetReport> Coordinator::Run(const std::vector<std::string>& generators,
+                                       const std::vector<WorkerEndpoint>& workers) {
+  if (workers.empty()) {
+    return Status::Error("fleet needs at least one worker");
+  }
+  if (generators.empty()) {
+    return Status::Error("fleet needs at least one generator");
+  }
+
+  const int num_units = static_cast<int>(generators.size());
+  const int num_workers = static_cast<int>(workers.size());
+
+  FleetReport report;
+  report.workers.resize(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    report.workers[w].name = workers[w].name;
+  }
+
+  FleetState st;
+  for (int i = 0; i < num_units; ++i) {
+    st.pending.push_back(i);
+  }
+  st.failures.assign(num_units, 0);
+  st.results.resize(num_units);
+  st.result_worker.resize(num_units);
+  st.remaining = num_units;
+  st.alive = num_workers;
+  st.outstanding_count.assign(num_workers, 0);
+  st.steal_flag.assign(num_workers, 0);
+
+  WallTimer total;
+  {
+    WallTimer dispatch;
+    std::vector<std::thread> drivers;
+    std::vector<DriverContext> contexts(num_workers);
+    drivers.reserve(num_workers);
+    for (int w = 0; w < num_workers; ++w) {
+      contexts[w] = DriverContext{&options_, &generators, &workers[w],
+                                  w,         &st,         &report.workers[w]};
+      drivers.emplace_back([&contexts, w] { RunDriver(contexts[w]); });
+    }
+    for (std::thread& t : drivers) {
+      t.join();
+    }
+    report.dispatch_seconds = dispatch.ElapsedSeconds();
+  }
+  report.requeues = st.requeues;
+
+  // Merge the per-worker journals into one fleet journal with attribution,
+  // and index the records for row enrichment (a journal record carries the
+  // full cost breakdown the wire response does not).
+  std::map<std::pair<std::string, std::string>, verifier::JournalRecord> by_worker_gen;
+  std::map<std::string, verifier::JournalRecord> by_gen;
+  std::unique_ptr<verifier::JournalWriter> fleet_journal;
+  if (!options_.journal_path.empty()) {
+    StatusOr<std::unique_ptr<verifier::JournalWriter>> opened =
+        verifier::JournalWriter::Open(options_.journal_path);
+    if (!opened.ok()) {
+      return opened.status();
+    }
+    fleet_journal = opened.take();
+  }
+  for (const WorkerEndpoint& worker : workers) {
+    if (worker.journal_path.empty()) {
+      continue;
+    }
+    StatusOr<std::vector<verifier::JournalRecord>> records =
+        verifier::ReadJournal(worker.journal_path, options_.fingerprint);
+    if (!records.ok()) {
+      report.notes.push_back(
+          StrCat("worker ", worker.name, " journal: ", records.status().message()));
+      continue;
+    }
+    for (verifier::JournalRecord rec : records.take()) {
+      rec.worker = worker.name;
+      if (fleet_journal != nullptr) {
+        Status appended = fleet_journal->Append(rec);
+        if (!appended.ok()) {
+          report.notes.push_back(StrCat("fleet journal: ", appended.message()));
+          fleet_journal.reset();
+        }
+      }
+      by_worker_gen[{worker.name, rec.generator}] = rec;
+      by_gen[rec.generator] = rec;
+    }
+  }
+
+  // Build the merged batch rows, input order, preferring the journal record
+  // of the worker that delivered the verdict.
+  report.batch.jobs = num_workers;
+  for (int i = 0; i < num_units; ++i) {
+    const std::string& generator = generators[i];
+    const verifier::JournalRecord* rec = nullptr;
+    auto preferred = by_worker_gen.find({st.result_worker[i], generator});
+    if (!st.result_worker[i].empty() && preferred != by_worker_gen.end()) {
+      rec = &preferred->second;
+    } else {
+      // A verdict journaled by a worker that died before delivering it is
+      // still a verdict — fsync'd before the crash — so prefer it over a
+      // synthesized "lost" row.
+      auto any = by_gen.find(generator);
+      if (any != by_gen.end()) {
+        rec = &any->second;
+      }
+    }
+    verifier::GeneratorResult row;
+    if (rec != nullptr) {
+      StatusOr<verifier::GeneratorResult> parsed = verifier::ResultFromRecord(*rec);
+      if (parsed.ok()) {
+        row = parsed.take();
+      } else {
+        rec = nullptr;
+      }
+    }
+    if (rec == nullptr && st.results[i].has_value()) {
+      const Response& resp = *st.results[i];
+      row.generator = generator;
+      if (!verifier::OutcomeFromName(resp.outcome, &row.outcome)) {
+        row.outcome = verifier::Outcome::kInternalError;
+      }
+      row.error = resp.error;
+      row.seconds = resp.seconds;
+      row.report.meta.paths_explored = resp.paths;
+      row.report.meta.solver_queries = resp.queries;
+      row.worker = st.result_worker[i];
+    } else if (rec == nullptr) {
+      row.generator = generator;
+      row.outcome = verifier::Outcome::kInternalError;
+      row.error = "unit was never resolved";
+    }
+    report.batch.results.push_back(std::move(row));
+  }
+
+  // Fold every published staging dir back into the shared store. A merge
+  // fault (the dist-merge fail point, a save error) degrades to a note —
+  // the staging dirs survive for a retried merge.
+  if (!options_.cache_dir.empty()) {
+    MergeOptions merge_options;
+    merge_options.cache_dir = options_.cache_dir;
+    merge_options.cache_max_mb = options_.cache_max_mb;
+    for (const WorkerEndpoint& worker : workers) {
+      if (!worker.staging_dir.empty()) {
+        merge_options.staging_dirs.push_back(worker.staging_dir);
+      }
+    }
+    try {
+      StatusOr<MergeReport> merged = MergeStores(merge_options);
+      if (merged.ok()) {
+        report.merge = merged.take();
+        for (const std::string& note : report.merge.notes) {
+          report.notes.push_back(note);
+        }
+      } else {
+        report.notes.push_back(StrCat("fleet merge: ", merged.status().message()));
+      }
+    } catch (const std::exception& e) {
+      report.notes.push_back(StrCat("fleet merge fault: ", e.what()));
+    }
+  }
+
+  report.batch.wall_seconds = total.ElapsedSeconds();
+  return report;
+}
+
+std::string FleetReport::RenderSummary() const {
+  std::string out = StrFormat("fleet: %d worker%s, %d unit%s, %d requeue%s, dispatch %.3fs\n",
+                              static_cast<int>(workers.size()), workers.size() == 1 ? "" : "s",
+                              static_cast<int>(batch.results.size()),
+                              batch.results.size() == 1 ? "" : "s", requeues,
+                              requeues == 1 ? "" : "s", dispatch_seconds);
+  for (const WorkerAttribution& worker : workers) {
+    out += StrFormat("  %-8s %3d verdict%s, %d stolen from", worker.name.c_str(),
+                     worker.verdicts, worker.verdicts == 1 ? " " : "s", worker.stolen_from);
+    if (worker.died) {
+      out += StrCat("  [died", worker.detail.empty() ? "" : StrCat(": ", worker.detail), "]");
+    } else if (worker.published) {
+      out += "  [published]";
+    } else if (!worker.detail.empty()) {
+      out += StrCat("  [", worker.detail, "]");
+    }
+    out += "\n";
+  }
+  if (merge.merged) {
+    out += StrFormat("merge: %d verdict%s applied, %d already dominated, %d staging store%s skipped",
+                     merge.verdicts_applied, merge.verdicts_applied == 1 ? "" : "s",
+                     merge.verdicts_skipped, merge.staging_stores_skipped,
+                     merge.staging_stores_skipped == 1 ? "" : "s");
+    if (merge.cache_entries_added > 0) {
+      out += StrFormat(", %lld solver-cache entries added",
+                       static_cast<long long>(merge.cache_entries_added));
+    }
+    out += "\n";
+  }
+  for (const std::string& note : notes) {
+    out += StrCat("note: ", note, "\n");
+  }
+  return out;
+}
+
+}  // namespace icarus::dist

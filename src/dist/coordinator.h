@@ -1,0 +1,124 @@
+// Fleet coordinator: shards a verification batch across worker daemons and
+// merges the results into one report.
+//
+// Topology: one driver thread per worker endpoint, each owning one NDJSON
+// connection (the daemon serves a connection strictly serially, so a driver
+// is the natural unit of pacing). A driver keeps up to `window` units
+// outstanding on its worker via `claim`, then polls `collect` for verdicts.
+// Unit assignment is dynamic: drivers pull from a shared pending queue, so a
+// fast worker naturally takes more units.
+//
+// Work stealing (process granularity): a driver that goes idle while another
+// worker has a deep backlog flags the most-loaded victim; the victim's own
+// driver — the only thread on that connection — issues a `steal` op between
+// collect polls, which removes queued-but-unstarted units from the worker's
+// dist queue and returns their names. The stolen units go back to the shared
+// pending queue for anyone to re-claim. In-flight units are never stolen.
+//
+// Worker death: a broken connection (or SHUTTING_DOWN) kills the driver, and
+// every unit outstanding on that worker is requeued with a bounded per-unit
+// retry budget (`max_requeues`). A unit that exhausts its budget — or has no
+// live worker left — resolves as INTERNAL_ERROR rather than hanging the
+// fleet. Verdicts that did land are kept; the fleet completes with correct
+// verdicts for everything a live worker could serve.
+//
+// Fail points: `dist-dispatch` fires before each claim is sent and
+// `dist-result` after each verdict is received — both model coordinator-side
+// message loss and are contained to a bounded requeue of the one unit.
+// `dist-worker-crash` lives on the worker (src/daemon/server.cc) and
+// `dist-merge` in the store merge (src/dist/store_merge.cc).
+//
+// After the dispatch phase the coordinator (1) asks every surviving worker
+// to `publish` its staged store deltas, (2) merges the staging dirs into the
+// shared cache under the advisory lock (store_merge.h), and (3) merges the
+// per-worker journals into one fleet journal whose records carry per-worker
+// attribution (journal schema v6 `worker` field), from which the merged
+// batch report rows are built.
+#ifndef ICARUS_DIST_COORDINATOR_H_
+#define ICARUS_DIST_COORDINATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/dist/store_merge.h"
+#include "src/verifier/batch_verifier.h"
+
+namespace icarus::dist {
+
+// One worker daemon the coordinator drives.
+struct WorkerEndpoint {
+  std::string name;         // Attribution label (journal `worker` field).
+  std::string socket_path;  // Unix-domain socket the daemon serves on.
+  // This worker's staging directory (published deltas; consumed by the
+  // store merge) and journal path (merged into the fleet journal). Either
+  // may be empty when the worker runs without persistence / journaling.
+  std::string staging_dir;
+  std::string journal_path;
+};
+
+struct CoordinatorOptions {
+  // Max units outstanding (claimed, not yet collected) per worker. Small
+  // windows keep the queues shallow so stealing has little to steal; deep
+  // windows amortize protocol round-trips. 2 keeps a worker busy while its
+  // driver is blocked in a collect.
+  int window = 2;
+  // How long each collect op waits server-side before answering `pending`.
+  // This bounds the driver's reaction latency to steal flags and new work.
+  double collect_deadline_ms = 100;
+  // Per-unit bound on redispatches after a worker death or an injected
+  // dispatch/result fault. Exhausting it resolves the unit INTERNAL_ERROR.
+  int max_requeues = 3;
+  bool steal = true;  // Work stealing on (off only for experiments).
+  // Shared store merge inputs; empty cache_dir skips the merge step.
+  std::string cache_dir;
+  int64_t cache_max_mb = 64;
+  // Fleet journal path (merged per-worker records with attribution); empty
+  // writes no fleet journal.
+  std::string journal_path;
+  // Platform::Fingerprint() of the loaded platform; stamped on fleet journal
+  // records and required of worker journal records.
+  std::string fingerprint;
+};
+
+// Per-worker accounting for the fleet report.
+struct WorkerAttribution {
+  std::string name;
+  int verdicts = 0;     // Verdicts this worker delivered via collect.
+  int stolen_from = 0;  // Queued units shed back via steal ops.
+  bool died = false;    // Connection broke (or worker drained) mid-run.
+  bool published = false;
+  std::string detail;   // Death/publish diagnostics, empty when clean.
+};
+
+struct FleetReport {
+  // Merged rows in input order, each stamped with the worker that earned it.
+  verifier::BatchReport batch;
+  std::vector<WorkerAttribution> workers;
+  // Wall clock of the claim/collect phase alone — worker spawn, publish, and
+  // merge excluded — which is what the scaling benchmark compares.
+  double dispatch_seconds = 0.0;
+  MergeReport merge;  // Zero-valued when no cache_dir was configured.
+  int requeues = 0;   // Redispatches after worker failures / injected faults.
+  std::vector<std::string> notes;
+
+  std::string RenderSummary() const;  // Human-readable fleet footer.
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(const CoordinatorOptions& options) : options_(options) {}
+
+  // Runs `generators` across `workers`. Errors only on unusable inputs (no
+  // workers, no generators) or fleet-journal I/O problems; worker failures
+  // degrade to report rows and attribution flags.
+  StatusOr<FleetReport> Run(const std::vector<std::string>& generators,
+                            const std::vector<WorkerEndpoint>& workers);
+
+ private:
+  CoordinatorOptions options_;
+};
+
+}  // namespace icarus::dist
+
+#endif  // ICARUS_DIST_COORDINATOR_H_

@@ -1,0 +1,273 @@
+#include "src/dist/fleet.h"
+
+#include <fcntl.h>
+#include <ftw.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "src/daemon/protocol.h"
+#include "src/support/net.h"
+#include "src/support/str_util.h"
+#include "src/support/timing.h"
+
+namespace icarus::dist {
+
+namespace {
+
+int RemoveEntry(const char* path, const struct stat*, int, struct FTW*) {
+  return ::remove(path);
+}
+
+// Best-effort recursive removal (children before parents).
+void RemoveTree(const std::string& path) {
+  ::nftw(path.c_str(), RemoveEntry, 16, FTW_DEPTH | FTW_PHYS);
+}
+
+// The icarusd binary normally sits next to whatever binary is running
+// (tools and tests share bin/); fall back to PATH lookup.
+std::string DefaultWorkerBin() {
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    std::string self(buf);
+    size_t slash = self.rfind('/');
+    if (slash != std::string::npos) {
+      std::string candidate = self.substr(0, slash) + "/icarusd";
+      if (::access(candidate.c_str(), X_OK) == 0) {
+        return candidate;
+      }
+    }
+  }
+  return "icarusd";
+}
+
+// One best-effort ping round-trip with a short read timeout.
+bool PingWorker(const std::string& socket_path) {
+  StatusOr<int> connected = net::ConnectUnix(socket_path);
+  if (!connected.ok()) {
+    return false;
+  }
+  int fd = connected.value();
+  daemon::Request req;
+  req.op = daemon::kOpPing;
+  req.client = "fleet-spawn";
+  bool ok = false;
+  if (net::WriteLine(fd, req.ToJsonLine()).ok() && net::PollReadable(fd, 500) == 1) {
+    net::LineReader reader(fd);
+    std::string line;
+    std::string error;
+    if (reader.ReadLine(&line, &error) == net::LineReader::Result::kLine) {
+      daemon::Response resp;
+      ok = daemon::ParseResponse(line, &resp).ok() && resp.status == daemon::kStatusOk;
+    }
+  }
+  net::CloseFd(fd);
+  return ok;
+}
+
+// Best-effort graceful drain request; the caller reaps the process.
+void SendShutdown(const std::string& socket_path) {
+  StatusOr<int> connected = net::ConnectUnix(socket_path);
+  if (!connected.ok()) {
+    return;
+  }
+  int fd = connected.value();
+  daemon::Request req;
+  req.op = daemon::kOpShutdown;
+  req.client = "fleet-shutdown";
+  if (net::WriteLine(fd, req.ToJsonLine()).ok() && net::PollReadable(fd, 1000) == 1) {
+    net::LineReader reader(fd);
+    std::string line;
+    std::string error;
+    reader.ReadLine(&line, &error);
+  }
+  net::CloseFd(fd);
+}
+
+pid_t SpawnWorker(const std::string& worker_bin, const std::vector<std::string>& args,
+                  const std::string& log_path) {
+  pid_t pid = ::fork();
+  if (pid != 0) {
+    return pid;  // Parent (or fork failure, pid < 0).
+  }
+  // Child: route the daemon's stderr chatter to a per-worker log.
+  int log_fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (log_fd >= 0) {
+    ::dup2(log_fd, 2);
+    ::close(log_fd);
+  }
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(worker_bin.c_str()));
+  for (const std::string& arg : args) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+  ::execvp(worker_bin.c_str(), argv.data());
+  _exit(127);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Fleet>> Fleet::Spawn(const FleetOptions& options) {
+  if (options.workers < 1) {
+    return Status::Error("fleet needs at least one worker");
+  }
+  std::unique_ptr<Fleet> fleet(new Fleet());
+
+  if (options.fleet_dir.empty()) {
+    char tmpl[] = "/tmp/icarus-fleet-XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      return Status::Error(StrCat("cannot create fleet dir: ", std::strerror(errno)));
+    }
+    fleet->fleet_dir_ = tmpl;
+    fleet->remove_fleet_dir_ = true;
+  } else {
+    fleet->fleet_dir_ = options.fleet_dir;
+    if (::mkdir(fleet->fleet_dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Error(
+          StrCat("cannot create fleet dir ", fleet->fleet_dir_, ": ", std::strerror(errno)));
+    }
+  }
+
+  std::string worker_bin = options.worker_bin.empty() ? DefaultWorkerBin() : options.worker_bin;
+
+  for (int i = 0; i < options.workers; ++i) {
+    WorkerEndpoint endpoint;
+    endpoint.name = StrCat("w", i);
+    endpoint.socket_path = StrCat(fleet->fleet_dir_, "/w", i, ".sock");
+    endpoint.journal_path = StrCat(fleet->fleet_dir_, "/w", i, ".journal.jsonl");
+
+    std::vector<std::string> args = {
+        "--socket", endpoint.socket_path,
+        "--jobs", StrCat(options.jobs_per_worker),
+        "--journal", endpoint.journal_path,
+        // The coordinator self-paces via its window; per-client admission
+        // limits would only shed work it already metered.
+        "--queue", "1024", "--rate", "1000000", "--burst", "1000000",
+        "--dist-queue", "1024",
+    };
+    if (options.solver_limits.max_decisions > 0) {
+      args.push_back("--max-decisions");
+      args.push_back(StrCat(options.solver_limits.max_decisions));
+    }
+    if (options.solver_limits.max_seconds > 0) {
+      args.push_back("--max-seconds");
+      args.push_back(StrCat(options.solver_limits.max_seconds));
+    }
+    if (options.incremental) {
+      endpoint.staging_dir = StrCat(fleet->fleet_dir_, "/w", i, ".staging");
+      args.insert(args.end(), {"--incremental", "--cache-dir", options.cache_dir,
+                               "--cache-max-mb", StrCat(options.cache_max_mb), "--staging",
+                               endpoint.staging_dir});
+    }
+    if (i < static_cast<int>(options.worker_fail_specs.size()) &&
+        !options.worker_fail_specs[i].empty()) {
+      args.insert(args.end(), {"--fail", options.worker_fail_specs[i]});
+    }
+
+    pid_t pid = SpawnWorker(worker_bin, args, StrCat(fleet->fleet_dir_, "/w", i, ".log"));
+    if (pid < 0) {
+      fleet->Shutdown();
+      return Status::Error(StrCat("fork failed for worker ", i, ": ", std::strerror(errno)));
+    }
+    fleet->pids_.push_back(pid);
+    fleet->endpoints_.push_back(std::move(endpoint));
+  }
+
+  // Readiness: every worker must answer a ping before the run starts. A
+  // worker that exited already (bad flags, exec failure) fails the spawn.
+  WallTimer timer;
+  for (int i = 0; i < options.workers; ++i) {
+    while (true) {
+      if (PingWorker(fleet->endpoints_[i].socket_path)) {
+        break;
+      }
+      int wait_status = 0;
+      if (::waitpid(fleet->pids_[i], &wait_status, WNOHANG) == fleet->pids_[i]) {
+        fleet->pids_[i] = -1;
+        std::string why = StrCat("worker ", i, " exited before becoming ready (see ",
+                                 fleet->fleet_dir_, "/w", i, ".log)");
+        fleet->Shutdown();
+        return Status::Error(why);
+      }
+      if (timer.ElapsedSeconds() > options.ready_timeout_s) {
+        fleet->Shutdown();
+        return Status::Error(StrCat("worker ", i, " not ready after ",
+                                    options.ready_timeout_s, "s"));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  return fleet;
+}
+
+Fleet::~Fleet() {
+  Shutdown();
+}
+
+bool Fleet::WorkerAlive(int index) {
+  if (index < 0 || index >= static_cast<int>(pids_.size()) || pids_[index] < 0) {
+    return false;
+  }
+  int wait_status = 0;
+  if (::waitpid(pids_[index], &wait_status, WNOHANG) == pids_[index]) {
+    pids_[index] = -1;
+    return false;
+  }
+  return true;
+}
+
+void Fleet::Shutdown() {
+  if (shut_down_) {
+    return;
+  }
+  shut_down_ = true;
+
+  for (size_t i = 0; i < pids_.size(); ++i) {
+    if (pids_[i] >= 0) {
+      SendShutdown(endpoints_[i].socket_path);
+    }
+  }
+  // Bounded wait for clean drains, then SIGKILL the stragglers.
+  WallTimer timer;
+  bool all_reaped = false;
+  while (!all_reaped && timer.ElapsedSeconds() < 5.0) {
+    all_reaped = true;
+    for (pid_t& pid : pids_) {
+      if (pid < 0) {
+        continue;
+      }
+      int wait_status = 0;
+      if (::waitpid(pid, &wait_status, WNOHANG) == pid) {
+        pid = -1;
+      } else {
+        all_reaped = false;
+      }
+    }
+    if (!all_reaped) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  for (pid_t& pid : pids_) {
+    if (pid >= 0) {
+      ::kill(pid, SIGKILL);
+      int wait_status = 0;
+      ::waitpid(pid, &wait_status, 0);
+      pid = -1;
+    }
+  }
+  if (remove_fleet_dir_ && !fleet_dir_.empty()) {
+    RemoveTree(fleet_dir_);
+  }
+}
+
+}  // namespace icarus::dist

@@ -1,0 +1,91 @@
+// Fleet launcher: spawns and supervises `icarusd` worker processes for a
+// distributed verification run.
+//
+// Each worker gets its own socket, journal, and (under --incremental) a
+// private staging directory inside one fleet directory, plus admission
+// limits opened wide — the coordinator self-paces via its dispatch window,
+// so per-client token buckets would only add noise. Readiness is probed
+// with `ping` until every worker answers or the timeout expires (a worker
+// that exits early fails the spawn).
+//
+// Worker death is a supported experiment, not just an accident:
+// `worker_fail_specs` arms per-worker fail points (e.g.
+// "after=dist-worker-crash:3,action=abort" kills a worker dead on its 4th
+// claimed unit), which is how the kill-a-worker e2e test drives the
+// coordinator's requeue path against real process death.
+//
+// Shutdown is graceful-then-forceful: a `shutdown` op per live worker, a
+// bounded wait for clean exits, SIGKILL for stragglers, and best-effort
+// removal of the fleet directory.
+#ifndef ICARUS_DIST_FLEET_H_
+#define ICARUS_DIST_FLEET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "src/dist/coordinator.h"
+#include "src/support/status.h"
+#include "src/sym/solver.h"
+
+namespace icarus::dist {
+
+struct FleetOptions {
+  int workers = 2;
+  // Worker executable; empty derives `<dir of /proc/self/exe>/icarusd`.
+  std::string worker_bin;
+  // Directory for sockets/journals/staging dirs/worker logs; empty creates a
+  // temp directory, removed at shutdown (a caller-provided one is kept).
+  std::string fleet_dir;
+  int jobs_per_worker = 1;   // icarusd --jobs.
+  // Per-query solver budgets, forwarded so fleet verdicts are earned under
+  // exactly the budget a single-process run would use.
+  sym::Solver::Limits solver_limits;
+  // Shared persistent stores: workers snapshot cache_dir read-only and
+  // publish deltas to their staging dirs (icarusd --staging).
+  bool incremental = false;
+  std::string cache_dir = ".icarus-cache";
+  int64_t cache_max_mb = 64;
+  // Fail-point spec armed on worker i via `icarusd --fail` (entries beyond
+  // the worker count are ignored; empty entries arm nothing).
+  std::vector<std::string> worker_fail_specs;
+  double ready_timeout_s = 10.0;
+};
+
+class Fleet {
+ public:
+  // Spawns and readiness-checks the workers. On any failure every spawned
+  // process is killed and the error returned.
+  static StatusOr<std::unique_ptr<Fleet>> Spawn(const FleetOptions& options);
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  // Worker endpoints for Coordinator::Run, in worker order ("w0", "w1", ...).
+  const std::vector<WorkerEndpoint>& endpoints() const { return endpoints_; }
+  const std::string& fleet_dir() const { return fleet_dir_; }
+
+  // True while the worker's process has not been observed to exit. A worker
+  // killed by a fail point flips to false once reaped.
+  bool WorkerAlive(int index);
+
+  // Graceful-then-forceful teardown (idempotent; also run by the dtor).
+  void Shutdown();
+
+ private:
+  Fleet() = default;
+
+  std::string fleet_dir_;
+  bool remove_fleet_dir_ = false;
+  std::vector<WorkerEndpoint> endpoints_;
+  std::vector<pid_t> pids_;
+  bool shut_down_ = false;
+};
+
+}  // namespace icarus::dist
+
+#endif  // ICARUS_DIST_FLEET_H_

@@ -1,0 +1,138 @@
+#include "src/dist/store_merge.h"
+
+#include <cstdint>
+#include <limits>
+
+#include "src/support/failpoint.h"
+#include "src/support/file_lock.h"
+#include "src/support/str_util.h"
+#include "src/sym/cache_store.h"
+#include "src/sym/solver_cache.h"
+#include "src/verifier/verdict_store.h"
+
+namespace icarus::dist {
+
+namespace {
+
+// Budget components with value <= 0 mean "unbounded" and compare as +inf,
+// mirroring Solver::Limits semantics.
+int64_t DecisionsOrInf(int64_t d) {
+  return d <= 0 ? std::numeric_limits<int64_t>::max() : d;
+}
+double SecondsOrInf(double s) {
+  return s <= 0 ? std::numeric_limits<double>::infinity() : s;
+}
+
+}  // namespace
+
+bool MergeWins(const verifier::JournalRecord& a, const verifier::JournalRecord& b) {
+  if (a.unit_fp != b.unit_fp) {
+    // The staging side re-verified a changed unit; its verdict is the live one.
+    return true;
+  }
+  int64_t ad = DecisionsOrInf(a.budget_decisions);
+  int64_t bd = DecisionsOrInf(b.budget_decisions);
+  double as = SecondsOrInf(a.budget_seconds);
+  double bs = SecondsOrInf(b.budget_seconds);
+  // Strictly-larger budget wins; equal or incomparable budgets keep `b`.
+  return ad >= bd && as >= bs && (ad > bd || as > bs);
+}
+
+StatusOr<MergeReport> MergeStores(const MergeOptions& options) {
+  MergeReport report;
+
+  Status dir = verifier::EnsureCacheDir(options.cache_dir);
+  if (!dir.ok()) {
+    return dir;
+  }
+  // The same advisory lock `verify-all --incremental` and icarusd take: if a
+  // live writer holds it, skip the merge rather than clobber its saves. The
+  // staging dirs survive, so the merge can be retried.
+  FileLock::Result lock = FileLock::TryExclusive(options.cache_dir + "/lock");
+  if (lock.state != FileLock::State::kAcquired) {
+    report.notes.push_back(
+        StrCat(lock.message, "; fleet merge skipped (shared store is busy)"));
+    return report;
+  }
+
+  // --- Verdict stores ---------------------------------------------------
+  verifier::VerdictStore shared;
+  std::string shared_path = verifier::VerdictStorePath(options.cache_dir);
+  verifier::VerdictStore::LoadResult loaded =
+      shared.Load(shared_path, verifier::kVerifierEpoch);
+  if (!loaded.note.empty()) {
+    report.notes.push_back(StrCat("shared store: ", loaded.note));
+  }
+
+  bool verdicts_changed = false;
+  for (const std::string& staging : options.staging_dirs) {
+    verifier::VerdictStore delta;
+    verifier::VerdictStore::LoadResult delta_loaded =
+        delta.Load(verifier::VerdictStorePath(staging), verifier::kVerifierEpoch);
+    if (!delta_loaded.note.empty()) {
+      // Tolerant load already degraded to empty: the damaged staging store is
+      // skipped with a warning and cannot poison the shared one.
+      report.notes.push_back(
+          StrCat("warning: staging store ", staging, " skipped: ", delta_loaded.note));
+      ++report.staging_stores_skipped;
+      continue;
+    }
+    for (const auto& [generator, rec] : delta.entries()) {
+      auto it = shared.entries().find(generator);
+      if (it == shared.entries().end() || MergeWins(rec, it->second)) {
+        shared.Put(rec);
+        verdicts_changed = true;
+        ++report.verdicts_applied;
+      } else {
+        ++report.verdicts_skipped;
+      }
+    }
+  }
+
+  // --- Solver caches ----------------------------------------------------
+  // Shared snapshot first: Preload never overwrites resident entries, so the
+  // shared cache wins ties and each staging load contributes only new work.
+  sym::SolverCache merged_cache;
+  std::string cache_path = verifier::SolverCacheStorePath(options.cache_dir);
+  sym::CacheLoadResult cache_loaded =
+      sym::LoadSolverCache(cache_path, verifier::kVerifierEpoch, &merged_cache);
+  if (!cache_loaded.note.empty()) {
+    report.notes.push_back(StrCat("shared solver cache: ", cache_loaded.note));
+  }
+  size_t cache_before = merged_cache.size();
+  for (const std::string& staging : options.staging_dirs) {
+    sym::CacheLoadResult staged = sym::LoadSolverCache(
+        verifier::SolverCacheStorePath(staging), verifier::kVerifierEpoch, &merged_cache);
+    if (!staged.note.empty()) {
+      report.notes.push_back(
+          StrCat("warning: staging solver cache ", staging, " skipped: ", staged.note));
+    }
+  }
+  report.cache_entries_added = static_cast<int64_t>(merged_cache.size() - cache_before);
+
+  // The merge fail point models a crash in the save machinery: everything
+  // before this line is in-memory only, so an aborted merge leaves the shared
+  // store exactly as it was (crash safety within the saves themselves comes
+  // from write-temp-then-rename).
+  ICARUS_FAILPOINT(failpoint::kDistMerge);
+
+  if (verdicts_changed) {
+    Status saved = shared.Save(shared_path);
+    if (!saved.ok()) {
+      return saved;
+    }
+    report.verdicts_saved = true;
+  }
+  if (report.cache_entries_added > 0) {
+    Status saved = sym::SaveSolverCache(merged_cache, cache_path, verifier::kVerifierEpoch,
+                                        options.cache_max_mb * 1024 * 1024);
+    if (!saved.ok()) {
+      return saved;
+    }
+    report.cache_saved = true;
+  }
+  report.merged = true;
+  return report;
+}
+
+}  // namespace icarus::dist

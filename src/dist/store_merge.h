@@ -1,0 +1,79 @@
+// Crash-safe cross-store merge for distributed fleet runs.
+//
+// Fleet workers never write the shared `.icarus-cache/` stores: each reads
+// the shared snapshot at startup and publishes its deltas (fresh PASS
+// verdicts + its in-memory solver cache) to a private staging directory
+// (see DaemonOptions::staging_dir). After the run the coordinator calls
+// MergeStores to fold every staging directory back into the shared store
+// under the advisory cache lock.
+//
+// Verdict merge rule, per generator, keyed by unit fingerprint + budget:
+//   - Generator absent from the shared store          → staging record wins.
+//   - Different unit fingerprint                      → staging record wins
+//     (the worker re-verified a unit that changed since the shared snapshot).
+//   - Same fingerprint, strictly larger solver budget → staging record wins
+//     (both budget components >= the shared record's, at least one strictly
+//     greater; a 0 component means unbounded and compares as +infinity).
+//   - Otherwise (identical key, or incomparable/smaller budget) → the shared
+//     record is kept and the staging record is counted as skipped.
+//
+// The rule is deliberately monotone: re-merging the same staging directories
+// is a no-op (idempotence), and merging in any order converges to the same
+// store because "wins" is a partial order on (fingerprint, budget).
+//
+// Solver-cache merge: the shared snapshot is loaded first, then each staging
+// snapshot preloads into the same in-memory cache — SolverCache::Preload
+// never overwrites a resident entry, so shared entries win ties and only
+// genuinely new solver results land. The merged cache is saved only when it
+// grew.
+//
+// Failure containment: a corrupt or unreadable staging store is skipped with
+// a warning note and never poisons the shared store (tolerant loads yield an
+// empty delta). If another process holds the advisory cache lock the merge
+// is skipped wholesale (merged=false) rather than racing the lock holder's
+// saves. Both saves are crash-safe (write-temp-then-rename). The
+// `dist-merge` fail point fires before the save step so tests can prove a
+// merge crash loses nothing already durable.
+#ifndef ICARUS_DIST_STORE_MERGE_H_
+#define ICARUS_DIST_STORE_MERGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+#include "src/verifier/journal.h"
+
+namespace icarus::dist {
+
+struct MergeOptions {
+  std::string cache_dir = ".icarus-cache";     // Shared store to merge into.
+  std::vector<std::string> staging_dirs;       // Per-worker delta stores.
+  int64_t cache_max_mb = 64;                   // Solver-cache save bound.
+};
+
+struct MergeReport {
+  // False when the advisory cache lock was held elsewhere and the merge was
+  // skipped (a note says so); the staging dirs are untouched either way.
+  bool merged = false;
+  int verdicts_applied = 0;       // Staging records that won.
+  int verdicts_skipped = 0;       // Records the shared store already dominated.
+  int staging_stores_skipped = 0; // Corrupt/unreadable staging stores.
+  int64_t cache_entries_added = 0;
+  bool verdicts_saved = false;    // Shared verdict store was rewritten.
+  bool cache_saved = false;       // Shared solver cache was rewritten.
+  std::vector<std::string> notes;
+};
+
+// True iff record `a` beats record `b` under the merge rule above (same
+// generator assumed). Exposed for direct unit testing.
+bool MergeWins(const verifier::JournalRecord& a, const verifier::JournalRecord& b);
+
+// Merges every staging dir into the shared store. Errors only on shared-store
+// I/O failure (unwritable cache dir, failed save); staging-side problems
+// degrade to notes.
+StatusOr<MergeReport> MergeStores(const MergeOptions& options);
+
+}  // namespace icarus::dist
+
+#endif  // ICARUS_DIST_STORE_MERGE_H_

@@ -1,0 +1,123 @@
+#include "src/dist/worker_host.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "src/support/net.h"
+
+namespace icarus::dist {
+
+WorkerHost::WorkerHost(const platform::Platform* platform, const daemon::DaemonOptions& options,
+                       std::string socket_path)
+    : platform_(platform), options_(options), socket_path_(std::move(socket_path)) {}
+
+WorkerHost::~WorkerHost() {
+  Stop();
+}
+
+Status WorkerHost::Start() {
+  core_ = std::make_unique<daemon::ServerCore>(platform_, options_);
+  Status started = core_->Start();
+  if (!started.ok()) {
+    return started;
+  }
+  StatusOr<int> listener = net::ListenUnix(socket_path_);
+  if (!listener.ok()) {
+    core_->BeginDrain();
+    core_->FinishDrain(false);
+    return listener.status();
+  }
+  listen_fd_ = listener.value();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void WorkerHost::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    int ready = net::PollReadable(listen_fd_, 50);
+    if (ready < 0) {
+      break;
+    }
+    if (ready == 0) {
+      continue;
+    }
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stop_.load(std::memory_order_acquire)) {
+      net::CloseFd(fd);
+      break;
+    }
+    conn_fds_.insert(fd);
+    conn_threads_.emplace_back([this, fd] {
+      daemon::ServeConnection(core_.get(), fd);
+      std::lock_guard<std::mutex> inner(conn_mu_);
+      conn_fds_.erase(fd);
+    });
+  }
+}
+
+void WorkerHost::StopAccepting() {
+  stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  net::CloseFd(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void WorkerHost::ShutdownConnections() {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  // Wake connection threads blocked in read() (they see EOF) and fence off
+  // any response not yet written (sends fail after shutdown).
+  for (int fd : conn_fds_) {
+    net::ShutdownFd(fd);
+  }
+}
+
+void WorkerHost::JoinConnections() {
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  conn_threads_.clear();
+  ::unlink(socket_path_.c_str());
+}
+
+Status WorkerHost::Stop() {
+  if (stopped_ || core_ == nullptr) {
+    return Status::Ok();
+  }
+  stopped_ = true;
+  StopAccepting();
+  // Drain first so connection threads blocked in Execute() unblock with
+  // SHUTTING_DOWN and can still deliver that answer, then wake readers and
+  // join, then persist.
+  core_->BeginDrain();
+  ShutdownConnections();
+  JoinConnections();
+  return core_->FinishDrain();
+}
+
+void WorkerHost::Kill() {
+  if (stopped_ || core_ == nullptr) {
+    return;
+  }
+  stopped_ = true;
+  StopAccepting();
+  // Fence the sockets *before* draining: no response escapes, the peer just
+  // sees a broken connection — exactly what a crashed worker process looks
+  // like. The drain afterwards only unblocks this process's own threads so
+  // they can be joined; FinishDrain(false) persists nothing.
+  ShutdownConnections();
+  core_->BeginDrain();
+  JoinConnections();
+  core_->FinishDrain(false);
+}
+
+}  // namespace icarus::dist

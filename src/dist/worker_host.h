@@ -1,0 +1,84 @@
+// In-process fleet worker: a ServerCore served over a real Unix-domain
+// socket, inside the current process.
+//
+// The coordinator (src/dist/coordinator.h) only ever speaks the NDJSON
+// socket protocol, so a worker hosted in-process is indistinguishable from a
+// spawned `icarusd` — same ops, same framing, same failure surface. Tests
+// use WorkerHost to exercise the full coordinator/worker path (dispatch,
+// work stealing, requeue-on-death, staging publish) deterministically,
+// without fork/exec; production fleets spawn real daemons via
+// src/dist/fleet.h.
+//
+// Kill() is the point of the exercise: it abruptly closes the listener and
+// every live connection without draining, exactly what the coordinator
+// observes when a worker process dies mid-unit — a broken connection with
+// in-flight units unaccounted for.
+#ifndef ICARUS_DIST_WORKER_HOST_H_
+#define ICARUS_DIST_WORKER_HOST_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/daemon/server.h"
+#include "src/platform/platform.h"
+#include "src/support/status.h"
+
+namespace icarus::dist {
+
+class WorkerHost {
+ public:
+  // `platform` must outlive the host. The socket is created at `socket_path`.
+  WorkerHost(const platform::Platform* platform, const daemon::DaemonOptions& options,
+             std::string socket_path);
+  ~WorkerHost();
+
+  WorkerHost(const WorkerHost&) = delete;
+  WorkerHost& operator=(const WorkerHost&) = delete;
+
+  // Starts the core, binds the socket, and spawns the accept thread.
+  Status Start();
+
+  // Graceful shutdown: drain the core (queued work fails fast, in-flight
+  // work is cancelled), wake and join every connection thread, persist.
+  // Idempotent. Returns the drain status.
+  Status Stop();
+
+  // Abrupt death: close the listener and every connection with no drain and
+  // no goodbye, as a crashed worker process would. The core's threads are
+  // still joined (this process lives on) but no response is sent for
+  // anything in flight. Idempotent with Stop().
+  void Kill();
+
+  const std::string& socket_path() const { return socket_path_; }
+  daemon::DaemonStats Stats() const { return core_->StatsSnapshot(); }
+  const std::vector<std::string>& notes() const { return core_->notes(); }
+
+ private:
+  void AcceptLoop();
+  void StopAccepting();
+  void ShutdownConnections();
+  void JoinConnections();
+
+  const platform::Platform* platform_;
+  daemon::DaemonOptions options_;
+  std::string socket_path_;
+
+  std::unique_ptr<daemon::ServerCore> core_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> stop_{false};
+
+  std::mutex conn_mu_;
+  std::set<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  bool stopped_ = false;
+};
+
+}  // namespace icarus::dist
+
+#endif  // ICARUS_DIST_WORKER_HOST_H_

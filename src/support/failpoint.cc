@@ -53,6 +53,7 @@ const std::vector<std::string>& AllSites() {
       kSolverDecision, kCacheLookup,    kCacheInsert,  kPoolTask,
       kExternCall,     kBoogieLower,    kDaemonAccept, kDaemonParse,
       kDaemonEnqueue,  kDaemonDispatch, kDaemonRespond, kDaemonDrain,
+      kDistDispatch,   kDistResult,     kDistWorkerCrash, kDistMerge,
   };
   return kSites;
 }

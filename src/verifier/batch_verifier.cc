@@ -200,6 +200,10 @@ std::string BatchReport::RenderStatsTable() const {
   SampleStats stats = ComputeStats(row_seconds);
   out += StrFormat("per-generator seconds: p50 %.4f, p90 %.4f, p99 %.4f (n=%d)\n", stats.p50,
                    stats.p90, stats.p99, static_cast<int>(row_seconds.size()));
+  if (read_only_cache) {
+    out += "persistent cache: READ-ONLY (advisory lock held elsewhere; stores not "
+           "written back)\n";
+  }
   return out;
 }
 
@@ -316,6 +320,7 @@ JournalRecord RecordFromResult(const GeneratorResult& r, const std::string& fing
   rec.unit_fp = r.unit_fp;
   rec.budget_decisions = r.budget_decisions;
   rec.budget_seconds = r.budget_seconds;
+  rec.worker = r.worker;
   // Flight recorder: journal the first violation's counterexample (the
   // journal row is flat; additional violations stay in memory and in the
   // explain rendering).
@@ -359,6 +364,7 @@ StatusOr<GeneratorResult> ResultFromRecord(const JournalRecord& rec) {
   r.unit_fp = rec.unit_fp;
   r.budget_decisions = rec.budget_decisions;
   r.budget_seconds = rec.budget_seconds;
+  r.worker = rec.worker;
   // Reconstruct the journaled counterexample so a resumed REFUTED row still
   // renders and reports. The witness summary and decision string come back
   // pre-rendered (the journal stores the wire form, not Witness structs);
@@ -450,8 +456,15 @@ StatusOr<BatchReport> BatchVerifier::VerifyAll(const std::vector<std::string>& g
         store_writable = true;
         cache_lock = std::move(lock.lock);
       } else {
+        report.read_only_cache = true;
         report.notes.push_back(
             StrCat(lock.message, "; cache degraded to read-only (stores not written back)"));
+        if (obs::Enabled()) {
+          static obs::Counter* degraded = obs::Registry::Global().GetCounter(
+              "icarus_cache_readonly_degraded_total",
+              "Runs degraded to a read-only cache view by advisory-lock contention");
+          degraded->Add(1);
+        }
       }
       solver_store_path = SolverCacheStorePath(options.cache_dir);
       VerdictStore::LoadResult loaded =

@@ -114,6 +114,9 @@ struct GeneratorResult {
   std::string unit_fp;
   int64_t budget_decisions = 0;
   double budget_seconds = 0.0;
+  // Distributed-fleet attribution (schema v6): which worker earned this
+  // verdict. Empty outside fleet runs.
+  std::string worker;
 };
 
 // Aggregate result of BatchVerifier::VerifyAll.
@@ -125,6 +128,10 @@ struct BatchReport {
   bool interrupted = false;  // BatchOptions::interrupt fired mid-run.
   int num_resumed = 0;  // Rows restored from the resume journal.
   sym::SolverCacheStats cache;  // Zero-valued when the cache was disabled.
+  // Another process held the advisory cache lock: this run warmed from the
+  // persistent stores but could not write them back. Surfaced in --stats and
+  // as an obs counter so fleet tooling can detect silently-cold writers.
+  bool read_only_cache = false;
   // Incremental-mode diagnostics (store load notes, save failures). Rendered
   // after the table; empty outside --incremental runs.
   std::vector<std::string> notes;

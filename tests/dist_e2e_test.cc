@@ -1,0 +1,148 @@
+// Distributed verification end-to-end, against real `icarusd` worker
+// processes spawned by the fleet launcher (src/dist/fleet.h). This is where
+// the acceptance scenarios that in-process hosts cannot prove live:
+//
+//   - a full fleet run over fork/exec'd daemons produces verdicts identical
+//     to a single-process `verify-all` of the same batch, and
+//   - a worker killed dead mid-run by the `dist-worker-crash` fail point
+//     (action=abort — a real SIGABRT, a real broken socket) costs requeues,
+//     never verdicts.
+//
+// Also drives the `icarus verify-all --workers` CLI as a real subprocess.
+// Registered RUN_SERIAL in ctest: each case forks a multi-process fleet, and
+// two fleets racing one test machine would measure nothing but contention.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/dist/coordinator.h"
+#include "src/dist/fleet.h"
+#include "src/platform/platform.h"
+#include "src/verifier/batch_verifier.h"
+
+#ifdef ICARUS_DAEMON_PATH
+
+namespace icarus::dist {
+namespace {
+
+const platform::Platform* SharedPlatform() {
+  static const platform::Platform* platform = [] {
+    auto loaded = platform::Platform::Load();
+    if (!loaded.ok()) {
+      return static_cast<const platform::Platform*>(nullptr);
+    }
+    return static_cast<const platform::Platform*>(loaded.take().release());
+  }();
+  return platform;
+}
+
+std::vector<std::string> AllGenerators() {
+  std::vector<std::string> names;
+  for (const auto* fn : SharedPlatform()->module().Generators()) {
+    names.push_back(fn->name);
+  }
+  return names;
+}
+
+// The single-process reference verdicts the fleet must reproduce.
+std::map<std::string, verifier::Outcome> ReferenceVerdicts() {
+  verifier::BatchVerifier verifier(SharedPlatform());
+  auto report = verifier.VerifyEverything();
+  std::map<std::string, verifier::Outcome> verdicts;
+  if (report.ok()) {
+    for (const verifier::GeneratorResult& r : report.value().results) {
+      verdicts[r.generator] = r.outcome;
+    }
+  }
+  return verdicts;
+}
+
+FleetOptions BaseFleet(int workers) {
+  FleetOptions options;
+  options.workers = workers;
+  options.worker_bin = ICARUS_DAEMON_PATH;
+  return options;
+}
+
+TEST(DistE2E, FleetVerdictsAreIdenticalToASingleProcessRun) {
+  ASSERT_NE(SharedPlatform(), nullptr);
+  std::map<std::string, verifier::Outcome> reference = ReferenceVerdicts();
+  ASSERT_FALSE(reference.empty());
+
+  StatusOr<std::unique_ptr<Fleet>> fleet = Fleet::Spawn(BaseFleet(2));
+  ASSERT_TRUE(fleet.ok()) << fleet.status().message();
+
+  Coordinator coordinator(CoordinatorOptions{});
+  std::vector<std::string> generators = AllGenerators();
+  StatusOr<FleetReport> run = coordinator.Run(generators, fleet.value()->endpoints());
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  fleet.value()->Shutdown();
+
+  const FleetReport& report = run.value();
+  ASSERT_EQ(report.batch.results.size(), generators.size());
+  for (const verifier::GeneratorResult& r : report.batch.results) {
+    ASSERT_NE(reference.find(r.generator), reference.end()) << r.generator;
+    EXPECT_EQ(r.outcome, reference.at(r.generator))
+        << r.generator << ": fleet said " << verifier::OutcomeName(r.outcome);
+  }
+  int attributed = 0;
+  for (const WorkerAttribution& w : report.workers) {
+    EXPECT_FALSE(w.died) << w.name << ": " << w.detail;
+    attributed += w.verdicts;
+  }
+  EXPECT_EQ(attributed, static_cast<int>(generators.size()));
+}
+
+// The kill-a-worker acceptance test: w0 is armed to SIGABRT itself on its
+// 3rd claimed unit (a real process death — broken connection, no goodbye,
+// in-flight units unaccounted for). The coordinator must requeue what w0
+// never delivered and finish with verdicts identical to the single-process
+// reference.
+TEST(DistE2E, WorkerKilledMidRunCostsRequeuesNeverVerdicts) {
+  ASSERT_NE(SharedPlatform(), nullptr);
+  std::map<std::string, verifier::Outcome> reference = ReferenceVerdicts();
+  ASSERT_FALSE(reference.empty());
+
+  FleetOptions options = BaseFleet(2);
+  options.worker_fail_specs = {"after=dist-worker-crash:2,action=abort"};
+  StatusOr<std::unique_ptr<Fleet>> fleet = Fleet::Spawn(options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().message();
+
+  Coordinator coordinator(CoordinatorOptions{});
+  std::vector<std::string> generators = AllGenerators();
+  StatusOr<FleetReport> run = coordinator.Run(generators, fleet.value()->endpoints());
+  ASSERT_TRUE(run.ok()) << run.status().message();
+
+  // The armed worker really died (the process is gone, not just drained).
+  EXPECT_FALSE(fleet.value()->WorkerAlive(0));
+  fleet.value()->Shutdown();
+
+  const FleetReport& report = run.value();
+  ASSERT_EQ(report.batch.results.size(), generators.size());
+  for (const verifier::GeneratorResult& r : report.batch.results) {
+    EXPECT_EQ(r.outcome, reference.at(r.generator))
+        << r.generator << ": fleet said " << verifier::OutcomeName(r.outcome)
+        << " after the worker kill";
+  }
+  EXPECT_TRUE(report.workers[0].died) << report.workers[0].detail;
+  // w0 crashed while holding its 3rd unit: at least that unit was requeued.
+  EXPECT_GE(report.requeues, 1);
+  EXPECT_LE(report.workers[0].verdicts, 2);
+}
+
+#ifdef ICARUS_CLI_PATH
+TEST(DistE2E, CliVerifyAllWorkersFlagRunsAFleetAndExitsZero) {
+  std::string fleet_dir = ::testing::TempDir() + "/dist_e2e_cli_fleet";
+  std::string cmd = std::string(ICARUS_CLI_PATH) + " verify-all --workers 2 --worker-bin " +
+                    ICARUS_DAEMON_PATH + " --fleet-dir " + fleet_dir + " >/dev/null 2>&1";
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
+}
+#endif  // ICARUS_CLI_PATH
+
+}  // namespace
+}  // namespace icarus::dist
+
+#endif  // ICARUS_DAEMON_PATH

@@ -1,0 +1,470 @@
+// Distributed verification suite, in-process: the claim/collect/steal/
+// publish protocol ops directly against a ServerCore, then the full
+// coordinator/worker path over real Unix sockets via WorkerHost — dispatch,
+// work stealing, requeue after worker death, staging publish + merge — all
+// deterministic, no fork/exec (the spawned-daemon path is dist_e2e_test.cc).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/daemon/protocol.h"
+#include "src/daemon/server.h"
+#include "src/dist/coordinator.h"
+#include "src/dist/worker_host.h"
+#include "src/platform/platform.h"
+#include "src/support/failpoint.h"
+#include "src/support/str_util.h"
+#include "src/verifier/journal.h"
+#include "src/verifier/verdict_store.h"
+
+namespace icarus::dist {
+namespace {
+
+using daemon::DaemonOptions;
+using daemon::Request;
+using daemon::Response;
+using daemon::ServerCore;
+
+// Loading the platform dominates test time; share one instance.
+const platform::Platform* SharedPlatform() {
+  static const platform::Platform* platform = [] {
+    auto loaded = platform::Platform::Load();
+    if (!loaded.ok()) {
+      return static_cast<const platform::Platform*>(nullptr);
+    }
+    return static_cast<const platform::Platform*>(loaded.take().release());
+  }();
+  return platform;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Wide-open admission, as the fleet launcher configures workers: the
+// coordinator paces itself, so per-client token buckets stay out of the way.
+DaemonOptions WorkerOptions() {
+  DaemonOptions options;
+  options.jobs = 1;
+  options.admission.queue_limit = 1024;
+  options.admission.rate_per_sec = 1e6;
+  options.admission.burst = 1e6;
+  return options;
+}
+
+Request Claim(const std::string& generator) {
+  Request req;
+  req.op = daemon::kOpClaim;
+  req.generator = generator;
+  req.client = "test-coordinator";
+  return req;
+}
+
+Request Collect(double deadline_ms = 2000) {
+  Request req;
+  req.op = daemon::kOpCollect;
+  req.deadline_ms = deadline_ms;
+  req.client = "test-coordinator";
+  return req;
+}
+
+class DistProtocolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_NE(SharedPlatform(), nullptr) << "platform load failed";
+    failpoint::DisarmAll();
+  }
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(DistProtocolTest, ClaimThenCollectDeliversEveryVerdictExactlyOnce) {
+  ServerCore core(SharedPlatform(), WorkerOptions());
+  ASSERT_TRUE(core.Start().ok());
+
+  const std::vector<std::string> units = {
+      "tryAttachCompareInt32", "bug1451976_buggy", "tryAttachInt32Add",
+      "tryAttachStringLength"};
+  for (const std::string& unit : units) {
+    Response resp = core.Execute(Claim(unit));
+    ASSERT_EQ(resp.status, daemon::kStatusOk) << resp.error;
+  }
+
+  std::set<std::string> collected;
+  while (collected.size() < units.size()) {
+    Response resp = core.Execute(Collect());
+    ASSERT_EQ(resp.status, daemon::kStatusOk) << resp.error;
+    ASSERT_FALSE(resp.pending) << "worker never finished the claimed units";
+    EXPECT_TRUE(collected.insert(resp.generator).second)
+        << resp.generator << " delivered twice";
+    if (resp.generator == "bug1451976_buggy") {
+      EXPECT_EQ(resp.outcome, "COUNTEREXAMPLE");
+    } else {
+      EXPECT_EQ(resp.outcome, "VERIFIED");
+    }
+  }
+  EXPECT_EQ(collected, std::set<std::string>(units.begin(), units.end()));
+
+  daemon::DaemonStats stats = core.StatsSnapshot();
+  EXPECT_EQ(stats.dist_claimed, 4);
+  EXPECT_EQ(stats.dist_completed, 4);
+
+  core.BeginDrain();
+  EXPECT_TRUE(core.FinishDrain().ok());
+}
+
+TEST_F(DistProtocolTest, CollectAnswersPendingOnTimeoutAndShuttingDownOnDrain) {
+  ServerCore core(SharedPlatform(), WorkerOptions());
+  ASSERT_TRUE(core.Start().ok());
+
+  // Nothing claimed: a short collect times out honestly.
+  Response idle = core.Execute(Collect(/*deadline_ms=*/20));
+  EXPECT_EQ(idle.status, daemon::kStatusOk);
+  EXPECT_TRUE(idle.pending);
+
+  core.BeginDrain();
+  Response drained = core.Execute(Collect(/*deadline_ms=*/20));
+  EXPECT_EQ(drained.status, daemon::kStatusShuttingDown);
+  EXPECT_TRUE(core.FinishDrain().ok());
+}
+
+TEST_F(DistProtocolTest, StealAndCollectPartitionTheClaimedUnitsExactly) {
+  ServerCore core(SharedPlatform(), WorkerOptions());
+  ASSERT_TRUE(core.Start().ok());
+
+  const std::vector<std::string> units = {
+      "tryAttachInt32Add",  "tryAttachInt32Sub",    "tryAttachInt32Mul",
+      "tryAttachInt32Div",  "tryAttachInt32Mod",    "tryAttachInt32Bitwise",
+      "tryAttachInt32Not",  "tryAttachStringLength"};
+  for (const std::string& unit : units) {
+    ASSERT_EQ(core.Execute(Claim(unit)).status, daemon::kStatusOk);
+  }
+
+  // Shed everything still queued. The single worker thread has at most one
+  // unit in flight, so at least |units| - 2 come back (one in flight, one
+  // possibly already done) — and never a unit that already started.
+  Request steal;
+  steal.op = daemon::kOpSteal;
+  steal.count = static_cast<int64_t>(units.size());
+  steal.client = "test-coordinator";
+  Response shed = core.Execute(steal);
+  ASSERT_EQ(shed.status, daemon::kStatusOk);
+  std::set<std::string> stolen;
+  for (const std::string& unit : Split(shed.units, ',')) {
+    if (!unit.empty()) {
+      EXPECT_TRUE(stolen.insert(unit).second) << unit << " stolen twice";
+    }
+  }
+  EXPECT_EQ(static_cast<int64_t>(stolen.size()), shed.count);
+
+  // Whatever was not stolen still completes; together they cover every
+  // claimed unit exactly once — no unit is both stolen and executed, none
+  // is lost.
+  std::set<std::string> collected;
+  while (collected.size() + stolen.size() < units.size()) {
+    Response resp = core.Execute(Collect());
+    ASSERT_EQ(resp.status, daemon::kStatusOk);
+    ASSERT_FALSE(resp.pending);
+    EXPECT_TRUE(collected.insert(resp.generator).second);
+  }
+  for (const std::string& unit : stolen) {
+    EXPECT_EQ(collected.count(unit), 0u) << unit << " both stolen and executed";
+  }
+  std::set<std::string> all = stolen;
+  all.insert(collected.begin(), collected.end());
+  EXPECT_EQ(all, std::set<std::string>(units.begin(), units.end()));
+  EXPECT_EQ(core.StatsSnapshot().dist_stolen, shed.count);
+
+  core.BeginDrain();
+  EXPECT_TRUE(core.FinishDrain().ok());
+}
+
+TEST_F(DistProtocolTest, ClaimBeyondTheDistQueueLimitShedsWithRetryHint) {
+  DaemonOptions options = WorkerOptions();
+  options.dist_queue_limit = 0;  // Every claim finds the queue "full".
+  ServerCore core(SharedPlatform(), options);
+  ASSERT_TRUE(core.Start().ok());
+
+  Response resp = core.Execute(Claim("tryAttachInt32Add"));
+  EXPECT_EQ(resp.status, daemon::kStatusOverloaded);
+  EXPECT_GT(resp.retry_after_ms, 0);
+
+  core.BeginDrain();
+  EXPECT_TRUE(core.FinishDrain().ok());
+}
+
+TEST_F(DistProtocolTest, PublishWithoutStagingModeIsABadRequest) {
+  ServerCore core(SharedPlatform(), WorkerOptions());
+  ASSERT_TRUE(core.Start().ok());
+  Request req;
+  req.op = daemon::kOpPublish;
+  Response resp = core.Execute(req);
+  EXPECT_EQ(resp.status, daemon::kStatusBadRequest);
+  core.BeginDrain();
+  EXPECT_TRUE(core.FinishDrain().ok());
+}
+
+// --- Coordinator over in-process worker hosts ----------------------------
+
+std::vector<std::string> AllGenerators() {
+  std::vector<std::string> names;
+  for (const auto* fn : SharedPlatform()->module().Generators()) {
+    names.push_back(fn->name);
+  }
+  return names;
+}
+
+int CountUnexpected(const verifier::BatchReport& report) {
+  int unexpected = 0;
+  for (const verifier::GeneratorResult& r : report.results) {
+    bool expect_refuted = r.generator.find("_buggy") != std::string::npos;
+    bool expected = expect_refuted
+                        ? r.outcome == verifier::Outcome::kRefuted
+                        : r.outcome == verifier::Outcome::kVerified ||
+                              r.outcome == verifier::Outcome::kCachedSafe;
+    unexpected += expected ? 0 : 1;
+  }
+  return unexpected;
+}
+
+class DistCoordinatorTest : public DistProtocolTest {};
+
+TEST_F(DistCoordinatorTest, ShardsTheBatchAcrossWorkersWithFullAttribution) {
+  WorkerHost w0(SharedPlatform(), WorkerOptions(), TempPath("dist_coord_w0.sock"));
+  WorkerHost w1(SharedPlatform(), WorkerOptions(), TempPath("dist_coord_w1.sock"));
+  ASSERT_TRUE(w0.Start().ok());
+  ASSERT_TRUE(w1.Start().ok());
+
+  CoordinatorOptions options;
+  options.collect_deadline_ms = 50;
+  Coordinator coordinator(options);
+  std::vector<std::string> generators = AllGenerators();
+  StatusOr<FleetReport> run = coordinator.Run(
+      generators, {{"w0", w0.socket_path(), "", ""}, {"w1", w1.socket_path(), "", ""}});
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  const FleetReport& report = run.value();
+
+  ASSERT_EQ(report.batch.results.size(), generators.size());
+  EXPECT_EQ(CountUnexpected(report.batch), 0);
+  // Rows come back in input order regardless of which worker ran them.
+  for (size_t i = 0; i < generators.size(); ++i) {
+    EXPECT_EQ(report.batch.results[i].generator, generators[i]);
+  }
+  // Every verdict is attributed; both workers lived.
+  int attributed = 0;
+  for (const WorkerAttribution& w : report.workers) {
+    EXPECT_FALSE(w.died) << w.name << ": " << w.detail;
+    attributed += w.verdicts;
+  }
+  EXPECT_EQ(attributed, static_cast<int>(generators.size()));
+  EXPECT_EQ(report.requeues, 0);
+
+  EXPECT_TRUE(w0.Stop().ok());
+  EXPECT_TRUE(w1.Stop().ok());
+}
+
+TEST_F(DistCoordinatorTest, DeadWorkerAtStartupDegradesToTheSurvivor) {
+  WorkerHost w0(SharedPlatform(), WorkerOptions(), TempPath("dist_dead_w0.sock"));
+  WorkerHost w1(SharedPlatform(), WorkerOptions(), TempPath("dist_dead_w1.sock"));
+  ASSERT_TRUE(w0.Start().ok());
+  ASSERT_TRUE(w1.Start().ok());
+  // w1 dies before the run: its driver sees a broken connection immediately
+  // and every unit lands on w0.
+  w1.Kill();
+
+  Coordinator coordinator(CoordinatorOptions{});
+  std::vector<std::string> generators = AllGenerators();
+  StatusOr<FleetReport> run = coordinator.Run(
+      generators, {{"w0", w0.socket_path(), "", ""}, {"w1", w1.socket_path(), "", ""}});
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  const FleetReport& report = run.value();
+
+  EXPECT_EQ(CountUnexpected(report.batch), 0);
+  EXPECT_FALSE(report.workers[0].died);
+  EXPECT_TRUE(report.workers[1].died);
+  EXPECT_EQ(report.workers[0].verdicts, static_cast<int>(generators.size()));
+  EXPECT_EQ(report.workers[1].verdicts, 0);
+
+  EXPECT_TRUE(w0.Stop().ok());
+}
+
+TEST_F(DistCoordinatorTest, MidRunWorkerDeathRequeuesInFlightUnitsToTheSurvivor) {
+  WorkerHost w0(SharedPlatform(), WorkerOptions(), TempPath("dist_kill_w0.sock"));
+  WorkerHost w1(SharedPlatform(), WorkerOptions(), TempPath("dist_kill_w1.sock"));
+  ASSERT_TRUE(w0.Start().ok());
+  ASSERT_TRUE(w1.Start().ok());
+
+  // Kill w1 shortly after dispatch begins. Whatever it had claimed but not
+  // delivered must be requeued to w0; every unit still gets its verdict.
+  std::thread killer([&w1] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    w1.Kill();
+  });
+
+  Coordinator coordinator(CoordinatorOptions{});
+  std::vector<std::string> generators = AllGenerators();
+  StatusOr<FleetReport> run = coordinator.Run(
+      generators, {{"w0", w0.socket_path(), "", ""}, {"w1", w1.socket_path(), "", ""}});
+  killer.join();
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  const FleetReport& report = run.value();
+
+  // The acceptance bar: verdicts identical to a single-process run — every
+  // generator resolved, every outcome the expected one, nothing lost to the
+  // death and nothing duplicated.
+  ASSERT_EQ(report.batch.results.size(), generators.size());
+  EXPECT_EQ(CountUnexpected(report.batch), 0);
+  int attributed = 0;
+  for (const WorkerAttribution& w : report.workers) {
+    attributed += w.verdicts;
+  }
+  EXPECT_EQ(attributed, static_cast<int>(generators.size()));
+
+  EXPECT_TRUE(w0.Stop().ok());
+}
+
+TEST_F(DistCoordinatorTest, InjectedDispatchAndResultFaultsBurnOnlyARequeue) {
+  WorkerHost w0(SharedPlatform(), WorkerOptions(), TempPath("dist_fault_w0.sock"));
+  ASSERT_TRUE(w0.Start().ok());
+
+  // One dispatch fault and one result fault, each exactly once: both model
+  // coordinator-side message loss and must cost a bounded requeue, not the
+  // verdict.
+  ASSERT_TRUE(failpoint::Arm("at=dist-dispatch:1").ok());
+  ASSERT_TRUE(failpoint::Arm("at=dist-result:1").ok());
+
+  Coordinator coordinator(CoordinatorOptions{});
+  std::vector<std::string> generators = {"tryAttachCompareInt32", "tryAttachInt32Add",
+                                         "bug1451976_buggy", "tryAttachStringLength"};
+  StatusOr<FleetReport> run =
+      coordinator.Run(generators, {{"w0", w0.socket_path(), "", ""}});
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  const FleetReport& report = run.value();
+
+  EXPECT_EQ(CountUnexpected(report.batch), 0);
+  EXPECT_GE(report.requeues, 2);
+
+  EXPECT_TRUE(w0.Stop().ok());
+}
+
+TEST_F(DistCoordinatorTest, UnitThatExhaustsItsRequeueBudgetResolvesInternalError) {
+  WorkerHost w0(SharedPlatform(), WorkerOptions(), TempPath("dist_budget_w0.sock"));
+  ASSERT_TRUE(w0.Start().ok());
+
+  // Every dispatch of the first unit faults; with max_requeues=2 it must
+  // resolve INTERNAL_ERROR after 3 failed dispatches while the rest of the
+  // batch is unharmed.
+  ASSERT_TRUE(failpoint::Arm("after=dist-dispatch:0").ok());
+
+  CoordinatorOptions options;
+  options.max_requeues = 2;
+  Coordinator coordinator(options);
+  StatusOr<FleetReport> run =
+      coordinator.Run({"tryAttachCompareInt32"}, {{"w0", w0.socket_path(), "", ""}});
+  failpoint::DisarmAll();
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  const FleetReport& report = run.value();
+
+  ASSERT_EQ(report.batch.results.size(), 1u);
+  EXPECT_EQ(report.batch.results[0].outcome, verifier::Outcome::kInternalError);
+  EXPECT_NE(report.batch.results[0].error.find("failed dispatches"), std::string::npos)
+      << report.batch.results[0].error;
+
+  EXPECT_TRUE(w0.Stop().ok());
+}
+
+TEST_F(DistCoordinatorTest, StagingWorkersPublishAndTheMergeWarmsTheSharedStore) {
+  std::string cache_dir = TempPath("dist_staging_cache");
+  std::string s0 = TempPath("dist_staging_w0");
+  std::string s1 = TempPath("dist_staging_w1");
+  std::string journal = TempPath("dist_staging_fleet.jsonl");
+  std::remove(journal.c_str());
+  // TempDir persists across invocations: a store left by a previous run
+  // would turn the cold fleet below into a warm one.
+  for (const std::string& dir : {cache_dir, s0, s1}) {
+    std::remove(verifier::VerdictStorePath(dir).c_str());
+    std::remove(verifier::SolverCacheStorePath(dir).c_str());
+    std::remove((dir + "/lock").c_str());
+  }
+
+  DaemonOptions base = WorkerOptions();
+  base.incremental = true;
+  base.cache_dir = cache_dir;
+  DaemonOptions o0 = base;
+  o0.staging_dir = s0;
+  o0.journal_path = TempPath("dist_staging_w0.journal.jsonl");
+  DaemonOptions o1 = base;
+  o1.staging_dir = s1;
+  o1.journal_path = TempPath("dist_staging_w1.journal.jsonl");
+  std::remove(o0.journal_path.c_str());
+  std::remove(o1.journal_path.c_str());
+
+  std::vector<std::string> generators = AllGenerators();
+  size_t passes = 0;
+  {
+    WorkerHost w0(SharedPlatform(), o0, TempPath("dist_staging_w0.sock"));
+    WorkerHost w1(SharedPlatform(), o1, TempPath("dist_staging_w1.sock"));
+    ASSERT_TRUE(w0.Start().ok());
+    ASSERT_TRUE(w1.Start().ok());
+
+    CoordinatorOptions options;
+    options.cache_dir = cache_dir;
+    options.journal_path = journal;
+    options.fingerprint = SharedPlatform()->Fingerprint();
+    Coordinator coordinator(options);
+    StatusOr<FleetReport> run = coordinator.Run(
+        generators, {{"w0", w0.socket_path(), s0, o0.journal_path},
+                     {"w1", w1.socket_path(), s1, o1.journal_path}});
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    const FleetReport& report = run.value();
+
+    EXPECT_EQ(CountUnexpected(report.batch), 0);
+    EXPECT_TRUE(report.workers[0].published);
+    EXPECT_TRUE(report.workers[1].published);
+    EXPECT_TRUE(report.merge.merged);
+    EXPECT_GT(report.merge.verdicts_applied, 0);
+    for (const verifier::GeneratorResult& r : report.batch.results) {
+      passes += r.outcome == verifier::Outcome::kVerified ? 1 : 0;
+    }
+    EXPECT_EQ(report.merge.verdicts_applied, static_cast<int>(passes));
+
+    EXPECT_TRUE(w0.Stop().ok());
+    EXPECT_TRUE(w1.Stop().ok());
+  }
+
+  // The fleet journal carries per-worker attribution for every row.
+  StatusOr<std::vector<verifier::JournalRecord>> records =
+      verifier::ReadJournal(journal, SharedPlatform()->Fingerprint());
+  ASSERT_TRUE(records.ok()) << records.status().message();
+  ASSERT_EQ(records.value().size(), generators.size());
+  for (const verifier::JournalRecord& rec : records.value()) {
+    EXPECT_TRUE(rec.worker == "w0" || rec.worker == "w1") << rec.generator;
+  }
+
+  // Second fleet on the merged store: everything the first run passed is now
+  // CACHED_SAFE on the workers' shared snapshot — no re-verification.
+  {
+    WorkerHost w0(SharedPlatform(), o0, TempPath("dist_staging2_w0.sock"));
+    ASSERT_TRUE(w0.Start().ok());
+    CoordinatorOptions options;
+    options.cache_dir = cache_dir;
+    Coordinator coordinator(options);
+    StatusOr<FleetReport> run =
+        coordinator.Run(generators, {{"w0", w0.socket_path(), s0, ""}});
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    size_t cached = 0;
+    for (const verifier::GeneratorResult& r : run.value().batch.results) {
+      cached += r.outcome == verifier::Outcome::kCachedSafe ? 1 : 0;
+    }
+    EXPECT_EQ(cached, passes);
+    EXPECT_EQ(CountUnexpected(run.value().batch), 0);
+    EXPECT_TRUE(w0.Stop().ok());
+  }
+}
+
+}  // namespace
+}  // namespace icarus::dist

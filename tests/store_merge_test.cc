@@ -1,0 +1,234 @@
+// Cross-store merge suite (src/dist/store_merge.h): the crash-safe fold of
+// per-worker staging stores back into the shared `.icarus-cache/` after a
+// distributed fleet run. Proves the merge rule's edge cases directly
+// (fingerprint change wins, strictly-larger budget wins, incomparable
+// budgets do not), and the containment properties end-to-end: a corrupt
+// staging store is skipped with a warning and never poisons the shared
+// store, re-merging is a no-op (idempotence), and a held cache lock skips
+// the merge wholesale instead of racing the holder.
+#include "src/dist/store_merge.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <sys/stat.h>
+
+#include "src/support/failpoint.h"
+#include "src/support/file_lock.h"
+#include "src/sym/cache_store.h"
+#include "src/sym/solver_cache.h"
+#include "src/verifier/verdict_store.h"
+
+namespace icarus::dist {
+namespace {
+
+using verifier::JournalRecord;
+using verifier::VerdictStore;
+
+JournalRecord Pass(const std::string& generator, const std::string& unit_fp,
+                   int64_t budget_decisions, double budget_seconds = 0.0) {
+  JournalRecord rec;
+  rec.platform = verifier::kVerifierEpoch;
+  rec.generator = generator;
+  rec.outcome = "VERIFIED";
+  rec.unit_fp = unit_fp;
+  rec.budget_decisions = budget_decisions;
+  rec.budget_seconds = budget_seconds;
+  return rec;
+}
+
+// A fresh per-test directory tree: <tmp>/<name>/{shared,w0,w1}.
+struct MergeDirs {
+  explicit MergeDirs(const std::string& name) {
+    root = ::testing::TempDir() + "/" + name;
+    shared = root + "/shared";
+    w0 = root + "/w0";
+    w1 = root + "/w1";
+    for (const std::string& dir : {root, shared, w0, w1}) {
+      ::mkdir(dir.c_str(), 0755);
+    }
+  }
+  std::string root, shared, w0, w1;
+};
+
+void WriteStore(const std::string& dir, const std::vector<JournalRecord>& records) {
+  VerdictStore store;
+  for (const JournalRecord& rec : records) {
+    store.Put(rec);
+  }
+  ASSERT_TRUE(store.Save(verifier::VerdictStorePath(dir)).ok());
+}
+
+size_t LoadCount(const std::string& dir) {
+  VerdictStore store;
+  return store.Load(verifier::VerdictStorePath(dir), verifier::kVerifierEpoch).entries;
+}
+
+TEST(MergeWinsRule, ChangedFingerprintAlwaysWins) {
+  // The staging worker re-verified a unit that changed since the shared
+  // snapshot — even under a *smaller* budget its verdict is the live one.
+  EXPECT_TRUE(MergeWins(Pass("g", "fp-new", 100), Pass("g", "fp-old", 100000)));
+}
+
+TEST(MergeWinsRule, StrictlyLargerBudgetWins) {
+  // Both components >=, at least one strictly greater.
+  EXPECT_TRUE(MergeWins(Pass("g", "fp", 2000, 1.0), Pass("g", "fp", 1000, 1.0)));
+  EXPECT_TRUE(MergeWins(Pass("g", "fp", 1000, 2.0), Pass("g", "fp", 1000, 1.0)));
+  EXPECT_TRUE(MergeWins(Pass("g", "fp", 2000, 2.0), Pass("g", "fp", 1000, 1.0)));
+}
+
+TEST(MergeWinsRule, EqualOrSmallerOrIncomparableBudgetKeepsShared) {
+  // Identical key: nothing to gain, the shared record stays.
+  EXPECT_FALSE(MergeWins(Pass("g", "fp", 1000, 1.0), Pass("g", "fp", 1000, 1.0)));
+  // Strictly smaller.
+  EXPECT_FALSE(MergeWins(Pass("g", "fp", 500, 1.0), Pass("g", "fp", 1000, 1.0)));
+  // Incomparable (one component larger, the other smaller): not a win in
+  // either direction — that is what makes the rule a partial order and the
+  // merge order-independent.
+  EXPECT_FALSE(MergeWins(Pass("g", "fp", 2000, 0.5), Pass("g", "fp", 1000, 1.0)));
+  EXPECT_FALSE(MergeWins(Pass("g", "fp", 1000, 1.0), Pass("g", "fp", 2000, 0.5)));
+}
+
+TEST(MergeWinsRule, ZeroBudgetComponentMeansUnbounded) {
+  // 0 decisions = unbounded, which dominates any finite budget...
+  EXPECT_TRUE(MergeWins(Pass("g", "fp", 0, 1.0), Pass("g", "fp", 1000000, 1.0)));
+  // ...and is not beaten by a larger finite one.
+  EXPECT_FALSE(MergeWins(Pass("g", "fp", 1000000, 1.0), Pass("g", "fp", 0, 1.0)));
+  // Unbounded vs unbounded is a tie.
+  EXPECT_FALSE(MergeWins(Pass("g", "fp", 0, 0.0), Pass("g", "fp", 0, 0.0)));
+}
+
+TEST(MergeStoresTest, AppliesWinnersAndSkipsDominatedRecords) {
+  MergeDirs dirs("merge_basic");
+  WriteStore(dirs.shared, {Pass("alpha", "fp-a", 1000), Pass("beta", "fp-b", 1000)});
+  // w0: alpha re-earned under a bigger budget (wins), beta under the same
+  // key (dominated), gamma is new.
+  WriteStore(dirs.w0, {Pass("alpha", "fp-a", 2000), Pass("beta", "fp-b", 1000),
+                       Pass("gamma", "fp-g", 1000)});
+
+  MergeOptions options;
+  options.cache_dir = dirs.shared;
+  options.staging_dirs = {dirs.w0};
+  StatusOr<MergeReport> merged = MergeStores(options);
+  ASSERT_TRUE(merged.ok()) << merged.status().message();
+  EXPECT_TRUE(merged.value().merged);
+  EXPECT_EQ(merged.value().verdicts_applied, 2);  // alpha + gamma.
+  EXPECT_EQ(merged.value().verdicts_skipped, 1);  // beta.
+  EXPECT_TRUE(merged.value().verdicts_saved);
+
+  VerdictStore after;
+  after.Load(verifier::VerdictStorePath(dirs.shared), verifier::kVerifierEpoch);
+  ASSERT_EQ(after.size(), 3u);
+  EXPECT_EQ(after.entries().at("alpha").budget_decisions, 2000);
+  EXPECT_NE(after.entries().find("gamma"), after.entries().end());
+}
+
+TEST(MergeStoresTest, CorruptStagingStoreIsSkippedWithWarningAndCannotPoison) {
+  MergeDirs dirs("merge_corrupt");
+  WriteStore(dirs.shared, {Pass("alpha", "fp-a", 1000)});
+  // w0 is garbage; w1 is healthy. The merge must skip w0 loudly, apply w1,
+  // and leave the shared store well-formed.
+  {
+    std::ofstream out(verifier::VerdictStorePath(dirs.w0), std::ios::binary);
+    out << "{\"this is\": not json\nnor this line\n";
+  }
+  WriteStore(dirs.w1, {Pass("delta", "fp-d", 1000)});
+
+  MergeOptions options;
+  options.cache_dir = dirs.shared;
+  options.staging_dirs = {dirs.w0, dirs.w1};
+  StatusOr<MergeReport> merged = MergeStores(options);
+  ASSERT_TRUE(merged.ok()) << merged.status().message();
+  EXPECT_TRUE(merged.value().merged);
+  EXPECT_EQ(merged.value().staging_stores_skipped, 1);
+  EXPECT_EQ(merged.value().verdicts_applied, 1);
+  bool warned = false;
+  for (const std::string& note : merged.value().notes) {
+    warned = warned || note.find("warning") != std::string::npos;
+  }
+  EXPECT_TRUE(warned) << "corrupt staging store skipped silently";
+
+  // The shared store still loads cleanly and holds exactly alpha + delta.
+  VerdictStore after;
+  VerdictStore::LoadResult loaded =
+      after.Load(verifier::VerdictStorePath(dirs.shared), verifier::kVerifierEpoch);
+  EXPECT_TRUE(loaded.note.empty()) << loaded.note;
+  EXPECT_EQ(after.size(), 2u);
+}
+
+TEST(MergeStoresTest, MergeIsIdempotent) {
+  MergeDirs dirs("merge_idem");
+  WriteStore(dirs.shared, {Pass("alpha", "fp-a", 1000)});
+  WriteStore(dirs.w0, {Pass("alpha", "fp-a", 2000), Pass("beta", "fp-b", 1000)});
+
+  MergeOptions options;
+  options.cache_dir = dirs.shared;
+  options.staging_dirs = {dirs.w0};
+  StatusOr<MergeReport> first = MergeStores(options);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().verdicts_applied, 2);
+  ASSERT_EQ(LoadCount(dirs.shared), 2u);
+
+  // Same staging dirs again: everything is now dominated; nothing is
+  // rewritten.
+  StatusOr<MergeReport> second = MergeStores(options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().merged);
+  EXPECT_EQ(second.value().verdicts_applied, 0);
+  EXPECT_EQ(second.value().verdicts_skipped, 2);
+  EXPECT_FALSE(second.value().verdicts_saved);
+  EXPECT_EQ(LoadCount(dirs.shared), 2u);
+}
+
+TEST(MergeStoresTest, HeldCacheLockSkipsTheMergeWholesale) {
+  MergeDirs dirs("merge_locked");
+  WriteStore(dirs.shared, {Pass("alpha", "fp-a", 1000)});
+  WriteStore(dirs.w0, {Pass("beta", "fp-b", 1000)});
+
+  // Pose as a live incremental writer holding the advisory lock.
+  FileLock::Result holder = FileLock::TryExclusive(dirs.shared + "/lock");
+  ASSERT_EQ(holder.state, FileLock::State::kAcquired) << holder.message;
+
+  MergeOptions options;
+  options.cache_dir = dirs.shared;
+  options.staging_dirs = {dirs.w0};
+  StatusOr<MergeReport> merged = MergeStores(options);
+  ASSERT_TRUE(merged.ok()) << merged.status().message();
+  EXPECT_FALSE(merged.value().merged);
+  EXPECT_EQ(merged.value().verdicts_applied, 0);
+  ASSERT_FALSE(merged.value().notes.empty());
+  // The shared store is untouched and the staging dir survives for a retry.
+  EXPECT_EQ(LoadCount(dirs.shared), 1u);
+  EXPECT_EQ(LoadCount(dirs.w0), 1u);
+}
+
+TEST(MergeStoresTest, MergeCrashBeforeSaveLosesNothingDurable) {
+  MergeDirs dirs("merge_crash");
+  WriteStore(dirs.shared, {Pass("alpha", "fp-a", 1000)});
+  WriteStore(dirs.w0, {Pass("beta", "fp-b", 1000)});
+
+  // Arm the dist-merge fail point: the merge dies after folding in memory
+  // but before the save step.
+  ASSERT_TRUE(failpoint::Arm("at=dist-merge:1").ok());
+  bool threw = false;
+  try {
+    MergeStores({dirs.shared, {dirs.w0}, 64});
+  } catch (const std::exception&) {
+    threw = true;
+  }
+  failpoint::DisarmAll();
+  EXPECT_TRUE(threw) << "fail point did not fire";
+
+  // The shared store is exactly as durable as before the crash, and the
+  // retry completes the merge.
+  EXPECT_EQ(LoadCount(dirs.shared), 1u);
+  StatusOr<MergeReport> retried = MergeStores({dirs.shared, {dirs.w0}, 64});
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(retried.value().verdicts_applied, 1);
+  EXPECT_EQ(LoadCount(dirs.shared), 2u);
+}
+
+}  // namespace
+}  // namespace icarus::dist

@@ -29,6 +29,7 @@
 //                                    verify-all. See `icarus client --help`.
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -37,6 +38,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -44,6 +46,8 @@
 
 #include "src/boogie/boogie_dce.h"
 #include "src/daemon/protocol.h"
+#include "src/dist/coordinator.h"
+#include "src/dist/fleet.h"
 #include "src/boogie/boogie_lower.h"
 #include "src/boogie/boogie_printer.h"
 #include "src/extract/cpp_backend.h"
@@ -53,6 +57,7 @@
 #include "src/obs/trace.h"
 #include "src/support/failpoint.h"
 #include "src/support/net.h"
+#include "src/support/rng.h"
 #include "src/support/str_util.h"
 #include "src/verifier/batch_verifier.h"
 #include "src/verifier/journal.h"
@@ -162,6 +167,25 @@ int VerifyAllHelp() {
       "                  Size bound for the persisted solver cache; least-\n"
       "                  recently-used entries are evicted at save time\n"
       "                  (default: 64; <= 0 means unbounded).\n"
+      "  --workers N     Distributed mode: spawn N icarusd worker processes and\n"
+      "                  shard the generators across them (claim/collect/steal\n"
+      "                  over the NDJSON protocol, process-granularity work\n"
+      "                  stealing, bounded requeue on worker death). With\n"
+      "                  --incremental, workers snapshot the shared cache\n"
+      "                  read-only and publish deltas to per-worker staging\n"
+      "                  dirs, merged crash-safely after the run. The merged\n"
+      "                  fleet journal/report attributes each verdict to the\n"
+      "                  worker that earned it. Not combinable with --resume.\n"
+      "  --window N      Per-worker in-flight dispatch window (default: 2).\n"
+      "  --worker-bin P  Worker executable (default: icarusd next to this\n"
+      "                  binary, else $PATH).\n"
+      "  --fleet-dir D   Keep sockets/journals/staging/logs under D instead of\n"
+      "                  a temp dir (useful for post-mortems).\n"
+      "  --worker-fail SPEC\n"
+      "                  Arm a fail-point on the next unassigned worker (first\n"
+      "                  use arms w0, second w1, ...). Repeatable. E.g.\n"
+      "                  --worker-fail after=dist-worker-crash:2,action=abort\n"
+      "                  kills w0 dead on its 3rd claimed unit.\n"
       "  --fail SPEC     Arm a fail-point (fault injection, for testing the\n"
       "                  containment machinery). SPEC is one of\n"
       "                    at=SITE:N     fault on exactly the N-th hit of SITE\n"
@@ -325,6 +349,37 @@ int ReportCmd(int argc, char** argv) {
   return WriteHtmlReport(std::move(input), out_path);
 }
 
+// `verify-all --workers N` configuration.
+struct FleetFlags {
+  int workers = 0;  // 0 = single-process verify-all (the default path).
+  std::string worker_bin;
+  std::string fleet_dir;
+  std::vector<std::string> worker_fail_specs;
+  int window = 2;
+};
+
+// Expected-outcome scoring shared by the single-process and fleet paths:
+// *_buggy generators must refute, everything else must verify (CACHED_SAFE
+// stands for VERIFIED).
+int CountUnexpected(const std::vector<icarus::verifier::GeneratorResult>& results) {
+  using icarus::verifier::Outcome;
+  using icarus::verifier::OutcomeName;
+  int failures = 0;
+  for (const icarus::verifier::GeneratorResult& r : results) {
+    Outcome expected = r.generator.find("_buggy") == std::string::npos ? Outcome::kVerified
+                                                                       : Outcome::kRefuted;
+    if (expected == Outcome::kVerified && r.outcome == Outcome::kCachedSafe) {
+      continue;
+    }
+    if (r.outcome != expected) {
+      std::printf("UNEXPECTED: %s is %s (expected %s)\n", r.generator.c_str(),
+                  OutcomeName(r.outcome), OutcomeName(expected));
+      ++failures;
+    }
+  }
+  return failures;
+}
+
 int VerifyAll(const Platform& platform, const icarus::verifier::BatchOptions& options,
               const ObsFlags& obs_flags) {
   using icarus::verifier::Outcome;
@@ -400,19 +455,7 @@ int VerifyAll(const Platform& platform, const icarus::verifier::BatchOptions& op
   // else must verify. Inconclusive results (deadline/budget) are reported but
   // also count as unexpected for the exit code. CACHED_SAFE stands for a
   // stored VERIFIED and satisfies the expectation the same way.
-  int failures = 0;
-  for (const icarus::verifier::GeneratorResult& r : report.results) {
-    Outcome expected = r.generator.find("_buggy") == std::string::npos ? Outcome::kVerified
-                                                                       : Outcome::kRefuted;
-    if (expected == Outcome::kVerified && r.outcome == Outcome::kCachedSafe) {
-      continue;
-    }
-    if (r.outcome != expected) {
-      std::printf("UNEXPECTED: %s is %s (expected %s)\n", r.generator.c_str(),
-                  OutcomeName(r.outcome), OutcomeName(expected));
-      ++failures;
-    }
-  }
+  int failures = CountUnexpected(report.results);
   std::printf("\n%d unexpected outcomes\n", failures);
   if (report.interrupted) {
     if (!options.journal_path.empty()) {
@@ -426,6 +469,68 @@ int VerifyAll(const Platform& platform, const icarus::verifier::BatchOptions& op
           "interrupted: run again with --journal FILE to make interrupted runs resumable\n");
     }
   }
+  return failures == 0 ? 0 : 1;
+}
+
+// `icarus verify-all --workers N`: spawn a fleet of icarusd worker processes,
+// shard the generator set across them, and merge the results (journal, HTML
+// report, persistent stores) into the same outputs the single-process driver
+// produces.
+int VerifyAllFleet(const Platform& platform, const icarus::verifier::BatchOptions& options,
+                   const ObsFlags& obs_flags, const FleetFlags& fleet_flags) {
+  std::vector<std::string> generators;
+  for (const auto* fn : platform.module().Generators()) {
+    generators.push_back(fn->name);
+  }
+
+  icarus::dist::FleetOptions fleet_options;
+  fleet_options.workers = fleet_flags.workers;
+  fleet_options.worker_bin = fleet_flags.worker_bin;
+  fleet_options.fleet_dir = fleet_flags.fleet_dir;
+  fleet_options.solver_limits = options.solver_limits;
+  fleet_options.incremental = options.incremental;
+  fleet_options.cache_dir = options.cache_dir;
+  fleet_options.cache_max_mb = options.cache_max_mb;
+  fleet_options.worker_fail_specs = fleet_flags.worker_fail_specs;
+  auto fleet = icarus::dist::Fleet::Spawn(fleet_options);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "fleet spawn failed: %s\n", fleet.status().message().c_str());
+    return 2;
+  }
+
+  icarus::dist::CoordinatorOptions coord_options;
+  coord_options.window = fleet_flags.window;
+  coord_options.cache_dir = options.incremental ? options.cache_dir : "";
+  coord_options.cache_max_mb = options.cache_max_mb;
+  coord_options.journal_path = options.journal_path;
+  coord_options.fingerprint = platform.Fingerprint();
+  icarus::dist::Coordinator coordinator(coord_options);
+  auto ran = coordinator.Run(generators, fleet.value()->endpoints());
+  fleet.value()->Shutdown();
+  if (!ran.ok()) {
+    std::fprintf(stderr, "fleet run failed: %s\n", ran.status().message().c_str());
+    return 2;
+  }
+  const icarus::dist::FleetReport& report = ran.value();
+  std::printf("%s", report.batch.RenderTable().c_str());
+  std::printf("\n%s", report.RenderSummary().c_str());
+  if (obs_flags.stats) {
+    std::printf("\n%s", report.batch.RenderStatsTable().c_str());
+  }
+  if (!obs_flags.report_path.empty()) {
+    icarus::obs::ReportInput input;
+    input.fingerprint = platform.Fingerprint();
+    for (const icarus::verifier::GeneratorResult& r : report.batch.results) {
+      input.rows.push_back(icarus::verifier::ReportRowFromRecord(
+          icarus::verifier::RecordFromResult(r, input.fingerprint)));
+    }
+    int rc = WriteHtmlReport(std::move(input), obs_flags.report_path);
+    if (rc != 0) {
+      return rc;
+    }
+  }
+  int failures = CountUnexpected(report.batch.results);
+  std::printf("\n%d unexpected outcomes\n", failures);
   return failures == 0 ? 0 : 1;
 }
 
@@ -493,9 +598,13 @@ int ClientUsage() {
   std::fprintf(
       stderr,
       "usage: icarus client [--socket PATH] [--client NAME] [--deadline-ms D]\n"
+      "                     [--retries N]\n"
       "                     <ping|stats|shutdown|verify GEN...|verify-all>\n"
       "\n"
       "Talks to a running icarusd over its Unix-domain socket.\n"
+      "  --retries N describes load-shed handling: a request the daemon sheds\n"
+      "  with OVERLOADED is resent up to N times (default 2), sleeping the\n"
+      "  daemon's advertised retry_after_ms (with jitter) between attempts.\n"
       "  ping        Liveness probe; prints the daemon's status token.\n"
       "  stats       Print the daemon's service counters as JSON.\n"
       "  shutdown    Ask the daemon to drain gracefully and exit.\n"
@@ -513,6 +622,7 @@ int ClientCmd(int argc, char** argv) {
   std::string socket_path = "./icarusd.sock";
   std::string client_name = "cli";
   double deadline_ms = 0;
+  int retries = 2;
   std::vector<std::string> positional;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -525,6 +635,8 @@ int ClientCmd(int argc, char** argv) {
       client_name = argv[++i];
     } else if (arg == "--deadline-ms" && i + 1 < argc) {
       deadline_ms = std::atof(argv[++i]);
+    } else if (arg == "--retries" && i + 1 < argc) {
+      retries = std::atoi(argv[++i]);
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown client flag: %s\n", arg.c_str());
       return ClientUsage();
@@ -565,7 +677,7 @@ int ClientCmd(int argc, char** argv) {
   int next_id = 0;
   // One request line out, one response line in; `ok` means transport-level
   // success — the response's own status still decides the exit code.
-  auto round_trip = [&](Request req, Response* resp) -> bool {
+  auto send_once = [&](Request req, Response* resp) -> bool {
     req.client = client_name;
     req.id = std::to_string(++next_id);
     if (!icarus::net::WriteLine(fd, req.ToJsonLine()).ok()) {
@@ -585,6 +697,27 @@ int ClientCmd(int argc, char** argv) {
       return false;
     }
     return true;
+  };
+  // Load-shed handling: a response the daemon sheds with OVERLOADED carries
+  // retry_after_ms; honor it (with jitter, so a herd of shed clients does not
+  // return in lockstep) up to --retries resends before surfacing the shed.
+  icarus::Rng retry_rng(static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  auto round_trip = [&](const Request& req, Response* resp) -> bool {
+    for (int attempt = 0;; ++attempt) {
+      if (!send_once(req, resp)) {
+        return false;
+      }
+      if (resp->status != icarus::daemon::kStatusOverloaded || attempt >= retries) {
+        return true;
+      }
+      double delay_ms = resp->retry_after_ms > 0 ? resp->retry_after_ms : 50.0;
+      delay_ms *= 0.75 + 0.5 * retry_rng.NextDouble();
+      std::fprintf(stderr, "icarus client: overloaded, retrying in %.0f ms (%d/%d)\n",
+                   delay_ms, attempt + 1, retries);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int64_t>(delay_ms)));
+    }
   };
 
   int rc = 2;
@@ -738,9 +871,20 @@ int Run(int argc, char** argv) {
   if (cmd == "verify-all") {
     icarus::verifier::BatchOptions options;
     ObsFlags obs_flags;
+    FleetFlags fleet_flags;
     for (int i = 2; i < argc; ++i) {
       std::string flag = argv[i];
-      if (flag == "--stats") {
+      if (flag == "--workers" && i + 1 < argc) {
+        fleet_flags.workers = std::atoi(argv[++i]);
+      } else if (flag == "--worker-bin" && i + 1 < argc) {
+        fleet_flags.worker_bin = argv[++i];
+      } else if (flag == "--fleet-dir" && i + 1 < argc) {
+        fleet_flags.fleet_dir = argv[++i];
+      } else if (flag == "--worker-fail" && i + 1 < argc) {
+        fleet_flags.worker_fail_specs.push_back(argv[++i]);
+      } else if (flag == "--window" && i + 1 < argc) {
+        fleet_flags.window = std::atoi(argv[++i]);
+      } else if (flag == "--stats") {
         obs_flags.stats = true;
       } else if (flag == "--explain") {
         obs_flags.explain = true;
@@ -795,6 +939,14 @@ int Run(int argc, char** argv) {
     options.interrupt = &g_interrupt;
     std::signal(SIGINT, OnInterrupt);
     std::signal(SIGTERM, OnInterrupt);
+    if (fleet_flags.workers > 0) {
+      if (!options.resume_path.empty()) {
+        std::fprintf(stderr, "--resume cannot be combined with --workers (worker journals are\n"
+                             "per-run; use --incremental for cross-run reuse)\n");
+        return 2;
+      }
+      return VerifyAllFleet(*platform, options, obs_flags, fleet_flags);
+    }
     return VerifyAll(*platform, options, obs_flags);
   }
   if (cmd == "extract") {

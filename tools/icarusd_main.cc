@@ -65,6 +65,7 @@ int Usage() {
       "  --deadline-ms D  Default per-request deadline; past it the request\n"
       "                   degrades to INCONCLUSIVE (default: none).\n"
       "  --max-decisions N  Per-query solver decision budget.\n"
+      "  --max-seconds S    Per-query solver wall budget.\n"
       "  --journal FILE   Append every verdict (fsync'd) and replay it into\n"
       "                   the warm verdict view on startup.\n"
       "  --incremental    Use the persistent stores under --cache-dir; if\n"
@@ -72,6 +73,11 @@ int Usage() {
       "                   read-only cache view.\n"
       "  --cache-dir D    Store directory (default: .icarus-cache).\n"
       "  --cache-max-mb N Persisted solver-cache size bound (default 64).\n"
+      "  --staging D      Fleet-worker mode (requires --incremental): read the\n"
+      "                   shared --cache-dir stores as an unlocked snapshot and\n"
+      "                   publish this worker's deltas to D instead of writing\n"
+      "                   the shared stores (see `icarus verify-all --workers`).\n"
+      "  --dist-queue N   Bounded queue for fleet `claim` ops (default 256).\n"
       "  --metrics FILE   Export the metrics registry on exit (Prometheus\n"
       "                   text, or JSON when FILE ends in .json).\n"
       "  --fail SPEC      Arm a fail-point (see `icarus verify-all --help`).\n"
@@ -79,61 +85,6 @@ int Usage() {
       "\n"
       "Exit codes: 0 clean drain, 1 drain error, 2 startup/usage error.\n");
   return 2;
-}
-
-// Serves one accepted connection: a request line in, a response line out, in
-// order, until the peer closes or the daemon drains. Every fault here is
-// contained to this connection.
-void ServeConnection(ServerCore* core, int fd) {
-  icarus::net::LineReader reader(fd);
-  std::string line;
-  std::string error;
-  while (true) {
-    icarus::net::LineReader::Result got = reader.ReadLine(&line, &error);
-    if (got != icarus::net::LineReader::Result::kLine) {
-      break;
-    }
-    if (line.empty()) {
-      continue;
-    }
-    Response resp;
-    Request request;
-    bool parsed = false;
-    try {
-      icarus::Status st = icarus::daemon::ParseRequest(line, &request);
-      if (st.ok()) {
-        parsed = true;
-      } else {
-        resp.status = icarus::daemon::kStatusBadRequest;
-        resp.error = st.message();
-      }
-    } catch (const std::exception& e) {
-      // An injected daemon-parse fault: this request is unusable, the
-      // connection and every other request are fine.
-      resp.status = icarus::daemon::kStatusError;
-      resp.error = e.what();
-    }
-    if (parsed) {
-      resp = core->Execute(request);
-    }
-    try {
-      ICARUS_FAILPOINT(icarus::failpoint::kDaemonRespond);
-      if (!icarus::net::WriteLine(fd, resp.ToJsonLine()).ok()) {
-        break;  // Peer went away; nothing left to serve here.
-      }
-    } catch (const std::exception& e) {
-      // A respond fault burns the in-flight response. Best effort: tell the
-      // client something went wrong so it does not hang on a silent line.
-      Response burnt;
-      burnt.id = resp.id;
-      burnt.status = icarus::daemon::kStatusError;
-      burnt.error = e.what();
-      if (!icarus::net::WriteLine(fd, burnt.ToJsonLine()).ok()) {
-        break;
-      }
-    }
-  }
-  icarus::net::CloseFd(fd);
 }
 
 int RunDaemon(int argc, char** argv) {
@@ -161,6 +112,8 @@ int RunDaemon(int argc, char** argv) {
       options.default_deadline_ms = std::atof(argv[++i]);
     } else if (flag == "--max-decisions" && i + 1 < argc) {
       options.solver_limits.max_decisions = std::atoll(argv[++i]);
+    } else if (flag == "--max-seconds" && i + 1 < argc) {
+      options.solver_limits.max_seconds = std::atof(argv[++i]);
     } else if (flag == "--journal" && i + 1 < argc) {
       options.journal_path = argv[++i];
     } else if (flag == "--incremental") {
@@ -169,6 +122,10 @@ int RunDaemon(int argc, char** argv) {
       options.cache_dir = argv[++i];
     } else if (flag == "--cache-max-mb" && i + 1 < argc) {
       options.cache_max_mb = std::atoll(argv[++i]);
+    } else if (flag == "--staging" && i + 1 < argc) {
+      options.staging_dir = argv[++i];
+    } else if (flag == "--dist-queue" && i + 1 < argc) {
+      options.dist_queue_limit = std::atoi(argv[++i]);
     } else if (flag == "--metrics" && i + 1 < argc) {
       metrics_path = argv[++i];
       icarus::obs::SetEnabled(true);
