@@ -5,20 +5,30 @@
 // alone (worker spawn and teardown excluded — those amortize over a CI
 // day, the dispatch phase is what scales). Three shapes:
 //
-//   single_process   BatchVerifier on one thread — the reference verdicts
-//                    and the baseline wall clock.
-//   fleet_1_worker   coordinator + one worker process: what the protocol
-//                    round-trips cost on top of the verification itself.
-//   fleet_4_workers  the scaling claim: near-linear throughput at 4 workers.
+//   single_process       BatchVerifier on one thread — the reference verdicts
+//                        and the baseline wall clock.
+//   fleet_1_worker       coordinator + one worker process: what the protocol
+//                        round-trips cost on top of the verification itself.
+//   fleet_4_workers      the scaling claim: near-linear throughput at 4
+//                        workers.
+//   fleet_4_workers_obs  the same 4-worker fleet with every worker's
+//                        telemetry armed (--obs: histograms record, gauges
+//                        move) but tracing OFF — the cost of leaving the
+//                        instruments on in production.
 //
 // Gates:
-//   - UNCONDITIONAL: both fleets' verdicts must be identical to the
+//   - UNCONDITIONAL: all fleets' verdicts must be identical to the
 //     single-process run, unit for unit. A fleet that scales but disagrees
 //     is worthless.
 //   - hardware-gated (needs >= 4 cores): 4-worker throughput must be >= 3x
 //     the 1-worker fleet's. On smaller machines the scaling rows are
 //     reported but the gate is skipped — 4 workers on 1 core measure
 //     context switching, not the coordinator.
+//   - hardware-gated (>= 4 cores, dispatch phase >= 100ms): the obs-armed
+//     fleet must stay within 5% of the quiescent one (plus a 5ms absolute
+//     jitter floor). Telemetry that is off-by-default but too expensive to
+//     arm would never get armed, so the overhead is gated, not just
+//     reported.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -45,7 +55,8 @@ struct FleetRun {
   bool ok = false;
 };
 
-FleetRun RunFleet(int workers, const std::vector<std::string>& generators) {
+FleetRun RunFleet(int workers, const std::vector<std::string>& generators,
+                  bool obs_armed = false) {
   using icarus::dist::Coordinator;
   using icarus::dist::Fleet;
   using icarus::dist::FleetOptions;
@@ -54,6 +65,10 @@ FleetRun RunFleet(int workers, const std::vector<std::string>& generators) {
   FleetOptions options;
   options.workers = workers;
   options.worker_bin = ICARUS_WORKER_BIN;
+  // metrics=true passes --obs to every worker: histograms and gauges live,
+  // tracing still off (no --trace-shard). This is the production telemetry
+  // posture whose overhead the obs gate below measures.
+  options.metrics = obs_armed;
   auto fleet = Fleet::Spawn(options);
   if (!fleet.ok()) {
     std::fprintf(stderr, "fleet spawn (%d workers) failed: %s\n", workers,
@@ -133,7 +148,8 @@ int main(int argc, char** argv) {
 
   FleetRun one = RunFleet(1, generators);
   FleetRun four = RunFleet(4, generators);
-  if (!one.ok || !four.ok) {
+  FleetRun four_obs = RunFleet(4, generators, /*obs_armed=*/true);
+  if (!one.ok || !four.ok || !four_obs.ok) {
     return 1;
   }
 
@@ -143,11 +159,13 @@ int main(int argc, char** argv) {
               single_ms / one.dispatch_ms);
   std::printf("%-20s %14.1f %11.2fx\n", "fleet_4_workers", four.dispatch_ms,
               single_ms / four.dispatch_ms);
+  std::printf("%-20s %14.1f %11.2fx\n", "fleet_4_workers_obs", four_obs.dispatch_ms,
+              single_ms / four_obs.dispatch_ms);
 
-  // Gate 1 (unconditional): verdict identity, unit for unit, both fleets.
+  // Gate 1 (unconditional): verdict identity, unit for unit, all fleets.
   bool identical = true;
   for (const auto& [generator, outcome] : reference) {
-    for (const FleetRun* fleet : {&one, &four}) {
+    for (const FleetRun* fleet : {&one, &four, &four_obs}) {
       auto it = fleet->verdicts.find(generator);
       if (it == fleet->verdicts.end() || it->second != outcome) {
         std::fprintf(stderr, "verdict mismatch for %s: single-process %s vs fleet %s\n",
@@ -167,6 +185,16 @@ int main(int argc, char** argv) {
   std::printf("4-worker vs 1-worker throughput: %.2fx (gate: >= 3x, %s on %u cores)\n", scaling,
               scaling_gate_applies ? (scales ? "PASS" : "FAIL") : "skipped", cores);
 
+  // Gate 3 (hardware-gated): armed telemetry must be nearly free when
+  // tracing is off. Skipped when the quiescent dispatch phase is under
+  // 100ms — at that scale a single scheduler hiccup is more than 5%.
+  double overhead_pct = (four_obs.dispatch_ms / four.dispatch_ms - 1.0) * 100.0;
+  bool overhead_gate_applies = cores >= 4 && four.dispatch_ms >= 100.0;
+  bool overhead_ok = four_obs.dispatch_ms <= four.dispatch_ms * 1.05 + 5.0;
+  std::printf("obs-armed overhead over quiescent 4-worker fleet: %+.1f%% (gate: < 5%%, %s)\n",
+              overhead_pct,
+              overhead_gate_applies ? (overhead_ok ? "PASS" : "FAIL") : "skipped");
+
   if (!json_path.empty()) {
     // Floored at 1ms like the other gated benches: sub-millisecond dispatch
     // phases are scheduler noise, not signal.
@@ -178,6 +206,9 @@ int main(int argc, char** argv) {
                        static_cast<int>(generators.size())});
     entries.push_back({"fleet_4_workers", clamped(four.dispatch_ms), clamped(four.dispatch_ms),
                        0.0, static_cast<int>(generators.size())});
+    entries.push_back({"fleet_4_workers_obs_armed", clamped(four_obs.dispatch_ms),
+                       clamped(four_obs.dispatch_ms), 0.0,
+                       static_cast<int>(generators.size())});
     icarus::Status st = icarus::obs::WriteBenchJson(json_path, "bench_distributed", entries);
     if (!st.ok()) {
       std::fprintf(stderr, "--json: %s\n", st.message().c_str());
@@ -189,5 +220,8 @@ int main(int argc, char** argv) {
   if (!identical) {
     return 1;
   }
-  return (!scaling_gate_applies || scales) ? 0 : 1;
+  if (scaling_gate_applies && !scales) {
+    return 1;
+  }
+  return (!overhead_gate_applies || overhead_ok) ? 0 : 1;
 }

@@ -1,192 +1,10 @@
 #include "src/daemon/protocol.h"
 
-#include <cstdlib>
-
 #include "src/support/failpoint.h"
+#include "src/support/flat_json.h"
 #include "src/support/str_util.h"
 
 namespace icarus::daemon {
-
-namespace {
-
-void AppendJsonString(std::string_view s, std::string* out) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\r': *out += "\\r"; break;
-      case '\t': *out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          *out += StrFormat("\\u%04x", static_cast<unsigned char>(c));
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
-
-// Flat-object scanner shared by both message parsers: the same dialect the
-// verdict journal reads (string / number / bool values, no nesting), with a
-// per-key callback. Unknown keys are skipped so either endpoint can be newer.
-class FlatParser {
- public:
-  explicit FlatParser(std::string_view line)
-      : p_(line.data()), end_(line.data() + line.size()) {}
-
-  // `on_string(key, value)` / `on_number(key, value)`; bools surface as
-  // numbers (0/1). Returns false on malformed input.
-  template <typename OnString, typename OnNumber>
-  bool Parse(OnString&& on_string, OnNumber&& on_number) {
-    SkipWs();
-    if (!Consume('{')) {
-      return false;
-    }
-    SkipWs();
-    if (Consume('}')) {
-      return AtEnd();
-    }
-    while (true) {
-      std::string key;
-      if (!ParseString(&key)) {
-        return false;
-      }
-      SkipWs();
-      if (!Consume(':')) {
-        return false;
-      }
-      SkipWs();
-      if (p_ < end_ && *p_ == '"') {
-        std::string value;
-        if (!ParseString(&value)) {
-          return false;
-        }
-        on_string(key, std::move(value));
-      } else if (end_ - p_ >= 4 && std::string_view(p_, 4) == "true") {
-        p_ += 4;
-        on_number(key, 1.0);
-      } else if (end_ - p_ >= 5 && std::string_view(p_, 5) == "false") {
-        p_ += 5;
-        on_number(key, 0.0);
-      } else if (end_ - p_ >= 4 && std::string_view(p_, 4) == "null") {
-        p_ += 4;
-      } else {
-        double value = 0;
-        if (!ParseNumber(&value)) {
-          return false;
-        }
-        on_number(key, value);
-      }
-      SkipWs();
-      if (Consume(',')) {
-        SkipWs();
-        continue;
-      }
-      break;
-    }
-    if (!Consume('}')) {
-      return false;
-    }
-    return AtEnd();
-  }
-
- private:
-  void SkipWs() {
-    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\r')) {
-      ++p_;
-    }
-  }
-  bool AtEnd() {
-    SkipWs();
-    return p_ == end_;
-  }
-  bool Consume(char c) {
-    if (p_ < end_ && *p_ == c) {
-      ++p_;
-      return true;
-    }
-    return false;
-  }
-
-  bool ParseString(std::string* out) {
-    if (!Consume('"')) {
-      return false;
-    }
-    out->clear();
-    while (p_ < end_ && *p_ != '"') {
-      char c = *p_++;
-      if (c != '\\') {
-        out->push_back(c);
-        continue;
-      }
-      if (p_ >= end_) {
-        return false;
-      }
-      char e = *p_++;
-      switch (e) {
-        case '"': out->push_back('"'); break;
-        case '\\': out->push_back('\\'); break;
-        case '/': out->push_back('/'); break;
-        case 'n': out->push_back('\n'); break;
-        case 'r': out->push_back('\r'); break;
-        case 't': out->push_back('\t'); break;
-        case 'b': out->push_back('\b'); break;
-        case 'f': out->push_back('\f'); break;
-        case 'u': {
-          if (end_ - p_ < 4) {
-            return false;
-          }
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = *p_++;
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              return false;
-            }
-          }
-          // The writers only emit \u00XX for control bytes; decode the
-          // low byte and pass anything wider through as '?' rather than
-          // growing a UTF-8 encoder for data we never produce.
-          out->push_back(code <= 0xff ? static_cast<char>(code) : '?');
-          break;
-        }
-        default:
-          return false;
-      }
-    }
-    return Consume('"');
-  }
-
-  bool ParseNumber(double* out) {
-    const char* start = p_;
-    while (p_ < end_ &&
-           (*p_ == '-' || *p_ == '+' || *p_ == '.' || *p_ == 'e' || *p_ == 'E' ||
-            (*p_ >= '0' && *p_ <= '9'))) {
-      ++p_;
-    }
-    if (p_ == start) {
-      return false;
-    }
-    std::string text(start, p_);
-    char* endp = nullptr;
-    *out = std::strtod(text.c_str(), &endp);
-    return endp == text.c_str() + text.size();
-  }
-
-  const char* p_;
-  const char* end_;
-};
-
-}  // namespace
 
 std::string Request::ToJsonLine() const {
   std::string out = StrCat("{\"v\":", std::to_string(v), ",\"id\":");
@@ -201,6 +19,17 @@ std::string Request::ToJsonLine() const {
   if (count != 0) {
     out += StrCat(",\"count\":", std::to_string(count));
   }
+  if (!trace_id.empty()) {
+    out += ",\"trace_id\":";
+    AppendJsonString(trace_id, &out);
+  }
+  if (parent_span != 0) {
+    out += StrCat(",\"parent_span\":", std::to_string(parent_span));
+  }
+  if (!format.empty()) {
+    out += ",\"format\":";
+    AppendJsonString(format, &out);
+  }
   out.push_back('}');
   return out;
 }
@@ -209,7 +38,7 @@ Status ParseRequest(std::string_view line, Request* request) {
   ICARUS_FAILPOINT(failpoint::kDaemonParse);
   *request = Request{};
   request->v = 0;  // Distinguish "absent" from an explicit version.
-  FlatParser parser(line);
+  FlatLineParser parser(line);
   bool ok = parser.Parse(
       [&](const std::string& key, std::string value) {
         if (key == "id") {
@@ -220,6 +49,10 @@ Status ParseRequest(std::string_view line, Request* request) {
           request->generator = std::move(value);
         } else if (key == "client") {
           request->client = std::move(value);
+        } else if (key == "trace_id") {
+          request->trace_id = std::move(value);
+        } else if (key == "format") {
+          request->format = std::move(value);
         }
       },
       [&](const std::string& key, double value) {
@@ -229,6 +62,8 @@ Status ParseRequest(std::string_view line, Request* request) {
           request->deadline_ms = value;
         } else if (key == "count") {
           request->count = static_cast<int64_t>(value);
+        } else if (key == "parent_span") {
+          request->parent_span = static_cast<int64_t>(value);
         }
       });
   if (!ok) {
@@ -243,16 +78,21 @@ Status ParseRequest(std::string_view line, Request* request) {
   }
   if (request->op != kOpPing && request->op != kOpVerify && request->op != kOpStats &&
       request->op != kOpShutdown && request->op != kOpClaim && request->op != kOpCollect &&
-      request->op != kOpSteal && request->op != kOpPublish) {
+      request->op != kOpSteal && request->op != kOpPublish && request->op != kOpMetrics) {
     return Status::Error(StrCat("unknown op '", request->op,
-                                "' (want ping, verify, stats, shutdown, claim, collect, "
-                                "steal, or publish)"));
+                                "' (want ping, verify, stats, metrics, shutdown, claim, "
+                                "collect, steal, or publish)"));
   }
   if ((request->op == kOpVerify || request->op == kOpClaim) && request->generator.empty()) {
     return Status::Error(StrCat(request->op, " request without a 'gen' field"));
   }
   if (request->op == kOpSteal && request->count <= 0) {
     return Status::Error("steal request needs a positive 'count'");
+  }
+  if (request->op == kOpMetrics && !request->format.empty() && request->format != "prom" &&
+      request->format != "json") {
+    return Status::Error(StrCat("unknown metrics format '", request->format,
+                                "' (want prom or json)"));
   }
   if (request->deadline_ms < 0) {
     return Status::Error("negative deadline_ms");
@@ -290,13 +130,20 @@ std::string Response::ToJsonLine() const {
   if (count != 0) {
     out += StrCat(",\"count\":", std::to_string(count));
   }
+  if (!metrics.empty()) {
+    out += ",\"metrics\":";
+    AppendJsonString(metrics, &out);
+  }
+  if (trace_now_us != 0) {
+    out += StrFormat(",\"trace_now_us\":%.17g", trace_now_us);
+  }
   out.push_back('}');
   return out;
 }
 
 Status ParseResponse(std::string_view line, Response* response) {
   *response = Response{};
-  FlatParser parser(line);
+  FlatLineParser parser(line);
   bool ok = parser.Parse(
       [&](const std::string& key, std::string value) {
         if (key == "id") {
@@ -313,6 +160,8 @@ Status ParseResponse(std::string_view line, Response* response) {
           response->stats_json = std::move(value);
         } else if (key == "units") {
           response->units = std::move(value);
+        } else if (key == "metrics") {
+          response->metrics = std::move(value);
         }
       },
       [&](const std::string& key, double value) {
@@ -332,6 +181,8 @@ Status ParseResponse(std::string_view line, Response* response) {
           response->pending = value != 0;
         } else if (key == "count") {
           response->count = static_cast<int64_t>(value);
+        } else if (key == "trace_now_us") {
+          response->trace_now_us = value;
         }
       });
   if (!ok) {

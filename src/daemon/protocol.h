@@ -14,7 +14,18 @@
 //   verify    verify one generator; subject to admission control, the
 //             per-request deadline, and quarantine.
 //   stats     service counters + per-client stats as a JSON document.
+//   metrics   the daemon's metric registry as a Prometheus text exposition
+//             (or JSON with `format:"json"`), for scrapers and `icarus top`.
 //   shutdown  ask the daemon to drain gracefully and exit 0.
+//
+// Trace context: any request may carry `trace_id` (the fleet-wide trace
+// label) and `parent_span` (the sender's span id). A worker serving the
+// request records its spans under that parent, so the coordinator's merged
+// Chrome trace shows dispatch spans parenting worker verify spans with no id
+// remapping (span ids embed the producing pid; src/obs/trace.h). Responses
+// to `claim` additionally report `trace_now_us` — the worker's monotonic
+// trace clock at serve time — which the coordinator uses as a clock-offset
+// handshake to align per-worker lanes.
 //
 // Distributed-fleet ops (src/dist/ coordinator ↔ worker):
 //   claim     enqueue one generator on the worker's dist queue and return
@@ -68,6 +79,7 @@ inline constexpr char kStatusError[] = "ERROR";
 inline constexpr char kOpPing[] = "ping";
 inline constexpr char kOpVerify[] = "verify";
 inline constexpr char kOpStats[] = "stats";
+inline constexpr char kOpMetrics[] = "metrics";
 inline constexpr char kOpShutdown[] = "shutdown";
 inline constexpr char kOpClaim[] = "claim";
 inline constexpr char kOpCollect[] = "collect";
@@ -83,6 +95,9 @@ struct Request {
   double deadline_ms = 0; // Per-request deadline; 0 → server default. For
                           // collect ops: how long to wait for a verdict.
   int64_t count = 0;      // steal: max units to shed (must be > 0).
+  std::string trace_id;   // Fleet trace label; propagated, never required.
+  int64_t parent_span = 0;  // Sender's span id; 0 → no remote parent.
+  std::string format;     // metrics: "prom" (default) or "json".
 
   std::string ToJsonLine() const;
 };
@@ -108,6 +123,8 @@ struct Response {
   bool pending = false;      // collect: timed out with no verdict ready.
   std::string units;         // steal: shed unit names, comma-joined.
   int64_t count = 0;         // steal: units shed; publish: records staged.
+  std::string metrics;       // `metrics` op payload (escaped exposition text).
+  double trace_now_us = 0;   // claim: server trace clock (clock handshake).
 
   std::string ToJsonLine() const;
 };

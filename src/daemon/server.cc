@@ -1,7 +1,9 @@
 #include "src/daemon/server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <exception>
+#include <fstream>
 #include <future>
 
 #include <sys/stat.h>
@@ -9,7 +11,10 @@
 #include "src/ast/fingerprint.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_shard.h"
 #include "src/support/failpoint.h"
+#include "src/support/flat_json.h"
 #include "src/support/net.h"
 #include "src/support/str_util.h"
 #include "src/support/timing.h"
@@ -42,6 +47,15 @@ Response ResponseFromRecord(const verifier::JournalRecord& rec) {
   resp.paths = rec.paths;
   resp.queries = rec.queries;
   return resp;
+}
+
+// Per-op service-time histograms. The registry has no labels, so each op
+// token gets its own instrument; the op set is fixed, so cardinality is
+// bounded. The registry's Get* is idempotent per name.
+obs::Histogram* OpHistogram(const std::string& op) {
+  return obs::Registry::Global().GetHistogram(
+      StrCat("icarus_daemon_op_", op, "_seconds"),
+      StrCat("Service time of daemon '", op, "' ops"));
 }
 
 }  // namespace
@@ -299,6 +313,7 @@ void ServerCore::AppendJournal(const verifier::JournalRecord& record) {
 }
 
 Response ServerCore::Execute(const Request& request) {
+  WallTimer op_timer;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++counters_.requests;
@@ -308,47 +323,71 @@ Response ServerCore::Execute(const Request& request) {
         "icarus_daemon_requests_total", "Requests executed by the daemon core");
     requests->Add(1);
   }
+  // Adopt the fleet trace context the request carried: the first traced
+  // request labels this process's shard with the coordinator's trace id.
+  if (!request.trace_id.empty() && obs::TracingActive() && obs::TraceId().empty()) {
+    obs::SetTraceId(request.trace_id);
+  }
 
+  Response resp = [&]() -> Response {
+    Response out;
+    out.id = request.id;
+    if (request.op == kOpPing) {
+      out.status = draining() ? kStatusShuttingDown : kStatusOk;
+      return out;
+    }
+    if (request.op == kOpStats) {
+      out.status = kStatusOk;
+      out.stats_json = StatsSnapshot().ToJson();
+      return out;
+    }
+    if (request.op == kOpMetrics) {
+      out = ExecuteMetrics(request);
+      out.id = request.id;
+      return out;
+    }
+    if (request.op == kOpShutdown) {
+      shutdown_requested_.store(true, std::memory_order_release);
+      out.status = kStatusOk;
+      return out;
+    }
+    if (request.op == kOpClaim) {
+      out = ExecuteClaim(request);
+      out.id = request.id;
+      return out;
+    }
+    if (request.op == kOpCollect) {
+      out = ExecuteCollect(request);
+      out.id = request.id;
+      return out;
+    }
+    if (request.op == kOpSteal) {
+      out = ExecuteSteal(request);
+      out.id = request.id;
+      return out;
+    }
+    if (request.op == kOpPublish) {
+      out = ExecutePublish(request);
+      out.id = request.id;
+      return out;
+    }
+    out = ExecuteVerify(request);
+    out.id = request.id;
+    return out;
+  }();
+
+  if (obs::Enabled() && !request.op.empty()) {
+    OpHistogram(request.op)->Observe(op_timer.ElapsedSeconds());
+  }
+  return resp;
+}
+
+Response ServerCore::ExecuteMetrics(const Request& request) {
   Response resp;
-  resp.id = request.id;
-
-  if (request.op == kOpPing) {
-    resp.status = draining() ? kStatusShuttingDown : kStatusOk;
-    return resp;
-  }
-  if (request.op == kOpStats) {
-    resp.status = kStatusOk;
-    resp.stats_json = StatsSnapshot().ToJson();
-    return resp;
-  }
-  if (request.op == kOpShutdown) {
-    shutdown_requested_.store(true, std::memory_order_release);
-    resp.status = kStatusOk;
-    return resp;
-  }
-  if (request.op == kOpClaim) {
-    resp = ExecuteClaim(request);
-    resp.id = request.id;
-    return resp;
-  }
-  if (request.op == kOpCollect) {
-    resp = ExecuteCollect(request);
-    resp.id = request.id;
-    return resp;
-  }
-  if (request.op == kOpSteal) {
-    resp = ExecuteSteal(request);
-    resp.id = request.id;
-    return resp;
-  }
-  if (request.op == kOpPublish) {
-    resp = ExecutePublish(request);
-    resp.id = request.id;
-    return resp;
-  }
-
-  resp = ExecuteVerify(request);
-  resp.id = request.id;
+  resp.status = kStatusOk;
+  UpdateGauges();  // Refresh occupancy gauges at scrape time.
+  resp.metrics = request.format == "json" ? obs::Registry::Global().RenderJson()
+                                          : obs::Registry::Global().RenderPrometheus();
   return resp;
 }
 
@@ -391,6 +430,11 @@ Response ServerCore::ExecuteClaim(const Request& request) {
   cv_.notify_one();
   UpdateGauges();
   resp.status = kStatusOk;
+  // Clock-offset handshake: report this worker's trace clock at serve time;
+  // the coordinator maps it to the request's round-trip midpoint.
+  if (obs::TracingActive()) {
+    resp.trace_now_us = obs::TraceNowMicros();
+  }
   return resp;
 }
 
@@ -458,12 +502,19 @@ Response ServerCore::ExecutePublish(const Request& request) {
   (void)request;
   Response resp;
   resp.generator.clear();
-  if (!staging_mode_) {
+  bool shard = !options_.trace_shard_path.empty();
+  if (!staging_mode_ && !shard) {
     resp.status = kStatusBadRequest;
-    resp.error = "publish on a worker without a staging dir (--staging)";
+    resp.error = "publish on a worker without a staging dir (--staging) or trace shard";
     return resp;
   }
-  Status saved = PublishStaging();
+  Status saved = staging_mode_ ? PublishStaging() : Status::Ok();
+  if (shard) {
+    Status shard_saved = PublishTraceShard();
+    if (!shard_saved.ok() && saved.ok()) {
+      saved = shard_saved;
+    }
+  }
   if (!saved.ok()) {
     resp.status = kStatusError;
     resp.error = saved.message();
@@ -476,6 +527,59 @@ Response ServerCore::ExecutePublish(const Request& request) {
     ++counters_.dist_published;
   }
   return resp;
+}
+
+Status ServerCore::PublishTraceShard() {
+  std::string doc = obs::ExportTraceShard(options_.worker_label);
+  std::ofstream out(options_.trace_shard_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Error(StrCat("cannot write trace shard '", options_.trace_shard_path, "'"));
+  }
+  out << doc;
+  out.flush();
+  if (!out) {
+    return Status::Error(StrCat("short write to trace shard '", options_.trace_shard_path, "'"));
+  }
+  return Status::Ok();
+}
+
+void ServerCore::MaybeLogSlow(const Request& request,
+                              const verifier::GeneratorResult& result) {
+  double ms = result.seconds * 1e3;
+  if (options_.slow_ms <= 0 || ms < options_.slow_ms) {
+    return;
+  }
+  // One flat JSON line per slow request, reusing the journal's per-stage
+  // cost attribution so "where did the time go" is answerable from the log
+  // alone: total = queue-excluded service time, stages = CFA build, the two
+  // meta-execution phases (solver time excluded), and solver wall time.
+  std::string line = "{\"slow_request\":true,\"gen\":";
+  AppendJsonString(result.generator, &line);
+  line += ",\"client\":";
+  AppendJsonString(request.client.empty() ? "anon" : request.client, &line);
+  line += ",\"outcome\":";
+  AppendJsonString(verifier::OutcomeName(result.outcome), &line);
+  line += StrFormat(",\"seconds\":%.17g,\"slow_ms\":%.17g", result.seconds, options_.slow_ms);
+  line += StrFormat(",\"cfa_s\":%.17g,\"gen_s\":%.17g,\"interp_s\":%.17g,\"solve_s\":%.17g",
+                    result.report.cfa_seconds, result.report.meta.gen_seconds,
+                    result.report.meta.interp_seconds, result.report.meta.solve_seconds);
+  line += StrCat(",\"paths\":", std::to_string(result.report.meta.paths_explored),
+                 ",\"queries\":", std::to_string(result.report.meta.solver_queries), "}\n");
+  if (obs::Enabled()) {
+    static obs::Counter* slow = obs::Registry::Global().GetCounter(
+        "icarus_daemon_slow_requests_total",
+        "Verify requests slower than the --slow-ms threshold");
+    slow->Add(1);
+  }
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  if (options_.slow_log_path.empty()) {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    return;
+  }
+  std::ofstream out(options_.slow_log_path, std::ios::binary | std::ios::app);
+  if (out) {
+    out << line;
+  }
 }
 
 Status ServerCore::PublishStaging() {
@@ -684,6 +788,11 @@ void ServerCore::WorkerLoop() {
 
 Response ServerCore::ServeVerify(Ticket* ticket) {
   const Request& request = ticket->request;
+  // Record this request's spans under the trace context it carried: the
+  // coordinator's dispatch span id arrives in `parent_span`, so this
+  // worker's verify span parents back to it in the merged fleet trace.
+  obs::ScopedRemoteParent remote_parent(request.parent_span);
+  obs::ScopedSpan verify_span("daemon.verify", request.generator);
   Response resp;
   resp.status = kStatusOk;
   resp.generator = request.generator;
@@ -759,7 +868,16 @@ Response ServerCore::ServeVerify(Ticket* ticket) {
     static obs::Histogram* seconds = obs::Registry::Global().GetHistogram(
         "icarus_daemon_request_seconds", "Verify-request service time (queue wait excluded)");
     seconds->Observe(result.seconds);
+    // Claimed dist units never pass through the `verify` protocol op (the
+    // claim op returns before execution), but they are verify work: record
+    // them here so a fleet worker's op_verify histogram answers the same
+    // per-verify latency questions a standalone daemon's does. Direct
+    // `verify` ops are already timed by Execute's op histogram.
+    if (ticket->dist) {
+      OpHistogram(kOpVerify)->Observe(result.seconds);
+    }
   }
+  MaybeLogSlow(request, result);
 
   if (result.outcome == verifier::Outcome::kInternalError) {
     {
@@ -880,6 +998,14 @@ Status ServerCore::FinishDrain(bool persist) {
         if (!cache_saved.ok() && status.ok()) {
           status = cache_saved;
         }
+      }
+    }
+    if (persist && !options_.trace_shard_path.empty()) {
+      // Final shard export: covers runs where the coordinator never sent an
+      // explicit publish (or sent one before the last spans were recorded).
+      Status shard_saved = PublishTraceShard();
+      if (!shard_saved.ok() && status.ok()) {
+        status = shard_saved;
       }
     }
   } catch (const std::exception& e) {

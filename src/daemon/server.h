@@ -61,6 +61,10 @@
 #include "src/verifier/journal.h"
 #include "src/verifier/verdict_store.h"
 
+namespace icarus::verifier {
+struct GeneratorResult;
+}  // namespace icarus::verifier
+
 namespace icarus::daemon {
 
 struct DaemonOptions {
@@ -96,6 +100,15 @@ struct DaemonOptions {
   // coordinator self-paces via its dispatch window); this bound is the
   // backstop.
   int dist_queue_limit = 256;
+  // Observability. slow_ms > 0 appends one flat JSON line per verify request
+  // slower than the threshold to slow_log_path (stderr when empty), with the
+  // journal's per-stage cost attribution. trace_shard_path makes `publish`
+  // (and drain) export this process's recorded spans as a trace shard for
+  // the coordinator's fleet merge; worker_label is the shard's attribution.
+  double slow_ms = 0;
+  std::string slow_log_path;
+  std::string trace_shard_path;
+  std::string worker_label = "daemon";
   // Monotonic seconds for admission/quarantine schedules; null uses the
   // steady clock. Injected by tests to drive backoff deterministically.
   std::function<double()> clock;
@@ -192,8 +205,15 @@ class ServerCore {
   Response ExecuteCollect(const Request& request);
   Response ExecuteSteal(const Request& request);
   Response ExecutePublish(const Request& request);
+  // The `metrics` op: this process's registry as an exposition document.
+  Response ExecuteMetrics(const Request& request);
   // Writes delta_store_ + the in-memory solver cache to staging_dir.
   Status PublishStaging();
+  // Writes this process's span ring buffers to options_.trace_shard_path.
+  Status PublishTraceShard();
+  // Appends one slow-request line (flat JSON) when the request cleared
+  // options_.slow_ms, with per-stage cost attribution from the report.
+  void MaybeLogSlow(const Request& request, const verifier::GeneratorResult& result);
   void WorkerLoop();
   void AppendJournal(const verifier::JournalRecord& record);
   std::string UnitFingerprint(const std::string& generator);
@@ -245,6 +265,9 @@ class ServerCore {
   std::string fingerprint_;
   std::mutex journal_mu_;
   std::unique_ptr<verifier::JournalWriter> journal_;
+
+  // Slow-request log appends (open/append/close per line; slow path only).
+  std::mutex slow_mu_;
 
   std::vector<std::string> notes_;
 };

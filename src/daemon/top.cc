@@ -1,0 +1,274 @@
+#include "src/daemon/top.h"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <thread>
+
+#include "src/daemon/protocol.h"
+#include "src/obs/exposition.h"
+#include "src/support/net.h"
+#include "src/support/str_util.h"
+
+namespace icarus::daemon {
+
+namespace {
+
+// Extracts the top-level numeric fields of a (possibly nested) JSON object:
+// values at depth 1 that are numbers or booleans. Nested objects/arrays
+// (clients, quarantine) are skipped wholesale — `top` only renders the
+// service-level counters. This is a scanner, not a validator; it assumes the
+// well-formed documents DaemonStats::ToJson produces.
+std::map<std::string, double> TopLevelNumbers(const std::string& json) {
+  std::map<std::string, double> out;
+  int depth = 0;
+  std::string key;
+  size_t i = 0;
+  auto skip_string = [&](std::string* capture) {
+    ++i;  // Opening quote.
+    std::string s;
+    while (i < json.size() && json[i] != '"') {
+      if (json[i] == '\\' && i + 1 < json.size()) {
+        ++i;  // Escapes never contain a raw quote we care about.
+      }
+      s.push_back(json[i]);
+      ++i;
+    }
+    ++i;  // Closing quote.
+    if (capture != nullptr) {
+      *capture = std::move(s);
+    }
+  };
+  while (i < json.size()) {
+    char c = json[i];
+    if (c == '{' || c == '[') {
+      ++depth;
+      ++i;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      ++i;
+    } else if (c == '"') {
+      if (depth == 1) {
+        skip_string(&key);  // A top-level key (or a string value; see ':').
+      } else {
+        skip_string(nullptr);
+      }
+    } else if (c == ':' && depth == 1 && !key.empty()) {
+      ++i;
+      while (i < json.size() && (json[i] == ' ' || json[i] == '\t')) {
+        ++i;
+      }
+      if (i >= json.size()) {
+        break;
+      }
+      char v = json[i];
+      if (v == 't') {
+        out[key] = 1;
+      } else if (v == 'f' || v == 'n') {
+        out[key] = 0;
+      } else if (v == '-' || (v >= '0' && v <= '9')) {
+        out[key] = std::strtod(json.c_str() + i, nullptr);
+      } else if (v == '"') {
+        skip_string(nullptr);
+      }
+      key.clear();
+      // Containers fall through to the depth tracking above.
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+// One request/response exchange on an established connection.
+bool Exchange(int fd, net::LineReader* reader, const Request& req, Response* resp) {
+  if (!net::WriteLine(fd, req.ToJsonLine()).ok()) {
+    return false;
+  }
+  std::string line;
+  std::string error;
+  if (reader->ReadLine(&line, &error) != net::LineReader::Result::kLine) {
+    return false;
+  }
+  return ParseResponse(line, resp).ok();
+}
+
+double Fetch(const std::map<std::string, double>& numbers, const char* name) {
+  auto it = numbers.find(name);
+  return it == numbers.end() ? 0 : it->second;
+}
+
+std::string BaseName(const std::string& path) {
+  size_t slash = path.rfind('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = base.rfind(".sock");
+  if (dot != std::string::npos && dot + 5 == base.size()) {
+    base.resize(dot);
+  }
+  return base;
+}
+
+}  // namespace
+
+StatusOr<std::vector<std::string>> DiscoverSockets(const std::string& fleet_dir) {
+  DIR* dir = ::opendir(fleet_dir.c_str());
+  if (dir == nullptr) {
+    return Status::Error(StrCat("cannot open fleet dir ", fleet_dir));
+  }
+  std::vector<std::string> sockets;
+  while (struct dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name.size() > 5 && name.compare(name.size() - 5, 5, ".sock") == 0) {
+      sockets.push_back(StrCat(fleet_dir, "/", name));
+    }
+  }
+  ::closedir(dir);
+  std::sort(sockets.begin(), sockets.end());
+  if (sockets.empty()) {
+    return Status::Error(StrCat("no *.sock files under ", fleet_dir));
+  }
+  return sockets;
+}
+
+TopSample SampleWorker(const std::string& socket_path) {
+  TopSample sample;
+  StatusOr<int> connected = net::ConnectUnix(socket_path);
+  if (!connected.ok()) {
+    sample.status = "unreachable";
+    return sample;
+  }
+  int fd = connected.value();
+  net::LineReader reader(fd);
+
+  Request stats_req;
+  stats_req.op = kOpStats;
+  stats_req.client = "top";
+  Response stats_resp;
+  if (!Exchange(fd, &reader, stats_req, &stats_resp)) {
+    sample.status = "unreachable";
+    net::CloseFd(fd);
+    return sample;
+  }
+  sample.reachable = true;
+  sample.status = stats_resp.status;
+  std::map<std::string, double> numbers = TopLevelNumbers(stats_resp.stats_json);
+  sample.requests = Fetch(numbers, "requests");
+  sample.served = Fetch(numbers, "served");
+  sample.warm_hits = Fetch(numbers, "warm_hits");
+  sample.cached_safe = Fetch(numbers, "cached_safe");
+  sample.queue_depth = Fetch(numbers, "queue_depth");
+  sample.in_flight = Fetch(numbers, "in_flight");
+  sample.shed_rate = Fetch(numbers, "shed_rate");
+  sample.shed_queue = Fetch(numbers, "shed_queue");
+  sample.quarantine_active = Fetch(numbers, "quarantine_active");
+  sample.dist_queued = Fetch(numbers, "dist_queued");
+  sample.dist_completed = Fetch(numbers, "dist_completed");
+
+  Request metrics_req;
+  metrics_req.op = kOpMetrics;
+  metrics_req.client = "top";
+  Response metrics_resp;
+  if (Exchange(fd, &reader, metrics_req, &metrics_resp) &&
+      metrics_resp.status == kStatusOk && !metrics_resp.metrics.empty()) {
+    StatusOr<obs::Exposition> parsed = obs::ParsePrometheus(metrics_resp.metrics);
+    if (parsed.ok()) {
+      if (const obs::ExpositionHistogram* seconds =
+              parsed.value().FindHistogram("icarus_daemon_request_seconds")) {
+        if (seconds->count > 0) {
+          sample.p50_ms = seconds->Quantile(0.5) * 1e3;
+          sample.p99_ms = seconds->Quantile(0.99) * 1e3;
+        }
+      }
+    }
+  }
+  net::CloseFd(fd);
+  return sample;
+}
+
+std::string RenderTopFrame(const std::vector<TopRow>& rows, double interval_s) {
+  std::string out = StrFormat(
+      "icarus top — %d worker%s, refresh %.1fs\n"
+      "%-10s %-8s %9s %6s %7s %8s %7s %6s %9s %9s\n",
+      static_cast<int>(rows.size()), rows.size() == 1 ? "" : "s", interval_s, "WORKER",
+      "STATUS", "VERD/S", "QUEUE", "INFLT", "HIT%", "SHED", "QUAR", "P50(ms)", "P99(ms)");
+  for (const TopRow& row : rows) {
+    if (!row.sample.reachable) {
+      out += StrFormat("%-10s %-8s %9s %6s %7s %8s %7s %6s %9s %9s\n", row.name.c_str(),
+                       "dead", "-", "-", "-", "-", "-", "-", "-", "-");
+      continue;
+    }
+    const TopSample& s = row.sample;
+    double hits = s.warm_hits + s.cached_safe;
+    double hit_base = s.served + s.warm_hits;
+    std::string hit =
+        hit_base > 0 ? StrFormat("%.1f", 100.0 * hits / hit_base) : std::string("-");
+    std::string p50 = s.p50_ms >= 0 ? StrFormat("%.2f", s.p50_ms) : std::string("-");
+    std::string p99 = s.p99_ms >= 0 ? StrFormat("%.2f", s.p99_ms) : std::string("-");
+    out += StrFormat("%-10s %-8s %9.1f %6d %7d %8s %7d %6d %9s %9s\n", row.name.c_str(),
+                     s.status.c_str(), row.verdicts_per_s, static_cast<int>(s.queue_depth),
+                     static_cast<int>(s.in_flight), hit.c_str(),
+                     static_cast<int>(s.shed_rate + s.shed_queue),
+                     static_cast<int>(s.quarantine_active), p50.c_str(), p99.c_str());
+  }
+  return out;
+}
+
+Status RunTop(const TopOptions& options, std::FILE* out) {
+  std::vector<std::string> sockets = options.sockets;
+  std::vector<std::string> names = options.names;
+  if (!options.fleet_dir.empty()) {
+    StatusOr<std::vector<std::string>> discovered = DiscoverSockets(options.fleet_dir);
+    if (!discovered.ok()) {
+      return discovered.status();
+    }
+    for (std::string& socket : discovered.value()) {
+      sockets.push_back(std::move(socket));
+    }
+  }
+  if (sockets.empty()) {
+    return Status::Error("nothing to poll (give --socket or --fleet-dir)");
+  }
+  names.resize(sockets.size());
+  for (size_t i = 0; i < sockets.size(); ++i) {
+    if (names[i].empty()) {
+      names[i] = BaseName(sockets[i]);
+    }
+  }
+
+  double interval_s = options.interval_ms > 0 ? options.interval_ms / 1e3 : 1.0;
+  std::vector<TopSample> prev(sockets.size());
+  bool have_prev = false;
+  for (int frame = 0; options.iterations == 0 || frame < options.iterations; ++frame) {
+    if (frame > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(interval_s)));
+    }
+    std::vector<TopRow> rows;
+    rows.reserve(sockets.size());
+    for (size_t i = 0; i < sockets.size(); ++i) {
+      TopRow row;
+      row.name = names[i];
+      row.sample = SampleWorker(sockets[i]);
+      if (have_prev && row.sample.reachable && prev[i].reachable) {
+        double delta = (row.sample.served + row.sample.dist_completed) -
+                       (prev[i].served + prev[i].dist_completed);
+        row.verdicts_per_s = delta > 0 ? delta / interval_s : 0;
+      }
+      prev[i] = row.sample;
+      rows.push_back(std::move(row));
+    }
+    have_prev = true;
+    if (options.clear) {
+      std::fputs("\x1b[H\x1b[2J", out);
+    }
+    std::fputs(RenderTopFrame(rows, interval_s).c_str(), out);
+    std::fflush(out);
+  }
+  return Status::Ok();
+}
+
+}  // namespace icarus::daemon

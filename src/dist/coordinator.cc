@@ -1,15 +1,23 @@
 #include "src/dist/coordinator.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <sstream>
 #include <thread>
 #include <utility>
 
 #include "src/daemon/protocol.h"
+#include "src/obs/exposition.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_shard.h"
 #include "src/support/failpoint.h"
 #include "src/support/net.h"
 #include "src/support/str_util.h"
@@ -207,11 +215,32 @@ void RunDriver(const DriverContext& ctx) {
         req.op = daemon::kOpClaim;
         req.generator = generator;
         req.client = "coordinator";
+        // Dispatch span: its id rides the request as the remote parent for
+        // the worker's verify span, so the merged fleet trace parents the
+        // (asynchronous) worker execution under this claim.
+        obs::ScopedSpan dispatch_span("fleet.dispatch", generator);
+        if (dispatch_span.id() != 0) {
+          req.trace_id = obs::TraceId();
+          req.parent_span = dispatch_span.id();
+        }
+        double t0 = obs::TraceNowMicros();
         if (!Transact(fd, &reader, req, &resp)) {
           std::vector<std::pair<int, std::string>> rest(to_claim.begin() + i, to_claim.end());
           Die("connection broke during claim", rest);
           dead = true;
           break;
+        }
+        // Clock-offset handshake: the worker reported its trace clock at
+        // serve time; map it to the round-trip midpoint and keep the
+        // minimum-RTT estimate (least scheduling noise).
+        if (resp.trace_now_us != 0) {
+          double t1 = obs::TraceNowMicros();
+          double rtt = t1 - t0;
+          if (!ctx.attr->offset_valid || rtt < ctx.attr->offset_rtt_us) {
+            ctx.attr->clock_offset_us = (t0 + t1) / 2 - resp.trace_now_us;
+            ctx.attr->offset_rtt_us = rtt;
+            ctx.attr->offset_valid = true;
+          }
         }
       } catch (const std::exception& e) {
         std::lock_guard<std::mutex> lock(st.mu);
@@ -322,9 +351,10 @@ void RunDriver(const DriverContext& ctx) {
     }
   }
 
-  // End of run: ask a surviving staging worker to flush its store deltas for
-  // the coordinator's merge.
-  if (!dead && !ctx.endpoint->staging_dir.empty()) {
+  // End of run: ask a surviving worker to flush its store deltas and/or its
+  // trace shard for the coordinator's merges.
+  if (!dead &&
+      (!ctx.endpoint->staging_dir.empty() || !ctx.endpoint->trace_shard_path.empty())) {
     Request req;
     req.op = daemon::kOpPublish;
     req.client = "coordinator";
@@ -336,7 +366,29 @@ void RunDriver(const DriverContext& ctx) {
                                 resp.error.empty() ? "" : StrCat(": ", resp.error));
     }
   }
+  // Fetch this worker's metric exposition for the fleet merge. Best effort:
+  // a dead worker simply contributes nothing.
+  if (!dead && !opts.metrics_path.empty()) {
+    Request req;
+    req.op = daemon::kOpMetrics;
+    req.client = "coordinator";
+    Response resp;
+    if (Transact(fd, &reader, req, &resp) && resp.status == daemon::kStatusOk) {
+      ctx.attr->metrics_text = std::move(resp.metrics);
+    }
+  }
   net::CloseFd(fd);
+}
+
+// Reads a whole file; empty optional when unreadable.
+std::optional<std::string> SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
 }
 
 }  // namespace
@@ -357,6 +409,16 @@ StatusOr<FleetReport> Coordinator::Run(const std::vector<std::string>& generator
   report.workers.resize(num_workers);
   for (int w = 0; w < num_workers; ++w) {
     report.workers[w].name = workers[w].name;
+  }
+
+  // Label the fleet trace before any claim goes out, so every worker adopts
+  // the same trace id from its first traced request.
+  if (!options_.trace_path.empty() && obs::TracingActive() && obs::TraceId().empty()) {
+    obs::SetTraceId(StrFormat(
+        "fleet-%d-%lld", static_cast<int>(::getpid()),
+        static_cast<long long>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count())));
   }
 
   FleetState st;
@@ -501,6 +563,86 @@ StatusOr<FleetReport> Coordinator::Run(const std::vector<std::string>& generator
     }
   }
 
+  // Merged fleet trace: lane 0 is the coordinator (the reference clock),
+  // lane i+1 is worker i's published shard shifted by the claim-handshake
+  // offset estimate.
+  if (!options_.trace_path.empty()) {
+    std::vector<obs::TraceLane> lanes;
+    obs::TraceLane coordinator_lane;
+    coordinator_lane.shard = obs::SnapshotShard("coordinator");
+    coordinator_lane.offset_valid = true;  // Reference clock; offset 0.
+    lanes.push_back(std::move(coordinator_lane));
+    for (int w = 0; w < num_workers; ++w) {
+      const WorkerEndpoint& worker = workers[w];
+      if (worker.trace_shard_path.empty()) {
+        continue;
+      }
+      obs::TraceLane lane;
+      lane.shard.worker = worker.name;  // Placeholder lane if the shard is gone.
+      std::optional<std::string> text = SlurpFile(worker.trace_shard_path);
+      if (!text.has_value()) {
+        report.notes.push_back(StrCat("worker ", worker.name,
+                                      " trace shard unreadable: ", worker.trace_shard_path));
+      } else {
+        StatusOr<obs::TraceShard> parsed = obs::ParseTraceShard(*text);
+        if (!parsed.ok()) {
+          report.notes.push_back(
+              StrCat("worker ", worker.name, " trace shard: ", parsed.status().message()));
+        } else {
+          lane.shard = parsed.take();
+          lane.shard.worker = worker.name;  // Fleet naming wins over the file's label.
+        }
+      }
+      lane.clock_offset_us = report.workers[w].clock_offset_us;
+      lane.offset_valid = report.workers[w].offset_valid;
+      report.workers[w].trace_spans = static_cast<int64_t>(lane.shard.spans.size());
+      report.workers[w].trace_dropped = lane.shard.dropped;
+      report.workers[w].trace_truncated = lane.shard.truncated();
+      lanes.push_back(std::move(lane));
+    }
+    std::string doc = obs::MergeChromeTrace(lanes, obs::TraceId());
+    std::ofstream out(options_.trace_path, std::ios::binary);
+    if (out) {
+      out << doc;
+      out.flush();
+    }
+    if (!out) {
+      report.notes.push_back(StrCat("cannot write fleet trace ", options_.trace_path));
+    }
+  }
+
+  // Merged fleet metrics: the coordinator's own registry plus every worker's
+  // exposition, summed per instrument (exact under the shared bucket scheme).
+  if (!options_.metrics_path.empty()) {
+    obs::Exposition merged;
+    StatusOr<obs::Exposition> own =
+        obs::ParsePrometheus(obs::Registry::Global().RenderPrometheus());
+    if (own.ok()) {
+      merged = own.take();
+    }
+    for (int w = 0; w < num_workers; ++w) {
+      if (report.workers[w].metrics_text.empty()) {
+        continue;
+      }
+      StatusOr<obs::Exposition> parsed = obs::ParsePrometheus(report.workers[w].metrics_text);
+      Status folded = parsed.ok() ? merged.Merge(parsed.value()) : parsed.status();
+      if (!folded.ok()) {
+        report.notes.push_back(StrCat("worker ", workers[w].name, " metrics: ", folded.message()));
+      }
+    }
+    bool json =
+        options_.metrics_path.size() >= 5 &&
+        options_.metrics_path.compare(options_.metrics_path.size() - 5, 5, ".json") == 0;
+    std::ofstream out(options_.metrics_path, std::ios::binary);
+    if (out) {
+      out << (json ? merged.RenderJson() : merged.RenderPrometheus());
+      out.flush();
+    }
+    if (!out) {
+      report.notes.push_back(StrCat("cannot write fleet metrics ", options_.metrics_path));
+    }
+  }
+
   report.batch.wall_seconds = total.ElapsedSeconds();
   return report;
 }
@@ -514,6 +656,16 @@ std::string FleetReport::RenderSummary() const {
   for (const WorkerAttribution& worker : workers) {
     out += StrFormat("  %-8s %3d verdict%s, %d stolen from", worker.name.c_str(),
                      worker.verdicts, worker.verdicts == 1 ? " " : "s", worker.stolen_from);
+    if (worker.trace_spans > 0 || worker.trace_dropped > 0 || worker.trace_truncated) {
+      out += StrFormat(", %lld span%s", static_cast<long long>(worker.trace_spans),
+                       worker.trace_spans == 1 ? "" : "s");
+      if (worker.trace_dropped > 0) {
+        out += StrFormat(" (%lld dropped)", static_cast<long long>(worker.trace_dropped));
+      }
+      if (worker.trace_truncated) {
+        out += " (shard truncated)";
+      }
+    }
     if (worker.died) {
       out += StrCat("  [died", worker.detail.empty() ? "" : StrCat(": ", worker.detail), "]");
     } else if (worker.published) {

@@ -55,6 +55,10 @@ struct WorkerEndpoint {
   // may be empty when the worker runs without persistence / journaling.
   std::string staging_dir;
   std::string journal_path;
+  // Where the worker exports its trace shard on publish/drain (icarusd
+  // --trace-shard); empty when the run is untraced. Read back by the
+  // coordinator for the merged fleet trace.
+  std::string trace_shard_path;
 };
 
 struct CoordinatorOptions {
@@ -79,6 +83,17 @@ struct CoordinatorOptions {
   // Platform::Fingerprint() of the loaded platform; stamped on fleet journal
   // records and required of worker journal records.
   std::string fingerprint;
+  // Merged fleet Chrome trace output (verify-all --trace): the coordinator
+  // stamps every claim with trace context, estimates each worker's clock
+  // offset from the claim handshake, reads the workers' published trace
+  // shards, and renders one timeline with a process lane per worker.
+  // Empty = untraced run.
+  std::string trace_path;
+  // Merged fleet metrics exposition (verify-all --metrics): each driver
+  // fetches its worker's `metrics` op payload at end of run; the merge sums
+  // them with the coordinator's own registry (exact under the shared
+  // histogram bucket scheme). `.json` suffix renders JSON. Empty = off.
+  std::string metrics_path;
 };
 
 // Per-worker accounting for the fleet report.
@@ -89,6 +104,20 @@ struct WorkerAttribution {
   bool died = false;    // Connection broke (or worker drained) mid-run.
   bool published = false;
   std::string detail;   // Death/publish diagnostics, empty when clean.
+  // Clock-offset handshake (traced runs): the minimum-RTT estimate of
+  // worker_trace_clock → coordinator_trace_clock, from claim responses.
+  double clock_offset_us = 0;
+  double offset_rtt_us = 0;
+  bool offset_valid = false;
+  // Trace-shard accounting (filled by the trace merge): spans recovered,
+  // ring-buffer drops the worker reported, and whether the shard file ended
+  // early (worker died mid-export) — so a sparse lane in the merged trace is
+  // attributable, not mistaken for an idle worker.
+  int64_t trace_spans = 0;
+  int64_t trace_dropped = 0;
+  bool trace_truncated = false;
+  // Raw `metrics` op payload fetched at end of run (metrics_path runs only).
+  std::string metrics_text;
 };
 
 struct FleetReport {

@@ -169,6 +169,14 @@ StatusOr<std::unique_ptr<Fleet>> Fleet::Spawn(const FleetOptions& options) {
                                "--cache-max-mb", StrCat(options.cache_max_mb), "--staging",
                                endpoint.staging_dir});
     }
+    if (options.trace) {
+      endpoint.trace_shard_path = StrCat(fleet->fleet_dir_, "/w", i, ".trace.jsonl");
+      args.insert(args.end(),
+                  {"--trace-shard", endpoint.trace_shard_path, "--worker", endpoint.name});
+    }
+    if (options.metrics) {
+      args.push_back("--obs");
+    }
     if (i < static_cast<int>(options.worker_fail_specs.size()) &&
         !options.worker_fail_specs[i].empty()) {
       args.insert(args.end(), {"--fail", options.worker_fail_specs[i]});

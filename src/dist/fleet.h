@@ -53,6 +53,13 @@ struct FleetOptions {
   // the worker count are ignored; empty entries arm nothing).
   std::vector<std::string> worker_fail_specs;
   double ready_timeout_s = 10.0;
+  // Traced run (verify-all --trace): every worker records spans and exports
+  // a trace shard to fleet_dir/wN.trace.jsonl (icarusd --trace-shard), read
+  // back by the coordinator's fleet-trace merge.
+  bool trace = false;
+  // Metrics run (verify-all --metrics): workers enable their registries so
+  // the `metrics` op has live instruments to serve.
+  bool metrics = false;
 };
 
 class Fleet {

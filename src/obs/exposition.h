@@ -1,0 +1,76 @@
+// Parsed metric expositions: the cross-process half of the metrics registry.
+//
+// The registry (src/obs/metrics.h) renders Prometheus text; this module
+// parses that text back into instruments, merges expositions from many
+// processes into one, and answers quantile queries against the merged
+// histograms. Merging is exact *because* every histogram in the tree shares
+// the registry's fixed log-scale bucket scheme — counters and histogram
+// buckets sum, gauges sum (every gauge in the catalogue is an occupancy
+// count, so fleet-wide occupancy is the sum of per-worker occupancy).
+//
+// Consumers: `verify-all --workers N --metrics` (merge every worker's
+// `metrics` op payload with the coordinator's own registry into one
+// exposition) and `icarus top` (poll per-worker expositions and render
+// p50/p99 latencies live).
+#ifndef ICARUS_OBS_EXPOSITION_H_
+#define ICARUS_OBS_EXPOSITION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace icarus::obs {
+
+struct ExpositionScalar {
+  std::string name;
+  std::string help;
+  double value = 0;
+};
+
+struct ExpositionHistogram {
+  std::string name;
+  std::string help;
+  // Cumulative count per finite bucket of the shared scheme
+  // (Histogram::kNumBuckets entries, bound i = 2^(i-20)); `count` is +Inf.
+  std::vector<int64_t> cumulative;
+  int64_t count = 0;
+  double sum = 0;
+
+  // Value at quantile q in [0, 1]: the upper bound of the first bucket whose
+  // cumulative count reaches q * count, linearly interpolated within the
+  // bucket. 0 when the histogram is empty.
+  double Quantile(double q) const;
+};
+
+// One process's (or one merged fleet's) metric exposition.
+struct Exposition {
+  std::vector<ExpositionScalar> counters;
+  std::vector<ExpositionScalar> gauges;
+  std::vector<ExpositionHistogram> histograms;
+
+  const ExpositionScalar* FindCounter(std::string_view name) const;
+  const ExpositionScalar* FindGauge(std::string_view name) const;
+  const ExpositionHistogram* FindHistogram(std::string_view name) const;
+
+  // Folds `other` into this exposition: counters/gauges/histogram buckets
+  // sum per name; instruments only one side knows are kept. Errors when the
+  // same histogram arrives with an incompatible bucket layout.
+  Status Merge(const Exposition& other);
+
+  // Renders back out in the registry's formats, so a merged exposition is
+  // interchangeable with a single-process `--metrics` file.
+  std::string RenderPrometheus() const;
+  std::string RenderJson() const;
+};
+
+// Parses Prometheus text as rendered by Registry::RenderPrometheus (and by
+// RenderPrometheus above). Unknown sample shapes (labels other than `le`)
+// are an error — this is an internal exchange format, not a general scraper.
+StatusOr<Exposition> ParsePrometheus(std::string_view text);
+
+}  // namespace icarus::obs
+
+#endif  // ICARUS_OBS_EXPOSITION_H_

@@ -1,5 +1,7 @@
 #include "src/obs/trace.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -51,6 +53,7 @@ struct TraceState {
   std::vector<std::shared_ptr<RingBuffer>> buffers;  // Keeps exited threads' data.
   std::atomic<int> next_tid{1};
   Clock::time_point epoch = Clock::now();
+  std::string trace_id;  // Guarded by mu.
 };
 
 TraceState& State() {
@@ -74,7 +77,21 @@ double NowMicros() {
   return std::chrono::duration<double, std::micro>(Clock::now() - State().epoch).count();
 }
 
+// Fleet-unique span ids: pid in the high bits, a process-local counter in
+// the low 31. Linux pids fit in 22 bits (pid_max <= 2^22), so ids stay
+// within 53 bits and survive a round-trip through a JSON double exactly.
+int64_t NextSpanId() {
+  static std::atomic<int64_t> counter{0};
+  static const int64_t base = static_cast<int64_t>(::getpid()) << 31;
+  return base | (counter.fetch_add(1, std::memory_order_relaxed) & 0x7fffffff);
+}
+
 thread_local int t_depth = 0;
+// The enclosing-span stack for parent ids (mirrors t_depth; small — spans
+// nest as deep as the C++ scopes that open them).
+thread_local std::vector<int64_t> t_span_stack;
+// Remote parent for depth-0 spans (ScopedRemoteParent).
+thread_local int64_t t_remote_parent = 0;
 
 }  // namespace
 
@@ -114,6 +131,8 @@ void ScopedSpan::Begin(const char* name, std::string_view detail) {
   active_ = true;
   name_ = detail.empty() ? std::string(name) : StrCat(name, ":", detail);
   depth_ = t_depth++;
+  id_ = NextSpanId();
+  t_span_stack.push_back(id_);
   start_us_ = NowMicros();
 }
 
@@ -122,15 +141,40 @@ ScopedSpan::~ScopedSpan() {
     return;
   }
   --t_depth;
+  t_span_stack.pop_back();
   SpanEvent e;
   e.name = std::move(name_);
   e.start_us = start_us_;
   e.dur_us = NowMicros() - start_us_;
   e.depth = depth_;
+  e.id = id_;
+  e.parent = t_span_stack.empty() ? t_remote_parent : t_span_stack.back();
   RingBuffer& buffer = ThisThreadBuffer();
   e.tid = buffer.tid;
   buffer.Push(std::move(e));
 }
+
+ScopedRemoteParent::ScopedRemoteParent(int64_t span_id) : prev_(t_remote_parent) {
+  if (span_id != 0) {
+    t_remote_parent = span_id;
+  }
+}
+
+ScopedRemoteParent::~ScopedRemoteParent() { t_remote_parent = prev_; }
+
+void SetTraceId(std::string trace_id) {
+  TraceState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.trace_id = std::move(trace_id);
+}
+
+std::string TraceId() {
+  TraceState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.trace_id;
+}
+
+double TraceNowMicros() { return NowMicros(); }
 
 std::vector<SpanEvent> SnapshotSpans() {
   TraceState& s = State();
@@ -180,13 +224,23 @@ std::string ExportChromeTrace() {
     w.Key("dur").Double(e.dur_us);
     w.Key("pid").Int(1);
     w.Key("tid").Int(e.tid);
-    w.Key("args").BeginObject().Key("depth").Int(e.depth).EndObject();
+    w.Key("args").BeginObject();
+    w.Key("depth").Int(e.depth);
+    w.Key("id").Int(e.id);
+    if (e.parent != 0) {
+      w.Key("parent").Int(e.parent);
+    }
+    w.EndObject();
     w.EndObject();
   }
   w.EndArray();
   w.Key("displayTimeUnit").String("ms");
   w.Key("otherData").BeginObject();
   w.Key("dropped_spans").Int(DroppedSpans());
+  std::string trace_id = TraceId();
+  if (!trace_id.empty()) {
+    w.Key("trace_id").String(trace_id);
+  }
   w.EndObject();
   w.EndObject();
   return w.Take();

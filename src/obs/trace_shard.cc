@@ -1,0 +1,222 @@
+#include "src/obs/trace_shard.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "src/obs/json.h"
+#include "src/support/flat_json.h"
+#include "src/support/str_util.h"
+
+namespace icarus::obs {
+
+namespace {
+
+constexpr char kShardMagic[] = "icarus-trace-v1";
+
+}  // namespace
+
+TraceShard SnapshotShard(std::string_view worker) {
+  TraceShard shard;
+  shard.worker = std::string(worker);
+  shard.trace_id = TraceId();
+  shard.pid = static_cast<int64_t>(::getpid());
+  shard.spans = SnapshotSpans();
+  shard.dropped = DroppedSpans();
+  shard.declared_spans = static_cast<int64_t>(shard.spans.size());
+  return shard;
+}
+
+std::string RenderTraceShard(const TraceShard& shard) {
+  std::string out = StrCat("{\"shard\":\"", kShardMagic, "\",\"worker\":");
+  AppendJsonString(shard.worker, &out);
+  out += ",\"trace_id\":";
+  AppendJsonString(shard.trace_id, &out);
+  out += StrCat(",\"pid\":", std::to_string(shard.pid),
+                ",\"dropped\":", std::to_string(shard.dropped),
+                ",\"spans\":", std::to_string(shard.spans.size()), "}\n");
+  for (const SpanEvent& e : shard.spans) {
+    out += "{\"name\":";
+    AppendJsonString(e.name, &out);
+    out += StrFormat(",\"start_us\":%.17g,\"dur_us\":%.17g", e.start_us, e.dur_us);
+    out += StrCat(",\"tid\":", std::to_string(e.tid), ",\"depth\":", std::to_string(e.depth),
+                  ",\"id\":", std::to_string(e.id), ",\"parent\":", std::to_string(e.parent),
+                  "}\n");
+  }
+  return out;
+}
+
+std::string ExportTraceShard(std::string_view worker) {
+  return RenderTraceShard(SnapshotShard(worker));
+}
+
+StatusOr<TraceShard> ParseTraceShard(std::string_view text) {
+  TraceShard shard;
+  size_t pos = 0;
+  bool saw_meta = false;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    bool complete_line = eol != std::string_view::npos;
+    std::string_view line = text.substr(pos, complete_line ? eol - pos : std::string_view::npos);
+    pos = complete_line ? eol + 1 : text.size();
+    if (line.empty()) {
+      continue;
+    }
+    if (!saw_meta) {
+      std::string magic;
+      bool ok = FlatLineParser(line).Parse(
+          [&](const std::string& key, std::string value) {
+            if (key == "shard") {
+              magic = std::move(value);
+            } else if (key == "worker") {
+              shard.worker = std::move(value);
+            } else if (key == "trace_id") {
+              shard.trace_id = std::move(value);
+            }
+          },
+          [&](const std::string& key, double value) {
+            if (key == "pid") {
+              shard.pid = static_cast<int64_t>(value);
+            } else if (key == "dropped") {
+              shard.dropped = static_cast<int64_t>(value);
+            } else if (key == "spans") {
+              shard.declared_spans = static_cast<int64_t>(value);
+            }
+          });
+      if (!ok || magic != kShardMagic) {
+        return Status::Error("not a trace shard (bad or missing metadata line)");
+      }
+      saw_meta = true;
+      continue;
+    }
+    // Span lines. A line truncated by a dying worker (no trailing newline,
+    // or unparseable) ends the document; everything before it is kept and
+    // truncated() reports the gap against declared_spans.
+    SpanEvent e;
+    bool ok = complete_line &&
+              FlatLineParser(line).Parse(
+                  [&](const std::string& key, std::string value) {
+                    if (key == "name") {
+                      e.name = std::move(value);
+                    }
+                  },
+                  [&](const std::string& key, double value) {
+                    if (key == "start_us") {
+                      e.start_us = value;
+                    } else if (key == "dur_us") {
+                      e.dur_us = value;
+                    } else if (key == "tid") {
+                      e.tid = static_cast<int>(value);
+                    } else if (key == "depth") {
+                      e.depth = static_cast<int>(value);
+                    } else if (key == "id") {
+                      e.id = static_cast<int64_t>(value);
+                    } else if (key == "parent") {
+                      e.parent = static_cast<int64_t>(value);
+                    }
+                  });
+    if (!ok) {
+      break;
+    }
+    shard.spans.push_back(std::move(e));
+  }
+  if (!saw_meta) {
+    return Status::Error("not a trace shard (empty document)");
+  }
+  return shard;
+}
+
+std::string MergeChromeTrace(const std::vector<TraceLane>& lanes, std::string_view trace_id) {
+  // Flatten with per-lane pid + clock shift, then sort by shifted start so
+  // the document reads as one timeline.
+  struct Placed {
+    const SpanEvent* e;
+    int pid;
+    double ts;
+  };
+  std::vector<Placed> placed;
+  for (size_t lane = 0; lane < lanes.size(); ++lane) {
+    double offset = lanes[lane].offset_valid ? lanes[lane].clock_offset_us : 0.0;
+    for (const SpanEvent& e : lanes[lane].shard.spans) {
+      placed.push_back({&e, static_cast<int>(lane) + 1, e.start_us + offset});
+    }
+  }
+  std::sort(placed.begin(), placed.end(), [](const Placed& a, const Placed& b) {
+    if (a.ts != b.ts) {
+      return a.ts < b.ts;
+    }
+    return a.e->depth < b.e->depth;
+  });
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  // Process lanes: name + sort index so the viewer shows the coordinator
+  // first and the workers in fleet order.
+  for (size_t lane = 0; lane < lanes.size(); ++lane) {
+    int pid = static_cast<int>(lane) + 1;
+    w.BeginObject();
+    w.Key("name").String("process_name");
+    w.Key("ph").String("M");
+    w.Key("pid").Int(pid);
+    w.Key("args").BeginObject().Key("name").String(lanes[lane].shard.worker).EndObject();
+    w.EndObject();
+    w.BeginObject();
+    w.Key("name").String("process_sort_index");
+    w.Key("ph").String("M");
+    w.Key("pid").Int(pid);
+    w.Key("args").BeginObject().Key("sort_index").Int(pid).EndObject();
+    w.EndObject();
+  }
+  for (const Placed& p : placed) {
+    const SpanEvent& e = *p.e;
+    w.BeginObject();
+    w.Key("name").String(e.name);
+    w.Key("cat").String("icarus");
+    w.Key("ph").String("X");
+    w.Key("ts").Double(p.ts);
+    w.Key("dur").Double(e.dur_us);
+    w.Key("pid").Int(p.pid);
+    w.Key("tid").Int(e.tid);
+    w.Key("args").BeginObject();
+    w.Key("depth").Int(e.depth);
+    w.Key("id").Int(e.id);
+    if (e.parent != 0) {
+      w.Key("parent").Int(e.parent);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("otherData").BeginObject();
+  if (!trace_id.empty()) {
+    w.Key("trace_id").String(std::string(trace_id));
+  }
+  int64_t total_dropped = 0;
+  w.Key("lanes").BeginArray();
+  for (size_t lane = 0; lane < lanes.size(); ++lane) {
+    const TraceShard& shard = lanes[lane].shard;
+    total_dropped += shard.dropped;
+    w.BeginObject();
+    w.Key("worker").String(shard.worker);
+    w.Key("pid").Int(static_cast<int>(lane) + 1);
+    w.Key("os_pid").Int(shard.pid);
+    w.Key("spans").Int(static_cast<int64_t>(shard.spans.size()));
+    // dropped > 0: the lane is a suffix of the worker's run (ring-buffer
+    // wraparound). truncated: the shard file itself ended early (the worker
+    // died mid-export). Either way a sparse lane is not an idle worker.
+    w.Key("dropped_spans").Int(shard.dropped);
+    w.Key("truncated").Bool(shard.truncated());
+    w.Key("clock_aligned").Bool(lanes[lane].offset_valid);
+    w.Key("clock_offset_us").Double(lanes[lane].offset_valid ? lanes[lane].clock_offset_us : 0);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("dropped_spans").Int(total_dropped);
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace icarus::obs

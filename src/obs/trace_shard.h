@@ -1,0 +1,82 @@
+// Trace shards: per-process span dumps that a fleet coordinator merges into
+// one Chrome trace with a process lane per worker.
+//
+// A worker daemon exports its ring buffers as a *shard* — a line-oriented
+// flat-JSON document (src/support/flat_json.h): one metadata line carrying
+// the worker label, pid, trace id, span count, and ring-buffer drop count,
+// then one flat object per span. The format is the same dialect as the wire
+// protocol and the verdict journal, so a shard truncated by a crashed worker
+// parses up to the last complete line and the drop count distinguishes a
+// truncated shard from an idle worker.
+//
+// The coordinator parses every worker's shard, pairs each with the clock
+// offset it estimated during the claim handshake (the worker reports its
+// trace clock in each claim response; the coordinator maps it to the
+// midpoint of the exchange and keeps the minimum-RTT estimate), and renders
+// one merged Chrome trace: lane 0 is the coordinator, lane i+1 is worker i,
+// each with a `process_name` metadata event, span timestamps shifted onto
+// the coordinator's clock, and per-lane span/drop accounting in `otherData`.
+// Cross-process parenting needs no remapping — span ids carry the producing
+// pid in their high bits (src/obs/trace.h), so a worker span's `parent`
+// already names the coordinator's dispatch span globally.
+#ifndef ICARUS_OBS_TRACE_SHARD_H_
+#define ICARUS_OBS_TRACE_SHARD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/trace.h"
+#include "src/support/status.h"
+
+namespace icarus::obs {
+
+// One process's span dump plus the metadata the merge needs.
+struct TraceShard {
+  std::string worker;    // Attribution label ("w0", "coordinator", ...).
+  std::string trace_id;  // Fleet trace id at export time (may be empty).
+  int64_t pid = 0;       // Producing process id.
+  int64_t dropped = 0;   // Ring-buffer overwrites at export time.
+  int64_t declared_spans = 0;  // Span count the metadata line promised.
+  std::vector<SpanEvent> spans;
+
+  // True when the document ended before `declared_spans` span lines — a
+  // worker died mid-export (distinct from an idle worker's 0-span shard).
+  bool truncated() const {
+    return declared_spans > static_cast<int64_t>(spans.size());
+  }
+};
+
+// Snapshots this process's recorded spans into a shard labelled `worker`.
+TraceShard SnapshotShard(std::string_view worker);
+
+// Serializes a shard as its line-oriented document.
+std::string RenderTraceShard(const TraceShard& shard);
+
+// SnapshotShard + RenderTraceShard: what a daemon writes on `publish`.
+std::string ExportTraceShard(std::string_view worker);
+
+// Parses a shard document. A missing/malformed metadata line is an error; a
+// document truncated mid-span parses successfully with truncated() set.
+StatusOr<TraceShard> ParseTraceShard(std::string_view text);
+
+// One process lane of the merged fleet trace.
+struct TraceLane {
+  TraceShard shard;
+  // Added to every span timestamp to land it on the coordinator's trace
+  // clock (claim-handshake estimate). Lane 0 (the coordinator) uses 0.
+  double clock_offset_us = 0;
+  bool offset_valid = false;  // False renders the lane unshifted, flagged.
+};
+
+// Renders lanes as one Chrome trace_event document: lane i is pid i+1 with
+// a process_name metadata event, spans carry id/parent args, and otherData
+// reports the trace id plus per-lane span counts, ring-buffer drop counts,
+// truncation, and clock alignment — so a truncated or unaligned lane is
+// never mistaken for a complete one.
+std::string MergeChromeTrace(const std::vector<TraceLane>& lanes, std::string_view trace_id);
+
+}  // namespace icarus::obs
+
+#endif  // ICARUS_OBS_TRACE_SHARD_H_

@@ -22,6 +22,8 @@
 #include "src/daemon/protocol.h"
 #include "src/daemon/quarantine.h"
 #include "src/daemon/server.h"
+#include "src/obs/exposition.h"
+#include "src/obs/metrics.h"
 #include "src/platform/platform.h"
 #include "src/support/failpoint.h"
 #include "src/support/status.h"
@@ -119,6 +121,43 @@ TEST(Protocol, ParseResponseRequiresStatus) {
   Response resp;
   EXPECT_FALSE(ParseResponse("{\"id\":\"x\"}", &resp).ok());
   EXPECT_TRUE(ParseResponse("{\"status\":\"OK\"}", &resp).ok());
+}
+
+TEST(Protocol, TraceContextAndMetricsFieldsRoundTrip) {
+  // Trace context rides any request; span ids use the full 53-bit range
+  // ((pid << 31) | counter) and must survive the wire exactly.
+  Request req;
+  req.op = kOpVerify;
+  req.generator = "g";
+  req.trace_id = "fleet-123-456";
+  req.parent_span = (int64_t{54321} << 31) | 42;
+  Request back;
+  ASSERT_TRUE(ParseRequest(req.ToJsonLine(), &back).ok());
+  EXPECT_EQ(back.trace_id, "fleet-123-456");
+  EXPECT_EQ(back.parent_span, req.parent_span);
+  // A context-free request serializes without the trace keys at all (the
+  // pre-tracing byte shape, so old captures stay comparable).
+  Request plain;
+  plain.op = kOpPing;
+  EXPECT_EQ(plain.ToJsonLine().find("trace_id"), std::string::npos);
+
+  Request metrics;
+  metrics.op = kOpMetrics;
+  metrics.format = "json";
+  Request mback;
+  ASSERT_TRUE(ParseRequest(metrics.ToJsonLine(), &mback).ok());
+  EXPECT_EQ(mback.op, kOpMetrics);
+  EXPECT_EQ(mback.format, "json");
+  EXPECT_FALSE(ParseRequest("{\"op\":\"metrics\",\"format\":\"xml\"}", &metrics).ok());
+
+  Response resp;
+  resp.status = kStatusOk;
+  resp.metrics = "# HELP x y\n# TYPE x counter\nx 1\n";
+  resp.trace_now_us = 123.5;
+  Response rback;
+  ASSERT_TRUE(ParseResponse(resp.ToJsonLine(), &rback).ok());
+  EXPECT_EQ(rback.metrics, resp.metrics);
+  EXPECT_DOUBLE_EQ(rback.trace_now_us, 123.5);
 }
 
 // --- Admission control (fake clock) --------------------------------------
@@ -351,6 +390,110 @@ TEST_F(ServerCoreTest, ServesRealVerdictsAndWarmRepeats) {
   EXPECT_EQ(stats.warm_hits, 2);
   EXPECT_EQ(stats.served, 4);  // Two real verdicts + two ERROR attempts.
   EXPECT_TRUE(core.FinishDrain().ok());
+}
+
+TEST_F(ServerCoreTest, StatsJsonSurvivesControlByteClientNames) {
+  ServerCore core(platform_, DaemonOptions{});
+  ASSERT_TRUE(core.Start().ok());
+
+  // A hostile (or merely buggy) client name: quote, backslash, newline, and
+  // raw control bytes. It becomes a JSON object key inside stats_json, which
+  // itself travels as a JSON string inside the response line — two rounds of
+  // escaping that must both be loss-free.
+  std::string client = std::string("ci\x01\x1f\"\\\n\t") + "shard";
+  Response served = core.Execute(Verify("tryAttachInt32Add", client));
+  EXPECT_EQ(served.status, kStatusOk);
+
+  Request stats;
+  stats.op = kOpStats;
+  Response counters = core.Execute(stats);
+  EXPECT_EQ(counters.status, kStatusOk);
+  // Control bytes are \u-escaped in the payload (a stats line must never
+  // contain a raw newline — it would tear the NDJSON framing).
+  EXPECT_NE(counters.stats_json.find("\\u0001"), std::string::npos) << counters.stats_json;
+  EXPECT_EQ(counters.stats_json.find('\n'), std::string::npos);
+
+  Response back;
+  ASSERT_TRUE(ParseResponse(counters.ToJsonLine(), &back).ok());
+  EXPECT_EQ(back.stats_json, counters.stats_json);
+  EXPECT_TRUE(core.FinishDrain().ok());
+}
+
+TEST_F(ServerCoreTest, MetricsOpServesAParseableExposition) {
+  if (!obs::kCompiledIn) {
+    GTEST_SKIP() << "built with ICARUS_ENABLE_OBS=OFF";
+  }
+  obs::SetEnabled(true);
+  obs::Registry::Global().ResetAll();
+  ServerCore core(platform_, DaemonOptions{});
+  ASSERT_TRUE(core.Start().ok());
+  EXPECT_EQ(core.Execute(Verify("tryAttachInt32Add")).status, kStatusOk);
+
+  Request metrics;
+  metrics.op = kOpMetrics;
+  Response resp = core.Execute(metrics);
+  EXPECT_EQ(resp.status, kStatusOk);
+  StatusOr<obs::Exposition> parsed = obs::ParsePrometheus(resp.metrics);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  // The service-time histogram recorded the verify, and quantile queries
+  // against the parsed exposition answer something positive — exactly what
+  // `icarus top` renders as P50/P99.
+  const obs::ExpositionHistogram* request_seconds =
+      parsed.value().FindHistogram("icarus_daemon_request_seconds");
+  ASSERT_NE(request_seconds, nullptr);
+  EXPECT_GE(request_seconds->count, 1);
+  EXPECT_GT(request_seconds->Quantile(0.5), 0);
+  // Per-op attribution: the verify (and this metrics op itself, admitted
+  // before the render) have op-level histograms.
+  const obs::ExpositionHistogram* op_verify =
+      parsed.value().FindHistogram("icarus_daemon_op_verify_seconds");
+  ASSERT_NE(op_verify, nullptr);
+  EXPECT_GE(op_verify->count, 1);
+  // Queue gauges are exported (occupancy may legitimately be zero by now).
+  EXPECT_NE(parsed.value().FindGauge("icarus_daemon_queue_depth"), nullptr);
+
+  Request as_json;
+  as_json.op = kOpMetrics;
+  as_json.format = "json";
+  Response json_resp = core.Execute(as_json);
+  EXPECT_EQ(json_resp.status, kStatusOk);
+  ASSERT_FALSE(json_resp.metrics.empty());
+  EXPECT_EQ(json_resp.metrics.front(), '{');
+  EXPECT_NE(json_resp.metrics.find("\"histograms\""), std::string::npos);
+
+  EXPECT_TRUE(core.FinishDrain().ok());
+  obs::SetEnabled(false);
+}
+
+TEST_F(ServerCoreTest, SlowRequestLogAttributesStageCosts) {
+  DaemonOptions options;
+  options.slow_ms = 1e-6;  // Every served request is "slow".
+  options.slow_log_path = TempPath("slow_log_test.jsonl");
+  std::remove(options.slow_log_path.c_str());
+  ServerCore core(platform_, options);
+  ASSERT_TRUE(core.Start().ok());
+  EXPECT_EQ(core.Execute(Verify("tryAttachCompareInt32", "slowpoke")).status, kStatusOk);
+  // Warm hits skip the service path entirely — no second log line.
+  EXPECT_EQ(core.Execute(Verify("tryAttachCompareInt32", "slowpoke")).status, kStatusOk);
+  EXPECT_TRUE(core.FinishDrain().ok());
+
+  std::ifstream in(options.slow_log_path);
+  ASSERT_TRUE(in.good()) << "slow log not written";
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_NE(line.find("\"slow_request\":true"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"gen\":\"tryAttachCompareInt32\""), std::string::npos);
+    EXPECT_NE(line.find("\"client\":\"slowpoke\""), std::string::npos);
+    EXPECT_NE(line.find("\"outcome\":\"VERIFIED\""), std::string::npos);
+    // Stage attribution mirrors the journal's breakdown.
+    for (const char* key : {"\"seconds\":", "\"cfa_s\":", "\"gen_s\":", "\"interp_s\":",
+                            "\"solve_s\":", "\"paths\":", "\"queries\":"}) {
+      EXPECT_NE(line.find(key), std::string::npos) << key << " missing in " << line;
+    }
+  }
+  EXPECT_EQ(lines, 1);
 }
 
 TEST_F(ServerCoreTest, RateShedsRecoverWhenTheBucketRefills) {

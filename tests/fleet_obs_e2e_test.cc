@@ -1,0 +1,274 @@
+// Fleet observability end-to-end, against real `icarusd` worker processes:
+//
+//   - a 4-worker traced run produces ONE merged Chrome trace: a process lane
+//     per worker plus the coordinator (5 lanes, each with process_name
+//     metadata), worker `daemon.verify` spans whose `parent` ids are
+//     coordinator `fleet.dispatch` span ids (the cross-process edge, carried
+//     by the protocol's trace context and needing no id remapping), and
+//     per-lane span/drop accounting in otherData;
+//   - `icarus top` polls the same still-running fleet over its sockets and
+//     renders a per-worker stats table;
+//   - the `icarus verify-all --workers 4 --trace --metrics` CLI produces the
+//     same merged artifacts as a real subprocess, exit code 0.
+//
+// Registered RUN_SERIAL in ctest: each case forks a multi-process fleet.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/dist/coordinator.h"
+#include "src/dist/fleet.h"
+#include "src/obs/exposition.h"
+#include "src/obs/trace.h"
+#include "src/platform/platform.h"
+
+#if defined(ICARUS_DAEMON_PATH) && defined(ICARUS_CLI_PATH)
+
+namespace icarus::dist {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string MakeTempDir(const std::string& stem) {
+  std::string tmpl = ::testing::TempDir() + "/" + stem + "XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    ADD_FAILURE() << "mkdtemp failed for " << tmpl;
+    return ::testing::TempDir();
+  }
+  return std::string(buf.data());
+}
+
+std::vector<std::string> AllGenerators(const platform::Platform* platform) {
+  std::vector<std::string> names;
+  for (const auto* fn : platform->module().Generators()) {
+    names.push_back(fn->name);
+  }
+  return names;
+}
+
+// One event scraped from the merged trace document. The document is
+// machine-written JSON with a fixed key order (JsonWriter), so a substring
+// scan per event object is reliable without a JSON parser in the test deps.
+struct TraceEvent {
+  std::string name;
+  std::string lane_label;  // process_name metadata events only.
+  int pid = 0;
+  long long id = 0;
+  long long parent = 0;
+};
+
+std::vector<TraceEvent> ExtractEvents(const std::string& json) {
+  std::vector<TraceEvent> events;
+  size_t pos = 0;
+  while ((pos = json.find("{\"name\":\"", pos)) != std::string::npos) {
+    size_t name_start = pos + 9;
+    size_t name_end = json.find('"', name_start);
+    size_t end = json.find("}}", pos);  // args close + event close.
+    if (name_end == std::string::npos || end == std::string::npos) {
+      break;
+    }
+    std::string slice = json.substr(pos, end - pos + 2);
+    TraceEvent e;
+    e.name = json.substr(name_start, name_end - name_start);
+    auto number = [&](const char* key) -> long long {
+      size_t at = slice.find(key);
+      return at == std::string::npos ? 0
+                                     : std::atoll(slice.c_str() + at + std::strlen(key));
+    };
+    e.pid = static_cast<int>(number("\"pid\":"));
+    e.id = number("\"id\":");
+    e.parent = number("\"parent\":");
+    size_t label = slice.find("\"args\":{\"name\":\"");
+    if (label != std::string::npos) {
+      size_t lstart = label + 16;
+      e.lane_label = slice.substr(lstart, slice.find('"', lstart) - lstart);
+    }
+    events.push_back(std::move(e));
+    pos = end;
+  }
+  return events;
+}
+
+// The acceptance checks shared by the library-level and CLI-level runs.
+void CheckMergedTrace(const std::string& json, int workers) {
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  ASSERT_NE(json.find("\"traceEvents\":["), std::string::npos);
+
+  std::vector<TraceEvent> events = ExtractEvents(json);
+  std::set<int> lane_pids;
+  std::set<std::string> lane_labels;
+  for (const TraceEvent& e : events) {
+    if (e.name == "process_name") {
+      lane_pids.insert(e.pid);
+      lane_labels.insert(e.lane_label);
+    }
+  }
+  // One lane per worker plus the coordinator, each a distinct pid.
+  EXPECT_GE(static_cast<int>(lane_pids.size()), workers + 1);
+  EXPECT_EQ(lane_labels.count("coordinator"), 1u) << json.substr(0, 400);
+  for (int i = 0; i < workers; ++i) {
+    EXPECT_EQ(lane_labels.count("w" + std::to_string(i)), 1u) << "missing lane w" << i;
+  }
+
+  // Every worker verify span parents back to a coordinator dispatch span —
+  // by id alone, across the process boundary.
+  std::map<long long, int> dispatch_pid;
+  for (const TraceEvent& e : events) {
+    if (e.name.rfind("fleet.dispatch", 0) == 0) {
+      ASSERT_NE(e.id, 0);
+      dispatch_pid[e.id] = e.pid;
+    }
+  }
+  EXPECT_FALSE(dispatch_pid.empty());
+  int parented = 0;
+  std::set<int> verify_pids;
+  for (const TraceEvent& e : events) {
+    if (e.name.rfind("daemon.verify", 0) != 0) {
+      continue;
+    }
+    verify_pids.insert(e.pid);
+    ASSERT_NE(e.parent, 0) << e.name << " has no parent";
+    auto it = dispatch_pid.find(e.parent);
+    ASSERT_NE(it, dispatch_pid.end())
+        << e.name << ": parent " << e.parent << " is not a dispatch span id";
+    EXPECT_NE(it->second, e.pid) << e.name << ": parent edge should cross lanes";
+    ++parented;
+  }
+  EXPECT_GT(parented, 0) << "no worker verify spans survived the merge";
+  EXPECT_GE(static_cast<int>(verify_pids.size()), 2) << "work landed on fewer than 2 lanes";
+
+  // Fleet-level metadata: trace id plus per-lane span/drop accounting.
+  EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"lanes\":["), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"clock_aligned\""), std::string::npos);
+}
+
+void CheckMergedMetrics(const std::string& text) {
+  StatusOr<obs::Exposition> parsed = obs::ParsePrometheus(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  // Fleet-wide service histograms: every worker observed its verifies into
+  // the shared bucket scheme, so the merged exposition answers quantiles.
+  const obs::ExpositionHistogram* request_seconds =
+      parsed.value().FindHistogram("icarus_daemon_request_seconds");
+  ASSERT_NE(request_seconds, nullptr);
+  EXPECT_GE(request_seconds->count, 1);
+  EXPECT_GT(request_seconds->Quantile(0.99), 0);
+  const obs::ExpositionHistogram* op_verify =
+      parsed.value().FindHistogram("icarus_daemon_op_verify_seconds");
+  ASSERT_NE(op_verify, nullptr);
+  EXPECT_GE(op_verify->count, 1);
+}
+
+TEST(FleetObsE2E, TracedFleetMergesOneTimelineAndTopRendersTheLiveFleet) {
+  if (!obs::kCompiledIn) {
+    GTEST_SKIP() << "built with ICARUS_ENABLE_OBS=OFF";
+  }
+  auto loaded = platform::Platform::Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  std::vector<std::string> generators = AllGenerators(loaded.value().get());
+  ASSERT_FALSE(generators.empty());
+
+  obs::SetEnabled(true);
+  obs::StartTracing();
+
+  std::string dir = MakeTempDir("fleet_obs_e2e_");
+  constexpr int kWorkers = 4;
+  FleetOptions fleet_options;
+  fleet_options.workers = kWorkers;
+  fleet_options.worker_bin = ICARUS_DAEMON_PATH;
+  fleet_options.fleet_dir = dir + "/fleet";
+  fleet_options.trace = true;
+  fleet_options.metrics = true;
+  StatusOr<std::unique_ptr<Fleet>> fleet = Fleet::Spawn(fleet_options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().message();
+
+  CoordinatorOptions coord_options;
+  coord_options.trace_path = dir + "/fleet-trace.json";
+  coord_options.metrics_path = dir + "/fleet-metrics.prom";
+  Coordinator coordinator(coord_options);
+  StatusOr<FleetReport> run = coordinator.Run(generators, fleet.value()->endpoints());
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  for (const std::string& note : run.value().notes) {
+    ADD_FAILURE() << "unexpected coordinator note: " << note;
+  }
+  // Per-worker span accounting made it into the fleet report (and thence the
+  // summary): the lanes carried spans and nothing was dropped or truncated.
+  for (const WorkerAttribution& w : run.value().workers) {
+    EXPECT_GT(w.trace_spans, 0) << w.name;
+    EXPECT_FALSE(w.trace_truncated) << w.name;
+    EXPECT_TRUE(w.offset_valid) << w.name << ": no clock handshake happened";
+  }
+
+  // The fleet is still up: drive `icarus top` against its sockets and check
+  // it renders one live row per worker.
+  std::string top_out = dir + "/top.out";
+  std::string top_cmd = std::string(ICARUS_CLI_PATH) + " top --fleet-dir " +
+                        fleet_options.fleet_dir +
+                        " --iterations 2 --interval-ms 50 --no-clear > " + top_out +
+                        " 2>&1";
+  EXPECT_EQ(std::system(top_cmd.c_str()), 0) << top_cmd << "\n" << Slurp(top_out);
+  std::string top_text = Slurp(top_out);
+  EXPECT_NE(top_text.find("WORKER"), std::string::npos) << top_text;
+  EXPECT_NE(top_text.find("P99(ms)"), std::string::npos);
+  for (int i = 0; i < kWorkers; ++i) {
+    EXPECT_NE(top_text.find("w" + std::to_string(i)), std::string::npos)
+        << "worker row missing:\n" << top_text;
+  }
+  EXPECT_NE(top_text.find("OK"), std::string::npos) << top_text;
+  EXPECT_EQ(top_text.find("dead"), std::string::npos) << top_text;
+
+  fleet.value()->Shutdown();
+
+  CheckMergedTrace(Slurp(coord_options.trace_path), kWorkers);
+  CheckMergedMetrics(Slurp(coord_options.metrics_path));
+
+  obs::StopTracing();
+  obs::SetTraceId("");
+  obs::SetEnabled(false);
+}
+
+TEST(FleetObsE2E, CliVerifyAllWorkersTraceAndMetricsProduceMergedArtifacts) {
+  if (!obs::kCompiledIn) {
+    GTEST_SKIP() << "built with ICARUS_ENABLE_OBS=OFF";
+  }
+  std::string dir = MakeTempDir("fleet_obs_cli_");
+  std::string trace_path = dir + "/trace.json";
+  std::string metrics_path = dir + "/metrics.prom";
+  std::string out_path = dir + "/stdout.txt";
+  std::string cmd = std::string(ICARUS_CLI_PATH) + " verify-all --workers 4 --worker-bin " +
+                    ICARUS_DAEMON_PATH + " --fleet-dir " + dir + "/fleet --trace " +
+                    trace_path + " --metrics " + metrics_path + " > " + out_path + " 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd << "\n" << Slurp(out_path);
+
+  std::string out = Slurp(out_path);
+  EXPECT_NE(out.find("fleet trace merged into"), std::string::npos) << out;
+  EXPECT_NE(out.find("fleet metrics merged into"), std::string::npos);
+  EXPECT_EQ(out.find("note: cannot write"), std::string::npos) << out;
+
+  CheckMergedTrace(Slurp(trace_path), 4);
+  CheckMergedMetrics(Slurp(metrics_path));
+}
+
+}  // namespace
+}  // namespace icarus::dist
+
+#endif  // ICARUS_DAEMON_PATH && ICARUS_CLI_PATH

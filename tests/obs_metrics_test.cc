@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/exposition.h"
 #include "src/obs/json.h"
 
 namespace icarus::obs {
@@ -164,6 +165,110 @@ TEST_F(ObsMetricsTest, JsonWriterEscapesAndFormats) {
   w.EndObject();
   EXPECT_EQ(w.str(),
             "{\"s\":\"a\\\"b\\\\c\\nd\\u0001\",\"i\":-42,\"d\":0.5,\"nan\":null,\"b\":true}");
+}
+
+TEST_F(ObsMetricsTest, ParsePrometheusRoundTripsTheRegistry) {
+  Registry::Global().GetCounter("test_parse_total", "requests served")->Add(7);
+  Registry::Global().GetGauge("test_parse_gauge", "queue occupancy")->Set(5);
+  Histogram* h = Registry::Global().GetHistogram("test_parse_seconds", "latency");
+  h->Observe(0.5);
+  h->Observe(0.5);
+  h->Observe(3.0);
+  auto parsed = ParsePrometheus(Registry::Global().RenderPrometheus());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const Exposition& exp = parsed.value();
+
+  const ExpositionScalar* counter = exp.FindCounter("test_parse_total");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value, 7);
+  EXPECT_EQ(counter->help, "requests served");
+  const ExpositionScalar* gauge = exp.FindGauge("test_parse_gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->value, 5);
+  const ExpositionHistogram* hist = exp.FindHistogram("test_parse_seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 3);
+  EXPECT_NEAR(hist->sum, 4.0, 1e-9);
+  ASSERT_EQ(hist->cumulative.size(), static_cast<size_t>(Histogram::kNumBuckets));
+  EXPECT_EQ(hist->cumulative[Histogram::BucketFor(0.5)], 2);
+  EXPECT_EQ(hist->cumulative[Histogram::BucketFor(3.0)], 3);
+
+  // The parse renders back out and re-parses identically — the exchange
+  // format is stable through arbitrarily many merge hops.
+  auto again = ParsePrometheus(exp.RenderPrometheus());
+  ASSERT_TRUE(again.ok()) << again.status().message();
+  EXPECT_EQ(again.value().RenderPrometheus(), exp.RenderPrometheus());
+}
+
+TEST_F(ObsMetricsTest, ParsePrometheusRejectsForeignShapes) {
+  // Labels other than le, and le bounds off the shared scheme, are errors —
+  // this is an internal exchange format, not a general scraper.
+  EXPECT_FALSE(ParsePrometheus("x_total{worker=\"w0\"} 1\n").ok());
+  EXPECT_FALSE(ParsePrometheus("x_bucket{le=\"0.123\"} 1\n").ok());
+  EXPECT_FALSE(ParsePrometheus("x_total notanumber\n").ok());
+}
+
+TEST_F(ObsMetricsTest, ExpositionMergeSumsPerName) {
+  auto make = [](int64_t reqs, int64_t queue, int64_t slow_bucket, double sum) {
+    Exposition e;
+    e.counters.push_back({"reqs_total", "reqs", static_cast<double>(reqs)});
+    e.gauges.push_back({"queue_depth", "depth", static_cast<double>(queue)});
+    ExpositionHistogram h;
+    h.name = "lat_seconds";
+    h.cumulative.assign(Histogram::kNumBuckets, 0);
+    for (int i = Histogram::BucketFor(2.0); i < Histogram::kNumBuckets; ++i) {
+      h.cumulative[i] = slow_bucket;
+    }
+    h.count = slow_bucket;
+    h.sum = sum;
+    e.histograms.push_back(std::move(h));
+    return e;
+  };
+  Exposition merged = make(3, 2, 4, 8.0);
+  Exposition other = make(4, 1, 6, 12.0);
+  other.counters.push_back({"only_other_total", "x", 9});
+  ASSERT_TRUE(merged.Merge(other).ok());
+  EXPECT_EQ(merged.FindCounter("reqs_total")->value, 7);
+  EXPECT_EQ(merged.FindGauge("queue_depth")->value, 3);  // Occupancy sums.
+  EXPECT_EQ(merged.FindCounter("only_other_total")->value, 9);
+  const ExpositionHistogram* h = merged.FindHistogram("lat_seconds");
+  EXPECT_EQ(h->count, 10);
+  EXPECT_NEAR(h->sum, 20.0, 1e-9);
+  EXPECT_EQ(h->cumulative[Histogram::BucketFor(2.0)], 10);
+  EXPECT_EQ(h->cumulative[Histogram::BucketFor(1.0)], 0);
+
+  // Incompatible bucket layouts refuse to merge rather than mis-sum.
+  Exposition narrow;
+  ExpositionHistogram bad;
+  bad.name = "lat_seconds";
+  bad.cumulative.assign(4, 0);
+  narrow.histograms.push_back(std::move(bad));
+  EXPECT_FALSE(merged.Merge(narrow).ok());
+}
+
+TEST_F(ObsMetricsTest, ExpositionQuantiles) {
+  ExpositionHistogram h;
+  h.cumulative.assign(Histogram::kNumBuckets, 0);
+  // 8 observations, all inside the (0.5, 1.0] bucket.
+  int bucket = Histogram::BucketFor(1.0);
+  for (int i = bucket; i < Histogram::kNumBuckets; ++i) {
+    h.cumulative[i] = 8;
+  }
+  h.count = 8;
+  // Linear interpolation inside the bucket: p50 is the bucket midpoint.
+  EXPECT_NEAR(h.Quantile(0.5), 0.75, 1e-9);
+  EXPECT_NEAR(h.Quantile(1.0), 1.0, 1e-9);
+  // Empty histogram answers 0, not a division by zero.
+  ExpositionHistogram empty;
+  empty.cumulative.assign(Histogram::kNumBuckets, 0);
+  EXPECT_EQ(empty.Quantile(0.5), 0);
+  // All mass in the overflow bucket: the largest finite bound is the honest
+  // answer ("at least this much").
+  ExpositionHistogram overflow;
+  overflow.cumulative.assign(Histogram::kNumBuckets, 0);
+  overflow.count = 4;
+  EXPECT_DOUBLE_EQ(overflow.Quantile(0.99),
+                   Histogram::BucketBound(Histogram::kNumBuckets - 1));
 }
 
 }  // namespace

@@ -27,6 +27,12 @@
 //   icarus client [flags] <op>       Talk to a running icarusd service:
 //                                    ping, stats, shutdown, verify GEN...,
 //                                    verify-all. See `icarus client --help`.
+//   icarus top [flags]               Live fleet introspection: poll stats +
+//                                    metrics across running daemons and
+//                                    render a refreshing per-worker table.
+//                                    See `icarus top --help`.
+
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -46,6 +52,7 @@
 
 #include "src/boogie/boogie_dce.h"
 #include "src/daemon/protocol.h"
+#include "src/daemon/top.h"
 #include "src/dist/coordinator.h"
 #include "src/dist/fleet.h"
 #include "src/boogie/boogie_lower.h"
@@ -72,9 +79,10 @@ int Usage() {
                "usage: icarus <list|verify <gen>|explain <gen>|verify-all [flags]|"
                "report <journal> [out.html]|cfa <gen>|"
                "cfa-dot <gen> [out.dot]|boogie <gen>|extract|check <file>|"
-               "client [flags] <op>>\n"
+               "client [flags] <op>|top [flags]>\n"
                "       icarus verify-all --help   for batch flags and exit codes\n"
-               "       icarus client --help       for the icarusd client ops\n");
+               "       icarus client --help       for the icarusd client ops\n"
+               "       icarus top --help          for live fleet introspection\n");
   return 2;
 }
 
@@ -141,10 +149,17 @@ int VerifyAllHelp() {
       "                  cost bars, path/solver histograms, CFA effectiveness.\n"
       "  --trace FILE    Record pipeline spans and write a Chrome trace_event\n"
       "                  JSON file (load in Perfetto or chrome://tracing).\n"
-      "                  Enables the observability runtime for the run.\n"
+      "                  Enables the observability runtime for the run. With\n"
+      "                  --workers, every worker records spans under the same\n"
+      "                  trace id and FILE becomes one merged fleet timeline:\n"
+      "                  a clock-aligned process lane per worker plus the\n"
+      "                  coordinator, dispatch spans parenting worker spans.\n"
       "  --metrics FILE  Export the metrics registry after the run: Prometheus\n"
       "                  text format, or JSON when FILE ends in .json. Enables\n"
-      "                  the observability runtime for the run.\n"
+      "                  the observability runtime for the run. With --workers,\n"
+      "                  FILE is the fleet-wide merge: every worker's registry\n"
+      "                  folded into the coordinator's over the shared\n"
+      "                  histogram bucket scheme.\n"
       "  --journal FILE  Append each verdict to FILE as a JSON line, fsync'd as\n"
       "                  it lands, so a killed run can be resumed.\n"
       "  --resume FILE   Skip generators FILE already holds a verdict for,\n"
@@ -492,6 +507,8 @@ int VerifyAllFleet(const Platform& platform, const icarus::verifier::BatchOption
   fleet_options.cache_dir = options.cache_dir;
   fleet_options.cache_max_mb = options.cache_max_mb;
   fleet_options.worker_fail_specs = fleet_flags.worker_fail_specs;
+  fleet_options.trace = !obs_flags.trace_path.empty();
+  fleet_options.metrics = !obs_flags.metrics_path.empty();
   auto fleet = icarus::dist::Fleet::Spawn(fleet_options);
   if (!fleet.ok()) {
     std::fprintf(stderr, "fleet spawn failed: %s\n", fleet.status().message().c_str());
@@ -504,6 +521,12 @@ int VerifyAllFleet(const Platform& platform, const icarus::verifier::BatchOption
   coord_options.cache_max_mb = options.cache_max_mb;
   coord_options.journal_path = options.journal_path;
   coord_options.fingerprint = platform.Fingerprint();
+  // The coordinator owns the fleet-wide observability outputs: it merges the
+  // worker trace shards into one clock-aligned Chrome trace and folds every
+  // worker's metrics registry into one exposition. Write failures degrade to
+  // notes in the summary, so there is no separate CLI-side export here.
+  coord_options.trace_path = obs_flags.trace_path;
+  coord_options.metrics_path = obs_flags.metrics_path;
   icarus::dist::Coordinator coordinator(coord_options);
   auto ran = coordinator.Run(generators, fleet.value()->endpoints());
   fleet.value()->Shutdown();
@@ -516,6 +539,14 @@ int VerifyAllFleet(const Platform& platform, const icarus::verifier::BatchOption
   std::printf("\n%s", report.RenderSummary().c_str());
   if (obs_flags.stats) {
     std::printf("\n%s", report.batch.RenderStatsTable().c_str());
+  }
+  // Merged observability outputs are written by the coordinator; a failed
+  // write surfaces as a `note:` line in the summary above.
+  if (!obs_flags.trace_path.empty()) {
+    std::printf("fleet trace merged into %s\n", obs_flags.trace_path.c_str());
+  }
+  if (!obs_flags.metrics_path.empty()) {
+    std::printf("fleet metrics merged into %s\n", obs_flags.metrics_path.c_str());
   }
   if (!obs_flags.report_path.empty()) {
     icarus::obs::ReportInput input;
@@ -796,6 +827,62 @@ int ClientCmd(int argc, char** argv) {
   return rc;
 }
 
+int TopUsage() {
+  std::fprintf(
+      stderr,
+      "usage: icarus top [--socket PATH]... [--fleet-dir D] [--interval-ms N]\n"
+      "                  [--iterations N] [--no-clear]\n"
+      "\n"
+      "Live fleet introspection: polls every named daemon with stats+metrics\n"
+      "each refresh and renders a per-worker table — throughput (verdicts/s\n"
+      "between polls), queue depth, in-flight count, cache hit rate, shed and\n"
+      "quarantine counts, and p50/p99 request latency from the daemon's\n"
+      "metrics histogram (needs workers running with --obs or --trace-shard;\n"
+      "latency columns render '-' otherwise).\n"
+      "  --socket PATH   Poll the daemon at PATH. Repeatable.\n"
+      "  --fleet-dir D   Poll every *.sock under D (what `verify-all\n"
+      "                  --workers N --fleet-dir D` leaves running mid-run).\n"
+      "  --interval-ms N Refresh interval (default 1000).\n"
+      "  --iterations N  Render N frames then exit (default: until ^C).\n"
+      "  --no-clear      No ANSI clear between frames (for piped output).\n"
+      "\n"
+      "Exit codes: 0 clean exit, 2 usage error or nothing to poll.\n");
+  return 2;
+}
+
+int TopCmd(int argc, char** argv) {
+  icarus::daemon::TopOptions options;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help") {
+      TopUsage();
+      return 0;
+    } else if (arg == "--socket" && i + 1 < argc) {
+      options.sockets.push_back(argv[++i]);
+    } else if (arg == "--fleet-dir" && i + 1 < argc) {
+      options.fleet_dir = argv[++i];
+    } else if (arg == "--interval-ms" && i + 1 < argc) {
+      options.interval_ms = std::atof(argv[++i]);
+    } else if (arg == "--iterations" && i + 1 < argc) {
+      options.iterations = std::atoi(argv[++i]);
+    } else if (arg == "--no-clear") {
+      options.clear = false;
+    } else {
+      std::fprintf(stderr, "unknown top flag: %s\n", arg.c_str());
+      return TopUsage();
+    }
+  }
+  if (!isatty(1)) {
+    options.clear = false;  // Piped output: frames append instead of clearing.
+  }
+  icarus::Status st = icarus::daemon::RunTop(options, stdout);
+  if (!st.ok()) {
+    std::fprintf(stderr, "icarus top: %s\n", st.message().c_str());
+    return 2;
+  }
+  return 0;
+}
+
 int Check(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -858,6 +945,9 @@ int Run(int argc, char** argv) {
   }
   if (cmd == "client") {
     return ClientCmd(argc, argv);
+  }
+  if (cmd == "top") {
+    return TopCmd(argc, argv);  // Pure protocol client; needs no platform.
   }
   auto loaded = Platform::Load();
   if (!loaded.ok()) {

@@ -32,6 +32,7 @@
 #include "src/daemon/protocol.h"
 #include "src/daemon/server.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/support/failpoint.h"
 #include "src/support/net.h"
 
@@ -80,6 +81,16 @@ int Usage() {
       "  --dist-queue N   Bounded queue for fleet `claim` ops (default 256).\n"
       "  --metrics FILE   Export the metrics registry on exit (Prometheus\n"
       "                   text, or JSON when FILE ends in .json).\n"
+      "  --obs            Enable the metrics registry without an exit export\n"
+      "                   (the `metrics` protocol op serves live scrapes).\n"
+      "  --trace-shard FILE  Record spans and export them as a trace shard on\n"
+      "                   `publish` ops and at drain, for the coordinator's\n"
+      "                   merged fleet trace (see verify-all --trace).\n"
+      "  --worker NAME    Attribution label in the trace shard (default:\n"
+      "                   daemon).\n"
+      "  --slow-ms D      Append a flat JSON line with per-stage cost\n"
+      "                   attribution for every verify slower than D ms.\n"
+      "  --slow-log FILE  Slow-request log destination (default: stderr).\n"
       "  --fail SPEC      Arm a fail-point (see `icarus verify-all --help`).\n"
       "                   Unknown sites are a startup error. Repeatable.\n"
       "\n"
@@ -129,6 +140,18 @@ int RunDaemon(int argc, char** argv) {
     } else if (flag == "--metrics" && i + 1 < argc) {
       metrics_path = argv[++i];
       icarus::obs::SetEnabled(true);
+    } else if (flag == "--obs") {
+      icarus::obs::SetEnabled(true);
+    } else if (flag == "--trace-shard" && i + 1 < argc) {
+      options.trace_shard_path = argv[++i];
+      icarus::obs::SetEnabled(true);
+      icarus::obs::StartTracing();
+    } else if (flag == "--worker" && i + 1 < argc) {
+      options.worker_label = argv[++i];
+    } else if (flag == "--slow-ms" && i + 1 < argc) {
+      options.slow_ms = std::atof(argv[++i]);
+    } else if (flag == "--slow-log" && i + 1 < argc) {
+      options.slow_log_path = argv[++i];
     } else if (flag == "--fail" && i + 1 < argc) {
       icarus::Status st = icarus::failpoint::Arm(argv[++i]);
       if (!st.ok()) {
