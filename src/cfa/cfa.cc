@@ -43,20 +43,35 @@ int Cfa::NodeFor(const ast::OpDecl* op, const ast::Stmt* emit_site, int source_i
   return node.id;
 }
 
-std::vector<int> Cfa::Successors(int node) const {
-  std::vector<int> out;
+void Cfa::RebuildAdjacency() const {
+  // Slot layout: sentinels first (id + 3 maps kFailure/kExit/kEntry to
+  // 0/1/2), then real nodes at id + 3.
+  adjacency_.assign(nodes_.size() + 3, {});
   for (const auto& [from, to] : edges_) {
-    if (from == node) {
-      out.push_back(to);
-    }
+    adjacency_[static_cast<size_t>(from + 3)].push_back(to);
   }
-  return out;
+  adjacency_dirty_ = false;
+}
+
+const std::vector<int>& Cfa::Successors(int node) const {
+  if (adjacency_dirty_) {
+    RebuildAdjacency();
+  }
+  static const std::vector<int> kEmpty;
+  size_t slot = static_cast<size_t>(node + 3);
+  if (slot >= adjacency_.size()) {
+    return kEmpty;
+  }
+  return adjacency_[slot];
 }
 
 int64_t Cfa::CountPaths(int max_len, int64_t cap) const {
   // DP over (node, remaining length): number of op sequences from `node`
-  // that reach an exit within the budget. Saturating arithmetic.
-  auto sat_add = [cap](int64_t a, int64_t b) { return std::min(cap, a + b); };
+  // that reach an exit within the budget. Saturating arithmetic: both
+  // operands stay in [0, cap], so test against the headroom *before* adding
+  // (computing a + b first would be signed overflow once cap is near
+  // INT64_MAX).
+  auto sat_add = [cap](int64_t a, int64_t b) { return a >= cap - b ? cap : a + b; };
   size_t n = nodes_.size();
   // reach[l][v] = sequences of length <= l starting at node v ending in exit.
   std::vector<int64_t> prev(n, 0);
@@ -84,6 +99,98 @@ int64_t Cfa::CountPaths(int max_len, int64_t cap) const {
     }
   }
   return total;
+}
+
+MinimizeStats Cfa::Minimize() {
+  MinimizeStats stats;
+  stats.nodes_before = num_nodes();
+  stats.edges_before = num_edges();
+  size_t n = nodes_.size();
+  int num_classes = 0;
+  std::vector<int> code(n, 0);
+  if (n != 0) {
+    // Initial partition: nodes emitting different target ops can never be
+    // language-equivalent (the op *is* the letter each state reads).
+    std::map<const ast::OpDecl*, int> by_op;
+    for (size_t i = 0; i < n; ++i) {
+      auto [it, inserted] = by_op.emplace(nodes_[i].op, static_cast<int>(by_op.size()));
+      code[i] = it->second;
+    }
+    num_classes = static_cast<int>(by_op.size());
+
+    // Refine to fixpoint: split classes whose members disagree on the *set*
+    // of successor classes. Sentinels keep their (negative) ids as fixed
+    // signature codes, so no real node can collapse into entry/exit/failure
+    // and the three sentinels stay distinct from each other. Refinement only
+    // ever splits, so the class count is strictly increasing until fixpoint.
+    for (;;) {
+      std::map<std::pair<int, std::vector<int>>, int> sig_to_class;
+      std::vector<int> next(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        std::vector<int> succ_codes;
+        for (int succ : Successors(static_cast<int>(i))) {
+          succ_codes.push_back(succ >= 0 ? code[static_cast<size_t>(succ)] : succ);
+        }
+        std::sort(succ_codes.begin(), succ_codes.end());
+        succ_codes.erase(std::unique(succ_codes.begin(), succ_codes.end()), succ_codes.end());
+        auto key = std::make_pair(code[i], std::move(succ_codes));
+        auto [it, inserted] =
+            sig_to_class.emplace(std::move(key), static_cast<int>(sig_to_class.size()));
+        next[i] = it->second;
+      }
+      int refined = static_cast<int>(sig_to_class.size());
+      code = std::move(next);
+      if (refined == num_classes) {
+        break;
+      }
+      num_classes = refined;
+    }
+  }
+
+  if (num_classes < static_cast<int>(n)) {
+    stats.merges = static_cast<int>(n) - num_classes;
+    // Each class is represented by its lowest original node id; new ids
+    // follow representative order so the quotient numbering is stable.
+    std::vector<int> rep(static_cast<size_t>(num_classes), static_cast<int>(n));
+    for (size_t i = 0; i < n; ++i) {
+      int& r = rep[static_cast<size_t>(code[i])];
+      r = std::min(r, static_cast<int>(i));
+    }
+    std::vector<int> class_order(static_cast<size_t>(num_classes));
+    for (int c = 0; c < num_classes; ++c) {
+      class_order[static_cast<size_t>(c)] = c;
+    }
+    std::sort(class_order.begin(), class_order.end(),
+              [&rep](int a, int b) { return rep[static_cast<size_t>(a)] < rep[static_cast<size_t>(b)]; });
+    std::vector<int> new_id(static_cast<size_t>(num_classes), 0);
+    std::vector<Node> new_nodes;
+    new_nodes.reserve(static_cast<size_t>(num_classes));
+    for (int cls : class_order) {
+      Node node = nodes_[static_cast<size_t>(rep[static_cast<size_t>(cls)])];
+      node.id = static_cast<int>(new_nodes.size());
+      new_id[static_cast<size_t>(cls)] = node.id;
+      new_nodes.push_back(node);
+    }
+    auto remap = [&](int id) {
+      return id >= 0 ? new_id[static_cast<size_t>(code[static_cast<size_t>(id)])] : id;
+    };
+    std::set<std::pair<int, int>> new_edges;
+    for (const auto& [from, to] : edges_) {
+      new_edges.insert({remap(from), remap(to)});
+    }
+    // Emit sites of merged nodes all resolve to the surviving class
+    // representative, so NodeFor stays consistent if the builder keeps going.
+    for (auto& [key, id] : by_site_) {
+      id = remap(id);
+    }
+    nodes_ = std::move(new_nodes);
+    edges_ = std::move(new_edges);
+    adjacency_dirty_ = true;
+  }
+
+  stats.nodes_after = num_nodes();
+  stats.edges_after = num_edges();
+  return stats;
 }
 
 std::string Cfa::ToDot() const {

@@ -43,6 +43,17 @@ struct Node {
   const ast::OpDecl* source_op = nullptr;
 };
 
+// What Cfa::Minimize did: node/edge counts around the quotient construction
+// plus how many states were folded together. Surfaced by `icarus cfa`,
+// `cfa-dot` and the verify-all --stats table.
+struct MinimizeStats {
+  int nodes_before = 0;
+  int nodes_after = 0;
+  int edges_before = 0;
+  int edges_after = 0;
+  int merges = 0;  // nodes_before - nodes_after.
+};
+
 class Cfa {
  public:
   const std::vector<Node>& nodes() const { return nodes_; }
@@ -53,17 +64,30 @@ class Cfa {
   // source instruction creates a fresh node instead of a spurious cycle.
   int NodeFor(const ast::OpDecl* op, const ast::Stmt* emit_site, int source_index,
               const ast::OpDecl* source_op);
-  void AddEdge(int from, int to) { edges_.insert({from, to}); }
+  void AddEdge(int from, int to) {
+    if (edges_.insert({from, to}).second) {
+      adjacency_dirty_ = true;
+    }
+  }
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   int num_edges() const { return static_cast<int>(edges_.size()); }
 
-  // Successors of `node` (kEntry for entry successors).
-  std::vector<int> Successors(int node) const;
+  // Successors of `node` (kEntry for entry successors), served from a
+  // precomputed adjacency index rebuilt lazily after edge mutations.
+  const std::vector<int>& Successors(int node) const;
 
   // Number of distinct instruction sequences (paths entry → exit/failure) of
   // length <= max_len, saturating at `cap`.
   int64_t CountPaths(int max_len, int64_t cap = INT64_MAX / 4) const;
+
+  // Hopcroft-style partition refinement: merges nodes that emit the same
+  // target op and have language-equivalent successor behavior, so the
+  // constrained executor and CountPaths see the quotient automaton. The
+  // sentinel states (entry/exit/failure) are never merged — each keeps a
+  // fixed signature class of its own. Quotient classes are represented by
+  // their lowest original node id. Deterministic; idempotent at fixpoint.
+  MinimizeStats Minimize();
 
   // GraphViz DOT rendering (grouped by source op like Figure 6).
   std::string ToDot() const;
@@ -71,9 +95,16 @@ class Cfa {
   std::string Summary() const;
 
  private:
+  void RebuildAdjacency() const;
+
   std::vector<Node> nodes_;
   std::map<std::pair<const ast::Stmt*, int>, int> by_site_;
   std::set<std::pair<int, int>> edges_;
+  // Lazily-built adjacency index: successors_[id + kNumSentinels] for real
+  // nodes, dedicated slots for the sentinels. Successors() used to scan the
+  // whole edge set per call, making CountPaths O(len * nodes * edges).
+  mutable std::vector<std::vector<int>> adjacency_;
+  mutable bool adjacency_dirty_ = true;
 };
 
 // Builds the CFA for a meta-stub by abstract (all-branches) execution of the

@@ -124,11 +124,21 @@ StatusOr<std::unique_ptr<Fleet>> Fleet::Spawn(const FleetOptions& options) {
   std::unique_ptr<Fleet> fleet(new Fleet());
 
   if (options.fleet_dir.empty()) {
-    char tmpl[] = "/tmp/icarus-fleet-XXXXXX";
-    if (::mkdtemp(tmpl) == nullptr) {
-      return Status::Error(StrCat("cannot create fleet dir: ", std::strerror(errno)));
+    // Honor $TMPDIR (sandboxes and CI point it at a writable scratch dir);
+    // fall back to /tmp when it is unset or empty.
+    const char* tmpdir = std::getenv("TMPDIR");
+    std::string base = tmpdir != nullptr && tmpdir[0] != '\0' ? tmpdir : "/tmp";
+    while (base.size() > 1 && base.back() == '/') {
+      base.pop_back();
     }
-    fleet->fleet_dir_ = tmpl;
+    std::string tmpl_str = StrCat(base, "/icarus-fleet-XXXXXX");
+    std::vector<char> tmpl(tmpl_str.begin(), tmpl_str.end());
+    tmpl.push_back('\0');
+    if (::mkdtemp(tmpl.data()) == nullptr) {
+      return Status::Error(StrCat("cannot create fleet dir under ", base, ": ",
+                                  std::strerror(errno)));
+    }
+    fleet->fleet_dir_ = tmpl.data();
     fleet->remove_fleet_dir_ = true;
   } else {
     fleet->fleet_dir_ = options.fleet_dir;

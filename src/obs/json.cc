@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "src/support/check.h"
+#include "src/support/flat_json.h"
 #include "src/support/str_util.h"
 
 namespace icarus::obs {
@@ -25,23 +26,7 @@ void JsonWriter::BeforeValue() {
 }
 
 void JsonWriter::AppendEscaped(std::string_view s) {
-  out_.push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"': out_ += "\\\""; break;
-      case '\\': out_ += "\\\\"; break;
-      case '\n': out_ += "\\n"; break;
-      case '\r': out_ += "\\r"; break;
-      case '\t': out_ += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out_ += StrFormat("\\u%04x", static_cast<unsigned char>(c));
-        } else {
-          out_.push_back(c);
-        }
-    }
-  }
-  out_.push_back('"');
+  icarus::AppendJsonString(s, &out_);
 }
 
 JsonWriter& JsonWriter::BeginObject() {

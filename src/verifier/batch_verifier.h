@@ -40,6 +40,10 @@ struct BatchOptions {
   sym::Solver::Options solver_options;
   // Timing repeats per generator (passed through to VerifyOptions.runs).
   int runs = 1;
+  // Path merging inside every task (merge_paths = false is the
+  // `--no-merge-paths` ablation: pure forking executor, the differential
+  // oracle for the merged mode).
+  bool merge_paths = true;
   // Also build each generator's CFA artifact (off by default: the batch
   // driver reports verdicts, not DOT renderings).
   bool build_cfa = false;

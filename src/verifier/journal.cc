@@ -5,6 +5,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "src/support/flat_json.h"
 #include "src/support/str_util.h"
 
 #ifdef _WIN32
@@ -17,25 +18,7 @@ namespace icarus::verifier {
 
 namespace {
 
-void AppendJsonString(const std::string& s, std::string* out) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\r': *out += "\\r"; break;
-      case '\t': *out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          *out += StrFormat("\\u%04x", static_cast<unsigned char>(c));
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
+using icarus::AppendJsonString;
 
 // Minimal parser for the flat JSON objects this journal writes: string and
 // number values only, no nesting. Unknown keys are skipped so a newer writer
@@ -229,6 +212,8 @@ class LineParser {
       rec->paths_attached = static_cast<int64_t>(v);
     } else if (key == "paths_infeasible") {
       rec->paths_infeasible = static_cast<int64_t>(v);
+    } else if (key == "paths_merged") {
+      rec->paths_merged = static_cast<int64_t>(v);
     } else if (key == "cx_line") {
       rec->cx_line = static_cast<int>(v);
     } else if (key == "budget_decisions") {
@@ -270,9 +255,10 @@ std::string JournalRecord::ToJsonLine() const {
                    static_cast<long long>(propagations),
                    static_cast<long long>(learned_clauses),
                    static_cast<long long>(restarts));
-  out += StrFormat(",\"paths_attached\":%lld,\"paths_infeasible\":%lld",
+  out += StrFormat(",\"paths_attached\":%lld,\"paths_infeasible\":%lld,\"paths_merged\":%lld",
                    static_cast<long long>(paths_attached),
-                   static_cast<long long>(paths_infeasible));
+                   static_cast<long long>(paths_infeasible),
+                   static_cast<long long>(paths_merged));
   // Incremental-verification block (schema >= 4): only on rows that carry a
   // unit fingerprint, so journals from non-incremental runs stay compact.
   if (!unit_fp.empty()) {
@@ -392,6 +378,7 @@ obs::ReportRow ReportRowFromRecord(const JournalRecord& rec) {
   row.paths = rec.paths;
   row.paths_attached = rec.paths_attached;
   row.paths_infeasible = rec.paths_infeasible;
+  row.paths_merged = rec.paths_merged;
   row.queries = rec.queries;
   row.decisions = rec.decisions;
   row.attempts = rec.attempts;

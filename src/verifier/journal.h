@@ -53,7 +53,11 @@ namespace icarus::verifier {
 //       journal. Additive and conditional: single-process runs never write
 //       the field, so their journals are byte-identical to v5 apart from the
 //       version number, and older rows read fine with an empty worker.
-inline constexpr int kJournalSchemaVersion = 6;
+//   7 — adds the path-merging counter (`paths_merged`: joins folded by
+//       ite-lifting instead of forking), rendered by `verify-all --stats`.
+//       Additive: older rows read fine with the counter defaulting to 0,
+//       which is also what the --no-merge-paths ablation writes.
+inline constexpr int kJournalSchemaVersion = 7;
 inline constexpr int kJournalMinReadSchemaVersion = 1;
 
 // One journaled verdict. `outcome` is the OutcomeName() token (e.g.
@@ -83,6 +87,9 @@ struct JournalRecord {
   // Path-outcome counters (schema >= 3; 0 in older rows).
   int64_t paths_attached = 0;
   int64_t paths_infeasible = 0;
+  // Joins folded by ite-lifting instead of forking (schema >= 7; 0 in older
+  // rows and under the --no-merge-paths ablation).
+  int64_t paths_merged = 0;
   // Incremental verification (schema >= 4; empty/0 in older rows).
   std::string unit_fp;          // ast::UnitFingerprint(...).ToHex() of the unit.
   int64_t budget_decisions = 0; // Solver::Limits the verdict was earned under.

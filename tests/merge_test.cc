@@ -1,0 +1,619 @@
+// Path merging (ite-lifting at post-dominating joins) and CFA minimization.
+//
+// Three layers of coverage:
+//   - the ite term algebra: folds, distribution into every smart constructor
+//     (the invariant that the CDCL solver never sees a kIte node);
+//   - Hopcroft-style partition refinement on the CFA: fixpoint on minimal
+//     automata, language preservation, sentinel classes never merged, and
+//     the sat_add saturation fix in CountPaths;
+//   - differential verification: the merged executor must produce verdicts
+//     identical to the pure forking oracle over every platform generator,
+//     the buggy/fixed study pairs, and a corpus of synthetic diamond /
+//     nested-join programs (including a seeded fuzz set).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cfa/cfa.h"
+#include "src/machine/machine_state.h"
+#include "src/meta/meta_executor.h"
+#include "src/platform/platform.h"
+#include "src/support/str_util.h"
+#include "src/sym/expr.h"
+
+namespace icarus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ite term algebra
+// ---------------------------------------------------------------------------
+
+class IteTermTest : public ::testing::Test {
+ protected:
+  // True iff no node other than a kIte has a kIte child anywhere in `e` —
+  // the invariant that keeps ites out of every solver-visible boolean.
+  static bool IteOnlyUnderIte(sym::ExprRef e) {
+    for (sym::ExprRef arg : e->args) {
+      if (arg->kind == sym::Kind::kIte && e->kind != sym::Kind::kIte) {
+        return false;
+      }
+      if (!IteOnlyUnderIte(arg)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  sym::ExprPool pool_;
+};
+
+TEST_F(IteTermTest, ConstantAndStructuralFolds) {
+  sym::ExprRef c = pool_.Var("c", sym::Sort::kBool);
+  sym::ExprRef x = pool_.Var("x", sym::Sort::kInt);
+  sym::ExprRef y = pool_.Var("y", sym::Sort::kInt);
+  // Constant condition selects an arm outright.
+  EXPECT_EQ(pool_.Ite(pool_.True(), x, y), x);
+  EXPECT_EQ(pool_.Ite(pool_.False(), x, y), y);
+  // Equal arms need no ite at all.
+  EXPECT_EQ(pool_.Ite(c, x, x), x);
+  // A negated condition swaps arms instead of nesting a Not.
+  EXPECT_EQ(pool_.Ite(pool_.Not(c), x, y), pool_.Ite(c, y, x));
+  // Nested ites over the same condition collapse.
+  sym::ExprRef z = pool_.Var("z", sym::Sort::kInt);
+  EXPECT_EQ(pool_.Ite(c, pool_.Ite(c, x, y), z), pool_.Ite(c, x, z));
+  EXPECT_EQ(pool_.Ite(c, x, pool_.Ite(c, y, z)), pool_.Ite(c, x, z));
+}
+
+TEST_F(IteTermTest, BoolSortRoutesToIteBool) {
+  sym::ExprRef c = pool_.Var("c", sym::Sort::kBool);
+  sym::ExprRef p = pool_.Var("p", sym::Sort::kBool);
+  sym::ExprRef q = pool_.Var("q", sym::Sort::kBool);
+  sym::ExprRef ite = pool_.Ite(c, p, q);
+  // Boolean selects become Or(And(c,p), And(!c,q)) — no kIte node exists.
+  EXPECT_NE(ite->kind, sym::Kind::kIte);
+  EXPECT_EQ(ite, pool_.IteBool(c, p, q));
+}
+
+TEST_F(IteTermTest, EverySmartConstructorDistributesIte) {
+  sym::ExprRef c = pool_.Var("c", sym::Sort::kBool);
+  sym::ExprRef x = pool_.Var("x", sym::Sort::kInt);
+  sym::ExprRef y = pool_.Var("y", sym::Sort::kInt);
+  sym::ExprRef z = pool_.Var("z", sym::Sort::kInt);
+  sym::ExprRef ite = pool_.Ite(c, x, y);
+  ASSERT_EQ(ite->kind, sym::Kind::kIte);
+  // Arithmetic lifts the ite to the top and keeps pure arms below it.
+  sym::ExprRef sum = pool_.Add(ite, z);
+  EXPECT_EQ(sum, pool_.Ite(c, pool_.Add(x, z), pool_.Add(y, z)));
+  EXPECT_TRUE(IteOnlyUnderIte(sum));
+  EXPECT_TRUE(IteOnlyUnderIte(pool_.Mul(z, ite)));
+  EXPECT_TRUE(IteOnlyUnderIte(pool_.Neg(ite)));
+  EXPECT_TRUE(IteOnlyUnderIte(pool_.Shl(ite, pool_.IntConst(2))));
+  // Comparisons produce Bool, so the result is entirely ite-free — this is
+  // the form path conditions and assertion queries take, i.e. what the
+  // solver actually sees.
+  sym::ExprRef cmp = pool_.Lt(ite, z);
+  EXPECT_TRUE(IteOnlyUnderIte(cmp));
+  EXPECT_EQ(cmp, pool_.IteBool(c, pool_.Lt(x, z), pool_.Lt(y, z)));
+  sym::ExprRef eq = pool_.Eq(ite, pool_.IntConst(0));
+  EXPECT_TRUE(IteOnlyUnderIte(eq));
+  // Constant arms under a comparison leave a pure boolean formula behind.
+  sym::ExprRef pick = pool_.Ite(c, pool_.IntConst(1), pool_.IntConst(2));
+  EXPECT_TRUE(IteOnlyUnderIte(pool_.Gt(pick, pool_.IntConst(0))));
+}
+
+TEST_F(IteTermTest, IteDepthTracksNesting) {
+  sym::ExprRef c1 = pool_.Var("c1", sym::Sort::kBool);
+  sym::ExprRef c2 = pool_.Var("c2", sym::Sort::kBool);
+  sym::ExprRef x = pool_.Var("x", sym::Sort::kInt);
+  sym::ExprRef y = pool_.Var("y", sym::Sort::kInt);
+  sym::ExprRef z = pool_.Var("z", sym::Sort::kInt);
+  sym::ExprRef one = pool_.Ite(c1, x, y);
+  EXPECT_EQ(sym::ExprPool::IteDepth(x), 0);
+  EXPECT_EQ(sym::ExprPool::IteDepth(one), 1);
+  EXPECT_EQ(sym::ExprPool::IteDepth(pool_.Ite(c2, one, z)), 2);
+}
+
+// ---------------------------------------------------------------------------
+// MachineState::MergeWith
+// ---------------------------------------------------------------------------
+
+TEST(MachineMergeTest, FoldsDifferingTermsAndRejectsStructuralMismatch) {
+  sym::ExprPool pool;
+  sym::ExprRef cond = pool.Var("g", sym::Sort::kBool);
+  sym::ExprRef x = pool.Var("x", sym::Sort::kInt);
+  sym::ExprRef y = pool.Var("y", sym::Sort::kInt);
+
+  machine::MachineState a;
+  machine::MachineState b;
+  ASSERT_TRUE(a.WriteReg(0, machine::RegContent::kInt32, x).ok());
+  ASSERT_TRUE(b.WriteReg(0, machine::RegContent::kInt32, y).ok());
+  machine::MachineState merged = a;
+  ASSERT_TRUE(merged.MergeWith(b, &pool, cond, 8));
+  EXPECT_EQ(merged.ReadRegRaw(0).term, pool.Ite(cond, x, y));
+
+  // Identical terms stay as-is (no spurious ite).
+  machine::MachineState c = a;
+  ASSERT_TRUE(c.MergeWith(a, &pool, cond, 8));
+  EXPECT_EQ(c.ReadRegRaw(0).term, x);
+
+  // A content-tag mismatch is structural and unmergeable.
+  machine::MachineState d;
+  ASSERT_TRUE(d.WriteReg(0, machine::RegContent::kObject, y).ok());
+  machine::MachineState e = a;
+  EXPECT_FALSE(e.MergeWith(d, &pool, cond, 8));
+
+  // A stack-depth mismatch is structural and unmergeable.
+  machine::MachineState f = a;
+  machine::MachineState g = a;
+  g.Push(machine::RegVal{machine::RegContent::kIntPtr, nullptr});
+  EXPECT_FALSE(f.MergeWith(g, &pool, cond, 8));
+}
+
+// ---------------------------------------------------------------------------
+// CFA minimization (Hopcroft-style partition refinement)
+// ---------------------------------------------------------------------------
+
+class CfaMinimizeTest : public ::testing::Test {
+ protected:
+  CfaMinimizeTest() {
+    op_a_.name = "OpA";
+    op_b_.name = "OpB";
+    op_c_.name = "OpC";
+  }
+
+  // Distinct emit sites so NodeFor mints distinct nodes for the same op.
+  const ast::Stmt* Site(int i) { return &sites_[i]; }
+
+  // The language of the automaton: every distinct op-name sequence from
+  // entry to exit/failure of length <= max_len. This is what minimization
+  // must preserve exactly (path *counts* may shrink — that is the point).
+  static std::set<std::vector<std::string>> Language(const cfa::Cfa& a, int max_len) {
+    std::set<std::vector<std::string>> out;
+    struct Item {
+      int node;
+      std::vector<std::string> seq;
+    };
+    std::vector<Item> stack;
+    for (int succ : a.Successors(cfa::kEntry)) {
+      stack.push_back({succ, {}});
+    }
+    while (!stack.empty()) {
+      Item item = std::move(stack.back());
+      stack.pop_back();
+      if (item.node == cfa::kExit || item.node == cfa::kFailure) {
+        out.insert(item.seq);
+        continue;
+      }
+      if (item.node < 0 || static_cast<int>(item.seq.size()) >= max_len) {
+        continue;
+      }
+      item.seq.push_back(a.nodes()[static_cast<size_t>(item.node)].op->name);
+      for (int succ : a.Successors(item.node)) {
+        stack.push_back({succ, item.seq});
+      }
+    }
+    return out;
+  }
+
+  ast::OpDecl op_a_;
+  ast::OpDecl op_b_;
+  ast::OpDecl op_c_;
+  ast::Stmt sites_[8] = {};
+};
+
+TEST_F(CfaMinimizeTest, AlreadyMinimalAutomatonIsAFixpoint) {
+  cfa::Cfa a;
+  int n0 = a.NodeFor(&op_a_, Site(0), 0, nullptr);
+  int n1 = a.NodeFor(&op_b_, Site(1), 0, nullptr);
+  int n2 = a.NodeFor(&op_c_, Site(2), 0, nullptr);
+  a.AddEdge(cfa::kEntry, n0);
+  a.AddEdge(n0, n1);
+  a.AddEdge(n0, n2);
+  a.AddEdge(n1, cfa::kExit);
+  a.AddEdge(n2, cfa::kFailure);
+
+  cfa::MinimizeStats stats = a.Minimize();
+  EXPECT_EQ(stats.merges, 0);
+  EXPECT_EQ(stats.nodes_before, stats.nodes_after);
+  EXPECT_EQ(stats.edges_before, stats.edges_after);
+  EXPECT_EQ(a.num_nodes(), 3);
+  // Idempotent: a second run changes nothing either.
+  cfa::MinimizeStats again = a.Minimize();
+  EXPECT_EQ(again.merges, 0);
+  EXPECT_EQ(a.num_nodes(), 3);
+}
+
+TEST_F(CfaMinimizeTest, QuotientPreservesLanguageAndCutsPathCount) {
+  // Diamond-heavy shape: two parallel chains emitting the same op sequence
+  // A;B from distinct emit sites. The language has one word; the raw graph
+  // counts two paths for it.
+  cfa::Cfa a;
+  int a1 = a.NodeFor(&op_a_, Site(0), 0, nullptr);
+  int b1 = a.NodeFor(&op_b_, Site(1), 0, nullptr);
+  int a2 = a.NodeFor(&op_a_, Site(2), 0, nullptr);
+  int b2 = a.NodeFor(&op_b_, Site(3), 0, nullptr);
+  a.AddEdge(cfa::kEntry, a1);
+  a.AddEdge(cfa::kEntry, a2);
+  a.AddEdge(a1, b1);
+  a.AddEdge(a2, b2);
+  a.AddEdge(b1, cfa::kExit);
+  a.AddEdge(b2, cfa::kExit);
+
+  std::set<std::vector<std::string>> before = Language(a, 8);
+  int64_t raw_paths = a.CountPaths(8);
+  EXPECT_EQ(raw_paths, 2);
+
+  cfa::MinimizeStats stats = a.Minimize();
+  EXPECT_EQ(stats.nodes_before, 4);
+  EXPECT_EQ(stats.nodes_after, 2);
+  EXPECT_EQ(stats.merges, 2);
+  EXPECT_EQ(Language(a, 8), before);
+  EXPECT_EQ(a.CountPaths(8), 1);
+  // The surviving representatives keep the lowest original ids' identity.
+  EXPECT_EQ(a.nodes()[0].op, &op_a_);
+  EXPECT_EQ(a.nodes()[1].op, &op_b_);
+}
+
+TEST_F(CfaMinimizeTest, SentinelClassesNeverMerge) {
+  // Same op, but one node bails to failure and the other returns: the
+  // sentinel signature codes keep them apart (merging them would conflate
+  // the success and failure languages).
+  cfa::Cfa a;
+  int n0 = a.NodeFor(&op_a_, Site(0), 0, nullptr);
+  int n1 = a.NodeFor(&op_a_, Site(1), 0, nullptr);
+  a.AddEdge(cfa::kEntry, n0);
+  a.AddEdge(cfa::kEntry, n1);
+  a.AddEdge(n0, cfa::kExit);
+  a.AddEdge(n1, cfa::kFailure);
+
+  std::set<std::vector<std::string>> before = Language(a, 8);
+  cfa::MinimizeStats stats = a.Minimize();
+  EXPECT_EQ(stats.merges, 0);
+  EXPECT_EQ(a.num_nodes(), 2);
+  EXPECT_EQ(Language(a, 8), before);
+  // Sentinel edges survive the rebuild untouched.
+  EXPECT_TRUE(a.edges().count({cfa::kEntry, 0}) != 0);
+  EXPECT_TRUE(a.edges().count({0, cfa::kExit}) != 0 || a.edges().count({1, cfa::kExit}) != 0);
+  EXPECT_TRUE(a.edges().count({0, cfa::kFailure}) != 0 ||
+              a.edges().count({1, cfa::kFailure}) != 0);
+}
+
+TEST_F(CfaMinimizeTest, MergedNodesRemapBysiteEntriesToTheRepresentative) {
+  cfa::Cfa a;
+  int a1 = a.NodeFor(&op_a_, Site(0), 0, nullptr);
+  int a2 = a.NodeFor(&op_a_, Site(1), 0, nullptr);
+  a.AddEdge(cfa::kEntry, a1);
+  a.AddEdge(cfa::kEntry, a2);
+  a.AddEdge(a1, cfa::kExit);
+  a.AddEdge(a2, cfa::kExit);
+  ASSERT_EQ(a.Minimize().merges, 1);
+  // Re-asking for either original emit site resolves to the surviving node
+  // instead of minting a duplicate.
+  EXPECT_EQ(a.NodeFor(&op_a_, Site(0), 0, nullptr), 0);
+  EXPECT_EQ(a.NodeFor(&op_a_, Site(1), 0, nullptr), 0);
+  EXPECT_EQ(a.num_nodes(), 1);
+}
+
+TEST_F(CfaMinimizeTest, CountPathsSaturatesAtLargeCapsWithoutOverflow) {
+  // Two nodes with edges to each other and to exit: the number of paths
+  // doubles per length step, overflowing int64 well before len 100. The old
+  // sat_add computed a + b before clamping — signed overflow (UB) once the
+  // cap exceeds INT64_MAX/2.
+  cfa::Cfa a;
+  int n0 = a.NodeFor(&op_a_, Site(0), 0, nullptr);
+  int n1 = a.NodeFor(&op_b_, Site(1), 0, nullptr);
+  a.AddEdge(cfa::kEntry, n0);
+  a.AddEdge(n0, n0);
+  a.AddEdge(n0, n1);
+  a.AddEdge(n1, n0);
+  a.AddEdge(n1, n1);
+  a.AddEdge(n0, cfa::kExit);
+  a.AddEdge(n1, cfa::kExit);
+  EXPECT_EQ(a.CountPaths(100, INT64_MAX), INT64_MAX);
+  EXPECT_EQ(a.CountPaths(100, INT64_MAX - 1), INT64_MAX - 1);
+  // Small budgets still count exactly: len<=1 is the single path [A].
+  EXPECT_EQ(a.CountPaths(1, INT64_MAX), 1);
+}
+
+TEST_F(CfaMinimizeTest, PlatformCfaMinimizationPreservesLanguage) {
+  auto loaded = platform::Platform::Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  for (const char* name : {"tryAttachCompareString", "tryAttachInt32MinMax",
+                           "tryAttachCompareNullUndefined", "bug1685925_buggy"}) {
+    auto stub = loaded.value()->MakeMetaStub(name);
+    ASSERT_TRUE(stub.ok()) << name;
+    cfa::CfaBuilder builder(&loaded.value()->module(), &loaded.value()->externs());
+    auto automaton = builder.Build(stub.value());
+    ASSERT_TRUE(automaton.ok()) << name;
+    std::set<std::vector<std::string>> before = Language(automaton.value(), 16);
+    int64_t raw_paths = automaton.value().CountPaths(16);
+    cfa::MinimizeStats stats = automaton.value().Minimize();
+    EXPECT_EQ(stats.nodes_before - stats.nodes_after, stats.merges) << name;
+    EXPECT_EQ(Language(automaton.value(), 16), before) << name;
+    EXPECT_LE(automaton.value().CountPaths(16), raw_paths) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential verification: merged executor vs forking oracle
+// ---------------------------------------------------------------------------
+
+meta::MetaResult RunWith(const platform::Platform& platform, const std::string& name,
+                         bool merging) {
+  auto stub = platform.MakeMetaStub(name);
+  EXPECT_TRUE(stub.ok()) << name << ": " << stub.status().message();
+  meta::MetaExecutor executor(&platform.module(), &platform.externs());
+  executor.set_merging(merging);
+  return executor.Run(stub.value());
+}
+
+// Verdict identity is the contract: merging may only change *how many* paths
+// reach the solver, never what the verifier concludes.
+void ExpectVerdictIdentity(const platform::Platform& platform, const std::string& name) {
+  meta::MetaResult merged = RunWith(platform, name, /*merging=*/true);
+  meta::MetaResult forked = RunWith(platform, name, /*merging=*/false);
+  EXPECT_EQ(merged.verified, forked.verified) << name;
+  EXPECT_EQ(merged.inconclusive, forked.inconclusive) << name;
+  EXPECT_EQ(merged.violations.empty(), forked.violations.empty()) << name;
+  EXPECT_LE(merged.paths_explored, forked.paths_explored) << name;
+  EXPECT_EQ(forked.paths_merged, 0) << name;
+}
+
+class MergeDifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto loaded = platform::Platform::Load();
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    platform_ = loaded.take().release();
+  }
+  static void TearDownTestSuite() {
+    delete platform_;
+    platform_ = nullptr;
+  }
+  void SetUp() override { ASSERT_NE(platform_, nullptr); }
+
+  static platform::Platform* platform_;
+};
+
+platform::Platform* MergeDifferentialTest::platform_ = nullptr;
+
+TEST_F(MergeDifferentialTest, AllFig12GeneratorsAgreeWithForkingOracle) {
+  for (const auto& info : platform::Fig12Generators()) {
+    ExpectVerdictIdentity(*platform_, info.function);
+  }
+}
+
+TEST_F(MergeDifferentialTest, ExtensionGeneratorsAgreeWithForkingOracle) {
+  for (const auto& info : platform::ExtensionGenerators()) {
+    ExpectVerdictIdentity(*platform_, info.function);
+  }
+}
+
+TEST_F(MergeDifferentialTest, BugPairsAgreeWithForkingOracle) {
+  for (const auto& bug : platform::Bugs()) {
+    ExpectVerdictIdentity(*platform_, StrCat("bug", bug.id, "_buggy"));
+    ExpectVerdictIdentity(*platform_, StrCat("bug", bug.id, "_fixed"));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic diamond / nested-join programs
+// ---------------------------------------------------------------------------
+
+// Hand-written join shapes covering the merge machinery's main cases: a
+// plain diamond (merges), nested joins (merges recursively), a data-dependent
+// assertion across a join (must refute identically in both modes), and an
+// emitting diamond (must fall back to forking, still verdict-identical).
+constexpr char kSyntheticJoins[] = R"ICARUS(
+generator mergeTestDiamond(
+    lhs: Value, lhsId: ValueId, rhs: Value, rhsId: ValueId
+) emits CacheIR {
+  if !Value::isInt32(lhs) || !Value::isInt32(rhs) {
+    return AttachDecision::NoAction;
+  }
+  let a = Value::toInt32(lhs);
+  let bias = 0;
+  if a < 0 {
+    bias = 1;
+  } else {
+    bias = 2;
+  }
+  assert bias > 0;
+  emit CacheIR::GuardToInt32(lhsId);
+  emit CacheIR::GuardToInt32(rhsId);
+  emit CacheIR::Int32AddResult(OperandId::toInt32Id(lhsId), OperandId::toInt32Id(rhsId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator mergeTestNestedJoin(
+    lhs: Value, lhsId: ValueId, rhs: Value, rhsId: ValueId
+) emits CacheIR {
+  if !Value::isInt32(lhs) || !Value::isInt32(rhs) {
+    return AttachDecision::NoAction;
+  }
+  let a = Value::toInt32(lhs);
+  let b = Value::toInt32(rhs);
+  let x = 0;
+  if a < 0 {
+    if b < 0 {
+      x = 1;
+    } else {
+      x = 2;
+    }
+  } else {
+    if b < 10 {
+      x = 3;
+    } else {
+      x = 4;
+    }
+  }
+  assert x > 0;
+  assert x <= 4;
+  emit CacheIR::GuardToInt32(lhsId);
+  emit CacheIR::GuardToInt32(rhsId);
+  emit CacheIR::Int32SubResult(OperandId::toInt32Id(lhsId), OperandId::toInt32Id(rhsId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator mergeTestAssertAcrossJoin(
+    lhs: Value, lhsId: ValueId, rhs: Value, rhsId: ValueId
+) emits CacheIR {
+  if !Value::isInt32(lhs) || !Value::isInt32(rhs) {
+    return AttachDecision::NoAction;
+  }
+  let a = Value::toInt32(lhs);
+  let x = 0;
+  if a < 0 {
+    x = 0;
+  } else {
+    x = 2;
+  }
+  // Fails exactly when a < 0: both executors must refute.
+  assert x != 0;
+  emit CacheIR::GuardToInt32(lhsId);
+  emit CacheIR::GuardToInt32(rhsId);
+  emit CacheIR::Int32AddResult(OperandId::toInt32Id(lhsId), OperandId::toInt32Id(rhsId));
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+
+generator mergeTestEmittingArms(
+    lhs: Value, lhsId: ValueId, rhs: Value, rhsId: ValueId
+) emits CacheIR {
+  if !Value::isInt32(lhs) || !Value::isInt32(rhs) {
+    return AttachDecision::NoAction;
+  }
+  let a = Value::toInt32(lhs);
+  // Arms emit, so the join is NOT mergeable (the buffers diverge); the
+  // executor must fall back to forking and still agree with the oracle.
+  if a < 0 {
+    emit CacheIR::GuardToInt32(lhsId);
+    emit CacheIR::GuardToInt32(rhsId);
+    emit CacheIR::Int32AddResult(OperandId::toInt32Id(lhsId), OperandId::toInt32Id(rhsId));
+  } else {
+    emit CacheIR::GuardToInt32(lhsId);
+    emit CacheIR::GuardToInt32(rhsId);
+    emit CacheIR::Int32SubResult(OperandId::toInt32Id(lhsId), OperandId::toInt32Id(rhsId));
+  }
+  emit CacheIR::ReturnFromIC();
+  return AttachDecision::Attach;
+}
+)ICARUS";
+
+// Seeded fuzz corpus: random two-diamond programs over int32 inputs with a
+// random (possibly failing) assertion across the joins. Deterministic by
+// construction, so failures reproduce.
+std::string FuzzCorpusSource(int count, uint32_t seed) {
+  std::mt19937 rng(seed);
+  const char* cmps[] = {"<", "<=", ">", ">=", "==", "!="};
+  auto cmp = [&] { return cmps[rng() % 6]; };
+  auto small = [&] { return static_cast<int>(rng() % 7); };
+  std::string src;
+  for (int i = 0; i < count; ++i) {
+    src += StrCat(
+        "generator mergeFuzz", i,
+        "(lhs: Value, lhsId: ValueId, rhs: Value, rhsId: ValueId) emits CacheIR {\n"
+        "  if !Value::isInt32(lhs) || !Value::isInt32(rhs) {\n"
+        "    return AttachDecision::NoAction;\n"
+        "  }\n"
+        "  let a = Value::toInt32(lhs);\n"
+        "  let b = Value::toInt32(rhs);\n"
+        "  let x = 0;\n"
+        "  if a ", cmp(), " ", small(), " {\n"
+        "    x = ", small(), ";\n"
+        "  } else {\n"
+        "    x = ", small(), ";\n"
+        "  }\n"
+        "  if b ", cmp(), " ", small(), " {\n"
+        "    x = x + ", small(), ";\n"
+        "  } else {\n"
+        "    x = x - ", small(), ";\n"
+        "  }\n"
+        "  assert x ", cmp(), " ", small(), ";\n"
+        "  emit CacheIR::GuardToInt32(lhsId);\n"
+        "  emit CacheIR::GuardToInt32(rhsId);\n"
+        "  emit CacheIR::Int32AddResult(OperandId::toInt32Id(lhsId), "
+        "OperandId::toInt32Id(rhsId));\n"
+        "  emit CacheIR::ReturnFromIC();\n"
+        "  return AttachDecision::Attach;\n"
+        "}\n");
+  }
+  return src;
+}
+
+constexpr int kFuzzCount = 24;
+
+class MergeSyntheticTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto loaded = platform::Platform::LoadWithExtra(
+        {kSyntheticJoins, FuzzCorpusSource(kFuzzCount, /*seed=*/0x1ca905)});
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    platform_ = loaded.take().release();
+  }
+  static void TearDownTestSuite() {
+    delete platform_;
+    platform_ = nullptr;
+  }
+  void SetUp() override { ASSERT_NE(platform_, nullptr); }
+
+  static platform::Platform* platform_;
+};
+
+platform::Platform* MergeSyntheticTest::platform_ = nullptr;
+
+TEST_F(MergeSyntheticTest, DiamondMergesAndVerifies) {
+  meta::MetaResult merged = RunWith(*platform_, "mergeTestDiamond", true);
+  EXPECT_TRUE(merged.verified) << merged.Summary();
+  EXPECT_GT(merged.paths_merged, 0) << merged.Summary();
+  ExpectVerdictIdentity(*platform_, "mergeTestDiamond");
+}
+
+TEST_F(MergeSyntheticTest, NestedJoinsMergeAndVerify) {
+  meta::MetaResult merged = RunWith(*platform_, "mergeTestNestedJoin", true);
+  EXPECT_TRUE(merged.verified) << merged.Summary();
+  EXPECT_GT(merged.paths_merged, 0) << merged.Summary();
+  // The nested shape has 4 leaf paths through the joins; merging must
+  // explore strictly fewer paths than the forking oracle.
+  meta::MetaResult forked = RunWith(*platform_, "mergeTestNestedJoin", false);
+  EXPECT_LT(merged.paths_explored, forked.paths_explored);
+  ExpectVerdictIdentity(*platform_, "mergeTestNestedJoin");
+}
+
+TEST_F(MergeSyntheticTest, AssertionAcrossJoinRefutesIdentically) {
+  meta::MetaResult merged = RunWith(*platform_, "mergeTestAssertAcrossJoin", true);
+  meta::MetaResult forked = RunWith(*platform_, "mergeTestAssertAcrossJoin", false);
+  EXPECT_FALSE(merged.verified) << merged.Summary();
+  EXPECT_FALSE(forked.verified) << forked.Summary();
+  ASSERT_FALSE(merged.violations.empty());
+  ASSERT_FALSE(forked.violations.empty());
+  EXPECT_EQ(merged.violations.front().message, forked.violations.front().message);
+}
+
+TEST_F(MergeSyntheticTest, EmittingArmsFallBackToForking) {
+  meta::MetaResult merged = RunWith(*platform_, "mergeTestEmittingArms", true);
+  EXPECT_TRUE(merged.verified) << merged.Summary();
+  ExpectVerdictIdentity(*platform_, "mergeTestEmittingArms");
+}
+
+TEST_F(MergeSyntheticTest, FuzzCorpusAgreesWithForkingOracle) {
+  int programs_that_merged = 0;
+  for (int i = 0; i < kFuzzCount; ++i) {
+    std::string name = StrCat("mergeFuzz", i);
+    ExpectVerdictIdentity(*platform_, name);
+    if (RunWith(*platform_, name, true).paths_merged > 0) {
+      ++programs_that_merged;
+    }
+  }
+  // The corpus is built from mergeable diamonds; the machinery must engage
+  // on a healthy fraction of it, not just on the hand-written shapes.
+  EXPECT_GT(programs_that_merged, kFuzzCount / 2);
+}
+
+}  // namespace
+}  // namespace icarus
